@@ -1,0 +1,128 @@
+//! Criterion version of the Table-1 overhead comparison: the thumbnail
+//! pipeline under no logging vs MPE logging vs native logging.
+//!
+//! The paper's claim under test: MPE logging adds only slight overhead
+//! to a compute-bound Pilot program, while native logging costs more
+//! because it displaces a worker rank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::LoggingMode;
+use pilot::{PilotConfig, Services};
+use workloads::thumbnail::{run_thumbnail, ThumbnailParams};
+
+fn small_params() -> ThumbnailParams {
+    ThumbnailParams {
+        n_files: 12,
+        width: 64,
+        height: 64,
+        work_factor: 8,
+        compress_factor: 3,
+        think_ms: 0.0,
+    }
+}
+
+fn bench_logging_modes(c: &mut Criterion) {
+    let params = small_params();
+    let mut group = c.benchmark_group("thumbnail_logging");
+    group.sample_size(10);
+    for mode in [LoggingMode::None, LoggingMode::Mpe, LoggingMode::Native] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let workers = 4;
+                    let (services, effective) = match mode {
+                        LoggingMode::None => (Services::default(), workers),
+                        LoggingMode::Mpe => (Services::parse("j").unwrap(), workers),
+                        LoggingMode::Native => (Services::parse("c").unwrap(), workers - 1),
+                    };
+                    let cfg = PilotConfig::new(1 + workers).with_services(services);
+                    let (outcome, result) = run_thumbnail(cfg, effective, params);
+                    assert!(outcome.is_clean());
+                    result.unwrap().checksum
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_check_levels(c: &mut Criterion) {
+    // The paper: "the error checking level was essentially
+    // inconsequential in terms of added overhead".
+    let params = small_params();
+    let mut group = c.benchmark_group("thumbnail_check_level");
+    group.sample_size(10);
+    for level in [0u8, 1, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| {
+                let cfg = PilotConfig::new(5).with_check_level(level);
+                let (outcome, result) = run_thumbnail(cfg, 4, params);
+                assert!(outcome.is_clean());
+                result.unwrap().checksum
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    // The speedup half of Table 1: more decompressors, less wall time.
+    let params = ThumbnailParams {
+        n_files: 16,
+        ..small_params()
+    };
+    let mut group = c.benchmark_group("thumbnail_scaling");
+    group.sample_size(10);
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let cfg = PilotConfig::new(1 + workers);
+                    let (outcome, result) = run_thumbnail(cfg, workers, params);
+                    assert!(outcome.is_clean());
+                    result.unwrap().checksum
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spill_extension(c: &mut Criterion) {
+    // Ablation: the abort-safe spill (the paper's future-work item,
+    // implemented here) pays a write+flush per record; how much does
+    // that cost against plain buffered MPE logging?
+    let params = small_params();
+    let mut group = c.benchmark_group("thumbnail_mpe_spill");
+    group.sample_size(10);
+    for (label, spill) in [("buffered", false), ("spill", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &spill, |b, &spill| {
+            let dir = std::env::temp_dir().join("bench-mpe-spill");
+            b.iter(|| {
+                let mut cfg =
+                    PilotConfig::new(5).with_services(Services::parse("j").unwrap());
+                if spill {
+                    cfg = cfg.with_spill_dir(dir.clone());
+                }
+                let (outcome, result) = run_thumbnail(cfg, 4, params);
+                assert!(outcome.is_clean());
+                result.unwrap().checksum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_logging_modes,
+    bench_check_levels,
+    bench_worker_scaling,
+    bench_spill_extension
+);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Microbenchmarks of Pilot's hot paths: format parsing, call
+//! encoding, and channel round trips with each service configuration —
+//! the per-call cost that underlies the Table-1 overhead numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pilot::{parse_format, PilotConfig, RSlot, Services, WSlot, PI_MAIN};
+
+fn bench_format_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("format_parse");
+    for fmt in ["%d", "%d %100lf", "%^d %*u %b %3f"] {
+        group.bench_with_input(BenchmarkId::from_parameter(fmt), &fmt, |b, fmt| {
+            b.iter(|| parse_format(fmt).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_call(c: &mut Criterion) {
+    let data = vec![1i64; 1000];
+    let specs = parse_format("%*d").unwrap();
+    c.bench_function("encode_1000_ints", |b| {
+        b.iter(|| pilot::format::encode_call(&specs, &[WSlot::IntArr(&data)], true).unwrap())
+    });
+}
+
+/// One full round trip (write + read of one i64) through a 2-process
+/// Pilot world, amortized over many messages per world to factor out
+/// world startup.
+fn bench_roundtrip(c: &mut Criterion) {
+    const MSGS: usize = 500;
+    let mut group = c.benchmark_group("channel_roundtrip_500");
+    group.sample_size(10);
+    for (label, letters) in [("plain", ""), ("mpe", "j"), ("native+ddt", "cd")] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &letters, |b, letters| {
+            b.iter(|| {
+                let ranks = if letters.contains('c') || letters.contains('d') { 3 } else { 2 };
+                let cfg = PilotConfig::new(ranks)
+                    .with_services(Services::parse(letters).unwrap());
+                let out = pilot::run(cfg, |pi| {
+                    let w = pi.create_process(0)?;
+                    let up = pi.create_channel(PI_MAIN, w)?;
+                    let down = pi.create_channel(w, PI_MAIN)?;
+                    pi.assign_work(w, move |pi, _| {
+                        for _ in 0..MSGS {
+                            let mut x = 0i64;
+                            pi.read(up, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                            pi.write(down, "%d", &[WSlot::Int(x)]).unwrap();
+                        }
+                        0
+                    })?;
+                    pi.start_all()?;
+                    for i in 0..MSGS as i64 {
+                        pi.write(up, "%d", &[WSlot::Int(i)])?;
+                        let mut x = 0i64;
+                        pi.read(down, "%d", &mut [RSlot::Int(&mut x)])?;
+                    }
+                    pi.stop_main(0)
+                });
+                assert!(out.world.all_ok());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_autoalloc_vs_two_reads(c: &mut Criterion) {
+    // The V2.1 "%^d" convenience vs the classic size-then-data idiom.
+    const N: usize = 4096;
+    let mut group = c.benchmark_group("array_transfer_4096");
+    group.sample_size(10);
+    group.bench_function("two_reads", |b| {
+        b.iter(|| {
+            let cfg = PilotConfig::new(2);
+            let out = pilot::run(cfg, |pi| {
+                let w = pi.create_process(0)?;
+                let chan = pi.create_channel(PI_MAIN, w)?;
+                pi.assign_work(w, move |pi, _| {
+                    let mut n = 0i64;
+                    pi.read(chan, "%d", &mut [RSlot::Int(&mut n)]).unwrap();
+                    let mut buf = vec![0i64; n as usize];
+                    pi.read(chan, "%*d", &mut [RSlot::IntArr(&mut buf)]).unwrap();
+                    0
+                })?;
+                pi.start_all()?;
+                let data = vec![7i64; N];
+                pi.write(chan, "%d", &[WSlot::Int(N as i64)])?;
+                pi.write(chan, "%*d", &[WSlot::IntArr(&data)])?;
+                pi.stop_main(0)
+            });
+            assert!(out.world.all_ok());
+        })
+    });
+    group.bench_function("autoalloc", |b| {
+        b.iter(|| {
+            let cfg = PilotConfig::new(2);
+            let out = pilot::run(cfg, |pi| {
+                let w = pi.create_process(0)?;
+                let chan = pi.create_channel(PI_MAIN, w)?;
+                pi.assign_work(w, move |pi, _| {
+                    let mut buf: Vec<i64> = Vec::new();
+                    pi.read(chan, "%^d", &mut [RSlot::IntVec(&mut buf)]).unwrap();
+                    0
+                })?;
+                pi.start_all()?;
+                let data = vec![7i64; N];
+                pi.write(chan, "%^d", &[WSlot::IntArr(&data)])?;
+                pi.stop_main(0)
+            });
+            assert!(out.world.all_ok());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_format_parse,
+    bench_encode_call,
+    bench_roundtrip,
+    bench_autoalloc_vs_two_reads
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Rendering benchmarks: full view vs zoomed view over dense logs —
+//! the "seamless scrolling at any zoom level" property Jumpshot is
+//! known for, which our frame tree must deliver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpelog::Color;
+use slog2::{Category, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable};
+
+fn dense_file(states: usize, timelines: u32) -> Slog2File {
+    let categories = vec![
+        Category {
+            index: 0,
+            name: "Compute".into(),
+            color: Color::GRAY,
+            kind: CategoryKind::State,
+        },
+        Category {
+            index: 1,
+            name: "PI_Read".into(),
+            color: Color::RED,
+            kind: CategoryKind::State,
+        },
+    ];
+    let dt = 1e-4;
+    let drawables: Vec<Drawable> = (0..states)
+        .map(|i| {
+            Drawable::State(StateDrawable {
+                category: (i % 2) as u32,
+                timeline: (i as u32) % timelines,
+                start: i as f64 * dt,
+                end: i as f64 * dt + dt * 0.8,
+                nest_level: 0,
+                text: format!("Line: {i}"),
+            })
+        })
+        .collect();
+    let t1 = states as f64 * dt;
+    Slog2File {
+        timelines: (0..timelines).map(|r| format!("P{r}")).collect(),
+        categories,
+        range: (0.0, t1),
+        warnings: vec![],
+        tree: FrameTree::build(drawables, 0.0, t1, 64, 16),
+    }
+}
+
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render_svg");
+    for states in [1_000usize, 20_000] {
+        let file = dense_file(states, 8);
+        let (t0, t1) = file.range;
+        group.bench_with_input(
+            BenchmarkId::new("full_view", states),
+            &file,
+            |b, file| {
+                let vp = jumpshot::Viewport::new(t0, t1, 1280);
+                let opts = jumpshot::RenderOptions::default();
+                b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("zoom_1pct", states),
+            &file,
+            |b, file| {
+                let span = t1 - t0;
+                let vp =
+                    jumpshot::Viewport::new(t0 + span * 0.495, t0 + span * 0.505, 1280);
+                let opts = jumpshot::RenderOptions::default();
+                b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_legend_stats(c: &mut Criterion) {
+    let file = dense_file(20_000, 8);
+    c.bench_function("legend_stats_20k", |b| {
+        b.iter(|| slog2::legend_stats(&file))
+    });
+}
+
+fn bench_search(c: &mut Criterion) {
+    let file = dense_file(20_000, 8);
+    let query = jumpshot::SearchQuery {
+        text_contains: Some("Line: 19999".into()),
+        ..Default::default()
+    };
+    c.bench_function("search_find_next_worst_case", |b| {
+        b.iter(|| jumpshot::find_next(&file, 0.0, &query).is_some())
+    });
+}
+
+criterion_group!(benches, bench_render, bench_legend_stats, bench_search);
+criterion_main!(benches);

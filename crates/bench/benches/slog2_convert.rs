@@ -1,0 +1,115 @@
+//! CLOG2→SLOG2 conversion benchmarks, including the frame-size
+//! ablation (DESIGN.md A1): smaller frames mean a deeper tree and finer
+//! random access; this measures what that costs to build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mpelog::{Clog2File, Color, Logger};
+use slog2::{convert, ConvertOptions};
+
+/// Synthesize a plausible CLOG file: `ranks` timelines, each with
+/// `calls` read/write state pairs plus matched messages.
+fn synthetic_clog(ranks: usize, calls: usize) -> Clog2File {
+    let mut blocks = std::collections::BTreeMap::new();
+    let mut defs: Option<(Vec<_>, Vec<_>)> = None;
+    for r in 0..ranks {
+        let mut lg = Logger::new(r);
+        let (w_s, w_e) = lg.define_state("PI_Write", Color::GREEN);
+        let (r_s, r_e) = lg.define_state("PI_Read", Color::RED);
+        let arrival = lg.define_event("msg arrival", Color::YELLOW);
+        let dt = 1e-4;
+        for i in 0..calls {
+            let t = i as f64 * dt * ranks as f64 + r as f64 * dt;
+            if r % 2 == 0 {
+                lg.log_event(t, w_s, "Line: 1");
+                lg.log_send(t + dt * 0.3, (r + 1) % ranks, 1000 + r as u32, 8);
+                lg.log_event(t + dt * 0.5, w_e, "");
+            } else {
+                lg.log_event(t, r_s, "Line: 2");
+                lg.log_receive(t + dt * 0.4, (r + ranks - 1) % ranks, 1000 + r as u32 - 1, 8);
+                lg.log_event(t + dt * 0.4, arrival, "Chan: C0");
+                lg.log_event(t + dt * 0.5, r_e, "");
+            }
+        }
+        if defs.is_none() {
+            defs = Some((lg.state_defs().to_vec(), lg.event_defs().to_vec()));
+        }
+        blocks.insert(r as u32, lg.records().to_vec());
+    }
+    let (state_defs, event_defs) = defs.unwrap();
+    Clog2File {
+        nranks: ranks as u32,
+        state_defs,
+        event_defs,
+        blocks,
+    }
+}
+
+fn bench_convert_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert_scaling");
+    for calls in [200usize, 2000, 10_000] {
+        let clog = synthetic_clog(6, calls);
+        group.bench_with_input(BenchmarkId::from_parameter(calls), &clog, |b, clog| {
+            b.iter(|| convert(clog, &ConvertOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frame_capacity(c: &mut Criterion) {
+    // Ablation A1: the "frame size" parameter the paper mentions tuning.
+    let clog = synthetic_clog(6, 5000);
+    let mut group = c.benchmark_group("convert_frame_capacity");
+    for capacity in [8usize, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    convert(
+                        &clog,
+                        &ConvertOptions {
+                            frame_capacity: capacity,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_file_roundtrip(c: &mut Criterion) {
+    let clog = synthetic_clog(6, 2000);
+    let (slog, _) = convert(&clog, &ConvertOptions::default());
+    c.bench_function("slog2_to_bytes", |b| b.iter(|| slog.to_bytes()));
+    let bytes = slog.to_bytes();
+    c.bench_function("slog2_from_bytes", |b| {
+        b.iter(|| slog2::Slog2File::from_bytes(&bytes).unwrap())
+    });
+    c.bench_function("clog2_to_bytes", |b| b.iter(|| clog.to_bytes()));
+}
+
+fn bench_tree_query(c: &mut Criterion) {
+    let clog = synthetic_clog(6, 10_000);
+    let (slog, _) = convert(&clog, &ConvertOptions::default());
+    let (t0, t1) = slog.range;
+    let span = t1 - t0;
+    c.bench_function("tree_query_full", |b| b.iter(|| slog.tree.query(t0, t1).len()));
+    c.bench_function("tree_query_1pct_window", |b| {
+        b.iter(|| slog.tree.query(t0 + span * 0.495, t0 + span * 0.505).len())
+    });
+    c.bench_function("tree_window_preview", |b| {
+        b.iter(|| slog.tree.window_preview(t0, t1))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_convert_scaling,
+    bench_frame_capacity,
+    bench_file_roundtrip,
+    bench_tree_query
+);
+criterion_main!(benches);

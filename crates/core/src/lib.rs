@@ -1,0 +1,35 @@
+//! # pilot-vis — the log visualization facility, end to end
+//!
+//! This crate is the paper's *contribution* packaged the way an
+//! instructor or student uses it: run a Pilot program with logging
+//! enabled, and get back everything Jumpshot would show — the converted
+//! SLOG2 file, rendered SVG timelines, the legend table, and the
+//! conversion diagnostics — plus the quantitative analyses that turn
+//! the paper's visual diagnoses (Figs. 4–5) into numbers a test can
+//! assert on.
+//!
+//! ```no_run
+//! use pilot_vis::{visualize, VisOptions};
+//! use pilot::{PilotConfig, Services};
+//!
+//! let cfg = PilotConfig::new(6).with_services(Services::parse("j").unwrap());
+//! let run = visualize(cfg, VisOptions::default(), |pi| {
+//!     // ... any Pilot program ...
+//!     pi.start_all()?;
+//!     pi.stop_main(0)
+//! });
+//! let svg = run.render_full(1280).unwrap();
+//! std::fs::write("out/timeline.svg", svg).unwrap();
+//! println!("{}", run.legend_text().unwrap());
+//! ```
+
+pub mod analysis;
+pub mod pipeline;
+pub mod report;
+
+pub use analysis::{
+    busy_intervals, idle_until_first_arrival, parallel_overlap, timeline_state_seconds,
+    TimelineActivity,
+};
+pub use pipeline::{visualize, VisOptions, VisRun};
+pub use report::{run_report, RunReport};

@@ -1,0 +1,158 @@
+//! Machine-readable run reports (JSON) — what the benchmark harness
+//! stores next to each regenerated figure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::{idle_until_first_arrival, parallel_overlap, timeline_activity};
+use crate::pipeline::VisRun;
+
+/// One legend row in the report.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ReportLegendRow {
+    /// Category name.
+    pub name: String,
+    /// Colour hex.
+    pub color: String,
+    /// Instance count.
+    pub count: u64,
+    /// Inclusive seconds.
+    pub inclusive: f64,
+    /// Exclusive seconds.
+    pub exclusive: f64,
+}
+
+/// Per-timeline activity in the report.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ReportTimeline {
+    /// Rank.
+    pub rank: u32,
+    /// Display name.
+    pub name: String,
+    /// Seconds in the Compute state.
+    pub compute_span: f64,
+    /// Seconds blocked (PI_Read / PI_Select).
+    pub blocked: f64,
+    /// Computing seconds (compute minus blocked).
+    pub busy: f64,
+}
+
+/// The full report for one visualized run.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RunReport {
+    /// Whether the run was clean.
+    pub clean: bool,
+    /// Global time range of the log.
+    pub range: (f64, f64),
+    /// Total drawables.
+    pub drawables: usize,
+    /// Conversion warnings (stringified).
+    pub warnings: Vec<String>,
+    /// Legend rows.
+    pub legend: Vec<ReportLegendRow>,
+    /// Per-timeline activity.
+    pub timelines: Vec<ReportTimeline>,
+    /// Overlap fraction across the worker timelines (ranks ≥ 1).
+    pub worker_overlap: f64,
+    /// Per-worker idle time before the first message arrival.
+    pub idle_until_first_arrival: Vec<(u32, f64)>,
+    /// Wrap-up seconds, if measured.
+    pub wrapup_seconds: Option<f64>,
+}
+
+/// Build a report from a visualized run. `None` if the run produced no
+/// log.
+pub fn run_report(run: &VisRun) -> Option<RunReport> {
+    let slog = run.slog.as_ref()?;
+    let legend = jumpshot::Legend::for_file(slog);
+    let legend_rows = legend
+        .rows()
+        .iter()
+        .map(|r| ReportLegendRow {
+            name: r.name.clone(),
+            color: r.color.clone(),
+            count: r.count,
+            inclusive: r.inclusive,
+            exclusive: r.exclusive,
+        })
+        .collect();
+    let timelines: Vec<ReportTimeline> = slog
+        .timelines
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let act = timeline_activity(slog, i as u32);
+            ReportTimeline {
+                rank: i as u32,
+                name: name.clone(),
+                compute_span: act.compute_span,
+                blocked: act.blocked,
+                busy: act.busy,
+            }
+        })
+        .collect();
+    let workers: Vec<u32> = (1..slog.timelines.len() as u32).collect();
+    RunReport {
+        clean: run.is_clean(),
+        range: slog.range,
+        drawables: slog.total_drawables(),
+        warnings: run.warnings.iter().map(|w| w.to_string()).collect(),
+        legend: legend_rows,
+        worker_overlap: parallel_overlap(slog, &workers, None),
+        idle_until_first_arrival: idle_until_first_arrival(slog).into_iter().collect(),
+        timelines,
+        wrapup_seconds: run.outcome.artifacts.wrapup_seconds,
+    }
+    .into()
+}
+
+impl RunReport {
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{visualize, VisOptions};
+    use pilot::{PilotConfig, RSlot, Services, WSlot, PI_MAIN};
+
+    #[test]
+    fn report_roundtrips_as_json() {
+        let cfg = PilotConfig::new(2).with_services(Services::parse("j").unwrap());
+        let run = visualize(cfg, VisOptions::default(), |pi| {
+            let w = pi.create_process(0)?;
+            let c = pi.create_channel(PI_MAIN, w)?;
+            pi.assign_work(w, move |pi, _| {
+                let mut x = 0i64;
+                pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                0
+            })?;
+            pi.start_all()?;
+            pi.write(c, "%d", &[WSlot::Int(1)])?;
+            pi.stop_main(0)
+        });
+        let report = run_report(&run).expect("report");
+        assert!(report.clean);
+        assert!(report.drawables > 0);
+        assert!(report.legend.iter().any(|r| r.name == "PI_Write" && r.count == 1));
+        let json = report.to_json();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        // Float text round-trips can differ in the last ULP; compare the
+        // canonical re-serialization instead of bitwise equality.
+        assert_eq!(back.to_json(), serde_json::from_str::<RunReport>(&back.to_json()).unwrap().to_json());
+        assert_eq!(back.clean, report.clean);
+        assert_eq!(back.drawables, report.drawables);
+        assert_eq!(back.legend.len(), report.legend.len());
+    }
+
+    #[test]
+    fn no_log_no_report() {
+        let run = visualize(PilotConfig::new(1), VisOptions::default(), |pi| {
+            pi.start_all()?;
+            pi.stop_main(0)
+        });
+        assert!(run_report(&run).is_none());
+    }
+}

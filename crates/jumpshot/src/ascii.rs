@@ -1,0 +1,278 @@
+//! Plain-text timeline rendering.
+//!
+//! The course this tool serves is taught over SSH as often as not; a
+//! text view of the same timelines makes the visual log usable in a
+//! terminal, a CI log, or a unit-test assertion. One row per timeline;
+//! each column is a time bucket showing the dominant state's letter
+//! (from the legend name), `*` for solo events, with message arrows
+//! listed below the chart.
+//!
+//! ```text
+//! PI_MAIN |CCCCWWRRCC......|
+//! P1      |CC..RRRRWWCC....|
+//! arrows: 0->1 @0.000113s, 1->0 @0.000151s
+//! ```
+
+use std::fmt::Write as _;
+
+use slog2::{Drawable, Slog2File};
+
+use crate::viewport::Viewport;
+
+/// Options for the text view.
+#[derive(Debug, Clone)]
+pub struct AsciiOptions {
+    /// Chart width in characters.
+    pub width: usize,
+    /// Include the arrow list below the chart.
+    pub show_arrows: bool,
+    /// Cap on the arrow list (0 = unlimited).
+    pub max_arrows: usize,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions {
+            width: 72,
+            show_arrows: true,
+            max_arrows: 20,
+        }
+    }
+}
+
+/// Render the window `[t0, t1]` as text.
+pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> String {
+    let width = opts.width.max(8);
+    let vp = Viewport::new(t0, t1.max(t0 + f64::MIN_POSITIVE), width as u32);
+    let ntl = file.timelines.len();
+    let label_w = file
+        .timelines
+        .iter()
+        .map(String::len)
+        .max()
+        .unwrap_or(2)
+        .min(16);
+
+    // cells[tl][col] = (best coverage, letter)
+    let mut cells = vec![vec![(0.0f64, ' '); width]; ntl];
+    let mut arrows: Vec<(f64, u32, u32)> = Vec::new();
+
+    for d in file.tree.query(t0, t1) {
+        match d {
+            Drawable::State(s) => {
+                if s.timeline as usize >= ntl {
+                    continue;
+                }
+                let letter = file
+                    .categories
+                    .get(s.category as usize)
+                    .and_then(|c| {
+                        // Use the distinguishing letter of the Pilot name:
+                        // "PI_Read" -> 'R', "Compute" -> 'C'.
+                        c.name
+                            .strip_prefix("PI_")
+                            .unwrap_or(&c.name)
+                            .chars()
+                            .next()
+                    })
+                    .unwrap_or('?');
+                let c0 = vp.x_of(s.start.max(t0)).floor().max(0.0) as usize;
+                let c1 = (vp.x_of(s.end.min(t1)).ceil() as usize).min(width);
+                for col in c0..c1.max(c0 + 1).min(width) {
+                    // Dominant = innermost (higher nest wins ties via
+                    // coverage-per-cell comparison with small bias).
+                    let cov = (s.end - s.start) / (1.0 + s.nest_level as f64 * 0.0) + s.nest_level as f64 * 1e9;
+                    let cell = &mut cells[s.timeline as usize][col];
+                    if cov >= cell.0 {
+                        *cell = (cov, letter);
+                    }
+                }
+            }
+            Drawable::Event(e) => {
+                if e.timeline as usize >= ntl {
+                    continue;
+                }
+                let col = vp.x_of(e.time).floor().max(0.0) as usize;
+                if col < width {
+                    cells[e.timeline as usize][col] = (f64::INFINITY, '*');
+                }
+            }
+            Drawable::Arrow(a) => arrows.push((a.start, a.from_timeline, a.to_timeline)),
+        }
+    }
+
+    let mut out = String::new();
+    for (tl, name) in file.timelines.iter().enumerate() {
+        let short: String = name.chars().take(label_w).collect();
+        let _ = write!(out, "{short:<label_w$} |");
+        for &(_, ch) in &cells[tl] {
+            out.push(if ch == ' ' { '.' } else { ch });
+        }
+        out.push_str("|\n");
+    }
+    if opts.show_arrows && !arrows.is_empty() {
+        arrows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let shown = if opts.max_arrows > 0 {
+            arrows.len().min(opts.max_arrows)
+        } else {
+            arrows.len()
+        };
+        let list: Vec<String> = arrows[..shown]
+            .iter()
+            .map(|(t, from, to)| format!("{from}->{to} @{t:.6}s"))
+            .collect();
+        let _ = write!(out, "arrows: {}", list.join(", "));
+        if shown < arrows.len() {
+            let _ = write!(out, " (+{} more)", arrows.len() - shown);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpelog::Color;
+    use slog2::{ArrowDrawable, Category, CategoryKind, EventDrawable, FrameTree, StateDrawable};
+
+    fn file() -> Slog2File {
+        let categories = vec![
+            Category {
+                index: 0,
+                name: "Compute".into(),
+                color: Color::GRAY,
+                kind: CategoryKind::State,
+            },
+            Category {
+                index: 1,
+                name: "PI_Read".into(),
+                color: Color::RED,
+                kind: CategoryKind::State,
+            },
+            Category {
+                index: 2,
+                name: "msg arrival".into(),
+                color: Color::YELLOW,
+                kind: CategoryKind::Event,
+            },
+            Category {
+                index: 3,
+                name: "message".into(),
+                color: Color::WHITE,
+                kind: CategoryKind::Arrow,
+            },
+        ];
+        let ds = vec![
+            Drawable::State(StateDrawable {
+                category: 0,
+                timeline: 0,
+                start: 0.0,
+                end: 8.0,
+                nest_level: 0,
+                text: String::new(),
+            }),
+            Drawable::State(StateDrawable {
+                category: 1,
+                timeline: 1,
+                start: 2.0,
+                end: 6.0,
+                nest_level: 0,
+                text: String::new(),
+            }),
+            Drawable::Event(EventDrawable {
+                category: 2,
+                timeline: 1,
+                time: 5.0,
+                text: String::new(),
+            }),
+            Drawable::Arrow(ArrowDrawable {
+                category: 3,
+                from_timeline: 0,
+                to_timeline: 1,
+                start: 4.0,
+                end: 5.0,
+                tag: 7,
+                size: 8,
+            }),
+        ];
+        Slog2File {
+            timelines: vec!["PI_MAIN".into(), "P1".into()],
+            categories,
+            range: (0.0, 8.0),
+            warnings: vec![],
+            tree: FrameTree::build(ds, 0.0, 8.0, 8, 4),
+        }
+    }
+
+    #[test]
+    fn ascii_shows_states_events_and_arrows() {
+        let txt = render_ascii(
+            &file(),
+            0.0,
+            8.0,
+            &AsciiOptions {
+                width: 16,
+                ..Default::default()
+            },
+        );
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines[0].starts_with("PI_MAIN"));
+        assert!(lines[0].contains('C'), "{txt}");
+        assert!(lines[1].starts_with("P1"));
+        assert!(lines[1].contains('R'), "{txt}");
+        assert!(lines[1].contains('*'), "{txt}");
+        assert!(lines[2].contains("0->1 @4.000000s"), "{txt}");
+    }
+
+    #[test]
+    fn read_letter_strips_pi_prefix() {
+        let txt = render_ascii(&file(), 0.0, 8.0, &AsciiOptions::default());
+        assert!(txt.contains('R'));
+        assert!(!txt.contains('P') || txt.contains("PI_MAIN")); // only in labels
+    }
+
+    #[test]
+    fn window_clips() {
+        // Window after all activity: empty rows, no arrows.
+        let txt = render_ascii(&file(), 9.0, 10.0, &AsciiOptions::default());
+        assert!(!txt.contains('C'));
+        assert!(!txt.contains("arrows:"));
+    }
+
+    #[test]
+    fn arrow_list_is_capped() {
+        let mut f = file();
+        let mut ds: Vec<Drawable> = Vec::new();
+        for i in 0..30 {
+            ds.push(Drawable::Arrow(ArrowDrawable {
+                category: 3,
+                from_timeline: 0,
+                to_timeline: 1,
+                start: i as f64 * 0.1,
+                end: i as f64 * 0.1 + 0.05,
+                tag: 0,
+                size: 0,
+            }));
+        }
+        f.tree = FrameTree::build(ds, 0.0, 8.0, 8, 4);
+        let txt = render_ascii(
+            &f,
+            0.0,
+            8.0,
+            &AsciiOptions {
+                max_arrows: 5,
+                ..Default::default()
+            },
+        );
+        assert!(txt.contains("(+25 more)"), "{txt}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = file();
+        let a = render_ascii(&f, 0.0, 8.0, &AsciiOptions::default());
+        let b = render_ascii(&f, 0.0, 8.0, &AsciiOptions::default());
+        assert_eq!(a, b);
+    }
+}

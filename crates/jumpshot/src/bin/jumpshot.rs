@@ -1,0 +1,169 @@
+//! `jumpshot` — the standalone viewer CLI over SLOG2 files.
+//!
+//! ```text
+//! jumpshot <log.pslog2> render  [-o out.svg] [--window T0 T1] [--width W]
+//! jumpshot <log.pslog2> html    [-o out.html]
+//! jumpshot <log.pslog2> ascii   [--window T0 T1] [--width W]
+//! jumpshot <log.pslog2> legend  [--sort index|name|count|incl|excl]
+//! jumpshot <log.pslog2> hist    [-o out.svg] [--window T0 T1]
+//! jumpshot <log.pslog2> search  <substring> [--from T]
+//! jumpshot <log.pslog2> info
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jumpshot::{LegendSort, RenderOptions, SearchQuery, Viewport};
+use slog2::Slog2File;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("jumpshot: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return fail("usage: jumpshot <log.pslog2> <render|html|ascii|legend|hist|search|info> [options]");
+    }
+    let path = PathBuf::from(&args[0]);
+    let cmd = args[1].as_str();
+    let rest = &args[2..];
+
+    let file = match Slog2File::read_from(&path) {
+        Ok(Ok(f)) => f,
+        Ok(Err(e)) => return fail(&format!("{} is not a valid SLOG2 file: {e}", path.display())),
+        Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+    };
+
+    let flag_val = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(String::as_str)
+    };
+    let window = || -> (f64, f64) {
+        match rest.iter().position(|a| a == "--window") {
+            Some(i) => {
+                let t0 = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(file.range.0);
+                let t1 = rest.get(i + 2).and_then(|v| v.parse().ok()).unwrap_or(file.range.1);
+                (t0, t1)
+            }
+            None => file.range,
+        }
+    };
+    let out_path = |default: &str| -> PathBuf {
+        flag_val("-o")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| path.with_extension(default))
+    };
+
+    match cmd {
+        "render" => {
+            let (t0, t1) = window();
+            let width: u32 = flag_val("--width").and_then(|v| v.parse().ok()).unwrap_or(1280);
+            let vp = Viewport::new(t0, t1, width).clamp_to(file.range.0, file.range.1);
+            let svg = jumpshot::render_svg(&file, &vp, &RenderOptions::default());
+            let out = out_path("svg");
+            if let Err(e) = std::fs::write(&out, svg) {
+                return fail(&format!("cannot write {}: {e}", out.display()));
+            }
+            println!("wrote {}", out.display());
+        }
+        "html" => {
+            let html = jumpshot::render_html(&file, &RenderOptions::default());
+            let out = out_path("html");
+            if let Err(e) = std::fs::write(&out, html) {
+                return fail(&format!("cannot write {}: {e}", out.display()));
+            }
+            println!("wrote {} (open in a browser; drag to scroll, wheel to zoom)", out.display());
+        }
+        "ascii" => {
+            let (t0, t1) = window();
+            let width: usize = flag_val("--width").and_then(|v| v.parse().ok()).unwrap_or(100);
+            print!(
+                "{}",
+                jumpshot::render_ascii(
+                    &file,
+                    t0,
+                    t1,
+                    &jumpshot::AsciiOptions {
+                        width,
+                        ..Default::default()
+                    }
+                )
+            );
+        }
+        "legend" => {
+            let sort = match flag_val("--sort").unwrap_or("index") {
+                "name" => LegendSort::Name,
+                "count" => LegendSort::Count,
+                "incl" => LegendSort::Inclusive,
+                "excl" => LegendSort::Exclusive,
+                _ => LegendSort::Index,
+            };
+            let legend = jumpshot::Legend::for_file(&file);
+            print!("{}", jumpshot::render_legend_text(&legend, sort));
+        }
+        "hist" => {
+            let (t0, t1) = window();
+            let svg = jumpshot::render_histogram_svg(&file, t0, t1, 1000);
+            let out = out_path("hist.svg");
+            if let Err(e) = std::fs::write(&out, svg) {
+                return fail(&format!("cannot write {}: {e}", out.display()));
+            }
+            println!("wrote {}", out.display());
+        }
+        "search" => {
+            let needle = match rest.iter().find(|a| !a.starts_with("--")) {
+                Some(n) => n.clone(),
+                None => return fail("search needs a substring"),
+            };
+            let from: f64 = flag_val("--from").and_then(|v| v.parse().ok()).unwrap_or(f64::NEG_INFINITY);
+            let q = SearchQuery {
+                text_contains: Some(needle.clone()),
+                ..Default::default()
+            };
+            match jumpshot::find_next(&file, from, &q) {
+                Some(d) => println!("found at t={:.9}s: {d:?}", d.start()),
+                None => {
+                    println!("no match for '{needle}' after t={from}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        "info" => {
+            println!("file      : {}", path.display());
+            println!("timelines : {} ({})", file.timelines.len(), file.timelines.join(", "));
+            println!("categories: {}", file.categories.len());
+            println!("drawables : {}", file.total_drawables());
+            println!("range     : [{:.6}s, {:.6}s]", file.range.0, file.range.1);
+            println!(
+                "tree      : {} nodes, depth {}, frame capacity {}",
+                file.tree.node_count(),
+                file.tree.depth(),
+                file.tree.capacity
+            );
+            if file.warnings.is_empty() {
+                println!("warnings  : none");
+            } else {
+                println!("warnings  : {}", file.warnings.len());
+                for w in &file.warnings {
+                    println!("  {w}");
+                }
+            }
+            let defects = slog2::validate(&file);
+            if defects.is_empty() {
+                println!("integrity : sound");
+            } else {
+                println!("integrity : {} defect(s) — defective SLOG-2 file", defects.len());
+                for d in &defects {
+                    println!("  {d}");
+                }
+                return ExitCode::from(1);
+            }
+        }
+        other => return fail(&format!("unknown command '{other}'")),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,255 @@
+//! The duration-statistics view.
+//!
+//! Jumpshot "can also draw a picture from user-selected duration which
+//! allows for ease of data analysis on the statistics of a logfile. For
+//! example, it enables easy detection of load imbalance across
+//! processes among timelines." This module reproduces that histogram
+//! window: for a selected `[t0, t1]`, per-timeline stacked bars of each
+//! category's clipped state coverage, rendered to SVG and available as
+//! data for tests and analyses.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use slog2::{Drawable, Slog2File};
+
+/// One timeline's per-category coverage within the selected duration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimelineHistogram {
+    /// `category index -> clipped seconds` (states only).
+    pub coverage: BTreeMap<u32, f64>,
+}
+
+impl TimelineHistogram {
+    /// Total covered seconds on this timeline.
+    pub fn total(&self) -> f64 {
+        self.coverage.values().sum()
+    }
+}
+
+/// Compute the per-timeline, per-category state coverage clipped to
+/// `[t0, t1]`.
+pub fn duration_stats(file: &Slog2File, t0: f64, t1: f64) -> BTreeMap<u32, TimelineHistogram> {
+    let mut out: BTreeMap<u32, TimelineHistogram> = BTreeMap::new();
+    for tl in 0..file.timelines.len() as u32 {
+        out.insert(tl, TimelineHistogram::default());
+    }
+    for d in file.tree.query(t0, t1) {
+        if let Drawable::State(s) = d {
+            let clipped = (s.end.min(t1) - s.start.max(t0)).max(0.0);
+            if clipped > 0.0 {
+                *out.entry(s.timeline)
+                    .or_default()
+                    .coverage
+                    .entry(s.category)
+                    .or_insert(0.0) += clipped;
+            }
+        }
+    }
+    out
+}
+
+/// The load-imbalance indicator the paper mentions: the ratio between
+/// the busiest and the least-busy timeline's coverage of `category`
+/// within the window (1.0 = perfectly balanced; `f64::INFINITY` when a
+/// timeline has none). Timelines listed in `among` only.
+pub fn load_imbalance(
+    file: &Slog2File,
+    category: u32,
+    among: &[u32],
+    t0: f64,
+    t1: f64,
+) -> f64 {
+    let stats = duration_stats(file, t0, t1);
+    let loads: Vec<f64> = among
+        .iter()
+        .map(|tl| {
+            stats
+                .get(tl)
+                .and_then(|h| h.coverage.get(&category))
+                .copied()
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let max = loads.iter().cloned().fold(0.0f64, f64::max);
+    let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+    if min <= 0.0 {
+        if max <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        max / min
+    }
+}
+
+/// Render the histogram window as an SVG: one horizontal stacked bar
+/// per timeline, category colours from the legend, with totals.
+pub fn render_histogram_svg(file: &Slog2File, t0: f64, t1: f64, width_px: u32) -> String {
+    let stats = duration_stats(file, t0, t1);
+    let row_h = 24.0;
+    let gutter = 90.0;
+    let bar_w = width_px as f64 - gutter - 80.0;
+    let height = stats.len() as f64 * row_h + 30.0;
+    let max_total = stats
+        .values()
+        .map(TimelineHistogram::total)
+        .fold(1e-12, f64::max);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{height}\" \
+         viewBox=\"0 0 {w} {height}\" font-family=\"monospace\" font-size=\"11\">\n\
+         <rect x=\"0\" y=\"0\" width=\"{w}\" height=\"{height}\" fill=\"#101018\"/>\n\
+         <text x=\"4\" y=\"14\" fill=\"#ddd\">Duration statistics [{t0:.6}s, {t1:.6}s]</text>\n",
+        w = width_px
+    );
+    for (i, (tl, hist)) in stats.iter().enumerate() {
+        let y = 22.0 + i as f64 * row_h;
+        let name = file
+            .timelines
+            .get(*tl as usize)
+            .map(String::as_str)
+            .unwrap_or("?");
+        let _ = write!(
+            svg,
+            "<text x=\"4\" y=\"{ty}\" fill=\"#ddd\">{name}</text>\n",
+            ty = y + row_h / 2.0 + 4.0
+        );
+        let mut x = gutter;
+        for (cat, secs) in &hist.coverage {
+            let wpx = secs / max_total * bar_w;
+            let color = file
+                .categories
+                .get(*cat as usize)
+                .map(|c| c.color.to_hex())
+                .unwrap_or_else(|| "#888888".into());
+            let cname = file
+                .categories
+                .get(*cat as usize)
+                .map(|c| c.name.as_str())
+                .unwrap_or("?");
+            let _ = write!(
+                svg,
+                "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{wpx:.2}\" height=\"{h:.2}\" \
+                 fill=\"{color}\" class=\"histbar\"><title>{cname}: {secs:.6}s</title></rect>\n",
+                h = row_h - 6.0
+            );
+            x += wpx;
+        }
+        let _ = write!(
+            svg,
+            "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#aaa\">{total:.4}s</text>\n",
+            tx = x + 6.0,
+            ty = y + row_h / 2.0 + 4.0,
+            total = hist.total()
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpelog::Color;
+    use slog2::{Category, CategoryKind, FrameTree, StateDrawable};
+
+    fn file() -> Slog2File {
+        let categories = vec![
+            Category {
+                index: 0,
+                name: "Compute".into(),
+                color: Color::GRAY,
+                kind: CategoryKind::State,
+            },
+            Category {
+                index: 1,
+                name: "PI_Read".into(),
+                color: Color::RED,
+                kind: CategoryKind::State,
+            },
+        ];
+        let ds = vec![
+            Drawable::State(StateDrawable {
+                category: 0,
+                timeline: 0,
+                start: 0.0,
+                end: 10.0,
+                nest_level: 0,
+                text: String::new(),
+            }),
+            Drawable::State(StateDrawable {
+                category: 0,
+                timeline: 1,
+                start: 0.0,
+                end: 4.0,
+                nest_level: 0,
+                text: String::new(),
+            }),
+            Drawable::State(StateDrawable {
+                category: 1,
+                timeline: 1,
+                start: 4.0,
+                end: 6.0,
+                nest_level: 0,
+                text: String::new(),
+            }),
+        ];
+        Slog2File {
+            timelines: vec!["PI_MAIN".into(), "P1".into()],
+            categories,
+            range: (0.0, 10.0),
+            warnings: vec![],
+            tree: FrameTree::build(ds, 0.0, 10.0, 8, 8),
+        }
+    }
+
+    #[test]
+    fn duration_stats_clip_to_window() {
+        let stats = duration_stats(&file(), 2.0, 5.0);
+        // Timeline 0: Compute clipped to [2,5] = 3s.
+        assert!((stats[&0].coverage[&0] - 3.0).abs() < 1e-12);
+        // Timeline 1: Compute [2,4] = 2s, Read [4,5] = 1s.
+        assert!((stats[&1].coverage[&0] - 2.0).abs() < 1e-12);
+        assert!((stats[&1].coverage[&1] - 1.0).abs() < 1e-12);
+        assert!((stats[&1].total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_window_matches_raw_durations() {
+        let stats = duration_stats(&file(), 0.0, 10.0);
+        assert!((stats[&0].coverage[&0] - 10.0).abs() < 1e-12);
+        assert!((stats[&1].coverage[&0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_detects_uneven_compute() {
+        let f = file();
+        // Compute: 10s on timeline 0 vs 4s on timeline 1 -> 2.5x.
+        let imb = load_imbalance(&f, 0, &[0, 1], 0.0, 10.0);
+        assert!((imb - 2.5).abs() < 1e-12);
+        // Reads: only timeline 1 has any -> infinite imbalance vs 0.
+        assert!(load_imbalance(&f, 1, &[0, 1], 0.0, 10.0).is_infinite());
+        // Nobody has category 99 -> balanced by convention.
+        assert_eq!(load_imbalance(&f, 99, &[0, 1], 0.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_svg_contains_bars_and_labels() {
+        let svg = render_histogram_svg(&file(), 0.0, 10.0, 800);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("class=\"histbar\""));
+        assert!(svg.contains("PI_MAIN"));
+        assert!(svg.contains("Compute: 10.000000s"));
+        assert!(svg.contains("#808080"));
+    }
+
+    #[test]
+    fn empty_window_renders_without_bars() {
+        let svg = render_histogram_svg(&file(), 20.0, 30.0, 800);
+        assert!(!svg.contains("class=\"histbar\""));
+    }
+}

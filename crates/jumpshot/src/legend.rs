@@ -1,0 +1,261 @@
+//! The legend table.
+//!
+//! Jumpshot's legend lists every category with its coloured icon, name,
+//! and sortable statistics: instance count, inclusive duration, and
+//! exclusive duration. It also carries per-category visibility and
+//! searchability toggles, which feed [`crate::render::RenderOptions`]
+//! and [`crate::search`].
+
+use std::collections::HashSet;
+
+use slog2::{legend_stats, CategoryKind, Slog2File};
+
+/// Sort orders for the legend table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegendSort {
+    /// By category index (definition order).
+    Index,
+    /// By display name.
+    Name,
+    /// By instance count, descending.
+    Count,
+    /// By inclusive duration, descending.
+    Inclusive,
+    /// By exclusive duration, descending.
+    Exclusive,
+}
+
+/// One row of the legend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegendRow {
+    /// Category index.
+    pub index: u32,
+    /// Display name.
+    pub name: String,
+    /// Colour (hex).
+    pub color: String,
+    /// Object kind.
+    pub kind: CategoryKind,
+    /// Number of instances.
+    pub count: u64,
+    /// Inclusive duration (s).
+    pub inclusive: f64,
+    /// Exclusive duration (s).
+    pub exclusive: f64,
+    /// Drawn by the renderer?
+    pub visible: bool,
+    /// Considered by search-and-scan?
+    pub searchable: bool,
+}
+
+/// The legend: rows plus toggle state.
+#[derive(Debug, Clone)]
+pub struct Legend {
+    rows: Vec<LegendRow>,
+}
+
+impl Legend {
+    /// Build the legend for a file (all categories visible/searchable).
+    pub fn for_file(file: &Slog2File) -> Legend {
+        let stats = legend_stats(file);
+        let rows = file
+            .categories
+            .iter()
+            .map(|c| {
+                let s = stats.get(&c.index).copied().unwrap_or_default();
+                LegendRow {
+                    index: c.index,
+                    name: c.name.clone(),
+                    color: c.color.to_hex(),
+                    kind: c.kind,
+                    count: s.count,
+                    inclusive: s.inclusive,
+                    exclusive: s.exclusive,
+                    visible: true,
+                    searchable: true,
+                }
+            })
+            .collect();
+        Legend { rows }
+    }
+
+    /// The rows in the given sort order.
+    pub fn sorted(&self, sort: LegendSort) -> Vec<&LegendRow> {
+        let mut rows: Vec<&LegendRow> = self.rows.iter().collect();
+        match sort {
+            LegendSort::Index => rows.sort_by_key(|r| r.index),
+            LegendSort::Name => rows.sort_by(|a, b| a.name.cmp(&b.name)),
+            LegendSort::Count => rows.sort_by(|a, b| b.count.cmp(&a.count)),
+            LegendSort::Inclusive => {
+                rows.sort_by(|a, b| b.inclusive.partial_cmp(&a.inclusive).unwrap())
+            }
+            LegendSort::Exclusive => {
+                rows.sort_by(|a, b| b.exclusive.partial_cmp(&a.exclusive).unwrap())
+            }
+        }
+        rows
+    }
+
+    /// Toggle a category's visibility; returns the new value.
+    pub fn toggle_visible(&mut self, index: u32) -> Option<bool> {
+        let row = self.rows.iter_mut().find(|r| r.index == index)?;
+        row.visible = !row.visible;
+        Some(row.visible)
+    }
+
+    /// Toggle a category's searchability; returns the new value.
+    pub fn toggle_searchable(&mut self, index: u32) -> Option<bool> {
+        let row = self.rows.iter_mut().find(|r| r.index == index)?;
+        row.searchable = !row.searchable;
+        Some(row.searchable)
+    }
+
+    /// The set of currently visible category indices (for
+    /// `RenderOptions::visible_categories`).
+    pub fn visible_set(&self) -> HashSet<u32> {
+        self.rows
+            .iter()
+            .filter(|r| r.visible)
+            .map(|r| r.index)
+            .collect()
+    }
+
+    /// The set of currently searchable category indices.
+    pub fn searchable_set(&self) -> HashSet<u32> {
+        self.rows
+            .iter()
+            .filter(|r| r.searchable)
+            .map(|r| r.index)
+            .collect()
+    }
+
+    /// All rows (definition order).
+    pub fn rows(&self) -> &[LegendRow] {
+        &self.rows
+    }
+}
+
+/// Render the legend as a fixed-width text table, the way the `repro`
+/// harness prints it (sorted as requested).
+pub fn render_legend_text(legend: &Legend, sort: LegendSort) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4} {:<16} {:<8} {:>8} {:>12} {:>12}\n",
+        "idx", "name", "color", "count", "incl(s)", "excl(s)"
+    ));
+    for r in legend.sorted(sort) {
+        out.push_str(&format!(
+            "{:<4} {:<16} {:<8} {:>8} {:>12.6} {:>12.6}\n",
+            r.index, r.name, r.color, r.count, r.inclusive, r.exclusive
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpelog::Color;
+    use slog2::{Category, Drawable, FrameTree, StateDrawable};
+
+    fn file() -> Slog2File {
+        let categories = vec![
+            Category {
+                index: 0,
+                name: "Reduce".into(),
+                color: Color::DARK_RED,
+                kind: CategoryKind::State,
+            },
+            Category {
+                index: 1,
+                name: "Compute".into(),
+                color: Color::GRAY,
+                kind: CategoryKind::State,
+            },
+        ];
+        let ds = vec![
+            Drawable::State(StateDrawable {
+                category: 0,
+                timeline: 0,
+                start: 1.0,
+                end: 2.0,
+                nest_level: 1,
+                text: String::new(),
+            }),
+            Drawable::State(StateDrawable {
+                category: 1,
+                timeline: 0,
+                start: 0.0,
+                end: 10.0,
+                nest_level: 0,
+                text: String::new(),
+            }),
+            Drawable::State(StateDrawable {
+                category: 0,
+                timeline: 1,
+                start: 0.0,
+                end: 0.5,
+                nest_level: 0,
+                text: String::new(),
+            }),
+        ];
+        Slog2File {
+            timelines: vec!["PI_MAIN".into(), "P1".into()],
+            categories,
+            range: (0.0, 10.0),
+            warnings: vec![],
+            tree: FrameTree::build(ds, 0.0, 10.0, 16, 8),
+        }
+    }
+
+    #[test]
+    fn legend_rows_carry_stats() {
+        let legend = Legend::for_file(&file());
+        let rows = legend.rows();
+        assert_eq!(rows.len(), 2);
+        let reduce = &rows[0];
+        assert_eq!(reduce.name, "Reduce");
+        assert_eq!(reduce.count, 2);
+        assert!((reduce.inclusive - 1.5).abs() < 1e-12);
+        // Compute contains the 1s Reduce on timeline 0: excl = 10 - 1 = 9.
+        let compute = &rows[1];
+        assert!((compute.exclusive - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_orders() {
+        let legend = Legend::for_file(&file());
+        let by_count: Vec<_> = legend.sorted(LegendSort::Count).iter().map(|r| r.index).collect();
+        assert_eq!(by_count, vec![0, 1]); // Reduce count 2 > Compute 1
+        let by_incl: Vec<_> = legend
+            .sorted(LegendSort::Inclusive)
+            .iter()
+            .map(|r| r.index)
+            .collect();
+        assert_eq!(by_incl, vec![1, 0]); // Compute 10s > Reduce 1.5s
+        let by_name: Vec<_> = legend.sorted(LegendSort::Name).iter().map(|r| &r.name[..1]).collect();
+        assert_eq!(by_name, vec!["C", "R"]);
+    }
+
+    #[test]
+    fn toggles_update_sets() {
+        let mut legend = Legend::for_file(&file());
+        assert_eq!(legend.visible_set().len(), 2);
+        assert_eq!(legend.toggle_visible(0), Some(false));
+        assert!(!legend.visible_set().contains(&0));
+        assert_eq!(legend.toggle_visible(0), Some(true));
+        assert_eq!(legend.toggle_searchable(1), Some(false));
+        assert!(!legend.searchable_set().contains(&1));
+        assert_eq!(legend.toggle_visible(99), None);
+    }
+
+    #[test]
+    fn text_table_contains_all_rows() {
+        let legend = Legend::for_file(&file());
+        let txt = render_legend_text(&legend, LegendSort::Index);
+        assert!(txt.contains("Reduce"));
+        assert!(txt.contains("Compute"));
+        assert!(txt.contains("#8b0000"));
+        assert_eq!(txt.lines().count(), 3); // header + 2 rows
+    }
+}

@@ -1,0 +1,178 @@
+//! The popup info model — including a faithful reproduction of the
+//! Jumpshot display bug the paper documents.
+//!
+//! Section III.C of the paper: popup strings using printf-style
+//! substitutions came out garbled when the string *started* with a
+//! substitution — `"%d lines"` displayed as `"lines 42"`. The CLOG-2 and
+//! SLOG-2 files held the right bytes, so the reordering happens inside
+//! Jumpshot's renderer. The workaround the authors adopted was to start
+//! every info string with literal text (`"Lines: %d"`).
+//!
+//! We reproduce both halves: [`jumpshot_display`] exhibits the bug
+//! (substitution-first templates render literals before arguments), and
+//! Pilot's instrumentation only ever emits literal-prefix templates —
+//! with a unit test in the `pilot` crate pinning that convention.
+
+/// An argument for a popup template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InfoArg {
+    /// Integer argument (`%d`).
+    Int(i64),
+    /// Float argument (`%f`).
+    Float(f64),
+    /// String argument (`%s`).
+    Str(String),
+}
+
+impl std::fmt::Display for InfoArg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InfoArg::Int(v) => write!(f, "{v}"),
+            InfoArg::Float(v) => write!(f, "{v}"),
+            InfoArg::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Split a template into literal chunks and `%`-specifier slots.
+/// Recognized specifiers: `%d`, `%f`, `%s`; `%%` is a literal percent.
+fn tokenize(template: &str) -> (Vec<String>, usize) {
+    let mut literals = vec![String::new()];
+    let mut nslots = 0;
+    let mut chars = template.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            match chars.peek() {
+                Some('%') => {
+                    chars.next();
+                    literals.last_mut().unwrap().push('%');
+                }
+                Some('d') | Some('f') | Some('s') => {
+                    chars.next();
+                    nslots += 1;
+                    literals.push(String::new());
+                }
+                _ => literals.last_mut().unwrap().push('%'),
+            }
+        } else {
+            literals.last_mut().unwrap().push(c);
+        }
+    }
+    (literals, nslots)
+}
+
+/// Correct substitution: arguments interleave with literals in order.
+/// This is what the logfiles actually contain, and what a fixed viewer
+/// would display.
+pub fn correct_display(template: &str, args: &[InfoArg]) -> String {
+    let (literals, _) = tokenize(template);
+    let mut out = String::new();
+    for (i, lit) in literals.iter().enumerate() {
+        out.push_str(lit);
+        if i < literals.len() - 1 {
+            if let Some(a) = args.get(i) {
+                out.push_str(&a.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// What Jumpshot actually shows — reproducing the bug: if the template
+/// *begins* with a substitution, the literal text is emitted first and
+/// the arguments are appended after it ("%d lines" → "lines 42").
+/// Templates that begin with literal text display correctly, which is
+/// exactly why the paper's workaround ("Lines: %d") works.
+pub fn jumpshot_display(template: &str, args: &[InfoArg]) -> String {
+    let (literals, nslots) = tokenize(template);
+    let starts_with_substitution = literals
+        .first()
+        .map(|l| l.is_empty())
+        .unwrap_or(false)
+        && nslots > 0;
+    if !starts_with_substitution {
+        return correct_display(template, args);
+    }
+    // The bug: literals first (joined), then the arguments in order.
+    let mut out = literals.concat().trim().to_string();
+    for a in args.iter().take(nslots) {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&a.to_string());
+    }
+    out
+}
+
+/// Does this template follow the paper's workaround convention
+/// (starts with literal text, so it displays correctly)?
+pub fn is_workaround_safe(template: &str) -> bool {
+    let (literals, nslots) = tokenize(template);
+    nslots == 0 || literals.first().map(|l| !l.is_empty()).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_display_interleaves() {
+        assert_eq!(
+            correct_display("Lines: %d of %s", &[InfoArg::Int(42), InfoArg::Str("file.c".into())]),
+            "Lines: 42 of file.c"
+        );
+    }
+
+    #[test]
+    fn bug_reproduced_for_substitution_first_template() {
+        // The paper's example: "%d lines" displayed as "lines 42".
+        assert_eq!(
+            jumpshot_display("%d lines", &[InfoArg::Int(42)]),
+            "lines 42"
+        );
+    }
+
+    #[test]
+    fn workaround_template_displays_correctly() {
+        assert_eq!(
+            jumpshot_display("Lines: %d", &[InfoArg::Int(42)]),
+            "Lines: 42"
+        );
+    }
+
+    #[test]
+    fn percent_escape_is_literal() {
+        assert_eq!(correct_display("100%% done", &[]), "100% done");
+        assert!(is_workaround_safe("100%% done"));
+    }
+
+    #[test]
+    fn is_workaround_safe_classifies() {
+        assert!(is_workaround_safe("Lines: %d"));
+        assert!(is_workaround_safe("no substitutions"));
+        assert!(!is_workaround_safe("%d lines"));
+        assert!(!is_workaround_safe("%s"));
+    }
+
+    #[test]
+    fn missing_args_degrade_gracefully() {
+        assert_eq!(correct_display("a %d b %d", &[InfoArg::Int(1)]), "a 1 b ");
+    }
+
+    #[test]
+    fn float_and_multiple_args() {
+        assert_eq!(
+            jumpshot_display("%f then %d", &[InfoArg::Float(1.5), InfoArg::Int(2)]),
+            "then 1.5 2"
+        );
+        assert_eq!(
+            correct_display("%f then %d", &[InfoArg::Float(1.5), InfoArg::Int(2)]),
+            "1.5 then 2"
+        );
+    }
+
+    #[test]
+    fn lone_percent_is_kept() {
+        assert_eq!(correct_display("50% off", &[]), "50% off");
+    }
+}

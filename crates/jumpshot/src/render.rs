@@ -1,0 +1,535 @@
+//! SVG timeline rendering.
+//!
+//! Coordinates match Jumpshot's: the X axis is global time in seconds,
+//! the Y axis is process rank (0 = `PI_MAIN` at the top). Each drawable
+//! is rendered the way Jumpshot renders it:
+//!
+//! * a **state** wide enough on screen becomes a filled rectangle whose
+//!   height shrinks with nesting level (inner rectangles inside outer
+//!   ones); its popup text becomes an SVG `<title>` tooltip;
+//! * a state **too narrow to see** (below `min_state_px`) instead
+//!   contributes to its pixel bucket's *preview stripe* — an outlined
+//!   rectangle filled with horizontal colour bands whose heights are
+//!   proportional to each category's share of that interval, exactly the
+//!   zoomed-out representation the paper describes under Fig. 1;
+//! * a **solo event** becomes a small circle ("bubble");
+//! * a **message arrow** becomes a line from the sender's timeline to
+//!   the receiver's, with the envelope in its tooltip.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+
+use slog2::{Drawable, Slog2File};
+
+use crate::viewport::Viewport;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Height of one timeline row in pixels.
+    pub row_height: u32,
+    /// States narrower than this many pixels go into preview stripes.
+    pub min_state_px: f64,
+    /// Preview bucket width in pixels.
+    pub bucket_px: u32,
+    /// Draw message arrows?
+    pub show_arrows: bool,
+    /// Draw event bubbles?
+    pub show_events: bool,
+    /// If set, only these category indices are drawn (legend visibility
+    /// toggles).
+    pub visible_categories: Option<HashSet<u32>>,
+    /// Canvas background colour.
+    pub background: String,
+    /// Left gutter for timeline labels, pixels.
+    pub label_gutter: u32,
+    /// Bottom strip for the time axis, pixels.
+    pub axis_height: u32,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            row_height: 28,
+            min_state_px: 1.5,
+            bucket_px: 4,
+            show_arrows: true,
+            show_events: true,
+            visible_categories: None,
+            background: "#101018".to_string(),
+            label_gutter: 80,
+            axis_height: 26,
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+struct Layout {
+    gutter: f64,
+    row_h: f64,
+    axis_h: f64,
+    rows: usize,
+    canvas_w: f64,
+}
+
+impl Layout {
+    fn row_top(&self, timeline: u32) -> f64 {
+        timeline as f64 * self.row_h
+    }
+
+    fn row_mid(&self, timeline: u32) -> f64 {
+        self.row_top(timeline) + self.row_h / 2.0
+    }
+
+    fn total_height(&self) -> f64 {
+        self.rows as f64 * self.row_h + self.axis_h
+    }
+
+    fn total_width(&self) -> f64 {
+        self.gutter + self.canvas_w
+    }
+}
+
+/// Render the window `vp` of `file` to an SVG string.
+pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> String {
+    let lay = Layout {
+        gutter: opts.label_gutter as f64,
+        row_h: opts.row_height as f64,
+        axis_h: opts.axis_height as f64,
+        rows: file.timelines.len(),
+        canvas_w: vp.width_px as f64,
+    };
+
+    let visible = |cat: u32| -> bool {
+        opts.visible_categories
+            .as_ref()
+            .map_or(true, |set| set.contains(&cat))
+    };
+
+    let mut svg = String::with_capacity(16 * 1024);
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\" font-family=\"monospace\" font-size=\"11\">\n",
+        w = lay.total_width(),
+        h = lay.total_height()
+    );
+    let _ = write!(
+        svg,
+        "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"{}\"/>\n",
+        lay.total_width(),
+        lay.total_height(),
+        esc(&opts.background)
+    );
+
+    // Row separators and labels.
+    for (r, name) in file.timelines.iter().enumerate() {
+        let y = lay.row_top(r as u32);
+        let _ = write!(
+            svg,
+            "<line x1=\"{g}\" y1=\"{y}\" x2=\"{x2}\" y2=\"{y}\" stroke=\"#333\" stroke-width=\"0.5\"/>\n",
+            g = lay.gutter,
+            y = y,
+            x2 = lay.total_width()
+        );
+        let _ = write!(
+            svg,
+            "<text x=\"4\" y=\"{}\" fill=\"#ddd\" class=\"tl-label\">{}</text>\n",
+            lay.row_mid(r as u32) + 4.0,
+            esc(name)
+        );
+    }
+
+    // Partition drawables of the window.
+    let hits = file.tree.query(vp.t0, vp.t1);
+    let mut wide_states = Vec::new();
+    // (timeline, bucket) -> per-category clipped coverage
+    let mut buckets: BTreeMap<(u32, u32), BTreeMap<u32, f64>> = BTreeMap::new();
+    let mut events = Vec::new();
+    let mut arrows = Vec::new();
+
+    let bucket_w = opts.bucket_px.max(1) as f64;
+    for d in hits {
+        if !visible(d.category()) {
+            continue;
+        }
+        match d {
+            Drawable::State(s) => {
+                let px = vp.px_of_span(s.end - s.start);
+                if px >= opts.min_state_px {
+                    wide_states.push(s);
+                } else {
+                    let clipped0 = s.start.max(vp.t0);
+                    let clipped1 = s.end.min(vp.t1);
+                    let x = vp.x_of((clipped0 + clipped1) / 2.0);
+                    let b = (x / bucket_w).floor().max(0.0) as u32;
+                    *buckets
+                        .entry((s.timeline, b))
+                        .or_default()
+                        .entry(s.category)
+                        .or_insert(0.0) += clipped1 - clipped0;
+                }
+            }
+            Drawable::Event(e) => {
+                if opts.show_events {
+                    events.push(e);
+                }
+            }
+            Drawable::Arrow(a) => {
+                if opts.show_arrows {
+                    arrows.push(a);
+                }
+            }
+        }
+    }
+
+    // Deterministic output order.
+    wide_states.sort_by(|a, b| {
+        a.timeline
+            .cmp(&b.timeline)
+            .then(a.start.partial_cmp(&b.start).unwrap())
+            .then(a.nest_level.cmp(&b.nest_level))
+    });
+    events.sort_by(|a, b| {
+        a.timeline
+            .cmp(&b.timeline)
+            .then(a.time.partial_cmp(&b.time).unwrap())
+    });
+    arrows.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap()
+            .then(a.from_timeline.cmp(&b.from_timeline))
+            .then(a.to_timeline.cmp(&b.to_timeline))
+    });
+
+    // Preview stripes first (behind individual rectangles).
+    for ((timeline, b), cats) in &buckets {
+        let x = lay.gutter + *b as f64 * bucket_w;
+        let y = lay.row_top(*timeline) + 2.0;
+        let h = lay.row_h - 4.0;
+        let total: f64 = cats.values().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let _ = write!(
+            svg,
+            "<g class=\"preview\"><rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{bucket_w:.2}\" height=\"{h:.2}\" \
+             fill=\"none\" stroke=\"#888\" stroke-width=\"0.5\"/>\n"
+        );
+        let mut yoff = y;
+        for (cat, cov) in cats {
+            let share = cov / total;
+            let sh = share * h;
+            let color = file
+                .categories
+                .get(*cat as usize)
+                .map(|c| c.color.to_hex())
+                .unwrap_or_else(|| "#000000".into());
+            let _ = write!(
+                svg,
+                "<rect x=\"{x:.2}\" y=\"{yoff:.2}\" width=\"{bucket_w:.2}\" height=\"{sh:.2}\" fill=\"{color}\" class=\"stripe\"/>\n"
+            );
+            yoff += sh;
+        }
+        svg.push_str("</g>\n");
+    }
+
+    // Individual state rectangles.
+    for s in wide_states {
+        let x0 = lay.gutter + vp.x_of(s.start.max(vp.t0)).max(0.0);
+        let x1 = lay.gutter + vp.x_of(s.end.min(vp.t1)).min(lay.canvas_w);
+        let shrink = (s.nest_level as f64 * 4.0).min(lay.row_h / 2.0 - 2.0);
+        let y = lay.row_top(s.timeline) + 2.0 + shrink;
+        let h = (lay.row_h - 4.0 - 2.0 * shrink).max(2.0);
+        let color = file
+            .categories
+            .get(s.category as usize)
+            .map(|c| c.color.to_hex())
+            .unwrap_or_else(|| "#000000".into());
+        let name = file
+            .categories
+            .get(s.category as usize)
+            .map(|c| c.name.as_str())
+            .unwrap_or("?");
+        let tooltip = format!(
+            "{} [{:.6}s, {:.6}s] dur {:.6}s\n{}",
+            name,
+            s.start,
+            s.end,
+            s.end - s.start,
+            s.text
+        );
+        let _ = write!(
+            svg,
+            "<rect x=\"{x0:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{color}\" \
+             stroke=\"#000\" stroke-width=\"0.3\" class=\"state\"><title>{t}</title></rect>\n",
+            w = (x1 - x0).max(0.5),
+            t = esc(&tooltip)
+        );
+    }
+
+    // Arrows (drawn over states, like Jumpshot's white arrows).
+    for a in arrows {
+        let x0 = lay.gutter + vp.x_of(a.start);
+        let x1 = lay.gutter + vp.x_of(a.end);
+        let y0 = lay.row_mid(a.from_timeline);
+        let y1 = lay.row_mid(a.to_timeline);
+        let color = file
+            .categories
+            .get(a.category as usize)
+            .map(|c| c.color.to_hex())
+            .unwrap_or_else(|| "#ffffff".into());
+        let tooltip = format!(
+            "message {}->{} tag {} size {}B\nstart {:.6}s end {:.6}s dur {:.6}s",
+            a.from_timeline,
+            a.to_timeline,
+            a.tag,
+            a.size,
+            a.start,
+            a.end,
+            a.end - a.start
+        );
+        let _ = write!(
+            svg,
+            "<line x1=\"{x0:.2}\" y1=\"{y0:.2}\" x2=\"{x1:.2}\" y2=\"{y1:.2}\" stroke=\"{color}\" \
+             stroke-width=\"1\" class=\"arrow\"><title>{t}</title></line>\n",
+            t = esc(&tooltip)
+        );
+    }
+
+    // Event bubbles on top.
+    for e in events {
+        let x = lay.gutter + vp.x_of(e.time);
+        let y = lay.row_mid(e.timeline);
+        let color = file
+            .categories
+            .get(e.category as usize)
+            .map(|c| c.color.to_hex())
+            .unwrap_or_else(|| "#ffff00".into());
+        let name = file
+            .categories
+            .get(e.category as usize)
+            .map(|c| c.name.as_str())
+            .unwrap_or("?");
+        let tooltip = format!("{} @ {:.6}s\n{}", name, e.time, e.text);
+        let _ = write!(
+            svg,
+            "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"2.5\" fill=\"{color}\" class=\"bubble\"><title>{t}</title></circle>\n",
+            t = esc(&tooltip)
+        );
+    }
+
+    // Time axis.
+    let axis_y = lay.rows as f64 * lay.row_h;
+    let _ = write!(
+        svg,
+        "<line x1=\"{g}\" y1=\"{axis_y}\" x2=\"{x2}\" y2=\"{axis_y}\" stroke=\"#aaa\" stroke-width=\"1\"/>\n",
+        g = lay.gutter,
+        x2 = lay.total_width()
+    );
+    for i in 0..=8 {
+        let t = vp.t0 + vp.span() * i as f64 / 8.0;
+        let x = lay.gutter + vp.x_of(t);
+        let _ = write!(
+            svg,
+            "<line x1=\"{x:.2}\" y1=\"{axis_y}\" x2=\"{x:.2}\" y2=\"{y2}\" stroke=\"#aaa\" stroke-width=\"1\"/>\
+             <text x=\"{x:.2}\" y=\"{ty}\" fill=\"#ccc\" text-anchor=\"middle\" class=\"tick\">{t:.4}s</text>\n",
+            y2 = axis_y + 4.0,
+            ty = axis_y + 16.0
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpelog::Color;
+    use slog2::{Category, CategoryKind, FrameTree};
+    use slog2::{ArrowDrawable, EventDrawable, StateDrawable};
+
+    fn test_file(drawables: Vec<Drawable>) -> Slog2File {
+        let categories = vec![
+            Category {
+                index: 0,
+                name: "PI_Read".into(),
+                color: Color::RED,
+                kind: CategoryKind::State,
+            },
+            Category {
+                index: 1,
+                name: "arrival".into(),
+                color: Color::YELLOW,
+                kind: CategoryKind::Event,
+            },
+            Category {
+                index: 2,
+                name: "message".into(),
+                color: Color::WHITE,
+                kind: CategoryKind::Arrow,
+            },
+        ];
+        let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for d in &drawables {
+            t0 = t0.min(d.start());
+            t1 = t1.max(d.end());
+        }
+        if !t0.is_finite() {
+            t0 = 0.0;
+            t1 = 1.0;
+        }
+        Slog2File {
+            timelines: vec!["PI_MAIN".into(), "P1".into()],
+            categories,
+            range: (t0, t1),
+            warnings: vec![],
+            tree: FrameTree::build(drawables, t0, t1, 16, 8),
+        }
+    }
+
+    fn state(tl: u32, start: f64, end: f64) -> Drawable {
+        Drawable::State(StateDrawable {
+            category: 0,
+            timeline: tl,
+            start,
+            end,
+            nest_level: 0,
+            text: "Line: 42".into(),
+        })
+    }
+
+    #[test]
+    fn wide_state_renders_as_rect_with_tooltip() {
+        let f = test_file(vec![state(0, 0.0, 1.0)]);
+        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 800), &RenderOptions::default());
+        assert!(svg.contains("class=\"state\""));
+        assert!(svg.contains("#ff0000"));
+        assert!(svg.contains("Line: 42"));
+        assert!(svg.contains("PI_MAIN"));
+    }
+
+    #[test]
+    fn narrow_states_become_preview_stripes() {
+        // 1000 states of 1 µs each across 1 s: far below min_state_px at
+        // 800 px, so nothing should render individually.
+        let ds: Vec<_> = (0..1000)
+            .map(|i| state(0, i as f64 * 1e-3, i as f64 * 1e-3 + 1e-6))
+            .collect();
+        let f = test_file(ds);
+        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 800), &RenderOptions::default());
+        assert!(!svg.contains("class=\"state\""));
+        assert!(svg.contains("class=\"preview\""));
+        assert!(svg.contains("class=\"stripe\""));
+    }
+
+    #[test]
+    fn zooming_in_turns_stripes_into_rects() {
+        let ds: Vec<_> = (0..1000)
+            .map(|i| state(0, i as f64 * 1e-3, i as f64 * 1e-3 + 9e-4))
+            .collect();
+        let f = test_file(ds);
+        // Zoomed to 5 ms: each 0.9 ms state is ~144 px wide.
+        let svg = render_svg(&f, &Viewport::new(0.0, 0.005, 800), &RenderOptions::default());
+        assert!(svg.contains("class=\"state\""));
+    }
+
+    #[test]
+    fn events_render_as_bubbles() {
+        let f = test_file(vec![Drawable::Event(EventDrawable {
+            category: 1,
+            timeline: 1,
+            time: 0.5,
+            text: "Chan: C3".into(),
+        })]);
+        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        assert!(svg.contains("class=\"bubble\""));
+        assert!(svg.contains("Chan: C3"));
+        assert!(svg.contains("#ffff00"));
+    }
+
+    #[test]
+    fn arrows_connect_timelines() {
+        let f = test_file(vec![Drawable::Arrow(ArrowDrawable {
+            category: 2,
+            from_timeline: 0,
+            to_timeline: 1,
+            start: 0.2,
+            end: 0.4,
+            tag: 9,
+            size: 128,
+        })]);
+        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        assert!(svg.contains("class=\"arrow\""));
+        assert!(svg.contains("tag 9"));
+        assert!(svg.contains("size 128B"));
+    }
+
+    #[test]
+    fn visibility_toggle_hides_category() {
+        let f = test_file(vec![
+            state(0, 0.0, 1.0),
+            Drawable::Event(EventDrawable {
+                category: 1,
+                timeline: 0,
+                time: 0.5,
+                text: String::new(),
+            }),
+        ]);
+        let mut opts = RenderOptions::default();
+        opts.visible_categories = Some([1u32].into_iter().collect());
+        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &opts);
+        assert!(!svg.contains("class=\"state\""));
+        assert!(svg.contains("class=\"bubble\""));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let ds: Vec<_> = (0..100)
+            .map(|i| state(i % 2, i as f64 * 0.01, i as f64 * 0.01 + 0.008))
+            .collect();
+        let f = test_file(ds);
+        let vp = Viewport::new(0.0, 1.0, 640);
+        let a = render_svg(&f, &vp, &RenderOptions::default());
+        let b = render_svg(&f, &vp, &RenderOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn off_window_drawables_are_not_rendered() {
+        let f = test_file(vec![state(0, 0.0, 1.0), state(0, 5.0, 6.0)]);
+        let svg = render_svg(&f, &Viewport::new(4.5, 6.5, 400), &RenderOptions::default());
+        // Only the second state is in the window.
+        assert_eq!(svg.matches("class=\"state\"").count(), 1);
+    }
+
+    #[test]
+    fn xml_specials_are_escaped() {
+        let f = test_file(vec![Drawable::Event(EventDrawable {
+            category: 1,
+            timeline: 0,
+            time: 0.5,
+            text: "a<b & \"c\"".into(),
+        })]);
+        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn empty_file_renders_frame_only() {
+        let f = test_file(vec![]);
+        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(!svg.contains("class=\"state\""));
+    }
+}

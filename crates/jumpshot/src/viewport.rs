@@ -1,0 +1,174 @@
+//! The zoom/scroll model: a window onto the global time axis mapped to
+//! pixels, supporting the interactions the paper lists — zoom in/out
+//! around a point, dragged zoom to a sub-range, grasp-and-scroll.
+
+/// A time window rendered at a pixel width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    /// Window start (seconds).
+    pub t0: f64,
+    /// Window end (seconds).
+    pub t1: f64,
+    /// Canvas width in pixels available for the time axis.
+    pub width_px: u32,
+}
+
+impl Viewport {
+    /// A viewport covering `[t0, t1]` at `width_px` pixels.
+    pub fn new(t0: f64, t1: f64, width_px: u32) -> Self {
+        assert!(t1 >= t0, "viewport range must be ordered");
+        assert!(width_px > 0, "viewport must have positive width");
+        Viewport { t0, t1, width_px }
+    }
+
+    /// Window duration in seconds.
+    pub fn span(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Seconds per pixel.
+    pub fn resolution(&self) -> f64 {
+        if self.width_px == 0 {
+            0.0
+        } else {
+            self.span() / self.width_px as f64
+        }
+    }
+
+    /// Map a time to an x pixel coordinate (fractional).
+    pub fn x_of(&self, t: f64) -> f64 {
+        if self.span() <= 0.0 {
+            return 0.0;
+        }
+        (t - self.t0) / self.span() * self.width_px as f64
+    }
+
+    /// Map an x pixel coordinate back to a time.
+    pub fn t_of(&self, x: f64) -> f64 {
+        self.t0 + x / self.width_px as f64 * self.span()
+    }
+
+    /// Pixel width of a time interval.
+    pub fn px_of_span(&self, dt: f64) -> f64 {
+        if self.span() <= 0.0 {
+            return 0.0;
+        }
+        dt / self.span() * self.width_px as f64
+    }
+
+    /// Zoom by `factor` (> 1 zooms in) keeping `center` fixed.
+    pub fn zoom(&self, factor: f64, center: f64) -> Viewport {
+        assert!(factor > 0.0);
+        let new_span = self.span() / factor;
+        let frac = if self.span() > 0.0 {
+            (center - self.t0) / self.span()
+        } else {
+            0.5
+        };
+        let t0 = center - frac * new_span;
+        Viewport {
+            t0,
+            t1: t0 + new_span,
+            width_px: self.width_px,
+        }
+    }
+
+    /// Dragged zoom: jump to an explicit sub-range.
+    pub fn zoom_to(&self, t0: f64, t1: f64) -> Viewport {
+        Viewport::new(t0.min(t1), t0.max(t1).max(t0.min(t1) + f64::EPSILON), self.width_px)
+    }
+
+    /// Scroll by `dt` seconds (positive = later).
+    pub fn scroll(&self, dt: f64) -> Viewport {
+        Viewport {
+            t0: self.t0 + dt,
+            t1: self.t1 + dt,
+            width_px: self.width_px,
+        }
+    }
+
+    /// Clamp the window inside `[lo, hi]`, preserving the span where
+    /// possible (shrinks only if the span exceeds the full range).
+    pub fn clamp_to(&self, lo: f64, hi: f64) -> Viewport {
+        let span = self.span().min((hi - lo).max(0.0));
+        let mut t0 = self.t0;
+        if t0 < lo {
+            t0 = lo;
+        }
+        if t0 + span > hi {
+            t0 = hi - span;
+        }
+        Viewport {
+            t0,
+            t1: t0 + span,
+            width_px: self.width_px,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_mapping_roundtrips() {
+        let v = Viewport::new(2.0, 12.0, 1000);
+        assert_eq!(v.x_of(2.0), 0.0);
+        assert_eq!(v.x_of(12.0), 1000.0);
+        assert_eq!(v.x_of(7.0), 500.0);
+        assert!((v.t_of(v.x_of(9.3)) - 9.3).abs() < 1e-12);
+        assert_eq!(v.resolution(), 0.01);
+    }
+
+    #[test]
+    fn zoom_in_keeps_center_fixed() {
+        let v = Viewport::new(0.0, 10.0, 100);
+        let z = v.zoom(2.0, 4.0);
+        assert!((z.span() - 5.0).abs() < 1e-12);
+        // The center time maps to the same pixel before and after.
+        assert!((z.x_of(4.0) - v.x_of(4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zoom_out_expands() {
+        let v = Viewport::new(0.0, 10.0, 100);
+        let z = v.zoom(0.5, 5.0);
+        assert!((z.span() - 20.0).abs() < 1e-12);
+        assert!((z.t0 - (-5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zoom_to_normalizes_order() {
+        let v = Viewport::new(0.0, 10.0, 100);
+        let z = v.zoom_to(8.0, 3.0);
+        assert_eq!(z.t0, 3.0);
+        assert_eq!(z.t1, 8.0);
+    }
+
+    #[test]
+    fn scroll_shifts_window() {
+        let v = Viewport::new(0.0, 10.0, 100).scroll(2.5);
+        assert_eq!((v.t0, v.t1), (2.5, 12.5));
+    }
+
+    #[test]
+    fn clamp_keeps_span_when_possible() {
+        let v = Viewport::new(-5.0, 5.0, 100).clamp_to(0.0, 100.0);
+        assert_eq!((v.t0, v.t1), (0.0, 10.0));
+        let v = Viewport::new(95.0, 105.0, 100).clamp_to(0.0, 100.0);
+        assert_eq!((v.t0, v.t1), (90.0, 100.0));
+    }
+
+    #[test]
+    fn clamp_shrinks_oversized_window() {
+        let v = Viewport::new(-10.0, 200.0, 100).clamp_to(0.0, 50.0);
+        assert_eq!((v.t0, v.t1), (0.0, 50.0));
+    }
+
+    #[test]
+    fn degenerate_span_is_safe() {
+        let v = Viewport::new(5.0, 5.0, 100);
+        assert_eq!(v.x_of(5.0), 0.0);
+        assert_eq!(v.px_of_span(1.0), 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests: viewport arithmetic, popup substitution, and
+//! renderer robustness over random logs.
+
+use jumpshot::popup::{correct_display, is_workaround_safe, jumpshot_display, InfoArg};
+use jumpshot::{render_svg, RenderOptions, Viewport};
+use mpelog::Color;
+use proptest::prelude::*;
+use slog2::{Category, CategoryKind, Drawable, EventDrawable, FrameTree, Slog2File, StateDrawable};
+
+proptest! {
+    #[test]
+    fn viewport_time_pixel_roundtrip(
+        t0 in -1e3f64..1e3,
+        span in 1e-6f64..1e3,
+        width in 1u32..4000,
+        frac in 0f64..1.0,
+    ) {
+        let vp = Viewport::new(t0, t0 + span, width);
+        let t = t0 + span * frac;
+        let back = vp.t_of(vp.x_of(t));
+        prop_assert!((back - t).abs() < span * 1e-9 + 1e-12);
+    }
+
+    #[test]
+    fn zoom_preserves_center_pixel(
+        t0 in -100f64..100.0,
+        span in 1e-3f64..100.0,
+        factor in 0.1f64..10.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let vp = Viewport::new(t0, t0 + span, 1000);
+        let center = t0 + span * frac;
+        let z = vp.zoom(factor, center);
+        prop_assert!((z.span() - span / factor).abs() < 1e-9 * span);
+        prop_assert!((z.x_of(center) - vp.x_of(center)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zoom_in_then_out_is_identity(
+        t0 in -100f64..100.0,
+        span in 1e-3f64..100.0,
+        factor in 0.5f64..4.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let vp = Viewport::new(t0, t0 + span, 800);
+        let center = t0 + span * frac;
+        let back = vp.zoom(factor, center).zoom(1.0 / factor, center);
+        prop_assert!((back.t0 - vp.t0).abs() < 1e-9 * (1.0 + span));
+        prop_assert!((back.t1 - vp.t1).abs() < 1e-9 * (1.0 + span));
+    }
+
+    #[test]
+    fn clamp_stays_inside_bounds(
+        t0 in -200f64..200.0,
+        span in 1e-3f64..100.0,
+        lo in -100f64..0.0,
+        hi_extra in 1e-3f64..200.0,
+    ) {
+        let hi = lo + hi_extra;
+        let c = Viewport::new(t0, t0 + span, 100).clamp_to(lo, hi);
+        prop_assert!(c.t0 >= lo - 1e-9);
+        prop_assert!(c.t1 <= hi + 1e-9);
+        prop_assert!(c.span() <= span + 1e-9);
+    }
+
+    #[test]
+    fn literal_prefix_templates_always_display_correctly(
+        prefix in "[a-zA-Z][a-zA-Z ]{0,10}",
+        n in any::<i64>(),
+    ) {
+        let template = format!("{prefix}: %d");
+        prop_assert!(is_workaround_safe(&template));
+        let args = [InfoArg::Int(n)];
+        prop_assert_eq!(
+            jumpshot_display(&template, &args),
+            correct_display(&template, &args)
+        );
+    }
+
+    #[test]
+    fn substitution_first_templates_are_garbled(
+        suffix in "[a-z]{1,10}",
+        n in any::<i64>(),
+    ) {
+        let template = format!("%d {suffix}");
+        prop_assert!(!is_workaround_safe(&template));
+        let args = [InfoArg::Int(n)];
+        let buggy = jumpshot_display(&template, &args);
+        let right = correct_display(&template, &args);
+        prop_assert_ne!(&buggy, &right);
+        // The bug loses no information, just order.
+        prop_assert!(buggy.contains(&suffix));
+        prop_assert!(buggy.contains(&n.to_string()));
+    }
+}
+
+/// Minimal XML tag-balance check: every opened element is closed in
+/// LIFO order; `<x ... />` self-closes.
+fn xml_balanced(doc: &str) -> bool {
+    let mut stack: Vec<String> = Vec::new();
+    let bytes = doc.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        let close = bytes.get(i + 1) == Some(&b'/');
+        let name_start = if close { i + 2 } else { i + 1 };
+        let mut j = name_start;
+        while j < bytes.len() && (bytes[j] as char).is_ascii_alphanumeric() {
+            j += 1;
+        }
+        let name = doc[name_start..j].to_string();
+        // Find the end of this tag.
+        let mut k = j;
+        while k < bytes.len() && bytes[k] != b'>' {
+            k += 1;
+        }
+        if k >= bytes.len() {
+            return false;
+        }
+        let self_closing = bytes[k - 1] == b'/';
+        if close {
+            if stack.pop().as_deref() != Some(name.as_str()) {
+                return false;
+            }
+        } else if !self_closing {
+            stack.push(name);
+        }
+        i = k + 1;
+    }
+    stack.is_empty()
+}
+
+fn arb_file() -> impl Strategy<Value = Slog2File> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..2, 0u32..3, 0f64..10.0, 0f64..1.0).prop_map(|(cat, tl, s, d)| {
+                Drawable::State(StateDrawable {
+                    category: cat,
+                    timeline: tl,
+                    start: s,
+                    end: s + d,
+                    nest_level: 0,
+                    text: "Line: 1".into(),
+                })
+            }),
+            (0u32..3, 0f64..11.0).prop_map(|(tl, t)| {
+                Drawable::Event(EventDrawable {
+                    category: 2,
+                    timeline: tl,
+                    time: t,
+                    text: String::new(),
+                })
+            }),
+        ],
+        0..120,
+    )
+    .prop_map(|ds| {
+        let categories = vec![
+            Category {
+                index: 0,
+                name: "PI_Read".into(),
+                color: Color::RED,
+                kind: CategoryKind::State,
+            },
+            Category {
+                index: 1,
+                name: "PI_Write".into(),
+                color: Color::GREEN,
+                kind: CategoryKind::State,
+            },
+            Category {
+                index: 2,
+                name: "tick".into(),
+                color: Color::YELLOW,
+                kind: CategoryKind::Event,
+            },
+        ];
+        Slog2File {
+            timelines: vec!["PI_MAIN".into(), "P1".into(), "P2".into()],
+            categories,
+            range: (0.0, 11.0),
+            warnings: vec![],
+            tree: FrameTree::build(ds, 0.0, 11.0, 8, 10),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn renderer_output_is_well_formed_svg(
+        file in arb_file(),
+        w0 in 0f64..11.0,
+        span in 1e-3f64..11.0,
+        width in 50u32..2000,
+    ) {
+        let vp = Viewport::new(w0, w0 + span, width);
+        let svg = render_svg(&file, &vp, &RenderOptions::default());
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.ends_with("</svg>\n"));
+        prop_assert!(xml_balanced(&svg), "unbalanced tags");
+        // Determinism.
+        prop_assert_eq!(render_svg(&file, &vp, &RenderOptions::default()), svg);
+    }
+
+    #[test]
+    fn search_never_returns_out_of_window_matches(
+        file in arb_file(),
+        from in 0f64..11.0,
+    ) {
+        let q = jumpshot::SearchQuery::default();
+        if let Some(d) = jumpshot::find_next(&file, from, &q) {
+            prop_assert!(d.start() > from);
+        }
+        if let Some(d) = jumpshot::find_prev(&file, from, &q) {
+            prop_assert!(d.start() < from);
+        }
+    }
+}

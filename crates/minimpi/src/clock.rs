@@ -1,0 +1,229 @@
+//! Wallclock with configurable resolution and per-rank drift.
+//!
+//! `MPI_Wtime` returns wallclock seconds as a double. The paper's
+//! "Equal Drawables" problem arises because its *resolution is limited*:
+//! two events logged within one clock tick get identical timestamps and
+//! the SLOG-2 converter complains. On a cluster, each node's clock also
+//! *drifts*, which is why `MPE_Log_sync_clocks` exists.
+//!
+//! Since all our ranks are threads on one host, a naive clock would have
+//! neither artifact, and the paper's two clock experiments (E1, E2 in
+//! DESIGN.md) would be unreproducible. [`ClockConfig`] therefore lets a
+//! world *inject* both: quantize timestamps to a tick size, and give each
+//! rank an affine drift (offset + skew) relative to true host time.
+
+use std::time::Instant;
+
+/// Per-rank affine clock distortion: `observed = true * (1 + skew) + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// Constant offset in seconds added to this rank's clock readings.
+    pub offset_s: f64,
+    /// Relative frequency error (e.g. `1e-5` = 10 ppm fast).
+    pub skew: f64,
+}
+
+impl DriftSpec {
+    /// A perfectly honest clock.
+    pub const NONE: DriftSpec = DriftSpec {
+        offset_s: 0.0,
+        skew: 0.0,
+    };
+
+    /// Apply the distortion to a true time value (seconds).
+    #[inline]
+    pub fn distort(&self, true_s: f64) -> f64 {
+        true_s * (1.0 + self.skew) + self.offset_s
+    }
+
+    /// Invert the distortion given perfect knowledge (used by tests to
+    /// check the quality of the estimated correction).
+    #[inline]
+    pub fn undistort(&self, observed_s: f64) -> f64 {
+        (observed_s - self.offset_s) / (1.0 + self.skew)
+    }
+}
+
+/// World-level clock configuration.
+#[derive(Debug, Clone)]
+pub struct ClockConfig {
+    /// Quantization step in seconds. `0.0` means full host resolution.
+    /// Real `MPI_Wtime` implementations have granularities from ~1 ns up
+    /// to 1 µs or worse; the paper's Equal-Drawables reproduction uses a
+    /// coarse value here (e.g. `1e-3`).
+    pub resolution_s: f64,
+    /// Drift applied per rank; ranks beyond the vector get [`DriftSpec::NONE`].
+    pub drift: Vec<DriftSpec>,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig {
+            resolution_s: 0.0,
+            drift: Vec::new(),
+        }
+    }
+}
+
+impl ClockConfig {
+    /// Uniform drift for `n` ranks generated from a simple deterministic
+    /// pattern: rank `r` gets offset `base_offset * r` and skew
+    /// `base_skew * r`. Handy for tests and the clock-sync experiment.
+    pub fn with_linear_drift(n: usize, base_offset: f64, base_skew: f64) -> Self {
+        ClockConfig {
+            resolution_s: 0.0,
+            drift: (0..n)
+                .map(|r| DriftSpec {
+                    offset_s: base_offset * r as f64,
+                    skew: base_skew * r as f64,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The world clock. One instance is shared by all ranks; per-rank views
+/// are produced by [`WorldClock::view`].
+#[derive(Debug)]
+pub struct WorldClock {
+    epoch: Instant,
+    resolution_s: f64,
+    drift: Vec<DriftSpec>,
+}
+
+impl WorldClock {
+    /// Create a clock whose time zero is "now".
+    pub fn new(config: &ClockConfig) -> Self {
+        WorldClock {
+            epoch: Instant::now(),
+            resolution_s: config.resolution_s,
+            drift: config.drift.clone(),
+        }
+    }
+
+    /// True (undistorted, unquantized) seconds since world start.
+    #[inline]
+    pub fn true_now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// The clock view of a given rank.
+    pub fn view(&self, rank: usize) -> RankClock<'_> {
+        let drift = self.drift.get(rank).copied().unwrap_or(DriftSpec::NONE);
+        RankClock { world: self, drift }
+    }
+
+    #[inline]
+    fn quantize(&self, t: f64) -> f64 {
+        if self.resolution_s > 0.0 {
+            (t / self.resolution_s).floor() * self.resolution_s
+        } else {
+            t
+        }
+    }
+}
+
+/// A rank's view of the world clock (drifted then quantized), analogous
+/// to `MPI_Wtime` on one node.
+#[derive(Debug, Clone, Copy)]
+pub struct RankClock<'a> {
+    world: &'a WorldClock,
+    drift: DriftSpec,
+}
+
+impl RankClock<'_> {
+    /// Seconds since world start *as observed by this rank*.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.world.quantize(self.drift.distort(self.world.true_now()))
+    }
+
+    /// The drift this rank suffers (exposed for tests and experiments).
+    pub fn drift(&self) -> DriftSpec {
+        self.drift
+    }
+
+    /// The quantization step (the "Wtick" of this world).
+    pub fn tick(&self) -> f64 {
+        self.world.resolution_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_distort_roundtrips() {
+        let d = DriftSpec {
+            offset_s: 0.5,
+            skew: 1e-4,
+        };
+        for t in [0.0, 1.0, 123.456, 9.9e3] {
+            let back = d.undistort(d.distort(t));
+            assert!((back - t).abs() < 1e-9, "t={t} back={back}");
+        }
+    }
+
+    #[test]
+    fn quantization_floors_to_tick() {
+        let clock = WorldClock::new(&ClockConfig {
+            resolution_s: 0.25,
+            drift: vec![],
+        });
+        assert_eq!(clock.quantize(0.99), 0.75);
+        assert_eq!(clock.quantize(1.0), 1.0);
+        assert_eq!(clock.quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_resolution_passes_through() {
+        let clock = WorldClock::new(&ClockConfig::default());
+        assert_eq!(clock.quantize(0.123456789), 0.123456789);
+    }
+
+    #[test]
+    fn rank_views_apply_their_own_drift() {
+        let cfg = ClockConfig::with_linear_drift(3, 1.0, 0.0);
+        let clock = WorldClock::new(&cfg);
+        let t0 = clock.view(0).now();
+        let t1 = clock.view(1).now();
+        let t2 = clock.view(2).now();
+        // Rank 1 reads ~1s ahead of rank 0, rank 2 ~2s ahead.
+        assert!((t1 - t0 - 1.0).abs() < 0.05, "t1-t0 = {}", t1 - t0);
+        assert!((t2 - t0 - 2.0).abs() < 0.05, "t2-t0 = {}", t2 - t0);
+    }
+
+    #[test]
+    fn ranks_beyond_drift_vec_are_honest() {
+        let cfg = ClockConfig::with_linear_drift(1, 5.0, 0.0);
+        let clock = WorldClock::new(&cfg);
+        let t5 = clock.view(5).now();
+        assert!(t5 < 1.0, "rank 5 should have no drift, got {t5}");
+    }
+
+    #[test]
+    fn clock_is_monotonic_per_rank() {
+        let clock = WorldClock::new(&ClockConfig::default());
+        let v = clock.view(0);
+        let mut prev = v.now();
+        for _ in 0..1000 {
+            let t = v.now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn coarse_clock_produces_equal_timestamps() {
+        // This is the root cause of the paper's "Equal Drawables" warning.
+        let clock = WorldClock::new(&ClockConfig {
+            resolution_s: 10.0, // absurdly coarse so the test is instant
+            drift: vec![],
+        });
+        let v = clock.view(0);
+        let a = v.now();
+        let b = v.now();
+        assert_eq!(a, b);
+    }
+}

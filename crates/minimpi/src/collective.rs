@@ -1,0 +1,382 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! Like MPI, collectives must be called by *every* rank of the world, in
+//! the same order. They use a reserved internal tag space above
+//! [`crate::MAX_USER_TAG`], so they never collide with user traffic, and
+//! per-pair FIFO ordering keeps back-to-back collectives correctly paired.
+//!
+//! Fanout is deliberately *linear from the root* — one message per
+//! destination — because that is what Pilot's collectives look like in the
+//! paper's Jumpshot views ("a bundle with N channels will result in N
+//! arrows being drawn").
+
+use bytes::Bytes;
+
+use crate::datatype::{Datum, TypedSlice};
+use crate::error::{MpiError, Result};
+use crate::message::{Src, Tag};
+use crate::world::Rank;
+
+const OP_BARRIER_IN: u8 = 1;
+const OP_BARRIER_OUT: u8 = 2;
+const OP_BCAST: u8 = 3;
+const OP_GATHER: u8 = 4;
+const OP_SCATTER: u8 = 5;
+const OP_REDUCE: u8 = 6;
+
+/// Internal tag: bit 30 marks internal traffic, bits 26..30 carry the
+/// opcode, and the low 26 bits carry the per-rank collective sequence
+/// number. The sequence prevents two back-to-back collectives (which all
+/// ranks enter in the same order) from matching each other's messages —
+/// the same job MPI's hidden per-communicator context id performs.
+#[inline]
+fn coll_tag(op: u8, seq: u64) -> u32 {
+    (1 << 30) | ((op as u32) << 26) | ((seq as u32) & 0x03FF_FFFF)
+}
+
+/// Element-wise reduction operator, mirroring the `MPI_Op` set Pilot uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Combine two values.
+    #[inline]
+    pub fn combine<T>(self, a: T, b: T) -> T
+    where
+        T: Copy + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T>,
+    {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+            ReduceOp::Max => {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+
+    /// Name used in logs and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Prod => "prod",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+}
+
+impl Rank {
+    fn check_root(&self, root: usize) -> Result<()> {
+        if root >= self.size() {
+            return Err(MpiError::CollectiveMisuse(format!(
+                "root {root} out of range for world of {}",
+                self.size()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Block until every rank has entered the barrier.
+    ///
+    /// Central two-phase design: everyone reports to rank 0, rank 0
+    /// releases everyone. O(n) messages, which is fine at teaching scale.
+    pub fn barrier(&self) -> Result<()> {
+        let me = self.rank();
+        let n = self.size();
+        let seq = self.next_collective_seq();
+        if n == 1 {
+            return Ok(());
+        }
+        if me == 0 {
+            for _ in 1..n {
+                self.recv(Src::Any, Tag::Of(coll_tag(OP_BARRIER_IN, seq)))?;
+            }
+            for r in 1..n {
+                self.send_internal(r, coll_tag(OP_BARRIER_OUT, seq), Bytes::new())?;
+            }
+        } else {
+            self.send_internal(0, coll_tag(OP_BARRIER_IN, seq), Bytes::new())?;
+            self.recv(Src::Of(0), Tag::Of(coll_tag(OP_BARRIER_OUT, seq)))?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `payload` from `root` to everyone. Every rank receives
+    /// the broadcast bytes (the root gets its own copy back).
+    pub fn bcast(&self, root: usize, payload: Option<Bytes>) -> Result<Bytes> {
+        self.check_root(root)?;
+        let tag = coll_tag(OP_BCAST, self.next_collective_seq());
+        if self.rank() == root {
+            let data = payload.ok_or_else(|| {
+                MpiError::CollectiveMisuse("bcast root must supply a payload".into())
+            })?;
+            for r in 0..self.size() {
+                if r != root {
+                    self.send_internal(r, tag, data.clone())?;
+                }
+            }
+            Ok(data)
+        } else {
+            Ok(self.recv(Src::Of(root), Tag::Of(tag))?.payload)
+        }
+    }
+
+    /// Gather each rank's contribution at `root`. The root receives the
+    /// contributions ordered by rank; non-roots receive `None`.
+    pub fn gather(&self, root: usize, contribution: Bytes) -> Result<Option<Vec<Bytes>>> {
+        self.check_root(root)?;
+        let tag = coll_tag(OP_GATHER, self.next_collective_seq());
+        if self.rank() == root {
+            let mut parts: Vec<Option<Bytes>> = vec![None; self.size()];
+            parts[root] = Some(contribution);
+            for _ in 0..self.size() - 1 {
+                let m = self.recv(Src::Any, Tag::Of(tag))?;
+                parts[m.env.src] = Some(m.payload);
+            }
+            Ok(Some(parts.into_iter().map(|p| p.expect("all set")).collect()))
+        } else {
+            self.send_internal(root, tag, contribution)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatter one payload per rank from `root`. Only the root supplies
+    /// `parts` (length must equal the world size); every rank receives its
+    /// own part.
+    pub fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Result<Bytes> {
+        self.check_root(root)?;
+        let tag = coll_tag(OP_SCATTER, self.next_collective_seq());
+        if self.rank() == root {
+            let parts = parts.ok_or_else(|| {
+                MpiError::CollectiveMisuse("scatter root must supply parts".into())
+            })?;
+            if parts.len() != self.size() {
+                return Err(MpiError::CollectiveMisuse(format!(
+                    "scatter got {} parts for world of {}",
+                    parts.len(),
+                    self.size()
+                )));
+            }
+            let mut own = None;
+            for (r, part) in parts.into_iter().enumerate() {
+                if r == root {
+                    own = Some(part);
+                } else {
+                    self.send_internal(r, tag, part)?;
+                }
+            }
+            Ok(own.expect("root part present"))
+        } else {
+            Ok(self.recv(Src::Of(root), Tag::Of(tag))?.payload)
+        }
+    }
+
+    /// Element-wise reduction of equal-length vectors at `root`.
+    /// Non-roots receive `None`.
+    pub fn reduce<T>(&self, root: usize, op: ReduceOp, local: &[T]) -> Result<Option<Vec<T>>>
+    where
+        T: Datum + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T>,
+    {
+        self.check_root(root)?;
+        let tag = coll_tag(OP_REDUCE, self.next_collective_seq());
+        if self.rank() == root {
+            let mut acc: Vec<T> = local.to_vec();
+            for _ in 0..self.size() - 1 {
+                let m = self.recv(Src::Any, Tag::Of(tag))?;
+                let vs = TypedSlice::decode::<T>(&m.payload)?;
+                if vs.len() != acc.len() {
+                    return Err(MpiError::CollectiveMisuse(format!(
+                        "reduce length mismatch: root has {}, rank {} sent {}",
+                        acc.len(),
+                        m.env.src,
+                        vs.len()
+                    )));
+                }
+                for (a, v) in acc.iter_mut().zip(vs) {
+                    *a = op.combine(*a, v);
+                }
+            }
+            Ok(Some(acc))
+        } else {
+            self.send_internal(root, tag, TypedSlice::encode(local))?;
+            Ok(None)
+        }
+    }
+
+    /// Reduce at rank 0 and broadcast the result to everyone.
+    pub fn allreduce<T>(&self, op: ReduceOp, local: &[T]) -> Result<Vec<T>>
+    where
+        T: Datum + PartialOrd + std::ops::Add<Output = T> + std::ops::Mul<Output = T>,
+    {
+        let reduced = self.reduce(0, op, local)?;
+        let bytes = self.bcast(0, reduced.map(|v| TypedSlice::encode(&v)))?;
+        TypedSlice::decode::<T>(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn reduce_op_combine() {
+        assert_eq!(ReduceOp::Sum.combine(2, 3), 5);
+        assert_eq!(ReduceOp::Prod.combine(2, 3), 6);
+        assert_eq!(ReduceOp::Min.combine(2, 3), 2);
+        assert_eq!(ReduceOp::Max.combine(2.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let before = AtomicUsize::new(0);
+        let out = World::builder(4).run(|rank| {
+            before.fetch_add(1, Ordering::SeqCst);
+            rank.barrier().unwrap();
+            // After the barrier everyone must observe all 4 arrivals.
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = World::builder(3).run(|rank| {
+            let payload = if rank.rank() == 2 {
+                Some(Bytes::from_static(b"from-two"))
+            } else {
+                None
+            };
+            let got = rank.bcast(2, payload).unwrap();
+            assert_eq!(got.as_ref(), b"from-two");
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let out = World::builder(4).run(|rank| {
+            let mine = Bytes::from(vec![rank.rank() as u8]);
+            match rank.gather(1, mine).unwrap() {
+                Some(parts) => {
+                    assert_eq!(rank.rank(), 1);
+                    let vals: Vec<u8> = parts.iter().map(|b| b[0]).collect();
+                    assert_eq!(vals, vec![0, 1, 2, 3]);
+                }
+                None => assert_ne!(rank.rank(), 1),
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn scatter_delivers_own_part() {
+        let out = World::builder(3).run(|rank| {
+            let parts = if rank.rank() == 0 {
+                Some((0..3u8).map(|i| Bytes::from(vec![i * 10])).collect())
+            } else {
+                None
+            };
+            let part = rank.scatter(0, parts).unwrap();
+            assert_eq!(part[0], rank.rank() as u8 * 10);
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn scatter_wrong_arity_is_error() {
+        let out = World::builder(1).run(|rank| {
+            let r = rank.scatter(0, Some(vec![Bytes::new(), Bytes::new()]));
+            assert!(matches!(r, Err(MpiError::CollectiveMisuse(_))));
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn reduce_sum_vectors() {
+        let out = World::builder(4).run(|rank| {
+            let local = vec![rank.rank() as i64, 1];
+            match rank.reduce(0, ReduceOp::Sum, &local).unwrap() {
+                Some(total) => assert_eq!(total, vec![0 + 1 + 2 + 3, 4]),
+                None => assert_ne!(rank.rank(), 0),
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn reduce_min_max_f64() {
+        let out = World::builder(3).run(|rank| {
+            let x = [rank.rank() as f64 * 1.5];
+            if let Some(mx) = rank.reduce(0, ReduceOp::Max, &x).unwrap() {
+                assert_eq!(mx, vec![3.0]);
+            }
+            let x = [10.0 - rank.rank() as f64];
+            if let Some(mn) = rank.reduce(0, ReduceOp::Min, &x).unwrap() {
+                assert_eq!(mn, vec![8.0]);
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_total() {
+        let out = World::builder(5).run(|rank| {
+            let total = rank.allreduce(ReduceOp::Sum, &[1i32]).unwrap();
+            assert_eq!(total, vec![5]);
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross() {
+        let out = World::builder(3).run(|rank| {
+            for round in 0..10i64 {
+                let got = rank.allreduce(ReduceOp::Sum, &[round]).unwrap();
+                assert_eq!(got, vec![round * 3]);
+                rank.barrier().unwrap();
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn invalid_root_rejected() {
+        let out = World::builder(2).run(|rank| {
+            assert!(rank.bcast(9, Some(Bytes::new())).is_err());
+            0
+        });
+        // Both ranks error out before communicating, so codes are still 0.
+        assert!(out.all_ok());
+    }
+}

@@ -1,0 +1,200 @@
+//! Typed payload encoding.
+//!
+//! MPI messages are raw bytes described by a datatype. We keep the same
+//! split: the wire carries bytes, and [`Datum`] implementations encode /
+//! decode fixed-width scalars in little-endian order. [`TypedSlice`]
+//! handles arrays.
+//!
+//! Everything is safe code — no `transmute`, no alignment hazards.
+
+use crate::error::{MpiError, Result};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A fixed-width scalar that can cross the wire.
+pub trait Datum: Copy + Sized {
+    /// Width in bytes on the wire.
+    const WIDTH: usize;
+    /// Human-readable type name for error messages.
+    const NAME: &'static str;
+
+    /// Append this value to `buf`.
+    fn put(&self, buf: &mut BytesMut);
+    /// Decode one value from the first `WIDTH` bytes of `bytes`.
+    fn get(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_datum {
+    ($t:ty, $w:expr, $name:expr, $put:ident) => {
+        impl Datum for $t {
+            const WIDTH: usize = $w;
+            const NAME: &'static str = $name;
+
+            #[inline]
+            fn put(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+
+            #[inline]
+            fn get(bytes: &[u8]) -> Self {
+                let mut arr = [0u8; $w];
+                arr.copy_from_slice(&bytes[..$w]);
+                <$t>::from_le_bytes(arr)
+            }
+        }
+    };
+}
+
+impl_datum!(i32, 4, "i32", put_i32_le);
+impl_datum!(i64, 8, "i64", put_i64_le);
+impl_datum!(u32, 4, "u32", put_u32_le);
+impl_datum!(u64, 8, "u64", put_u64_le);
+impl_datum!(f32, 4, "f32", put_f32_le);
+impl_datum!(f64, 8, "f64", put_f64_le);
+
+impl Datum for u8 {
+    const WIDTH: usize = 1;
+    const NAME: &'static str = "u8";
+
+    #[inline]
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+
+    #[inline]
+    fn get(bytes: &[u8]) -> Self {
+        bytes[0]
+    }
+}
+
+impl Datum for i8 {
+    const WIDTH: usize = 1;
+    const NAME: &'static str = "i8";
+
+    #[inline]
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_i8(*self);
+    }
+
+    #[inline]
+    fn get(bytes: &[u8]) -> Self {
+        bytes[0] as i8
+    }
+}
+
+/// Encode a single scalar as a payload.
+pub fn encode_scalar<T: Datum>(v: T) -> Bytes {
+    let mut buf = BytesMut::with_capacity(T::WIDTH);
+    v.put(&mut buf);
+    buf.freeze()
+}
+
+/// Decode a payload holding exactly one scalar.
+pub fn decode_scalar<T: Datum>(bytes: &[u8]) -> Result<T> {
+    if bytes.len() != T::WIDTH {
+        return Err(MpiError::TypeMismatch {
+            expected: T::NAME,
+            len: bytes.len(),
+        });
+    }
+    Ok(T::get(bytes))
+}
+
+/// Array encode/decode helpers.
+pub struct TypedSlice;
+
+impl TypedSlice {
+    /// Encode a slice of scalars as a payload.
+    pub fn encode<T: Datum>(vs: &[T]) -> Bytes {
+        let mut buf = BytesMut::with_capacity(vs.len() * T::WIDTH);
+        for v in vs {
+            v.put(&mut buf);
+        }
+        buf.freeze()
+    }
+
+    /// Decode a payload into a vector of scalars. The payload length must
+    /// be an exact multiple of the scalar width.
+    pub fn decode<T: Datum>(bytes: &[u8]) -> Result<Vec<T>> {
+        if bytes.len() % T::WIDTH != 0 {
+            return Err(MpiError::TypeMismatch {
+                expected: T::NAME,
+                len: bytes.len(),
+            });
+        }
+        Ok(bytes.chunks_exact(T::WIDTH).map(T::get).collect())
+    }
+
+    /// Decode into a caller-provided buffer; returns the element count.
+    /// Fails if the payload holds more elements than `out` can take.
+    pub fn decode_into<T: Datum>(bytes: &[u8], out: &mut [T]) -> Result<usize> {
+        let vs = Self::decode::<T>(bytes)?;
+        if vs.len() > out.len() {
+            return Err(MpiError::TypeMismatch {
+                expected: T::NAME,
+                len: bytes.len(),
+            });
+        }
+        out[..vs.len()].copy_from_slice(&vs);
+        Ok(vs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_each_type() {
+        assert_eq!(decode_scalar::<i32>(&encode_scalar(-7i32)).unwrap(), -7);
+        assert_eq!(decode_scalar::<i64>(&encode_scalar(1i64 << 40)).unwrap(), 1 << 40);
+        assert_eq!(decode_scalar::<u32>(&encode_scalar(7u32)).unwrap(), 7);
+        assert_eq!(decode_scalar::<u64>(&encode_scalar(u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(decode_scalar::<f32>(&encode_scalar(1.5f32)).unwrap(), 1.5);
+        assert_eq!(decode_scalar::<f64>(&encode_scalar(-0.25f64)).unwrap(), -0.25);
+        assert_eq!(decode_scalar::<u8>(&encode_scalar(255u8)).unwrap(), 255);
+        assert_eq!(decode_scalar::<i8>(&encode_scalar(-128i8)).unwrap(), -128);
+    }
+
+    #[test]
+    fn scalar_length_mismatch_is_error() {
+        let e = decode_scalar::<i32>(&[1, 2, 3]).unwrap_err();
+        assert_eq!(
+            e,
+            MpiError::TypeMismatch {
+                expected: "i32",
+                len: 3
+            }
+        );
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let xs: Vec<i64> = (-5..5).collect();
+        let b = TypedSlice::encode(&xs);
+        assert_eq!(b.len(), 10 * 8);
+        assert_eq!(TypedSlice::decode::<i64>(&b).unwrap(), xs);
+    }
+
+    #[test]
+    fn empty_slice_roundtrip() {
+        let b = TypedSlice::encode::<f64>(&[]);
+        assert!(b.is_empty());
+        assert!(TypedSlice::decode::<f64>(&b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decode_into_respects_capacity() {
+        let b = TypedSlice::encode(&[1i32, 2, 3]);
+        let mut out = [0i32; 2];
+        assert!(TypedSlice::decode_into(&b, &mut out).is_err());
+        let mut out = [0i32; 5];
+        let n = TypedSlice::decode_into(&b, &mut out).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ragged_slice_is_error() {
+        assert!(TypedSlice::decode::<i32>(&[0u8; 6]).is_err());
+    }
+}

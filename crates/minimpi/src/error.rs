@@ -1,0 +1,79 @@
+//! Error type shared by all runtime operations.
+
+use std::fmt;
+
+/// Result alias used throughout `minimpi`.
+pub type Result<T> = std::result::Result<T, MpiError>;
+
+/// Errors surfaced by runtime operations.
+///
+/// Real MPI mostly aborts on error; we return typed errors instead so that
+/// Pilot's error-checking layer can translate them into the friendly
+/// diagnostics the paper describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Destination or source rank does not exist in this world.
+    InvalidRank { rank: usize, size: usize },
+    /// Tag exceeds [`crate::MAX_USER_TAG`].
+    InvalidTag { tag: u32 },
+    /// The world was aborted (by [`crate::Rank::abort`]); `code` is the
+    /// exit code passed by the aborting rank and `origin` that rank.
+    Aborted { origin: usize, code: i32 },
+    /// A blocking operation timed out (only returned by the `_timeout`
+    /// variants used by the deadlock detector).
+    Timeout,
+    /// Payload could not be decoded as the requested datatype.
+    TypeMismatch { expected: &'static str, len: usize },
+    /// A collective was invoked with inconsistent participation
+    /// (e.g. root out of range).
+    CollectiveMisuse(String),
+    /// A mailbox was used after its world shut down.
+    WorldDown,
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} (world size {size})")
+            }
+            MpiError::InvalidTag { tag } => write!(f, "tag {tag} exceeds the user tag space"),
+            MpiError::Aborted { origin, code } => {
+                write!(f, "world aborted by rank {origin} with code {code}")
+            }
+            MpiError::Timeout => write!(f, "operation timed out"),
+            MpiError::TypeMismatch { expected, len } => {
+                write!(f, "payload of {len} bytes is not a valid {expected}")
+            }
+            MpiError::CollectiveMisuse(msg) => write!(f, "collective misuse: {msg}"),
+            MpiError::WorldDown => write!(f, "world is no longer running"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let e = MpiError::InvalidRank { rank: 9, size: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'));
+
+        let e = MpiError::Aborted { origin: 2, code: 77 };
+        let s = e.to_string();
+        assert!(s.contains("rank 2") && s.contains("77"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(MpiError::Timeout, MpiError::Timeout);
+        assert_ne!(
+            MpiError::Timeout,
+            MpiError::Aborted { origin: 0, code: 0 }
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # minimpi — an MPI-like message-passing runtime over OS threads
+//!
+//! This crate is the *substrate* of the Pilot log-visualization
+//! reproduction. The original Pilot library sits on top of a real MPI
+//! implementation (OpenMPI); here each MPI *rank* is an OS thread inside a
+//! [`World`], and messages are routed through per-rank mailboxes with the
+//! same envelope-matching semantics MPI uses (source + tag, with
+//! wildcards, per-pair FIFO ordering).
+//!
+//! The subset implemented is exactly what Pilot needs:
+//!
+//! * blocking point-to-point [`Rank::send`] / [`Rank::recv`] with tags and
+//!   the wildcards [`Src::Any`] / [`Tag::Any`],
+//! * synchronous send ([`Rank::ssend`]) for rendezvous semantics,
+//! * [`Rank::probe`] / [`Rank::iprobe`] envelope inspection,
+//! * collectives: barrier, broadcast, gather, scatter, reduce, allreduce,
+//! * a wallclock ([`Rank::wtime`]) with optional *resolution quantization*
+//!   and per-rank *drift injection* so the paper's clock-related artifacts
+//!   (the "Equal Drawables" warning, MPE clock synchronization) can be
+//!   reproduced deterministically,
+//! * [`Rank::abort`], which tears down the whole world the way
+//!   `MPI_Abort` does — including the property the paper laments: anything
+//!   that needed post-run messaging (like MPE log merging) is lost.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use minimpi::{World, Src, Tag};
+//!
+//! let outcome = World::builder(2).run(|rank| {
+//!     if rank.rank() == 0 {
+//!         rank.send(1, 7, &42i64.to_le_bytes()).unwrap();
+//!     } else {
+//!         let msg = rank.recv(Src::Of(0), Tag::Of(7)).unwrap();
+//!         assert_eq!(msg.payload.as_ref(), &42i64.to_le_bytes());
+//!     }
+//!     0
+//! });
+//! assert!(outcome.all_ok());
+//! ```
+
+pub mod clock;
+pub mod collective;
+pub mod datatype;
+pub mod error;
+pub mod mailbox;
+pub mod message;
+pub mod world;
+
+pub use clock::{ClockConfig, DriftSpec};
+pub use collective::ReduceOp;
+pub use datatype::{Datum, TypedSlice};
+pub use error::{MpiError, Result};
+pub use message::{Envelope, Message, Src, Tag};
+pub use world::{Rank, World, WorldBuilder, WorldOutcome};
+
+/// Highest tag value available to user code. Tags above this bound are
+/// reserved for internal collective-operation plumbing.
+pub const MAX_USER_TAG: u32 = (1 << 30) - 1;

@@ -1,0 +1,295 @@
+//! Per-rank mailbox with MPI-style envelope matching.
+//!
+//! Each rank owns one mailbox. Senders push `Delivery` items into the
+//! mailbox's channel; the owning rank matches them against `(Src, Tag)`
+//! selectors. Messages that arrive before anyone asked for them are
+//! parked, in arrival order, in the *unexpected queue* — exactly MPI's
+//! unexpected-message queue — which preserves per-(source, tag) FIFO
+//! ordering.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use crate::error::{MpiError, Result};
+use crate::message::{Delivery, Envelope, Message, Src, Tag};
+
+/// World-wide abort switch. Once set, every blocking mailbox operation
+/// returns [`MpiError::Aborted`]; senders refuse new traffic.
+#[derive(Debug, Default)]
+pub struct AbortToken {
+    flag: AtomicBool,
+    info: Mutex<Option<(usize, i32)>>,
+}
+
+impl AbortToken {
+    /// Trip the switch. The first caller wins; later calls are ignored.
+    pub fn trip(&self, origin: usize, code: i32) {
+        let mut info = self.info.lock();
+        if info.is_none() {
+            *info = Some((origin, code));
+        }
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Fast check; returns the abort error if tripped.
+    #[inline]
+    pub fn check(&self) -> Result<()> {
+        if self.flag.load(Ordering::SeqCst) {
+            let (origin, code) = self.info.lock().unwrap_or((usize::MAX, -1));
+            Err(MpiError::Aborted { origin, code })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Has the switch been tripped?
+    pub fn is_tripped(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Who aborted, if anyone.
+    pub fn origin(&self) -> Option<(usize, i32)> {
+        *self.info.lock()
+    }
+}
+
+/// A rank's incoming-message endpoint.
+pub(crate) struct Mailbox {
+    rx: Receiver<Delivery>,
+    /// Arrived-but-unmatched deliveries, in arrival order.
+    pending: VecDeque<Delivery>,
+}
+
+/// A handle other ranks use to deliver into a mailbox.
+pub(crate) type MailboxSender = Sender<Delivery>;
+
+impl Mailbox {
+    /// Create the mailbox and its sender side.
+    pub(crate) fn new() -> (MailboxSender, Mailbox) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        (
+            tx,
+            Mailbox {
+                rx,
+                pending: VecDeque::new(),
+            },
+        )
+    }
+
+    fn find_pending(&self, src: Src, tag: Tag) -> Option<usize> {
+        self.pending
+            .iter()
+            .position(|d| src.matches(d.message().env.src) && tag.matches(d.message().env.tag))
+    }
+
+    fn take_pending(&mut self, idx: usize) -> Message {
+        match self.pending.remove(idx).expect("index valid") {
+            Delivery::Msg(m) => m,
+            Delivery::SyncMsg(m, ack) => {
+                // Release the rendezvous sender; if it already gave up
+                // (abort), the error is irrelevant.
+                let _ = ack.send(());
+                m
+            }
+        }
+    }
+
+    /// Blocking receive with matching.
+    pub(crate) fn recv(&mut self, src: Src, tag: Tag, abort: &AbortToken) -> Result<Message> {
+        loop {
+            abort.check()?;
+            if let Some(i) = self.find_pending(src, tag) {
+                return Ok(self.take_pending(i));
+            }
+            // Block with a coarse heartbeat so an abort tripped between
+            // our check and the blocking call still wakes us.
+            match self.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(d) => self.pending.push_back(d),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(MpiError::WorldDown),
+            }
+        }
+    }
+
+    /// Receive with a deadline (used by the deadlock detector and tests).
+    pub(crate) fn recv_timeout(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        timeout: Duration,
+        abort: &AbortToken,
+    ) -> Result<Message> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            abort.check()?;
+            if let Some(i) = self.find_pending(src, tag) {
+                return Ok(self.take_pending(i));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(MpiError::Timeout);
+            }
+            let step = (deadline - now).min(Duration::from_millis(20));
+            match self.rx.recv_timeout(step) {
+                Ok(d) => self.pending.push_back(d),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(MpiError::WorldDown),
+            }
+        }
+    }
+
+    /// Blocking probe: wait until a matching envelope is present, without
+    /// consuming the message.
+    pub(crate) fn probe(&mut self, src: Src, tag: Tag, abort: &AbortToken) -> Result<Envelope> {
+        loop {
+            abort.check()?;
+            if let Some(i) = self.find_pending(src, tag) {
+                return Ok(self.pending[i].message().env);
+            }
+            match self.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(d) => self.pending.push_back(d),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(MpiError::WorldDown),
+            }
+        }
+    }
+
+    /// Non-blocking probe: drain whatever has arrived, then report a
+    /// matching envelope if any.
+    pub(crate) fn iprobe(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        abort: &AbortToken,
+    ) -> Result<Option<Envelope>> {
+        abort.check()?;
+        loop {
+            match self.rx.try_recv() {
+                Ok(d) => self.pending.push_back(d),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        Ok(self
+            .find_pending(src, tag)
+            .map(|i| self.pending[i].message().env))
+    }
+
+    /// Number of parked (arrived, unmatched) deliveries. Diagnostics only.
+    #[cfg(test)]
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn msg(src: usize, tag: u32, seq: u64) -> Delivery {
+        Delivery::Msg(Message::new(src, 0, tag, seq, Bytes::from_static(b"x")))
+    }
+
+    #[test]
+    fn matches_in_arrival_order_per_source_tag() {
+        let (tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        tx.send(msg(1, 5, 0)).unwrap();
+        tx.send(msg(1, 5, 1)).unwrap();
+        tx.send(msg(2, 5, 2)).unwrap();
+        let a = mb.recv(Src::Of(1), Tag::Of(5), &abort).unwrap();
+        let b = mb.recv(Src::Of(1), Tag::Of(5), &abort).unwrap();
+        assert_eq!((a.env.seq, b.env.seq), (0, 1));
+    }
+
+    #[test]
+    fn wildcard_takes_earliest_arrival() {
+        let (tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        tx.send(msg(3, 9, 10)).unwrap();
+        tx.send(msg(1, 2, 11)).unwrap();
+        let m = mb.recv(Src::Any, Tag::Any, &abort).unwrap();
+        assert_eq!(m.env.seq, 10);
+    }
+
+    #[test]
+    fn unmatched_messages_are_parked_not_lost() {
+        let (tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        tx.send(msg(1, 1, 0)).unwrap();
+        tx.send(msg(1, 2, 1)).unwrap();
+        // Ask for tag 2 first: tag-1 message must be parked.
+        let m = mb.recv(Src::Of(1), Tag::Of(2), &abort).unwrap();
+        assert_eq!(m.env.seq, 1);
+        assert_eq!(mb.pending_len(), 1);
+        let m = mb.recv(Src::Of(1), Tag::Of(1), &abort).unwrap();
+        assert_eq!(m.env.seq, 0);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        let r = mb.recv_timeout(Src::Any, Tag::Any, Duration::from_millis(30), &abort);
+        assert_eq!(r.unwrap_err(), MpiError::Timeout);
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let (tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        tx.send(msg(4, 8, 3)).unwrap();
+        let env = mb.probe(Src::Of(4), Tag::Of(8), &abort).unwrap();
+        assert_eq!(env.seq, 3);
+        let m = mb.recv(Src::Of(4), Tag::Of(8), &abort).unwrap();
+        assert_eq!(m.env.seq, 3);
+    }
+
+    #[test]
+    fn iprobe_reports_absence_without_blocking() {
+        let (tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        assert!(mb.iprobe(Src::Any, Tag::Any, &abort).unwrap().is_none());
+        tx.send(msg(0, 0, 0)).unwrap();
+        assert!(mb.iprobe(Src::Any, Tag::Any, &abort).unwrap().is_some());
+        // still present: iprobe never consumes
+        assert!(mb.iprobe(Src::Any, Tag::Any, &abort).unwrap().is_some());
+    }
+
+    #[test]
+    fn abort_wakes_blocked_recv() {
+        let (_tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        abort.trip(2, 42);
+        let e = mb.recv(Src::Any, Tag::Any, &abort).unwrap_err();
+        assert_eq!(e, MpiError::Aborted { origin: 2, code: 42 });
+    }
+
+    #[test]
+    fn abort_token_first_tripper_wins() {
+        let abort = AbortToken::default();
+        abort.trip(1, 10);
+        abort.trip(2, 20);
+        assert_eq!(abort.origin(), Some((1, 10)));
+    }
+
+    #[test]
+    fn sync_delivery_releases_ack_on_match() {
+        let (tx, mut mb) = Mailbox::new();
+        let abort = AbortToken::default();
+        let (ack_tx, ack_rx) = crossbeam::channel::bounded(1);
+        tx.send(Delivery::SyncMsg(
+            Message::new(1, 0, 3, 0, Bytes::new()),
+            ack_tx,
+        ))
+        .unwrap();
+        assert!(ack_rx.try_recv().is_err());
+        mb.recv(Src::Of(1), Tag::Of(3), &abort).unwrap();
+        assert!(ack_rx.try_recv().is_ok());
+    }
+}

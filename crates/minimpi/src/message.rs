@@ -1,0 +1,134 @@
+//! Message envelopes and matching rules.
+
+use bytes::Bytes;
+
+/// Source selector for a receive: a concrete rank or the wildcard
+/// (`MPI_ANY_SOURCE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// Match only messages from this rank.
+    Of(usize),
+    /// Match messages from any rank.
+    Any,
+}
+
+impl Src {
+    /// Does this selector accept a message sent by `src`?
+    #[inline]
+    pub fn matches(&self, src: usize) -> bool {
+        match self {
+            Src::Of(s) => *s == src,
+            Src::Any => true,
+        }
+    }
+}
+
+/// Tag selector for a receive: a concrete tag or the wildcard
+/// (`MPI_ANY_TAG`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tag {
+    /// Match only this tag.
+    Of(u32),
+    /// Match any tag.
+    Any,
+}
+
+impl Tag {
+    /// Does this selector accept a message carrying `tag`?
+    #[inline]
+    pub fn matches(&self, tag: u32) -> bool {
+        match self {
+            Tag::Of(t) => *t == tag,
+            Tag::Any => true,
+        }
+    }
+}
+
+/// The metadata of a message, visible to `probe` without consuming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// User or internal tag.
+    pub tag: u32,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// World-unique send sequence number (diagnostics, log matching).
+    pub seq: u64,
+}
+
+/// A delivered message: envelope plus owned payload.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Metadata.
+    pub env: Envelope,
+    /// Payload bytes (cheaply cloneable).
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Construct a message (used by the runtime and by tests).
+    pub fn new(src: usize, dst: usize, tag: u32, seq: u64, payload: Bytes) -> Self {
+        Message {
+            env: Envelope {
+                src,
+                dst,
+                tag,
+                len: payload.len(),
+                seq,
+            },
+            payload,
+        }
+    }
+}
+
+/// Internal transport items flowing through a rank's mailbox channel.
+#[derive(Debug)]
+pub(crate) enum Delivery {
+    /// A normal message.
+    Msg(Message),
+    /// A synchronous-send handshake request: the sender blocks until the
+    /// receiver matches the message and signals this oneshot.
+    SyncMsg(Message, crossbeam::channel::Sender<()>),
+}
+
+impl Delivery {
+    pub(crate) fn message(&self) -> &Message {
+        match self {
+            Delivery::Msg(m) => m,
+            Delivery::SyncMsg(m, _) => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn src_matching() {
+        assert!(Src::Any.matches(0));
+        assert!(Src::Any.matches(99));
+        assert!(Src::Of(3).matches(3));
+        assert!(!Src::Of(3).matches(4));
+    }
+
+    #[test]
+    fn tag_matching() {
+        assert!(Tag::Any.matches(0));
+        assert!(Tag::Of(7).matches(7));
+        assert!(!Tag::Of(7).matches(8));
+    }
+
+    #[test]
+    fn message_envelope_reflects_payload() {
+        let m = Message::new(1, 2, 9, 42, Bytes::from_static(b"hello"));
+        assert_eq!(m.env.src, 1);
+        assert_eq!(m.env.dst, 2);
+        assert_eq!(m.env.tag, 9);
+        assert_eq!(m.env.seq, 42);
+        assert_eq!(m.env.len, 5);
+    }
+}

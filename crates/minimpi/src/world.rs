@@ -1,0 +1,533 @@
+//! World construction and the per-rank handle.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::clock::{ClockConfig, RankClock, WorldClock};
+use crate::error::{MpiError, Result};
+use crate::mailbox::{AbortToken, Mailbox, MailboxSender};
+use crate::message::{Delivery, Envelope, Message, Src, Tag};
+use crate::MAX_USER_TAG;
+
+/// State shared by all ranks of one world.
+pub(crate) struct Shared {
+    size: usize,
+    senders: Vec<MailboxSender>,
+    clock: WorldClock,
+    abort: AbortToken,
+    seq: AtomicU64,
+}
+
+/// Builder for a [`World`].
+pub struct WorldBuilder {
+    size: usize,
+    clock: ClockConfig,
+    stack_size: Option<usize>,
+}
+
+impl WorldBuilder {
+    /// Configure the world clock (resolution quantization, drift).
+    pub fn clock(mut self, cfg: ClockConfig) -> Self {
+        self.clock = cfg;
+        self
+    }
+
+    /// Override the per-rank thread stack size.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Spawn `size` rank threads, run `body` on each, and join them all.
+    ///
+    /// `body` receives the rank handle and returns the rank's exit code —
+    /// the moral equivalent of `main` in an `mpirun`-launched process.
+    pub fn run<F>(self, body: F) -> WorldOutcome
+    where
+        F: Fn(&Rank) -> i32 + Send + Sync,
+    {
+        let size = self.size;
+        assert!(size > 0, "world must have at least one rank");
+
+        let mut senders = Vec::with_capacity(size);
+        let mut boxes = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, mb) = Mailbox::new();
+            senders.push(tx);
+            boxes.push(mb);
+        }
+
+        let shared = Arc::new(Shared {
+            size,
+            senders,
+            clock: WorldClock::new(&self.clock),
+            abort: AbortToken::default(),
+            seq: AtomicU64::new(0),
+        });
+
+        let body = &body;
+        let mut exit_codes: Vec<std::result::Result<i32, String>> = Vec::with_capacity(size);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
+            for (r, mb) in boxes.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                let mut builder = std::thread::Builder::new().name(format!("rank-{r}"));
+                if let Some(sz) = self.stack_size {
+                    builder = builder.stack_size(sz);
+                }
+                let handle = builder
+                    .spawn_scoped(scope, move || {
+                        let rank = Rank {
+                            rank: r,
+                            shared: Arc::clone(&shared),
+                            mailbox: RefCell::new(mb),
+                            coll_seq: std::cell::Cell::new(0),
+                        };
+                        // If this rank panics, trip the abort switch so the
+                        // others don't block forever on messages that will
+                        // never come.
+                        let guard = PanicGuard {
+                            shared: &shared,
+                            rank: r,
+                        };
+                        let code = body(&rank);
+                        std::mem::forget(guard);
+                        code
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(handle);
+            }
+            for h in handles {
+                exit_codes.push(h.join().map_err(|p| panic_message(&*p)));
+            }
+        });
+
+        let (codes, panics): (Vec<Option<i32>>, Vec<Option<String>>) = exit_codes
+            .into_iter()
+            .map(|r| match r {
+                Ok(c) => (Some(c), None),
+                Err(msg) => (None, Some(msg)),
+            })
+            .unzip();
+
+        WorldOutcome {
+            exit_codes: codes,
+            panics,
+            aborted: shared.abort.origin(),
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct PanicGuard<'a> {
+    shared: &'a Shared,
+    rank: usize,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        // Only reached on unwind (the happy path forgets the guard).
+        self.shared.abort.trip(self.rank, -2);
+    }
+}
+
+/// Entry point: `World::builder(n).run(...)`.
+pub struct World;
+
+impl World {
+    /// Start building a world of `size` ranks.
+    pub fn builder(size: usize) -> WorldBuilder {
+        WorldBuilder {
+            size,
+            clock: ClockConfig::default(),
+            stack_size: None,
+        }
+    }
+}
+
+/// What happened to each rank after the world finished.
+#[derive(Debug, Clone)]
+pub struct WorldOutcome {
+    /// Exit code per rank; `None` if the rank panicked.
+    pub exit_codes: Vec<Option<i32>>,
+    /// Panic message per rank, if it panicked.
+    pub panics: Vec<Option<String>>,
+    /// `(origin_rank, code)` if the world was aborted.
+    pub aborted: Option<(usize, i32)>,
+}
+
+impl WorldOutcome {
+    /// All ranks returned 0, nobody panicked, nobody aborted.
+    pub fn all_ok(&self) -> bool {
+        self.aborted.is_none()
+            && self.panics.iter().all(Option::is_none)
+            && self.exit_codes.iter().all(|c| *c == Some(0))
+    }
+}
+
+/// A rank's handle to the world: identity, clock, and communication.
+///
+/// Not `Sync`: each rank thread keeps its own handle, just as each MPI
+/// process has its own communicator state.
+pub struct Rank {
+    rank: usize,
+    shared: Arc<Shared>,
+    mailbox: RefCell<Mailbox>,
+    /// Count of collective operations this rank has entered. All ranks
+    /// call collectives in the same order (an MPI rule we inherit), so the
+    /// counter agrees across ranks and disambiguates back-to-back
+    /// collectives that would otherwise match each other's traffic.
+    coll_seq: std::cell::Cell<u64>,
+}
+
+impl Rank {
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// This rank's wallclock (drifted/quantized per the world's
+    /// [`ClockConfig`]) — the analogue of `MPI_Wtime`.
+    #[inline]
+    pub fn wtime(&self) -> f64 {
+        self.clock().now()
+    }
+
+    /// The honest host clock, bypassing injected drift/quantization.
+    /// Used by tests and by the overhead harness for ground truth.
+    #[inline]
+    pub fn true_time(&self) -> f64 {
+        self.shared.clock.true_now()
+    }
+
+    /// This rank's clock view.
+    pub fn clock(&self) -> RankClock<'_> {
+        self.shared.clock.view(self.rank)
+    }
+
+    /// Has this world been aborted?
+    pub fn is_aborted(&self) -> bool {
+        self.shared.abort.is_tripped()
+    }
+
+    fn validate(&self, peer: usize, tag: u32, internal: bool) -> Result<()> {
+        if peer >= self.shared.size {
+            return Err(MpiError::InvalidRank {
+                rank: peer,
+                size: self.shared.size,
+            });
+        }
+        if !internal && tag > MAX_USER_TAG {
+            return Err(MpiError::InvalidTag { tag });
+        }
+        Ok(())
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.shared.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Buffered send (like `MPI_Send` with buffering): enqueues and
+    /// returns immediately.
+    pub fn send(&self, dst: usize, tag: u32, payload: &[u8]) -> Result<()> {
+        self.send_bytes(dst, tag, Bytes::copy_from_slice(payload))
+    }
+
+    /// Buffered send of an owned payload (no copy).
+    pub fn send_bytes(&self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
+        self.validate(dst, tag, false)?;
+        self.deliver(dst, tag, payload)
+    }
+
+    pub(crate) fn deliver(&self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
+        self.shared.abort.check()?;
+        let msg = Message::new(self.rank, dst, tag, self.next_seq(), payload);
+        self.shared.senders[dst]
+            .send(Delivery::Msg(msg))
+            .map_err(|_| MpiError::WorldDown)
+    }
+
+    /// Synchronous send (like `MPI_Ssend`): blocks until the receiver has
+    /// matched the message.
+    pub fn ssend(&self, dst: usize, tag: u32, payload: &[u8]) -> Result<()> {
+        self.validate(dst, tag, false)?;
+        self.shared.abort.check()?;
+        let msg = Message::new(
+            self.rank,
+            dst,
+            tag,
+            self.next_seq(),
+            Bytes::copy_from_slice(payload),
+        );
+        let (ack_tx, ack_rx) = crossbeam::channel::bounded(1);
+        self.shared.senders[dst]
+            .send(Delivery::SyncMsg(msg, ack_tx))
+            .map_err(|_| MpiError::WorldDown)?;
+        loop {
+            match ack_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(()) => return Ok(()),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    self.shared.abort.check()?;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    // Receiver dropped the ack without matching — only
+                    // possible if its mailbox was torn down.
+                    return Err(MpiError::WorldDown);
+                }
+            }
+        }
+    }
+
+    /// Blocking matched receive.
+    pub fn recv(&self, src: Src, tag: Tag) -> Result<Message> {
+        self.mailbox.borrow_mut().recv(src, tag, &self.shared.abort)
+    }
+
+    /// Matched receive with a deadline.
+    pub fn recv_timeout(&self, src: Src, tag: Tag, timeout: Duration) -> Result<Message> {
+        self.mailbox
+            .borrow_mut()
+            .recv_timeout(src, tag, timeout, &self.shared.abort)
+    }
+
+    /// Blocking probe (does not consume the message).
+    pub fn probe(&self, src: Src, tag: Tag) -> Result<Envelope> {
+        self.mailbox.borrow_mut().probe(src, tag, &self.shared.abort)
+    }
+
+    /// Non-blocking probe.
+    pub fn iprobe(&self, src: Src, tag: Tag) -> Result<Option<Envelope>> {
+        self.mailbox.borrow_mut().iprobe(src, tag, &self.shared.abort)
+    }
+
+    /// Abort the whole world, like `MPI_Abort`: every rank's next (or
+    /// current) blocking operation fails with [`MpiError::Aborted`].
+    ///
+    /// Returns the abort error so callers can `return Err(rank.abort(code))`.
+    pub fn abort(&self, code: i32) -> MpiError {
+        self.shared.abort.trip(self.rank, code);
+        MpiError::Aborted {
+            origin: self.rank,
+            code,
+        }
+    }
+
+    /// Internal-tag send used by the collectives module.
+    pub(crate) fn send_internal(&self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
+        self.validate(dst, tag, true)?;
+        self.deliver(dst, tag, payload)
+    }
+
+    /// Advance this rank's collective counter and return it. Called once
+    /// per collective entry; the value is folded into the internal tag.
+    pub(crate) fn next_collective_seq(&self) -> u64 {
+        let s = self.coll_seq.get();
+        self.coll_seq.set(s + 1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::{decode_scalar, encode_scalar};
+
+    #[test]
+    fn singleton_world_runs() {
+        let out = World::builder(1).run(|rank| {
+            assert_eq!(rank.rank(), 0);
+            assert_eq!(rank.size(), 1);
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn ping_pong() {
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send_bytes(1, 1, encode_scalar(123i64)).unwrap();
+                let m = rank.recv(Src::Of(1), Tag::Of(2)).unwrap();
+                assert_eq!(decode_scalar::<i64>(&m.payload).unwrap(), 124);
+            } else {
+                let m = rank.recv(Src::Of(0), Tag::Of(1)).unwrap();
+                let v = decode_scalar::<i64>(&m.payload).unwrap();
+                rank.send_bytes(0, 2, encode_scalar(v + 1)).unwrap();
+            }
+            0
+        });
+        assert!(out.all_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                for i in 0..100i64 {
+                    rank.send_bytes(1, 5, encode_scalar(i)).unwrap();
+                }
+            } else {
+                for i in 0..100i64 {
+                    let m = rank.recv(Src::Of(0), Tag::Of(5)).unwrap();
+                    assert_eq!(decode_scalar::<i64>(&m.payload).unwrap(), i);
+                }
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn any_source_gathers_from_all() {
+        let n = 5;
+        let out = World::builder(n).run(|rank| {
+            if rank.rank() == 0 {
+                let mut seen = vec![false; n];
+                for _ in 1..n {
+                    let m = rank.recv(Src::Any, Tag::Of(9)).unwrap();
+                    seen[m.env.src] = true;
+                }
+                assert!(seen[1..].iter().all(|&b| b));
+            } else {
+                rank.send(0, 9, b"hi").unwrap();
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn invalid_rank_and_tag_are_rejected() {
+        let out = World::builder(1).run(|rank| {
+            assert!(matches!(
+                rank.send(5, 0, b""),
+                Err(MpiError::InvalidRank { rank: 5, size: 1 })
+            ));
+            assert!(matches!(
+                rank.send(0, u32::MAX, b""),
+                Err(MpiError::InvalidTag { .. })
+            ));
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn ssend_blocks_until_matched() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let matched = AtomicBool::new(false);
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                rank.ssend(1, 3, b"sync").unwrap();
+                // By rendezvous semantics the receiver must have matched.
+                assert!(matched.load(Ordering::SeqCst));
+            } else {
+                std::thread::sleep(Duration::from_millis(50));
+                matched.store(true, Ordering::SeqCst);
+                rank.recv(Src::Of(0), Tag::Of(3)).unwrap();
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn abort_releases_blocked_ranks() {
+        let out = World::builder(3).run(|rank| {
+            if rank.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+                let _ = rank.abort(99);
+                return 1;
+            }
+            // Ranks 1 and 2 block forever — abort must wake them.
+            match rank.recv(Src::Any, Tag::Any) {
+                Err(MpiError::Aborted { origin: 0, code: 99 }) => 2,
+                other => panic!("expected abort, got {other:?}"),
+            }
+        });
+        assert_eq!(out.aborted, Some((0, 99)));
+        assert_eq!(out.exit_codes, vec![Some(1), Some(2), Some(2)]);
+    }
+
+    #[test]
+    fn panicking_rank_aborts_world() {
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                panic!("rank 0 exploded");
+            }
+            match rank.recv(Src::Any, Tag::Any) {
+                Err(MpiError::Aborted { .. }) => 0,
+                other => panic!("expected abort, got {other:?}"),
+            }
+        });
+        assert!(out.panics[0].as_deref().unwrap().contains("exploded"));
+        assert_eq!(out.exit_codes[1], Some(0));
+        assert!(!out.all_ok());
+    }
+
+    #[test]
+    fn wtime_advances() {
+        let out = World::builder(1).run(|rank| {
+            let a = rank.wtime();
+            std::thread::sleep(Duration::from_millis(5));
+            let b = rank.wtime();
+            assert!(b > a);
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn send_after_abort_fails() {
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                let _ = rank.abort(1);
+                assert!(matches!(
+                    rank.send(1, 0, b""),
+                    Err(MpiError::Aborted { .. })
+                ));
+            } else {
+                let _ = rank.recv(Src::Any, Tag::Any);
+            }
+            0
+        });
+        assert_eq!(out.aborted, Some((0, 1)));
+    }
+
+    #[test]
+    fn probe_then_recv_sees_same_envelope() {
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 4, &[1, 2, 3]).unwrap();
+            } else {
+                let env = rank.probe(Src::Of(0), Tag::Of(4)).unwrap();
+                assert_eq!(env.len, 3);
+                let m = rank.recv(Src::Of(0), Tag::Of(4)).unwrap();
+                assert_eq!(m.env, env);
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+}

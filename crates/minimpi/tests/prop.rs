@@ -1,0 +1,146 @@
+//! Property tests: datatype codec, clock arithmetic, and collective
+//! results vs serial folds.
+
+use minimpi::datatype::{decode_scalar, encode_scalar};
+use minimpi::{ClockConfig, DriftSpec, ReduceOp, TypedSlice, World};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn scalar_i64_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(decode_scalar::<i64>(&encode_scalar(v)).unwrap(), v);
+    }
+
+    #[test]
+    fn scalar_f64_roundtrip_bits(v in any::<f64>()) {
+        let back = decode_scalar::<f64>(&encode_scalar(v)).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn slice_roundtrip(xs in proptest::collection::vec(any::<i64>(), 0..200)) {
+        let bytes = TypedSlice::encode(&xs);
+        prop_assert_eq!(bytes.len(), xs.len() * 8);
+        prop_assert_eq!(TypedSlice::decode::<i64>(&bytes).unwrap(), xs);
+    }
+
+    #[test]
+    fn slice_u8_roundtrip(xs in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let bytes = TypedSlice::encode(&xs);
+        prop_assert_eq!(TypedSlice::decode::<u8>(&bytes).unwrap(), xs);
+    }
+
+    #[test]
+    fn drift_distort_undistort(
+        offset in -1e3f64..1e3,
+        skew in -1e-3f64..1e-3,
+        t in 0f64..1e6,
+    ) {
+        let d = DriftSpec { offset_s: offset, skew };
+        let back = d.undistort(d.distort(t));
+        prop_assert!((back - t).abs() < 1e-6, "t={t} back={back}");
+    }
+
+    #[test]
+    fn reduce_op_combine_agrees_with_fold(
+        xs in proptest::collection::vec(-1000i64..1000, 1..20),
+    ) {
+        let sum = xs.iter().copied().reduce(|a, b| ReduceOp::Sum.combine(a, b)).unwrap();
+        prop_assert_eq!(sum, xs.iter().sum::<i64>());
+        let mn = xs.iter().copied().reduce(|a, b| ReduceOp::Min.combine(a, b)).unwrap();
+        prop_assert_eq!(mn, *xs.iter().min().unwrap());
+        let mx = xs.iter().copied().reduce(|a, b| ReduceOp::Max.combine(a, b)).unwrap();
+        prop_assert_eq!(mx, *xs.iter().max().unwrap());
+    }
+}
+
+proptest! {
+    // World-spawning cases are slower; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn world_reduce_matches_serial_fold(
+        per_rank in proptest::collection::vec(
+            proptest::collection::vec(-1000i64..1000, 3),
+            2..5,
+        ),
+    ) {
+        let n = per_rank.len();
+        let per_rank = std::sync::Arc::new(per_rank);
+        let expect: Vec<i64> = (0..3)
+            .map(|j| per_rank.iter().map(|v| v[j]).sum())
+            .collect();
+        let expect2 = expect.clone();
+        let pr = std::sync::Arc::clone(&per_rank);
+        let out = World::builder(n).run(move |rank| {
+            let local = &pr[rank.rank()];
+            if let Some(total) = rank.reduce(0, ReduceOp::Sum, local).unwrap() {
+                assert_eq!(total, expect2);
+            }
+            let all = rank.allreduce(ReduceOp::Sum, local).unwrap();
+            assert_eq!(all, expect2);
+            0
+        });
+        prop_assert!(out.all_ok());
+        let _ = expect;
+    }
+
+    #[test]
+    fn world_gather_preserves_order_and_content(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..50),
+            2..5,
+        ),
+    ) {
+        let n = payloads.len();
+        let payloads = std::sync::Arc::new(payloads);
+        let pl = std::sync::Arc::clone(&payloads);
+        let out = World::builder(n).run(move |rank| {
+            let mine = bytes::Bytes::from(pl[rank.rank()].clone());
+            if let Some(parts) = rank.gather(0, mine).unwrap() {
+                for (r, part) in parts.iter().enumerate() {
+                    assert_eq!(part.as_ref(), pl[r].as_slice());
+                }
+            }
+            0
+        });
+        prop_assert!(out.all_ok());
+    }
+
+    #[test]
+    fn messages_arrive_unscathed(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let payload = std::sync::Arc::new(payload);
+        let pl = std::sync::Arc::clone(&payload);
+        let out = World::builder(2).run(move |rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 3, &pl).unwrap();
+            } else {
+                let m = rank.recv(minimpi::Src::Of(0), minimpi::Tag::Of(3)).unwrap();
+                assert_eq!(m.payload.as_ref(), pl.as_slice());
+            }
+            0
+        });
+        prop_assert!(out.all_ok());
+    }
+}
+
+#[test]
+fn quantized_clock_is_monotonic_and_grid_aligned() {
+    let out = World::builder(1)
+        .clock(ClockConfig {
+            resolution_s: 1e-4,
+            drift: vec![],
+        })
+        .run(|rank| {
+            let mut prev = 0.0;
+            for _ in 0..200 {
+                let t = rank.wtime();
+                assert!(t >= prev);
+                let cells = t / 1e-4;
+                assert!((cells - cells.round()).abs() < 1e-6, "t={t} off-grid");
+                prev = t;
+            }
+            0
+        });
+    assert!(out.all_ok());
+}

@@ -1,0 +1,349 @@
+//! The CLOG2-style merged logfile and the `MPE_Finish_log` wrap-up.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      8  b"PCLOG2\x00\x01"   (name + format version)
+//! nranks     u32
+//! nstatedefs u32, then StateDef...
+//! neventdefs u32, then EventDef...
+//! nblocks    u32
+//! per block: rank u32, nrecords u32, then Record...
+//! ```
+//!
+//! Blocks keep each rank's records in program order — the merge does
+//! *not* interleave by time; that is the converter's job (and mirrors
+//! real CLOG-2, which is also block-structured per rank).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use minimpi::{MpiError, Rank};
+
+use crate::logger::Logger;
+use crate::record::{EventDef, Record, StateDef};
+use crate::wire::{Reader, WireError, Writer};
+
+const MAGIC: &[u8; 8] = b"PCLOG2\x00\x01";
+
+/// A parsed (or freshly merged) CLOG2 container.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Clog2File {
+    /// World size of the run that produced the log.
+    pub nranks: u32,
+    /// State definitions (id pair, name, colour).
+    pub state_defs: Vec<StateDef>,
+    /// Solo-event definitions.
+    pub event_defs: Vec<EventDef>,
+    /// Per-rank record blocks, keyed by rank.
+    pub blocks: BTreeMap<u32, Vec<Record>>,
+}
+
+impl Clog2File {
+    /// Total record count across all blocks.
+    pub fn total_records(&self) -> usize {
+        self.blocks.values().map(Vec::len).sum()
+    }
+
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64 + self.total_records() * 24);
+        w.put_bytes(MAGIC);
+        w.put_u32(self.nranks);
+        w.put_u32(self.state_defs.len() as u32);
+        for d in &self.state_defs {
+            d.encode(&mut w);
+        }
+        w.put_u32(self.event_defs.len() as u32);
+        for d in &self.event_defs {
+            d.encode(&mut w);
+        }
+        w.put_u32(self.blocks.len() as u32);
+        for (rank, records) in &self.blocks {
+            w.put_u32(*rank);
+            w.put_u32(records.len() as u32);
+            for r in records {
+                r.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Clog2File, WireError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.get_bytes(8)?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(format!("{magic:02x?}")));
+        }
+        let nranks = r.get_u32()?;
+        let nstates = r.get_u32()? as usize;
+        if nstates > bytes.len() {
+            return Err(WireError::Corrupt("state def count".into()));
+        }
+        let mut state_defs = Vec::with_capacity(nstates);
+        for _ in 0..nstates {
+            state_defs.push(StateDef::decode(&mut r)?);
+        }
+        let nevents = r.get_u32()? as usize;
+        if nevents > bytes.len() {
+            return Err(WireError::Corrupt("event def count".into()));
+        }
+        let mut event_defs = Vec::with_capacity(nevents);
+        for _ in 0..nevents {
+            event_defs.push(EventDef::decode(&mut r)?);
+        }
+        let nblocks = r.get_u32()? as usize;
+        if nblocks > bytes.len() {
+            return Err(WireError::Corrupt("block count".into()));
+        }
+        let mut blocks = BTreeMap::new();
+        for _ in 0..nblocks {
+            let rank = r.get_u32()?;
+            let nrec = r.get_u32()? as usize;
+            if nrec > bytes.len() {
+                return Err(WireError::Corrupt("record count".into()));
+            }
+            let mut records = Vec::with_capacity(nrec);
+            for _ in 0..nrec {
+                records.push(Record::decode(&mut r)?);
+            }
+            if blocks.insert(rank, records).is_some() {
+                return Err(WireError::Corrupt(format!("duplicate block for rank {rank}")));
+            }
+        }
+        Ok(Clog2File {
+            nranks,
+            state_defs,
+            event_defs,
+            blocks,
+        })
+    }
+
+    /// Write to a file.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Read from a file.
+    pub fn read_from(path: &Path) -> std::io::Result<Result<Clog2File, WireError>> {
+        Ok(Clog2File::from_bytes(&std::fs::read(path)?))
+    }
+}
+
+/// `MPE_Finish_log`: apply each rank's clock correction, gather every
+/// rank's buffer at rank 0 over the message layer, merge, and (on rank 0)
+/// return the merged file.
+///
+/// This is the *wrap-up* step whose cost the paper measures separately,
+/// and it is exactly why an `MPI_Abort` loses the MPE log: the gather
+/// needs a live world. If the world has been aborted this returns
+/// `Err(MpiError::Aborted { .. })` and no file is produced.
+pub fn finish_log(rank: &Rank, logger: &Logger) -> Result<Option<Clog2File>, MpiError> {
+    let corrected = logger.corrected_records();
+    let mut w = Writer::with_capacity(corrected.len() * 24 + 8);
+    w.put_u32(corrected.len() as u32);
+    for r in &corrected {
+        r.encode(&mut w);
+    }
+    let mine = bytes::Bytes::from(w.into_bytes());
+
+    let gathered = rank.gather(0, mine)?;
+    match gathered {
+        None => Ok(None),
+        Some(parts) => {
+            let mut blocks = BTreeMap::new();
+            for (r, part) in parts.iter().enumerate() {
+                let mut rd = Reader::new(part);
+                let n = rd
+                    .get_u32()
+                    .map_err(|e| MpiError::CollectiveMisuse(format!("bad log block: {e}")))?
+                    as usize;
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    records.push(Record::decode(&mut rd).map_err(|e| {
+                        MpiError::CollectiveMisuse(format!("bad record from rank {r}: {e}"))
+                    })?);
+                }
+                blocks.insert(r as u32, records);
+            }
+            Ok(Some(Clog2File {
+                nranks: rank.size() as u32,
+                state_defs: logger.state_defs().to_vec(),
+                event_defs: logger.event_defs().to_vec(),
+                blocks,
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use crate::ids::EventId;
+    use minimpi::{Src, Tag, World};
+
+    fn sample_file() -> Clog2File {
+        let mut blocks = BTreeMap::new();
+        blocks.insert(
+            0,
+            vec![
+                Record::Event {
+                    ts: 0.5,
+                    id: EventId(0),
+                    text: "Line: 10".into(),
+                },
+                Record::Send {
+                    ts: 0.6,
+                    dst: 1,
+                    tag: 3,
+                    size: 8,
+                },
+            ],
+        );
+        blocks.insert(
+            1,
+            vec![Record::Recv {
+                ts: 0.7,
+                src: 0,
+                tag: 3,
+                size: 8,
+            }],
+        );
+        Clog2File {
+            nranks: 2,
+            state_defs: vec![StateDef {
+                start: EventId(0),
+                end: EventId(1),
+                name: "PI_Write".into(),
+                color: Color::GREEN,
+            }],
+            event_defs: vec![EventDef {
+                id: EventId(2),
+                name: "arrival".into(),
+                color: Color::YELLOW,
+            }],
+            blocks,
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let f = sample_file();
+        let bytes = f.to_bytes();
+        assert_eq!(Clog2File::from_bytes(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_file_roundtrips() {
+        let f = Clog2File {
+            nranks: 1,
+            ..Default::default()
+        };
+        assert_eq!(Clog2File::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_file().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Clog2File::from_bytes(&bytes),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let bytes = sample_file().to_bytes();
+        for cut in [5, 12, bytes.len() - 3] {
+            assert!(
+                Clog2File::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn file_io_roundtrip() {
+        let dir = std::env::temp_dir().join("mpelog-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pclog2");
+        let f = sample_file();
+        f.write_to(&path).unwrap();
+        let back = Clog2File::read_from(&path).unwrap().unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn finish_log_gathers_all_ranks() {
+        let out = World::builder(3).run(|rank| {
+            let mut lg = Logger::new(rank.rank());
+            let id = lg.define_event("tick", Color::YELLOW);
+            for i in 0..rank.rank() + 1 {
+                lg.log_event(i as f64, id, &format!("Tick: {i}"));
+            }
+            let merged = finish_log(rank, &lg).unwrap();
+            match merged {
+                Some(file) => {
+                    assert_eq!(rank.rank(), 0);
+                    assert_eq!(file.nranks, 3);
+                    assert_eq!(file.blocks[&0].len(), 1);
+                    assert_eq!(file.blocks[&1].len(), 2);
+                    assert_eq!(file.blocks[&2].len(), 3);
+                }
+                None => assert_ne!(rank.rank(), 0),
+            }
+            0
+        });
+        assert!(out.all_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn finish_log_fails_after_abort() {
+        // The paper's Section III.B problem: MPI_Abort kills the message
+        // infrastructure MPE needs to merge the log, so the log is lost.
+        let out = World::builder(2).run(|rank| {
+            let lg = Logger::new(rank.rank());
+            if rank.rank() == 1 {
+                let _ = rank.abort(13);
+                match finish_log(rank, &lg) {
+                    Err(MpiError::Aborted { .. }) => return 0,
+                    other => panic!("expected abort, got {other:?}"),
+                }
+            }
+            // Rank 0 also loses the log.
+            match finish_log(rank, &lg) {
+                Err(MpiError::Aborted { .. }) => 0,
+                Ok(_) => panic!("log should be lost after abort"),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        });
+        assert_eq!(out.aborted, Some((1, 13)));
+    }
+
+    #[test]
+    fn finish_log_applies_corrections() {
+        use crate::sync::ClockCorrection;
+        let out = World::builder(2).run(|rank| {
+            let mut lg = Logger::new(rank.rank());
+            let id = lg.define_event("e", Color::YELLOW);
+            lg.log_event(10.0, id, "");
+            // Rank 1 pretends its clock is 4s ahead.
+            if rank.rank() == 1 {
+                lg.set_correction(ClockCorrection::constant(4.0));
+            }
+            if let Some(file) = finish_log(rank, &lg).unwrap() {
+                assert_eq!(file.blocks[&0][0].ts(), 10.0);
+                assert_eq!(file.blocks[&1][0].ts(), 6.0);
+            }
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    // keep Src/Tag imported for future tests without warnings
+    #[allow(dead_code)]
+    fn _unused(_: Src, _: Tag) {}
+}

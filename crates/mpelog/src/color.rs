@@ -1,0 +1,187 @@
+//! Displayable colours for states and events.
+//!
+//! The paper devises a deliberate colour system (Section III.A): red
+//! themes for input, green for output, darker shades for collectives,
+//! bisque for the configuration phase, gray for compute. The named
+//! constants here are the X11/CSS colours the paper mentions by name
+//! (`ForestGreen`, `IndianRed`, `bisque`, …).
+
+use std::fmt;
+
+/// An RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red component.
+    pub r: u8,
+    /// Green component.
+    pub g: u8,
+    /// Blue component.
+    pub b: u8,
+}
+
+impl Color {
+    /// Construct from components.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    // The palette used by the paper's visual design.
+
+    /// Point-to-point read (`PI_Read`): "red means stop" — reading blocks.
+    pub const RED: Color = Color::rgb(0xFF, 0x00, 0x00);
+    /// Point-to-point write (`PI_Write`): "green means go".
+    pub const GREEN: Color = Color::rgb(0x00, 0xFF, 0x00);
+    /// Collective output (e.g. `PI_Broadcast`): darker green.
+    pub const FOREST_GREEN: Color = Color::rgb(0x22, 0x8B, 0x22);
+    /// Collective input (e.g. `PI_Gather`): darker red.
+    pub const INDIAN_RED: Color = Color::rgb(0xCD, 0x5C, 0x5C);
+    /// Even darker green for `PI_Scatter`-style collectives.
+    pub const DARK_GREEN: Color = Color::rgb(0x00, 0x64, 0x00);
+    /// Dark red for `PI_Reduce`-style collective input.
+    pub const DARK_RED: Color = Color::rgb(0x8B, 0x00, 0x00);
+    /// Configuration phase rectangle.
+    pub const BISQUE: Color = Color::rgb(0xFF, 0xE4, 0xC4);
+    /// Compute (execution-phase) rectangle.
+    pub const GRAY: Color = Color::rgb(0x80, 0x80, 0x80);
+    /// Solo event bubbles (the "yellow lines" of Fig. 1).
+    pub const YELLOW: Color = Color::rgb(0xFF, 0xFF, 0x00);
+    /// Message arrows.
+    pub const WHITE: Color = Color::rgb(0xFF, 0xFF, 0xFF);
+    /// `PI_Select` waiting state.
+    pub const ORANGE: Color = Color::rgb(0xFF, 0xA5, 0x00);
+    /// Fallback for unknown categories.
+    pub const BLACK: Color = Color::rgb(0x00, 0x00, 0x00);
+    /// Administrative bubbles.
+    pub const STEEL_BLUE: Color = Color::rgb(0x46, 0x82, 0xB4);
+
+    /// The named palette, for lookup by name (case-insensitive).
+    pub const NAMED: &'static [(&'static str, Color)] = &[
+        ("red", Color::RED),
+        ("green", Color::GREEN),
+        ("forestgreen", Color::FOREST_GREEN),
+        ("indianred", Color::INDIAN_RED),
+        ("darkgreen", Color::DARK_GREEN),
+        ("darkred", Color::DARK_RED),
+        ("bisque", Color::BISQUE),
+        ("gray", Color::GRAY),
+        ("yellow", Color::YELLOW),
+        ("white", Color::WHITE),
+        ("orange", Color::ORANGE),
+        ("black", Color::BLACK),
+        ("steelblue", Color::STEEL_BLUE),
+    ];
+
+    /// Look a colour up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<Color> {
+        let lower = name.to_ascii_lowercase();
+        Color::NAMED
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, c)| *c)
+    }
+
+    /// `#rrggbb` form, as used in SVG output.
+    pub fn to_hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+
+    /// Parse `#rrggbb`.
+    pub fn from_hex(s: &str) -> Option<Color> {
+        let s = s.strip_prefix('#')?;
+        if s.len() != 6 || !s.is_ascii() {
+            return None;
+        }
+        let r = u8::from_str_radix(&s[0..2], 16).ok()?;
+        let g = u8::from_str_radix(&s[2..4], 16).ok()?;
+        let b = u8::from_str_radix(&s[4..6], 16).ok()?;
+        Some(Color::rgb(r, g, b))
+    }
+
+    /// Perceived luminance in `[0, 255]` (ITU-R BT.601). The renderer uses
+    /// this to pick readable label colours on top of state rectangles.
+    pub fn luminance(self) -> f64 {
+        0.299 * self.r as f64 + 0.587 * self.g as f64 + 0.114 * self.b as f64
+    }
+
+    /// A darker shade of this colour — the paper's rule for deriving
+    /// collective-function colours from `PI_Read`/`PI_Write`.
+    pub fn darker(self, factor: f64) -> Color {
+        let f = factor.clamp(0.0, 1.0);
+        Color::rgb(
+            (self.r as f64 * f) as u8,
+            (self.g as f64 * f) as u8,
+            (self.b as f64 * f) as u8,
+        )
+    }
+
+    /// Pack to a `u32` (0x00RRGGBB) for the wire.
+    pub fn pack(self) -> u32 {
+        ((self.r as u32) << 16) | ((self.g as u32) << 8) | self.b as u32
+    }
+
+    /// Unpack from a `u32`.
+    pub fn unpack(v: u32) -> Color {
+        Color::rgb(((v >> 16) & 0xFF) as u8, ((v >> 8) & 0xFF) as u8, (v & 0xFF) as u8)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for (_, c) in Color::NAMED {
+            assert_eq!(Color::from_hex(&c.to_hex()), Some(*c));
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        for (_, c) in Color::NAMED {
+            assert_eq!(Color::unpack(c.pack()), *c);
+        }
+    }
+
+    #[test]
+    fn name_lookup_case_insensitive() {
+        assert_eq!(Color::by_name("ForestGreen"), Some(Color::FOREST_GREEN));
+        assert_eq!(Color::by_name("BISQUE"), Some(Color::BISQUE));
+        assert_eq!(Color::by_name("nope"), None);
+    }
+
+    #[test]
+    fn paper_colors_have_expected_values() {
+        // The CSS values the paper's named colours refer to.
+        assert_eq!(Color::FOREST_GREEN.to_hex(), "#228b22");
+        assert_eq!(Color::INDIAN_RED.to_hex(), "#cd5c5c");
+        assert_eq!(Color::BISQUE.to_hex(), "#ffe4c4");
+    }
+
+    #[test]
+    fn darker_darkens() {
+        let d = Color::GREEN.darker(0.5);
+        assert!(d.g < Color::GREEN.g);
+        assert!(d.luminance() < Color::GREEN.luminance());
+    }
+
+    #[test]
+    fn from_hex_rejects_garbage() {
+        assert_eq!(Color::from_hex("228b22"), None); // missing '#'
+        assert_eq!(Color::from_hex("#22"), None);
+        assert_eq!(Color::from_hex("#gggggg"), None);
+        assert_eq!(Color::from_hex("#22öb22"), None);
+    }
+
+    #[test]
+    fn luminance_orders_black_white() {
+        assert!(Color::BLACK.luminance() < Color::GRAY.luminance());
+        assert!(Color::GRAY.luminance() < Color::WHITE.luminance());
+    }
+}

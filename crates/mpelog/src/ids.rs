@@ -1,0 +1,88 @@
+//! Event-id allocation.
+//!
+//! MPE hands out integer event ids at initialization time; a *state*
+//! consumes a pair (start id, end id) and a *solo event* a single id.
+//! Every rank must perform the same allocations in the same order so the
+//! ids agree world-wide — the allocator is deterministic to make that
+//! property hold (and a property test checks it).
+
+/// An MPE-style event id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+/// Deterministic allocator of event ids.
+#[derive(Debug, Default, Clone)]
+pub struct IdAllocator {
+    next: u32,
+}
+
+impl IdAllocator {
+    /// Fresh allocator starting at id 0.
+    pub fn new() -> Self {
+        IdAllocator { next: 0 }
+    }
+
+    /// Allocate a state's (start, end) id pair — `MPE_Log_get_state_eventIDs`.
+    pub fn state_pair(&mut self) -> (EventId, EventId) {
+        let s = EventId(self.next);
+        let e = EventId(self.next + 1);
+        self.next += 2;
+        (s, e)
+    }
+
+    /// Allocate a solo-event id — `MPE_Log_get_solo_eventID`.
+    pub fn solo(&mut self) -> EventId {
+        let id = EventId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// How many ids have been handed out.
+    pub fn allocated(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_adjacent_and_disjoint() {
+        let mut a = IdAllocator::new();
+        let (s1, e1) = a.state_pair();
+        let (s2, e2) = a.state_pair();
+        assert_eq!(e1.0, s1.0 + 1);
+        assert_eq!(e2.0, s2.0 + 1);
+        assert!(e1 < s2);
+    }
+
+    #[test]
+    fn solo_interleaves_without_collision() {
+        let mut a = IdAllocator::new();
+        let (s, e) = a.state_pair();
+        let x = a.solo();
+        let (s2, _) = a.state_pair();
+        let all = [s.0, e.0, x.0, s2.0];
+        let mut dedup = all.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn two_allocators_agree() {
+        // The world-wide agreement property: same call sequence, same ids.
+        let mut a = IdAllocator::new();
+        let mut b = IdAllocator::new();
+        assert_eq!(a.state_pair(), b.state_pair());
+        assert_eq!(a.solo(), b.solo());
+        assert_eq!(a.state_pair(), b.state_pair());
+    }
+}

@@ -1,0 +1,286 @@
+//! The per-rank log buffer.
+//!
+//! MPE buffers records in memory on each rank during the run (which is
+//! why its steady-state overhead is tiny — the paper's Table 1
+//! observation) and pays the merge cost once, at `MPE_Finish_log`.
+
+use crate::color::Color;
+use crate::ids::{EventId, IdAllocator};
+use crate::record::{clamp_info, EventDef, Record, StateDef};
+use crate::spill::SpillWriter;
+use crate::sync::ClockCorrection;
+
+/// A rank's in-memory event log.
+///
+/// Timestamps are supplied by the caller (normally `Rank::wtime()`), so
+/// the logger itself is clock-agnostic and trivially unit-testable.
+#[derive(Debug)]
+pub struct Logger {
+    rank: usize,
+    ids: IdAllocator,
+    state_defs: Vec<StateDef>,
+    event_defs: Vec<EventDef>,
+    records: Vec<Record>,
+    correction: ClockCorrection,
+    spill: Option<SpillWriter>,
+}
+
+impl Logger {
+    /// Fresh logger for `rank`.
+    pub fn new(rank: usize) -> Self {
+        Logger {
+            rank,
+            ids: IdAllocator::new(),
+            state_defs: Vec::new(),
+            event_defs: Vec::new(),
+            records: Vec::new(),
+            correction: ClockCorrection::identity(),
+            spill: None,
+        }
+    }
+
+    /// Attach an abort-safe spill file (see [`crate::spill`]): every
+    /// definition made so far is replayed into it, and every future
+    /// record is streamed to disk as it is logged.
+    pub fn attach_spill(&mut self, dir: &std::path::Path) -> std::io::Result<()> {
+        let mut w = SpillWriter::create(dir, self.rank)?;
+        for d in &self.state_defs {
+            w.state_def(d)?;
+        }
+        for d in &self.event_defs {
+            w.event_def(d)?;
+        }
+        for r in &self.records {
+            w.record(r)?;
+        }
+        self.spill = Some(w);
+        Ok(())
+    }
+
+    fn spill_record(&mut self, rec: &Record) {
+        if let Some(w) = self.spill.as_mut() {
+            if w.record(rec).is_err() {
+                // Best effort: a dead spill must not kill the run.
+                self.spill = None;
+            }
+        }
+    }
+
+    /// Which rank this logger belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Define a state (name + colour), allocating its id pair.
+    /// Must be called in the same order on every rank.
+    pub fn define_state(&mut self, name: &str, color: Color) -> (EventId, EventId) {
+        let (s, e) = self.ids.state_pair();
+        let def = StateDef {
+            start: s,
+            end: e,
+            name: name.to_string(),
+            color,
+        };
+        if let Some(w) = self.spill.as_mut() {
+            let _ = w.state_def(&def);
+        }
+        self.state_defs.push(def);
+        (s, e)
+    }
+
+    /// Define a solo event (name + colour), allocating its id.
+    pub fn define_event(&mut self, name: &str, color: Color) -> EventId {
+        let id = self.ids.solo();
+        let def = EventDef {
+            id,
+            name: name.to_string(),
+            color,
+        };
+        if let Some(w) = self.spill.as_mut() {
+            let _ = w.event_def(&def);
+        }
+        self.event_defs.push(def);
+        id
+    }
+
+    /// Log one event instance — `MPE_Log_event`. Called twice (start id,
+    /// end id) to bracket a state, or once with a solo id. The info text
+    /// is truncated to the MPE 40-byte limit.
+    pub fn log_event(&mut self, ts: f64, id: EventId, text: &str) {
+        let rec = Record::Event {
+            ts,
+            id,
+            text: clamp_info(text),
+        };
+        self.spill_record(&rec);
+        self.records.push(rec);
+    }
+
+    /// Log a message send — `MPE_Log_send`. Must be paired with a
+    /// matching `log_receive` (same tag, same size) on the destination.
+    pub fn log_send(&mut self, ts: f64, dst: usize, tag: u32, size: usize) {
+        let rec = Record::Send {
+            ts,
+            dst: dst as u32,
+            tag,
+            size: size as u32,
+        };
+        self.spill_record(&rec);
+        self.records.push(rec);
+    }
+
+    /// Log a message receive — `MPE_Log_receive`.
+    pub fn log_receive(&mut self, ts: f64, src: usize, tag: u32, size: usize) {
+        let rec = Record::Recv {
+            ts,
+            src: src as u32,
+            tag,
+            size: size as u32,
+        };
+        self.spill_record(&rec);
+        self.records.push(rec);
+    }
+
+    /// Install the clock-sync correction (from [`crate::sync::sync_clocks`]).
+    pub fn set_correction(&mut self, c: ClockCorrection) {
+        self.correction = c;
+    }
+
+    /// The installed correction.
+    pub fn correction(&self) -> &ClockCorrection {
+        &self.correction
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// State definitions made on this rank.
+    pub fn state_defs(&self) -> &[StateDef] {
+        &self.state_defs
+    }
+
+    /// Solo-event definitions made on this rank.
+    pub fn event_defs(&self) -> &[EventDef] {
+        &self.event_defs
+    }
+
+    /// Raw buffered records (uncorrected timestamps).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The records with the clock correction applied — what goes into the
+    /// merged CLOG2 file.
+    pub fn corrected_records(&self) -> Vec<Record> {
+        self.records
+            .iter()
+            .map(|r| r.map_ts(|t| self.correction.apply(t)))
+            .collect()
+    }
+
+    /// Drop all buffered records (used between benchmark repetitions).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_bracketing_produces_two_records() {
+        let mut lg = Logger::new(0);
+        let (s, e) = lg.define_state("PI_Read", Color::RED);
+        lg.log_event(1.0, s, "");
+        lg.log_event(2.0, e, "");
+        assert_eq!(lg.len(), 2);
+        assert_eq!(lg.records()[0].ts(), 1.0);
+        assert_eq!(lg.records()[1].ts(), 2.0);
+    }
+
+    #[test]
+    fn info_text_is_truncated() {
+        let mut lg = Logger::new(0);
+        let id = lg.define_event("bubble", Color::YELLOW);
+        lg.log_event(0.0, id, &"y".repeat(200));
+        match &lg.records()[0] {
+            Record::Event { text, .. } => assert_eq!(text.len(), crate::MAX_INFO_BYTES),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn send_recv_records_carry_envelope() {
+        let mut lg = Logger::new(3);
+        lg.log_send(1.0, 5, 77, 1024);
+        lg.log_receive(1.5, 5, 78, 2048);
+        assert_eq!(
+            lg.records()[0],
+            Record::Send {
+                ts: 1.0,
+                dst: 5,
+                tag: 77,
+                size: 1024
+            }
+        );
+        assert_eq!(
+            lg.records()[1],
+            Record::Recv {
+                ts: 1.5,
+                src: 5,
+                tag: 78,
+                size: 2048
+            }
+        );
+    }
+
+    #[test]
+    fn correction_applies_to_all_records() {
+        let mut lg = Logger::new(0);
+        let id = lg.define_event("x", Color::YELLOW);
+        lg.log_event(10.0, id, "");
+        lg.log_send(11.0, 1, 0, 0);
+        lg.set_correction(ClockCorrection::constant(2.0));
+        let corrected = lg.corrected_records();
+        assert_eq!(corrected[0].ts(), 8.0);
+        assert_eq!(corrected[1].ts(), 9.0);
+        // originals untouched
+        assert_eq!(lg.records()[0].ts(), 10.0);
+    }
+
+    #[test]
+    fn two_loggers_allocate_identical_ids() {
+        // The MPE requirement: same definition order on all ranks.
+        let mut a = Logger::new(0);
+        let mut b = Logger::new(1);
+        let ids_a = (
+            a.define_state("s1", Color::RED),
+            a.define_event("e1", Color::YELLOW),
+            a.define_state("s2", Color::GREEN),
+        );
+        let ids_b = (
+            b.define_state("s1", Color::RED),
+            b.define_event("e1", Color::YELLOW),
+            b.define_state("s2", Color::GREEN),
+        );
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn clear_resets_records_not_defs() {
+        let mut lg = Logger::new(0);
+        let id = lg.define_event("x", Color::YELLOW);
+        lg.log_event(0.0, id, "");
+        lg.clear();
+        assert!(lg.is_empty());
+        assert_eq!(lg.event_defs().len(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Clock synchronization — the analogue of `MPE_Log_sync_clocks`.
+//!
+//! On a cluster, each node's `MPI_Wtime` drifts; MPE recalibrates all
+//! clocks so that the merged log is causally consistent (no arrow should
+//! point backwards in time). Our [`minimpi`] worlds can *inject* drift
+//! per rank (see [`minimpi::ClockConfig`]), and this module removes it
+//! again by probing offsets against rank 0 with Cristian's algorithm:
+//!
+//! ```text
+//! master (rank 0)                     slave (rank r)
+//! t0 = wtime();  ping ->
+//!                                     ts = wtime();  <- reply(ts)
+//! t1 = wtime()
+//! offset_sample = ts - (t0 + t1)/2    (kept for the smallest rtt)
+//! ```
+//!
+//! Calling [`sync_clocks`] at the start *and* end of a run gives two
+//! `(local_time, offset)` samples per rank, from which
+//! [`ClockCorrection`] interpolates linearly — correcting skew, not just
+//! offset, the "recalibration" the paper mentions.
+
+use minimpi::{MpiError, Rank, Src, Tag};
+
+/// Reserved tag block inside the user tag space, high enough not to
+/// collide with Pilot's channel tags.
+const TAG_SYNC_HDR: u32 = 0x3F00_0001;
+const TAG_SYNC_PING: u32 = 0x3F00_0002;
+const TAG_SYNC_REPLY: u32 = 0x3F00_0003;
+const TAG_SYNC_FINAL: u32 = 0x3F00_0004;
+
+/// A piecewise-linear mapping from a rank's local clock to rank 0's
+/// clock: `corrected = local - offset(local)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClockCorrection {
+    /// `(local_time_of_sample, measured_offset)` pairs, sorted by time.
+    /// Empty means identity.
+    points: Vec<(f64, f64)>,
+}
+
+impl ClockCorrection {
+    /// No correction.
+    pub fn identity() -> Self {
+        ClockCorrection { points: Vec::new() }
+    }
+
+    /// Constant offset correction (a single sync point).
+    pub fn constant(offset: f64) -> Self {
+        ClockCorrection {
+            points: vec![(0.0, offset)],
+        }
+    }
+
+    /// Build from sync samples; they are sorted by local time.
+    pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        ClockCorrection { points }
+    }
+
+    /// Add one sample (e.g. the end-of-run recalibration).
+    pub fn push_point(&mut self, local_t: f64, offset: f64) {
+        self.points.push((local_t, offset));
+        self.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    }
+
+    /// The samples backing this correction.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Estimated offset at local time `t` (linear interpolation between
+    /// samples, constant extrapolation outside).
+    pub fn offset_at(&self, t: f64) -> f64 {
+        match self.points.len() {
+            0 => 0.0,
+            1 => self.points[0].1,
+            _ => {
+                if t <= self.points[0].0 {
+                    return self.points[0].1;
+                }
+                let last = self.points[self.points.len() - 1];
+                if t >= last.0 {
+                    return last.1;
+                }
+                // Find the bracketing pair.
+                let i = self
+                    .points
+                    .windows(2)
+                    .position(|w| t >= w[0].0 && t <= w[1].0)
+                    .expect("t inside range");
+                let (t0, o0) = self.points[i];
+                let (t1, o1) = self.points[i + 1];
+                let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+                o0 + frac * (o1 - o0)
+            }
+        }
+    }
+
+    /// Map a local timestamp to the global (rank 0) timeline.
+    #[inline]
+    pub fn apply(&self, local: f64) -> f64 {
+        local - self.offset_at(local)
+    }
+}
+
+/// One synchronization pass. Collective over the whole world: every rank
+/// must call it (at the same point in the program). Returns this rank's
+/// `(local_time, offset_vs_rank0)` sample — rank 0's offset is 0 by
+/// definition.
+pub fn sync_clocks(rank: &Rank, rounds: usize) -> Result<(f64, f64), MpiError> {
+    let n = rank.size();
+    let me = rank.rank();
+    let rounds = rounds.max(1);
+
+    if me == 0 {
+        // Master: probe each slave in turn, then tell it its offset.
+        for r in 1..n {
+            rank.send(r, TAG_SYNC_HDR, &(rounds as u32).to_le_bytes())?;
+            let mut best_rtt = f64::INFINITY;
+            let mut best_offset = 0.0;
+            for _ in 0..rounds {
+                let t0 = rank.wtime();
+                rank.send(r, TAG_SYNC_PING, &[])?;
+                let reply = rank.recv(Src::Of(r), Tag::Of(TAG_SYNC_REPLY))?;
+                let t1 = rank.wtime();
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&reply.payload);
+                let slave_ts = f64::from_le_bytes(buf);
+                let rtt = t1 - t0;
+                if rtt < best_rtt {
+                    best_rtt = rtt;
+                    best_offset = slave_ts - (t0 + t1) / 2.0;
+                }
+            }
+            rank.send(r, TAG_SYNC_FINAL, &best_offset.to_le_bytes())?;
+        }
+        Ok((rank.wtime(), 0.0))
+    } else {
+        // Slave: answer pings with our clock, then learn our offset.
+        let hdr = rank.recv(Src::Of(0), Tag::Of(TAG_SYNC_HDR))?;
+        let mut buf4 = [0u8; 4];
+        buf4.copy_from_slice(&hdr.payload);
+        let rounds = u32::from_le_bytes(buf4) as usize;
+        for _ in 0..rounds {
+            rank.recv(Src::Of(0), Tag::Of(TAG_SYNC_PING))?;
+            let ts = rank.wtime();
+            rank.send(0, TAG_SYNC_REPLY, &ts.to_le_bytes())?;
+        }
+        let fin = rank.recv(Src::Of(0), Tag::Of(TAG_SYNC_FINAL))?;
+        let mut buf8 = [0u8; 8];
+        buf8.copy_from_slice(&fin.payload);
+        let offset = f64::from_le_bytes(buf8);
+        Ok((rank.wtime(), offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimpi::{ClockConfig, World};
+
+    #[test]
+    fn identity_correction_is_noop() {
+        let c = ClockCorrection::identity();
+        assert_eq!(c.apply(123.456), 123.456);
+    }
+
+    #[test]
+    fn constant_correction_shifts() {
+        let c = ClockCorrection::constant(1.5);
+        assert_eq!(c.apply(10.0), 8.5);
+    }
+
+    #[test]
+    fn two_point_correction_interpolates() {
+        // Offset grows linearly from 1.0 at t=0 to 3.0 at t=10 (skew).
+        let c = ClockCorrection::from_points(vec![(0.0, 1.0), (10.0, 3.0)]);
+        assert_eq!(c.offset_at(0.0), 1.0);
+        assert_eq!(c.offset_at(10.0), 3.0);
+        assert!((c.offset_at(5.0) - 2.0).abs() < 1e-12);
+        // Extrapolation is constant.
+        assert_eq!(c.offset_at(-5.0), 1.0);
+        assert_eq!(c.offset_at(20.0), 3.0);
+    }
+
+    #[test]
+    fn push_point_keeps_sorted() {
+        let mut c = ClockCorrection::from_points(vec![(10.0, 2.0)]);
+        c.push_point(0.0, 1.0);
+        assert_eq!(c.points(), &[(0.0, 1.0), (10.0, 2.0)]);
+    }
+
+    #[test]
+    fn sync_estimates_injected_offsets() {
+        // Rank r's clock is r * 0.25 s ahead. After sync, each rank's
+        // measured offset must be within a few ms of the injected one
+        // (shared-memory ping RTTs are tiny).
+        let n = 4;
+        let out = World::builder(n)
+            .clock(ClockConfig::with_linear_drift(n, 0.25, 0.0))
+            .run(|rank| {
+                let (_, offset) = sync_clocks(rank, 8).unwrap();
+                let expect = 0.25 * rank.rank() as f64;
+                assert!(
+                    (offset - expect).abs() < 0.01,
+                    "rank {}: offset {} vs expected {}",
+                    rank.rank(),
+                    offset,
+                    expect
+                );
+                0
+            });
+        assert!(out.all_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn sync_without_drift_measures_near_zero() {
+        let out = World::builder(3).run(|rank| {
+            let (_, offset) = sync_clocks(rank, 4).unwrap();
+            assert!(offset.abs() < 0.01, "offset {offset}");
+            0
+        });
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn corrected_clocks_agree_across_ranks() {
+        // After correction, two ranks reading "the same instant" (enforced
+        // by a barrier) should land within a few ms of each other.
+        use std::sync::Mutex;
+        let readings: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let n = 3;
+        let out = World::builder(n)
+            .clock(ClockConfig::with_linear_drift(n, 0.5, 0.0))
+            .run(|rank| {
+                let (t, offset) = sync_clocks(rank, 8).unwrap();
+                let corr = ClockCorrection::from_points(vec![(t, offset)]);
+                rank.barrier().unwrap();
+                let now = corr.apply(rank.wtime());
+                rank.barrier().unwrap();
+                readings.lock().unwrap().push(now);
+                0
+            });
+        assert!(out.all_ok());
+        let rs = readings.into_inner().unwrap();
+        let min = rs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min < 0.05, "spread {} too large: {rs:?}", max - min);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests: the wire codec, record/file round trips, the
+//! 40-byte info clamp, and clock-correction math.
+
+use mpelog::ids::EventId;
+use mpelog::record::{clamp_info, Record};
+use mpelog::wire::{Reader, Writer};
+use mpelog::{Clog2File, ClockCorrection, Color, Logger, MAX_INFO_BYTES};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (any::<f64>().prop_filter("finite", |t| t.is_finite()), any::<u32>(), ".{0,60}").prop_map(
+            |(ts, id, text)| Record::Event {
+                ts,
+                id: EventId(id),
+                text: clamp_info(&text),
+            }
+        ),
+        (0f64..1e6, any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(ts, dst, tag, size)| {
+            Record::Send { ts, dst, tag, size }
+        }),
+        (0f64..1e6, any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(ts, src, tag, size)| {
+            Record::Recv { ts, src, tag, size }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_mixed_sequence_roundtrips(
+        u8s in proptest::collection::vec(any::<u8>(), 0..8),
+        u32s in proptest::collection::vec(any::<u32>(), 0..8),
+        f64s in proptest::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 0..8),
+        strings in proptest::collection::vec(".{0,40}", 0..6),
+    ) {
+        let mut w = Writer::new();
+        for &v in &u8s { w.put_u8(v); }
+        for &v in &u32s { w.put_u32(v); }
+        for &v in &f64s { w.put_f64(v); }
+        for s in &strings { w.put_str(s); }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for &v in &u8s { prop_assert_eq!(r.get_u8().unwrap(), v); }
+        for &v in &u32s { prop_assert_eq!(r.get_u32().unwrap(), v); }
+        for &v in &f64s { prop_assert_eq!(r.get_f64().unwrap(), v); }
+        for s in &strings { prop_assert_eq!(&r.get_str().unwrap(), s); }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn record_roundtrips(rec in arb_record()) {
+        let mut w = Writer::new();
+        rec.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = Record::decode(&mut Reader::new(&bytes)).unwrap();
+        // NaN-free by construction, so equality is fine.
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn clog_file_roundtrips(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(arb_record(), 0..30),
+            0..5,
+        ),
+    ) {
+        let mut file = Clog2File {
+            nranks: blocks.len() as u32,
+            ..Default::default()
+        };
+        for (r, records) in blocks.into_iter().enumerate() {
+            file.blocks.insert(r as u32, records);
+        }
+        let back = Clog2File::from_bytes(&file.to_bytes()).unwrap();
+        prop_assert_eq!(back, file);
+    }
+
+    #[test]
+    fn truncated_clog_never_panics(
+        blocks in proptest::collection::vec(proptest::collection::vec(arb_record(), 0..10), 1..3),
+        frac in 0f64..1.0,
+    ) {
+        let mut file = Clog2File { nranks: blocks.len() as u32, ..Default::default() };
+        for (r, records) in blocks.into_iter().enumerate() {
+            file.blocks.insert(r as u32, records);
+        }
+        let bytes = file.to_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        // Must return (Ok for the full file, Err otherwise) — never panic.
+        let _ = Clog2File::from_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn corrupted_clog_never_panics(
+        seed_byte in any::<u8>(),
+        pos_frac in 0f64..1.0,
+    ) {
+        let mut lg = Logger::new(0);
+        let id = lg.define_event("x", Color::YELLOW);
+        for i in 0..20 {
+            lg.log_event(i as f64, id, "text");
+        }
+        let mut file = Clog2File { nranks: 1, ..Default::default() };
+        file.event_defs = lg.event_defs().to_vec();
+        file.blocks.insert(0, lg.records().to_vec());
+        let mut bytes = file.to_bytes();
+        let pos = ((bytes.len().saturating_sub(1)) as f64 * pos_frac) as usize;
+        bytes[pos] ^= seed_byte;
+        let _ = Clog2File::from_bytes(&bytes); // no panic allowed
+    }
+
+    #[test]
+    fn clamp_info_is_bounded_and_idempotent(s in ".{0,120}") {
+        let c = clamp_info(&s);
+        prop_assert!(c.len() <= MAX_INFO_BYTES);
+        prop_assert!(s.starts_with(&c));
+        prop_assert_eq!(clamp_info(&c.clone()), c);
+    }
+
+    #[test]
+    fn correction_interpolation_is_bounded_by_samples(
+        o1 in -10f64..10.0,
+        o2 in -10f64..10.0,
+        t in 0f64..100.0,
+    ) {
+        let c = ClockCorrection::from_points(vec![(0.0, o1), (100.0, o2)]);
+        let off = c.offset_at(t);
+        let (lo, hi) = if o1 < o2 { (o1, o2) } else { (o2, o1) };
+        prop_assert!(off >= lo - 1e-12 && off <= hi + 1e-12, "off={off} not in [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn correction_apply_preserves_order_for_mild_skew(
+        o1 in -1f64..1.0,
+        o2 in -1f64..1.0,
+        a in 0f64..50.0,
+        delta in 3f64..50.0,
+    ) {
+        // Sample offsets 100s apart with |offset| <= 1s: effective skew
+        // below 2%, so timestamps more than `delta` >= 3s apart cannot be
+        // reordered by the correction.
+        let c = ClockCorrection::from_points(vec![(0.0, o1), (100.0, o2)]);
+        let b = a + delta;
+        prop_assert!(c.apply(b) > c.apply(a));
+    }
+}

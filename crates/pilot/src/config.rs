@@ -1,0 +1,215 @@
+//! Run configuration — the analogue of Pilot's command-line options.
+//!
+//! The C library reads `-pisvc=` (service letters) and `-picheck=`
+//! (error-check level) from `argv` inside `PI_Configure`.
+//! [`PilotConfig::from_args`] parses the same syntax so examples can be
+//! driven exactly like the paper drives them (`-pisvc=cj` etc.), and
+//! builder methods cover programmatic use.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use minimpi::ClockConfig;
+
+/// Which optional run-time services are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Services {
+    /// `c`: native call logging (streams each entry to the service rank,
+    /// which writes it to disk immediately — abort-safe, but consumes an
+    /// MPI rank).
+    pub call_log: bool,
+    /// `d`: the integrated deadlock detector (shares the service rank).
+    pub deadlock: bool,
+    /// `j`: MPE/Jumpshot logging (buffered per rank, merged at the end;
+    /// no extra rank, but the log is lost on abort).
+    pub jumpshot: bool,
+}
+
+impl Services {
+    /// Parse the letters of a `-pisvc=` value.
+    pub fn parse(letters: &str) -> Result<Services, String> {
+        let mut s = Services::default();
+        for ch in letters.chars() {
+            match ch {
+                'c' => s.call_log = true,
+                'd' => s.deadlock = true,
+                'j' => s.jumpshot = true,
+                other => return Err(format!("unknown service letter '{other}' in -pisvc")),
+            }
+        }
+        Ok(s)
+    }
+
+    /// Does this configuration consume a dedicated service rank?
+    /// (Native logging and deadlock detection share one.)
+    pub fn needs_service_rank(&self) -> bool {
+        self.call_log || self.deadlock
+    }
+}
+
+/// Complete configuration for [`crate::run`].
+#[derive(Debug, Clone)]
+pub struct PilotConfig {
+    /// Total MPI ranks, like `mpirun -n N`. One becomes `PI_MAIN`, one
+    /// may be taken by services; the rest are available for processes.
+    pub ranks: usize,
+    /// Enabled services.
+    pub services: Services,
+    /// Error-check level 0..=3 (the `-picheck=` option):
+    /// 0 = minimal, 1 = API-misuse checks (default), 2 = + reader/writer
+    /// format verification, 3 = + argument validity checks.
+    pub check_level: u8,
+    /// Clock behaviour of the underlying world (resolution quantization
+    /// and drift injection for the clock experiments).
+    pub clock: ClockConfig,
+    /// Artificial delay between the fanout arrows of a collective
+    /// operation — the paper's `usleep` workaround for superimposed
+    /// arrows ("Equal Drawables"). Set to zero to reproduce the problem.
+    pub arrow_spread: Duration,
+    /// Ping rounds used by clock synchronization.
+    pub sync_rounds: usize,
+    /// Where the native (`c`) log is streamed; `None` keeps it only in
+    /// memory (it is returned in the run artifacts either way).
+    pub native_log_path: Option<PathBuf>,
+    /// Use synchronous (rendezvous) channel writes. Default false:
+    /// buffered sends, matching the C library's use of `MPI_Send`.
+    pub synchronous_channels: bool,
+    /// Abort-safe MPE logging (the paper's future-work item): when set,
+    /// every rank streams its MPE records to `<dir>/rank<N>.mpespill` as
+    /// they are logged, and `mpelog::salvage(dir)` can rebuild a partial
+    /// log after an abort. Costs a write+flush per record.
+    pub mpe_spill_dir: Option<PathBuf>,
+}
+
+impl PilotConfig {
+    /// Default configuration for a world of `ranks` ranks.
+    pub fn new(ranks: usize) -> PilotConfig {
+        PilotConfig {
+            ranks,
+            services: Services::default(),
+            check_level: 1,
+            clock: ClockConfig::default(),
+            arrow_spread: Duration::from_millis(1),
+            sync_rounds: 4,
+            native_log_path: None,
+            synchronous_channels: false,
+            mpe_spill_dir: None,
+        }
+    }
+
+    /// Parse Pilot's command-line options, ignoring unrelated arguments
+    /// (which in the C library are left for the application).
+    ///
+    /// Recognized: `-pisvc=<letters>`, `-picheck=<0..3>`.
+    pub fn from_args(ranks: usize, args: &[&str]) -> Result<PilotConfig, String> {
+        let mut cfg = PilotConfig::new(ranks);
+        for a in args {
+            if let Some(letters) = a.strip_prefix("-pisvc=") {
+                cfg.services = Services::parse(letters)?;
+            } else if let Some(level) = a.strip_prefix("-picheck=") {
+                let level: u8 = level
+                    .parse()
+                    .map_err(|_| format!("bad -picheck value '{level}'"))?;
+                if level > 3 {
+                    return Err(format!("-picheck={level} out of range (0..=3)"));
+                }
+                cfg.check_level = level;
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Builder: set services.
+    pub fn with_services(mut self, s: Services) -> Self {
+        self.services = s;
+        self
+    }
+
+    /// Builder: set the error-check level.
+    pub fn with_check_level(mut self, level: u8) -> Self {
+        self.check_level = level.min(3);
+        self
+    }
+
+    /// Builder: set the clock config.
+    pub fn with_clock(mut self, clock: ClockConfig) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Builder: set the collective arrow spread.
+    pub fn with_arrow_spread(mut self, d: Duration) -> Self {
+        self.arrow_spread = d;
+        self
+    }
+
+    /// Builder: enable abort-safe MPE spill files under `dir`.
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.mpe_spill_dir = Some(dir);
+        self
+    }
+
+    /// Number of Pilot processes this world can host (main included):
+    /// total ranks minus the service rank if one is needed.
+    pub fn process_capacity(&self) -> usize {
+        self.ranks - usize::from(self.services.needs_service_rank())
+    }
+
+    /// The rank running the service loop, if any (always the last rank).
+    pub fn service_rank(&self) -> Option<usize> {
+        self.services
+            .needs_service_rank()
+            .then(|| self.ranks - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_service_letters() {
+        let s = Services::parse("cj").unwrap();
+        assert!(s.call_log && s.jumpshot && !s.deadlock);
+        assert!(s.needs_service_rank());
+        let s = Services::parse("j").unwrap();
+        assert!(!s.needs_service_rank());
+        assert!(Services::parse("x").is_err());
+        assert_eq!(Services::parse("").unwrap(), Services::default());
+    }
+
+    #[test]
+    fn from_args_parses_pilot_options_and_ignores_rest() {
+        let cfg =
+            PilotConfig::from_args(6, &["./lab2", "-pisvc=cdj", "input.csv", "-picheck=3"]).unwrap();
+        assert!(cfg.services.call_log && cfg.services.deadlock && cfg.services.jumpshot);
+        assert_eq!(cfg.check_level, 3);
+        assert_eq!(cfg.ranks, 6);
+    }
+
+    #[test]
+    fn from_args_rejects_bad_values() {
+        assert!(PilotConfig::from_args(2, &["-picheck=9"]).is_err());
+        assert!(PilotConfig::from_args(2, &["-picheck=abc"]).is_err());
+        assert!(PilotConfig::from_args(2, &["-pisvc=q"]).is_err());
+    }
+
+    #[test]
+    fn capacity_accounts_for_service_rank() {
+        let cfg = PilotConfig::new(6);
+        assert_eq!(cfg.process_capacity(), 6);
+        assert_eq!(cfg.service_rank(), None);
+        let cfg = PilotConfig::from_args(6, &["-pisvc=c"]).unwrap();
+        assert_eq!(cfg.process_capacity(), 5);
+        assert_eq!(cfg.service_rank(), Some(5));
+        // MPE logging alone consumes no rank.
+        let cfg = PilotConfig::from_args(6, &["-pisvc=j"]).unwrap();
+        assert_eq!(cfg.process_capacity(), 6);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let cfg = PilotConfig::new(2).with_check_level(7);
+        assert_eq!(cfg.check_level, 3);
+    }
+}

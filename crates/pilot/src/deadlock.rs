@@ -1,0 +1,313 @@
+//! The integrated deadlock detector's core: a wait-for graph.
+//!
+//! Pilot's deadlock detector is one of its signature teaching features:
+//! a dedicated process receives an event from every rank around each
+//! potentially-blocking call and analyses the resulting wait-for graph,
+//! aborting the run with a diagnosis that names the stuck processes and
+//! source lines. This module is the *pure* state machine (unit-testable
+//! without threads); [`crate::service`] feeds it events over messages.
+//!
+//! The liveness rule is a fixpoint: a blocked process is *live* if any
+//! message credit it waits for is already in flight, or any process it
+//! waits on is live. Blocked processes that are not live after the
+//! fixpoint are deadlocked — this uniformly covers read/write cycles,
+//! waiting on an exited process, and `PI_Select`'s OR-wait semantics.
+//!
+//! *Credits* prevent a classic false positive: writes are buffered, so a
+//! writer may write and exit before the reader even blocks. The writer
+//! announces `note_write` (channel, message count) **before** sending,
+//! and per-pair FIFO delivery guarantees the detector sees it before the
+//! writer's `exit`, so a reader blocking afterwards finds the credit.
+
+use std::collections::HashMap;
+
+/// Why a process is blocked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// The API call ("PI_Read", "PI_Write", "PI_Select").
+    pub op: String,
+    /// What it waits for: `(peer process, channel)` pairs. For a read
+    /// there is one; for a select, one per bundle channel. The wait is
+    /// satisfied if ANY entry can proceed.
+    pub waits: Vec<(usize, u32)>,
+    /// Source location of the blocking call.
+    pub location: String,
+    /// Resource name for the diagnosis ("C3", "B1").
+    pub resource: String,
+}
+
+/// A process's status as seen by the detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcStatus {
+    /// Executing (or at least, not known to be blocked).
+    Running,
+    /// Inside a blocking call.
+    Blocked(BlockInfo),
+    /// Work function returned.
+    Exited,
+}
+
+/// The deadlock diagnosis handed to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// `(process, one-line description)` for each stuck process.
+    pub stuck: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for DeadlockReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} process(es) cannot proceed:", self.stuck.len())?;
+        for (p, desc) in &self.stuck {
+            writeln!(f, "  P{p}: {desc}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The detector's mutable state.
+#[derive(Debug)]
+pub struct WaitForGraph {
+    status: Vec<ProcStatus>,
+    /// Messages announced as sent but not yet consumed, per channel.
+    credits: HashMap<u32, i64>,
+}
+
+impl WaitForGraph {
+    /// Detector for `nprocs` Pilot processes.
+    pub fn new(nprocs: usize) -> Self {
+        WaitForGraph {
+            status: vec![ProcStatus::Running; nprocs],
+            credits: HashMap::new(),
+        }
+    }
+
+    /// A writer announced `n` messages on `chan` (sent *before* the data).
+    pub fn note_write(&mut self, chan: u32, n: u32) {
+        *self.credits.entry(chan).or_insert(0) += n as i64;
+    }
+
+    /// A reader consumed `n` messages from `chan`.
+    pub fn note_read(&mut self, chan: u32, n: u32) {
+        *self.credits.entry(chan).or_insert(0) -= n as i64;
+    }
+
+    /// Outstanding credit on a channel.
+    pub fn credit(&self, chan: u32) -> i64 {
+        self.credits.get(&chan).copied().unwrap_or(0)
+    }
+
+    /// Process `p` entered a blocking call. Returns a report if this
+    /// completes a deadlock.
+    pub fn block(&mut self, p: usize, info: BlockInfo) -> Option<DeadlockReport> {
+        if p < self.status.len() {
+            self.status[p] = ProcStatus::Blocked(info);
+        }
+        self.check()
+    }
+
+    /// Process `p` finished its blocking call.
+    pub fn unblock(&mut self, p: usize) {
+        if p < self.status.len() {
+            self.status[p] = ProcStatus::Running;
+        }
+    }
+
+    /// Process `p`'s work function returned. Returns a report if someone
+    /// is now hopelessly waiting on it.
+    pub fn exit(&mut self, p: usize) -> Option<DeadlockReport> {
+        if p < self.status.len() {
+            self.status[p] = ProcStatus::Exited;
+        }
+        self.check()
+    }
+
+    /// Current status of a process.
+    pub fn status(&self, p: usize) -> &ProcStatus {
+        &self.status[p]
+    }
+
+    /// The liveness fixpoint. `None` if every blocked process can still
+    /// proceed.
+    pub fn check(&self) -> Option<DeadlockReport> {
+        let n = self.status.len();
+        let mut live: Vec<bool> = self
+            .status
+            .iter()
+            .map(|s| matches!(s, ProcStatus::Running))
+            .collect();
+        loop {
+            let mut changed = false;
+            for p in 0..n {
+                if live[p] {
+                    continue;
+                }
+                if let ProcStatus::Blocked(info) = &self.status[p] {
+                    let can = info
+                        .waits
+                        .iter()
+                        .any(|&(peer, chan)| self.credit(chan) > 0 || live.get(peer).copied().unwrap_or(false));
+                    if can {
+                        live[p] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let stuck: Vec<(usize, String)> = (0..n)
+            .filter_map(|p| match &self.status[p] {
+                ProcStatus::Blocked(info) if !live[p] => {
+                    let peers: Vec<String> = info
+                        .waits
+                        .iter()
+                        .map(|(peer, _)| format!("P{peer}"))
+                        .collect();
+                    Some((
+                        p,
+                        format!(
+                            "blocked in {} on {} (waiting for {}) at {}",
+                            info.op,
+                            info.resource,
+                            peers.join("/"),
+                            info.location
+                        ),
+                    ))
+                }
+                _ => None,
+            })
+            .collect();
+        if stuck.is_empty() {
+            None
+        } else {
+            Some(DeadlockReport { stuck })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_block(peer: usize, chan: u32) -> BlockInfo {
+        BlockInfo {
+            op: "PI_Read".into(),
+            waits: vec![(peer, chan)],
+            location: "test.rs:1".into(),
+            resource: format!("C{chan}"),
+        }
+    }
+
+    #[test]
+    fn single_blocked_process_is_not_deadlock() {
+        let mut g = WaitForGraph::new(2);
+        assert!(g.block(1, read_block(0, 0)).is_none());
+    }
+
+    #[test]
+    fn two_cycle_is_deadlock() {
+        let mut g = WaitForGraph::new(2);
+        assert!(g.block(0, read_block(1, 0)).is_none());
+        let report = g.block(1, read_block(0, 1)).expect("deadlock");
+        assert_eq!(report.stuck.len(), 2);
+        let text = report.to_string();
+        assert!(text.contains("P0") && text.contains("P1"));
+        assert!(text.contains("PI_Read"));
+        assert!(text.contains("test.rs:1"));
+    }
+
+    #[test]
+    fn three_cycle_is_deadlock() {
+        let mut g = WaitForGraph::new(3);
+        assert!(g.block(0, read_block(1, 0)).is_none());
+        assert!(g.block(1, read_block(2, 1)).is_none());
+        let report = g.block(2, read_block(0, 2)).expect("deadlock");
+        assert_eq!(report.stuck.len(), 3);
+    }
+
+    #[test]
+    fn chain_to_running_process_is_fine() {
+        let mut g = WaitForGraph::new(3);
+        assert!(g.block(1, read_block(2, 0)).is_none());
+        assert!(g.block(0, read_block(1, 1)).is_none()); // P2 still running
+    }
+
+    #[test]
+    fn waiting_on_exited_process_is_deadlock() {
+        let mut g = WaitForGraph::new(2);
+        assert!(g.block(1, read_block(0, 0)).is_none());
+        let report = g.exit(0).expect("waiting on the dead");
+        assert_eq!(report.stuck[0].0, 1);
+    }
+
+    #[test]
+    fn credit_saves_reader_from_exited_writer() {
+        // Writer wrote (credit) then exited; the blocked reader is fine.
+        let mut g = WaitForGraph::new(2);
+        g.note_write(0, 1);
+        assert!(g.block(1, read_block(0, 0)).is_none());
+        assert!(g.exit(0).is_none());
+        // Reader consumes and unblocks.
+        g.note_read(0, 1);
+        g.unblock(1);
+        assert!(g.check().is_none());
+    }
+
+    #[test]
+    fn consumed_credit_no_longer_saves() {
+        let mut g = WaitForGraph::new(2);
+        g.note_write(0, 1);
+        g.note_read(0, 1);
+        assert!(g.block(1, read_block(0, 0)).is_none()); // writer running
+        assert!(g.exit(0).is_some()); // now hopeless
+    }
+
+    #[test]
+    fn select_or_wait_survives_one_live_writer() {
+        // P0 selects on channels written by P1 (exited) and P2 (running).
+        let mut g = WaitForGraph::new(3);
+        g.exit(1);
+        let info = BlockInfo {
+            op: "PI_Select".into(),
+            waits: vec![(1, 0), (2, 1)],
+            location: "test.rs:9".into(),
+            resource: "B0".into(),
+        };
+        assert!(g.block(0, info).is_none());
+    }
+
+    #[test]
+    fn select_with_all_writers_dead_is_deadlock() {
+        let mut g = WaitForGraph::new(3);
+        g.exit(1);
+        g.exit(2);
+        let info = BlockInfo {
+            op: "PI_Select".into(),
+            waits: vec![(1, 0), (2, 1)],
+            location: "test.rs:9".into(),
+            resource: "B0".into(),
+        };
+        let report = g.block(0, info).expect("deadlock");
+        assert!(report.stuck[0].1.contains("PI_Select"));
+        assert!(report.stuck[0].1.contains("B0"));
+    }
+
+    #[test]
+    fn unblock_clears_the_wait() {
+        let mut g = WaitForGraph::new(2);
+        g.block(1, read_block(0, 0));
+        g.unblock(1);
+        assert!(g.exit(0).is_none());
+    }
+
+    #[test]
+    fn mutual_wait_with_credit_resolves() {
+        // P0 blocked reading C1 from P1; P1 blocked reading C0 from P0 —
+        // but P0 announced a write on C0 before blocking. Not a deadlock.
+        let mut g = WaitForGraph::new(2);
+        g.note_write(0, 1);
+        assert!(g.block(0, read_block(1, 1)).is_none());
+        assert!(g.block(1, read_block(0, 0)).is_none(), "credit on C0 keeps P1 live");
+    }
+}

@@ -1,0 +1,220 @@
+//! Pilot's error taxonomy.
+//!
+//! A design pillar of Pilot is *elaborate error detection for any abuse
+//! of the API*, with diagnostics that point at the offending source
+//! line. Errors carry the caller's [`std::panic::Location`]-derived
+//! position, captured by the `#[track_caller]` API methods — the Rust
+//! analogue of the C library's `__FILE__`/`__LINE__` macros.
+
+use crate::types::{Bundle, BundleUsage, Channel, Process};
+use minimpi::MpiError;
+
+/// Result alias for Pilot API calls.
+pub type PilotResult<T> = Result<T, PilotError>;
+
+/// A source position captured at an API call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Source file of the call.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl CallSite {
+    /// Capture the caller of the (track_caller) function invoking this.
+    #[track_caller]
+    pub fn here() -> CallSite {
+        let loc = std::panic::Location::caller();
+        CallSite {
+            file: loc.file().to_string(),
+            line: loc.line(),
+        }
+    }
+}
+
+impl std::fmt::Display for CallSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// Everything that can go wrong in a Pilot program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PilotError {
+    /// Internal control flow: a non-main rank finished its work function
+    /// (with this exit code). `start_all()?` propagates it so worker
+    /// ranks skip the main-only part of the program.
+    Done(i32),
+    /// A configuration-phase function was called during execution.
+    ConfigPhaseOnly { what: &'static str, at: CallSite },
+    /// An execution-phase function was called during configuration.
+    ExecPhaseOnly { what: &'static str, at: CallSite },
+    /// More processes created than MPI ranks available.
+    TooManyProcesses { requested: usize, available: usize, at: CallSite },
+    /// A handle referred to a nonexistent table entry.
+    BadHandle { what: &'static str, index: usize, at: CallSite },
+    /// The calling process is not this channel's reader.
+    NotChannelReader { chan: Channel, caller: Process, reader: Process, at: CallSite },
+    /// The calling process is not this channel's writer.
+    NotChannelWriter { chan: Channel, caller: Process, writer: Process, at: CallSite },
+    /// A bundle was used with the wrong collective function.
+    WrongBundleUsage { bundle: Bundle, expected: BundleUsage, used_with: BundleUsage, at: CallSite },
+    /// The calling process is not the bundle's common endpoint.
+    NotBundleRoot { bundle: Bundle, caller: Process, root: Process, at: CallSite },
+    /// A bundle's channels do not share a common endpoint.
+    NoCommonEndpoint { at: CallSite },
+    /// A format string failed to parse.
+    BadFormat { format: String, reason: String, at: CallSite },
+    /// The number or type of data slots does not match the format.
+    SlotMismatch { format: String, reason: String, at: CallSite },
+    /// Error-check level 2: the reader's format does not match the
+    /// writer's.
+    FormatMismatch { writer_fmt: String, reader_fmt: String, at: CallSite },
+    /// A received message did not carry the expected type/count
+    /// (corruption or mismatched code without level-2 checking).
+    WireMismatch { expected: String, got: String, at: CallSite },
+    /// Error-check level 3: an argument failed validity checks (e.g. a
+    /// fixed-size slice of the wrong length — the analogue of the C
+    /// library's pointer validity checks).
+    BadArgument { what: String, at: CallSite },
+    /// The integrated deadlock detector ended the run.
+    DeadlockDetected { report: String },
+    /// The program (or Pilot itself) called abort.
+    Aborted { origin: usize, code: i32 },
+    /// An error surfaced by the message-passing layer.
+    System(MpiError),
+}
+
+impl PilotError {
+    /// The friendly one-line diagnostic Pilot prints, pinpointing the
+    /// source line where applicable.
+    pub fn diagnostic(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl From<MpiError> for PilotError {
+    fn from(e: MpiError) -> Self {
+        match e {
+            MpiError::Aborted { origin, code } => PilotError::Aborted { origin, code },
+            other => PilotError::System(other),
+        }
+    }
+}
+
+impl std::fmt::Display for PilotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PilotError::Done(code) => write!(f, "process finished with code {code}"),
+            PilotError::ConfigPhaseOnly { what, at } => {
+                write!(f, "{at}: {what} may only be called during the configuration phase")
+            }
+            PilotError::ExecPhaseOnly { what, at } => {
+                write!(f, "{at}: {what} may only be called during the execution phase")
+            }
+            PilotError::TooManyProcesses { requested, available, at } => write!(
+                f,
+                "{at}: process #{requested} requested but only {available} are available \
+                 (one MPI rank per process; services consume a rank)"
+            ),
+            PilotError::BadHandle { what, index, at } => {
+                write!(f, "{at}: invalid {what} handle #{index}")
+            }
+            PilotError::NotChannelReader { chan, caller, reader, at } => write!(
+                f,
+                "{at}: process P{} called PI_Read on C{} but its reader is P{}",
+                caller.index(),
+                chan.index(),
+                reader.index()
+            ),
+            PilotError::NotChannelWriter { chan, caller, writer, at } => write!(
+                f,
+                "{at}: process P{} called PI_Write on C{} but its writer is P{}",
+                caller.index(),
+                chan.index(),
+                writer.index()
+            ),
+            PilotError::WrongBundleUsage { bundle, expected, used_with, at } => write!(
+                f,
+                "{at}: bundle B{} was created for {} but used with {}",
+                bundle.index(),
+                expected.name(),
+                used_with.name()
+            ),
+            PilotError::NotBundleRoot { bundle, caller, root, at } => write!(
+                f,
+                "{at}: process P{} used bundle B{} whose endpoint is P{}",
+                caller.index(),
+                bundle.index(),
+                root.index()
+            ),
+            PilotError::NoCommonEndpoint { at } => {
+                write!(f, "{at}: bundle channels do not share a common endpoint")
+            }
+            PilotError::BadFormat { format, reason, at } => {
+                write!(f, "{at}: bad format string '{format}': {reason}")
+            }
+            PilotError::SlotMismatch { format, reason, at } => {
+                write!(f, "{at}: data does not match format '{format}': {reason}")
+            }
+            PilotError::FormatMismatch { writer_fmt, reader_fmt, at } => write!(
+                f,
+                "{at}: reader format '{reader_fmt}' does not match writer format '{writer_fmt}'"
+            ),
+            PilotError::WireMismatch { expected, got, at } => {
+                write!(f, "{at}: expected {expected} on the wire but received {got}")
+            }
+            PilotError::BadArgument { what, at } => write!(f, "{at}: invalid argument: {what}"),
+            PilotError::DeadlockDetected { report } => {
+                write!(f, "DEADLOCK detected by Pilot:\n{report}")
+            }
+            PilotError::Aborted { origin, code } => {
+                write!(f, "aborted by process P{origin} with code {code}")
+            }
+            PilotError::System(e) => write!(f, "message layer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PilotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PI_MAIN;
+
+    #[test]
+    fn callsite_captures_this_file() {
+        let cs = CallSite::here();
+        assert!(cs.file.ends_with("errors.rs"), "{}", cs.file);
+        assert!(cs.line > 0);
+    }
+
+    #[test]
+    fn diagnostics_pinpoint_line() {
+        let at = CallSite {
+            file: "lab2.rs".into(),
+            line: 42,
+        };
+        let e = PilotError::NotChannelReader {
+            chan: Channel(3),
+            caller: Process(2),
+            reader: PI_MAIN,
+            at,
+        };
+        let msg = e.diagnostic();
+        assert!(msg.contains("lab2.rs:42"));
+        assert!(msg.contains("C3"));
+        assert!(msg.contains("P2"));
+        assert!(msg.contains("P0"));
+    }
+
+    #[test]
+    fn mpi_abort_maps_to_pilot_abort() {
+        let e: PilotError = MpiError::Aborted { origin: 1, code: 9 }.into();
+        assert_eq!(e, PilotError::Aborted { origin: 1, code: 9 });
+        let e: PilotError = MpiError::Timeout.into();
+        assert!(matches!(e, PilotError::System(MpiError::Timeout)));
+    }
+}

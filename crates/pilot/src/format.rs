@@ -1,0 +1,808 @@
+//! Pilot's `fprintf`/`fscanf`-style format engine.
+//!
+//! Pilot borrows C's well-known format syntax so novices can transfer
+//! their stdio knowledge to message passing:
+//!
+//! * `%d` — one signed integer (`i64` here)
+//! * `%u` — one unsigned integer (`u64`)
+//! * `%lf` (or `%f`) — one double (`f64`)
+//! * `%b` — one byte (`u8`)
+//! * `%5d` — an array of exactly 5
+//! * `%*d` — an array whose length is a run-time value (the writer's
+//!   slice length travels in the message header; the reader must supply
+//!   a slice of the same length, as in C Pilot where the count is an
+//!   explicit argument)
+//! * `%^d` — Pilot V2.1's "receive an array of unknown length": the
+//!   writer sends a length message then the data message, and the
+//!   reader's `Vec` is resized automatically (the paper's footnote notes
+//!   that *multiple MPI calls are made internally* — each becomes its own
+//!   arrival bubble in the visual log).
+//!
+//! A format with several specifiers sends **one message per specifier**
+//! ("the format `%d %100f` sends two MPI messages"), which is why a
+//! single `PI_Read` rectangle can contain several arrival bubbles.
+
+/// Scalar element type of a specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarKind {
+    /// `%d`: signed 64-bit integer.
+    Int,
+    /// `%u`: unsigned 64-bit integer.
+    Uint,
+    /// `%f` / `%lf`: 64-bit float.
+    Float,
+    /// `%b`: byte.
+    Byte,
+}
+
+impl ScalarKind {
+    /// Element width on the wire.
+    pub fn width(self) -> usize {
+        match self {
+            ScalarKind::Int | ScalarKind::Uint | ScalarKind::Float => 8,
+            ScalarKind::Byte => 1,
+        }
+    }
+
+    /// The format letter.
+    pub fn letter(self) -> &'static str {
+        match self {
+            ScalarKind::Int => "d",
+            ScalarKind::Uint => "u",
+            ScalarKind::Float => "lf",
+            ScalarKind::Byte => "b",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            ScalarKind::Int => 0,
+            ScalarKind::Uint => 1,
+            ScalarKind::Float => 2,
+            ScalarKind::Byte => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<ScalarKind> {
+        match c {
+            0 => Some(ScalarKind::Int),
+            1 => Some(ScalarKind::Uint),
+            2 => Some(ScalarKind::Float),
+            3 => Some(ScalarKind::Byte),
+            _ => None,
+        }
+    }
+}
+
+/// How many elements a specifier carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LenMode {
+    /// A single scalar (`%d`).
+    One,
+    /// A fixed-size array (`%5d`).
+    Fixed(usize),
+    /// A run-time-sized array (`%*d`).
+    Runtime,
+    /// Unknown-length receive with automatic allocation (`%^d`).
+    AutoAlloc,
+}
+
+/// One parsed specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FormatSpec {
+    /// Element type.
+    pub kind: ScalarKind,
+    /// Element count mode.
+    pub len: LenMode,
+}
+
+impl FormatSpec {
+    /// How many wire messages this specifier produces (AutoAlloc sends a
+    /// separate length message first).
+    pub fn message_count(&self) -> usize {
+        match self.len {
+            LenMode::AutoAlloc => 2,
+            _ => 1,
+        }
+    }
+
+    /// Canonical text form, used for level-2 format comparison.
+    pub fn canonical(&self) -> String {
+        match self.len {
+            LenMode::One => format!("%{}", self.kind.letter()),
+            LenMode::Fixed(n) => format!("%{}{}", n, self.kind.letter()),
+            LenMode::Runtime => format!("%*{}", self.kind.letter()),
+            LenMode::AutoAlloc => format!("%^{}", self.kind.letter()),
+        }
+    }
+}
+
+/// Parse a Pilot format string into specifiers.
+pub fn parse_format(fmt: &str) -> Result<Vec<FormatSpec>, String> {
+    let mut specs = Vec::new();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_whitespace() {
+            continue;
+        }
+        if c != '%' {
+            return Err(format!("unexpected character '{c}' (specifiers start with %)"));
+        }
+        // Length prefix.
+        let len = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                LenMode::Runtime
+            }
+            Some('^') => {
+                chars.next();
+                LenMode::AutoAlloc
+            }
+            Some(d) if d.is_ascii_digit() => {
+                let mut n = 0usize;
+                while let Some(d) = chars.peek().copied().filter(char::is_ascii_digit) {
+                    chars.next();
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as usize - '0' as usize))
+                        .ok_or_else(|| "array length overflows".to_string())?;
+                }
+                if n == 0 {
+                    return Err("array length must be positive".into());
+                }
+                LenMode::Fixed(n)
+            }
+            _ => LenMode::One,
+        };
+        // Type letter(s).
+        let kind = match chars.next() {
+            Some('d') => ScalarKind::Int,
+            Some('u') => ScalarKind::Uint,
+            Some('b') => ScalarKind::Byte,
+            Some('f') => ScalarKind::Float,
+            Some('l') => match chars.next() {
+                Some('f') => ScalarKind::Float,
+                other => return Err(format!("expected 'f' after 'l', found {other:?}")),
+            },
+            other => return Err(format!("unknown type letter {other:?}")),
+        };
+        specs.push(FormatSpec { kind, len });
+    }
+    if specs.is_empty() {
+        return Err("format contains no specifiers".into());
+    }
+    Ok(specs)
+}
+
+/// Canonical form of a whole format (level-2 comparison key).
+pub fn canonical_format(specs: &[FormatSpec]) -> String {
+    specs
+        .iter()
+        .map(FormatSpec::canonical)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Total wire messages a format produces.
+pub fn expected_message_count(specs: &[FormatSpec]) -> usize {
+    specs.iter().map(FormatSpec::message_count).sum()
+}
+
+/// A value to write — the varargs of `PI_Write`.
+#[derive(Debug, Clone, Copy)]
+pub enum WSlot<'a> {
+    /// Scalar for `%d`.
+    Int(i64),
+    /// Scalar for `%u`.
+    Uint(u64),
+    /// Scalar for `%f`/`%lf`.
+    Float(f64),
+    /// Scalar for `%b`.
+    Byte(u8),
+    /// Array for `%Nd`, `%*d`, `%^d`.
+    IntArr(&'a [i64]),
+    /// Array for `%Nu`, `%*u`, `%^u`.
+    UintArr(&'a [u64]),
+    /// Array for `%Nf`, `%*f`, `%^f`.
+    FloatArr(&'a [f64]),
+    /// Array for `%Nb`, `%*b`, `%^b`.
+    ByteArr(&'a [u8]),
+}
+
+impl WSlot<'_> {
+    /// Display of the first element — shown in the write bubble's popup.
+    pub fn first_element_display(&self) -> String {
+        match self {
+            WSlot::Int(v) => v.to_string(),
+            WSlot::Uint(v) => v.to_string(),
+            WSlot::Float(v) => format!("{v:.6}"),
+            WSlot::Byte(v) => v.to_string(),
+            WSlot::IntArr(a) => a.first().map(|v| v.to_string()).unwrap_or_default(),
+            WSlot::UintArr(a) => a.first().map(|v| v.to_string()).unwrap_or_default(),
+            WSlot::FloatArr(a) => a.first().map(|v| format!("{v:.6}")).unwrap_or_default(),
+            WSlot::ByteArr(a) => a.first().map(|v| v.to_string()).unwrap_or_default(),
+        }
+    }
+
+    /// Element count carried by this slot.
+    pub fn count(&self) -> usize {
+        match self {
+            WSlot::Int(_) | WSlot::Uint(_) | WSlot::Float(_) | WSlot::Byte(_) => 1,
+            WSlot::IntArr(a) => a.len(),
+            WSlot::UintArr(a) => a.len(),
+            WSlot::FloatArr(a) => a.len(),
+            WSlot::ByteArr(a) => a.len(),
+        }
+    }
+}
+
+/// A destination to read into — the varargs of `PI_Read`.
+#[derive(Debug)]
+pub enum RSlot<'a> {
+    /// Scalar for `%d`.
+    Int(&'a mut i64),
+    /// Scalar for `%u`.
+    Uint(&'a mut u64),
+    /// Scalar for `%f`/`%lf`.
+    Float(&'a mut f64),
+    /// Scalar for `%b`.
+    Byte(&'a mut u8),
+    /// Array for `%Nd` / `%*d` (length must equal the incoming count).
+    IntArr(&'a mut [i64]),
+    /// Array for `%Nu` / `%*u`.
+    UintArr(&'a mut [u64]),
+    /// Array for `%Nf` / `%*f`.
+    FloatArr(&'a mut [f64]),
+    /// Array for `%Nb` / `%*b`.
+    ByteArr(&'a mut [u8]),
+    /// Auto-allocated receive for `%^d`.
+    IntVec(&'a mut Vec<i64>),
+    /// Auto-allocated receive for `%^u`.
+    UintVec(&'a mut Vec<u64>),
+    /// Auto-allocated receive for `%^f`.
+    FloatVec(&'a mut Vec<f64>),
+    /// Auto-allocated receive for `%^b`.
+    ByteVec(&'a mut Vec<u8>),
+}
+
+// ---- wire encoding ----
+
+/// Message type markers.
+pub const MSG_DATA: u8 = b'D';
+/// Length preamble of an AutoAlloc segment.
+pub const MSG_AUTOLEN: u8 = b'L';
+/// Format-string preamble (error-check level 2).
+pub const MSG_FORMAT: u8 = b'F';
+
+fn put_payload(kind: ScalarKind, slot: &WSlot<'_>, out: &mut Vec<u8>) -> Result<(), String> {
+    macro_rules! push_all {
+        ($iter:expr) => {
+            for v in $iter {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+    }
+    match (kind, slot) {
+        (ScalarKind::Int, WSlot::Int(v)) => push_all!([*v]),
+        (ScalarKind::Int, WSlot::IntArr(a)) => push_all!(a.iter().copied()),
+        (ScalarKind::Uint, WSlot::Uint(v)) => push_all!([*v]),
+        (ScalarKind::Uint, WSlot::UintArr(a)) => push_all!(a.iter().copied()),
+        (ScalarKind::Float, WSlot::Float(v)) => push_all!([*v]),
+        (ScalarKind::Float, WSlot::FloatArr(a)) => push_all!(a.iter().copied()),
+        (ScalarKind::Byte, WSlot::Byte(v)) => out.push(*v),
+        (ScalarKind::Byte, WSlot::ByteArr(a)) => out.extend_from_slice(a),
+        (k, s) => return Err(format!("slot {s:?} does not provide %{}", k.letter())),
+    }
+    Ok(())
+}
+
+fn slot_is_array(slot: &WSlot<'_>) -> bool {
+    matches!(
+        slot,
+        WSlot::IntArr(_) | WSlot::UintArr(_) | WSlot::FloatArr(_) | WSlot::ByteArr(_)
+    )
+}
+
+/// Encode one write call into its wire messages, one `Vec<u8>` each.
+/// Validation here implements part of error-check levels 1 and 3; the
+/// caller passes `strict_args = (check_level >= 3)`.
+pub fn encode_call(
+    specs: &[FormatSpec],
+    slots: &[WSlot<'_>],
+    strict_args: bool,
+) -> Result<Vec<Vec<u8>>, String> {
+    if specs.len() != slots.len() {
+        return Err(format!(
+            "format has {} specifiers but {} data arguments were supplied",
+            specs.len(),
+            slots.len()
+        ));
+    }
+    let mut msgs = Vec::with_capacity(expected_message_count(specs));
+    for (spec, slot) in specs.iter().zip(slots) {
+        let count = slot.count();
+        match spec.len {
+            LenMode::One => {
+                if slot_is_array(slot) {
+                    return Err(format!(
+                        "specifier {} expects a scalar but got an array",
+                        spec.canonical()
+                    ));
+                }
+            }
+            LenMode::Fixed(n) => {
+                if !slot_is_array(slot) {
+                    return Err(format!(
+                        "specifier {} expects an array but got a scalar",
+                        spec.canonical()
+                    ));
+                }
+                if strict_args && count != n {
+                    return Err(format!(
+                        "specifier {} expects {} elements but the slice has {}",
+                        spec.canonical(),
+                        n,
+                        count
+                    ));
+                }
+            }
+            LenMode::Runtime | LenMode::AutoAlloc => {
+                if !slot_is_array(slot) {
+                    return Err(format!(
+                        "specifier {} expects an array but got a scalar",
+                        spec.canonical()
+                    ));
+                }
+            }
+        }
+        if let LenMode::AutoAlloc = spec.len {
+            // Length preamble message.
+            let mut m = Vec::with_capacity(6);
+            m.push(MSG_AUTOLEN);
+            m.push(spec.kind.code());
+            m.extend_from_slice(&(count as u32).to_le_bytes());
+            msgs.push(m);
+        }
+        let mut m = Vec::with_capacity(6 + count * spec.kind.width());
+        m.push(MSG_DATA);
+        m.push(spec.kind.code());
+        m.extend_from_slice(&(count as u32).to_le_bytes());
+        put_payload(spec.kind, slot, &mut m)?;
+        msgs.push(m);
+    }
+    Ok(msgs)
+}
+
+/// Header of a decoded wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireHeader {
+    /// Message marker (`MSG_DATA`, `MSG_AUTOLEN`, `MSG_FORMAT`).
+    pub marker: u8,
+    /// Element type.
+    pub kind: ScalarKind,
+    /// Element count.
+    pub count: usize,
+}
+
+/// Peek a message's header without consuming the payload.
+pub fn peek_header(msg: &[u8]) -> Result<WireHeader, String> {
+    if msg.is_empty() {
+        return Err("empty message".into());
+    }
+    if msg[0] == MSG_FORMAT {
+        return Ok(WireHeader {
+            marker: MSG_FORMAT,
+            kind: ScalarKind::Byte,
+            count: msg.len() - 1,
+        });
+    }
+    if msg.len() < 6 {
+        return Err(format!("short message ({} bytes)", msg.len()));
+    }
+    let kind = ScalarKind::from_code(msg[1]).ok_or_else(|| format!("bad kind code {}", msg[1]))?;
+    let count = u32::from_le_bytes([msg[2], msg[3], msg[4], msg[5]]) as usize;
+    Ok(WireHeader {
+        marker: msg[0],
+        kind,
+        count,
+    })
+}
+
+fn decode_elems<T, const W: usize>(
+    payload: &[u8],
+    count: usize,
+    from: impl Fn([u8; W]) -> T,
+) -> Result<Vec<T>, String> {
+    if payload.len() != count * W {
+        return Err(format!(
+            "payload of {} bytes does not hold {} elements of {} bytes",
+            payload.len(),
+            count,
+            W
+        ));
+    }
+    Ok(payload
+        .chunks_exact(W)
+        .map(|c| {
+            let mut a = [0u8; W];
+            a.copy_from_slice(c);
+            from(a)
+        })
+        .collect())
+}
+
+/// Decode one read call. `msgs` must contain exactly the wire messages
+/// of the matching write (format preamble already stripped).
+pub fn decode_call(
+    specs: &[FormatSpec],
+    slots: &mut [RSlot<'_>],
+    msgs: &[Vec<u8>],
+) -> Result<(), String> {
+    if specs.len() != slots.len() {
+        return Err(format!(
+            "format has {} specifiers but {} destinations were supplied",
+            specs.len(),
+            slots.len()
+        ));
+    }
+    if msgs.len() != expected_message_count(specs) {
+        return Err(format!(
+            "expected {} messages, got {}",
+            expected_message_count(specs),
+            msgs.len()
+        ));
+    }
+    let mut mi = 0usize;
+    for (spec, slot) in specs.iter().zip(slots.iter_mut()) {
+        let mut incoming_auto_len: Option<usize> = None;
+        if let LenMode::AutoAlloc = spec.len {
+            let h = peek_header(&msgs[mi])?;
+            if h.marker != MSG_AUTOLEN {
+                return Err(format!(
+                    "expected a length preamble for {}, got marker '{}'",
+                    spec.canonical(),
+                    h.marker as char
+                ));
+            }
+            if h.kind != spec.kind {
+                return Err(format!(
+                    "length preamble type %{} does not match {}",
+                    h.kind.letter(),
+                    spec.canonical()
+                ));
+            }
+            incoming_auto_len = Some(h.count);
+            mi += 1;
+        }
+        let h = peek_header(&msgs[mi])?;
+        if h.marker != MSG_DATA {
+            return Err(format!("expected a data message, got marker '{}'", h.marker as char));
+        }
+        if h.kind != spec.kind {
+            return Err(format!(
+                "incoming %{} does not match reader's {}",
+                h.kind.letter(),
+                spec.canonical()
+            ));
+        }
+        if let Some(n) = incoming_auto_len {
+            if n != h.count {
+                return Err(format!(
+                    "length preamble said {} elements but data message has {}",
+                    n, h.count
+                ));
+            }
+        }
+        match spec.len {
+            LenMode::One if h.count != 1 => {
+                return Err(format!(
+                    "reader expects one {} but {} elements arrived",
+                    spec.canonical(),
+                    h.count
+                ));
+            }
+            LenMode::Fixed(n) if h.count != n => {
+                return Err(format!(
+                    "reader expects {} elements for {} but {} arrived",
+                    n,
+                    spec.canonical(),
+                    h.count
+                ));
+            }
+            _ => {}
+        }
+        let payload = &msgs[mi][6..];
+        match (spec.kind, slot) {
+            (ScalarKind::Int, RSlot::Int(v)) => **v = decode_elems(payload, 1, i64::from_le_bytes)?[0],
+            (ScalarKind::Int, RSlot::IntArr(a)) => {
+                let vs = decode_elems(payload, h.count, i64::from_le_bytes)?;
+                if vs.len() != a.len() {
+                    return Err(format!(
+                        "{} elements arrived but the destination slice holds {}",
+                        vs.len(),
+                        a.len()
+                    ));
+                }
+                a.copy_from_slice(&vs);
+            }
+            (ScalarKind::Int, RSlot::IntVec(v)) => {
+                **v = decode_elems(payload, h.count, i64::from_le_bytes)?;
+            }
+            (ScalarKind::Uint, RSlot::Uint(v)) => **v = decode_elems(payload, 1, u64::from_le_bytes)?[0],
+            (ScalarKind::Uint, RSlot::UintArr(a)) => {
+                let vs = decode_elems(payload, h.count, u64::from_le_bytes)?;
+                if vs.len() != a.len() {
+                    return Err(format!(
+                        "{} elements arrived but the destination slice holds {}",
+                        vs.len(),
+                        a.len()
+                    ));
+                }
+                a.copy_from_slice(&vs);
+            }
+            (ScalarKind::Uint, RSlot::UintVec(v)) => {
+                **v = decode_elems(payload, h.count, u64::from_le_bytes)?;
+            }
+            (ScalarKind::Float, RSlot::Float(v)) => **v = decode_elems(payload, 1, f64::from_le_bytes)?[0],
+            (ScalarKind::Float, RSlot::FloatArr(a)) => {
+                let vs = decode_elems(payload, h.count, f64::from_le_bytes)?;
+                if vs.len() != a.len() {
+                    return Err(format!(
+                        "{} elements arrived but the destination slice holds {}",
+                        vs.len(),
+                        a.len()
+                    ));
+                }
+                a.copy_from_slice(&vs);
+            }
+            (ScalarKind::Float, RSlot::FloatVec(v)) => {
+                **v = decode_elems(payload, h.count, f64::from_le_bytes)?;
+            }
+            (ScalarKind::Byte, RSlot::Byte(v)) => {
+                if payload.len() != 1 {
+                    return Err("byte payload length mismatch".into());
+                }
+                **v = payload[0];
+            }
+            (ScalarKind::Byte, RSlot::ByteArr(a)) => {
+                if payload.len() != h.count || h.count != a.len() {
+                    return Err(format!(
+                        "{} bytes arrived but the destination slice holds {}",
+                        h.count,
+                        a.len()
+                    ));
+                }
+                a.copy_from_slice(payload);
+            }
+            (ScalarKind::Byte, RSlot::ByteVec(v)) => {
+                if payload.len() != h.count {
+                    return Err("byte payload length mismatch".into());
+                }
+                **v = payload.to_vec();
+            }
+            (k, s) => {
+                return Err(format!(
+                    "destination {s:?} does not accept %{}",
+                    k.letter()
+                ))
+            }
+        }
+        mi += 1;
+    }
+    Ok(())
+}
+
+/// Build the level-2 format-preamble message.
+pub fn format_preamble(canonical: &str) -> Vec<u8> {
+    let mut m = Vec::with_capacity(1 + canonical.len());
+    m.push(MSG_FORMAT);
+    m.extend_from_slice(canonical.as_bytes());
+    m
+}
+
+/// Extract the canonical format from a preamble message.
+pub fn parse_preamble(msg: &[u8]) -> Result<String, String> {
+    if msg.first() != Some(&MSG_FORMAT) {
+        return Err("not a format preamble".into());
+    }
+    String::from_utf8(msg[1..].to_vec()).map_err(|_| "preamble is not UTF-8".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_specs() {
+        let specs = parse_format("%d %u %lf %b").unwrap();
+        assert_eq!(
+            specs.iter().map(|s| s.kind).collect::<Vec<_>>(),
+            vec![ScalarKind::Int, ScalarKind::Uint, ScalarKind::Float, ScalarKind::Byte]
+        );
+        assert!(specs.iter().all(|s| s.len == LenMode::One));
+    }
+
+    #[test]
+    fn parse_array_specs() {
+        assert_eq!(
+            parse_format("%100f").unwrap()[0],
+            FormatSpec {
+                kind: ScalarKind::Float,
+                len: LenMode::Fixed(100)
+            }
+        );
+        assert_eq!(parse_format("%*d").unwrap()[0].len, LenMode::Runtime);
+        assert_eq!(parse_format("%^d").unwrap()[0].len, LenMode::AutoAlloc);
+    }
+
+    #[test]
+    fn parse_f_and_lf_are_both_float() {
+        assert_eq!(parse_format("%f").unwrap()[0].kind, ScalarKind::Float);
+        assert_eq!(parse_format("%lf").unwrap()[0].kind, ScalarKind::Float);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_format("").is_err());
+        assert!(parse_format("hello").is_err());
+        assert!(parse_format("%x").is_err());
+        assert!(parse_format("%0d").is_err());
+        assert!(parse_format("%l").is_err());
+        assert!(parse_format("%ld").is_err());
+        assert!(parse_format("% d").is_err());
+    }
+
+    #[test]
+    fn canonical_normalizes_spacing() {
+        let a = canonical_format(&parse_format("%d    %100f").unwrap());
+        let b = canonical_format(&parse_format(" %d %100f ").unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a, "%d %100lf");
+    }
+
+    #[test]
+    fn message_counts() {
+        assert_eq!(expected_message_count(&parse_format("%d %100f").unwrap()), 2);
+        assert_eq!(expected_message_count(&parse_format("%^d").unwrap()), 2);
+        assert_eq!(expected_message_count(&parse_format("%d %^f %b").unwrap()), 4);
+    }
+
+    fn roundtrip(fmt: &str, wslots: &[WSlot<'_>]) -> Vec<Vec<u8>> {
+        let specs = parse_format(fmt).unwrap();
+        encode_call(&specs, wslots, true).unwrap()
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        let msgs = roundtrip("%d %u %lf %b", &[
+            WSlot::Int(-5),
+            WSlot::Uint(7),
+            WSlot::Float(2.5),
+            WSlot::Byte(9),
+        ]);
+        let specs = parse_format("%d %u %lf %b").unwrap();
+        let (mut a, mut b, mut c, mut d) = (0i64, 0u64, 0.0f64, 0u8);
+        decode_call(
+            &specs,
+            &mut [
+                RSlot::Int(&mut a),
+                RSlot::Uint(&mut b),
+                RSlot::Float(&mut c),
+                RSlot::Byte(&mut d),
+            ],
+            &msgs,
+        )
+        .unwrap();
+        assert_eq!((a, b, c, d), (-5, 7, 2.5, 9));
+    }
+
+    #[test]
+    fn fixed_array_roundtrip() {
+        let data = [1i64, 2, 3];
+        let msgs = roundtrip("%3d", &[WSlot::IntArr(&data)]);
+        let specs = parse_format("%3d").unwrap();
+        let mut out = [0i64; 3];
+        decode_call(&specs, &mut [RSlot::IntArr(&mut out)], &msgs).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn runtime_array_roundtrip() {
+        let data: Vec<f64> = (0..17).map(|i| i as f64 / 4.0).collect();
+        let msgs = roundtrip("%*f", &[WSlot::FloatArr(&data)]);
+        let specs = parse_format("%*f").unwrap();
+        let mut out = vec![0.0f64; 17];
+        decode_call(&specs, &mut [RSlot::FloatArr(&mut out)], &msgs).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn autoalloc_sends_length_then_data() {
+        let data = [9i64, 8, 7, 6];
+        let msgs = roundtrip("%^d", &[WSlot::IntArr(&data)]);
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(peek_header(&msgs[0]).unwrap().marker, MSG_AUTOLEN);
+        assert_eq!(peek_header(&msgs[0]).unwrap().count, 4);
+        assert_eq!(peek_header(&msgs[1]).unwrap().marker, MSG_DATA);
+        let specs = parse_format("%^d").unwrap();
+        let mut out: Vec<i64> = Vec::new();
+        decode_call(&specs, &mut [RSlot::IntVec(&mut out)], &msgs).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn multi_spec_sends_one_message_each() {
+        // The paper's example: "%d %100f" sends two MPI messages.
+        let arr = vec![0.5f64; 100];
+        let msgs = roundtrip("%d %100f", &[WSlot::Int(1), WSlot::FloatArr(&arr)]);
+        assert_eq!(msgs.len(), 2);
+    }
+
+    #[test]
+    fn slot_count_mismatch_rejected() {
+        let specs = parse_format("%d %d").unwrap();
+        assert!(encode_call(&specs, &[WSlot::Int(1)], false).is_err());
+    }
+
+    #[test]
+    fn scalar_for_array_spec_rejected() {
+        let specs = parse_format("%3d").unwrap();
+        assert!(encode_call(&specs, &[WSlot::Int(1)], false).is_err());
+    }
+
+    #[test]
+    fn strict_args_checks_fixed_length() {
+        let specs = parse_format("%3d").unwrap();
+        let data = [1i64, 2];
+        // Lax (level < 3): length mismatch slips through encode...
+        assert!(encode_call(&specs, &[WSlot::IntArr(&data)], false).is_ok());
+        // Strict (level 3): caught at the call site.
+        assert!(encode_call(&specs, &[WSlot::IntArr(&data)], true).is_err());
+    }
+
+    #[test]
+    fn reader_detects_wrong_type() {
+        let msgs = roundtrip("%d", &[WSlot::Int(1)]);
+        let specs = parse_format("%lf").unwrap();
+        let mut v = 0.0f64;
+        let err = decode_call(&specs, &mut [RSlot::Float(&mut v)], &msgs).unwrap_err();
+        assert!(err.contains("%d"), "{err}");
+    }
+
+    #[test]
+    fn reader_detects_wrong_count() {
+        let data = [1i64, 2, 3];
+        let msgs = roundtrip("%*d", &[WSlot::IntArr(&data)]);
+        let specs = parse_format("%*d").unwrap();
+        let mut out = [0i64; 2];
+        assert!(decode_call(&specs, &mut [RSlot::IntArr(&mut out)], &msgs).is_err());
+    }
+
+    #[test]
+    fn preamble_roundtrip() {
+        let p = format_preamble("%d %100lf");
+        assert_eq!(peek_header(&p).unwrap().marker, MSG_FORMAT);
+        assert_eq!(parse_preamble(&p).unwrap(), "%d %100lf");
+        assert!(parse_preamble(b"Dxxx").is_err());
+    }
+
+    #[test]
+    fn first_element_display() {
+        assert_eq!(WSlot::Int(-3).first_element_display(), "-3");
+        assert_eq!(WSlot::IntArr(&[7, 8]).first_element_display(), "7");
+        assert_eq!(WSlot::IntArr(&[]).first_element_display(), "");
+        assert_eq!(WSlot::Float(0.5).first_element_display(), "0.500000");
+    }
+
+    #[test]
+    fn corrupt_wire_is_an_error_not_a_panic() {
+        let specs = parse_format("%d").unwrap();
+        let mut v = 0i64;
+        for bad in [vec![], vec![b'D'], vec![b'D', 0, 1, 0, 0, 0], vec![b'Z'; 20]] {
+            assert!(
+                decode_call(&specs, &mut [RSlot::Int(&mut v)], &[bad.clone()]).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # pilot — the Pilot library in Rust
+//!
+//! Pilot ("A friendly face for MPI") is a thin layer over MPI built on
+//! the process/channel model of Communicating Sequential Processes,
+//! designed at Guelph for teaching message-passing programming. This
+//! crate reproduces it on top of [`minimpi`], including the paper's
+//! contribution: **MPE-based log visualization instrumentation** of every
+//! API call, enabled — like the C original — by a `-pisvc=j` style
+//! runtime option rather than at compile time.
+//!
+//! ## The model
+//!
+//! A Pilot program has two phases:
+//!
+//! 1. **Configuration phase** — executed identically by every rank:
+//!    create processes ([`Pilot::create_process`]), point-to-point
+//!    channels ([`Pilot::create_channel`]), and bundles
+//!    ([`Pilot::create_bundle`]) for collective operations.
+//! 2. **Execution phase** — [`Pilot::start_all`] dispatches each rank
+//!    into its process's work function, while rank 0 continues as
+//!    `PI_MAIN`; [`Pilot::stop_main`] ends the run.
+//!
+//! Communication uses `fprintf`/`fscanf`-style format strings:
+//! `"%d"` (one `i64`), `"%3lf"` (an `[f64; 3]`), `"%*d"` (a
+//! runtime-length array), and `"%^d"` (receive an array of unknown
+//! length in one call — Pilot V2.1's addition).
+//!
+//! ## Services (the `-pisvc=` option)
+//!
+//! * `c` — native call logging to a dedicated service rank that streams
+//!   each entry to disk as it arrives (abort-safe but *displacing one
+//!   worker rank*, the cost visible in the paper's Table 1),
+//! * `d` — the integrated deadlock detector, running on the same
+//!   service rank, building a wait-for graph from pre/post-blocking
+//!   events and aborting the world with a source-line diagnosis,
+//! * `j` — MPE/Jumpshot logging: every API call becomes a coloured
+//!   state, message milestones become bubbles, messages become arrows;
+//!   the merged CLOG2 log is collected at the end of the run (and lost
+//!   on [`Pilot::abort`], exactly as the paper laments).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pilot::{PilotConfig, RSlot, WSlot, PI_MAIN};
+//!
+//! let cfg = PilotConfig::new(2); // like `mpirun -n 2`
+//! let outcome = pilot::run(cfg, |pi| {
+//!     let worker = pi.create_process(0)?;
+//!     let chan = pi.create_channel(PI_MAIN, worker)?;
+//!     pi.assign_work(worker, move |pi, _idx| {
+//!         let mut x = 0i64;
+//!         pi.read(chan, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+//!         assert_eq!(x, 41);
+//!         0
+//!     })?;
+//!     pi.start_all()?; // workers run inside; only PI_MAIN returns
+//!     pi.write(chan, "%d", &[WSlot::Int(41)])?;
+//!     pi.stop_main(0)
+//! });
+//! assert!(outcome.is_clean(), "{outcome:?}");
+//! ```
+
+pub mod config;
+pub mod deadlock;
+pub mod errors;
+pub mod format;
+pub mod instrument;
+pub mod runtime;
+pub mod service;
+pub mod types;
+
+pub use config::{PilotConfig, Services};
+pub use deadlock::{DeadlockReport, WaitForGraph};
+pub use errors::{PilotError, PilotResult};
+pub use format::{parse_format, FormatSpec, LenMode, RSlot, ScalarKind, WSlot};
+pub use runtime::{run, Pilot, PilotOutcome, RunArtifacts};
+pub use types::{Bundle, BundleUsage, Channel, Process, PI_MAIN};

@@ -1,0 +1,1595 @@
+//! The Pilot runtime: configuration tables, the two-phase lifecycle,
+//! point-to-point and collective communication, and run orchestration.
+//!
+//! See the crate docs for the model. Implementation notes:
+//!
+//! * Rank `i` embodies process `i` (process 0 = `PI_MAIN` = rank 0); the
+//!   last rank runs the service loop when `-pisvc=c`/`d` is on.
+//! * A channel's messages travel on tag `TAG_CHAN_BASE + channel index`,
+//!   so tags uniquely identify channels — which also makes the MPE
+//!   send/receive records pair correctly into arrows.
+//! * Work functions are attached with [`Pilot::assign_work`] (declaring
+//!   with [`Pilot::create_process`] first). The C library does both in
+//!   one call because C work functions reach their channels through
+//!   globals; Rust closures capture the channel handles instead, which
+//!   usually exist only *after* the processes — hence the split (the
+//!   one-call [`Pilot::create_process_with`] is available when ordering
+//!   permits).
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use minimpi::{Rank, Src, Tag, World, WorldOutcome};
+use mpelog::{finish_log, sync_clocks, Clog2File, ClockCorrection};
+use parking_lot::Mutex;
+
+use crate::config::PilotConfig;
+use crate::deadlock::DeadlockReport;
+use crate::errors::{CallSite, PilotError, PilotResult};
+use crate::format::{
+    canonical_format, decode_call, encode_call, expected_message_count, format_preamble, parse_format,
+    parse_preamble, peek_header, FormatSpec, LenMode, RSlot, WSlot, MSG_FORMAT,
+};
+use crate::instrument::{BubbleKind, Instrument, StateKind};
+use crate::service::{run_service, ServiceShared, SvcEvent, TAG_SVC};
+use crate::types::{Bundle, BundleUsage, Channel, Process};
+
+/// Base tag for channel traffic; channel `c` uses `TAG_CHAN_BASE + c`.
+pub(crate) const TAG_CHAN_BASE: u32 = 1000;
+/// Tag of the worker→main end-of-work handshake.
+const TAG_DONE: u32 = 901;
+
+/// Everything a run leaves behind besides the world outcome.
+#[derive(Debug, Default)]
+pub struct RunArtifacts {
+    /// The merged MPE (CLOG2) log, if `-pisvc=j` was on and the run was
+    /// not aborted. Aborts lose this log — the paper's Section III.B.
+    pub clog: Option<Clog2File>,
+    /// Native log lines (`-pisvc=c`), in arrival order at the service
+    /// rank; survives aborts because it is streamed, not buffered.
+    pub native_log: Vec<String>,
+    /// The deadlock diagnosis, if the detector fired.
+    pub deadlock: Option<DeadlockReport>,
+    /// Seconds spent in log wrap-up (clock sync + gather/merge) on rank
+    /// 0 — the cost the paper measures separately from run time.
+    pub wrapup_seconds: Option<f64>,
+    /// The status passed to `PI_StopMain`.
+    pub main_status: Option<i32>,
+    /// Process display names (timeline labels for the viewer).
+    pub process_names: Vec<String>,
+}
+
+/// Result of [`run`].
+#[derive(Debug)]
+pub struct PilotOutcome {
+    /// Per-rank outcome from the message layer.
+    pub world: WorldOutcome,
+    /// Collected artifacts.
+    pub artifacts: RunArtifacts,
+}
+
+impl PilotOutcome {
+    /// No aborts, no panics, no deadlock, all ranks returned 0.
+    pub fn is_clean(&self) -> bool {
+        self.world.all_ok() && self.artifacts.deadlock.is_none()
+    }
+
+    /// The merged MPE log, if produced.
+    pub fn clog(&self) -> Option<&Clog2File> {
+        self.artifacts.clog.as_ref()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Config,
+    Exec,
+    Done,
+}
+
+struct ProcEntry {
+    name: String,
+    index_arg: i64,
+}
+
+struct ChanEntry {
+    from: usize,
+    to: usize,
+    name: String,
+}
+
+struct BundleEntry {
+    usage: BundleUsage,
+    channels: Vec<usize>,
+    root: usize,
+    name: String,
+}
+
+struct State {
+    phase: Phase,
+    procs: Vec<ProcEntry>,
+    chans: Vec<ChanEntry>,
+    bundles: Vec<BundleEntry>,
+    timer_start: Option<f64>,
+}
+
+type WorkFn<'r, 'env> = Box<dyn Fn(&Pilot<'r, 'env>, i64) -> i32 + 'env>;
+
+struct SharedOut {
+    service: ServiceShared,
+    clog: Mutex<Option<Clog2File>>,
+    wrapup: Mutex<Option<f64>>,
+    main_status: Mutex<Option<i32>>,
+    process_names: Mutex<Vec<String>>,
+}
+
+/// The per-rank Pilot context handed to the program and to work
+/// functions. Not `Sync`: it belongs to one rank thread.
+pub struct Pilot<'r, 'env> {
+    rank: &'r Rank,
+    config: &'r PilotConfig,
+    st: RefCell<State>,
+    work: RefCell<Vec<Option<WorkFn<'r, 'env>>>>,
+    instr: RefCell<Instrument>,
+    out: &'r SharedOut,
+}
+
+/// Run a Pilot program on `config.ranks` ranks.
+///
+/// `program` executes on every process rank (the MPMD configuration
+/// convention); the service rank, if any, runs the service loop instead.
+pub fn run<'env, F>(config: PilotConfig, program: F) -> PilotOutcome
+where
+    F: for<'r> Fn(&Pilot<'r, 'env>) -> PilotResult<i32> + Send + Sync + 'env,
+{
+    assert!(config.ranks >= 1, "need at least one rank");
+    assert!(
+        config.process_capacity() >= 1,
+        "need at least one rank left for PI_MAIN after services"
+    );
+
+    let out = SharedOut {
+        service: ServiceShared::default(),
+        clog: Mutex::new(None),
+        wrapup: Mutex::new(None),
+        main_status: Mutex::new(None),
+        process_names: Mutex::new(Vec::new()),
+    };
+    let out_ref = &out;
+    let config_ref = &config;
+    let program_ref = &program;
+
+    let world = World::builder(config.ranks)
+        .clock(config.clock.clone())
+        .run(move |rank| rank_body(rank, config_ref, program_ref, out_ref));
+
+    let ServiceShared {
+        native_lines,
+        deadlock,
+    } = out.service;
+    PilotOutcome {
+        world,
+        artifacts: RunArtifacts {
+            clog: out.clog.into_inner(),
+            native_log: native_lines.into_inner(),
+            deadlock: deadlock.into_inner(),
+            wrapup_seconds: out.wrapup.into_inner(),
+            main_status: out.main_status.into_inner(),
+            process_names: out.process_names.into_inner(),
+        },
+    }
+}
+
+fn rank_body<'env, F>(rank: &Rank, config: &PilotConfig, program: &F, out: &SharedOut) -> i32
+where
+    F: for<'r> Fn(&Pilot<'r, 'env>) -> PilotResult<i32> + Send + Sync + 'env,
+{
+    if config.service_rank() == Some(rank.rank()) {
+        let clean = run_service(rank, config, &out.service);
+        if clean && config.services.jumpshot {
+            // Participate in the final collective wrap-up with an empty log.
+            let mut lg = mpelog::Logger::new(rank.rank());
+            if let Ok((t, off)) = sync_clocks(rank, config.sync_rounds) {
+                lg.set_correction(ClockCorrection::from_points(vec![(t, off)]));
+                let _ = finish_log(rank, &lg);
+            }
+        }
+        return 0;
+    }
+
+    let pi = Pilot::new(rank, config, out);
+    let result = program(&pi);
+    let code = match result {
+        Ok(c) => {
+            // Program returned without PI_StopMain (or never started the
+            // execution phase): finalize on its behalf.
+            match pi.finalize(c) {
+                Ok(()) => c,
+                Err(PilotError::Aborted { code, .. }) => code,
+                Err(_) => c,
+            }
+        }
+        Err(PilotError::Done(c)) => c,
+        Err(PilotError::Aborted { code, .. }) => code,
+        Err(e) => {
+            eprintln!("Pilot error on rank {}: {}", rank.rank(), e.diagnostic());
+            let _ = rank.abort(-4);
+            1
+        }
+    };
+    code
+}
+
+impl<'r, 'env> Pilot<'r, 'env> {
+    fn new(rank: &'r Rank, config: &'r PilotConfig, out: &'r SharedOut) -> Pilot<'r, 'env> {
+        let mut instr = Instrument::new(
+            rank.rank(),
+            config.services.jumpshot,
+            config.arrow_spread,
+            config.mpe_spill_dir.as_deref(),
+        );
+        // The Configuration Phase rectangle opens with PI_Configure.
+        instr.state_start(StateKind::Configure, rank.wtime(), "Configuration");
+        let st = State {
+            phase: Phase::Config,
+            procs: vec![ProcEntry {
+                name: "PI_MAIN".into(),
+                index_arg: 0,
+            }],
+            chans: Vec::new(),
+            bundles: Vec::new(),
+            timer_start: None,
+        };
+        Pilot {
+            rank,
+            config,
+            st: RefCell::new(st),
+            work: RefCell::new(vec![None]),
+            instr: RefCell::new(instr),
+            out,
+        }
+    }
+
+    // ---- identity & introspection ----
+
+    /// Total MPI ranks in the world.
+    pub fn world_size(&self) -> usize {
+        self.rank.size()
+    }
+
+    /// How many Pilot processes can exist (main included).
+    pub fn process_capacity(&self) -> usize {
+        self.config.process_capacity()
+    }
+
+    /// Number of processes created so far (including `PI_MAIN`).
+    pub fn process_count(&self) -> usize {
+        self.st.borrow().procs.len()
+    }
+
+    /// The process this rank embodies, if any (`None` on idle ranks).
+    pub fn my_process(&self) -> Option<Process> {
+        let me = self.rank.rank();
+        (me < self.st.borrow().procs.len()).then_some(Process(me))
+    }
+
+    /// Is MPE (Jumpshot) logging enabled? — `PI_IsLogging`.
+    pub fn is_logging(&self) -> bool {
+        self.config.services.jumpshot
+    }
+
+    /// Wallclock seconds since the world started (this rank's clock).
+    pub fn wtime(&self) -> f64 {
+        self.rank.wtime()
+    }
+
+    fn checks(&self) -> u8 {
+        self.config.check_level
+    }
+
+    fn phase(&self) -> Phase {
+        self.st.borrow().phase
+    }
+
+    fn require_config(&self, what: &'static str, at: &CallSite) -> PilotResult<()> {
+        if self.checks() >= 1 && self.phase() != Phase::Config {
+            return Err(PilotError::ConfigPhaseOnly {
+                what,
+                at: at.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn require_exec(&self, what: &'static str, at: &CallSite) -> PilotResult<()> {
+        if self.checks() >= 1 && self.phase() != Phase::Exec {
+            return Err(PilotError::ExecPhaseOnly {
+                what,
+                at: at.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn my_proc_index(&self) -> usize {
+        self.rank.rank()
+    }
+
+    fn send_svc(&self, ev: &SvcEvent) {
+        if let Some(svc) = self.config.service_rank() {
+            let _ = self.rank.send(svc, TAG_SVC, &ev.encode());
+        }
+    }
+
+    fn native_line(&self, line: String) {
+        if self.config.services.call_log {
+            self.send_svc(&SvcEvent::LogLine(line));
+        }
+    }
+
+    fn ddt_event(&self, ev: SvcEvent) {
+        if self.config.services.deadlock {
+            self.send_svc(&ev);
+        }
+    }
+
+    fn short_loc(at: &CallSite) -> String {
+        let base = at.file.rsplit('/').next().unwrap_or(&at.file);
+        format!("{base}:{}", at.line)
+    }
+
+    fn call_text(&self, at: &CallSite) -> String {
+        let st = self.st.borrow();
+        let me = self.my_proc_index();
+        let (name, idx) = st
+            .procs
+            .get(me)
+            .map(|p| (p.name.as_str(), p.index_arg))
+            .unwrap_or(("?", -1));
+        format!("Line: {} Proc: {} Idx: {}", Self::short_loc(at), name, idx)
+    }
+
+    // ---- configuration phase ----
+
+    /// Declare a Pilot process — `PI_CreateProcess` (first half). The
+    /// work function is attached with [`Pilot::assign_work`]; the
+    /// `index_arg` is passed to it, serving the master/worker idiom the
+    /// paper describes (the popup shows it to tell workers apart).
+    #[track_caller]
+    pub fn create_process(&self, index_arg: i64) -> PilotResult<Process> {
+        let at = CallSite::here();
+        self.require_config("PI_CreateProcess", &at)?;
+        let mut st = self.st.borrow_mut();
+        let n = st.procs.len();
+        if n >= self.config.process_capacity() {
+            return Err(PilotError::TooManyProcesses {
+                requested: n,
+                available: self.config.process_capacity() - 1,
+                at,
+            });
+        }
+        st.procs.push(ProcEntry {
+            name: format!("P{n}"),
+            index_arg,
+        });
+        self.work.borrow_mut().push(None);
+        if self.rank.rank() == 0 {
+            self.native_line(format!(
+                "t={:.6} P0 PI_CreateProcess -> P{} idx={} at {}",
+                self.rank.wtime(),
+                n,
+                index_arg,
+                Self::short_loc(&at)
+            ));
+        }
+        Ok(Process(n))
+    }
+
+    /// Attach the work function to a declared process — `PI_CreateProcess`
+    /// (second half).
+    #[track_caller]
+    pub fn assign_work<F>(&self, p: Process, work: F) -> PilotResult<()>
+    where
+        F: Fn(&Pilot<'r, 'env>, i64) -> i32 + 'env,
+    {
+        let at = CallSite::here();
+        self.require_config("PI_CreateProcess", &at)?;
+        let mut tbl = self.work.borrow_mut();
+        if p.0 == 0 || p.0 >= tbl.len() {
+            return Err(PilotError::BadHandle {
+                what: "process",
+                index: p.0,
+                at,
+            });
+        }
+        tbl[p.0] = Some(Box::new(work));
+        Ok(())
+    }
+
+    /// Declare a process and attach its work in one call, for when the
+    /// channels it needs already exist.
+    #[track_caller]
+    pub fn create_process_with<F>(&self, work: F, index_arg: i64) -> PilotResult<Process>
+    where
+        F: Fn(&Pilot<'r, 'env>, i64) -> i32 + 'env,
+    {
+        let p = self.create_process(index_arg)?;
+        self.assign_work(p, work)?;
+        Ok(p)
+    }
+
+    /// Create a directed channel — `PI_CreateChannel`.
+    #[track_caller]
+    pub fn create_channel(&self, from: Process, to: Process) -> PilotResult<Channel> {
+        let at = CallSite::here();
+        self.require_config("PI_CreateChannel", &at)?;
+        let mut st = self.st.borrow_mut();
+        for (what, p) in [("process", from), ("process", to)] {
+            if p.0 >= st.procs.len() {
+                return Err(PilotError::BadHandle {
+                    what,
+                    index: p.0,
+                    at,
+                });
+            }
+        }
+        if from == to {
+            return Err(PilotError::BadArgument {
+                what: "a channel cannot connect a process to itself".into(),
+                at,
+            });
+        }
+        let c = st.chans.len();
+        st.chans.push(ChanEntry {
+            from: from.0,
+            to: to.0,
+            name: format!("C{c}"),
+        });
+        if self.rank.rank() == 0 {
+            self.native_line(format!(
+                "t={:.6} P0 PI_CreateChannel C{} P{}->P{} at {}",
+                self.rank.wtime(),
+                c,
+                from.0,
+                to.0,
+                Self::short_loc(&at)
+            ));
+        }
+        Ok(Channel(c))
+    }
+
+    /// Create a bundle for a collective operation — `PI_CreateBundle`.
+    ///
+    /// The channels must share a common endpoint on the side the usage
+    /// dictates: the writer for broadcast/scatter, the reader for
+    /// gather/reduce/select.
+    #[track_caller]
+    pub fn create_bundle(&self, usage: BundleUsage, channels: &[Channel]) -> PilotResult<Bundle> {
+        let at = CallSite::here();
+        self.require_config("PI_CreateBundle", &at)?;
+        let mut st = self.st.borrow_mut();
+        if channels.is_empty() {
+            return Err(PilotError::BadArgument {
+                what: "bundle needs at least one channel".into(),
+                at,
+            });
+        }
+        for c in channels {
+            if c.0 >= st.chans.len() {
+                return Err(PilotError::BadHandle {
+                    what: "channel",
+                    index: c.0,
+                    at,
+                });
+            }
+        }
+        let endpoint = |c: &Channel| match usage {
+            BundleUsage::Broadcast | BundleUsage::Scatter => st.chans[c.0].from,
+            BundleUsage::Gather | BundleUsage::Reduce | BundleUsage::Select => st.chans[c.0].to,
+        };
+        let root = endpoint(&channels[0]);
+        if self.checks() >= 1 && !channels.iter().all(|c| endpoint(c) == root) {
+            return Err(PilotError::NoCommonEndpoint { at });
+        }
+        let b = st.bundles.len();
+        st.bundles.push(BundleEntry {
+            usage,
+            channels: channels.iter().map(|c| c.0).collect(),
+            root,
+            name: format!("B{b}"),
+        });
+        if self.rank.rank() == 0 {
+            self.native_line(format!(
+                "t={:.6} P0 PI_CreateBundle B{} {} x{} root P{} at {}",
+                self.rank.wtime(),
+                b,
+                usage.name(),
+                channels.len(),
+                root,
+                Self::short_loc(&at)
+            ));
+        }
+        Ok(Bundle(b))
+    }
+
+    /// Name a process (shows up as the timeline label and in popups) —
+    /// `PI_SetName`.
+    pub fn set_process_name(&self, p: Process, name: &str) -> PilotResult<()> {
+        let mut st = self.st.borrow_mut();
+        let entry = st.procs.get_mut(p.0).ok_or(PilotError::BadHandle {
+            what: "process",
+            index: p.0,
+            at: CallSite::here(),
+        })?;
+        entry.name = name.to_string();
+        Ok(())
+    }
+
+    /// Name a channel (shows in arrival-bubble popups).
+    pub fn set_channel_name(&self, c: Channel, name: &str) -> PilotResult<()> {
+        let mut st = self.st.borrow_mut();
+        let entry = st.chans.get_mut(c.0).ok_or(PilotError::BadHandle {
+            what: "channel",
+            index: c.0,
+            at: CallSite::here(),
+        })?;
+        entry.name = name.to_string();
+        Ok(())
+    }
+
+    /// Name a bundle (shows in collective popups).
+    pub fn set_bundle_name(&self, b: Bundle, name: &str) -> PilotResult<()> {
+        let mut st = self.st.borrow_mut();
+        let entry = st.bundles.get_mut(b.0).ok_or(PilotError::BadHandle {
+            what: "bundle",
+            index: b.0,
+            at: CallSite::here(),
+        })?;
+        entry.name = name.to_string();
+        Ok(())
+    }
+
+    /// A process's display name — `PI_GetName`.
+    pub fn process_name(&self, p: Process) -> String {
+        self.st
+            .borrow()
+            .procs
+            .get(p.0)
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|| format!("P{}", p.0))
+    }
+
+    /// A channel's display name.
+    pub fn channel_name(&self, c: Channel) -> String {
+        self.st
+            .borrow()
+            .chans
+            .get(c.0)
+            .map(|e| e.name.clone())
+            .unwrap_or_else(|| format!("C{}", c.0))
+    }
+
+    /// A channel's writer process.
+    pub fn channel_writer(&self, c: Channel) -> Option<Process> {
+        self.st.borrow().chans.get(c.0).map(|e| Process(e.from))
+    }
+
+    /// A channel's reader process.
+    pub fn channel_reader(&self, c: Channel) -> Option<Process> {
+        self.st.borrow().chans.get(c.0).map(|e| Process(e.to))
+    }
+
+    // ---- phase transitions ----
+
+    /// Start the execution phase — `PI_StartAll`.
+    ///
+    /// On worker ranks this runs the process's work function and then
+    /// returns `Err(PilotError::Done(code))`, so `pi.start_all()?`
+    /// naturally skips the main-only part of the program. Only `PI_MAIN`
+    /// returns `Ok(())`.
+    #[track_caller]
+    pub fn start_all(&self) -> PilotResult<()> {
+        let at = CallSite::here();
+        self.require_config("PI_StartAll", &at)?;
+        // Every declared worker must have a work function.
+        {
+            let tbl = self.work.borrow();
+            for (i, w) in tbl.iter().enumerate().skip(1) {
+                if w.is_none() {
+                    return Err(PilotError::BadArgument {
+                        what: format!("process P{i} has no work function assigned"),
+                        at,
+                    });
+                }
+            }
+        }
+        self.st.borrow_mut().phase = Phase::Exec;
+        let now = self.rank.wtime();
+        {
+            let mut ins = self.instr.borrow_mut();
+            ins.state_end(StateKind::Configure, now, "");
+            ins.bubble(BubbleKind::StartAll, now, &format!("Line: {}", Self::short_loc(&at)));
+            ins.state_start(StateKind::Compute, now, &self.call_text(&at));
+        }
+        if self.rank.rank() == 0 {
+            self.native_line(format!("t={now:.6} P0 PI_StartAll"));
+        }
+
+        let me = self.rank.rank();
+        let nprocs = self.st.borrow().procs.len();
+        if me == 0 {
+            return Ok(());
+        }
+        // Worker or idle rank: run the work function (if this rank
+        // embodies a process), then wind down.
+        let code = if me < nprocs {
+            let work = self.work.borrow_mut()[me].take().expect("validated above");
+            let idx = self.st.borrow().procs[me].index_arg;
+            work(self, idx)
+        } else {
+            0
+        };
+        let now = self.rank.wtime();
+        self.instr.borrow_mut().state_end(StateKind::Compute, now, "");
+        self.ddt_event(SvcEvent::Exit { proc: me as u32 });
+        self.native_line(format!("t={now:.6} P{me} work function returned {code}"));
+        // Tell PI_MAIN we are done, then join the collective wrap-up.
+        self.rank.send(0, TAG_DONE, &(code as i32).to_le_bytes())?;
+        self.wrapup()?;
+        self.st.borrow_mut().phase = Phase::Done;
+        Err(PilotError::Done(code))
+    }
+
+    /// End the execution phase — `PI_StopMain`. Only `PI_MAIN` calls
+    /// this; it waits for every worker, shuts down the service rank, and
+    /// performs the MPE log wrap-up (clock sync + gather + merge), whose
+    /// duration is recorded in the run artifacts.
+    #[track_caller]
+    pub fn stop_main(&self, status: i32) -> PilotResult<i32> {
+        let at = CallSite::here();
+        self.require_exec("PI_StopMain", &at)?;
+        if self.checks() >= 1 && self.rank.rank() != 0 {
+            return Err(PilotError::BadArgument {
+                what: "PI_StopMain may only be called by PI_MAIN".into(),
+                at,
+            });
+        }
+        let now = self.rank.wtime();
+        {
+            let mut ins = self.instr.borrow_mut();
+            ins.bubble(BubbleKind::StopMain, now, &format!("Line: {}", Self::short_loc(&at)));
+            ins.state_end(StateKind::Compute, now, "");
+        }
+        self.native_line(format!("t={now:.6} P0 PI_StopMain status={status}"));
+
+        // Wait for all non-main process ranks to report in.
+        let expected = self.config.process_capacity() - 1;
+        for _ in 0..expected {
+            self.rank.recv(Src::Any, Tag::Of(TAG_DONE))?;
+        }
+        self.ddt_event(SvcEvent::Exit { proc: 0 });
+        self.send_svc(&SvcEvent::Shutdown);
+
+        let t0 = self.rank.true_time();
+        self.wrapup()?;
+        let dt = self.rank.true_time() - t0;
+        if self.config.services.jumpshot {
+            *self.out.wrapup.lock() = Some(dt);
+        }
+        *self.out.main_status.lock() = Some(status);
+        {
+            let st = self.st.borrow();
+            let mut names: Vec<String> = st.procs.iter().map(|p| p.name.clone()).collect();
+            for extra in st.procs.len()..self.rank.size() {
+                if self.config.service_rank() == Some(extra) {
+                    names.push("(log svc)".into());
+                } else {
+                    names.push(format!("P{extra} (idle)"));
+                }
+            }
+            *self.out.process_names.lock() = names;
+        }
+        self.st.borrow_mut().phase = Phase::Done;
+        Ok(status)
+    }
+
+    /// The collective end-of-run work every rank performs: final clock
+    /// sync (`MPE_Log_sync_clocks`) and log gather (`MPE_Finish_log`).
+    fn wrapup(&self) -> PilotResult<()> {
+        if !self.config.services.jumpshot {
+            return Ok(());
+        }
+        let (t, off) = sync_clocks(self.rank, self.config.sync_rounds)?;
+        // Offsets below the measurement noise floor (a few ping RTTs)
+        // are indistinguishable from zero; applying them would jitter
+        // timestamps and create spurious backward arrows.
+        let off = if off.abs() < 20e-6 { 0.0 } else { off };
+        let mut ins = self.instr.borrow_mut();
+        if let Some(lg) = ins.logger_mut() {
+            lg.set_correction(ClockCorrection::from_points(vec![(t, off)]));
+        }
+        if let Some(lg) = ins.logger() {
+            if let Some(file) = finish_log(self.rank, lg)? {
+                *self.out.clog.lock() = Some(file);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalization fallback when the program returns without calling
+    /// `PI_StopMain` (or never called `PI_StartAll`).
+    fn finalize(&self, code: i32) -> PilotResult<()> {
+        match self.phase() {
+            Phase::Done => Ok(()),
+            Phase::Exec => {
+                if self.rank.rank() == 0 {
+                    self.stop_main(code).map(|_| ())
+                } else {
+                    Ok(())
+                }
+            }
+            Phase::Config => {
+                // Configuration-only program: close the Configure state,
+                // shut the service down, and do the collective wrap-up.
+                let now = self.rank.wtime();
+                self.instr.borrow_mut().state_end(StateKind::Configure, now, "");
+                if self.rank.rank() == 0 {
+                    self.send_svc(&SvcEvent::Shutdown);
+                }
+                self.wrapup()?;
+                self.st.borrow_mut().phase = Phase::Done;
+                Ok(())
+            }
+        }
+    }
+
+    /// Halt the whole program — `PI_Abort`. As in the paper, the MPE log
+    /// cannot be finalized after this (the merge needs messaging), while
+    /// the native log keeps everything received so far.
+    #[track_caller]
+    pub fn abort(&self, code: i32, reason: &str) -> PilotError {
+        let at = CallSite::here();
+        eprintln!(
+            "PI_Abort at {}: {} (code {code})",
+            Self::short_loc(&at),
+            reason
+        );
+        self.native_line(format!(
+            "t={:.6} P{} PI_Abort code={} reason={}",
+            self.rank.wtime(),
+            self.rank.rank(),
+            code,
+            reason
+        ));
+        if self.config.services.call_log {
+            // Give the service rank a moment to drain queued log lines to
+            // disk before the abort tears the world down (a real
+            // MPI_Abort is likewise not instantaneous). The buffered MPE
+            // log is still lost — that asymmetry is the paper's point.
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.rank.abort(code).into()
+    }
+
+    // ---- point-to-point communication ----
+
+    fn chan_entry(&self, c: Channel, at: &CallSite) -> PilotResult<(usize, usize, String)> {
+        let st = self.st.borrow();
+        let e = st.chans.get(c.0).ok_or(PilotError::BadHandle {
+            what: "channel",
+            index: c.0,
+            at: at.clone(),
+        })?;
+        Ok((e.from, e.to, e.name.clone()))
+    }
+
+    fn chan_tag(c: usize) -> u32 {
+        TAG_CHAN_BASE + c as u32
+    }
+
+    /// Write to a channel — `PI_Write`.
+    ///
+    /// `fmt` follows the Pilot format syntax (see [`crate::format`]);
+    /// `slots` supplies one value per specifier.
+    #[track_caller]
+    pub fn write(&self, chan: Channel, fmt: &str, slots: &[WSlot<'_>]) -> PilotResult<()> {
+        let at = CallSite::here();
+        self.require_exec("PI_Write", &at)?;
+        let specs = parse_format(fmt).map_err(|reason| PilotError::BadFormat {
+            format: fmt.into(),
+            reason,
+            at: at.clone(),
+        })?;
+        self.write_inner(chan, fmt, &specs, slots, &at, Some(StateKind::Write))
+    }
+
+    /// Shared send path for `PI_Write` and collective fanouts.
+    /// `state` is `None` when an enclosing collective owns the state.
+    fn write_inner(
+        &self,
+        chan: Channel,
+        fmt: &str,
+        specs: &[FormatSpec],
+        slots: &[WSlot<'_>],
+        at: &CallSite,
+        state: Option<StateKind>,
+    ) -> PilotResult<()> {
+        let (from, to, _name) = self.chan_entry(chan, at)?;
+        let me = self.my_proc_index();
+        if self.checks() >= 1 && me != from {
+            return Err(PilotError::NotChannelWriter {
+                chan,
+                caller: Process(me),
+                writer: Process(from),
+                at: at.clone(),
+            });
+        }
+        let msgs = encode_call(specs, slots, self.checks() >= 3).map_err(|reason| {
+            PilotError::SlotMismatch {
+                format: fmt.into(),
+                reason,
+                at: at.clone(),
+            }
+        })?;
+        let tag = Self::chan_tag(chan.0);
+        let n_wire = msgs.len() + usize::from(self.checks() >= 2);
+
+        if let Some(kind) = state {
+            self.instr
+                .borrow_mut()
+                .state_start(kind, self.rank.wtime(), &self.call_text(at));
+            self.native_line(format!(
+                "t={:.6} P{} PI_Write C{} fmt={} at {}",
+                self.rank.wtime(),
+                me,
+                chan.0,
+                canonical_format(specs),
+                Self::short_loc(at)
+            ));
+        }
+
+        // Announce before sending so the detector's credit always lands
+        // before our Exit event (FIFO per sender pair).
+        self.ddt_event(SvcEvent::NoteWrite {
+            chan: chan.0 as u32,
+            n: n_wire as u32,
+        });
+
+        if self.checks() >= 2 {
+            let pre = format_preamble(&canonical_format(specs));
+            self.send_chan_msg(to, tag, &pre, false)?;
+        }
+        let first = slots.first().map(WSlot::first_element_display).unwrap_or_default();
+        let total: usize = slots.iter().map(WSlot::count).sum();
+        for m in &msgs {
+            self.send_chan_msg(to, tag, m, true)?;
+        }
+        self.instr.borrow_mut().bubble(
+            BubbleKind::WriteInfo,
+            self.rank.wtime(),
+            &format!("Len: {total} First: {first}"),
+        );
+
+        if let Some(kind) = state {
+            self.instr.borrow_mut().state_end(kind, self.rank.wtime(), "");
+        }
+        Ok(())
+    }
+
+    fn send_chan_msg(&self, to_proc: usize, tag: u32, msg: &[u8], log_arrow: bool) -> PilotResult<()> {
+        // Take the timestamp BEFORE the message becomes visible: the
+        // receiver may log its arrival before this thread runs again,
+        // and an arrival earlier than its send would be a backward
+        // arrow. (MPE likewise calls MPE_Log_send before MPI_Send.)
+        let ts = self.rank.wtime();
+        if self.config.synchronous_channels {
+            self.rank.ssend(to_proc, tag, msg)?;
+        } else {
+            self.rank.send(to_proc, tag, msg)?;
+        }
+        if log_arrow {
+            self.instr
+                .borrow_mut()
+                .log_send(ts, to_proc, tag, msg.len());
+        }
+        Ok(())
+    }
+
+    /// Read from a channel — `PI_Read`. Blocks until the matching write
+    /// arrives ("red means stop").
+    #[track_caller]
+    pub fn read(&self, chan: Channel, fmt: &str, slots: &mut [RSlot<'_>]) -> PilotResult<()> {
+        let at = CallSite::here();
+        self.require_exec("PI_Read", &at)?;
+        let specs = parse_format(fmt).map_err(|reason| PilotError::BadFormat {
+            format: fmt.into(),
+            reason,
+            at: at.clone(),
+        })?;
+        self.read_inner(chan, fmt, &specs, slots, &at, Some(StateKind::Read))
+    }
+
+    fn read_inner(
+        &self,
+        chan: Channel,
+        _fmt: &str,
+        specs: &[FormatSpec],
+        slots: &mut [RSlot<'_>],
+        at: &CallSite,
+        state: Option<StateKind>,
+    ) -> PilotResult<()> {
+        let (from, to, chan_name) = self.chan_entry(chan, at)?;
+        let me = self.my_proc_index();
+        if self.checks() >= 1 && me != to {
+            return Err(PilotError::NotChannelReader {
+                chan,
+                caller: Process(me),
+                reader: Process(to),
+                at: at.clone(),
+            });
+        }
+        if let Some(kind) = state {
+            self.instr
+                .borrow_mut()
+                .state_start(kind, self.rank.wtime(), &self.call_text(at));
+            self.native_line(format!(
+                "t={:.6} P{} PI_Read C{} fmt={} at {}",
+                self.rank.wtime(),
+                me,
+                chan.0,
+                canonical_format(specs),
+                Self::short_loc(at)
+            ));
+        }
+        let tag = Self::chan_tag(chan.0);
+        let n_data = expected_message_count(specs);
+        let n_wire = n_data + usize::from(self.checks() >= 2);
+
+        self.ddt_event(SvcEvent::PreBlock {
+            proc: me as u32,
+            op: "PI_Read".into(),
+            waits: vec![(from as u32, chan.0 as u32)],
+            loc: Self::short_loc(at),
+            res: format!("C{}", chan.0),
+        });
+
+        let recv_result = (|| -> PilotResult<Vec<Vec<u8>>> {
+            let mut msgs = Vec::with_capacity(n_data);
+            if self.checks() >= 2 {
+                let m = self.rank.recv(Src::Of(from), Tag::Of(tag))?;
+                let h = peek_header(&m.payload).map_err(|e| PilotError::WireMismatch {
+                    expected: "format preamble".into(),
+                    got: e,
+                    at: at.clone(),
+                })?;
+                if h.marker != MSG_FORMAT {
+                    return Err(PilotError::WireMismatch {
+                        expected: "format preamble (is the writer at the same check level?)".into(),
+                        got: format!("marker '{}'", h.marker as char),
+                        at: at.clone(),
+                    });
+                }
+                let writer_fmt = parse_preamble(&m.payload).map_err(|e| PilotError::WireMismatch {
+                    expected: "format preamble".into(),
+                    got: e,
+                    at: at.clone(),
+                })?;
+                let mine = canonical_format(specs);
+                if writer_fmt != mine {
+                    return Err(PilotError::FormatMismatch {
+                        writer_fmt,
+                        reader_fmt: mine,
+                        at: at.clone(),
+                    });
+                }
+            }
+            for _ in 0..n_data {
+                let m = self.rank.recv(Src::Of(from), Tag::Of(tag))?;
+                let now = self.rank.wtime();
+                let mut ins = self.instr.borrow_mut();
+                // The arrival bubble the paper describes, one per message.
+                ins.log_receive(now, from, tag, m.payload.len());
+                ins.bubble(BubbleKind::MsgArrival, now, &format!("Chan: {chan_name}"));
+                drop(ins);
+                msgs.push(m.payload.to_vec());
+            }
+            Ok(msgs)
+        })();
+
+        self.ddt_event(SvcEvent::PostBlock { proc: me as u32 });
+        let msgs = match recv_result {
+            Ok(m) => {
+                self.ddt_event(SvcEvent::NoteRead {
+                    chan: chan.0 as u32,
+                    n: n_wire as u32,
+                });
+                m
+            }
+            Err(e) => return Err(e),
+        };
+
+        decode_call(specs, slots, &msgs).map_err(|reason| PilotError::WireMismatch {
+            expected: canonical_format(specs),
+            got: reason,
+            at: at.clone(),
+        })?;
+
+        if let Some(kind) = state {
+            self.instr.borrow_mut().state_end(kind, self.rank.wtime(), "");
+        }
+        Ok(())
+    }
+
+    /// Does this channel have a message waiting? — `PI_ChannelHasData`.
+    #[track_caller]
+    pub fn channel_has_data(&self, chan: Channel) -> PilotResult<bool> {
+        let at = CallSite::here();
+        self.require_exec("PI_ChannelHasData", &at)?;
+        let (from, _to, _) = self.chan_entry(chan, &at)?;
+        let has = self
+            .rank
+            .iprobe(Src::Of(from), Tag::Of(Self::chan_tag(chan.0)))?
+            .is_some();
+        self.instr.borrow_mut().bubble(
+            BubbleKind::ChannelHasData,
+            self.rank.wtime(),
+            &format!("Ret: {} Line: {}", has as u8, Self::short_loc(&at)),
+        );
+        Ok(has)
+    }
+
+    // ---- timing & logging utilities ----
+
+    /// Start an interval timer — `PI_StartTime`. Returns the wallclock.
+    #[track_caller]
+    pub fn start_time(&self) -> f64 {
+        let at = CallSite::here();
+        let t = self.rank.wtime();
+        self.st.borrow_mut().timer_start = Some(t);
+        self.instr.borrow_mut().bubble(
+            BubbleKind::StartTime,
+            t,
+            &format!("Ret: {t:.6} Line: {}", Self::short_loc(&at)),
+        );
+        t
+    }
+
+    /// Elapsed seconds since `start_time` — `PI_EndTime`.
+    #[track_caller]
+    pub fn end_time(&self) -> f64 {
+        let at = CallSite::here();
+        let t = self.rank.wtime();
+        let elapsed = t - self.st.borrow().timer_start.unwrap_or(0.0);
+        self.instr.borrow_mut().bubble(
+            BubbleKind::EndTime,
+            t,
+            &format!("Ret: {elapsed:.6} Line: {}", Self::short_loc(&at)),
+        );
+        elapsed
+    }
+
+    /// Write a free-text entry into the logs — `PI_Log`.
+    #[track_caller]
+    pub fn log(&self, text: &str) {
+        let at = CallSite::here();
+        let now = self.rank.wtime();
+        self.instr.borrow_mut().bubble(
+            BubbleKind::Log,
+            now,
+            &format!("Note: {text}"),
+        );
+        self.native_line(format!(
+            "t={now:.6} P{} PI_Log {} at {}",
+            self.rank.rank(),
+            text,
+            Self::short_loc(&at)
+        ));
+    }
+}
+
+// ---- collective operations ----
+//
+// Pilot collectives are asymmetric, matching the paper's description:
+// the bundle's common endpoint calls the collective function while the
+// leaf processes call plain PI_Read / PI_Write on their channel ends —
+// "the broadcasting process would call PI_Broadcast, and the receivers
+// would all call PI_Read".
+
+impl<'r, 'env> Pilot<'r, 'env> {
+    fn bundle_entry(
+        &self,
+        b: Bundle,
+        used_with: BundleUsage,
+        at: &CallSite,
+    ) -> PilotResult<(Vec<usize>, usize, String)> {
+        let st = self.st.borrow();
+        let e = st.bundles.get(b.0).ok_or(PilotError::BadHandle {
+            what: "bundle",
+            index: b.0,
+            at: at.clone(),
+        })?;
+        if self.checks() >= 1 && e.usage != used_with {
+            return Err(PilotError::WrongBundleUsage {
+                bundle: b,
+                expected: e.usage,
+                used_with,
+                at: at.clone(),
+            });
+        }
+        let me = self.my_proc_index();
+        if self.checks() >= 1 && me != e.root {
+            return Err(PilotError::NotBundleRoot {
+                bundle: b,
+                caller: Process(me),
+                root: Process(e.root),
+                at: at.clone(),
+            });
+        }
+        Ok((e.channels.clone(), e.root, e.name.clone()))
+    }
+
+    fn bundle_text(&self, name: &str, at: &CallSite) -> String {
+        // Bundle first: the 40-byte MPE info limit must not eat it.
+        format!("Bundle: {} {}", name, self.call_text(at))
+    }
+
+    /// Send the same data down every channel of the bundle —
+    /// `PI_Broadcast`. Each receiver calls `PI_Read` on its channel, so
+    /// the view shows N white arrows fanning out (spread apart by the
+    /// paper's 1 ms workaround so they are not superimposed).
+    #[track_caller]
+    pub fn broadcast(&self, bundle: Bundle, fmt: &str, slots: &[WSlot<'_>]) -> PilotResult<()> {
+        let at = CallSite::here();
+        self.require_exec("PI_Broadcast", &at)?;
+        let (channels, _root, name) = self.bundle_entry(bundle, BundleUsage::Broadcast, &at)?;
+        let specs = parse_format(fmt).map_err(|reason| PilotError::BadFormat {
+            format: fmt.into(),
+            reason,
+            at: at.clone(),
+        })?;
+        self.instr.borrow_mut().state_start(
+            StateKind::Broadcast,
+            self.rank.wtime(),
+            &self.bundle_text(&name, &at),
+        );
+        self.native_line(format!(
+            "t={:.6} P{} PI_Broadcast B{} fmt={} at {}",
+            self.rank.wtime(),
+            self.my_proc_index(),
+            bundle.0,
+            canonical_format(&specs),
+            Self::short_loc(&at)
+        ));
+        for &c in &channels {
+            // One delay per arrow, as in the paper's usleep workaround.
+            self.instr.borrow().spread_arrows();
+            self.write_inner(Channel(c), fmt, &specs, slots, &at, None)?;
+        }
+        self.instr
+            .borrow_mut()
+            .state_end(StateKind::Broadcast, self.rank.wtime(), "");
+        Ok(())
+    }
+
+    /// Distribute consecutive slices of an array, one per channel —
+    /// `PI_Scatter`. The format must be a single fixed-size array
+    /// specifier describing ONE receiver's share (e.g. `"%5d"` with a
+    /// 5×N-element source).
+    #[track_caller]
+    pub fn scatter(&self, bundle: Bundle, fmt: &str, slot: &WSlot<'_>) -> PilotResult<()> {
+        let at = CallSite::here();
+        self.require_exec("PI_Scatter", &at)?;
+        let (channels, _root, name) = self.bundle_entry(bundle, BundleUsage::Scatter, &at)?;
+        let specs = parse_format(fmt).map_err(|reason| PilotError::BadFormat {
+            format: fmt.into(),
+            reason,
+            at: at.clone(),
+        })?;
+        let per = match specs.as_slice() {
+            [FormatSpec { len: LenMode::Fixed(n), .. }] => *n,
+            _ => {
+                return Err(PilotError::BadFormat {
+                    format: fmt.into(),
+                    reason: "PI_Scatter needs a single fixed-size array specifier (e.g. %5d)"
+                        .into(),
+                    at,
+                })
+            }
+        };
+        let n = channels.len();
+        self.instr.borrow_mut().state_start(
+            StateKind::Scatter,
+            self.rank.wtime(),
+            &self.bundle_text(&name, &at),
+        );
+        self.native_line(format!(
+            "t={:.6} P{} PI_Scatter B{} fmt={} at {}",
+            self.rank.wtime(),
+            self.my_proc_index(),
+            bundle.0,
+            canonical_format(&specs),
+            Self::short_loc(&at)
+        ));
+        macro_rules! scatter_arr {
+            ($arr:expr, $variant:ident) => {{
+                let arr = $arr;
+                if arr.len() != per * n {
+                    return Err(PilotError::SlotMismatch {
+                        format: fmt.into(),
+                        reason: format!(
+                            "scatter source has {} elements; need {} ({} per channel x {})",
+                            arr.len(),
+                            per * n,
+                            per,
+                            n
+                        ),
+                        at,
+                    });
+                }
+                for (i, &c) in channels.iter().enumerate() {
+                    self.instr.borrow().spread_arrows();
+                    let part = WSlot::$variant(&arr[i * per..(i + 1) * per]);
+                    self.write_inner(Channel(c), fmt, &specs, &[part], &at, None)?;
+                }
+            }};
+        }
+        match slot {
+            WSlot::IntArr(a) => scatter_arr!(a, IntArr),
+            WSlot::UintArr(a) => scatter_arr!(a, UintArr),
+            WSlot::FloatArr(a) => scatter_arr!(a, FloatArr),
+            WSlot::ByteArr(a) => scatter_arr!(a, ByteArr),
+            other => {
+                return Err(PilotError::SlotMismatch {
+                    format: fmt.into(),
+                    reason: format!("PI_Scatter needs an array slot, got {other:?}"),
+                    at,
+                })
+            }
+        }
+        self.instr
+            .borrow_mut()
+            .state_end(StateKind::Scatter, self.rank.wtime(), "");
+        Ok(())
+    }
+
+    /// Collect one contribution per channel into consecutive slices of
+    /// an output array — `PI_Gather`. The format describes ONE sender's
+    /// contribution (`"%d"` or `"%5d"`); the output slice must hold
+    /// `N × per` elements. Leaves call `PI_Write` on their channels.
+    #[track_caller]
+    pub fn gather(&self, bundle: Bundle, fmt: &str, slot: &mut RSlot<'_>) -> PilotResult<()> {
+        let at = CallSite::here();
+        self.require_exec("PI_Gather", &at)?;
+        let (channels, _root, name) = self.bundle_entry(bundle, BundleUsage::Gather, &at)?;
+        self.gather_impl(&channels, &name, StateKind::Gather, "PI_Gather", fmt, slot, &at)
+    }
+
+    fn gather_impl(
+        &self,
+        channels: &[usize],
+        bundle_name: &str,
+        state: StateKind,
+        opname: &str,
+        fmt: &str,
+        slot: &mut RSlot<'_>,
+        at: &CallSite,
+    ) -> PilotResult<()> {
+        let specs = parse_format(fmt).map_err(|reason| PilotError::BadFormat {
+            format: fmt.into(),
+            reason,
+            at: at.clone(),
+        })?;
+        let per = match specs.as_slice() {
+            [FormatSpec { len: LenMode::One, .. }] => 1usize,
+            [FormatSpec { len: LenMode::Fixed(n), .. }] => *n,
+            _ => {
+                return Err(PilotError::BadFormat {
+                    format: fmt.into(),
+                    reason: format!(
+                        "{opname} needs a single scalar or fixed-size array specifier"
+                    ),
+                    at: at.clone(),
+                })
+            }
+        };
+        let n = channels.len();
+        self.instr
+            .borrow_mut()
+            .state_start(state, self.rank.wtime(), &self.bundle_text(bundle_name, at));
+        self.native_line(format!(
+            "t={:.6} P{} {} fmt={} at {}",
+            self.rank.wtime(),
+            self.my_proc_index(),
+            opname,
+            canonical_format(&specs),
+            Self::short_loc(at)
+        ));
+        macro_rules! gather_arr {
+            ($arr:expr, $variant:ident, $t:ty) => {{
+                let arr = $arr;
+                if arr.len() != per * n {
+                    return Err(PilotError::SlotMismatch {
+                        format: fmt.into(),
+                        reason: format!(
+                            "{opname} destination has {} elements; need {} ({} per channel x {})",
+                            arr.len(),
+                            per * n,
+                            per,
+                            n
+                        ),
+                        at: at.clone(),
+                    });
+                }
+                for (i, &c) in channels.iter().enumerate() {
+                    let dest = &mut arr[i * per..(i + 1) * per];
+                    let mut dslot = [RSlot::$variant(dest)];
+                    self.read_inner(Channel(c), fmt, &specs, &mut dslot, at, None)?;
+                }
+            }};
+        }
+        match slot {
+            RSlot::IntArr(a) => gather_arr!(&mut a[..], IntArr, i64),
+            RSlot::UintArr(a) => gather_arr!(&mut a[..], UintArr, u64),
+            RSlot::FloatArr(a) => gather_arr!(&mut a[..], FloatArr, f64),
+            RSlot::ByteArr(a) => gather_arr!(&mut a[..], ByteArr, u8),
+            other => {
+                return Err(PilotError::SlotMismatch {
+                    format: fmt.into(),
+                    reason: format!("{opname} needs an array destination, got {other:?}"),
+                    at: at.clone(),
+                })
+            }
+        }
+        self.instr
+            .borrow_mut()
+            .state_end(state, self.rank.wtime(), "");
+        Ok(())
+    }
+
+    /// Combine one contribution per channel element-wise — `PI_Reduce`.
+    /// The format describes one contribution; the destination holds the
+    /// combined result of the same shape. Leaves call `PI_Write`.
+    #[track_caller]
+    pub fn reduce(
+        &self,
+        bundle: Bundle,
+        op: minimpi::ReduceOp,
+        fmt: &str,
+        slot: &mut RSlot<'_>,
+    ) -> PilotResult<()> {
+        let at = CallSite::here();
+        self.require_exec("PI_Reduce", &at)?;
+        let (channels, _root, name) = self.bundle_entry(bundle, BundleUsage::Reduce, &at)?;
+        let specs = parse_format(fmt).map_err(|reason| PilotError::BadFormat {
+            format: fmt.into(),
+            reason,
+            at: at.clone(),
+        })?;
+        let per = match specs.as_slice() {
+            [FormatSpec { len: LenMode::One, .. }] => 1usize,
+            [FormatSpec { len: LenMode::Fixed(n), .. }] => *n,
+            _ => {
+                return Err(PilotError::BadFormat {
+                    format: fmt.into(),
+                    reason: "PI_Reduce needs a single scalar or fixed-size array specifier".into(),
+                    at,
+                })
+            }
+        };
+        self.instr.borrow_mut().state_start(
+            StateKind::Reduce,
+            self.rank.wtime(),
+            &self.bundle_text(&name, &at),
+        );
+        self.native_line(format!(
+            "t={:.6} P{} PI_Reduce B{} op={} fmt={} at {}",
+            self.rank.wtime(),
+            self.my_proc_index(),
+            bundle.0,
+            op.name(),
+            canonical_format(&specs),
+            Self::short_loc(&at)
+        ));
+        macro_rules! reduce_arr {
+            ($out:expr, $variant:ident, $t:ty) => {{
+                let out = $out;
+                if out.len() != per {
+                    return Err(PilotError::SlotMismatch {
+                        format: fmt.into(),
+                        reason: format!(
+                            "PI_Reduce destination has {} elements; the format implies {}",
+                            out.len(),
+                            per
+                        ),
+                        at,
+                    });
+                }
+                let mut acc: Option<Vec<$t>> = None;
+                for &c in &channels {
+                    let mut tmp = vec![<$t>::default(); per];
+                    {
+                        let mut dslot = [RSlot::$variant(&mut tmp)];
+                        self.read_inner(Channel(c), fmt, &specs, &mut dslot, &at, None)?;
+                    }
+                    acc = Some(match acc {
+                        None => tmp,
+                        Some(prev) => prev
+                            .into_iter()
+                            .zip(tmp)
+                            .map(|(a, b)| op.combine(a, b))
+                            .collect(),
+                    });
+                }
+                out.copy_from_slice(&acc.expect("bundle has channels"));
+            }};
+        }
+        match slot {
+            RSlot::IntArr(a) => reduce_arr!(&mut a[..], IntArr, i64),
+            RSlot::UintArr(a) => reduce_arr!(&mut a[..], UintArr, u64),
+            RSlot::FloatArr(a) => reduce_arr!(&mut a[..], FloatArr, f64),
+            RSlot::ByteArr(a) => reduce_arr!(&mut a[..], ByteArr, u8),
+            RSlot::Int(v) => {
+                let mut buf = [0i64; 1];
+                {
+                    let mut s = RSlot::IntArr(&mut buf);
+                    reduce_arr_scalar(self, &channels, fmt, &specs, per, op, &mut s, &at)?;
+                }
+                **v = buf[0];
+            }
+            RSlot::Float(v) => {
+                let mut buf = [0f64; 1];
+                {
+                    let mut s = RSlot::FloatArr(&mut buf);
+                    reduce_arr_scalar(self, &channels, fmt, &specs, per, op, &mut s, &at)?;
+                }
+                **v = buf[0];
+            }
+            other => {
+                return Err(PilotError::SlotMismatch {
+                    format: fmt.into(),
+                    reason: format!("PI_Reduce cannot reduce into {other:?}"),
+                    at,
+                })
+            }
+        }
+        self.instr
+            .borrow_mut()
+            .state_end(StateKind::Reduce, self.rank.wtime(), "");
+        Ok(())
+    }
+
+    /// Block until any channel of the bundle has data; returns its index
+    /// within the bundle — `PI_Select`. Shown as a state (it blocks like
+    /// a read) with the ready index in the popup, but no arrival bubble:
+    /// no message is received until the subsequent `PI_Read`.
+    #[track_caller]
+    pub fn select(&self, bundle: Bundle) -> PilotResult<usize> {
+        let at = CallSite::here();
+        self.require_exec("PI_Select", &at)?;
+        let (channels, _root, name) = self.bundle_entry(bundle, BundleUsage::Select, &at)?;
+        self.instr.borrow_mut().state_start(
+            StateKind::Select,
+            self.rank.wtime(),
+            &self.bundle_text(&name, &at),
+        );
+        let waits: Vec<(u32, u32)> = {
+            let st = self.st.borrow();
+            channels
+                .iter()
+                .map(|&c| (st.chans[c].from as u32, c as u32))
+                .collect()
+        };
+        self.ddt_event(SvcEvent::PreBlock {
+            proc: self.my_proc_index() as u32,
+            op: "PI_Select".into(),
+            waits,
+            loc: Self::short_loc(&at),
+            res: format!("B{}", bundle.0),
+        });
+        let ready = loop {
+            if let Some(i) = self.poll_bundle(&channels)? {
+                break i;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        self.ddt_event(SvcEvent::PostBlock {
+            proc: self.my_proc_index() as u32,
+        });
+        self.instr.borrow_mut().state_end(
+            StateKind::Select,
+            self.rank.wtime(),
+            &format!("Ready: {ready}"),
+        );
+        Ok(ready)
+    }
+
+    /// Non-blocking select: the index of a ready channel, or `None` —
+    /// `PI_TrySelect`. An "independent event" bubble per the paper.
+    #[track_caller]
+    pub fn try_select(&self, bundle: Bundle) -> PilotResult<Option<usize>> {
+        let at = CallSite::here();
+        self.require_exec("PI_TrySelect", &at)?;
+        let (channels, _root, _name) = self.bundle_entry(bundle, BundleUsage::Select, &at)?;
+        let ready = self.poll_bundle(&channels)?;
+        let display = ready.map(|i| i as i64).unwrap_or(-1);
+        self.instr.borrow_mut().bubble(
+            BubbleKind::TrySelect,
+            self.rank.wtime(),
+            &format!("Ret: {display} Line: {}", Self::short_loc(&at)),
+        );
+        Ok(ready)
+    }
+
+    fn poll_bundle(&self, channels: &[usize]) -> PilotResult<Option<usize>> {
+        let writers: Vec<usize> = {
+            let st = self.st.borrow();
+            channels.iter().map(|&c| st.chans[c].from).collect()
+        };
+        for (i, (&c, &w)) in channels.iter().zip(&writers).enumerate() {
+            if self
+                .rank
+                .iprobe(Src::Of(w), Tag::Of(Self::chan_tag(c)))?
+                .is_some()
+            {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Helper for reducing into scalar destinations (delegates to the array
+/// path with a one-element buffer).
+#[allow(clippy::too_many_arguments)]
+fn reduce_arr_scalar(
+    pi: &Pilot<'_, '_>,
+    channels: &[usize],
+    fmt: &str,
+    specs: &[FormatSpec],
+    per: usize,
+    op: minimpi::ReduceOp,
+    slot: &mut RSlot<'_>,
+    at: &CallSite,
+) -> PilotResult<()> {
+    if per != 1 {
+        return Err(PilotError::SlotMismatch {
+            format: fmt.into(),
+            reason: "scalar destination but the format implies an array".into(),
+            at: at.clone(),
+        });
+    }
+    match slot {
+        RSlot::IntArr(out) => {
+            let mut acc: Option<i64> = None;
+            for &c in channels {
+                let mut tmp = [0i64; 1];
+                {
+                    let mut d = [RSlot::IntArr(&mut tmp)];
+                    pi.read_inner(Channel(c), fmt, specs, &mut d, at, None)?;
+                }
+                acc = Some(match acc {
+                    None => tmp[0],
+                    Some(prev) => op.combine(prev, tmp[0]),
+                });
+            }
+            out[0] = acc.expect("bundle has channels");
+        }
+        RSlot::FloatArr(out) => {
+            let mut acc: Option<f64> = None;
+            for &c in channels {
+                let mut tmp = [0f64; 1];
+                {
+                    let mut d = [RSlot::FloatArr(&mut tmp)];
+                    pi.read_inner(Channel(c), fmt, specs, &mut d, at, None)?;
+                }
+                acc = Some(match acc {
+                    None => tmp[0],
+                    Some(prev) => op.combine(prev, tmp[0]),
+                });
+            }
+            out[0] = acc.expect("bundle has channels");
+        }
+        _ => unreachable!("only called with 1-element array views"),
+    }
+    Ok(())
+}

@@ -1,0 +1,267 @@
+//! The service rank: native call logging + deadlock detection.
+//!
+//! When `-pisvc=c` and/or `-pisvc=d` is given, Pilot dedicates the last
+//! MPI rank to a service loop (displacing one worker — the cost visible
+//! in the paper's Table 1 for native logging). Every rank streams
+//! [`SvcEvent`]s to it:
+//!
+//! * `LogLine` — a native-log entry, written to disk *immediately* on
+//!   receipt, which is why the native log survives an abort while the
+//!   buffered MPE log does not;
+//! * `PreBlock` / `PostBlock` / `NoteWrite` / `NoteRead` / `Exit` — the
+//!   deadlock detector's wait-for-graph events (see [`crate::deadlock`]);
+//! * `Shutdown` — sent by `PI_StopMain` once every worker has finished.
+//!
+//! On detecting a deadlock the service prints the diagnosis and aborts
+//! the world, exactly like the C library.
+
+use std::io::Write as _;
+
+use minimpi::{Rank, Src, Tag};
+use mpelog::wire::{Reader, WireError, Writer};
+use parking_lot::Mutex;
+
+use crate::config::PilotConfig;
+use crate::deadlock::{BlockInfo, DeadlockReport, WaitForGraph};
+
+/// Tag carrying service events.
+pub const TAG_SVC: u32 = 900;
+
+/// An event sent to the service rank.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SvcEvent {
+    /// One native-log line.
+    LogLine(String),
+    /// A process is about to block.
+    PreBlock {
+        /// Blocking process.
+        proc: u32,
+        /// API call name.
+        op: String,
+        /// `(peer process, channel)` wait set.
+        waits: Vec<(u32, u32)>,
+        /// Source location.
+        loc: String,
+        /// Resource name ("C3" / "B0").
+        res: String,
+    },
+    /// The blocking call completed.
+    PostBlock {
+        /// Process.
+        proc: u32,
+    },
+    /// A writer is about to send `n` messages on `chan`.
+    NoteWrite {
+        /// Channel id.
+        chan: u32,
+        /// Message count.
+        n: u32,
+    },
+    /// A reader consumed `n` messages from `chan`.
+    NoteRead {
+        /// Channel id.
+        chan: u32,
+        /// Message count.
+        n: u32,
+    },
+    /// A work function returned.
+    Exit {
+        /// Process.
+        proc: u32,
+    },
+    /// End of run.
+    Shutdown,
+}
+
+impl SvcEvent {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            SvcEvent::LogLine(s) => {
+                w.put_u8(1);
+                w.put_str(s);
+            }
+            SvcEvent::PreBlock { proc, op, waits, loc, res } => {
+                w.put_u8(2);
+                w.put_u32(*proc);
+                w.put_str(op);
+                w.put_u32(waits.len() as u32);
+                for (p, c) in waits {
+                    w.put_u32(*p);
+                    w.put_u32(*c);
+                }
+                w.put_str(loc);
+                w.put_str(res);
+            }
+            SvcEvent::PostBlock { proc } => {
+                w.put_u8(3);
+                w.put_u32(*proc);
+            }
+            SvcEvent::NoteWrite { chan, n } => {
+                w.put_u8(4);
+                w.put_u32(*chan);
+                w.put_u32(*n);
+            }
+            SvcEvent::NoteRead { chan, n } => {
+                w.put_u8(5);
+                w.put_u32(*chan);
+                w.put_u32(*n);
+            }
+            SvcEvent::Exit { proc } => {
+                w.put_u8(6);
+                w.put_u32(*proc);
+            }
+            SvcEvent::Shutdown => w.put_u8(7),
+        }
+        w.into_bytes()
+    }
+
+    /// Parse from the wire.
+    pub fn decode(bytes: &[u8]) -> Result<SvcEvent, WireError> {
+        let mut r = Reader::new(bytes);
+        match r.get_u8()? {
+            1 => Ok(SvcEvent::LogLine(r.get_str()?)),
+            2 => {
+                let proc = r.get_u32()?;
+                let op = r.get_str()?;
+                let n = r.get_u32()? as usize;
+                if n > bytes.len() {
+                    return Err(WireError::Corrupt("wait count".into()));
+                }
+                let mut waits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    waits.push((r.get_u32()?, r.get_u32()?));
+                }
+                Ok(SvcEvent::PreBlock {
+                    proc,
+                    op,
+                    waits,
+                    loc: r.get_str()?,
+                    res: r.get_str()?,
+                })
+            }
+            3 => Ok(SvcEvent::PostBlock { proc: r.get_u32()? }),
+            4 => Ok(SvcEvent::NoteWrite {
+                chan: r.get_u32()?,
+                n: r.get_u32()?,
+            }),
+            5 => Ok(SvcEvent::NoteRead {
+                chan: r.get_u32()?,
+                n: r.get_u32()?,
+            }),
+            6 => Ok(SvcEvent::Exit { proc: r.get_u32()? }),
+            7 => Ok(SvcEvent::Shutdown),
+            k => Err(WireError::Corrupt(format!("unknown service event {k}"))),
+        }
+    }
+}
+
+/// State shared between the service rank and the caller of
+/// [`crate::run`] (collected artifacts).
+#[derive(Debug, Default)]
+pub struct ServiceShared {
+    /// Native-log lines in arrival order.
+    pub native_lines: Mutex<Vec<String>>,
+    /// The deadlock diagnosis, if the detector fired.
+    pub deadlock: Mutex<Option<DeadlockReport>>,
+}
+
+/// Run the service loop until `Shutdown` (or abort). Returns `true` on
+/// a clean shutdown, `false` if the loop ended because of an abort.
+pub fn run_service(rank: &Rank, config: &PilotConfig, shared: &ServiceShared) -> bool {
+    let mut wfg = WaitForGraph::new(config.process_capacity());
+    let mut file = config.native_log_path.as_ref().and_then(|p| {
+        std::fs::File::create(p)
+            .map_err(|e| eprintln!("pilot: cannot open native log {}: {e}", p.display()))
+            .ok()
+    });
+
+    loop {
+        let msg = match rank.recv(Src::Any, Tag::Of(TAG_SVC)) {
+            Ok(m) => m,
+            Err(_) => return false, // aborted; partial native log retained
+        };
+        let ev = match SvcEvent::decode(&msg.payload) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("pilot service: corrupt event from rank {}: {e}", msg.env.src);
+                continue;
+            }
+        };
+        let verdict = match ev {
+            SvcEvent::LogLine(line) => {
+                if let Some(f) = file.as_mut() {
+                    // Stream to disk at once: the abort-safety property.
+                    let _ = writeln!(f, "{line}");
+                    let _ = f.flush();
+                }
+                shared.native_lines.lock().push(line);
+                None
+            }
+            SvcEvent::PreBlock { proc, op, waits, loc, res } => wfg.block(
+                proc as usize,
+                BlockInfo {
+                    op,
+                    waits: waits.iter().map(|&(p, c)| (p as usize, c)).collect(),
+                    location: loc,
+                    resource: res,
+                },
+            ),
+            SvcEvent::PostBlock { proc } => {
+                wfg.unblock(proc as usize);
+                None
+            }
+            SvcEvent::NoteWrite { chan, n } => {
+                wfg.note_write(chan, n);
+                None
+            }
+            SvcEvent::NoteRead { chan, n } => {
+                wfg.note_read(chan, n);
+                None
+            }
+            SvcEvent::Exit { proc } => wfg.exit(proc as usize),
+            SvcEvent::Shutdown => return true,
+        };
+        if let Some(report) = verdict {
+            eprintln!("Pilot deadlock detector:\n{report}");
+            *shared.deadlock.lock() = Some(report);
+            let _ = rank.abort(-3);
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip() {
+        let events = [
+            SvcEvent::LogLine("t=1.5 P2 PI_Write C3".into()),
+            SvcEvent::PreBlock {
+                proc: 2,
+                op: "PI_Read".into(),
+                waits: vec![(0, 3), (1, 4)],
+                loc: "lab2.rs:17".into(),
+                res: "B1".into(),
+            },
+            SvcEvent::PostBlock { proc: 2 },
+            SvcEvent::NoteWrite { chan: 3, n: 2 },
+            SvcEvent::NoteRead { chan: 3, n: 2 },
+            SvcEvent::Exit { proc: 4 },
+            SvcEvent::Shutdown,
+        ];
+        for ev in &events {
+            assert_eq!(&SvcEvent::decode(&ev.encode()).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn corrupt_event_is_error() {
+        assert!(SvcEvent::decode(&[]).is_err());
+        assert!(SvcEvent::decode(&[99]).is_err());
+        assert!(SvcEvent::decode(&[2, 1]).is_err());
+    }
+}

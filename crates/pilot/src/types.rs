@@ -1,0 +1,100 @@
+//! Handle types for processes, channels, and bundles.
+//!
+//! Like the C library's `PI_PROCESS*` / `PI_CHANNEL*` / `PI_BUNDLE*`,
+//! these are opaque references into tables built during the
+//! configuration phase. Because configuration code runs identically on
+//! every rank, the indices agree world-wide, so the handles are plain
+//! `Copy` ids that work from any process — including from inside work
+//! functions that captured them.
+
+/// A Pilot process. `PI_MAIN` is process 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Process(pub(crate) usize);
+
+/// The main process (rank 0): the process that calls
+/// [`crate::Pilot::start_all`] and continues afterwards.
+pub const PI_MAIN: Process = Process(0);
+
+impl Process {
+    /// The process's table index (also its MPI rank).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A point-to-point channel from one process to another.
+///
+/// Channels are directed: exactly one writer process and one reader
+/// process, fixed at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Channel(pub(crate) usize);
+
+impl Channel {
+    /// The channel's table index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A bundle: a set of channels sharing a common process endpoint, used
+/// as the argument to collective operations (and to select).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bundle(pub(crate) usize);
+
+impl Bundle {
+    /// The bundle's table index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a bundle is for. Pilot checks that a bundle is used only with
+/// the collective operation it was created for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BundleUsage {
+    /// Root writes the same data to every channel (`PI_Broadcast`).
+    Broadcast,
+    /// Root reads one contribution per channel (`PI_Gather`).
+    Gather,
+    /// Root writes a distinct slice to each channel (`PI_Scatter`).
+    Scatter,
+    /// Root reads contributions and combines them (`PI_Reduce`).
+    Reduce,
+    /// Root waits for any channel to become readable (`PI_Select`).
+    Select,
+}
+
+impl BundleUsage {
+    /// Display name matching the Pilot function it serves.
+    pub fn name(self) -> &'static str {
+        match self {
+            BundleUsage::Broadcast => "PI_Broadcast",
+            BundleUsage::Gather => "PI_Gather",
+            BundleUsage::Scatter => "PI_Scatter",
+            BundleUsage::Reduce => "PI_Reduce",
+            BundleUsage::Select => "PI_Select",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_copy_ids() {
+        let p = Process(3);
+        let q = p;
+        assert_eq!(p, q);
+        assert_eq!(p.index(), 3);
+        assert_eq!(PI_MAIN.index(), 0);
+        assert_eq!(Channel(7).index(), 7);
+        assert_eq!(Bundle(1).index(), 1);
+    }
+
+    #[test]
+    fn usage_names_match_api() {
+        assert_eq!(BundleUsage::Broadcast.name(), "PI_Broadcast");
+        assert_eq!(BundleUsage::Select.name(), "PI_Select");
+    }
+}

@@ -1,0 +1,858 @@
+//! End-to-end tests of the Pilot runtime: programs with real worker
+//! processes, channels, collectives, services, and failure modes.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use pilot::{
+    BundleUsage, PilotConfig, PilotError, RSlot, Services, WSlot, PI_MAIN,
+};
+
+fn svc(letters: &str) -> Services {
+    Services::parse(letters).unwrap()
+}
+
+#[test]
+fn ping_pong_master_worker() {
+    let total = AtomicI64::new(0);
+    let cfg = PilotConfig::new(2);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let to_w = pi.create_channel(PI_MAIN, w)?;
+        let from_w = pi.create_channel(w, PI_MAIN)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(to_w, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            pi.write(from_w, "%d", &[WSlot::Int(x * 2)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(to_w, "%d", &[WSlot::Int(21)])?;
+        let mut y = 0i64;
+        pi.read(from_w, "%d", &mut [RSlot::Int(&mut y)])?;
+        total.store(y, Ordering::SeqCst);
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(total.load(Ordering::SeqCst), 42);
+    assert_eq!(out.artifacts.main_status, Some(0));
+}
+
+#[test]
+fn lab2_style_sum_with_runtime_arrays() {
+    // The paper's Fig. 3 program: W workers each get a share of an
+    // array, sum it, and report back.
+    const W: usize = 4;
+    const NUM: usize = 1000;
+    let grand_total = AtomicI64::new(0);
+    let cfg = PilotConfig::new(W + 1);
+    let out = pilot::run(cfg, |pi| {
+        let mut workers = Vec::new();
+        let mut to_worker = Vec::new();
+        let mut result = Vec::new();
+        for i in 0..W {
+            let w = pi.create_process(i as i64)?;
+            workers.push(w);
+            to_worker.push(pi.create_channel(PI_MAIN, w)?);
+            result.push(pi.create_channel(w, PI_MAIN)?);
+        }
+        for (i, &w) in workers.iter().enumerate() {
+            let (tw, rs) = (to_worker[i], result[i]);
+            pi.assign_work(w, move |pi, _index| {
+                let mut myshare = 0i64;
+                pi.read(tw, "%d", &mut [RSlot::Int(&mut myshare)]).unwrap();
+                let mut buff = vec![0i64; myshare as usize];
+                pi.read(tw, "%*d", &mut [RSlot::IntArr(&mut buff)]).unwrap();
+                let sum: i64 = buff.iter().sum();
+                pi.write(rs, "%d", &[WSlot::Int(sum)]).unwrap();
+                0
+            })?;
+        }
+        pi.start_all()?;
+        let numbers: Vec<i64> = (0..NUM as i64).collect();
+        for i in 0..W {
+            let mut portion = NUM / W;
+            if i == W - 1 {
+                portion += NUM % W;
+            }
+            let lo = i * (NUM / W);
+            pi.write(to_worker[i], "%d", &[WSlot::Int(portion as i64)])?;
+            pi.write(to_worker[i], "%*d", &[WSlot::IntArr(&numbers[lo..lo + portion])])?;
+        }
+        let mut total = 0i64;
+        for i in 0..W {
+            let mut sum = 0i64;
+            pi.read(result[i], "%d", &mut [RSlot::Int(&mut sum)])?;
+            total += sum;
+        }
+        grand_total.store(total, Ordering::SeqCst);
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    let expect: i64 = (0..NUM as i64).sum();
+    assert_eq!(grand_total.load(Ordering::SeqCst), expect);
+}
+
+#[test]
+fn autoalloc_receive_v21_feature() {
+    // The paper's footnote 3: "%^d" replaces the two-read-plus-malloc
+    // idiom with a single call.
+    let got = Mutex::new(Vec::new());
+    let cfg = PilotConfig::new(2);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        let got = &got;
+        pi.assign_work(w, move |pi, _| {
+            let mut buff: Vec<i64> = Vec::new();
+            pi.read(c, "%^d", &mut [RSlot::IntVec(&mut buff)]).unwrap();
+            *got.lock().unwrap() = buff;
+            0
+        })?;
+        pi.start_all()?;
+        let data: Vec<i64> = (0..37).collect();
+        pi.write(c, "%^d", &[WSlot::IntArr(&data)])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(got.lock().unwrap().len(), 37);
+    assert_eq!(got.lock().unwrap()[36], 36);
+}
+
+#[test]
+fn worker_to_worker_pipeline() {
+    let seen = AtomicI64::new(0);
+    let cfg = PilotConfig::new(3);
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let main_to_a = pi.create_channel(PI_MAIN, a)?;
+        let a_to_b = pi.create_channel(a, b)?;
+        let b_to_main = pi.create_channel(b, PI_MAIN)?;
+        pi.assign_work(a, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(main_to_a, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            pi.write(a_to_b, "%d", &[WSlot::Int(x + 1)]).unwrap();
+            0
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(a_to_b, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            pi.write(b_to_main, "%d", &[WSlot::Int(x * 10)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(main_to_a, "%d", &[WSlot::Int(5)])?;
+        let mut y = 0i64;
+        pi.read(b_to_main, "%d", &mut [RSlot::Int(&mut y)])?;
+        seen.store(y, Ordering::SeqCst);
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(seen.load(Ordering::SeqCst), 60);
+}
+
+#[test]
+fn broadcast_and_gather_collectives() {
+    const W: usize = 3;
+    let gathered = Mutex::new(vec![0i64; W]);
+    let cfg = PilotConfig::new(W + 1);
+    let out = pilot::run(cfg, |pi| {
+        let mut bc_chans = Vec::new();
+        let mut ga_chans = Vec::new();
+        let mut procs = Vec::new();
+        for i in 0..W {
+            let w = pi.create_process(i as i64)?;
+            procs.push(w);
+            bc_chans.push(pi.create_channel(PI_MAIN, w)?);
+            ga_chans.push(pi.create_channel(w, PI_MAIN)?);
+        }
+        let bc = pi.create_bundle(BundleUsage::Broadcast, &bc_chans)?;
+        let ga = pi.create_bundle(BundleUsage::Gather, &ga_chans)?;
+        for (i, &w) in procs.iter().enumerate() {
+            let (rx, tx) = (bc_chans[i], ga_chans[i]);
+            pi.assign_work(w, move |pi, idx| {
+                let mut base = 0i64;
+                // Receivers of a broadcast just call PI_Read.
+                pi.read(rx, "%d", &mut [RSlot::Int(&mut base)]).unwrap();
+                // Leaves of a gather just call PI_Write.
+                pi.write(tx, "%d", &[WSlot::Int(base + idx)]).unwrap();
+                0
+            })?;
+        }
+        pi.start_all()?;
+        pi.broadcast(bc, "%d", &[WSlot::Int(100)])?;
+        let mut results = vec![0i64; W];
+        pi.gather(ga, "%d", &mut RSlot::IntArr(&mut results))?;
+        *gathered.lock().unwrap() = results;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(*gathered.lock().unwrap(), vec![100, 101, 102]);
+}
+
+#[test]
+fn scatter_and_reduce_collectives() {
+    const W: usize = 4;
+    let reduced = AtomicI64::new(0);
+    let cfg = PilotConfig::new(W + 1);
+    let out = pilot::run(cfg, |pi| {
+        let mut sc_chans = Vec::new();
+        let mut rd_chans = Vec::new();
+        let mut procs = Vec::new();
+        for i in 0..W {
+            let w = pi.create_process(i as i64)?;
+            procs.push(w);
+            sc_chans.push(pi.create_channel(PI_MAIN, w)?);
+            rd_chans.push(pi.create_channel(w, PI_MAIN)?);
+        }
+        let sc = pi.create_bundle(BundleUsage::Scatter, &sc_chans)?;
+        let rd = pi.create_bundle(BundleUsage::Reduce, &rd_chans)?;
+        for (i, &w) in procs.iter().enumerate() {
+            let (rx, tx) = (sc_chans[i], rd_chans[i]);
+            pi.assign_work(w, move |pi, _| {
+                let mut part = [0i64; 2];
+                pi.read(rx, "%2d", &mut [RSlot::IntArr(&mut part)]).unwrap();
+                pi.write(tx, "%d", &[WSlot::Int(part[0] + part[1])]).unwrap();
+                0
+            })?;
+        }
+        pi.start_all()?;
+        let data: Vec<i64> = (1..=(2 * W) as i64).collect(); // 1..=8
+        pi.scatter(sc, "%2d", &WSlot::IntArr(&data))?;
+        let mut total = 0i64;
+        pi.reduce(rd, minimpi::ReduceOp::Sum, "%d", &mut RSlot::Int(&mut total))?;
+        reduced.store(total, Ordering::SeqCst);
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(reduced.load(Ordering::SeqCst), 36); // sum 1..=8
+}
+
+#[test]
+fn select_finds_ready_channel() {
+    let picked = AtomicI64::new(-1);
+    let cfg = PilotConfig::new(3);
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ca = pi.create_channel(a, PI_MAIN)?;
+        let cb = pi.create_channel(b, PI_MAIN)?;
+        let bundle = pi.create_bundle(BundleUsage::Select, &[ca, cb])?;
+        pi.assign_work(a, move |pi, _| {
+            // a stays silent until told; b speaks first.
+            std::thread::sleep(Duration::from_millis(100));
+            pi.write(ca, "%d", &[WSlot::Int(1)]).unwrap();
+            0
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            pi.write(cb, "%d", &[WSlot::Int(2)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        let ready = pi.select(bundle)?;
+        picked.store(ready as i64, Ordering::SeqCst);
+        // Drain both channels so nothing is left hanging.
+        let mut x = 0i64;
+        let chans = [ca, cb];
+        pi.read(chans[ready], "%d", &mut [RSlot::Int(&mut x)])?;
+        let other = 1 - ready;
+        pi.read(chans[other], "%d", &mut [RSlot::Int(&mut x)])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(picked.load(Ordering::SeqCst), 1, "channel b (index 1) is ready first");
+}
+
+#[test]
+fn try_select_and_channel_has_data() {
+    let cfg = PilotConfig::new(2);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(w, PI_MAIN)?;
+        let bundle = pi.create_bundle(BundleUsage::Select, &[c])?;
+        pi.assign_work(w, move |pi, _| {
+            std::thread::sleep(Duration::from_millis(60));
+            pi.write(c, "%d", &[WSlot::Int(9)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        // Immediately: nothing there yet.
+        assert_eq!(pi.try_select(bundle)?, None);
+        assert!(!pi.channel_has_data(c)?);
+        // After the worker writes: data present.
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(pi.try_select(bundle)?, Some(0));
+        assert!(pi.channel_has_data(c)?);
+        let mut x = 0i64;
+        pi.read(c, "%d", &mut [RSlot::Int(&mut x)])?;
+        assert_eq!(x, 9);
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn wrong_reader_is_diagnosed_at_level_1() {
+    // PI_MAIN tries to read from a channel whose reader is the worker.
+    let cfg = PilotConfig::new(2).with_check_level(1);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?; // reader is w
+        pi.assign_work(w, move |_pi, _| 0)?;
+        pi.start_all()?;
+        let mut x = 0i64;
+        let err = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap_err();
+        assert!(matches!(err, PilotError::NotChannelReader { .. }), "{err}");
+        assert!(err.diagnostic().contains("integration.rs"));
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn format_mismatch_caught_at_level_2() {
+    let cfg = PilotConfig::new(2).with_check_level(2);
+    let caught = AtomicI64::new(0);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        let caught = &caught;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0.0f64;
+            match pi.read(c, "%lf", &mut [RSlot::Float(&mut x)]) {
+                Err(PilotError::FormatMismatch { writer_fmt, reader_fmt, .. }) => {
+                    assert_eq!(writer_fmt, "%d");
+                    assert_eq!(reader_fmt, "%lf");
+                    caught.store(1, Ordering::SeqCst);
+                }
+                other => panic!("expected FormatMismatch, got {other:?}"),
+            }
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(3)])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(caught.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn phase_violations_are_diagnosed() {
+    let cfg = PilotConfig::new(2);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, |_pi, _| 0)?;
+        // Exec-phase call during config:
+        let err = pi.write(c, "%d", &[WSlot::Int(1)]).unwrap_err();
+        assert!(matches!(err, PilotError::ExecPhaseOnly { .. }));
+        pi.start_all()?;
+        // Config-phase call during exec:
+        let err = pi.create_process(9).unwrap_err();
+        assert!(matches!(err, PilotError::ConfigPhaseOnly { .. }));
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn too_many_processes_is_diagnosed() {
+    let cfg = PilotConfig::new(2); // capacity: main + 1 worker
+    let out = pilot::run(cfg, |pi| {
+        let _ = pi.create_process(0)?;
+        let err = pi.create_process(1).unwrap_err();
+        assert!(matches!(err, PilotError::TooManyProcesses { .. }));
+        Ok(0)
+    });
+    assert!(out.world.all_ok(), "{out:?}");
+}
+
+#[test]
+fn native_log_records_calls_in_order() {
+    let cfg = PilotConfig::new(3).with_services(svc("c"));
+    // 3 ranks, one eaten by the service: capacity 2 (main + 1 worker).
+    let out = pilot::run(cfg, |pi| {
+        assert_eq!(pi.process_capacity(), 2);
+        let w = pi.create_process(7)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(1)])?;
+        pi.log("hello from main");
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    let log = out.artifacts.native_log.join("\n");
+    assert!(log.contains("PI_CreateProcess"), "{log}");
+    assert!(log.contains("PI_CreateChannel"), "{log}");
+    assert!(log.contains("PI_StartAll"), "{log}");
+    assert!(log.contains("PI_Write C0 fmt=%d"), "{log}");
+    assert!(log.contains("PI_Read C0 fmt=%d"), "{log}");
+    assert!(log.contains("PI_Log hello from main"), "{log}");
+    assert!(log.contains("PI_StopMain"), "{log}");
+    // Source lines are pinpointed.
+    assert!(log.contains("integration.rs:"), "{log}");
+}
+
+#[test]
+fn deadlock_cycle_is_detected_and_reported() {
+    // Two workers each read from the other first: the classic cycle.
+    let cfg = PilotConfig::new(4).with_services(svc("d"));
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ab = pi.create_channel(a, b)?;
+        let ba = pi.create_channel(b, a)?;
+        pi.assign_work(a, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ba, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7, // unblocked by the detector's abort
+                Ok(()) => {
+                    let _ = pi.write(ab, "%d", &[WSlot::Int(1)]);
+                    0
+                }
+            }
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => {
+                    let _ = pi.write(ba, "%d", &[WSlot::Int(1)]);
+                    0
+                }
+            }
+        })?;
+        pi.start_all()?;
+        pi.stop_main(0)
+    });
+    let report = out.artifacts.deadlock.expect("deadlock must be detected");
+    assert_eq!(report.stuck.len(), 2);
+    let text = report.to_string();
+    assert!(text.contains("PI_Read"), "{text}");
+    assert!(text.contains("integration.rs"), "{text}");
+    assert!(out.world.aborted.is_some());
+}
+
+#[test]
+fn reading_from_exited_writer_is_deadlock() {
+    let cfg = PilotConfig::new(3).with_services(svc("d"));
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(w, PI_MAIN)?;
+        // The worker exits without ever writing.
+        pi.assign_work(w, |_pi, _| 0)?;
+        pi.start_all()?;
+        let mut x = 0i64;
+        match pi.read(c, "%d", &mut [RSlot::Int(&mut x)]) {
+            Err(_) => {} // detector aborted us
+            Ok(()) => panic!("read should never succeed"),
+        }
+        pi.stop_main(0)
+    });
+    let report = out.artifacts.deadlock.expect("deadlock must be detected");
+    assert_eq!(report.stuck[0].0, 0, "PI_MAIN is the stuck process");
+    assert!(report.stuck[0].1.contains("waiting for P1"));
+}
+
+#[test]
+fn buffered_write_before_exit_is_not_deadlock() {
+    // The credit mechanism: worker writes then exits; main reads later.
+    let cfg = PilotConfig::new(3).with_services(svc("d"));
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(w, PI_MAIN)?;
+        pi.assign_work(w, move |pi, _| {
+            pi.write(c, "%d", &[WSlot::Int(5)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        // Give the worker ample time to write AND exit first.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut x = 0i64;
+        pi.read(c, "%d", &mut [RSlot::Int(&mut x)])?;
+        assert_eq!(x, 5);
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert!(out.artifacts.deadlock.is_none());
+}
+
+#[test]
+fn jumpshot_logging_produces_merged_clog() {
+    let cfg = PilotConfig::new(3).with_services(svc("j"));
+    let out = pilot::run(cfg, |pi| {
+        assert!(pi.is_logging());
+        let w1 = pi.create_process(0)?;
+        let w2 = pi.create_process(1)?;
+        let c1 = pi.create_channel(PI_MAIN, w1)?;
+        let c2 = pi.create_channel(PI_MAIN, w2)?;
+        for (w, c) in [(w1, c1), (w2, c2)] {
+            pi.assign_work(w, move |pi, _| {
+                let mut x = 0i64;
+                pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                0
+            })?;
+        }
+        pi.start_all()?;
+        pi.write(c1, "%d", &[WSlot::Int(1)])?;
+        pi.write(c2, "%d", &[WSlot::Int(2)])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    let clog = out.clog().expect("merged CLOG must exist");
+    assert_eq!(clog.nranks, 3);
+    // Every rank contributed a block with records.
+    for r in 0..3u32 {
+        assert!(
+            !clog.blocks[&r].is_empty(),
+            "rank {r} should have records"
+        );
+    }
+    // The state vocabulary is defined.
+    let names: Vec<&str> = clog.state_defs.iter().map(|d| d.name.as_str()).collect();
+    for want in ["PI_Configure", "Compute", "PI_Read", "PI_Write"] {
+        assert!(names.contains(&want), "{names:?}");
+    }
+    // Wrap-up time was measured.
+    let wrapup = out.artifacts.wrapup_seconds.expect("wrapup measured");
+    assert!(wrapup >= 0.0 && wrapup < 5.0, "wrapup {wrapup}");
+    // Timeline names recorded for the viewer.
+    assert_eq!(
+        out.artifacts.process_names,
+        vec!["PI_MAIN".to_string(), "P1".to_string(), "P2".to_string()]
+    );
+}
+
+#[test]
+fn converted_log_has_states_arrows_and_nesting() {
+    use slog2::{convert, ConvertOptions, Drawable};
+    let cfg = PilotConfig::new(2).with_services(svc("j"));
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut v = [0i64; 3];
+            // One call, two specifiers -> two messages, two bubbles.
+            let mut x = 0i64;
+            pi.read(c, "%d %3d", &mut [RSlot::Int(&mut x), RSlot::IntArr(&mut v)])
+                .unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d %3d", &[WSlot::Int(7), WSlot::IntArr(&[1, 2, 3])])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    let (file, warnings) = convert(out.clog().unwrap(), &ConvertOptions::default());
+    assert!(warnings.is_empty(), "{warnings:?}");
+    let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+
+    let cat = |name: &str| file.category_by_name(name).unwrap().index;
+    let count_states = |c: u32| {
+        ds.iter()
+            .filter(|d| matches!(d, Drawable::State(s) if s.category == c))
+            .count()
+    };
+    // One PI_Write on main, one PI_Read on the worker.
+    assert_eq!(count_states(cat("PI_Write")), 1);
+    assert_eq!(count_states(cat("PI_Read")), 1);
+    // Configure and Compute rectangles on both ranks.
+    assert_eq!(count_states(cat("PI_Configure")), 2);
+    assert_eq!(count_states(cat("Compute")), 2);
+    // Two data messages -> two arrows and two arrival bubbles.
+    let arrows: Vec<_> = ds
+        .iter()
+        .filter_map(|d| match d {
+            Drawable::Arrow(a) => Some(a),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(arrows.len(), 2, "{arrows:?}");
+    assert!(arrows.iter().all(|a| a.from_timeline == 0 && a.to_timeline == 1));
+    assert!(arrows.iter().all(|a| a.end >= a.start), "causal arrows");
+    let bubbles = ds
+        .iter()
+        .filter(|d| matches!(d, Drawable::Event(e) if e.category == cat("msg arrival")))
+        .count();
+    assert_eq!(bubbles, 2);
+    // PI_Read is nested inside Compute on the worker's timeline.
+    let read_state = ds
+        .iter()
+        .find_map(|d| match d {
+            Drawable::State(s) if s.category == cat("PI_Read") => Some(s),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(read_state.timeline, 1);
+    assert_eq!(read_state.nest_level, 1);
+    assert!(read_state.text.contains("Line:"), "{}", read_state.text);
+}
+
+#[test]
+fn abort_loses_mpe_log_but_keeps_native_log() {
+    // The paper's Section III.B phenomenon, reproduced end to end.
+    let cfg = PilotConfig::new(3).with_services(svc("cj"));
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]);
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(1)])?;
+        std::thread::sleep(Duration::from_millis(50));
+        Err(pi.abort(13, "fatal problem detected"))
+    });
+    assert_eq!(out.world.aborted.map(|(r, _)| r), Some(0));
+    // MPE log: lost (the merge needed messaging).
+    assert!(out.clog().is_none(), "MPE log must be lost on abort");
+    // Native log: everything streamed before the abort survives.
+    let log = out.artifacts.native_log.join("\n");
+    assert!(log.contains("PI_CreateProcess"), "{log}");
+    assert!(log.contains("PI_Write"), "{log}");
+    assert!(log.contains("PI_Abort"), "{log}");
+}
+
+#[test]
+fn level_zero_skips_api_misuse_checks() {
+    // At -picheck=0 the wrong-reader check is skipped; the read then
+    // simply blocks for data that will never come... so use a case that
+    // still terminates: wrong WRITER, whose message goes nowhere fatal.
+    let cfg = PilotConfig::new(2).with_check_level(0);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(w, PI_MAIN)?; // writer is w, not main
+        pi.assign_work(w, |_pi, _| 0)?;
+        pi.start_all()?;
+        // Main writes on a channel it does not own: level 0 lets it pass
+        // (the C library would likewise corrupt silently).
+        assert!(pi.write(c, "%d", &[WSlot::Int(1)]).is_ok());
+        pi.stop_main(0)
+    });
+    assert!(out.world.all_ok(), "{out:?}");
+}
+
+#[test]
+fn set_names_flow_to_artifacts() {
+    let cfg = PilotConfig::new(3).with_services(svc("j"));
+    let out = pilot::run(cfg, |pi| {
+        let d = pi.create_process(0)?;
+        let c = pi.create_process(1)?;
+        pi.set_process_name(d, "decompressor")?;
+        pi.set_process_name(c, "compressor")?;
+        let ch = pi.create_channel(d, c)?;
+        pi.set_channel_name(ch, "pixels")?;
+        assert_eq!(pi.channel_name(ch), "pixels");
+        assert_eq!(pi.process_name(d), "decompressor");
+        pi.assign_work(d, move |pi, _| {
+            pi.write(ch, "%d", &[WSlot::Int(1)]).unwrap();
+            0
+        })?;
+        pi.assign_work(c, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(ch, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    assert_eq!(
+        out.artifacts.process_names,
+        vec!["PI_MAIN".to_string(), "decompressor".to_string(), "compressor".to_string()]
+    );
+}
+
+#[test]
+fn idle_ranks_are_harmless() {
+    // 5 ranks but only 1 worker created: ranks 2..4 idle through.
+    let cfg = PilotConfig::new(5);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(1)])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn synchronous_channels_rendezvous() {
+    let mut cfg = PilotConfig::new(2);
+    cfg.synchronous_channels = true;
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            std::thread::sleep(Duration::from_millis(50));
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        let t0 = std::time::Instant::now();
+        pi.write(c, "%d", &[WSlot::Int(1)])?; // must block ~50ms
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn start_time_end_time_measure_intervals() {
+    let cfg = PilotConfig::new(1);
+    let out = pilot::run(cfg, |pi| {
+        pi.start_all()?;
+        let t = pi.start_time();
+        assert!(t >= 0.0);
+        std::thread::sleep(Duration::from_millis(20));
+        let dt = pi.end_time();
+        assert!(dt >= 0.015, "elapsed {dt}");
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn config_only_program_with_services_shuts_down() {
+    let cfg = PilotConfig::new(3).with_services(svc("cdj"));
+    let out = pilot::run(cfg, |pi| {
+        let _w = pi.create_process(0)?;
+        // Never calls start_all; finalize must still shut everything down.
+        Ok(0)
+    });
+    assert!(out.world.all_ok(), "{out:?}");
+    // Even got a (config-only) MPE log.
+    assert!(out.clog().is_some());
+}
+
+#[test]
+fn missing_work_function_is_diagnosed() {
+    let cfg = PilotConfig::new(2);
+    let out = pilot::run(cfg, |pi| {
+        let _w = pi.create_process(0)?;
+        let err = pi.start_all().unwrap_err();
+        assert!(matches!(err, PilotError::BadArgument { .. }), "{err}");
+        Ok(0)
+    });
+    assert!(out.world.all_ok(), "{out:?}");
+}
+
+#[test]
+fn bundle_misuse_is_diagnosed() {
+    let cfg = PilotConfig::new(3);
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ca = pi.create_channel(PI_MAIN, a)?;
+        let cb = pi.create_channel(PI_MAIN, b)?;
+        let bundle = pi.create_bundle(BundleUsage::Broadcast, &[ca, cb])?;
+        // Channels with different readers cannot form a gather bundle.
+        let ga = pi.create_bundle(BundleUsage::Gather, &[ca, cb]);
+        assert!(matches!(ga, Err(PilotError::NoCommonEndpoint { .. })));
+        for (w, c) in [(a, ca), (b, cb)] {
+            pi.assign_work(w, move |pi, _| {
+                let mut x = 0i64;
+                pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                0
+            })?;
+        }
+        pi.start_all()?;
+        // Using a broadcast bundle with gather is rejected.
+        let mut out_arr = [0i64; 2];
+        let err = pi
+            .gather(bundle, "%d", &mut RSlot::IntArr(&mut out_arr))
+            .unwrap_err();
+        assert!(matches!(err, PilotError::WrongBundleUsage { .. }), "{err}");
+        // Release the workers properly.
+        pi.broadcast(bundle, "%d", &[WSlot::Int(1)])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+}
+
+#[test]
+fn spill_files_salvage_the_log_after_abort() {
+    // The paper's future-work item (§V), implemented: with a spill dir
+    // configured, an aborted run still yields a usable (partial) log.
+    let dir = std::env::temp_dir().join("pilot-spill-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = PilotConfig::new(2)
+        .with_services(svc("j"))
+        .with_spill_dir(dir.clone());
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]);
+            // Block forever; the abort will free us.
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]);
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(7)])?;
+        std::thread::sleep(Duration::from_millis(60));
+        Err(pi.abort(5, "boom"))
+    });
+    // The ordinary merged log is lost, as always...
+    assert!(out.clog().is_none());
+    // ...but the spill files survive and salvage to a usable CLOG2.
+    let clog = mpelog::salvage(&dir).unwrap().expect("spilled log");
+    assert_eq!(clog.nranks, 2);
+    assert!(clog.blocks[&0].iter().any(|r| matches!(
+        r,
+        mpelog::Record::Send { tag: 1000, .. }
+    )), "the PI_Write send must have been spilled");
+    // The salvaged log converts; the PI_Write state is visible.
+    let (slog, _warnings) = slog2::convert(&clog, &slog2::ConvertOptions::default());
+    let stats = slog2::legend_stats(&slog);
+    let cat = slog.category_by_name("PI_Write").unwrap().index;
+    assert_eq!(stats[&cat].count, 1);
+}
+
+#[test]
+fn spill_and_buffer_agree_on_clean_runs() {
+    let dir = std::env::temp_dir().join("pilot-spill-clean");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = PilotConfig::new(2)
+        .with_services(svc("j"))
+        .with_spill_dir(dir.clone());
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(7)])?;
+        pi.stop_main(0)
+    });
+    assert!(out.is_clean(), "{out:?}");
+    let merged = out.clog().unwrap();
+    let salvaged = mpelog::salvage(&dir).unwrap().unwrap();
+    // Same record counts per rank (timestamps differ: the merged log is
+    // clock-corrected, the spill is raw).
+    for r in 0..2u32 {
+        assert_eq!(salvaged.blocks[&r].len(), merged.blocks[&r].len(), "rank {r}");
+    }
+    assert_eq!(salvaged.state_defs, merged.state_defs);
+}

@@ -1,0 +1,144 @@
+//! Property tests: the format engine (parse/canonical/encode/decode)
+//! and randomized end-to-end transfers through real Pilot worlds.
+
+use pilot::format::{canonical_format, decode_call, encode_call, expected_message_count};
+use pilot::{parse_format, PilotConfig, RSlot, WSlot, PI_MAIN};
+use proptest::prelude::*;
+
+/// A strategy producing one specifier's text plus a matching write-value
+/// generator seed.
+fn arb_spec_text() -> impl Strategy<Value = String> {
+    let kind = prop_oneof![Just("d"), Just("u"), Just("lf"), Just("b")];
+    let len = prop_oneof![
+        Just(String::new()),
+        (1usize..40).prop_map(|n| n.to_string()),
+        Just("*".to_string()),
+        Just("^".to_string()),
+    ];
+    (len, kind).prop_map(|(len, kind)| format!("%{len}{kind}"))
+}
+
+proptest! {
+    #[test]
+    fn canonical_is_a_fixpoint(specs in proptest::collection::vec(arb_spec_text(), 1..6)) {
+        let fmt = specs.join(" ");
+        let parsed = parse_format(&fmt).unwrap();
+        let canon = canonical_format(&parsed);
+        let reparsed = parse_format(&canon).unwrap();
+        prop_assert_eq!(&parsed, &reparsed);
+        prop_assert_eq!(canonical_format(&reparsed), canon);
+    }
+
+    #[test]
+    fn whitespace_is_insignificant(
+        specs in proptest::collection::vec(arb_spec_text(), 1..5),
+        gaps in proptest::collection::vec(" {0,4}", 1..5),
+    ) {
+        let tight = specs.join(" ");
+        let loose: String = specs
+            .iter()
+            .zip(gaps.iter().cycle())
+            .map(|(s, g)| format!("{g}{s} "))
+            .collect();
+        prop_assert_eq!(parse_format(&tight).unwrap(), parse_format(&loose).unwrap());
+    }
+
+    #[test]
+    fn garbage_formats_error_not_panic(s in ".{0,30}") {
+        let _ = parse_format(&s); // must never panic
+    }
+
+    #[test]
+    fn int_array_roundtrip_through_wire(
+        data in proptest::collection::vec(any::<i64>(), 1..200),
+        auto in any::<bool>(),
+    ) {
+        let fmt = if auto { "%^d".to_string() } else { format!("%{}d", data.len()) };
+        let specs = parse_format(&fmt).unwrap();
+        let msgs = encode_call(&specs, &[WSlot::IntArr(&data)], true).unwrap();
+        prop_assert_eq!(msgs.len(), expected_message_count(&specs));
+        if auto {
+            let mut out: Vec<i64> = Vec::new();
+            decode_call(&specs, &mut [RSlot::IntVec(&mut out)], &msgs).unwrap();
+            prop_assert_eq!(out, data);
+        } else {
+            let mut out = vec![0i64; data.len()];
+            decode_call(&specs, &mut [RSlot::IntArr(&mut out)], &msgs).unwrap();
+            prop_assert_eq!(out, data);
+        }
+    }
+
+    #[test]
+    fn mixed_scalar_roundtrip_through_wire(
+        i in any::<i64>(),
+        u in any::<u64>(),
+        f in any::<f64>().prop_filter("finite", |v| v.is_finite()),
+        b in any::<u8>(),
+    ) {
+        let specs = parse_format("%d %u %lf %b").unwrap();
+        let msgs = encode_call(
+            &specs,
+            &[WSlot::Int(i), WSlot::Uint(u), WSlot::Float(f), WSlot::Byte(b)],
+            true,
+        ).unwrap();
+        let (mut oi, mut ou, mut of, mut ob) = (0i64, 0u64, 0.0f64, 0u8);
+        decode_call(
+            &specs,
+            &mut [RSlot::Int(&mut oi), RSlot::Uint(&mut ou), RSlot::Float(&mut of), RSlot::Byte(&mut ob)],
+            &msgs,
+        ).unwrap();
+        prop_assert_eq!((oi, ou, of.to_bits(), ob), (i, u, f.to_bits(), b));
+    }
+
+    #[test]
+    fn corrupt_messages_error_not_panic(
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let specs = parse_format("%d").unwrap();
+        let mut v = 0i64;
+        let _ = decode_call(&specs, &mut [RSlot::Int(&mut v)], &[msg]); // no panic
+    }
+}
+
+proptest! {
+    // World-spawning cases: keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_payloads_cross_a_real_channel(
+        ints in proptest::collection::vec(any::<i64>(), 1..100),
+        floats in proptest::collection::vec(
+            any::<f64>().prop_filter("finite", |v| v.is_finite()),
+            1..50,
+        ),
+        check_level in 0u8..4,
+    ) {
+        let received = std::sync::Mutex::new((Vec::new(), Vec::new()));
+        let cfg = PilotConfig::new(2).with_check_level(check_level);
+        let n_f = floats.len();
+        let outcome = pilot::run(cfg, |pi| {
+            let w = pi.create_process(0)?;
+            let c = pi.create_channel(PI_MAIN, w)?;
+            let received = &received;
+            pi.assign_work(w, move |pi, _| {
+                let mut is: Vec<i64> = Vec::new();
+                let mut fs = vec![0.0f64; n_f];
+                pi.read(c, &format!("%^d %{n_f}lf"),
+                    &mut [RSlot::IntVec(&mut is), RSlot::FloatArr(&mut fs)]).unwrap();
+                *received.lock().unwrap() = (is, fs);
+                0
+            })?;
+            pi.start_all()?;
+            pi.write(c, &format!("%^d %{n_f}lf"),
+                &[WSlot::IntArr(&ints), WSlot::FloatArr(&floats)])?;
+            pi.stop_main(0)
+        });
+        prop_assert!(outcome.is_clean(), "{outcome:?}");
+        let (is, fs) = received.into_inner().unwrap();
+        prop_assert_eq!(is, ints);
+        prop_assert_eq!(
+            fs.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            floats.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

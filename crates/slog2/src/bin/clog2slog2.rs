@@ -1,0 +1,126 @@
+//! `clog2slog2` — the standalone converter, mirroring Argonne's
+//! `clog2TOslog2` (including the "adjusting conversion parameters"
+//! use-case the paper describes: tuning the frame size affects the
+//! amount of data initially displayed).
+//!
+//! ```text
+//! clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [-q]
+//! ```
+//!
+//! Exit code 0 on a clean conversion, 1 on warnings (the "non
+//! well-behaved program" case), 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mpelog::Clog2File;
+use slog2::{convert, ConvertOptions};
+
+struct Args {
+    input: PathBuf,
+    output: PathBuf,
+    frame_size: usize,
+    max_depth: u32,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut input = None;
+    let mut output = None;
+    let mut frame_size = 64usize;
+    let mut max_depth = 16u32;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                output = Some(PathBuf::from(
+                    it.next().ok_or("missing value for -o")?,
+                ))
+            }
+            "--frame-size" => {
+                frame_size = it
+                    .next()
+                    .ok_or("missing value for --frame-size")?
+                    .parse()
+                    .map_err(|_| "bad --frame-size value")?
+            }
+            "--max-depth" => {
+                max_depth = it
+                    .next()
+                    .ok_or("missing value for --max-depth")?
+                    .parse()
+                    .map_err(|_| "bad --max-depth value")?
+            }
+            "-q" | "--quiet" => quiet = true,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(PathBuf::from(other))
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let input = input.ok_or("usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [-q]")?;
+    let output = output.unwrap_or_else(|| input.with_extension("pslog2"));
+    Ok(Args {
+        input,
+        output,
+        frame_size,
+        max_depth,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("clog2slog2: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let clog = match Clog2File::read_from(&args.input) {
+        Ok(Ok(c)) => c,
+        Ok(Err(e)) => {
+            eprintln!("clog2slog2: {} is not a valid CLOG2 file: {e}", args.input.display());
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
+            return ExitCode::from(2);
+        }
+    };
+    let (slog, warnings) = convert(
+        &clog,
+        &ConvertOptions {
+            frame_capacity: args.frame_size,
+            max_depth: args.max_depth,
+            timeline_names: None,
+        },
+    );
+    if let Err(e) = slog.write_to(&args.output) {
+        eprintln!("clog2slog2: cannot write {}: {e}", args.output.display());
+        return ExitCode::from(2);
+    }
+    if !args.quiet {
+        println!(
+            "{}: {} records over {} ranks -> {} drawables, {} tree nodes (depth {}), range [{:.6}s, {:.6}s] -> {}",
+            args.input.display(),
+            clog.total_records(),
+            clog.nranks,
+            slog.total_drawables(),
+            slog.tree.node_count(),
+            slog.tree.depth(),
+            slog.range.0,
+            slog.range.1,
+            args.output.display(),
+        );
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
+    }
+    if warnings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

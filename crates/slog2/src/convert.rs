@@ -1,0 +1,686 @@
+//! CLOG2 → SLOG2 conversion (the `clog2TOslog2` step).
+//!
+//! The paper calls converting (rather than logging straight to SLOG-2)
+//! the *preferred* route because (a) a "non well-behaved" program can
+//! produce a defective file, and (b) the conversion step surfaces
+//! diagnostics — most famously the **"Equal Drawables"** warning when
+//! two objects with the same event id have identical start and end
+//! times, a consequence of `MPI_Wtime`'s limited resolution. We report
+//! all of those as typed [`ConvertWarning`]s.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use mpelog::ids::EventId;
+use mpelog::record::Record;
+use mpelog::{Clog2File, Color};
+
+use crate::drawable::{
+    ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable,
+};
+use crate::file::Slog2File;
+use crate::tree::FrameTree;
+
+/// Conversion parameters.
+#[derive(Debug, Clone)]
+pub struct ConvertOptions {
+    /// Frame-tree split threshold ("frame size"). Smaller values make a
+    /// deeper tree with finer random access; the paper mentions tuning
+    /// this to affect the amount of data initially displayed.
+    pub frame_capacity: usize,
+    /// Frame-tree depth limit.
+    pub max_depth: u32,
+    /// Timeline display names; defaults to `P0..Pn` with rank 0 called
+    /// `PI_MAIN`, matching the paper's convention.
+    pub timeline_names: Option<Vec<String>>,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        ConvertOptions {
+            frame_capacity: 64,
+            max_depth: 16,
+            timeline_names: None,
+        }
+    }
+}
+
+/// Diagnostics produced during conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvertWarning {
+    /// A state was opened but never closed (non well-behaved program);
+    /// the converter closes it at the block's last timestamp.
+    UnclosedState {
+        /// Rank whose log was defective.
+        rank: u32,
+        /// The state's category name.
+        name: String,
+        /// When it was opened.
+        start: f64,
+    },
+    /// A state-end event arrived with no matching open state.
+    UnmatchedEnd {
+        /// Rank whose log was defective.
+        rank: u32,
+        /// The event id seen.
+        id: EventId,
+        /// When.
+        ts: f64,
+    },
+    /// An event id that no definition describes.
+    UnknownEventId {
+        /// Rank.
+        rank: u32,
+        /// The undefined id.
+        id: EventId,
+    },
+    /// A send record with no matching receive.
+    UnmatchedSend {
+        /// Sender rank.
+        src: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Tag.
+        tag: u32,
+    },
+    /// A receive record with no matching send.
+    UnmatchedRecv {
+        /// Source rank recorded by the receiver.
+        src: u32,
+        /// Receiving rank.
+        dst: u32,
+        /// Tag.
+        tag: u32,
+    },
+    /// Two or more drawables of the same category with bit-identical
+    /// start and end times — the paper's "Equal Drawables" condition,
+    /// caused by limited clock resolution.
+    EqualDrawables {
+        /// Category name.
+        category: String,
+        /// How many coincide.
+        count: usize,
+        /// The shared start time.
+        t0: f64,
+        /// The shared end time.
+        t1: f64,
+    },
+    /// A state whose end event carries an earlier timestamp than its
+    /// start (out-of-order or clock-anomalous records); the converter
+    /// normalizes the interval so the file stays displayable.
+    BackwardState {
+        /// Rank whose log was anomalous.
+        rank: u32,
+        /// Category name.
+        name: String,
+        /// The (earlier) end timestamp seen.
+        end: f64,
+        /// The (later) start timestamp seen.
+        start: f64,
+    },
+    /// An arrow that goes backwards in time (receive before send) —
+    /// clock drift that synchronization failed to remove.
+    BackwardArrow {
+        /// Sender rank.
+        src: u32,
+        /// Receiver rank.
+        dst: u32,
+        /// Tag.
+        tag: u32,
+        /// Send time.
+        start: f64,
+        /// Receive time.
+        end: f64,
+    },
+}
+
+impl std::fmt::Display for ConvertWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertWarning::UnclosedState { rank, name, start } => {
+                write!(f, "rank {rank}: state '{name}' opened at {start:.6}s never closed")
+            }
+            ConvertWarning::UnmatchedEnd { rank, id, ts } => {
+                write!(f, "rank {rank}: end event {id} at {ts:.6}s has no open state")
+            }
+            ConvertWarning::UnknownEventId { rank, id } => {
+                write!(f, "rank {rank}: event id {id} has no definition")
+            }
+            ConvertWarning::UnmatchedSend { src, dst, tag } => {
+                write!(f, "send {src}->{dst} tag {tag} has no matching receive")
+            }
+            ConvertWarning::UnmatchedRecv { src, dst, tag } => {
+                write!(f, "receive {src}->{dst} tag {tag} has no matching send")
+            }
+            ConvertWarning::EqualDrawables { category, count, t0, t1 } => {
+                write!(
+                    f,
+                    "Equal Drawables: {count} '{category}' objects share [{t0:.9}, {t1:.9}]"
+                )
+            }
+            ConvertWarning::BackwardState { rank, name, end, start } => {
+                write!(
+                    f,
+                    "rank {rank}: state '{name}' ends at {end:.9} before it starts at {start:.9}; normalized"
+                )
+            }
+            ConvertWarning::BackwardArrow { src, dst, tag, start, end } => {
+                write!(
+                    f,
+                    "arrow {src}->{dst} tag {tag} goes backward in time ({start:.9} -> {end:.9})"
+                )
+            }
+        }
+    }
+}
+
+enum IdRole {
+    StateStart(u32),
+    StateEnd(u32),
+    Solo(u32),
+}
+
+/// Convert a merged CLOG2 log into an SLOG2 file, reporting diagnostics.
+pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<ConvertWarning>) {
+    let mut warnings = Vec::new();
+
+    // 1. Categories from the definitions, plus the synthetic arrow
+    //    category ("message") the converter introduces.
+    let mut categories = Vec::new();
+    let mut roles: HashMap<u32, IdRole> = HashMap::new();
+    for d in &clog.state_defs {
+        let idx = categories.len() as u32;
+        categories.push(Category {
+            index: idx,
+            name: d.name.clone(),
+            color: d.color,
+            kind: CategoryKind::State,
+        });
+        roles.insert(d.start.0, IdRole::StateStart(idx));
+        roles.insert(d.end.0, IdRole::StateEnd(idx));
+    }
+    for d in &clog.event_defs {
+        let idx = categories.len() as u32;
+        categories.push(Category {
+            index: idx,
+            name: d.name.clone(),
+            color: d.color,
+            kind: CategoryKind::Event,
+        });
+        roles.insert(d.id.0, IdRole::Solo(idx));
+    }
+    let arrow_cat = categories.len() as u32;
+    categories.push(Category {
+        index: arrow_cat,
+        name: "message".into(),
+        color: Color::WHITE,
+        kind: CategoryKind::Arrow,
+    });
+
+    // 2. Walk each rank's block: pair state events, emit drawables,
+    //    collect send/recv records for arrow matching.
+    let mut drawables: Vec<Drawable> = Vec::new();
+    // key: (src, dst, tag, size) -> FIFO of send timestamps
+    let mut sends: BTreeMap<(u32, u32, u32, u32), VecDeque<f64>> = BTreeMap::new();
+    let mut recvs: BTreeMap<(u32, u32, u32, u32), VecDeque<f64>> = BTreeMap::new();
+
+    for (&rank, records) in &clog.blocks {
+        let mut stack: Vec<(u32, f64, String)> = Vec::new(); // (cat, start, text)
+        let mut last_ts = f64::NEG_INFINITY;
+        for rec in records {
+            last_ts = last_ts.max(rec.ts());
+            match rec {
+                Record::Event { ts, id, text } => match roles.get(&id.0) {
+                    Some(IdRole::StateStart(cat)) => {
+                        stack.push((*cat, *ts, text.clone()));
+                    }
+                    Some(IdRole::StateEnd(cat)) => {
+                        // Normally the innermost open state matches; be
+                        // tolerant of interleaving by searching downward.
+                        match stack.iter().rposition(|(c, _, _)| c == cat) {
+                            Some(pos) => {
+                                let (c, start, mut start_text) = stack.remove(pos);
+                                let nest = pos as u32;
+                                if !text.is_empty() {
+                                    if !start_text.is_empty() {
+                                        start_text.push_str(" | ");
+                                    }
+                                    start_text.push_str(text);
+                                }
+                                let mut end = *ts;
+                                let mut start = start;
+                                if end < start {
+                                    warnings.push(ConvertWarning::BackwardState {
+                                        rank,
+                                        name: categories[c as usize].name.clone(),
+                                        end,
+                                        start,
+                                    });
+                                    std::mem::swap(&mut start, &mut end);
+                                }
+                                drawables.push(Drawable::State(StateDrawable {
+                                    category: c,
+                                    timeline: rank,
+                                    start,
+                                    end,
+                                    nest_level: nest,
+                                    text: start_text,
+                                }));
+                            }
+                            None => warnings.push(ConvertWarning::UnmatchedEnd {
+                                rank,
+                                id: *id,
+                                ts: *ts,
+                            }),
+                        }
+                    }
+                    Some(IdRole::Solo(cat)) => {
+                        drawables.push(Drawable::Event(EventDrawable {
+                            category: *cat,
+                            timeline: rank,
+                            time: *ts,
+                            text: text.clone(),
+                        }));
+                    }
+                    None => warnings.push(ConvertWarning::UnknownEventId { rank, id: *id }),
+                },
+                Record::Send { ts, dst, tag, size } => {
+                    sends
+                        .entry((rank, *dst, *tag, *size))
+                        .or_default()
+                        .push_back(*ts);
+                }
+                Record::Recv { ts, src, tag, size } => {
+                    recvs
+                        .entry((*src, rank, *tag, *size))
+                        .or_default()
+                        .push_back(*ts);
+                }
+            }
+        }
+        // Non well-behaved: states still open at end of log. Close them
+        // at the block's last timestamp so the file is still displayable.
+        for (cat, start, text) in stack.into_iter().rev() {
+            let name = categories[cat as usize].name.clone();
+            warnings.push(ConvertWarning::UnclosedState { rank, name, start });
+            drawables.push(Drawable::State(StateDrawable {
+                category: cat,
+                timeline: rank,
+                start,
+                end: last_ts.max(start),
+                nest_level: 0,
+                text,
+            }));
+        }
+    }
+
+    // 3. Match sends with receives (FIFO per (src, dst, tag, size) key,
+    //    mirroring MPE's matching on tag + data length).
+    for (key, mut send_ts) in sends {
+        let (src, dst, tag, size) = key;
+        let mut recv_ts = recvs.remove(&key).unwrap_or_default();
+        while let (Some(s), Some(r)) = (send_ts.front().copied(), recv_ts.front().copied()) {
+            send_ts.pop_front();
+            recv_ts.pop_front();
+            if r < s {
+                warnings.push(ConvertWarning::BackwardArrow {
+                    src,
+                    dst,
+                    tag,
+                    start: s,
+                    end: r,
+                });
+            }
+            drawables.push(Drawable::Arrow(ArrowDrawable {
+                category: arrow_cat,
+                from_timeline: src,
+                to_timeline: dst,
+                start: s,
+                end: r,
+                tag,
+                size,
+            }));
+        }
+        for _ in send_ts {
+            warnings.push(ConvertWarning::UnmatchedSend { src, dst, tag });
+        }
+        for _ in recv_ts {
+            warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+        }
+    }
+    for ((src, dst, tag, _), leftover) in recvs {
+        for _ in leftover {
+            warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+        }
+    }
+
+    // 4. Equal-Drawables detection: same category, bit-identical
+    //    endpoints (and same placement).
+    detect_equal_drawables(&drawables, &categories, &mut warnings);
+
+    // 5. Global range and tree.
+    let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for d in &drawables {
+        t0 = t0.min(d.start());
+        t1 = t1.max(d.end());
+    }
+    if !t0.is_finite() {
+        t0 = 0.0;
+        t1 = 0.0;
+    }
+
+    let timelines = opts.timeline_names.clone().unwrap_or_else(|| {
+        (0..clog.nranks)
+            .map(|r| if r == 0 { "PI_MAIN".to_string() } else { format!("P{r}") })
+            .collect()
+    });
+
+    let tree = FrameTree::build(drawables, t0, t1, opts.frame_capacity, opts.max_depth);
+    let file = Slog2File {
+        timelines,
+        categories,
+        range: (t0, t1),
+        warnings: warnings.iter().map(|w| w.to_string()).collect(),
+        tree,
+    };
+    (file, warnings)
+}
+
+fn detect_equal_drawables(
+    drawables: &[Drawable],
+    categories: &[Category],
+    warnings: &mut Vec<ConvertWarning>,
+) {
+    // Key on (category, placement, bit-exact interval).
+    let mut groups: HashMap<(u32, u32, u32, u64, u64), usize> = HashMap::new();
+    for d in drawables {
+        let key = match d {
+            Drawable::State(s) => (
+                s.category,
+                s.timeline,
+                0,
+                s.start.to_bits(),
+                s.end.to_bits(),
+            ),
+            Drawable::Event(e) => (e.category, e.timeline, 0, e.time.to_bits(), e.time.to_bits()),
+            Drawable::Arrow(a) => (
+                a.category,
+                a.from_timeline,
+                a.to_timeline,
+                a.start.to_bits(),
+                a.end.to_bits(),
+            ),
+        };
+        *groups.entry(key).or_insert(0) += 1;
+    }
+    let mut dups: Vec<_> = groups.into_iter().filter(|(_, n)| *n > 1).collect();
+    dups.sort_by_key(|((cat, tl, tl2, s, e), _)| (*cat, *tl, *tl2, *s, *e));
+    for ((cat, _, _, s, e), n) in dups {
+        warnings.push(ConvertWarning::EqualDrawables {
+            category: categories
+                .get(cat as usize)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|| format!("cat{cat}")),
+            count: n,
+            t0: f64::from_bits(s),
+            t1: f64::from_bits(e),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpelog::{Color, Logger};
+
+    /// Build a two-rank CLOG file through the real Logger API.
+    fn sample_clog() -> Clog2File {
+        let mut lg0 = Logger::new(0);
+        let mut lg1 = Logger::new(1);
+        // Same definition order on both ranks (MPE rule).
+        let (w_s, w_e) = lg0.define_state("PI_Write", Color::GREEN);
+        let (r_s, r_e) = lg0.define_state("PI_Read", Color::RED);
+        let arr = lg0.define_event("arrival", Color::YELLOW);
+        let _ = lg1.define_state("PI_Write", Color::GREEN);
+        let _ = lg1.define_state("PI_Read", Color::RED);
+        let _ = lg1.define_event("arrival", Color::YELLOW);
+
+        // Rank 0 writes (1.0..1.2), message flies, rank 1 reads (0.9..1.4).
+        lg0.log_event(1.0, w_s, "Line: 10");
+        lg0.log_send(1.1, 1, 5, 8);
+        lg0.log_event(1.2, w_e, "");
+        lg1.log_event(0.9, r_s, "Line: 20");
+        lg1.log_receive(1.3, 0, 5, 8);
+        lg1.log_event(1.3, arr, "Chan: C1");
+        lg1.log_event(1.4, r_e, "");
+
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg0.records().to_vec());
+        blocks.insert(1u32, lg1.records().to_vec());
+        Clog2File {
+            nranks: 2,
+            state_defs: lg0.state_defs().to_vec(),
+            event_defs: lg0.event_defs().to_vec(),
+            blocks,
+        }
+    }
+
+    #[test]
+    fn basic_conversion_produces_expected_objects() {
+        let (file, warnings) = convert(&sample_clog(), &ConvertOptions::default());
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let states = ds.iter().filter(|d| matches!(d, Drawable::State(_))).count();
+        let events = ds.iter().filter(|d| matches!(d, Drawable::Event(_))).count();
+        let arrows = ds.iter().filter(|d| matches!(d, Drawable::Arrow(_))).count();
+        assert_eq!((states, events, arrows), (2, 1, 1));
+        assert_eq!(file.range, (0.9, 1.4));
+        assert_eq!(file.timelines, vec!["PI_MAIN".to_string(), "P1".to_string()]);
+    }
+
+    #[test]
+    fn arrow_connects_send_to_receive() {
+        let (file, _) = convert(&sample_clog(), &ConvertOptions::default());
+        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let arrow = ds
+            .iter()
+            .find_map(|d| match d {
+                Drawable::Arrow(a) => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(arrow.from_timeline, 0);
+        assert_eq!(arrow.to_timeline, 1);
+        assert_eq!(arrow.start, 1.1);
+        assert_eq!(arrow.end, 1.3);
+        assert_eq!(arrow.tag, 5);
+        assert_eq!(arrow.size, 8);
+    }
+
+    #[test]
+    fn nested_states_get_levels() {
+        let mut lg = Logger::new(0);
+        let (a_s, a_e) = lg.define_state("A", Color::GRAY);
+        let (b_s, b_e) = lg.define_state("B", Color::RED);
+        lg.log_event(3.0, a_s, "");
+        lg.log_event(5.0, b_s, "");
+        lg.log_event(8.0, b_e, "");
+        lg.log_event(20.0, a_e, "");
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg.records().to_vec());
+        let clog = Clog2File {
+            nranks: 1,
+            state_defs: lg.state_defs().to_vec(),
+            event_defs: vec![],
+            blocks,
+        };
+        let (file, warnings) = convert(&clog, &ConvertOptions::default());
+        assert!(warnings.is_empty());
+        let ds = file.tree.query(0.0, 100.0);
+        let mut levels: Vec<(String, u32)> = ds
+            .iter()
+            .filter_map(|d| match d {
+                Drawable::State(s) => {
+                    Some((file.categories[s.category as usize].name.clone(), s.nest_level))
+                }
+                _ => None,
+            })
+            .collect();
+        levels.sort();
+        assert_eq!(levels, vec![("A".to_string(), 0), ("B".to_string(), 1)]);
+    }
+
+    #[test]
+    fn unclosed_state_is_warned_and_closed_at_log_end() {
+        let mut lg = Logger::new(0);
+        let (a_s, _a_e) = lg.define_state("A", Color::GRAY);
+        let ev = lg.define_event("tick", Color::YELLOW);
+        lg.log_event(1.0, a_s, "");
+        lg.log_event(9.0, ev, "");
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg.records().to_vec());
+        let clog = Clog2File {
+            nranks: 1,
+            state_defs: lg.state_defs().to_vec(),
+            event_defs: lg.event_defs().to_vec(),
+            blocks,
+        };
+        let (file, warnings) = convert(&clog, &ConvertOptions::default());
+        assert!(matches!(
+            warnings[0],
+            ConvertWarning::UnclosedState { rank: 0, ref name, start } if name == "A" && start == 1.0
+        ));
+        let ds = file.tree.query(0.0, 100.0);
+        let s = ds
+            .iter()
+            .find_map(|d| match d {
+                Drawable::State(s) => Some(s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(s.end, 9.0);
+    }
+
+    #[test]
+    fn unmatched_end_is_warned() {
+        let mut lg = Logger::new(0);
+        let (_a_s, a_e) = lg.define_state("A", Color::GRAY);
+        lg.log_event(2.0, a_e, "");
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg.records().to_vec());
+        let clog = Clog2File {
+            nranks: 1,
+            state_defs: lg.state_defs().to_vec(),
+            event_defs: vec![],
+            blocks,
+        };
+        let (_, warnings) = convert(&clog, &ConvertOptions::default());
+        assert!(matches!(warnings[0], ConvertWarning::UnmatchedEnd { .. }));
+    }
+
+    #[test]
+    fn unmatched_send_and_recv_are_warned() {
+        let mut lg0 = Logger::new(0);
+        let mut lg1 = Logger::new(1);
+        lg0.log_send(1.0, 1, 7, 16); // never received
+        lg1.log_receive(2.0, 0, 8, 16); // never sent
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg0.records().to_vec());
+        blocks.insert(1u32, lg1.records().to_vec());
+        let clog = Clog2File {
+            nranks: 2,
+            state_defs: vec![],
+            event_defs: vec![],
+            blocks,
+        };
+        let (_, warnings) = convert(&clog, &ConvertOptions::default());
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, ConvertWarning::UnmatchedSend { tag: 7, .. })));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, ConvertWarning::UnmatchedRecv { tag: 8, .. })));
+    }
+
+    #[test]
+    fn equal_drawables_detected_for_identical_timestamps() {
+        // Two arrows with bit-identical endpoints — the quantized-clock
+        // condition from the paper.
+        let mut lg0 = Logger::new(0);
+        let mut lg1 = Logger::new(1);
+        lg0.log_send(1.0, 1, 5, 4);
+        lg0.log_send(1.0, 1, 5, 4);
+        lg1.log_receive(2.0, 0, 5, 4);
+        lg1.log_receive(2.0, 0, 5, 4);
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg0.records().to_vec());
+        blocks.insert(1u32, lg1.records().to_vec());
+        let clog = Clog2File {
+            nranks: 2,
+            state_defs: vec![],
+            event_defs: vec![],
+            blocks,
+        };
+        let (_, warnings) = convert(&clog, &ConvertOptions::default());
+        assert!(
+            warnings
+                .iter()
+                .any(|w| matches!(w, ConvertWarning::EqualDrawables { count: 2, .. })),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn backward_arrow_is_warned() {
+        let mut lg0 = Logger::new(0);
+        let mut lg1 = Logger::new(1);
+        lg0.log_send(5.0, 1, 1, 0);
+        lg1.log_receive(4.0, 0, 1, 0); // drifted clock: recv "before" send
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg0.records().to_vec());
+        blocks.insert(1u32, lg1.records().to_vec());
+        let clog = Clog2File {
+            nranks: 2,
+            state_defs: vec![],
+            event_defs: vec![],
+            blocks,
+        };
+        let (_, warnings) = convert(&clog, &ConvertOptions::default());
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, ConvertWarning::BackwardArrow { .. })));
+    }
+
+    #[test]
+    fn empty_log_converts_cleanly() {
+        let clog = Clog2File {
+            nranks: 3,
+            ..Default::default()
+        };
+        let (file, warnings) = convert(&clog, &ConvertOptions::default());
+        assert!(warnings.is_empty());
+        assert_eq!(file.range, (0.0, 0.0));
+        assert_eq!(file.total_drawables(), 0);
+        assert_eq!(file.timelines.len(), 3);
+    }
+
+    #[test]
+    fn custom_timeline_names_pass_through() {
+        let clog = Clog2File {
+            nranks: 2,
+            ..Default::default()
+        };
+        let opts = ConvertOptions {
+            timeline_names: Some(vec!["master".into(), "compressor".into()]),
+            ..Default::default()
+        };
+        let (file, _) = convert(&clog, &opts);
+        assert_eq!(file.timelines, vec!["master".to_string(), "compressor".to_string()]);
+    }
+
+    #[test]
+    fn slog2_roundtrip_of_converted_file() {
+        let (file, _) = convert(&sample_clog(), &ConvertOptions::default());
+        let back = Slog2File::from_bytes(&file.to_bytes()).unwrap();
+        assert_eq!(back, file);
+    }
+}

@@ -1,0 +1,337 @@
+//! Drawable objects: what the converter produces and the viewer draws.
+
+use mpelog::wire::{Reader, WireError, Writer};
+use mpelog::Color;
+
+/// What kind of graphical object a category describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CategoryKind {
+    /// A state rectangle (has duration).
+    State,
+    /// A solo-event bubble (instantaneous).
+    Event,
+    /// A message arrow between two timelines.
+    Arrow,
+}
+
+impl CategoryKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            CategoryKind::State => 0,
+            CategoryKind::Event => 1,
+            CategoryKind::Arrow => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(CategoryKind::State),
+            1 => Ok(CategoryKind::Event),
+            2 => Ok(CategoryKind::Arrow),
+            _ => Err(WireError::Corrupt(format!("bad category kind {v}"))),
+        }
+    }
+}
+
+/// A legend entry: one kind of drawable with display properties.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Category {
+    /// Index used by drawables to refer to this category.
+    pub index: u32,
+    /// Display name (`"PI_Read"`, `"message"`, …).
+    pub name: String,
+    /// Display colour.
+    pub color: Color,
+    /// Object kind.
+    pub kind: CategoryKind,
+}
+
+impl Category {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.index);
+        w.put_str(&self.name);
+        w.put_u32(self.color.pack());
+        w.put_u8(self.kind.to_u8());
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Category, WireError> {
+        Ok(Category {
+            index: r.get_u32()?,
+            name: r.get_str()?,
+            color: Color::unpack(r.get_u32()?),
+            kind: CategoryKind::from_u8(r.get_u8()?)?,
+        })
+    }
+}
+
+/// A state rectangle on one timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDrawable {
+    /// Category index.
+    pub category: u32,
+    /// Timeline (rank) this state belongs to.
+    pub timeline: u32,
+    /// Start time (seconds, global timeline).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Nesting depth at creation (0 = outermost). Jumpshot draws deeper
+    /// states as inner rectangles.
+    pub nest_level: u32,
+    /// Info text captured at the start event (popup content).
+    pub text: String,
+}
+
+/// A solo-event bubble on one timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDrawable {
+    /// Category index.
+    pub category: u32,
+    /// Timeline (rank).
+    pub timeline: u32,
+    /// Event time.
+    pub time: f64,
+    /// Info text (popup content).
+    pub text: String,
+}
+
+/// A message arrow between two timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrowDrawable {
+    /// Category index (normally the synthetic "message" category).
+    pub category: u32,
+    /// Sending timeline.
+    pub from_timeline: u32,
+    /// Receiving timeline.
+    pub to_timeline: u32,
+    /// Send time.
+    pub start: f64,
+    /// Receive time.
+    pub end: f64,
+    /// Message tag (popup content).
+    pub tag: u32,
+    /// Message size in bytes (popup content).
+    pub size: u32,
+}
+
+/// Any drawable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Drawable {
+    /// State rectangle.
+    State(StateDrawable),
+    /// Event bubble.
+    Event(EventDrawable),
+    /// Message arrow.
+    Arrow(ArrowDrawable),
+}
+
+impl Drawable {
+    /// Earliest time of the object.
+    pub fn start(&self) -> f64 {
+        match self {
+            Drawable::State(s) => s.start,
+            Drawable::Event(e) => e.time,
+            Drawable::Arrow(a) => a.start.min(a.end),
+        }
+    }
+
+    /// Latest time of the object.
+    pub fn end(&self) -> f64 {
+        match self {
+            Drawable::State(s) => s.end,
+            Drawable::Event(e) => e.time,
+            Drawable::Arrow(a) => a.end.max(a.start),
+        }
+    }
+
+    /// Category index.
+    pub fn category(&self) -> u32 {
+        match self {
+            Drawable::State(s) => s.category,
+            Drawable::Event(e) => e.category,
+            Drawable::Arrow(a) => a.category,
+        }
+    }
+
+    /// Duration (0 for events).
+    pub fn duration(&self) -> f64 {
+        self.end() - self.start()
+    }
+
+    /// Does this object overlap the closed time window `[a, b]`?
+    pub fn intersects(&self, a: f64, b: f64) -> bool {
+        self.start() <= b && self.end() >= a
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        match self {
+            Drawable::State(s) => {
+                w.put_u8(0);
+                w.put_u32(s.category);
+                w.put_u32(s.timeline);
+                w.put_f64(s.start);
+                w.put_f64(s.end);
+                w.put_u32(s.nest_level);
+                w.put_str(&s.text);
+            }
+            Drawable::Event(e) => {
+                w.put_u8(1);
+                w.put_u32(e.category);
+                w.put_u32(e.timeline);
+                w.put_f64(e.time);
+                w.put_str(&e.text);
+            }
+            Drawable::Arrow(a) => {
+                w.put_u8(2);
+                w.put_u32(a.category);
+                w.put_u32(a.from_timeline);
+                w.put_u32(a.to_timeline);
+                w.put_f64(a.start);
+                w.put_f64(a.end);
+                w.put_u32(a.tag);
+                w.put_u32(a.size);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Drawable, WireError> {
+        match r.get_u8()? {
+            0 => Ok(Drawable::State(StateDrawable {
+                category: r.get_u32()?,
+                timeline: r.get_u32()?,
+                start: r.get_f64()?,
+                end: r.get_f64()?,
+                nest_level: r.get_u32()?,
+                text: r.get_str()?,
+            })),
+            1 => Ok(Drawable::Event(EventDrawable {
+                category: r.get_u32()?,
+                timeline: r.get_u32()?,
+                time: r.get_f64()?,
+                text: r.get_str()?,
+            })),
+            2 => Ok(Drawable::Arrow(ArrowDrawable {
+                category: r.get_u32()?,
+                from_timeline: r.get_u32()?,
+                to_timeline: r.get_u32()?,
+                start: r.get_f64()?,
+                end: r.get_f64()?,
+                tag: r.get_u32()?,
+                size: r.get_u32()?,
+            })),
+            k => Err(WireError::Corrupt(format!("bad drawable kind {k}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(d: &Drawable) -> Drawable {
+        let mut w = Writer::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = Drawable::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn drawable_roundtrips() {
+        let ds = [
+            Drawable::State(StateDrawable {
+                category: 1,
+                timeline: 2,
+                start: 0.5,
+                end: 1.5,
+                nest_level: 1,
+                text: "P2 idx=3 Line: 40".into(),
+            }),
+            Drawable::Event(EventDrawable {
+                category: 4,
+                timeline: 0,
+                time: 0.75,
+                text: "Chan: C3".into(),
+            }),
+            Drawable::Arrow(ArrowDrawable {
+                category: 9,
+                from_timeline: 0,
+                to_timeline: 5,
+                start: 1.0,
+                end: 1.01,
+                tag: 1000,
+                size: 400,
+            }),
+        ];
+        for d in &ds {
+            assert_eq!(&roundtrip(d), d);
+        }
+    }
+
+    #[test]
+    fn category_roundtrips() {
+        for kind in [CategoryKind::State, CategoryKind::Event, CategoryKind::Arrow] {
+            let c = Category {
+                index: 7,
+                name: "PI_Gather".into(),
+                color: Color::INDIAN_RED,
+                kind,
+            };
+            let mut w = Writer::new();
+            c.encode(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(Category::decode(&mut Reader::new(&bytes)).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn interval_accessors() {
+        let s = Drawable::State(StateDrawable {
+            category: 0,
+            timeline: 0,
+            start: 1.0,
+            end: 3.0,
+            nest_level: 0,
+            text: String::new(),
+        });
+        assert_eq!(s.start(), 1.0);
+        assert_eq!(s.end(), 3.0);
+        assert_eq!(s.duration(), 2.0);
+        assert!(s.intersects(2.5, 4.0));
+        assert!(s.intersects(3.0, 4.0)); // closed interval: touching counts
+        assert!(!s.intersects(3.1, 4.0));
+        assert!(!s.intersects(0.0, 0.9));
+    }
+
+    #[test]
+    fn backward_arrow_normalizes_interval() {
+        // An arrow whose receive precedes its send (clock drift!) still
+        // reports a sane bounding interval.
+        let a = Drawable::Arrow(ArrowDrawable {
+            category: 0,
+            from_timeline: 0,
+            to_timeline: 1,
+            start: 2.0,
+            end: 1.0,
+            tag: 0,
+            size: 0,
+        });
+        assert_eq!(a.start(), 1.0);
+        assert_eq!(a.end(), 2.0);
+    }
+
+    #[test]
+    fn event_is_instantaneous() {
+        let e = Drawable::Event(EventDrawable {
+            category: 0,
+            timeline: 0,
+            time: 5.0,
+            text: String::new(),
+        });
+        assert_eq!(e.duration(), 0.0);
+        assert!(e.intersects(5.0, 5.0));
+        assert!(!e.intersects(5.1, 6.0));
+    }
+}

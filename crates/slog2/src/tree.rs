@@ -1,0 +1,430 @@
+//! The SLOG-2 frame tree.
+//!
+//! SLOG-2's key idea is a binary tree over the time axis: each drawable
+//! is stored in the *shallowest* node whose interval fully contains it,
+//! so a viewer can service any zoom window by visiting only the nodes
+//! that intersect it. The tunable the paper mentions ("frame size ...
+//! the amount of data initially displayed") is our `capacity`: a node
+//! splits when it would hold more drawables than that.
+//!
+//! Every node also carries a [`Preview`] — a per-category count/coverage
+//! histogram aggregated over its whole subtree. Previews are what let
+//! Jumpshot draw the striped "too dense to show individually" rectangles
+//! of the paper's Fig. 1 without touching leaf data.
+
+use crate::drawable::Drawable;
+
+/// Per-category aggregate used for zoomed-out rendering.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Preview {
+    /// `(category, instance count, summed duration)` sorted by category.
+    pub entries: Vec<PreviewEntry>,
+}
+
+/// One category's share of a preview.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreviewEntry {
+    /// Category index.
+    pub category: u32,
+    /// Number of drawable instances.
+    pub count: u64,
+    /// Summed duration in seconds (0 for instantaneous events).
+    pub coverage: f64,
+}
+
+impl Preview {
+    /// Add one drawable's contribution.
+    pub fn add(&mut self, category: u32, duration: f64) {
+        match self.entries.binary_search_by_key(&category, |e| e.category) {
+            Ok(i) => {
+                self.entries[i].count += 1;
+                self.entries[i].coverage += duration;
+            }
+            Err(i) => self.entries.insert(
+                i,
+                PreviewEntry {
+                    category,
+                    count: 1,
+                    coverage: duration,
+                },
+            ),
+        }
+    }
+
+    /// Merge another preview into this one.
+    pub fn merge(&mut self, other: &Preview) {
+        for e in &other.entries {
+            match self.entries.binary_search_by_key(&e.category, |x| x.category) {
+                Ok(i) => {
+                    self.entries[i].count += e.count;
+                    self.entries[i].coverage += e.coverage;
+                }
+                Err(i) => self.entries.insert(i, *e),
+            }
+        }
+    }
+
+    /// Total instance count.
+    pub fn total_count(&self) -> u64 {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Total coverage in seconds.
+    pub fn total_coverage(&self) -> f64 {
+        self.entries.iter().map(|e| e.coverage).sum()
+    }
+}
+
+/// One node of the frame tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameNode {
+    /// Interval start.
+    pub t0: f64,
+    /// Interval end.
+    pub t1: f64,
+    /// Depth (root = 0).
+    pub depth: u32,
+    /// Drawables stored at this node: fully inside `[t0, t1]` but
+    /// straddling the midpoint (or the node is a leaf).
+    pub drawables: Vec<Drawable>,
+    /// Aggregate over this node's whole subtree (own + descendants).
+    pub preview: Preview,
+    /// Children halves, if split.
+    pub children: Option<Box<(FrameNode, FrameNode)>>,
+}
+
+impl FrameNode {
+    /// Is this a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// The tree plus its build parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTree {
+    /// Root node covering the full time range.
+    pub root: FrameNode,
+    /// Split threshold (max drawables a node may hold before splitting).
+    pub capacity: usize,
+    /// Depth limit.
+    pub max_depth: u32,
+}
+
+impl FrameTree {
+    /// Build a tree over `[t0, t1]` from `drawables`.
+    ///
+    /// Every drawable must satisfy `t0 <= start && end <= t1`; the
+    /// converter guarantees this by using the log's global range.
+    pub fn build(drawables: Vec<Drawable>, t0: f64, t1: f64, capacity: usize, max_depth: u32) -> FrameTree {
+        let capacity = capacity.max(1);
+        let root = build_node(drawables, t0, t1, 0, capacity, max_depth);
+        FrameTree {
+            root,
+            capacity,
+            max_depth,
+        }
+    }
+
+    /// All drawables intersecting the closed window `[a, b]`.
+    pub fn query(&self, a: f64, b: f64) -> Vec<&Drawable> {
+        let mut out = Vec::new();
+        query_node(&self.root, a, b, &mut out);
+        out
+    }
+
+    /// Exact per-category coverage *clipped to* the window `[a, b]`.
+    /// Used by the renderer to draw proportional preview stripes.
+    pub fn window_preview(&self, a: f64, b: f64) -> Preview {
+        let mut p = Preview::default();
+        window_preview_node(&self.root, a, b, &mut p);
+        p
+    }
+
+    /// Visit every node, parents before children.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a FrameNode)) {
+        visit_node(&self.root, f)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Deepest node depth.
+    pub fn depth(&self) -> u32 {
+        let mut d = 0;
+        self.visit(&mut |n| d = d.max(n.depth));
+        d
+    }
+
+    /// Total drawables stored in the tree.
+    pub fn total_drawables(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |node| n += node.drawables.len());
+        n
+    }
+}
+
+fn build_node(
+    items: Vec<Drawable>,
+    t0: f64,
+    t1: f64,
+    depth: u32,
+    capacity: usize,
+    max_depth: u32,
+) -> FrameNode {
+    let mut preview = Preview::default();
+    for d in &items {
+        preview.add(d.category(), d.duration());
+    }
+
+    let splittable = items.len() > capacity && depth < max_depth && t1 > t0;
+    if !splittable {
+        return FrameNode {
+            t0,
+            t1,
+            depth,
+            drawables: items,
+            preview,
+            children: None,
+        };
+    }
+
+    let mid = t0 + (t1 - t0) / 2.0;
+    let mut here = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for d in items {
+        if d.end() <= mid {
+            left.push(d);
+        } else if d.start() >= mid {
+            right.push(d);
+        } else {
+            here.push(d);
+        }
+    }
+    if left.is_empty() && right.is_empty() {
+        // Everything straddles the midpoint; splitting gains nothing.
+        return FrameNode {
+            t0,
+            t1,
+            depth,
+            drawables: here,
+            preview,
+            children: None,
+        };
+    }
+    let lchild = build_node(left, t0, mid, depth + 1, capacity, max_depth);
+    let rchild = build_node(right, mid, t1, depth + 1, capacity, max_depth);
+    FrameNode {
+        t0,
+        t1,
+        depth,
+        drawables: here,
+        preview,
+        children: Some(Box::new((lchild, rchild))),
+    }
+}
+
+fn query_node<'a>(node: &'a FrameNode, a: f64, b: f64, out: &mut Vec<&'a Drawable>) {
+    if node.t0 > b || node.t1 < a {
+        return;
+    }
+    for d in &node.drawables {
+        if d.intersects(a, b) {
+            out.push(d);
+        }
+    }
+    if let Some(ch) = &node.children {
+        query_node(&ch.0, a, b, out);
+        query_node(&ch.1, a, b, out);
+    }
+}
+
+fn window_preview_node(node: &FrameNode, a: f64, b: f64, acc: &mut Preview) {
+    if node.t0 > b || node.t1 < a {
+        return;
+    }
+    if a <= node.t0 && node.t1 <= b {
+        // Entire subtree inside the window: use the precomputed aggregate.
+        acc.merge(&node.preview);
+        return;
+    }
+    for d in &node.drawables {
+        if d.intersects(a, b) {
+            let clipped = (d.end().min(b) - d.start().max(a)).max(0.0);
+            acc.add(d.category(), clipped);
+        }
+    }
+    if let Some(ch) = &node.children {
+        window_preview_node(&ch.0, a, b, acc);
+        window_preview_node(&ch.1, a, b, acc);
+    }
+}
+
+fn visit_node<'a>(node: &'a FrameNode, f: &mut impl FnMut(&'a FrameNode)) {
+    f(node);
+    if let Some(ch) = &node.children {
+        visit_node(&ch.0, f);
+        visit_node(&ch.1, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drawable::{EventDrawable, StateDrawable};
+
+    fn state(cat: u32, start: f64, end: f64) -> Drawable {
+        Drawable::State(StateDrawable {
+            category: cat,
+            timeline: 0,
+            start,
+            end,
+            nest_level: 0,
+            text: String::new(),
+        })
+    }
+
+    fn event(cat: u32, t: f64) -> Drawable {
+        Drawable::Event(EventDrawable {
+            category: cat,
+            timeline: 0,
+            time: t,
+            text: String::new(),
+        })
+    }
+
+    #[test]
+    fn small_input_stays_a_leaf() {
+        let t = FrameTree::build(vec![state(0, 0.0, 1.0)], 0.0, 10.0, 8, 10);
+        assert!(t.root.is_leaf());
+        assert_eq!(t.total_drawables(), 1);
+    }
+
+    #[test]
+    fn large_input_splits() {
+        let ds: Vec<_> = (0..100).map(|i| event(0, i as f64 / 10.0)).collect();
+        let t = FrameTree::build(ds, 0.0, 10.0, 8, 16);
+        assert!(!t.root.is_leaf());
+        assert_eq!(t.total_drawables(), 100);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn straddlers_stay_at_parent() {
+        // One long state across the midpoint plus many short ones.
+        let mut ds = vec![state(0, 1.0, 9.0)];
+        ds.extend((0..20).map(|i| event(1, i as f64 / 4.0)));
+        let t = FrameTree::build(ds, 0.0, 10.0, 4, 8);
+        assert!(t
+            .root
+            .drawables
+            .iter()
+            .any(|d| matches!(d, Drawable::State(s) if s.start == 1.0 && s.end == 9.0)));
+    }
+
+    #[test]
+    fn query_returns_exactly_intersecting() {
+        let ds = vec![
+            state(0, 0.0, 1.0),
+            state(0, 2.0, 3.0),
+            state(0, 4.0, 5.0),
+            event(1, 2.5),
+        ];
+        let t = FrameTree::build(ds, 0.0, 5.0, 2, 8);
+        let hits = t.query(2.0, 3.0);
+        assert_eq!(hits.len(), 2);
+        let hits = t.query(1.5, 1.9);
+        assert!(hits.is_empty());
+        let hits = t.query(0.0, 5.0);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn node_intervals_contain_their_drawables() {
+        let ds: Vec<_> = (0..200)
+            .map(|i| state(0, i as f64 * 0.05, i as f64 * 0.05 + 0.04))
+            .collect();
+        let t = FrameTree::build(ds, 0.0, 10.0, 4, 12);
+        t.visit(&mut |n| {
+            for d in &n.drawables {
+                assert!(n.t0 <= d.start() && d.end() <= n.t1, "node [{}, {}] holds drawable [{}, {}]", n.t0, n.t1, d.start(), d.end());
+            }
+        });
+    }
+
+    #[test]
+    fn children_partition_parent_interval() {
+        let ds: Vec<_> = (0..100).map(|i| event(0, i as f64 * 0.1)).collect();
+        let t = FrameTree::build(ds, 0.0, 10.0, 4, 12);
+        t.visit(&mut |n| {
+            if let Some(ch) = &n.children {
+                assert_eq!(ch.0.t0, n.t0);
+                assert_eq!(ch.0.t1, ch.1.t0);
+                assert_eq!(ch.1.t1, n.t1);
+                assert_eq!(ch.0.depth, n.depth + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn preview_counts_match_subtree() {
+        let ds: Vec<_> = (0..50)
+            .map(|i| state(i % 3, i as f64 * 0.2, i as f64 * 0.2 + 0.1))
+            .collect();
+        let t = FrameTree::build(ds.clone(), 0.0, 10.1, 4, 10);
+        assert_eq!(t.root.preview.total_count(), 50);
+        for cat in 0..3u32 {
+            let want = ds.iter().filter(|d| d.category() == cat).count() as u64;
+            let got = t
+                .root
+                .preview
+                .entries
+                .iter()
+                .find(|e| e.category == cat)
+                .map(|e| e.count)
+                .unwrap_or(0);
+            assert_eq!(got, want, "category {cat}");
+        }
+    }
+
+    #[test]
+    fn window_preview_clips_durations() {
+        let ds = vec![state(0, 0.0, 4.0)];
+        let t = FrameTree::build(ds, 0.0, 4.0, 8, 4);
+        let p = t.window_preview(1.0, 2.0);
+        assert_eq!(p.entries.len(), 1);
+        assert!((p.entries[0].coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_preview_full_range_equals_root_preview() {
+        let ds: Vec<_> = (0..30)
+            .map(|i| state(i % 2, i as f64 * 0.3, i as f64 * 0.3 + 0.2))
+            .collect();
+        let t = FrameTree::build(ds, 0.0, 10.0, 4, 10);
+        let p = t.window_preview(0.0, 10.0);
+        assert_eq!(p, t.root.preview);
+    }
+
+    #[test]
+    fn degenerate_range_is_fine() {
+        // All drawables at one instant — t0 == t1.
+        let ds: Vec<_> = (0..10).map(|_| event(0, 5.0)).collect();
+        let t = FrameTree::build(ds, 5.0, 5.0, 2, 8);
+        assert_eq!(t.total_drawables(), 10);
+        assert_eq!(t.query(5.0, 5.0).len(), 10);
+    }
+
+    #[test]
+    fn capacity_zero_clamped_to_one() {
+        let ds: Vec<_> = (0..4).map(|i| event(0, i as f64)).collect();
+        let t = FrameTree::build(ds, 0.0, 3.0, 0, 8);
+        assert_eq!(t.capacity, 1);
+        assert_eq!(t.total_drawables(), 4);
+    }
+}

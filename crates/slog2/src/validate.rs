@@ -1,0 +1,344 @@
+//! SLOG2 integrity validation.
+//!
+//! The paper warns that a "non well-behaved" program can "produce a
+//! defective SLOG-2 file that cannot be properly displayed". Our
+//! converter refuses to emit structurally invalid files, but files also
+//! arrive from disk; [`validate`] checks every structural invariant the
+//! viewer relies on so a defect is reported as a diagnosis instead of a
+//! wrong picture.
+
+use crate::drawable::{CategoryKind, Drawable};
+use crate::file::Slog2File;
+use crate::tree::FrameNode;
+
+/// A structural defect found in an SLOG2 file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Defect {
+    /// A drawable references a category index with no definition.
+    UnknownCategory {
+        /// The dangling index.
+        category: u32,
+    },
+    /// A drawable references a timeline beyond the timeline table.
+    UnknownTimeline {
+        /// The dangling rank.
+        timeline: u32,
+    },
+    /// A drawable's kind disagrees with its category's kind.
+    KindMismatch {
+        /// Category index.
+        category: u32,
+        /// The category's declared kind.
+        declared: CategoryKind,
+    },
+    /// A state with `end < start`.
+    NegativeDuration {
+        /// Category index.
+        category: u32,
+        /// Start.
+        start: f64,
+        /// End.
+        end: f64,
+    },
+    /// A drawable outside its frame node's interval.
+    OutOfFrame {
+        /// Node interval.
+        node: (f64, f64),
+        /// Drawable interval.
+        drawable: (f64, f64),
+    },
+    /// Children do not partition their parent's interval.
+    BrokenPartition {
+        /// Parent interval.
+        parent: (f64, f64),
+    },
+    /// A node's preview count disagrees with its subtree contents.
+    PreviewMismatch {
+        /// Node interval.
+        node: (f64, f64),
+        /// Preview total.
+        preview: u64,
+        /// Actual drawables in subtree.
+        actual: u64,
+    },
+    /// A drawable outside the file's declared global range.
+    OutOfRange {
+        /// Drawable interval.
+        drawable: (f64, f64),
+    },
+    /// Category indices are not unique.
+    DuplicateCategoryIndex {
+        /// The repeated index.
+        category: u32,
+    },
+    /// A non-finite timestamp.
+    NonFiniteTime,
+}
+
+impl std::fmt::Display for Defect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Defect::UnknownCategory { category } => {
+                write!(f, "drawable references undefined category {category}")
+            }
+            Defect::UnknownTimeline { timeline } => {
+                write!(f, "drawable references undefined timeline {timeline}")
+            }
+            Defect::KindMismatch { category, declared } => {
+                write!(f, "drawable kind disagrees with category {category} ({declared:?})")
+            }
+            Defect::NegativeDuration { category, start, end } => {
+                write!(f, "state of category {category} runs backward: [{start}, {end}]")
+            }
+            Defect::OutOfFrame { node, drawable } => write!(
+                f,
+                "drawable [{}, {}] outside its frame [{}, {}]",
+                drawable.0, drawable.1, node.0, node.1
+            ),
+            Defect::BrokenPartition { parent } => {
+                write!(f, "children do not partition frame [{}, {}]", parent.0, parent.1)
+            }
+            Defect::PreviewMismatch { node, preview, actual } => write!(
+                f,
+                "frame [{}, {}] preview says {preview} drawables, subtree has {actual}",
+                node.0, node.1
+            ),
+            Defect::OutOfRange { drawable } => write!(
+                f,
+                "drawable [{}, {}] outside the file's declared range",
+                drawable.0, drawable.1
+            ),
+            Defect::DuplicateCategoryIndex { category } => {
+                write!(f, "category index {category} defined more than once")
+            }
+            Defect::NonFiniteTime => write!(f, "non-finite timestamp"),
+        }
+    }
+}
+
+fn subtree_count(node: &FrameNode) -> u64 {
+    let mut n = node.drawables.len() as u64;
+    if let Some(ch) = &node.children {
+        n += subtree_count(&ch.0) + subtree_count(&ch.1);
+    }
+    n
+}
+
+/// Validate a file, returning every defect found (empty = sound).
+pub fn validate(file: &Slog2File) -> Vec<Defect> {
+    let mut defects = Vec::new();
+
+    // Category table.
+    let mut seen = std::collections::HashSet::new();
+    for c in &file.categories {
+        if !seen.insert(c.index) {
+            defects.push(Defect::DuplicateCategoryIndex { category: c.index });
+        }
+    }
+    let cat_kind = |idx: u32| file.categories.iter().find(|c| c.index == idx).map(|c| c.kind);
+    let ntl = file.timelines.len() as u32;
+
+    // Per-drawable checks + frame containment + previews, via the tree.
+    let mut stack = vec![&file.tree.root];
+    while let Some(node) = stack.pop() {
+        let actual = subtree_count(node);
+        let preview = node.preview.total_count();
+        if actual != preview {
+            defects.push(Defect::PreviewMismatch {
+                node: (node.t0, node.t1),
+                preview,
+                actual,
+            });
+        }
+        if let Some(ch) = &node.children {
+            if ch.0.t0 != node.t0 || ch.0.t1 != ch.1.t0 || ch.1.t1 != node.t1 {
+                defects.push(Defect::BrokenPartition {
+                    parent: (node.t0, node.t1),
+                });
+            }
+            stack.push(&ch.0);
+            stack.push(&ch.1);
+        }
+        for d in &node.drawables {
+            if !d.start().is_finite() || !d.end().is_finite() {
+                defects.push(Defect::NonFiniteTime);
+                continue;
+            }
+            if d.start() < node.t0 || d.end() > node.t1 {
+                defects.push(Defect::OutOfFrame {
+                    node: (node.t0, node.t1),
+                    drawable: (d.start(), d.end()),
+                });
+            }
+            if d.start() < file.range.0 || d.end() > file.range.1 {
+                defects.push(Defect::OutOfRange {
+                    drawable: (d.start(), d.end()),
+                });
+            }
+            let (cat, timelines, want_kind): (u32, Vec<u32>, CategoryKind) = match d {
+                Drawable::State(s) => {
+                    if s.end < s.start {
+                        defects.push(Defect::NegativeDuration {
+                            category: s.category,
+                            start: s.start,
+                            end: s.end,
+                        });
+                    }
+                    (s.category, vec![s.timeline], CategoryKind::State)
+                }
+                Drawable::Event(e) => (e.category, vec![e.timeline], CategoryKind::Event),
+                Drawable::Arrow(a) => (
+                    a.category,
+                    vec![a.from_timeline, a.to_timeline],
+                    CategoryKind::Arrow,
+                ),
+            };
+            match cat_kind(cat) {
+                None => defects.push(Defect::UnknownCategory { category: cat }),
+                Some(k) if k != want_kind => defects.push(Defect::KindMismatch {
+                    category: cat,
+                    declared: k,
+                }),
+                _ => {}
+            }
+            for tl in timelines {
+                if tl >= ntl {
+                    defects.push(Defect::UnknownTimeline { timeline: tl });
+                }
+            }
+        }
+    }
+    defects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drawable::{Category, StateDrawable};
+    use crate::tree::FrameTree;
+    use mpelog::Color;
+
+    fn sound_file() -> Slog2File {
+        let ds = vec![Drawable::State(StateDrawable {
+            category: 0,
+            timeline: 0,
+            start: 1.0,
+            end: 2.0,
+            nest_level: 0,
+            text: String::new(),
+        })];
+        Slog2File {
+            timelines: vec!["P0".into()],
+            categories: vec![Category {
+                index: 0,
+                name: "s".into(),
+                color: Color::RED,
+                kind: CategoryKind::State,
+            }],
+            range: (0.0, 3.0),
+            warnings: vec![],
+            tree: FrameTree::build(ds, 0.0, 3.0, 8, 4),
+        }
+    }
+
+    #[test]
+    fn sound_file_has_no_defects() {
+        assert!(validate(&sound_file()).is_empty());
+    }
+
+    #[test]
+    fn converted_files_are_sound() {
+        // Anything the converter produces must validate.
+        use mpelog::Logger;
+        let mut lg = Logger::new(0);
+        let (s, e) = lg.define_state("PI_Write", Color::GREEN);
+        lg.log_event(1.0, s, "");
+        lg.log_send(1.1, 1, 5, 4);
+        lg.log_event(1.2, e, "");
+        let mut lg1 = Logger::new(1);
+        let _ = lg1.define_state("PI_Write", Color::GREEN);
+        lg1.log_receive(1.3, 0, 5, 4);
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg.records().to_vec());
+        blocks.insert(1u32, lg1.records().to_vec());
+        let clog = mpelog::Clog2File {
+            nranks: 2,
+            state_defs: lg.state_defs().to_vec(),
+            event_defs: vec![],
+            blocks,
+        };
+        let (file, _) = crate::convert(&clog, &Default::default());
+        assert!(validate(&file).is_empty(), "{:?}", validate(&file));
+    }
+
+    #[test]
+    fn unknown_category_is_flagged() {
+        let mut f = sound_file();
+        f.categories.clear();
+        let defects = validate(&f);
+        assert!(defects.iter().any(|d| matches!(d, Defect::UnknownCategory { category: 0 })));
+    }
+
+    #[test]
+    fn unknown_timeline_is_flagged() {
+        let mut f = sound_file();
+        f.timelines.clear();
+        assert!(validate(&f)
+            .iter()
+            .any(|d| matches!(d, Defect::UnknownTimeline { timeline: 0 })));
+    }
+
+    #[test]
+    fn kind_mismatch_is_flagged() {
+        let mut f = sound_file();
+        f.categories[0].kind = CategoryKind::Event;
+        assert!(validate(&f)
+            .iter()
+            .any(|d| matches!(d, Defect::KindMismatch { category: 0, .. })));
+    }
+
+    #[test]
+    fn out_of_range_is_flagged() {
+        let mut f = sound_file();
+        f.range = (1.5, 1.6);
+        assert!(validate(&f)
+            .iter()
+            .any(|d| matches!(d, Defect::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn duplicate_category_is_flagged() {
+        let mut f = sound_file();
+        let dup = f.categories[0].clone();
+        f.categories.push(dup);
+        assert!(validate(&f)
+            .iter()
+            .any(|d| matches!(d, Defect::DuplicateCategoryIndex { category: 0 })));
+    }
+
+    #[test]
+    fn tampered_preview_is_flagged() {
+        let mut f = sound_file();
+        f.tree.root.preview.entries[0].count += 5;
+        assert!(validate(&f)
+            .iter()
+            .any(|d| matches!(d, Defect::PreviewMismatch { .. })));
+    }
+
+    #[test]
+    fn negative_duration_is_flagged() {
+        let ds = vec![Drawable::State(StateDrawable {
+            category: 0,
+            timeline: 0,
+            start: 2.0,
+            end: 1.0,
+            nest_level: 0,
+            text: String::new(),
+        })];
+        let mut f = sound_file();
+        f.tree = FrameTree::build(ds, 0.0, 3.0, 8, 4);
+        assert!(validate(&f)
+            .iter()
+            .any(|d| matches!(d, Defect::NegativeDuration { .. })));
+    }
+}

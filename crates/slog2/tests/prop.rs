@@ -1,0 +1,292 @@
+//! Property tests: frame-tree invariants, container round trips, and
+//! conversion against randomized logs.
+
+use mpelog::record::Record;
+use mpelog::{Clog2File, Color, Logger};
+use proptest::prelude::*;
+use slog2::{convert, legend_stats, ConvertOptions, Drawable, FrameTree, Slog2File};
+use slog2::{Category, CategoryKind, EventDrawable, StateDrawable};
+
+fn arb_drawable() -> impl Strategy<Value = Drawable> {
+    prop_oneof![
+        (0u32..4, 0u32..4, 0f64..100.0, 0f64..5.0).prop_map(|(cat, tl, start, dur)| {
+            Drawable::State(StateDrawable {
+                category: cat,
+                timeline: tl,
+                start,
+                end: start + dur,
+                nest_level: 0,
+                text: String::new(),
+            })
+        }),
+        (4u32..6, 0u32..4, 0f64..105.0).prop_map(|(cat, tl, t)| {
+            Drawable::Event(EventDrawable {
+                category: cat,
+                timeline: tl,
+                time: t,
+                text: String::new(),
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tree_holds_every_drawable_exactly_once(
+        ds in proptest::collection::vec(arb_drawable(), 0..300),
+        capacity in 1usize..64,
+    ) {
+        let tree = FrameTree::build(ds.clone(), 0.0, 105.0, capacity, 12);
+        prop_assert_eq!(tree.total_drawables(), ds.len());
+        // Every original drawable is found by a full-range query.
+        let hits = tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        prop_assert_eq!(hits.len(), ds.len());
+    }
+
+    #[test]
+    fn tree_nodes_contain_their_drawables(
+        ds in proptest::collection::vec(arb_drawable(), 0..200),
+        capacity in 1usize..32,
+    ) {
+        let tree = FrameTree::build(ds, 0.0, 105.0, capacity, 12);
+        tree.visit(&mut |node| {
+            for d in &node.drawables {
+                assert!(node.t0 <= d.start() && d.end() <= node.t1);
+            }
+            if let Some(ch) = &node.children {
+                assert_eq!(ch.0.t0, node.t0);
+                assert_eq!(ch.0.t1, ch.1.t0);
+                assert_eq!(ch.1.t1, node.t1);
+            }
+        });
+    }
+
+    #[test]
+    fn tree_query_equals_naive_filter(
+        ds in proptest::collection::vec(arb_drawable(), 0..200),
+        a in 0f64..105.0,
+        span in 0f64..50.0,
+    ) {
+        let b = a + span;
+        let tree = FrameTree::build(ds.clone(), 0.0, 105.0, 8, 12);
+        let mut got: Vec<String> = tree.query(a, b).iter().map(|d| format!("{d:?}")).collect();
+        let mut want: Vec<String> = ds
+            .iter()
+            .filter(|d| d.intersects(a, b))
+            .map(|d| format!("{d:?}"))
+            .collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn root_preview_counts_and_coverage_match(
+        ds in proptest::collection::vec(arb_drawable(), 0..150),
+    ) {
+        let tree = FrameTree::build(ds.clone(), 0.0, 105.0, 8, 12);
+        prop_assert_eq!(tree.root.preview.total_count(), ds.len() as u64);
+        let want: f64 = ds.iter().map(|d| d.duration()).sum();
+        let got = tree.root.preview.total_coverage();
+        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+    }
+
+    #[test]
+    fn slog_file_roundtrips(
+        ds in proptest::collection::vec(arb_drawable(), 0..150),
+        capacity in 1usize..32,
+    ) {
+        let categories: Vec<Category> = (0..6)
+            .map(|i| Category {
+                index: i,
+                name: format!("cat{i}"),
+                color: Color::GRAY,
+                kind: if i < 4 { CategoryKind::State } else { CategoryKind::Event },
+            })
+            .collect();
+        let file = Slog2File {
+            timelines: (0..4).map(|r| format!("P{r}")).collect(),
+            categories,
+            range: (0.0, 105.0),
+            warnings: vec!["w".into()],
+            tree: FrameTree::build(ds, 0.0, 105.0, capacity, 12),
+        };
+        let back = Slog2File::from_bytes(&file.to_bytes()).unwrap();
+        prop_assert_eq!(back, file);
+    }
+
+    #[test]
+    fn truncated_slog_never_panics(
+        ds in proptest::collection::vec(arb_drawable(), 0..40),
+        frac in 0f64..1.0,
+    ) {
+        let file = Slog2File {
+            timelines: vec!["P0".into()],
+            categories: vec![],
+            range: (0.0, 105.0),
+            warnings: vec![],
+            tree: FrameTree::build(ds, 0.0, 105.0, 8, 8),
+        };
+        let bytes = file.to_bytes();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let _ = Slog2File::from_bytes(&bytes[..cut]); // must not panic
+    }
+
+    #[test]
+    fn legend_inclusive_matches_raw_durations(
+        ds in proptest::collection::vec(arb_drawable(), 0..150),
+    ) {
+        let categories: Vec<Category> = (0..6)
+            .map(|i| Category {
+                index: i,
+                name: format!("cat{i}"),
+                color: Color::GRAY,
+                kind: CategoryKind::State,
+            })
+            .collect();
+        let file = Slog2File {
+            timelines: (0..4).map(|r| format!("P{r}")).collect(),
+            categories,
+            range: (0.0, 105.0),
+            warnings: vec![],
+            tree: FrameTree::build(ds.clone(), 0.0, 105.0, 16, 10),
+        };
+        let stats = legend_stats(&file);
+        for cat in 0..6u32 {
+            let want: f64 = ds
+                .iter()
+                .filter(|d| d.category() == cat)
+                .map(|d| d.duration())
+                .sum();
+            let got = stats[&cat].inclusive;
+            prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()),
+                "cat {cat}: {got} vs {want}");
+            // Exclusive never exceeds inclusive and never goes negative
+            // by more than rounding.
+            prop_assert!(stats[&cat].exclusive <= got + 1e-9);
+        }
+    }
+}
+
+// Build a random-but-well-formed log through the Logger API and check
+// the converter pairs everything without warnings.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conversion_of_well_formed_logs_is_warning_free(
+        calls_per_rank in proptest::collection::vec(1usize..20, 2..4),
+    ) {
+        let nranks = calls_per_rank.len();
+        let mut blocks = std::collections::BTreeMap::new();
+        let mut defs = None;
+        for (r, &calls) in calls_per_rank.iter().enumerate() {
+            let mut lg = Logger::new(r);
+            let (s_id, e_id) = lg.define_state("call", Color::GREEN);
+            let solo = lg.define_event("tick", Color::YELLOW);
+            let mut t = r as f64 * 0.001;
+            for i in 0..calls {
+                lg.log_event(t, s_id, "Line: 1");
+                t += 0.01;
+                if i % 3 == 0 {
+                    lg.log_event(t, solo, "");
+                    t += 0.001;
+                }
+                lg.log_event(t, e_id, "");
+                t += 0.005;
+            }
+            if defs.is_none() {
+                defs = Some((lg.state_defs().to_vec(), lg.event_defs().to_vec()));
+            }
+            blocks.insert(r as u32, lg.records().to_vec());
+        }
+        let (state_defs, event_defs) = defs.unwrap();
+        let clog = Clog2File { nranks: nranks as u32, state_defs, event_defs, blocks };
+        let (file, warnings) = convert(&clog, &ConvertOptions::default());
+        prop_assert!(warnings.is_empty(), "{warnings:?}");
+        let want_states: usize = calls_per_rank.iter().sum();
+        let stats = legend_stats(&file);
+        let cat = file.category_by_name("call").unwrap().index;
+        prop_assert_eq!(stats[&cat].count as usize, want_states);
+    }
+
+    #[test]
+    fn conversion_of_shuffled_raw_records_never_panics(
+        records in proptest::collection::vec(
+            prop_oneof![
+                (0f64..10.0, 0u32..8).prop_map(|(ts, id)| Record::Event {
+                    ts,
+                    id: mpelog::ids::EventId(id),
+                    text: String::new(),
+                }),
+                (0f64..10.0, 0u32..3, 0u32..5, 0u32..64).prop_map(|(ts, dst, tag, size)| {
+                    Record::Send { ts, dst, tag, size }
+                }),
+                (0f64..10.0, 0u32..3, 0u32..5, 0u32..64).prop_map(|(ts, src, tag, size)| {
+                    Record::Recv { ts, src, tag, size }
+                }),
+            ],
+            0..60,
+        ),
+    ) {
+        // Arbitrary (possibly ill-formed) record streams: the converter
+        // must classify problems as warnings, never panic, and its
+        // output must still serialize.
+        let mut lg = Logger::new(0);
+        let _ = lg.define_state("s", Color::RED);
+        let _ = lg.define_event("e", Color::YELLOW);
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, records);
+        let clog = Clog2File {
+            nranks: 3,
+            state_defs: lg.state_defs().to_vec(),
+            event_defs: lg.event_defs().to_vec(),
+            blocks,
+        };
+        let (file, _warnings) = convert(&clog, &ConvertOptions::default());
+        let back = Slog2File::from_bytes(&file.to_bytes()).unwrap();
+        prop_assert_eq!(back.total_drawables(), file.total_drawables());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn converted_files_always_validate(
+        records in proptest::collection::vec(
+            prop_oneof![
+                (0f64..10.0, 0u32..6).prop_map(|(ts, id)| Record::Event {
+                    ts,
+                    id: mpelog::ids::EventId(id),
+                    text: String::new(),
+                }),
+                (0f64..10.0, 0u32..3, 0u32..5, 0u32..64).prop_map(|(ts, dst, tag, size)| {
+                    Record::Send { ts, dst, tag, size }
+                }),
+                (0f64..10.0, 0u32..3, 0u32..5, 0u32..64).prop_map(|(ts, src, tag, size)| {
+                    Record::Recv { ts, src, tag, size }
+                }),
+            ],
+            0..60,
+        ),
+    ) {
+        // Whatever garbage goes in, the converter's output must be a
+        // structurally sound SLOG2 file (defects become warnings, never
+        // broken geometry) — the "defective file" guarantee.
+        let mut lg = Logger::new(0);
+        let _ = lg.define_state("s", Color::RED);
+        let _ = lg.define_event("e", Color::YELLOW);
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, records);
+        let clog = Clog2File {
+            nranks: 3,
+            state_defs: lg.state_defs().to_vec(),
+            event_defs: lg.event_defs().to_vec(),
+            blocks,
+        };
+        let (file, _warnings) = convert(&clog, &ConvertOptions::default());
+        let defects = slog2::validate(&file);
+        prop_assert!(defects.is_empty(), "{defects:?}");
+    }
+}

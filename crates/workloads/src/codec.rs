@@ -1,0 +1,259 @@
+//! A deterministic stand-in for libjpeg.
+//!
+//! The thumbnail application's cost profile is what matters for the
+//! paper's experiments: decompression dominates, the pipeline is
+//! compute-bound, and per-image work is stable. This module supplies
+//! that with a reversible blocked transform ("DCT-lite"): 8×8 butterfly
+//! passes plus a permutation, repeated `work_factor` times. `decode`
+//! applies the exact inverse, so tests can verify the pipeline moves
+//! real data, not just bytes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixel bytes, `width * height` long.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Deterministic synthetic image for a given file id.
+    pub fn synthetic(file_id: u64, width: usize, height: usize) -> Image {
+        let mut rng = SmallRng::seed_from_u64(0x7EED_u64 ^ file_id);
+        let pixels = (0..width * height)
+            .map(|i| {
+                // Smooth gradient + noise: compressible but nontrivial.
+                let base = ((i % width) * 255 / width.max(1)) as u8;
+                base.wrapping_add(rng.gen_range(0..32))
+            })
+            .collect();
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Crop out the centred `fraction` of the pixel area (the paper's
+    /// thumbnailer keeps the centre 32%). Fraction applies to the area;
+    /// each dimension keeps `sqrt(fraction)`.
+    pub fn crop_center(&self, fraction: f64) -> Image {
+        let keep = fraction.clamp(0.01, 1.0).sqrt();
+        let w = ((self.width as f64 * keep) as usize).max(1);
+        let h = ((self.height as f64 * keep) as usize).max(1);
+        let x0 = (self.width - w) / 2;
+        let y0 = (self.height - h) / 2;
+        let mut pixels = Vec::with_capacity(w * h);
+        for y in 0..h {
+            let row = (y0 + y) * self.width + x0;
+            pixels.extend_from_slice(&self.pixels[row..row + w]);
+        }
+        Image {
+            width: w,
+            height: h,
+            pixels,
+        }
+    }
+
+    /// Keep every `step`-th pixel in both dimensions (the paper's
+    /// down-sampling sends every third pixel).
+    pub fn downsample(&self, step: usize) -> Image {
+        let step = step.max(1);
+        let w = self.width.div_ceil(step);
+        let h = self.height.div_ceil(step);
+        let mut pixels = Vec::with_capacity(w * h);
+        for y in (0..self.height).step_by(step) {
+            for x in (0..self.width).step_by(step) {
+                pixels.push(self.pixels[y * self.width + x]);
+            }
+        }
+        Image {
+            width: w,
+            height: h,
+            pixels,
+        }
+    }
+
+    /// A cheap order-independent checksum for end-to-end verification.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for &b in &self.pixels {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^ ((self.width as u64) << 32 | self.height as u64)
+    }
+}
+
+const BLOCK: usize = 64;
+
+fn forward_pass(data: &mut [u8]) {
+    for chunk in data.chunks_mut(BLOCK) {
+        // Feistel-style pairwise mix (exactly invertible mod 256).
+        let n = chunk.len();
+        for i in 0..n / 2 {
+            let b = chunk[2 * i + 1];
+            chunk[2 * i] = chunk[2 * i].wrapping_add(b);
+            chunk[2 * i + 1] = b ^ chunk[2 * i];
+        }
+        // Bit-rotate each byte: cheap diffusion.
+        for v in chunk.iter_mut() {
+            *v = v.rotate_left(3);
+        }
+    }
+}
+
+fn inverse_pass(data: &mut [u8]) {
+    for chunk in data.chunks_mut(BLOCK) {
+        for v in chunk.iter_mut() {
+            *v = v.rotate_right(3);
+        }
+        let n = chunk.len();
+        for i in 0..n / 2 {
+            let b = chunk[2 * i + 1] ^ chunk[2 * i];
+            chunk[2 * i] = chunk[2 * i].wrapping_sub(b);
+            chunk[2 * i + 1] = b;
+        }
+    }
+}
+
+/// "Compress" an image: `work_factor` forward passes over the pixels,
+/// prefixed by a small header. The output length equals
+/// `8 + pixel count` (our codec models compute cost, not entropy
+/// coding).
+pub fn encode(img: &Image, work_factor: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + img.pixels.len());
+    out.extend_from_slice(&(img.width as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height as u32).to_le_bytes());
+    let mut body = img.pixels.clone();
+    for _ in 0..work_factor.max(1) {
+        forward_pass(&mut body);
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Invert [`encode`].
+pub fn decode(bytes: &[u8], work_factor: u32) -> Option<Image> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let width = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let height = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    let mut body = bytes[8..].to_vec();
+    if body.len() != width * height {
+        return None;
+    }
+    for _ in 0..work_factor.max(1) {
+        inverse_pass(&mut body);
+    }
+    Some(Image {
+        width,
+        height,
+        pixels: body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_images_are_deterministic() {
+        let a = Image::synthetic(7, 64, 48);
+        let b = Image::synthetic(7, 64, 48);
+        assert_eq!(a, b);
+        let c = Image::synthetic(8, 64, 48);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let img = Image::synthetic(1, 96, 64);
+        for wf in [1, 3, 10] {
+            let bytes = encode(&img, wf);
+            let back = decode(&bytes, wf).unwrap();
+            assert_eq!(back, img, "work_factor {wf}");
+        }
+    }
+
+    #[test]
+    fn wrong_work_factor_garbles() {
+        let img = Image::synthetic(2, 64, 64);
+        let bytes = encode(&img, 4);
+        let back = decode(&bytes, 2).unwrap();
+        assert_ne!(back, img);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_input() {
+        assert!(decode(&[], 1).is_none());
+        assert!(decode(&[0u8; 7], 1).is_none());
+        let img = Image::synthetic(0, 8, 8);
+        let mut bytes = encode(&img, 1);
+        bytes.truncate(bytes.len() - 3);
+        assert!(decode(&bytes, 1).is_none());
+    }
+
+    #[test]
+    fn crop_center_keeps_requested_area() {
+        let img = Image::synthetic(3, 100, 100);
+        let cropped = img.crop_center(0.32);
+        let area = cropped.width * cropped.height;
+        let frac = area as f64 / (100.0 * 100.0);
+        assert!((frac - 0.32).abs() < 0.05, "area fraction {frac}");
+        // Cropped content comes from the original.
+        assert_eq!(
+            cropped.pixels[0],
+            img.pixels[((100 - cropped.height) / 2) * 100 + (100 - cropped.width) / 2]
+        );
+    }
+
+    #[test]
+    fn downsample_every_third() {
+        let img = Image::synthetic(4, 90, 60);
+        let small = img.downsample(3);
+        assert_eq!(small.width, 30);
+        assert_eq!(small.height, 20);
+        assert_eq!(small.pixels[0], img.pixels[0]);
+        assert_eq!(small.pixels[1], img.pixels[3]);
+    }
+
+    #[test]
+    fn downsample_rounds_up_for_ragged_sizes() {
+        let img = Image::synthetic(5, 10, 10);
+        let small = img.downsample(3);
+        assert_eq!(small.width, 4); // 0,3,6,9
+        assert_eq!(small.pixels.len(), 16);
+    }
+
+    #[test]
+    fn checksum_differs_across_images() {
+        let a = Image::synthetic(1, 32, 32).checksum();
+        let b = Image::synthetic(2, 32, 32).checksum();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn work_factor_scales_cost() {
+        // More passes must take measurably longer (coarse check).
+        let img = Image::synthetic(1, 256, 256);
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            let _ = encode(&img, 1);
+        }
+        let cheap = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            let _ = encode(&img, 50);
+        }
+        let costly = t0.elapsed();
+        assert!(costly > cheap, "{costly:?} vs {cheap:?}");
+    }
+}

@@ -1,0 +1,165 @@
+//! The "lab 2" hands-on exercise (paper Fig. 3).
+//!
+//! `PI_MAIN` fills an array with numbers, sends each of `W` workers its
+//! share (size first, then the data — two `PI_Read` calls on the worker
+//! side), each worker sums its share and reports the subtotal, and main
+//! prints the grand total. The faithful transliteration of the C code in
+//! Fig. 3, including the last worker absorbing the remainder.
+
+use std::sync::Mutex;
+
+use pilot::{PilotConfig, PilotOutcome, RSlot, WSlot, PI_MAIN};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// What the run produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lab2Result {
+    /// Sum over all workers.
+    pub grand_total: i64,
+    /// Per-worker subtotal count (should equal `W`).
+    pub reports: usize,
+}
+
+/// Run lab2 with `w` workers over `num` numbers. Pass
+/// `use_autoalloc = true` for the V2.1 variant from the paper's
+/// footnote 3 (`"%^d"` replaces the two reads + malloc).
+pub fn run_lab2(
+    config: PilotConfig,
+    w: usize,
+    num: usize,
+    use_autoalloc: bool,
+) -> (PilotOutcome, Option<Lab2Result>) {
+    assert!(w >= 1);
+    assert!(
+        config.process_capacity() >= w + 1,
+        "world too small for {w} workers"
+    );
+    let result: Mutex<Option<Lab2Result>> = Mutex::new(None);
+
+    let outcome = pilot::run(config, |pi| {
+        let mut workers = Vec::new();
+        let mut to_worker = Vec::new();
+        let mut result_ch = Vec::new();
+        for i in 0..w {
+            let p = pi.create_process(i as i64)?;
+            workers.push(p);
+            to_worker.push(pi.create_channel(PI_MAIN, p)?);
+            result_ch.push(pi.create_channel(p, PI_MAIN)?);
+        }
+        for (i, &p) in workers.iter().enumerate() {
+            let (tw, rs) = (to_worker[i], result_ch[i]);
+            if use_autoalloc {
+                pi.assign_work(p, move |pi, _index| {
+                    // V2.1: one call receives length + array, allocating
+                    // the buffer automatically.
+                    let mut buff: Vec<i64> = Vec::new();
+                    pi.read(tw, "%^d", &mut [RSlot::IntVec(&mut buff)]).unwrap();
+                    let sum: i64 = buff.iter().sum();
+                    pi.write(rs, "%d", &[WSlot::Int(sum)]).unwrap();
+                    0
+                })?;
+            } else {
+                pi.assign_work(p, move |pi, _index| {
+                    let mut myshare = 0i64;
+                    pi.read(tw, "%d", &mut [RSlot::Int(&mut myshare)]).unwrap();
+                    let mut buff = vec![0i64; myshare as usize];
+                    pi.read(tw, "%*d", &mut [RSlot::IntArr(&mut buff)]).unwrap();
+                    let sum: i64 = buff.iter().sum();
+                    pi.write(rs, "%d", &[WSlot::Int(sum)]).unwrap();
+                    0
+                })?;
+            }
+        }
+        pi.start_all()?; // Workers launch, PI_MAIN continues.
+
+        // Fill the numbers array with (seeded) random numbers.
+        let mut rng = SmallRng::seed_from_u64(2016);
+        let numbers: Vec<i64> = (0..num).map(|_| rng.gen_range(0..1000)).collect();
+
+        for i in 0..w {
+            let mut portion = num / w;
+            if i == w - 1 {
+                portion += num % w;
+            }
+            let lo = i * (num / w);
+            let share = &numbers[lo..lo + portion];
+            if use_autoalloc {
+                pi.write(to_worker[i], "%^d", &[WSlot::IntArr(share)])?;
+            } else {
+                pi.write(to_worker[i], "%d", &[WSlot::Int(portion as i64)])?;
+                pi.write(to_worker[i], "%*d", &[WSlot::IntArr(share)])?;
+            }
+        }
+
+        let mut total = 0i64;
+        let mut reports = 0usize;
+        for i in 0..w {
+            let mut sum = 0i64;
+            pi.read(result_ch[i], "%d", &mut [RSlot::Int(&mut sum)])?;
+            total += sum;
+            reports += 1;
+        }
+        *result.lock().unwrap() = Some(Lab2Result {
+            grand_total: total,
+            reports,
+        });
+        pi.stop_main(0)
+    });
+
+    let result = result.into_inner().unwrap();
+    (outcome, result)
+}
+
+/// The serial reference answer.
+pub fn expected_total(num: usize) -> i64 {
+    let mut rng = SmallRng::seed_from_u64(2016);
+    (0..num).map(|_| rng.gen_range(0..1000i64)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot::Services;
+
+    #[test]
+    fn lab2_sums_correctly() {
+        let (out, result) = run_lab2(PilotConfig::new(6), 5, 10_000, false);
+        assert!(out.is_clean(), "{out:?}");
+        let r = result.unwrap();
+        assert_eq!(r.grand_total, expected_total(10_000));
+        assert_eq!(r.reports, 5);
+    }
+
+    #[test]
+    fn lab2_autoalloc_variant_matches() {
+        let (out, result) = run_lab2(PilotConfig::new(4), 3, 1000, true);
+        assert!(out.is_clean(), "{out:?}");
+        assert_eq!(result.unwrap().grand_total, expected_total(1000));
+    }
+
+    #[test]
+    fn lab2_handles_remainder_worker() {
+        // 7 numbers among 3 workers: last worker takes 3.
+        let (out, result) = run_lab2(PilotConfig::new(4), 3, 7, false);
+        assert!(out.is_clean(), "{out:?}");
+        assert_eq!(result.unwrap().grand_total, expected_total(7));
+    }
+
+    #[test]
+    fn lab2_single_worker() {
+        let (out, result) = run_lab2(PilotConfig::new(2), 1, 100, false);
+        assert!(out.is_clean(), "{out:?}");
+        assert_eq!(result.unwrap().grand_total, expected_total(100));
+    }
+
+    #[test]
+    fn lab2_with_all_services() {
+        let cfg = PilotConfig::new(7).with_services(Services::parse("cdj").unwrap());
+        let (out, result) = run_lab2(cfg, 5, 5000, false);
+        assert!(out.is_clean(), "{out:?}");
+        assert_eq!(result.unwrap().grand_total, expected_total(5000));
+        assert!(out.clog().is_some());
+        assert!(!out.artifacts.native_log.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # workloads — the paper's demonstration applications
+//!
+//! Three Pilot programs drive the paper's evaluation; all three are
+//! reproduced here against synthetic data (see DESIGN.md §2 for the
+//! substitutions):
+//!
+//! * [`thumbnail`] — the JPEG-thumbnail pipeline of Section III.D:
+//!   `PI_MAIN` ships image files to the next available decompressor
+//!   `D_i`, which crops/downsamples and forwards pixels to the single
+//!   compressor `C`, which returns thumbnails to `PI_MAIN`. Used for
+//!   Figs. 1–2 and the Table 1 overhead measurement.
+//! * [`lab2`] — the hands-on teaching exercise of Fig. 3: distribute an
+//!   array to `W` workers, each sums its share and reports back.
+//! * [`collision`] — the collision-query assignment of Section IV.B, in
+//!   three variants: the two student submissions that failed to speed up
+//!   (instance A inadvertently serializes the query loop; instance B
+//!   fails to parallelize the big file read) and a corrected version.
+//!
+//! The [`codec`] module supplies the deterministic stand-in for libjpeg:
+//! a blocked transform with a tunable work factor, so the pipeline has
+//! the same compute-bound character as the original (which is what the
+//! overhead experiment depends on).
+
+pub mod codec;
+pub mod collision;
+pub mod lab2;
+pub mod thumbnail;
+
+pub use collision::{run_collision, CollisionParams, CollisionResult, CollisionVariant};
+pub use lab2::{run_lab2, Lab2Result};
+pub use thumbnail::{run_thumbnail, ThumbnailParams, ThumbnailResult};

@@ -1,0 +1,334 @@
+//! The JPEG-thumbnail pipeline (paper Section III.D, Figs. 1–2, Table 1).
+//!
+//! Topology — a task-parallel pipeline with a data-parallel middle
+//! stage, exactly as the paper describes:
+//!
+//! ```text
+//!   PI_MAIN ──job──▶ D_1..D_k (decompress, crop 32%, downsample /3)
+//!      ▲  ◀──req──┘      │ pixels
+//!      │                 ▼
+//!      └──thumb─────  C (recompress)
+//! ```
+//!
+//! `PI_MAIN` owns all "disk" I/O (here: synthesizing the input images
+//! and collecting the thumbnails), ships each file to the **next
+//! available** decompressor (dynamic allocation via ready-tokens and
+//! `PI_Select`), and the single compressor `C` returns finished
+//! thumbnails. The application scales by adding decompressors, since
+//! decompression is the most time-consuming stage.
+
+use std::sync::Mutex;
+
+use pilot::{BundleUsage, PilotConfig, PilotOutcome, RSlot, WSlot, PI_MAIN};
+
+use crate::codec::{self, Image};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ThumbnailParams {
+    /// Number of input "JPEG files" (the paper uses 1058).
+    pub n_files: usize,
+    /// Input image width.
+    pub width: usize,
+    /// Input image height.
+    pub height: usize,
+    /// Decompression work factor (transform passes) — the knob that
+    /// makes the pipeline compute-bound.
+    pub work_factor: u32,
+    /// Compression work factor for `C` (lighter than decompression).
+    pub compress_factor: u32,
+    /// Extra per-image "decompression" time modelled as a sleep, in
+    /// milliseconds. On a single-core host real CPU work cannot exhibit
+    /// the paper's 5→10-worker speedup (threads share the one core), so
+    /// the overhead experiment models each rank's compute as occupying
+    /// its *own* node — which a sleep does faithfully. Zero by default.
+    pub think_ms: f64,
+}
+
+impl Default for ThumbnailParams {
+    fn default() -> Self {
+        ThumbnailParams {
+            n_files: 64,
+            width: 96,
+            height: 96,
+            work_factor: 40,
+            compress_factor: 10,
+            think_ms: 0.0,
+        }
+    }
+}
+
+/// What the pipeline produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThumbnailResult {
+    /// Thumbnails received by `PI_MAIN`.
+    pub produced: usize,
+    /// Order-independent checksum over all thumbnails.
+    pub checksum: u64,
+}
+
+/// The reference (serial) answer, for verification.
+pub fn expected_result(params: &ThumbnailParams) -> ThumbnailResult {
+    let mut checksum = 0u64;
+    for f in 0..params.n_files {
+        checksum ^= thumbnail_of(f as u64, params).checksum();
+    }
+    ThumbnailResult {
+        produced: params.n_files,
+        checksum,
+    }
+}
+
+fn thumbnail_of(file_id: u64, params: &ThumbnailParams) -> Image {
+    Image::synthetic(file_id, params.width, params.height)
+        .crop_center(0.32)
+        .downsample(3)
+}
+
+fn img_to_raw(img: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + img.pixels.len());
+    out.extend_from_slice(&(img.width as u32).to_le_bytes());
+    out.extend_from_slice(&(img.height as u32).to_le_bytes());
+    out.extend_from_slice(&img.pixels);
+    out
+}
+
+fn img_from_raw(bytes: &[u8]) -> Option<Image> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let width = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let height = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    let pixels = bytes[8..].to_vec();
+    (pixels.len() == width * height).then_some(Image {
+        width,
+        height,
+        pixels,
+    })
+}
+
+/// Pre-encode the synthetic input files — the stand-in for the JPEG
+/// directory on disk. Doing this *outside* the timed run matters for
+/// the overhead experiment: in the original, `PI_MAIN` merely reads
+/// bytes from disk, so it must not pay a per-file encode cost here.
+pub fn prepare_inputs(params: &ThumbnailParams) -> Vec<Vec<u8>> {
+    (0..params.n_files)
+        .map(|f| {
+            let img = Image::synthetic(f as u64, params.width, params.height);
+            codec::encode(&img, params.work_factor)
+        })
+        .collect()
+}
+
+/// Run the pipeline with `workers` work processes (1 compressor +
+/// `workers - 1` decompressors), like the paper's "5 or 10 work
+/// processes (plus one for PI_MAIN)". Generates the input files itself;
+/// use [`run_thumbnail_with_inputs`] to supply pre-encoded files (and
+/// keep the encode cost out of the measured window).
+///
+/// `config.ranks` must cover `1 + workers` plus a service rank if one
+/// is enabled.
+pub fn run_thumbnail(
+    config: PilotConfig,
+    workers: usize,
+    params: ThumbnailParams,
+) -> (PilotOutcome, Option<ThumbnailResult>) {
+    let inputs = prepare_inputs(&params);
+    run_thumbnail_with_inputs(config, workers, params, &inputs)
+}
+
+/// [`run_thumbnail`] with externally prepared input files.
+pub fn run_thumbnail_with_inputs(
+    config: PilotConfig,
+    workers: usize,
+    params: ThumbnailParams,
+    inputs: &[Vec<u8>],
+) -> (PilotOutcome, Option<ThumbnailResult>) {
+    assert_eq!(inputs.len(), params.n_files);
+    assert!(workers >= 2, "need at least one decompressor and the compressor");
+    assert!(
+        config.process_capacity() >= 1 + workers,
+        "world too small: capacity {} for 1+{workers} processes",
+        config.process_capacity()
+    );
+    let n_decomp = workers - 1;
+    let result: Mutex<Option<ThumbnailResult>> = Mutex::new(None);
+
+    let outcome = pilot::run(config, |pi| {
+        // Processes: C is P1, decompressors are P2..;
+        let comp = pi.create_process(0)?;
+        pi.set_process_name(comp, "C")?;
+        let mut decomp = Vec::new();
+        for i in 0..n_decomp {
+            let d = pi.create_process(i as i64)?;
+            pi.set_process_name(d, &format!("D{i}"))?;
+            decomp.push(d);
+        }
+        // Channels.
+        let mut req = Vec::new(); // D_i -> MAIN: ready token
+        let mut job = Vec::new(); // MAIN -> D_i: file id + data
+        let mut pix = Vec::new(); // D_i -> C: file id + pixels
+        for (i, &d) in decomp.iter().enumerate() {
+            let r = pi.create_channel(d, PI_MAIN)?;
+            pi.set_channel_name(r, &format!("req{i}"))?;
+            req.push(r);
+            let j = pi.create_channel(PI_MAIN, d)?;
+            pi.set_channel_name(j, &format!("job{i}"))?;
+            job.push(j);
+            let p = pi.create_channel(d, comp)?;
+            pi.set_channel_name(p, &format!("pix{i}"))?;
+            pix.push(p);
+        }
+        let res = pi.create_channel(comp, PI_MAIN)?; // C -> MAIN: thumbnails
+        pi.set_channel_name(res, "thumbs")?;
+        let ready = pi.create_bundle(BundleUsage::Select, &req)?;
+        pi.set_bundle_name(ready, "ready")?;
+        let incoming = pi.create_bundle(BundleUsage::Select, &pix)?;
+        pi.set_bundle_name(incoming, "incoming")?;
+
+        // Decompressor work function.
+        for (i, &d) in decomp.iter().enumerate() {
+            let (rq, jb, px) = (req[i], job[i], pix[i]);
+            let wf = params.work_factor;
+            let think_ms = params.think_ms;
+            pi.assign_work(d, move |pi, idx| {
+                loop {
+                    pi.write(rq, "%d", &[WSlot::Int(idx)]).unwrap();
+                    let mut id = 0i64;
+                    pi.read(jb, "%d", &mut [RSlot::Int(&mut id)]).unwrap();
+                    if id < 0 {
+                        pi.write(px, "%d", &[WSlot::Int(-1)]).unwrap();
+                        return 0;
+                    }
+                    let mut buf: Vec<u8> = Vec::new();
+                    pi.read(jb, "%^b", &mut [RSlot::ByteVec(&mut buf)]).unwrap();
+                    let img = codec::decode(&buf, wf).expect("valid jpeg data");
+                    if think_ms > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(think_ms / 1e3));
+                    }
+                    let thumb = img.crop_center(0.32).downsample(3);
+                    pi.write(px, "%d", &[WSlot::Int(id)]).unwrap();
+                    pi.write(px, "%^b", &[WSlot::ByteArr(&img_to_raw(&thumb))])
+                        .unwrap();
+                }
+            })?;
+        }
+
+        // Compressor work function.
+        {
+            let pix = pix.clone();
+            let cf = params.compress_factor;
+            let n_d = n_decomp;
+            pi.assign_work(comp, move |pi, _| {
+                let mut done = 0usize;
+                while done < n_d {
+                    let which = pi.select(incoming).unwrap();
+                    let mut id = 0i64;
+                    pi.read(pix[which], "%d", &mut [RSlot::Int(&mut id)]).unwrap();
+                    if id < 0 {
+                        done += 1;
+                        continue;
+                    }
+                    let mut raw: Vec<u8> = Vec::new();
+                    pi.read(pix[which], "%^b", &mut [RSlot::ByteVec(&mut raw)])
+                        .unwrap();
+                    let img = img_from_raw(&raw).expect("valid raw image");
+                    let jpeg = codec::encode(&img, cf);
+                    pi.write(res, "%d", &[WSlot::Int(id)]).unwrap();
+                    pi.write(res, "%^b", &[WSlot::ByteArr(&jpeg)]).unwrap();
+                }
+                0
+            })?;
+        }
+
+        pi.start_all()?;
+
+        // PI_MAIN: "open" each file and ship it to the next available
+        // decompressor (the ready-token + select idiom).
+        for (f, jpeg) in inputs.iter().enumerate() {
+            let which = pi.select(ready)?;
+            let mut token = 0i64;
+            pi.read(req[which], "%d", &mut [RSlot::Int(&mut token)])?;
+            pi.write(job[which], "%d", &[WSlot::Int(f as i64)])?;
+            pi.write(job[which], "%^b", &[WSlot::ByteArr(jpeg)])?;
+        }
+        // Stop each decompressor once it reports ready again.
+        for _ in 0..n_decomp {
+            let which = pi.select(ready)?;
+            let mut token = 0i64;
+            pi.read(req[which], "%d", &mut [RSlot::Int(&mut token)])?;
+            pi.write(job[which], "%d", &[WSlot::Int(-1)])?;
+        }
+        // Collect the thumbnails ("write them to the output directory").
+        let mut checksum = 0u64;
+        let mut produced = 0usize;
+        for _ in 0..params.n_files {
+            let mut id = 0i64;
+            pi.read(res, "%d", &mut [RSlot::Int(&mut id)])?;
+            let mut jpeg: Vec<u8> = Vec::new();
+            pi.read(res, "%^b", &mut [RSlot::ByteVec(&mut jpeg)])?;
+            let thumb = codec::decode(&jpeg, params.compress_factor).expect("valid thumbnail");
+            checksum ^= thumb.checksum();
+            produced += 1;
+        }
+        *result.lock().unwrap() = Some(ThumbnailResult { produced, checksum });
+        pi.stop_main(0)
+    });
+
+    let result = result.into_inner().unwrap();
+    (outcome, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilot::Services;
+
+    fn small() -> ThumbnailParams {
+        ThumbnailParams {
+            n_files: 12,
+            width: 48,
+            height: 48,
+            work_factor: 3,
+            compress_factor: 2,
+            think_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_correct_thumbnails() {
+        let params = small();
+        let (out, result) = run_thumbnail(PilotConfig::new(5), 4, params);
+        assert!(out.is_clean(), "{out:?}");
+        assert_eq!(result.unwrap(), expected_result(&params));
+    }
+
+    #[test]
+    fn pipeline_works_with_minimum_workers() {
+        let params = ThumbnailParams {
+            n_files: 5,
+            ..small()
+        };
+        let (out, result) = run_thumbnail(PilotConfig::new(3), 2, params);
+        assert!(out.is_clean(), "{out:?}");
+        assert_eq!(result.unwrap(), expected_result(&params));
+    }
+
+    #[test]
+    fn pipeline_with_jumpshot_logging_still_correct() {
+        let params = small();
+        let cfg = PilotConfig::new(5).with_services(Services::parse("j").unwrap());
+        let (out, result) = run_thumbnail(cfg, 4, params);
+        assert!(out.is_clean(), "{out:?}");
+        assert_eq!(result.unwrap(), expected_result(&params));
+        let clog = out.clog().expect("log present");
+        assert!(clog.total_records() > 100, "rich log expected");
+    }
+
+    #[test]
+    fn expected_result_is_stable() {
+        let a = expected_result(&small());
+        let b = expected_result(&small());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's Fig. 3 teaching exercise, end to end.
+//!
+//! ```text
+//! cargo run --example lab2 --release -- [-pisvc=cdj] [-picheck=N]
+//! ```
+//!
+//! Runs the lab2 array-sum with 5 workers over 10 000 numbers (six
+//! processes total, like the figure), prints the grand total and per-
+//! worker reports, and — when `j` logging is on — writes the Fig. 3
+//! style visual log to `out/lab2.svg`.
+
+use pilot::PilotConfig;
+use pilot_vis::VisOptions;
+use workloads::lab2::{expected_total, run_lab2};
+
+const W: usize = 5;
+const NUM: usize = 10_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    // Default to Jumpshot logging so the example produces a picture.
+    let mut cfg = PilotConfig::from_args(W + 1, &arg_refs).expect("valid Pilot options");
+    if !args.iter().any(|a| a.starts_with("-pisvc=")) {
+        cfg.services.jumpshot = true;
+    }
+    if cfg.services.needs_service_rank() {
+        cfg.ranks += 1; // keep W workers despite the service rank
+    }
+
+    let (outcome, result) = run_lab2(cfg, W, NUM, false);
+    assert!(outcome.is_clean(), "{outcome:?}");
+    let result = result.expect("main finished");
+    println!("Grand total = {} (expected {})", result.grand_total, expected_total(NUM));
+    assert_eq!(result.grand_total, expected_total(NUM));
+
+    if let Some(clog) = outcome.clog() {
+        // Convert + render by hand (run_lab2 returns the raw outcome).
+        let (slog, warnings) = slog2::convert(
+            clog,
+            &slog2::ConvertOptions {
+                timeline_names: Some(outcome.artifacts.process_names.clone()),
+                ..Default::default()
+            },
+        );
+        if !warnings.is_empty() {
+            println!("converter warnings:");
+            for w in &warnings {
+                println!("  {w}");
+            }
+        }
+        let vp = jumpshot::Viewport::new(slog.range.0, slog.range.1, 1280);
+        let svg = jumpshot::render_svg(&slog, &vp, &VisOptions::default().render);
+        std::fs::create_dir_all("out").unwrap();
+        std::fs::write("out/lab2.svg", svg).unwrap();
+        println!("visual log written to out/lab2.svg");
+        let legend = jumpshot::Legend::for_file(&slog);
+        println!("{}", jumpshot::render_legend_text(&legend, jumpshot::LegendSort::Index));
+    }
+    if !outcome.artifacts.native_log.is_empty() {
+        println!("native log: {} lines", outcome.artifacts.native_log.len());
+    }
+}

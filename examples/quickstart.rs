@@ -1,0 +1,65 @@
+//! Quickstart: a two-process Pilot program with log visualization.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! Writes `out/quickstart.svg` (the Jumpshot-style timeline) and prints
+//! the legend table with count / inclusive / exclusive statistics.
+
+use pilot::{PilotConfig, RSlot, Services, WSlot, PI_MAIN};
+use pilot_vis::{run_report, visualize, VisOptions};
+
+fn main() {
+    // Like `mpirun -n 2 ./quickstart -pisvc=j`.
+    let cfg = PilotConfig::new(2).with_services(Services::parse("j").unwrap());
+
+    let run = visualize(cfg, VisOptions::default(), |pi| {
+        // ---- configuration phase (runs identically on every rank) ----
+        let worker = pi.create_process(0)?;
+        pi.set_process_name(worker, "greeter")?;
+        let to_worker = pi.create_channel(PI_MAIN, worker)?;
+        let reply = pi.create_channel(worker, PI_MAIN)?;
+        pi.set_channel_name(to_worker, "question")?;
+        pi.set_channel_name(reply, "answer")?;
+
+        pi.assign_work(worker, move |pi, _idx| {
+            let mut n = 0i64;
+            pi.read(to_worker, "%d", &mut [RSlot::Int(&mut n)]).unwrap();
+            pi.write(reply, "%d", &[WSlot::Int(n * 2)]).unwrap();
+            0
+        })?;
+
+        // ---- execution phase ----
+        pi.start_all()?; // the worker runs inside; only PI_MAIN returns
+        pi.write(to_worker, "%d", &[WSlot::Int(21)])?;
+        let mut answer = 0i64;
+        pi.read(reply, "%d", &mut [RSlot::Int(&mut answer)])?;
+        println!("PI_MAIN: the answer is {answer}");
+        pi.stop_main(0)
+    });
+
+    assert!(run.is_clean(), "run failed: {:?}", run.outcome);
+
+    let svg_path = std::path::Path::new("out/quickstart.svg");
+    run.render_to_file(svg_path, 1024).expect("write svg");
+    println!("\nTimeline written to {}", svg_path.display());
+    // Also drop the raw logs so the CLI tools (clog2slog2, jumpshot)
+    // have something to chew on.
+    run.save_clog(std::path::Path::new("out/quickstart.pclog2"))
+        .expect("write clog");
+    run.save_slog(std::path::Path::new("out/quickstart.pslog2"))
+        .expect("write slog");
+
+    println!("\nLegend (what Jumpshot's legend window shows):");
+    println!("{}", run.legend_text().unwrap());
+
+    let report = run_report(&run).unwrap();
+    println!(
+        "Log: {} drawables over {:.6}s, wrap-up cost {:.6}s",
+        report.drawables,
+        report.range.1 - report.range.0,
+        report.wrapup_seconds.unwrap_or(0.0)
+    );
+}

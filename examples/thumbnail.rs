@@ -1,0 +1,78 @@
+//! The thumbnail pipeline of the paper's Section III.D (Figs. 1–2).
+//!
+//! ```text
+//! cargo run --example thumbnail --release -- [workers] [files]
+//! ```
+//!
+//! Runs `PI_MAIN` + `workers` work processes (1 compressor + the rest
+//! decompressors) over `files` synthetic JPEG inputs with Jumpshot
+//! logging on, verifies the thumbnails against a serial reference, and
+//! writes the full view (`out/thumbnail_full.svg`) and a zoomed view
+//! (`out/thumbnail_zoom.svg`).
+
+use pilot::{PilotConfig, Services};
+use workloads::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let n_files: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(64);
+
+    let params = ThumbnailParams {
+        n_files,
+        ..Default::default()
+    };
+    let cfg = PilotConfig::new(1 + workers).with_services(Services::parse("j").unwrap());
+
+    println!(
+        "thumbnailing {} files with {} work processes (1 compressor + {} decompressors)...",
+        params.n_files,
+        workers,
+        workers - 1
+    );
+    let t0 = std::time::Instant::now();
+    let (outcome, result) = run_thumbnail(cfg, workers, params);
+    let elapsed = t0.elapsed();
+    assert!(outcome.is_clean(), "{outcome:?}");
+    let result = result.expect("pipeline finished");
+    assert_eq!(result, expected_result(&params), "thumbnails must be correct");
+    println!(
+        "produced {} thumbnails in {:.2?} (checksum {:016x})",
+        result.produced, elapsed, result.checksum
+    );
+
+    let clog = outcome.clog().expect("-pisvc=j log");
+    let (slog, warnings) = slog2::convert(
+        clog,
+        &slog2::ConvertOptions {
+            timeline_names: Some(outcome.artifacts.process_names.clone()),
+            ..Default::default()
+        },
+    );
+    for w in &warnings {
+        println!("converter warning: {w}");
+    }
+    std::fs::create_dir_all("out").unwrap();
+    let opts = jumpshot::RenderOptions::default();
+    // Fig. 1: the whole run.
+    let full = jumpshot::render_svg(
+        &slog,
+        &jumpshot::Viewport::new(slog.range.0, slog.range.1, 1400),
+        &opts,
+    );
+    std::fs::write("out/thumbnail_full.svg", full).unwrap();
+    // Fig. 2: zoom into the middle 10% of the run.
+    let span = slog.range.1 - slog.range.0;
+    let mid = slog.range.0 + span * 0.5;
+    let zoom = jumpshot::render_svg(
+        &slog,
+        &jumpshot::Viewport::new(mid - span * 0.05, mid + span * 0.05, 1400),
+        &opts,
+    );
+    std::fs::write("out/thumbnail_zoom.svg", zoom).unwrap();
+    println!("views written to out/thumbnail_full.svg and out/thumbnail_zoom.svg");
+    println!(
+        "wrap-up (MPE log collection) took {:.3}s",
+        outcome.artifacts.wrapup_seconds.unwrap_or(0.0)
+    );
+}

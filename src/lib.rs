@@ -1,0 +1,7 @@
+//! Meta-crate re-exporting the workspace members for examples and integration tests.
+pub use minimpi;
+pub use mpelog;
+pub use pilot;
+pub use pilot_vis;
+pub use slog2;
+pub use workloads;

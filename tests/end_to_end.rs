@@ -1,0 +1,265 @@
+//! Whole-stack integration tests: Pilot program → MPE log → CLOG2 →
+//! SLOG2 → renderer/legend/search, through the public APIs of every
+//! crate.
+
+use pilot::{BundleUsage, PilotConfig, RSlot, Services, WSlot, PI_MAIN};
+use pilot_vis::{run_report, visualize, VisOptions};
+use slog2::Drawable;
+
+fn logged(ranks: usize) -> PilotConfig {
+    PilotConfig::new(ranks).with_services(Services::parse("j").unwrap())
+}
+
+#[test]
+fn full_pipeline_from_program_to_svg() {
+    let run = visualize(logged(3), VisOptions::default(), |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        pi.set_process_name(a, "producer")?;
+        pi.set_process_name(b, "consumer")?;
+        let ab = pi.create_channel(a, b)?;
+        let main_a = pi.create_channel(PI_MAIN, a)?;
+        let b_main = pi.create_channel(b, PI_MAIN)?;
+        pi.assign_work(a, move |pi, _| {
+            let mut n = 0i64;
+            pi.read(main_a, "%d", &mut [RSlot::Int(&mut n)]).unwrap();
+            pi.write(ab, "%d", &[WSlot::Int(n + 1)]).unwrap();
+            0
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut n = 0i64;
+            pi.read(ab, "%d", &mut [RSlot::Int(&mut n)]).unwrap();
+            pi.write(b_main, "%d", &[WSlot::Int(n * 3)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(main_a, "%d", &[WSlot::Int(1)])?;
+        let mut out = 0i64;
+        pi.read(b_main, "%d", &mut [RSlot::Int(&mut out)])?;
+        assert_eq!(out, 6);
+        pi.stop_main(0)
+    });
+    assert!(run.is_clean(), "{:?}", run.outcome);
+    assert!(run.warnings.is_empty(), "{:?}", run.warnings);
+
+    let slog = run.slog.as_ref().unwrap();
+    assert_eq!(
+        slog.timelines,
+        vec!["PI_MAIN".to_string(), "producer".to_string(), "consumer".to_string()]
+    );
+
+    // Three messages, three arrows, forming the chain 0 -> 1 -> 2 -> 0.
+    let arrows: Vec<_> = slog
+        .tree
+        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .into_iter()
+        .filter_map(|d| match d {
+            Drawable::Arrow(a) => Some((a.from_timeline, a.to_timeline)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(arrows.len(), 3, "{arrows:?}");
+    assert!(arrows.contains(&(0, 1)));
+    assert!(arrows.contains(&(1, 2)));
+    assert!(arrows.contains(&(2, 0)));
+
+    // The SVG names the processes and draws all object kinds.
+    let svg = run.render_full(900).unwrap();
+    for needle in ["producer", "consumer", "class=\"state\"", "class=\"arrow\"", "class=\"bubble\""] {
+        assert!(svg.contains(needle), "missing {needle}");
+    }
+
+    // Search-and-scan finds the producer's write by its popup text.
+    let q = jumpshot::SearchQuery {
+        timeline: Some(1),
+        text_contains: Some("Line:".into()),
+        ..Default::default()
+    };
+    assert!(jumpshot::find_next(slog, f64::NEG_INFINITY, &q).is_some());
+
+    // The report agrees with the legend.
+    let report = run_report(&run).unwrap();
+    let writes = report.legend.iter().find(|r| r.name == "PI_Write").unwrap();
+    assert_eq!(writes.count, 3);
+}
+
+#[test]
+fn collectives_show_bundle_fanout_arrows() {
+    let run = visualize(logged(4), VisOptions::default(), |pi| {
+        let mut chans = Vec::new();
+        let mut procs = Vec::new();
+        for i in 0..3 {
+            let p = pi.create_process(i)?;
+            procs.push(p);
+            chans.push(pi.create_channel(PI_MAIN, p)?);
+        }
+        let b = pi.create_bundle(BundleUsage::Broadcast, &chans)?;
+        pi.set_bundle_name(b, "B0")?;
+        for (i, &p) in procs.iter().enumerate() {
+            let c = chans[i];
+            pi.assign_work(p, move |pi, _| {
+                let mut x = 0i64;
+                pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                assert_eq!(x, 42);
+                0
+            })?;
+        }
+        pi.start_all()?;
+        pi.broadcast(b, "%d", &[WSlot::Int(42)])?;
+        pi.stop_main(0)
+    });
+    assert!(run.is_clean(), "{:?}", run.outcome);
+    let slog = run.slog.as_ref().unwrap();
+
+    // "A bundle with N channels will result in N arrows being drawn."
+    let stats = slog2::legend_stats(slog);
+    let cat = |name: &str| slog.category_by_name(name).unwrap().index;
+    assert_eq!(stats[&cat("message")].count, 3);
+    assert_eq!(stats[&cat("PI_Broadcast")].count, 1);
+    // The broadcast state's popup names the bundle.
+    let bc = slog
+        .tree
+        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .into_iter()
+        .find_map(|d| match d {
+            Drawable::State(s) if s.category == cat("PI_Broadcast") => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert!(bc.text.contains("Bundle: B0"), "{}", bc.text);
+    // Arrow spreading kept the arrows apart in time.
+    let mut send_times: Vec<f64> = slog
+        .tree
+        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .into_iter()
+        .filter_map(|d| match d {
+            Drawable::Arrow(a) => Some(a.start),
+            _ => None,
+        })
+        .collect();
+    send_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for w in send_times.windows(2) {
+        assert!(w[1] - w[0] > 5e-4, "arrows superimposed: {send_times:?}");
+    }
+}
+
+#[test]
+fn multi_spec_read_shows_one_bubble_per_message() {
+    // "%d %100f sends two MPI messages ... there will be a bubble inside
+    // the rectangle indicating when each message arrives."
+    let run = visualize(logged(2), VisOptions::default(), |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut n = 0i64;
+            let mut arr = [0.0f64; 100];
+            pi.read(c, "%d %100f", &mut [RSlot::Int(&mut n), RSlot::FloatArr(&mut arr)])
+                .unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        let arr = [1.5f64; 100];
+        pi.write(c, "%d %100f", &[WSlot::Int(100), WSlot::FloatArr(&arr)])?;
+        pi.stop_main(0)
+    });
+    assert!(run.is_clean());
+    let slog = run.slog.as_ref().unwrap();
+    let stats = slog2::legend_stats(slog);
+    let cat = |name: &str| slog.category_by_name(name).unwrap().index;
+    assert_eq!(stats[&cat("msg arrival")].count, 2, "one bubble per message");
+    assert_eq!(stats[&cat("message")].count, 2, "one arrow per message");
+    assert_eq!(stats[&cat("PI_Read")].count, 1, "but only one PI_Read state");
+
+    // Both bubbles sit inside the read rectangle.
+    let ds = slog.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+    let read = ds
+        .iter()
+        .find_map(|d| match d {
+            Drawable::State(s) if s.category == cat("PI_Read") => Some(s),
+            _ => None,
+        })
+        .unwrap();
+    let bubbles: Vec<f64> = ds
+        .iter()
+        .filter_map(|d| match d {
+            Drawable::Event(e) if e.category == cat("msg arrival") => Some(e.time),
+            _ => None,
+        })
+        .collect();
+    for t in bubbles {
+        assert!(t >= read.start && t <= read.end, "bubble at {t} outside [{}, {}]", read.start, read.end);
+    }
+}
+
+#[test]
+fn autoalloc_footnote_shape_in_log() {
+    // V2.1 footnote: "%^d" makes multiple MPI calls internally, and
+    // "this change will be accurately reflected in the visual log".
+    let run = visualize(logged(2), VisOptions::default(), |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut buf: Vec<i64> = Vec::new();
+            pi.read(c, "%^d", &mut [RSlot::IntVec(&mut buf)]).unwrap();
+            assert_eq!(buf.len(), 10);
+            0
+        })?;
+        pi.start_all()?;
+        let data: Vec<i64> = (0..10).collect();
+        pi.write(c, "%^d", &[WSlot::IntArr(&data)])?;
+        pi.stop_main(0)
+    });
+    assert!(run.is_clean());
+    let slog = run.slog.as_ref().unwrap();
+    let stats = slog2::legend_stats(slog);
+    let cat = |name: &str| slog.category_by_name(name).unwrap().index;
+    // Length message + data message = 2 arrows, 2 bubbles, 1 read, 1 write.
+    assert_eq!(stats[&cat("message")].count, 2);
+    assert_eq!(stats[&cat("msg arrival")].count, 2);
+    assert_eq!(stats[&cat("PI_Read")].count, 1);
+    assert_eq!(stats[&cat("PI_Write")].count, 1);
+}
+
+#[test]
+fn slog_file_roundtrips_through_disk_and_reloads_into_viewer() {
+    let run = visualize(logged(2), VisOptions::default(), |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(5)])?;
+        pi.stop_main(0)
+    });
+    let dir = std::env::temp_dir().join("pilot-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.pslog2");
+    assert!(run.save_slog(&path).unwrap());
+    let reloaded = slog2::Slog2File::read_from(&path).unwrap().unwrap();
+    assert_eq!(&reloaded, run.slog.as_ref().unwrap());
+    // A fresh viewer session over the reloaded file renders identically.
+    let vp = jumpshot::Viewport::new(reloaded.range.0, reloaded.range.1, 700);
+    let a = jumpshot::render_svg(&reloaded, &vp, &jumpshot::RenderOptions::default());
+    let b = run.render_full(700).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn error_diagnostics_point_at_user_source() {
+    let outcome = pilot::run(PilotConfig::new(2), |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, |_pi, _| 0)?;
+        pi.start_all()?;
+        let mut x = 0i64;
+        // Deliberate misuse: PI_MAIN is the writer, not the reader.
+        let err = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap_err();
+        let msg = err.diagnostic();
+        assert!(msg.contains("end_to_end.rs"), "{msg}");
+        pi.stop_main(0)
+    });
+    assert!(outcome.world.all_ok());
+}
