@@ -104,8 +104,7 @@ fn bench_spill_extension(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &spill, |b, &spill| {
             let dir = std::env::temp_dir().join("bench-mpe-spill");
             b.iter(|| {
-                let mut cfg =
-                    PilotConfig::new(5).with_services(Services::parse("j").unwrap());
+                let mut cfg = PilotConfig::new(5).with_services(Services::parse("j").unwrap());
                 if spill {
                     cfg = cfg.with_spill_dir(dir.clone());
                 }

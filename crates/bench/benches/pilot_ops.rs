@@ -32,34 +32,42 @@ fn bench_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("channel_roundtrip_500");
     group.sample_size(10);
     for (label, letters) in [("plain", ""), ("mpe", "j"), ("native+ddt", "cd")] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &letters, |b, letters| {
-            b.iter(|| {
-                let ranks = if letters.contains('c') || letters.contains('d') { 3 } else { 2 };
-                let cfg = PilotConfig::new(ranks)
-                    .with_services(Services::parse(letters).unwrap());
-                let out = pilot::run(cfg, |pi| {
-                    let w = pi.create_process(0)?;
-                    let up = pi.create_channel(PI_MAIN, w)?;
-                    let down = pi.create_channel(w, PI_MAIN)?;
-                    pi.assign_work(w, move |pi, _| {
-                        for _ in 0..MSGS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &letters,
+            |b, letters| {
+                b.iter(|| {
+                    let ranks = if letters.contains('c') || letters.contains('d') {
+                        3
+                    } else {
+                        2
+                    };
+                    let cfg =
+                        PilotConfig::new(ranks).with_services(Services::parse(letters).unwrap());
+                    let out = pilot::run(cfg, |pi| {
+                        let w = pi.create_process(0)?;
+                        let up = pi.create_channel(PI_MAIN, w)?;
+                        let down = pi.create_channel(w, PI_MAIN)?;
+                        pi.assign_work(w, move |pi, _| {
+                            for _ in 0..MSGS {
+                                let mut x = 0i64;
+                                pi.read(up, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                                pi.write(down, "%d", &[WSlot::Int(x)]).unwrap();
+                            }
+                            0
+                        })?;
+                        pi.start_all()?;
+                        for i in 0..MSGS as i64 {
+                            pi.write(up, "%d", &[WSlot::Int(i)])?;
                             let mut x = 0i64;
-                            pi.read(up, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
-                            pi.write(down, "%d", &[WSlot::Int(x)]).unwrap();
+                            pi.read(down, "%d", &mut [RSlot::Int(&mut x)])?;
                         }
-                        0
-                    })?;
-                    pi.start_all()?;
-                    for i in 0..MSGS as i64 {
-                        pi.write(up, "%d", &[WSlot::Int(i)])?;
-                        let mut x = 0i64;
-                        pi.read(down, "%d", &mut [RSlot::Int(&mut x)])?;
-                    }
-                    pi.stop_main(0)
-                });
-                assert!(out.world.all_ok());
-            })
-        });
+                        pi.stop_main(0)
+                    });
+                    assert!(out.world.all_ok());
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -79,7 +87,8 @@ fn bench_autoalloc_vs_two_reads(c: &mut Criterion) {
                     let mut n = 0i64;
                     pi.read(chan, "%d", &mut [RSlot::Int(&mut n)]).unwrap();
                     let mut buf = vec![0i64; n as usize];
-                    pi.read(chan, "%*d", &mut [RSlot::IntArr(&mut buf)]).unwrap();
+                    pi.read(chan, "%*d", &mut [RSlot::IntArr(&mut buf)])
+                        .unwrap();
                     0
                 })?;
                 pi.start_all()?;
@@ -99,7 +108,8 @@ fn bench_autoalloc_vs_two_reads(c: &mut Criterion) {
                 let chan = pi.create_channel(PI_MAIN, w)?;
                 pi.assign_work(w, move |pi, _| {
                     let mut buf: Vec<i64> = Vec::new();
-                    pi.read(chan, "%^d", &mut [RSlot::IntVec(&mut buf)]).unwrap();
+                    pi.read(chan, "%^d", &mut [RSlot::IntVec(&mut buf)])
+                        .unwrap();
                     0
                 })?;
                 pi.start_all()?;

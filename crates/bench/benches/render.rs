@@ -50,26 +50,17 @@ fn bench_render(c: &mut Criterion) {
     for states in [1_000usize, 20_000] {
         let file = dense_file(states, 8);
         let (t0, t1) = file.range;
-        group.bench_with_input(
-            BenchmarkId::new("full_view", states),
-            &file,
-            |b, file| {
-                let vp = jumpshot::Viewport::new(t0, t1, 1280);
-                let opts = jumpshot::RenderOptions::default();
-                b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("zoom_1pct", states),
-            &file,
-            |b, file| {
-                let span = t1 - t0;
-                let vp =
-                    jumpshot::Viewport::new(t0 + span * 0.495, t0 + span * 0.505, 1280);
-                let opts = jumpshot::RenderOptions::default();
-                b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("full_view", states), &file, |b, file| {
+            let vp = jumpshot::Viewport::new(t0, t1, 1280);
+            let opts = jumpshot::RenderOptions::default();
+            b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
+        });
+        group.bench_with_input(BenchmarkId::new("zoom_1pct", states), &file, |b, file| {
+            let span = t1 - t0;
+            let vp = jumpshot::Viewport::new(t0 + span * 0.495, t0 + span * 0.505, 1280);
+            let opts = jumpshot::RenderOptions::default();
+            b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
+        });
     }
     group.finish();
 }

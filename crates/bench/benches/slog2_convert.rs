@@ -4,46 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mpelog::{Clog2File, Color, Logger};
-use slog2::{convert, ConvertOptions};
-
-/// Synthesize a plausible CLOG file: `ranks` timelines, each with
-/// `calls` read/write state pairs plus matched messages.
-fn synthetic_clog(ranks: usize, calls: usize) -> Clog2File {
-    let mut blocks = std::collections::BTreeMap::new();
-    let mut defs: Option<(Vec<_>, Vec<_>)> = None;
-    for r in 0..ranks {
-        let mut lg = Logger::new(r);
-        let (w_s, w_e) = lg.define_state("PI_Write", Color::GREEN);
-        let (r_s, r_e) = lg.define_state("PI_Read", Color::RED);
-        let arrival = lg.define_event("msg arrival", Color::YELLOW);
-        let dt = 1e-4;
-        for i in 0..calls {
-            let t = i as f64 * dt * ranks as f64 + r as f64 * dt;
-            if r % 2 == 0 {
-                lg.log_event(t, w_s, "Line: 1");
-                lg.log_send(t + dt * 0.3, (r + 1) % ranks, 1000 + r as u32, 8);
-                lg.log_event(t + dt * 0.5, w_e, "");
-            } else {
-                lg.log_event(t, r_s, "Line: 2");
-                lg.log_receive(t + dt * 0.4, (r + ranks - 1) % ranks, 1000 + r as u32 - 1, 8);
-                lg.log_event(t + dt * 0.4, arrival, "Chan: C0");
-                lg.log_event(t + dt * 0.5, r_e, "");
-            }
-        }
-        if defs.is_none() {
-            defs = Some((lg.state_defs().to_vec(), lg.event_defs().to_vec()));
-        }
-        blocks.insert(r as u32, lg.records().to_vec());
-    }
-    let (state_defs, event_defs) = defs.unwrap();
-    Clog2File {
-        nranks: ranks as u32,
-        state_defs,
-        event_defs,
-        blocks,
-    }
-}
+use mpelog::Clog2File;
+use slog2::{convert, convert_reader, ConvertOptions};
+use workloads::synthetic_clog;
 
 fn bench_convert_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("convert_scaling");
@@ -96,7 +59,9 @@ fn bench_tree_query(c: &mut Criterion) {
     let (slog, _) = convert(&clog, &ConvertOptions::default());
     let (t0, t1) = slog.range;
     let span = t1 - t0;
-    c.bench_function("tree_query_full", |b| b.iter(|| slog.tree.query(t0, t1).len()));
+    c.bench_function("tree_query_full", |b| {
+        b.iter(|| slog.tree.query(t0, t1).len())
+    });
     c.bench_function("tree_query_1pct_window", |b| {
         b.iter(|| slog.tree.query(t0 + span * 0.495, t0 + span * 0.505).len())
     });
@@ -105,11 +70,49 @@ fn bench_tree_query(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_convert(c: &mut Criterion) {
+    // The sharded-pipeline headline number: serial vs N worker threads
+    // over a trace big enough to matter (6 ranks × 12k calls ≈ 144k
+    // drawables — above the 100k bar the acceptance criterion sets).
+    let clog = synthetic_clog(6, 12_000);
+    let mut group = c.benchmark_group("convert_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| convert(&clog, &ConvertOptions::default().with_parallelism(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_convert(c: &mut Criterion) {
+    // Whole-file (parse then convert) vs incremental decode over the
+    // same encoded bytes; both produce byte-identical SLOG2 output.
+    let clog = synthetic_clog(6, 12_000);
+    let bytes = clog.to_bytes();
+    let mut group = c.benchmark_group("convert_streaming");
+    group.sample_size(10);
+    group.bench_function("whole_file", |b| {
+        b.iter(|| {
+            let parsed = Clog2File::from_bytes(&bytes).unwrap();
+            convert(&parsed, &ConvertOptions::default().with_parallelism(1))
+        })
+    });
+    group.bench_function("streamed", |b| {
+        b.iter(|| {
+            convert_reader(&bytes[..], &ConvertOptions::default().with_parallelism(1)).unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_convert_scaling,
     bench_frame_capacity,
     bench_file_roundtrip,
-    bench_tree_query
+    bench_tree_query,
+    bench_parallel_convert,
+    bench_streaming_convert
 );
 criterion_main!(benches);

@@ -5,7 +5,14 @@
 //! cargo run -p bench --bin repro --release -- table1 [--files N] [--reps R]
 //! cargo run -p bench --bin repro --release -- fig1|fig2|fig3|fig4|fig5
 //! cargo run -p bench --bin repro --release -- legend|equal-drawables|clocksync
+//! cargo run -p bench --bin repro --release -- convert-bench [--reps R] [--parallel N]
 //! ```
+//!
+//! `--parallel N` sets the CLOG2→SLOG2 converter's worker-thread count
+//! for every experiment (0 = one per core); output files are
+//! byte-identical at any setting. `convert-bench` times serial vs
+//! parallel vs streaming conversion over a ≥100k-drawable synthetic
+//! trace and writes `out/BENCH_convert.json`.
 //!
 //! SVGs and JSON reports land in `out/`. Absolute numbers will differ
 //! from the paper (its testbed was a cluster; ours is a rank-per-thread
@@ -17,7 +24,7 @@ use std::path::Path;
 use bench::{measure_overhead_cell, LoggingMode};
 use minimpi::{ClockConfig, World};
 use pilot::{PilotConfig, Services};
-use slog2::{convert, ConvertOptions, ConvertWarning};
+use slog2::{convert, convert_reader, ConvertOptions, ConvertWarning};
 use workloads::collision::{expected_answers, run_collision, CollisionParams, CollisionVariant};
 use workloads::lab2::{expected_total, run_lab2};
 use workloads::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
@@ -26,6 +33,14 @@ fn out_dir() -> &'static Path {
     let p = Path::new("out");
     std::fs::create_dir_all(p).expect("create out/");
     p
+}
+
+/// Converter worker-thread count, set once from `--parallel` (0 = one
+/// per core — the `ConvertOptions` default).
+static PARALLEL: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+fn parallelism() -> usize {
+    *PARALLEL.get().unwrap_or(&0)
 }
 
 fn render_outcome(
@@ -39,6 +54,7 @@ fn render_outcome(
         clog,
         &ConvertOptions {
             timeline_names: Some(outcome.artifacts.process_names.clone()),
+            parallelism: parallelism(),
             ..Default::default()
         },
     );
@@ -133,7 +149,7 @@ fn fig1() -> pilot::PilotOutcome {
     let hist = jumpshot::render_histogram_svg(&slog, slog.range.0, slog.range.1, 1000);
     std::fs::write(out_dir().join("fig1_histogram.svg"), hist).unwrap();
     let compute = slog.category_by_name("Compute").unwrap().index;
-    let decompressors: Vec<u32> = (2..slog.timelines.len() as u32 - 0).collect();
+    let decompressors: Vec<u32> = (2..slog.timelines.len() as u32).collect();
     let imbalance =
         jumpshot::load_imbalance(&slog, compute, &decompressors, slog.range.0, slog.range.1);
     println!("  decompressor load imbalance (max/min compute): {imbalance:.2}x");
@@ -203,7 +219,10 @@ fn fig3() {
         3 * 5
     );
     let legend = jumpshot::Legend::for_file(&slog);
-    println!("{}", jumpshot::render_legend_text(&legend, jumpshot::LegendSort::Index));
+    println!(
+        "{}",
+        jumpshot::render_legend_text(&legend, jumpshot::LegendSort::Index)
+    );
 }
 
 fn collision_fig(variant: CollisionVariant, outfile: &str) {
@@ -272,7 +291,10 @@ fn legend() {
 /// E1: the Equal Drawables condition and the 1 ms arrow-spread fix.
 fn equal_drawables() {
     println!("# Equal Drawables — quantized clock, broadcast fanout");
-    for (spread_us, label) in [(0u64, "no spread (the bug)"), (1000, "1 ms spread (the fix)")] {
+    for (spread_us, label) in [
+        (0u64, "no spread (the bug)"),
+        (1000, "1 ms spread (the fix)"),
+    ] {
         let cfg = PilotConfig::new(5)
             .with_services(Services::parse("j").unwrap())
             .with_clock(ClockConfig {
@@ -351,6 +373,66 @@ fn clocksync() {
     println!("  lab2 with 0.2s/rank injected drift after sync: {backward} backward arrows");
 }
 
+/// Time serial vs parallel vs streaming conversion over a synthetic
+/// trace (≈144k drawables) and write `out/BENCH_convert.json` — the
+/// artifact CI uploads so the sharded pipeline's speedup is tracked
+/// per-commit.
+fn convert_bench(reps: usize, parallel: usize) {
+    use pilot_vis::json::Json;
+
+    let threads = ConvertOptions::default()
+        .with_parallelism(parallel)
+        .effective_parallelism();
+    let (ranks, calls) = (6usize, 12_000usize);
+    println!(
+        "== convert-bench: {ranks} ranks x {calls} calls, {threads} worker threads, {reps} reps =="
+    );
+    let clog = workloads::synthetic_clog(ranks, calls);
+    let bytes = clog.to_bytes();
+
+    let median_secs = |f: &dyn Fn() -> usize| -> (f64, usize) {
+        let mut samples = Vec::with_capacity(reps.max(1));
+        let mut drawables = 0;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            drawables = f();
+            samples.push(start.elapsed().as_secs_f64());
+        }
+        (bench::median(samples), drawables)
+    };
+
+    let serial_opts = ConvertOptions::default().with_parallelism(1);
+    let parallel_opts = ConvertOptions::default().with_parallelism(threads);
+    let (serial_s, drawables) = median_secs(&|| convert(&clog, &serial_opts).0.total_drawables());
+    let (parallel_s, _) = median_secs(&|| convert(&clog, &parallel_opts).0.total_drawables());
+    let (stream_s, _) = median_secs(&|| {
+        convert_reader(&bytes[..], &serial_opts)
+            .expect("valid stream")
+            .0
+            .total_drawables()
+    });
+    let speedup = serial_s / parallel_s;
+    println!("  {drawables} drawables");
+    println!("  serial    {serial_s:.4}s");
+    println!("  parallel  {parallel_s:.4}s  ({speedup:.2}x, {threads} threads)");
+    println!("  streaming {stream_s:.4}s  (serial, incremental decode)");
+
+    let report = Json::Obj(vec![
+        ("ranks".into(), Json::Num(ranks as f64)),
+        ("calls_per_rank".into(), Json::Num(calls as f64)),
+        ("drawables".into(), Json::Num(drawables as f64)),
+        ("reps".into(), Json::Num(reps as f64)),
+        ("threads".into(), Json::Num(threads as f64)),
+        ("serial_s".into(), Json::Num(serial_s)),
+        ("parallel_s".into(), Json::Num(parallel_s)),
+        ("streaming_s".into(), Json::Num(stream_s)),
+        ("speedup".into(), Json::Num(speedup)),
+    ]);
+    let path = out_dir().join("BENCH_convert.json");
+    std::fs::write(&path, report.pretty()).expect("write BENCH_convert.json");
+    println!("  wrote {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -363,9 +445,12 @@ fn main() {
     };
     let files = get_flag("--files", 48);
     let reps = get_flag("--reps", 5);
+    let parallel = get_flag("--parallel", 0);
+    PARALLEL.set(parallel).expect("set once");
 
     match cmd {
         "table1" => table1(files, reps),
+        "convert-bench" => convert_bench(reps, parallel),
         "fig1" => {
             fig1();
         }
@@ -399,7 +484,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync all"
+                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench all"
             );
             std::process::exit(2);
         }

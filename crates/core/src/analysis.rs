@@ -119,7 +119,10 @@ pub fn timeline_activity(file: &Slog2File, timeline: u32) -> TimelineActivity {
         .get(&timeline)
         .copied()
         .unwrap_or(0.0);
-    let busy: f64 = busy_intervals(file, timeline).iter().map(|(s, e)| e - s).sum();
+    let busy: f64 = busy_intervals(file, timeline)
+        .iter()
+        .map(|(s, e)| e - s)
+        .sum();
     TimelineActivity {
         compute_span: compute,
         blocked: read + select,
@@ -133,11 +136,7 @@ pub fn timeline_activity(file: &Slog2File, timeline: u32) -> TimelineActivity {
 ///
 /// A perfectly serialized phase scores ~0; `k` workers computing in
 /// parallel score close to 1.
-pub fn parallel_overlap(
-    file: &Slog2File,
-    timelines: &[u32],
-    window: Option<(f64, f64)>,
-) -> f64 {
+pub fn parallel_overlap(file: &Slog2File, timelines: &[u32], window: Option<(f64, f64)>) -> f64 {
     // Sweep over busy-interval edges counting concurrency.
     let mut events: Vec<(f64, i32)> = Vec::new();
     for &tl in timelines {

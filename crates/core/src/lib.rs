@@ -24,6 +24,7 @@
 //! ```
 
 pub mod analysis;
+pub mod json;
 pub mod pipeline;
 pub mod report;
 

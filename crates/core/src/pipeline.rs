@@ -15,6 +15,16 @@ pub struct VisOptions {
     pub render: RenderOptions,
 }
 
+impl VisOptions {
+    /// Set the converter's worker-thread count (see
+    /// [`ConvertOptions::parallelism`]): `0` = one per core, `1` =
+    /// serial. The converted file is byte-identical at every setting.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.convert.parallelism = parallelism;
+        self
+    }
+}
+
 /// A completed, visualizable run.
 #[derive(Debug)]
 pub struct VisRun {
@@ -176,7 +186,10 @@ mod tests {
         assert!(run.is_clean(), "{:?}", run.outcome);
         assert!(run.warnings.is_empty(), "{:?}", run.warnings);
         let slog = run.slog.as_ref().unwrap();
-        assert_eq!(slog.timelines, vec!["PI_MAIN".to_string(), "worker".to_string()]);
+        assert_eq!(
+            slog.timelines,
+            vec!["PI_MAIN".to_string(), "worker".to_string()]
+        );
         let svg = run.render_full(800).unwrap();
         assert!(svg.contains("<svg"));
         assert!(svg.contains("worker"));
@@ -215,6 +228,23 @@ mod tests {
         let hist = run.render_histogram(None, 600).unwrap();
         assert!(hist.contains("Duration statistics"));
         assert!(hist.contains("PI_MAIN"));
+    }
+
+    #[test]
+    fn parallel_conversion_matches_serial_on_a_real_run() {
+        let run = visualize(
+            logged_cfg(2),
+            VisOptions::default().with_parallelism(4),
+            tiny_program,
+        );
+        let slog = run.slog.as_ref().unwrap();
+        let copts = ConvertOptions {
+            timeline_names: Some(run.outcome.artifacts.process_names.clone()),
+            ..Default::default()
+        }
+        .with_parallelism(1);
+        let (serial, _) = convert(run.outcome.clog().unwrap(), &copts);
+        assert_eq!(serial.to_bytes(), slog.to_bytes());
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Machine-readable run reports (JSON) — what the benchmark harness
 //! stores next to each regenerated figure.
 
-use serde::{Deserialize, Serialize};
-
 use crate::analysis::{idle_until_first_arrival, parallel_overlap, timeline_activity};
+use crate::json::Json;
 use crate::pipeline::VisRun;
 
 /// One legend row in the report.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReportLegendRow {
     /// Category name.
     pub name: String,
@@ -22,7 +21,7 @@ pub struct ReportLegendRow {
 }
 
 /// Per-timeline activity in the report.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReportTimeline {
     /// Rank.
     pub rank: u32,
@@ -37,7 +36,7 @@ pub struct ReportTimeline {
 }
 
 /// The full report for one visualized run.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Whether the run was clean.
     pub clean: bool,
@@ -105,10 +104,195 @@ pub fn run_report(run: &VisRun) -> Option<RunReport> {
     .into()
 }
 
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn num(v: &Json, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn string(v: &Json, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+fn arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field `{key}` is not an array"))
+}
+
+impl ReportLegendRow {
+    fn to_value(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("color", Json::Str(self.color.clone())),
+            ("count", Json::Num(self.count as f64)),
+            ("inclusive", Json::Num(self.inclusive)),
+            ("exclusive", Json::Num(self.exclusive)),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<ReportLegendRow, String> {
+        Ok(ReportLegendRow {
+            name: string(v, "name")?,
+            color: string(v, "color")?,
+            count: field(v, "count")?
+                .as_u64()
+                .ok_or_else(|| "field `count` is not an integer".to_string())?,
+            inclusive: num(v, "inclusive")?,
+            exclusive: num(v, "exclusive")?,
+        })
+    }
+}
+
+impl ReportTimeline {
+    fn to_value(&self) -> Json {
+        obj(vec![
+            ("rank", Json::Num(self.rank as f64)),
+            ("name", Json::Str(self.name.clone())),
+            ("compute_span", Json::Num(self.compute_span)),
+            ("blocked", Json::Num(self.blocked)),
+            ("busy", Json::Num(self.busy)),
+        ])
+    }
+
+    fn from_value(v: &Json) -> Result<ReportTimeline, String> {
+        Ok(ReportTimeline {
+            rank: field(v, "rank")?
+                .as_u64()
+                .ok_or_else(|| "field `rank` is not an integer".to_string())?
+                as u32,
+            name: string(v, "name")?,
+            compute_span: num(v, "compute_span")?,
+            blocked: num(v, "blocked")?,
+            busy: num(v, "busy")?,
+        })
+    }
+}
+
 impl RunReport {
+    /// The report as a JSON value tree.
+    pub fn to_value(&self) -> Json {
+        obj(vec![
+            ("clean", Json::Bool(self.clean)),
+            (
+                "range",
+                Json::Arr(vec![Json::Num(self.range.0), Json::Num(self.range.1)]),
+            ),
+            ("drawables", Json::Num(self.drawables as f64)),
+            (
+                "warnings",
+                Json::Arr(self.warnings.iter().map(|w| Json::Str(w.clone())).collect()),
+            ),
+            (
+                "legend",
+                Json::Arr(self.legend.iter().map(|r| r.to_value()).collect()),
+            ),
+            (
+                "timelines",
+                Json::Arr(self.timelines.iter().map(|t| t.to_value()).collect()),
+            ),
+            ("worker_overlap", Json::Num(self.worker_overlap)),
+            (
+                "idle_until_first_arrival",
+                Json::Arr(
+                    self.idle_until_first_arrival
+                        .iter()
+                        .map(|&(rank, idle)| {
+                            Json::Arr(vec![Json::Num(rank as f64), Json::Num(idle)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "wrapup_seconds",
+                match self.wrapup_seconds {
+                    Some(s) => Json::Num(s),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
     /// Serialize as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        self.to_value().pretty()
+    }
+
+    /// Parse a report back from [`to_json`](Self::to_json) output.
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let range = arr(&v, "range")?;
+        if range.len() != 2 {
+            return Err("field `range` must have two elements".to_string());
+        }
+        let pair = |item: &Json| -> Result<(u32, f64), String> {
+            let xs = item.as_arr().ok_or("idle entry is not a pair")?;
+            match xs {
+                [rank, idle] => Ok((
+                    rank.as_u64().ok_or("idle rank is not an integer")? as u32,
+                    idle.as_f64().ok_or("idle seconds is not a number")?,
+                )),
+                _ => Err("idle entry is not a pair".to_string()),
+            }
+        };
+        Ok(RunReport {
+            clean: field(&v, "clean")?
+                .as_bool()
+                .ok_or_else(|| "field `clean` is not a bool".to_string())?,
+            range: (
+                range[0].as_f64().ok_or("range start is not a number")?,
+                range[1].as_f64().ok_or("range end is not a number")?,
+            ),
+            drawables: field(&v, "drawables")?
+                .as_u64()
+                .ok_or_else(|| "field `drawables` is not an integer".to_string())?
+                as usize,
+            warnings: arr(&v, "warnings")?
+                .iter()
+                .map(|w| {
+                    w.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "warning is not a string".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+            legend: arr(&v, "legend")?
+                .iter()
+                .map(ReportLegendRow::from_value)
+                .collect::<Result<_, _>>()?,
+            timelines: arr(&v, "timelines")?
+                .iter()
+                .map(ReportTimeline::from_value)
+                .collect::<Result<_, _>>()?,
+            worker_overlap: num(&v, "worker_overlap")?,
+            idle_until_first_arrival: arr(&v, "idle_until_first_arrival")?
+                .iter()
+                .map(pair)
+                .collect::<Result<_, _>>()?,
+            wrapup_seconds: match field(&v, "wrapup_seconds")? {
+                Json::Null => None,
+                other => Some(
+                    other
+                        .as_f64()
+                        .ok_or("field `wrapup_seconds` is not a number")?,
+                ),
+            },
+        })
     }
 }
 
@@ -136,15 +320,16 @@ mod tests {
         let report = run_report(&run).expect("report");
         assert!(report.clean);
         assert!(report.drawables > 0);
-        assert!(report.legend.iter().any(|r| r.name == "PI_Write" && r.count == 1));
+        assert!(report
+            .legend
+            .iter()
+            .any(|r| r.name == "PI_Write" && r.count == 1));
         let json = report.to_json();
-        let back: RunReport = serde_json::from_str(&json).unwrap();
-        // Float text round-trips can differ in the last ULP; compare the
-        // canonical re-serialization instead of bitwise equality.
-        assert_eq!(back.to_json(), serde_json::from_str::<RunReport>(&back.to_json()).unwrap().to_json());
-        assert_eq!(back.clean, report.clean);
-        assert_eq!(back.drawables, report.drawables);
-        assert_eq!(back.legend.len(), report.legend.len());
+        let back = RunReport::from_json(&json).unwrap();
+        // Rust's shortest-round-trip float formatting means the parse
+        // recovers every field bit-for-bit.
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

@@ -41,6 +41,9 @@ impl Default for AsciiOptions {
 }
 
 /// Render the window `[t0, t1]` as text.
+// The cell-painting loop indexes a clamped column range of a 2-D grid;
+// a slice iterator would need the same bounds arithmetic, less clearly.
+#[allow(clippy::needless_range_loop)]
 pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> String {
     let width = opts.width.max(8);
     let vp = Viewport::new(t0, t1.max(t0 + f64::MIN_POSITIVE), width as u32);
@@ -69,11 +72,7 @@ pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> 
                     .and_then(|c| {
                         // Use the distinguishing letter of the Pilot name:
                         // "PI_Read" -> 'R', "Compute" -> 'C'.
-                        c.name
-                            .strip_prefix("PI_")
-                            .unwrap_or(&c.name)
-                            .chars()
-                            .next()
+                        c.name.strip_prefix("PI_").unwrap_or(&c.name).chars().next()
                     })
                     .unwrap_or('?');
                 let c0 = vp.x_of(s.start.max(t0)).floor().max(0.0) as usize;
@@ -81,7 +80,8 @@ pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> 
                 for col in c0..c1.max(c0 + 1).min(width) {
                     // Dominant = innermost (higher nest wins ties via
                     // coverage-per-cell comparison with small bias).
-                    let cov = (s.end - s.start) / (1.0 + s.nest_level as f64 * 0.0) + s.nest_level as f64 * 1e9;
+                    let cov = (s.end - s.start) / (1.0 + s.nest_level as f64 * 0.0)
+                        + s.nest_level as f64 * 1e9;
                     let cell = &mut cells[s.timeline as usize][col];
                     if cov >= cell.0 {
                         *cell = (cov, letter);

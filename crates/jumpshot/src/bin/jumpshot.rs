@@ -24,7 +24,9 @@ fn fail(msg: &str) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
-        return fail("usage: jumpshot <log.pslog2> <render|html|ascii|legend|hist|search|info> [options]");
+        return fail(
+            "usage: jumpshot <log.pslog2> <render|html|ascii|legend|hist|search|info> [options]",
+        );
     }
     let path = PathBuf::from(&args[0]);
     let cmd = args[1].as_str();
@@ -32,7 +34,12 @@ fn main() -> ExitCode {
 
     let file = match Slog2File::read_from(&path) {
         Ok(Ok(f)) => f,
-        Ok(Err(e)) => return fail(&format!("{} is not a valid SLOG2 file: {e}", path.display())),
+        Ok(Err(e)) => {
+            return fail(&format!(
+                "{} is not a valid SLOG2 file: {e}",
+                path.display()
+            ))
+        }
         Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
     };
 
@@ -45,8 +52,14 @@ fn main() -> ExitCode {
     let window = || -> (f64, f64) {
         match rest.iter().position(|a| a == "--window") {
             Some(i) => {
-                let t0 = rest.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(file.range.0);
-                let t1 = rest.get(i + 2).and_then(|v| v.parse().ok()).unwrap_or(file.range.1);
+                let t0 = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(file.range.0);
+                let t1 = rest
+                    .get(i + 2)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(file.range.1);
                 (t0, t1)
             }
             None => file.range,
@@ -61,7 +74,9 @@ fn main() -> ExitCode {
     match cmd {
         "render" => {
             let (t0, t1) = window();
-            let width: u32 = flag_val("--width").and_then(|v| v.parse().ok()).unwrap_or(1280);
+            let width: u32 = flag_val("--width")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1280);
             let vp = Viewport::new(t0, t1, width).clamp_to(file.range.0, file.range.1);
             let svg = jumpshot::render_svg(&file, &vp, &RenderOptions::default());
             let out = out_path("svg");
@@ -76,11 +91,16 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&out, html) {
                 return fail(&format!("cannot write {}: {e}", out.display()));
             }
-            println!("wrote {} (open in a browser; drag to scroll, wheel to zoom)", out.display());
+            println!(
+                "wrote {} (open in a browser; drag to scroll, wheel to zoom)",
+                out.display()
+            );
         }
         "ascii" => {
             let (t0, t1) = window();
-            let width: usize = flag_val("--width").and_then(|v| v.parse().ok()).unwrap_or(100);
+            let width: usize = flag_val("--width")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100);
             print!(
                 "{}",
                 jumpshot::render_ascii(
@@ -119,7 +139,9 @@ fn main() -> ExitCode {
                 Some(n) => n.clone(),
                 None => return fail("search needs a substring"),
             };
-            let from: f64 = flag_val("--from").and_then(|v| v.parse().ok()).unwrap_or(f64::NEG_INFINITY);
+            let from: f64 = flag_val("--from")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NEG_INFINITY);
             let q = SearchQuery {
                 text_contains: Some(needle.clone()),
                 ..Default::default()
@@ -134,7 +156,11 @@ fn main() -> ExitCode {
         }
         "info" => {
             println!("file      : {}", path.display());
-            println!("timelines : {} ({})", file.timelines.len(), file.timelines.join(", "));
+            println!(
+                "timelines : {} ({})",
+                file.timelines.len(),
+                file.timelines.join(", ")
+            );
             println!("categories: {}", file.categories.len());
             println!("drawables : {}", file.total_drawables());
             println!("range     : [{:.6}s, {:.6}s]", file.range.0, file.range.1);
@@ -156,7 +182,10 @@ fn main() -> ExitCode {
             if defects.is_empty() {
                 println!("integrity : sound");
             } else {
-                println!("integrity : {} defect(s) — defective SLOG-2 file", defects.len());
+                println!(
+                    "integrity : {} defect(s) — defective SLOG-2 file",
+                    defects.len()
+                );
                 for d in &defects {
                     println!("  {d}");
                 }

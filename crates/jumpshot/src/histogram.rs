@@ -53,13 +53,7 @@ pub fn duration_stats(file: &Slog2File, t0: f64, t1: f64) -> BTreeMap<u32, Timel
 /// the busiest and the least-busy timeline's coverage of `category`
 /// within the window (1.0 = perfectly balanced; `f64::INFINITY` when a
 /// timeline has none). Timelines listed in `among` only.
-pub fn load_imbalance(
-    file: &Slog2File,
-    category: u32,
-    among: &[u32],
-    t0: f64,
-    t1: f64,
-) -> f64 {
+pub fn load_imbalance(file: &Slog2File, category: u32, among: &[u32], t0: f64, t1: f64) -> f64 {
     let stats = duration_stats(file, t0, t1);
     let loads: Vec<f64> = among
         .iter()
@@ -113,9 +107,9 @@ pub fn render_histogram_svg(file: &Slog2File, t0: f64, t1: f64, width_px: u32) -
             .get(*tl as usize)
             .map(String::as_str)
             .unwrap_or("?");
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"4\" y=\"{ty}\" fill=\"#ddd\">{name}</text>\n",
+            "<text x=\"4\" y=\"{ty}\" fill=\"#ddd\">{name}</text>",
             ty = y + row_h / 2.0 + 4.0
         );
         let mut x = gutter;
@@ -131,17 +125,17 @@ pub fn render_histogram_svg(file: &Slog2File, t0: f64, t1: f64, width_px: u32) -
                 .get(*cat as usize)
                 .map(|c| c.name.as_str())
                 .unwrap_or("?");
-            let _ = write!(
+            let _ = writeln!(
                 svg,
                 "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{wpx:.2}\" height=\"{h:.2}\" \
-                 fill=\"{color}\" class=\"histbar\"><title>{cname}: {secs:.6}s</title></rect>\n",
+                 fill=\"{color}\" class=\"histbar\"><title>{cname}: {secs:.6}s</title></rect>",
                 h = row_h - 6.0
             );
             x += wpx;
         }
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#aaa\">{total:.4}s</text>\n",
+            "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#aaa\">{total:.4}s</text>",
             tx = x + 6.0,
             ty = y + row_h / 2.0 + 4.0,
             total = hist.total()

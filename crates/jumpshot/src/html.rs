@@ -29,10 +29,10 @@ pub fn render_html(file: &Slog2File, opts: &RenderOptions) -> String {
 
     let mut rows = String::new();
     for r in legend.sorted(LegendSort::Index) {
-        let _ = write!(
+        let _ = writeln!(
             rows,
             "<tr><td><span class=\"swatch\" style=\"background:{}\"></span></td>\
-             <td>{}</td><td>{}</td><td>{:.6}</td><td>{:.6}</td></tr>\n",
+             <td>{}</td><td>{}</td><td>{:.6}</td><td>{:.6}</td></tr>",
             r.color,
             html_escape(&r.name),
             r.count,
@@ -115,7 +115,9 @@ pub fn render_html(file: &Slog2File, opts: &RenderOptions) -> String {
 }
 
 fn html_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

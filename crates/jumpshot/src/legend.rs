@@ -85,7 +85,7 @@ impl Legend {
         match sort {
             LegendSort::Index => rows.sort_by_key(|r| r.index),
             LegendSort::Name => rows.sort_by(|a, b| a.name.cmp(&b.name)),
-            LegendSort::Count => rows.sort_by(|a, b| b.count.cmp(&a.count)),
+            LegendSort::Count => rows.sort_by_key(|r| std::cmp::Reverse(r.count)),
             LegendSort::Inclusive => {
                 rows.sort_by(|a, b| b.inclusive.partial_cmp(&a.inclusive).unwrap())
             }
@@ -225,7 +225,11 @@ mod tests {
     #[test]
     fn sort_orders() {
         let legend = Legend::for_file(&file());
-        let by_count: Vec<_> = legend.sorted(LegendSort::Count).iter().map(|r| r.index).collect();
+        let by_count: Vec<_> = legend
+            .sorted(LegendSort::Count)
+            .iter()
+            .map(|r| r.index)
+            .collect();
         assert_eq!(by_count, vec![0, 1]); // Reduce count 2 > Compute 1
         let by_incl: Vec<_> = legend
             .sorted(LegendSort::Inclusive)
@@ -233,7 +237,11 @@ mod tests {
             .map(|r| r.index)
             .collect();
         assert_eq!(by_incl, vec![1, 0]); // Compute 10s > Reduce 1.5s
-        let by_name: Vec<_> = legend.sorted(LegendSort::Name).iter().map(|r| &r.name[..1]).collect();
+        let by_name: Vec<_> = legend
+            .sorted(LegendSort::Name)
+            .iter()
+            .map(|r| &r.name[..1])
+            .collect();
         assert_eq!(by_name, vec!["C", "R"]);
     }
 

@@ -85,11 +85,8 @@ pub fn correct_display(template: &str, args: &[InfoArg]) -> String {
 /// exactly why the paper's workaround ("Lines: %d") works.
 pub fn jumpshot_display(template: &str, args: &[InfoArg]) -> String {
     let (literals, nslots) = tokenize(template);
-    let starts_with_substitution = literals
-        .first()
-        .map(|l| l.is_empty())
-        .unwrap_or(false)
-        && nslots > 0;
+    let starts_with_substitution =
+        literals.first().map(|l| l.is_empty()).unwrap_or(false) && nslots > 0;
     if !starts_with_substitution {
         return correct_display(template, args);
     }
@@ -118,7 +115,10 @@ mod tests {
     #[test]
     fn correct_display_interleaves() {
         assert_eq!(
-            correct_display("Lines: %d of %s", &[InfoArg::Int(42), InfoArg::Str("file.c".into())]),
+            correct_display(
+                "Lines: %d of %s",
+                &[InfoArg::Int(42), InfoArg::Str("file.c".into())]
+            ),
             "Lines: 42 of file.c"
         );
     }

@@ -109,20 +109,20 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
     let visible = |cat: u32| -> bool {
         opts.visible_categories
             .as_ref()
-            .map_or(true, |set| set.contains(&cat))
+            .is_none_or(|set| set.contains(&cat))
     };
 
     let mut svg = String::with_capacity(16 * 1024);
-    let _ = write!(
+    let _ = writeln!(
         svg,
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
-         viewBox=\"0 0 {w} {h}\" font-family=\"monospace\" font-size=\"11\">\n",
+         viewBox=\"0 0 {w} {h}\" font-family=\"monospace\" font-size=\"11\">",
         w = lay.total_width(),
         h = lay.total_height()
     );
-    let _ = write!(
+    let _ = writeln!(
         svg,
-        "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"{}\"/>\n",
+        "<rect x=\"0\" y=\"0\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
         lay.total_width(),
         lay.total_height(),
         esc(&opts.background)
@@ -131,16 +131,16 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
     // Row separators and labels.
     for (r, name) in file.timelines.iter().enumerate() {
         let y = lay.row_top(r as u32);
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<line x1=\"{g}\" y1=\"{y}\" x2=\"{x2}\" y2=\"{y}\" stroke=\"#333\" stroke-width=\"0.5\"/>\n",
+            "<line x1=\"{g}\" y1=\"{y}\" x2=\"{x2}\" y2=\"{y}\" stroke=\"#333\" stroke-width=\"0.5\"/>",
             g = lay.gutter,
             y = y,
             x2 = lay.total_width()
         );
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<text x=\"4\" y=\"{}\" fill=\"#ddd\" class=\"tl-label\">{}</text>\n",
+            "<text x=\"4\" y=\"{}\" fill=\"#ddd\" class=\"tl-label\">{}</text>",
             lay.row_mid(r as u32) + 4.0,
             esc(name)
         );
@@ -218,10 +218,10 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
         if total <= 0.0 {
             continue;
         }
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<g class=\"preview\"><rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{bucket_w:.2}\" height=\"{h:.2}\" \
-             fill=\"none\" stroke=\"#888\" stroke-width=\"0.5\"/>\n"
+             fill=\"none\" stroke=\"#888\" stroke-width=\"0.5\"/>"
         );
         let mut yoff = y;
         for (cat, cov) in cats {
@@ -232,9 +232,9 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
                 .get(*cat as usize)
                 .map(|c| c.color.to_hex())
                 .unwrap_or_else(|| "#000000".into());
-            let _ = write!(
+            let _ = writeln!(
                 svg,
-                "<rect x=\"{x:.2}\" y=\"{yoff:.2}\" width=\"{bucket_w:.2}\" height=\"{sh:.2}\" fill=\"{color}\" class=\"stripe\"/>\n"
+                "<rect x=\"{x:.2}\" y=\"{yoff:.2}\" width=\"{bucket_w:.2}\" height=\"{sh:.2}\" fill=\"{color}\" class=\"stripe\"/>"
             );
             yoff += sh;
         }
@@ -266,10 +266,10 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
             s.end - s.start,
             s.text
         );
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<rect x=\"{x0:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{color}\" \
-             stroke=\"#000\" stroke-width=\"0.3\" class=\"state\"><title>{t}</title></rect>\n",
+             stroke=\"#000\" stroke-width=\"0.3\" class=\"state\"><title>{t}</title></rect>",
             w = (x1 - x0).max(0.5),
             t = esc(&tooltip)
         );
@@ -296,10 +296,10 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
             a.end,
             a.end - a.start
         );
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<line x1=\"{x0:.2}\" y1=\"{y0:.2}\" x2=\"{x1:.2}\" y2=\"{y1:.2}\" stroke=\"{color}\" \
-             stroke-width=\"1\" class=\"arrow\"><title>{t}</title></line>\n",
+             stroke-width=\"1\" class=\"arrow\"><title>{t}</title></line>",
             t = esc(&tooltip)
         );
     }
@@ -319,28 +319,28 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
             .map(|c| c.name.as_str())
             .unwrap_or("?");
         let tooltip = format!("{} @ {:.6}s\n{}", name, e.time, e.text);
-        let _ = write!(
+        let _ = writeln!(
             svg,
-            "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"2.5\" fill=\"{color}\" class=\"bubble\"><title>{t}</title></circle>\n",
+            "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"2.5\" fill=\"{color}\" class=\"bubble\"><title>{t}</title></circle>",
             t = esc(&tooltip)
         );
     }
 
     // Time axis.
     let axis_y = lay.rows as f64 * lay.row_h;
-    let _ = write!(
+    let _ = writeln!(
         svg,
-        "<line x1=\"{g}\" y1=\"{axis_y}\" x2=\"{x2}\" y2=\"{axis_y}\" stroke=\"#aaa\" stroke-width=\"1\"/>\n",
+        "<line x1=\"{g}\" y1=\"{axis_y}\" x2=\"{x2}\" y2=\"{axis_y}\" stroke=\"#aaa\" stroke-width=\"1\"/>",
         g = lay.gutter,
         x2 = lay.total_width()
     );
     for i in 0..=8 {
         let t = vp.t0 + vp.span() * i as f64 / 8.0;
         let x = lay.gutter + vp.x_of(t);
-        let _ = write!(
+        let _ = writeln!(
             svg,
             "<line x1=\"{x:.2}\" y1=\"{axis_y}\" x2=\"{x:.2}\" y2=\"{y2}\" stroke=\"#aaa\" stroke-width=\"1\"/>\
-             <text x=\"{x:.2}\" y=\"{ty}\" fill=\"#ccc\" text-anchor=\"middle\" class=\"tick\">{t:.4}s</text>\n",
+             <text x=\"{x:.2}\" y=\"{ty}\" fill=\"#ccc\" text-anchor=\"middle\" class=\"tick\">{t:.4}s</text>",
             y2 = axis_y + 4.0,
             ty = axis_y + 16.0
         );
@@ -354,8 +354,8 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{Category, CategoryKind, FrameTree};
     use slog2::{ArrowDrawable, EventDrawable, StateDrawable};
+    use slog2::{Category, CategoryKind, FrameTree};
 
     fn test_file(drawables: Vec<Drawable>) -> Slog2File {
         let categories = vec![
@@ -438,7 +438,11 @@ mod tests {
             .collect();
         let f = test_file(ds);
         // Zoomed to 5 ms: each 0.9 ms state is ~144 px wide.
-        let svg = render_svg(&f, &Viewport::new(0.0, 0.005, 800), &RenderOptions::default());
+        let svg = render_svg(
+            &f,
+            &Viewport::new(0.0, 0.005, 800),
+            &RenderOptions::default(),
+        );
         assert!(svg.contains("class=\"state\""));
     }
 
@@ -484,8 +488,10 @@ mod tests {
                 text: String::new(),
             }),
         ]);
-        let mut opts = RenderOptions::default();
-        opts.visible_categories = Some([1u32].into_iter().collect());
+        let opts = RenderOptions {
+            visible_categories: Some([1u32].into_iter().collect()),
+            ..Default::default()
+        };
         let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &opts);
         assert!(!svg.contains("class=\"state\""));
         assert!(svg.contains("class=\"bubble\""));

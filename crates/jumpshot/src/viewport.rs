@@ -75,7 +75,11 @@ impl Viewport {
 
     /// Dragged zoom: jump to an explicit sub-range.
     pub fn zoom_to(&self, t0: f64, t1: f64) -> Viewport {
-        Viewport::new(t0.min(t1), t0.max(t1).max(t0.min(t1) + f64::EPSILON), self.width_px)
+        Viewport::new(
+            t0.min(t1),
+            t0.max(t1).max(t0.min(t1) + f64::EPSILON),
+            self.width_px,
+        )
     }
 
     /// Scroll by `dt` seconds (positive = later).

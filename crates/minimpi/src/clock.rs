@@ -135,7 +135,8 @@ impl RankClock<'_> {
     /// Seconds since world start *as observed by this rank*.
     #[inline]
     pub fn now(&self) -> f64 {
-        self.world.quantize(self.drift.distort(self.world.true_now()))
+        self.world
+            .quantize(self.drift.distort(self.world.true_now()))
     }
 
     /// The drift this rank suffers (exposed for tests and experiments).

@@ -153,7 +153,9 @@ impl Rank {
                 let m = self.recv(Src::Any, Tag::Of(tag))?;
                 parts[m.env.src] = Some(m.payload);
             }
-            Ok(Some(parts.into_iter().map(|p| p.expect("all set")).collect()))
+            Ok(Some(
+                parts.into_iter().map(|p| p.expect("all set")).collect(),
+            ))
         } else {
             self.send_internal(root, tag, contribution)?;
             Ok(None)
@@ -323,7 +325,7 @@ mod tests {
         let out = World::builder(4).run(|rank| {
             let local = vec![rank.rank() as i64, 1];
             match rank.reduce(0, ReduceOp::Sum, &local).unwrap() {
-                Some(total) => assert_eq!(total, vec![0 + 1 + 2 + 3, 4]),
+                Some(total) => assert_eq!(total, vec![1 + 2 + 3, 4]),
                 None => assert_ne!(rank.rank(), 0),
             }
             0

@@ -115,7 +115,7 @@ impl TypedSlice {
     /// Decode a payload into a vector of scalars. The payload length must
     /// be an exact multiple of the scalar width.
     pub fn decode<T: Datum>(bytes: &[u8]) -> Result<Vec<T>> {
-        if bytes.len() % T::WIDTH != 0 {
+        if !bytes.len().is_multiple_of(T::WIDTH) {
             return Err(MpiError::TypeMismatch {
                 expected: T::NAME,
                 len: bytes.len(),
@@ -146,11 +146,20 @@ mod tests {
     #[test]
     fn scalar_roundtrip_each_type() {
         assert_eq!(decode_scalar::<i32>(&encode_scalar(-7i32)).unwrap(), -7);
-        assert_eq!(decode_scalar::<i64>(&encode_scalar(1i64 << 40)).unwrap(), 1 << 40);
+        assert_eq!(
+            decode_scalar::<i64>(&encode_scalar(1i64 << 40)).unwrap(),
+            1 << 40
+        );
         assert_eq!(decode_scalar::<u32>(&encode_scalar(7u32)).unwrap(), 7);
-        assert_eq!(decode_scalar::<u64>(&encode_scalar(u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(
+            decode_scalar::<u64>(&encode_scalar(u64::MAX)).unwrap(),
+            u64::MAX
+        );
         assert_eq!(decode_scalar::<f32>(&encode_scalar(1.5f32)).unwrap(), 1.5);
-        assert_eq!(decode_scalar::<f64>(&encode_scalar(-0.25f64)).unwrap(), -0.25);
+        assert_eq!(
+            decode_scalar::<f64>(&encode_scalar(-0.25f64)).unwrap(),
+            -0.25
+        );
         assert_eq!(decode_scalar::<u8>(&encode_scalar(255u8)).unwrap(), 255);
         assert_eq!(decode_scalar::<i8>(&encode_scalar(-128i8)).unwrap(), -128);
     }

@@ -63,7 +63,10 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4'));
 
-        let e = MpiError::Aborted { origin: 2, code: 77 };
+        let e = MpiError::Aborted {
+            origin: 2,
+            code: 77,
+        };
         let s = e.to_string();
         assert!(s.contains("rank 2") && s.contains("77"));
     }
@@ -71,9 +74,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(MpiError::Timeout, MpiError::Timeout);
-        assert_ne!(
-            MpiError::Timeout,
-            MpiError::Aborted { origin: 0, code: 0 }
-        );
+        assert_ne!(MpiError::Timeout, MpiError::Aborted { origin: 0, code: 0 });
     }
 }

@@ -267,7 +267,13 @@ mod tests {
         let abort = AbortToken::default();
         abort.trip(2, 42);
         let e = mb.recv(Src::Any, Tag::Any, &abort).unwrap_err();
-        assert_eq!(e, MpiError::Aborted { origin: 2, code: 42 });
+        assert_eq!(
+            e,
+            MpiError::Aborted {
+                origin: 2,
+                code: 42
+            }
+        );
     }
 
     #[test]

@@ -313,12 +313,16 @@ impl Rank {
 
     /// Blocking probe (does not consume the message).
     pub fn probe(&self, src: Src, tag: Tag) -> Result<Envelope> {
-        self.mailbox.borrow_mut().probe(src, tag, &self.shared.abort)
+        self.mailbox
+            .borrow_mut()
+            .probe(src, tag, &self.shared.abort)
     }
 
     /// Non-blocking probe.
     pub fn iprobe(&self, src: Src, tag: Tag) -> Result<Option<Envelope>> {
-        self.mailbox.borrow_mut().iprobe(src, tag, &self.shared.abort)
+        self.mailbox
+            .borrow_mut()
+            .iprobe(src, tag, &self.shared.abort)
     }
 
     /// Abort the whole world, like `MPI_Abort`: every rank's next (or
@@ -462,7 +466,10 @@ mod tests {
             }
             // Ranks 1 and 2 block forever — abort must wake them.
             match rank.recv(Src::Any, Tag::Any) {
-                Err(MpiError::Aborted { origin: 0, code: 99 }) => 2,
+                Err(MpiError::Aborted {
+                    origin: 0,
+                    code: 99,
+                }) => 2,
                 other => panic!("expected abort, got {other:?}"),
             }
         });

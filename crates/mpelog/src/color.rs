@@ -121,7 +121,11 @@ impl Color {
 
     /// Unpack from a `u32`.
     pub fn unpack(v: u32) -> Color {
-        Color::rgb(((v >> 16) & 0xFF) as u8, ((v >> 8) & 0xFF) as u8, (v & 0xFF) as u8)
+        Color::rgb(
+            ((v >> 16) & 0xFF) as u8,
+            ((v >> 8) & 0xFF) as u8,
+            (v & 0xFF) as u8,
+        )
     }
 }
 

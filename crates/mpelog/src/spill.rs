@@ -292,7 +292,9 @@ mod tests {
     fn salvage_of_empty_dir_is_none() {
         let dir = tmpdir("empty");
         assert!(salvage(&dir).unwrap().is_none());
-        assert!(salvage(Path::new("/nonexistent-dir-xyz")).unwrap().is_none());
+        assert!(salvage(Path::new("/nonexistent-dir-xyz"))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -286,7 +286,13 @@ mod tests {
     #[test]
     fn f64_bit_exact_for_specials() {
         let mut w = Writer::new();
-        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, f64::MIN_POSITIVE] {
+        for v in [
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE,
+        ] {
             w.put_f64(v);
         }
         let bytes = w.into_bytes();

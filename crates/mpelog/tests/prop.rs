@@ -4,24 +4,25 @@
 use mpelog::ids::EventId;
 use mpelog::record::{clamp_info, Record};
 use mpelog::wire::{Reader, Writer};
-use mpelog::{Clog2File, ClockCorrection, Color, Logger, MAX_INFO_BYTES};
+use mpelog::{ClockCorrection, Clog2File, Color, Logger, MAX_INFO_BYTES};
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = Record> {
     prop_oneof![
-        (any::<f64>().prop_filter("finite", |t| t.is_finite()), any::<u32>(), ".{0,60}").prop_map(
-            |(ts, id, text)| Record::Event {
+        (
+            any::<f64>().prop_filter("finite", |t| t.is_finite()),
+            any::<u32>(),
+            ".{0,60}"
+        )
+            .prop_map(|(ts, id, text)| Record::Event {
                 ts,
                 id: EventId(id),
                 text: clamp_info(&text),
-            }
-        ),
-        (0f64..1e6, any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(ts, dst, tag, size)| {
-            Record::Send { ts, dst, tag, size }
-        }),
-        (0f64..1e6, any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(ts, src, tag, size)| {
-            Record::Recv { ts, src, tag, size }
-        }),
+            }),
+        (0f64..1e6, any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(ts, dst, tag, size)| { Record::Send { ts, dst, tag, size } }),
+        (0f64..1e6, any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(ts, src, tag, size)| { Record::Recv { ts, src, tag, size } }),
     ]
 }
 

@@ -157,9 +157,7 @@ impl PilotConfig {
 
     /// The rank running the service loop, if any (always the last rank).
     pub fn service_rank(&self) -> Option<usize> {
-        self.services
-            .needs_service_rank()
-            .then(|| self.ranks - 1)
+        self.services.needs_service_rank().then(|| self.ranks - 1)
     }
 }
 
@@ -180,8 +178,8 @@ mod tests {
 
     #[test]
     fn from_args_parses_pilot_options_and_ignores_rest() {
-        let cfg =
-            PilotConfig::from_args(6, &["./lab2", "-pisvc=cdj", "input.csv", "-picheck=3"]).unwrap();
+        let cfg = PilotConfig::from_args(6, &["./lab2", "-pisvc=cdj", "input.csv", "-picheck=3"])
+            .unwrap();
         assert!(cfg.services.call_log && cfg.services.deadlock && cfg.services.jumpshot);
         assert_eq!(cfg.check_level, 3);
         assert_eq!(cfg.ranks, 6);

@@ -142,10 +142,9 @@ impl WaitForGraph {
                     continue;
                 }
                 if let ProcStatus::Blocked(info) = &self.status[p] {
-                    let can = info
-                        .waits
-                        .iter()
-                        .any(|&(peer, chan)| self.credit(chan) > 0 || live.get(peer).copied().unwrap_or(false));
+                    let can = info.waits.iter().any(|&(peer, chan)| {
+                        self.credit(chan) > 0 || live.get(peer).copied().unwrap_or(false)
+                    });
                     if can {
                         live[p] = true;
                         changed = true;
@@ -308,6 +307,9 @@ mod tests {
         let mut g = WaitForGraph::new(2);
         g.note_write(0, 1);
         assert!(g.block(0, read_block(1, 1)).is_none());
-        assert!(g.block(1, read_block(0, 0)).is_none(), "credit on C0 keeps P1 live");
+        assert!(
+            g.block(1, read_block(0, 0)).is_none(),
+            "credit on C0 keeps P1 live"
+        );
     }
 }

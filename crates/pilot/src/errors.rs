@@ -51,29 +51,73 @@ pub enum PilotError {
     /// An execution-phase function was called during configuration.
     ExecPhaseOnly { what: &'static str, at: CallSite },
     /// More processes created than MPI ranks available.
-    TooManyProcesses { requested: usize, available: usize, at: CallSite },
+    TooManyProcesses {
+        requested: usize,
+        available: usize,
+        at: CallSite,
+    },
     /// A handle referred to a nonexistent table entry.
-    BadHandle { what: &'static str, index: usize, at: CallSite },
+    BadHandle {
+        what: &'static str,
+        index: usize,
+        at: CallSite,
+    },
     /// The calling process is not this channel's reader.
-    NotChannelReader { chan: Channel, caller: Process, reader: Process, at: CallSite },
+    NotChannelReader {
+        chan: Channel,
+        caller: Process,
+        reader: Process,
+        at: CallSite,
+    },
     /// The calling process is not this channel's writer.
-    NotChannelWriter { chan: Channel, caller: Process, writer: Process, at: CallSite },
+    NotChannelWriter {
+        chan: Channel,
+        caller: Process,
+        writer: Process,
+        at: CallSite,
+    },
     /// A bundle was used with the wrong collective function.
-    WrongBundleUsage { bundle: Bundle, expected: BundleUsage, used_with: BundleUsage, at: CallSite },
+    WrongBundleUsage {
+        bundle: Bundle,
+        expected: BundleUsage,
+        used_with: BundleUsage,
+        at: CallSite,
+    },
     /// The calling process is not the bundle's common endpoint.
-    NotBundleRoot { bundle: Bundle, caller: Process, root: Process, at: CallSite },
+    NotBundleRoot {
+        bundle: Bundle,
+        caller: Process,
+        root: Process,
+        at: CallSite,
+    },
     /// A bundle's channels do not share a common endpoint.
     NoCommonEndpoint { at: CallSite },
     /// A format string failed to parse.
-    BadFormat { format: String, reason: String, at: CallSite },
+    BadFormat {
+        format: String,
+        reason: String,
+        at: CallSite,
+    },
     /// The number or type of data slots does not match the format.
-    SlotMismatch { format: String, reason: String, at: CallSite },
+    SlotMismatch {
+        format: String,
+        reason: String,
+        at: CallSite,
+    },
     /// Error-check level 2: the reader's format does not match the
     /// writer's.
-    FormatMismatch { writer_fmt: String, reader_fmt: String, at: CallSite },
+    FormatMismatch {
+        writer_fmt: String,
+        reader_fmt: String,
+        at: CallSite,
+    },
     /// A received message did not carry the expected type/count
     /// (corruption or mismatched code without level-2 checking).
-    WireMismatch { expected: String, got: String, at: CallSite },
+    WireMismatch {
+        expected: String,
+        got: String,
+        at: CallSite,
+    },
     /// Error-check level 3: an argument failed validity checks (e.g. a
     /// fixed-size slice of the wrong length — the analogue of the C
     /// library's pointer validity checks).
@@ -108,12 +152,22 @@ impl std::fmt::Display for PilotError {
         match self {
             PilotError::Done(code) => write!(f, "process finished with code {code}"),
             PilotError::ConfigPhaseOnly { what, at } => {
-                write!(f, "{at}: {what} may only be called during the configuration phase")
+                write!(
+                    f,
+                    "{at}: {what} may only be called during the configuration phase"
+                )
             }
             PilotError::ExecPhaseOnly { what, at } => {
-                write!(f, "{at}: {what} may only be called during the execution phase")
+                write!(
+                    f,
+                    "{at}: {what} may only be called during the execution phase"
+                )
             }
-            PilotError::TooManyProcesses { requested, available, at } => write!(
+            PilotError::TooManyProcesses {
+                requested,
+                available,
+                at,
+            } => write!(
                 f,
                 "{at}: process #{requested} requested but only {available} are available \
                  (one MPI rank per process; services consume a rank)"
@@ -121,28 +175,48 @@ impl std::fmt::Display for PilotError {
             PilotError::BadHandle { what, index, at } => {
                 write!(f, "{at}: invalid {what} handle #{index}")
             }
-            PilotError::NotChannelReader { chan, caller, reader, at } => write!(
+            PilotError::NotChannelReader {
+                chan,
+                caller,
+                reader,
+                at,
+            } => write!(
                 f,
                 "{at}: process P{} called PI_Read on C{} but its reader is P{}",
                 caller.index(),
                 chan.index(),
                 reader.index()
             ),
-            PilotError::NotChannelWriter { chan, caller, writer, at } => write!(
+            PilotError::NotChannelWriter {
+                chan,
+                caller,
+                writer,
+                at,
+            } => write!(
                 f,
                 "{at}: process P{} called PI_Write on C{} but its writer is P{}",
                 caller.index(),
                 chan.index(),
                 writer.index()
             ),
-            PilotError::WrongBundleUsage { bundle, expected, used_with, at } => write!(
+            PilotError::WrongBundleUsage {
+                bundle,
+                expected,
+                used_with,
+                at,
+            } => write!(
                 f,
                 "{at}: bundle B{} was created for {} but used with {}",
                 bundle.index(),
                 expected.name(),
                 used_with.name()
             ),
-            PilotError::NotBundleRoot { bundle, caller, root, at } => write!(
+            PilotError::NotBundleRoot {
+                bundle,
+                caller,
+                root,
+                at,
+            } => write!(
                 f,
                 "{at}: process P{} used bundle B{} whose endpoint is P{}",
                 caller.index(),
@@ -158,12 +232,19 @@ impl std::fmt::Display for PilotError {
             PilotError::SlotMismatch { format, reason, at } => {
                 write!(f, "{at}: data does not match format '{format}': {reason}")
             }
-            PilotError::FormatMismatch { writer_fmt, reader_fmt, at } => write!(
+            PilotError::FormatMismatch {
+                writer_fmt,
+                reader_fmt,
+                at,
+            } => write!(
                 f,
                 "{at}: reader format '{reader_fmt}' does not match writer format '{writer_fmt}'"
             ),
             PilotError::WireMismatch { expected, got, at } => {
-                write!(f, "{at}: expected {expected} on the wire but received {got}")
+                write!(
+                    f,
+                    "{at}: expected {expected} on the wire but received {got}"
+                )
             }
             PilotError::BadArgument { what, at } => write!(f, "{at}: invalid argument: {what}"),
             PilotError::DeadlockDetected { report } => {

@@ -126,7 +126,9 @@ pub fn parse_format(fmt: &str) -> Result<Vec<FormatSpec>, String> {
             continue;
         }
         if c != '%' {
-            return Err(format!("unexpected character '{c}' (specifiers start with %)"));
+            return Err(format!(
+                "unexpected character '{c}' (specifiers start with %)"
+            ));
         }
         // Length prefix.
         let len = match chars.peek() {
@@ -476,7 +478,10 @@ pub fn decode_call(
         }
         let h = peek_header(&msgs[mi])?;
         if h.marker != MSG_DATA {
-            return Err(format!("expected a data message, got marker '{}'", h.marker as char));
+            return Err(format!(
+                "expected a data message, got marker '{}'",
+                h.marker as char
+            ));
         }
         if h.kind != spec.kind {
             return Err(format!(
@@ -513,7 +518,9 @@ pub fn decode_call(
         }
         let payload = &msgs[mi][6..];
         match (spec.kind, slot) {
-            (ScalarKind::Int, RSlot::Int(v)) => **v = decode_elems(payload, 1, i64::from_le_bytes)?[0],
+            (ScalarKind::Int, RSlot::Int(v)) => {
+                **v = decode_elems(payload, 1, i64::from_le_bytes)?[0]
+            }
             (ScalarKind::Int, RSlot::IntArr(a)) => {
                 let vs = decode_elems(payload, h.count, i64::from_le_bytes)?;
                 if vs.len() != a.len() {
@@ -528,7 +535,9 @@ pub fn decode_call(
             (ScalarKind::Int, RSlot::IntVec(v)) => {
                 **v = decode_elems(payload, h.count, i64::from_le_bytes)?;
             }
-            (ScalarKind::Uint, RSlot::Uint(v)) => **v = decode_elems(payload, 1, u64::from_le_bytes)?[0],
+            (ScalarKind::Uint, RSlot::Uint(v)) => {
+                **v = decode_elems(payload, 1, u64::from_le_bytes)?[0]
+            }
             (ScalarKind::Uint, RSlot::UintArr(a)) => {
                 let vs = decode_elems(payload, h.count, u64::from_le_bytes)?;
                 if vs.len() != a.len() {
@@ -543,7 +552,9 @@ pub fn decode_call(
             (ScalarKind::Uint, RSlot::UintVec(v)) => {
                 **v = decode_elems(payload, h.count, u64::from_le_bytes)?;
             }
-            (ScalarKind::Float, RSlot::Float(v)) => **v = decode_elems(payload, 1, f64::from_le_bytes)?[0],
+            (ScalarKind::Float, RSlot::Float(v)) => {
+                **v = decode_elems(payload, 1, f64::from_le_bytes)?[0]
+            }
             (ScalarKind::Float, RSlot::FloatArr(a)) => {
                 let vs = decode_elems(payload, h.count, f64::from_le_bytes)?;
                 if vs.len() != a.len() {
@@ -580,12 +591,7 @@ pub fn decode_call(
                 }
                 **v = payload.to_vec();
             }
-            (k, s) => {
-                return Err(format!(
-                    "destination {s:?} does not accept %{}",
-                    k.letter()
-                ))
-            }
+            (k, s) => return Err(format!("destination {s:?} does not accept %{}", k.letter())),
         }
         mi += 1;
     }
@@ -617,7 +623,12 @@ mod tests {
         let specs = parse_format("%d %u %lf %b").unwrap();
         assert_eq!(
             specs.iter().map(|s| s.kind).collect::<Vec<_>>(),
-            vec![ScalarKind::Int, ScalarKind::Uint, ScalarKind::Float, ScalarKind::Byte]
+            vec![
+                ScalarKind::Int,
+                ScalarKind::Uint,
+                ScalarKind::Float,
+                ScalarKind::Byte
+            ]
         );
         assert!(specs.iter().all(|s| s.len == LenMode::One));
     }
@@ -662,9 +673,15 @@ mod tests {
 
     #[test]
     fn message_counts() {
-        assert_eq!(expected_message_count(&parse_format("%d %100f").unwrap()), 2);
+        assert_eq!(
+            expected_message_count(&parse_format("%d %100f").unwrap()),
+            2
+        );
         assert_eq!(expected_message_count(&parse_format("%^d").unwrap()), 2);
-        assert_eq!(expected_message_count(&parse_format("%d %^f %b").unwrap()), 4);
+        assert_eq!(
+            expected_message_count(&parse_format("%d %^f %b").unwrap()),
+            4
+        );
     }
 
     fn roundtrip(fmt: &str, wslots: &[WSlot<'_>]) -> Vec<Vec<u8>> {
@@ -674,12 +691,15 @@ mod tests {
 
     #[test]
     fn scalar_roundtrip() {
-        let msgs = roundtrip("%d %u %lf %b", &[
-            WSlot::Int(-5),
-            WSlot::Uint(7),
-            WSlot::Float(2.5),
-            WSlot::Byte(9),
-        ]);
+        let msgs = roundtrip(
+            "%d %u %lf %b",
+            &[
+                WSlot::Int(-5),
+                WSlot::Uint(7),
+                WSlot::Float(2.5),
+                WSlot::Byte(9),
+            ],
+        );
         let specs = parse_format("%d %u %lf %b").unwrap();
         let (mut a, mut b, mut c, mut d) = (0i64, 0u64, 0.0f64, 0u8);
         decode_call(
@@ -798,9 +818,19 @@ mod tests {
     fn corrupt_wire_is_an_error_not_a_panic() {
         let specs = parse_format("%d").unwrap();
         let mut v = 0i64;
-        for bad in [vec![], vec![b'D'], vec![b'D', 0, 1, 0, 0, 0], vec![b'Z'; 20]] {
+        for bad in [
+            vec![],
+            vec![b'D'],
+            vec![b'D', 0, 1, 0, 0, 0],
+            vec![b'Z'; 20],
+        ] {
             assert!(
-                decode_call(&specs, &mut [RSlot::Int(&mut v)], &[bad.clone()]).is_err(),
+                decode_call(
+                    &specs,
+                    &mut [RSlot::Int(&mut v)],
+                    std::slice::from_ref(&bad)
+                )
+                .is_err(),
                 "{bad:?}"
             );
         }

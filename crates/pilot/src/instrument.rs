@@ -151,7 +151,10 @@ impl Instrument {
         ];
         if let Some(dir) = spill_dir {
             if let Err(e) = lg.attach_spill(dir) {
-                eprintln!("pilot: cannot open MPE spill file in {}: {e}", dir.display());
+                eprintln!(
+                    "pilot: cannot open MPE spill file in {}: {e}",
+                    dir.display()
+                );
             }
         }
         Instrument {
@@ -336,7 +339,10 @@ mod tests {
         // strings; spot-check the shapes used by the runtime.
         for text in ["Chan: C3", "Len: 100 First: 3.25", "Line: 42", "Ret: 1"] {
             assert!(
-                text.chars().next().map(|c| c.is_ascii_alphabetic()).unwrap_or(false),
+                text.chars()
+                    .next()
+                    .map(|c| c.is_ascii_alphabetic())
+                    .unwrap_or(false),
                 "{text} must start with literal text"
             );
         }

@@ -20,15 +20,15 @@ use std::cell::RefCell;
 use std::time::Duration;
 
 use minimpi::{Rank, Src, Tag, World, WorldOutcome};
-use mpelog::{finish_log, sync_clocks, Clog2File, ClockCorrection};
+use mpelog::{finish_log, sync_clocks, ClockCorrection, Clog2File};
 use parking_lot::Mutex;
 
 use crate::config::PilotConfig;
 use crate::deadlock::DeadlockReport;
 use crate::errors::{CallSite, PilotError, PilotResult};
 use crate::format::{
-    canonical_format, decode_call, encode_call, expected_message_count, format_preamble, parse_format,
-    parse_preamble, peek_header, FormatSpec, LenMode, RSlot, WSlot, MSG_FORMAT,
+    canonical_format, decode_call, encode_call, expected_message_count, format_preamble,
+    parse_format, parse_preamble, peek_header, FormatSpec, LenMode, RSlot, WSlot, MSG_FORMAT,
 };
 use crate::instrument::{BubbleKind, Instrument, StateKind};
 use crate::service::{run_service, ServiceShared, SvcEvent, TAG_SVC};
@@ -608,7 +608,11 @@ impl<'r, 'env> Pilot<'r, 'env> {
         {
             let mut ins = self.instr.borrow_mut();
             ins.state_end(StateKind::Configure, now, "");
-            ins.bubble(BubbleKind::StartAll, now, &format!("Line: {}", Self::short_loc(&at)));
+            ins.bubble(
+                BubbleKind::StartAll,
+                now,
+                &format!("Line: {}", Self::short_loc(&at)),
+            );
             ins.state_start(StateKind::Compute, now, &self.call_text(&at));
         }
         if self.rank.rank() == 0 {
@@ -630,11 +634,13 @@ impl<'r, 'env> Pilot<'r, 'env> {
             0
         };
         let now = self.rank.wtime();
-        self.instr.borrow_mut().state_end(StateKind::Compute, now, "");
+        self.instr
+            .borrow_mut()
+            .state_end(StateKind::Compute, now, "");
         self.ddt_event(SvcEvent::Exit { proc: me as u32 });
         self.native_line(format!("t={now:.6} P{me} work function returned {code}"));
         // Tell PI_MAIN we are done, then join the collective wrap-up.
-        self.rank.send(0, TAG_DONE, &(code as i32).to_le_bytes())?;
+        self.rank.send(0, TAG_DONE, &code.to_le_bytes())?;
         self.wrapup()?;
         self.st.borrow_mut().phase = Phase::Done;
         Err(PilotError::Done(code))
@@ -657,7 +663,11 @@ impl<'r, 'env> Pilot<'r, 'env> {
         let now = self.rank.wtime();
         {
             let mut ins = self.instr.borrow_mut();
-            ins.bubble(BubbleKind::StopMain, now, &format!("Line: {}", Self::short_loc(&at)));
+            ins.bubble(
+                BubbleKind::StopMain,
+                now,
+                &format!("Line: {}", Self::short_loc(&at)),
+            );
             ins.state_end(StateKind::Compute, now, "");
         }
         self.native_line(format!("t={now:.6} P0 PI_StopMain status={status}"));
@@ -732,7 +742,9 @@ impl<'r, 'env> Pilot<'r, 'env> {
                 // Configuration-only program: close the Configure state,
                 // shut the service down, and do the collective wrap-up.
                 let now = self.rank.wtime();
-                self.instr.borrow_mut().state_end(StateKind::Configure, now, "");
+                self.instr
+                    .borrow_mut()
+                    .state_end(StateKind::Configure, now, "");
                 if self.rank.rank() == 0 {
                     self.send_svc(&SvcEvent::Shutdown);
                 }
@@ -859,7 +871,10 @@ impl<'r, 'env> Pilot<'r, 'env> {
             let pre = format_preamble(&canonical_format(specs));
             self.send_chan_msg(to, tag, &pre, false)?;
         }
-        let first = slots.first().map(WSlot::first_element_display).unwrap_or_default();
+        let first = slots
+            .first()
+            .map(WSlot::first_element_display)
+            .unwrap_or_default();
         let total: usize = slots.iter().map(WSlot::count).sum();
         for m in &msgs {
             self.send_chan_msg(to, tag, m, true)?;
@@ -871,12 +886,20 @@ impl<'r, 'env> Pilot<'r, 'env> {
         );
 
         if let Some(kind) = state {
-            self.instr.borrow_mut().state_end(kind, self.rank.wtime(), "");
+            self.instr
+                .borrow_mut()
+                .state_end(kind, self.rank.wtime(), "");
         }
         Ok(())
     }
 
-    fn send_chan_msg(&self, to_proc: usize, tag: u32, msg: &[u8], log_arrow: bool) -> PilotResult<()> {
+    fn send_chan_msg(
+        &self,
+        to_proc: usize,
+        tag: u32,
+        msg: &[u8],
+        log_arrow: bool,
+    ) -> PilotResult<()> {
         // Take the timestamp BEFORE the message becomes visible: the
         // receiver may log its arrival before this thread runs again,
         // and an arrival earlier than its send would be a backward
@@ -969,11 +992,12 @@ impl<'r, 'env> Pilot<'r, 'env> {
                         at: at.clone(),
                     });
                 }
-                let writer_fmt = parse_preamble(&m.payload).map_err(|e| PilotError::WireMismatch {
-                    expected: "format preamble".into(),
-                    got: e,
-                    at: at.clone(),
-                })?;
+                let writer_fmt =
+                    parse_preamble(&m.payload).map_err(|e| PilotError::WireMismatch {
+                        expected: "format preamble".into(),
+                        got: e,
+                        at: at.clone(),
+                    })?;
                 let mine = canonical_format(specs);
                 if writer_fmt != mine {
                     return Err(PilotError::FormatMismatch {
@@ -1015,7 +1039,9 @@ impl<'r, 'env> Pilot<'r, 'env> {
         })?;
 
         if let Some(kind) = state {
-            self.instr.borrow_mut().state_end(kind, self.rank.wtime(), "");
+            self.instr
+                .borrow_mut()
+                .state_end(kind, self.rank.wtime(), "");
         }
         Ok(())
     }
@@ -1073,11 +1099,9 @@ impl<'r, 'env> Pilot<'r, 'env> {
     pub fn log(&self, text: &str) {
         let at = CallSite::here();
         let now = self.rank.wtime();
-        self.instr.borrow_mut().bubble(
-            BubbleKind::Log,
-            now,
-            &format!("Note: {text}"),
-        );
+        self.instr
+            .borrow_mut()
+            .bubble(BubbleKind::Log, now, &format!("Note: {text}"));
         self.native_line(format!(
             "t={now:.6} P{} PI_Log {} at {}",
             self.rank.rank(),
@@ -1186,7 +1210,10 @@ impl<'r, 'env> Pilot<'r, 'env> {
             at: at.clone(),
         })?;
         let per = match specs.as_slice() {
-            [FormatSpec { len: LenMode::Fixed(n), .. }] => *n,
+            [FormatSpec {
+                len: LenMode::Fixed(n),
+                ..
+            }] => *n,
             _ => {
                 return Err(PilotError::BadFormat {
                     format: fmt.into(),
@@ -1261,9 +1288,18 @@ impl<'r, 'env> Pilot<'r, 'env> {
         let at = CallSite::here();
         self.require_exec("PI_Gather", &at)?;
         let (channels, _root, name) = self.bundle_entry(bundle, BundleUsage::Gather, &at)?;
-        self.gather_impl(&channels, &name, StateKind::Gather, "PI_Gather", fmt, slot, &at)
+        self.gather_impl(
+            &channels,
+            &name,
+            StateKind::Gather,
+            "PI_Gather",
+            fmt,
+            slot,
+            &at,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors PI_Gather's C parameter list
     fn gather_impl(
         &self,
         channels: &[usize],
@@ -1280,22 +1316,27 @@ impl<'r, 'env> Pilot<'r, 'env> {
             at: at.clone(),
         })?;
         let per = match specs.as_slice() {
-            [FormatSpec { len: LenMode::One, .. }] => 1usize,
-            [FormatSpec { len: LenMode::Fixed(n), .. }] => *n,
+            [FormatSpec {
+                len: LenMode::One, ..
+            }] => 1usize,
+            [FormatSpec {
+                len: LenMode::Fixed(n),
+                ..
+            }] => *n,
             _ => {
                 return Err(PilotError::BadFormat {
                     format: fmt.into(),
-                    reason: format!(
-                        "{opname} needs a single scalar or fixed-size array specifier"
-                    ),
+                    reason: format!("{opname} needs a single scalar or fixed-size array specifier"),
                     at: at.clone(),
                 })
             }
         };
         let n = channels.len();
-        self.instr
-            .borrow_mut()
-            .state_start(state, self.rank.wtime(), &self.bundle_text(bundle_name, at));
+        self.instr.borrow_mut().state_start(
+            state,
+            self.rank.wtime(),
+            &self.bundle_text(bundle_name, at),
+        );
         self.native_line(format!(
             "t={:.6} P{} {} fmt={} at {}",
             self.rank.wtime(),
@@ -1366,8 +1407,13 @@ impl<'r, 'env> Pilot<'r, 'env> {
             at: at.clone(),
         })?;
         let per = match specs.as_slice() {
-            [FormatSpec { len: LenMode::One, .. }] => 1usize,
-            [FormatSpec { len: LenMode::Fixed(n), .. }] => *n,
+            [FormatSpec {
+                len: LenMode::One, ..
+            }] => 1usize,
+            [FormatSpec {
+                len: LenMode::Fixed(n),
+                ..
+            }] => *n,
             _ => {
                 return Err(PilotError::BadFormat {
                     format: fmt.into(),

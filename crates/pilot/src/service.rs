@@ -82,7 +82,13 @@ impl SvcEvent {
                 w.put_u8(1);
                 w.put_str(s);
             }
-            SvcEvent::PreBlock { proc, op, waits, loc, res } => {
+            SvcEvent::PreBlock {
+                proc,
+                op,
+                waits,
+                loc,
+                res,
+            } => {
                 w.put_u8(2);
                 w.put_u32(*proc);
                 w.put_str(op);
@@ -185,7 +191,10 @@ pub fn run_service(rank: &Rank, config: &PilotConfig, shared: &ServiceShared) ->
         let ev = match SvcEvent::decode(&msg.payload) {
             Ok(ev) => ev,
             Err(e) => {
-                eprintln!("pilot service: corrupt event from rank {}: {e}", msg.env.src);
+                eprintln!(
+                    "pilot service: corrupt event from rank {}: {e}",
+                    msg.env.src
+                );
                 continue;
             }
         };
@@ -199,7 +208,13 @@ pub fn run_service(rank: &Rank, config: &PilotConfig, shared: &ServiceShared) ->
                 shared.native_lines.lock().push(line);
                 None
             }
-            SvcEvent::PreBlock { proc, op, waits, loc, res } => wfg.block(
+            SvcEvent::PreBlock {
+                proc,
+                op,
+                waits,
+                loc,
+                res,
+            } => wfg.block(
                 proc as usize,
                 BlockInfo {
                     op,

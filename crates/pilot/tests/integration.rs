@@ -5,9 +5,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use pilot::{
-    BundleUsage, PilotConfig, PilotError, RSlot, Services, WSlot, PI_MAIN,
-};
+use pilot::{BundleUsage, PilotConfig, PilotError, RSlot, Services, WSlot, PI_MAIN};
 
 fn svc(letters: &str) -> Services {
     Services::parse(letters).unwrap()
@@ -40,6 +38,7 @@ fn ping_pong_master_worker() {
 }
 
 #[test]
+#[allow(clippy::needless_range_loop)] // mirrors the paper's C listing
 fn lab2_style_sum_with_runtime_arrays() {
     // The paper's Fig. 3 program: W workers each get a share of an
     // array, sum it, and report back.
@@ -78,7 +77,11 @@ fn lab2_style_sum_with_runtime_arrays() {
             }
             let lo = i * (NUM / W);
             pi.write(to_worker[i], "%d", &[WSlot::Int(portion as i64)])?;
-            pi.write(to_worker[i], "%*d", &[WSlot::IntArr(&numbers[lo..lo + portion])])?;
+            pi.write(
+                to_worker[i],
+                "%*d",
+                &[WSlot::IntArr(&numbers[lo..lo + portion])],
+            )?;
         }
         let mut total = 0i64;
         for i in 0..W {
@@ -214,7 +217,8 @@ fn scatter_and_reduce_collectives() {
             pi.assign_work(w, move |pi, _| {
                 let mut part = [0i64; 2];
                 pi.read(rx, "%2d", &mut [RSlot::IntArr(&mut part)]).unwrap();
-                pi.write(tx, "%d", &[WSlot::Int(part[0] + part[1])]).unwrap();
+                pi.write(tx, "%d", &[WSlot::Int(part[0] + part[1])])
+                    .unwrap();
                 0
             })?;
         }
@@ -222,7 +226,12 @@ fn scatter_and_reduce_collectives() {
         let data: Vec<i64> = (1..=(2 * W) as i64).collect(); // 1..=8
         pi.scatter(sc, "%2d", &WSlot::IntArr(&data))?;
         let mut total = 0i64;
-        pi.reduce(rd, minimpi::ReduceOp::Sum, "%d", &mut RSlot::Int(&mut total))?;
+        pi.reduce(
+            rd,
+            minimpi::ReduceOp::Sum,
+            "%d",
+            &mut RSlot::Int(&mut total),
+        )?;
         reduced.store(total, Ordering::SeqCst);
         pi.stop_main(0)
     });
@@ -262,7 +271,11 @@ fn select_finds_ready_channel() {
         pi.stop_main(0)
     });
     assert!(out.is_clean(), "{out:?}");
-    assert_eq!(picked.load(Ordering::SeqCst), 1, "channel b (index 1) is ready first");
+    assert_eq!(
+        picked.load(Ordering::SeqCst),
+        1,
+        "channel b (index 1) is ready first"
+    );
 }
 
 #[test]
@@ -322,7 +335,11 @@ fn format_mismatch_caught_at_level_2() {
         pi.assign_work(w, move |pi, _| {
             let mut x = 0.0f64;
             match pi.read(c, "%lf", &mut [RSlot::Float(&mut x)]) {
-                Err(PilotError::FormatMismatch { writer_fmt, reader_fmt, .. }) => {
+                Err(PilotError::FormatMismatch {
+                    writer_fmt,
+                    reader_fmt,
+                    ..
+                }) => {
                     assert_eq!(writer_fmt, "%d");
                     assert_eq!(reader_fmt, "%lf");
                     caught.store(1, Ordering::SeqCst);
@@ -511,10 +528,7 @@ fn jumpshot_logging_produces_merged_clog() {
     assert_eq!(clog.nranks, 3);
     // Every rank contributed a block with records.
     for r in 0..3u32 {
-        assert!(
-            !clog.blocks[&r].is_empty(),
-            "rank {r} should have records"
-        );
+        assert!(!clog.blocks[&r].is_empty(), "rank {r} should have records");
     }
     // The state vocabulary is defined.
     let names: Vec<&str> = clog.state_defs.iter().map(|d| d.name.as_str()).collect();
@@ -523,7 +537,7 @@ fn jumpshot_logging_produces_merged_clog() {
     }
     // Wrap-up time was measured.
     let wrapup = out.artifacts.wrapup_seconds.expect("wrapup measured");
-    assert!(wrapup >= 0.0 && wrapup < 5.0, "wrapup {wrapup}");
+    assert!((0.0..5.0).contains(&wrapup), "wrapup {wrapup}");
     // Timeline names recorded for the viewer.
     assert_eq!(
         out.artifacts.process_names,
@@ -542,8 +556,12 @@ fn converted_log_has_states_arrows_and_nesting() {
             let mut v = [0i64; 3];
             // One call, two specifiers -> two messages, two bubbles.
             let mut x = 0i64;
-            pi.read(c, "%d %3d", &mut [RSlot::Int(&mut x), RSlot::IntArr(&mut v)])
-                .unwrap();
+            pi.read(
+                c,
+                "%d %3d",
+                &mut [RSlot::Int(&mut x), RSlot::IntArr(&mut v)],
+            )
+            .unwrap();
             0
         })?;
         pi.start_all()?;
@@ -576,7 +594,9 @@ fn converted_log_has_states_arrows_and_nesting() {
         })
         .collect();
     assert_eq!(arrows.len(), 2, "{arrows:?}");
-    assert!(arrows.iter().all(|a| a.from_timeline == 0 && a.to_timeline == 1));
+    assert!(arrows
+        .iter()
+        .all(|a| a.from_timeline == 0 && a.to_timeline == 1));
     assert!(arrows.iter().all(|a| a.end >= a.start), "causal arrows");
     let bubbles = ds
         .iter()
@@ -669,7 +689,11 @@ fn set_names_flow_to_artifacts() {
     assert!(out.is_clean(), "{out:?}");
     assert_eq!(
         out.artifacts.process_names,
-        vec!["PI_MAIN".to_string(), "decompressor".to_string(), "compressor".to_string()]
+        vec![
+            "PI_MAIN".to_string(),
+            "decompressor".to_string(),
+            "compressor".to_string()
+        ]
     );
 }
 
@@ -816,10 +840,12 @@ fn spill_files_salvage_the_log_after_abort() {
     // ...but the spill files survive and salvage to a usable CLOG2.
     let clog = mpelog::salvage(&dir).unwrap().expect("spilled log");
     assert_eq!(clog.nranks, 2);
-    assert!(clog.blocks[&0].iter().any(|r| matches!(
-        r,
-        mpelog::Record::Send { tag: 1000, .. }
-    )), "the PI_Write send must have been spilled");
+    assert!(
+        clog.blocks[&0]
+            .iter()
+            .any(|r| matches!(r, mpelog::Record::Send { tag: 1000, .. })),
+        "the PI_Write send must have been spilled"
+    );
     // The salvaged log converts; the PI_Write state is visible.
     let (slog, _warnings) = slog2::convert(&clog, &slog2::ConvertOptions::default());
     let stats = slog2::legend_stats(&slog);
@@ -852,7 +878,11 @@ fn spill_and_buffer_agree_on_clean_runs() {
     // Same record counts per rank (timestamps differ: the merged log is
     // clock-corrected, the spill is raw).
     for r in 0..2u32 {
-        assert_eq!(salvaged.blocks[&r].len(), merged.blocks[&r].len(), "rank {r}");
+        assert_eq!(
+            salvaged.blocks[&r].len(),
+            merged.blocks[&r].len(),
+            "rank {r}"
+        );
     }
     assert_eq!(salvaged.state_defs, merged.state_defs);
 }

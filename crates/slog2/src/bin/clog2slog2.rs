@@ -4,8 +4,14 @@
 //! amount of data initially displayed).
 //!
 //! ```text
-//! clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [-q]
+//! clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D]
+//!            [--parallel N] [--stream] [-q]
 //! ```
+//!
+//! `--parallel N` shards the conversion over N worker threads (0 = one
+//! per core, 1 = serial); the output file is byte-identical at every
+//! setting. `--stream` decodes the CLOG2 input incrementally instead of
+//! loading it whole — same bytes out, bounded input memory.
 //!
 //! Exit code 0 on a clean conversion, 1 on warnings (the "non
 //! well-behaved program" case), 2 on usage or I/O errors.
@@ -14,29 +20,33 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mpelog::Clog2File;
-use slog2::{convert, ConvertOptions};
+use slog2::{convert, convert_reader, ConvertOptions};
 
 struct Args {
     input: PathBuf,
     output: PathBuf,
     frame_size: usize,
     max_depth: u32,
+    parallel: usize,
+    stream: bool,
     quiet: bool,
 }
+
+const USAGE: &str = "usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [--parallel N] [--stream] [-q]";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
     let mut output = None;
     let mut frame_size = 64usize;
     let mut max_depth = 16u32;
+    let mut parallel = 0usize;
+    let mut stream = false;
     let mut quiet = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" | "--output" => {
-                output = Some(PathBuf::from(
-                    it.next().ok_or("missing value for -o")?,
-                ))
+                output = Some(PathBuf::from(it.next().ok_or("missing value for -o")?))
             }
             "--frame-size" => {
                 frame_size = it
@@ -52,6 +62,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --max-depth value")?
             }
+            "--parallel" => {
+                parallel = it
+                    .next()
+                    .ok_or("missing value for --parallel")?
+                    .parse()
+                    .map_err(|_| "bad --parallel value")?
+            }
+            "--stream" => stream = true,
             "-q" | "--quiet" => quiet = true,
             other if !other.starts_with('-') && input.is_none() => {
                 input = Some(PathBuf::from(other))
@@ -59,13 +77,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    let input = input.ok_or("usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [-q]")?;
+    let input = input.ok_or(USAGE)?;
     let output = output.unwrap_or_else(|| input.with_extension("pslog2"));
     Ok(Args {
         input,
         output,
         frame_size,
         max_depth,
+        parallel,
+        stream,
         quiet,
     })
 }
@@ -78,35 +98,67 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let clog = match Clog2File::read_from(&args.input) {
-        Ok(Ok(c)) => c,
-        Ok(Err(e)) => {
-            eprintln!("clog2slog2: {} is not a valid CLOG2 file: {e}", args.input.display());
-            return ExitCode::from(2);
-        }
-        Err(e) => {
-            eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
-            return ExitCode::from(2);
-        }
+    let opts = ConvertOptions {
+        frame_capacity: args.frame_size,
+        max_depth: args.max_depth,
+        timeline_names: None,
+        parallelism: args.parallel,
     };
-    let (slog, warnings) = convert(
-        &clog,
-        &ConvertOptions {
-            frame_capacity: args.frame_size,
-            max_depth: args.max_depth,
-            timeline_names: None,
-        },
-    );
+    // (records, ranks) for the report; unknown record count in stream
+    // mode, where the input is never held whole.
+    let (slog, warnings, provenance) = if args.stream {
+        let file = match std::fs::File::open(&args.input) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
+                return ExitCode::from(2);
+            }
+        };
+        match convert_reader(std::io::BufReader::new(file), &opts) {
+            Ok((slog, warnings)) => {
+                let ranks = slog.timelines.len();
+                (slog, warnings, format!("streamed, {ranks} ranks"))
+            }
+            Err(e) => {
+                eprintln!(
+                    "clog2slog2: {} is not a valid CLOG2 stream: {e}",
+                    args.input.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let clog = match Clog2File::read_from(&args.input) {
+            Ok(Ok(c)) => c,
+            Ok(Err(e)) => {
+                eprintln!(
+                    "clog2slog2: {} is not a valid CLOG2 file: {e}",
+                    args.input.display()
+                );
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
+                return ExitCode::from(2);
+            }
+        };
+        let provenance = format!(
+            "{} records over {} ranks",
+            clog.total_records(),
+            clog.nranks
+        );
+        let (slog, warnings) = convert(&clog, &opts);
+        (slog, warnings, provenance)
+    };
     if let Err(e) = slog.write_to(&args.output) {
         eprintln!("clog2slog2: cannot write {}: {e}", args.output.display());
         return ExitCode::from(2);
     }
     if !args.quiet {
         println!(
-            "{}: {} records over {} ranks -> {} drawables, {} tree nodes (depth {}), range [{:.6}s, {:.6}s] -> {}",
+            "{}: {} -> {} drawables, {} tree nodes (depth {}), range [{:.6}s, {:.6}s] -> {}",
             args.input.display(),
-            clog.total_records(),
-            clog.nranks,
+            provenance,
             slog.total_drawables(),
             slog.tree.node_count(),
             slog.tree.depth(),

@@ -7,18 +7,43 @@
 //! two objects with the same event id have identical start and end
 //! times, a consequence of `MPI_Wtime`'s limited resolution. We report
 //! all of those as typed [`ConvertWarning`]s.
+//!
+//! ## Sharded pipeline
+//!
+//! Conversion runs as a sequence of phases, each of which can be
+//! sharded across worker threads ([`ConvertOptions::parallelism`])
+//! while producing output **byte-identical** to the serial converter
+//! (see DESIGN.md §5 for the determinism argument):
+//!
+//! 1. **Scan** — each rank's block pairs its own state events and
+//!    collects its own send/recv queues (a rank is a shard; blocks are
+//!    independent by construction).
+//! 2. **Merge** — shard outputs concatenate in rank order; per-rank
+//!    send/recv maps are key-disjoint, so their union preserves every
+//!    FIFO queue exactly.
+//! 3. **Arrows** — send keys are matched to receive queues in key
+//!    order, sharded by contiguous key chunks.
+//! 4. **Diagnostics** — Equal-Drawables counting shards over the
+//!    drawable list (integer counts merge associatively; output is
+//!    sorted).
+//! 5. **Tree** — the frame-tree recursion forks independent subtrees
+//!    onto workers.
+//!
+//! [`convert_reader`] runs the same pipeline over a streaming CLOG2
+//! source, holding one block in memory at a time.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
+use mpelog::clog2::{Clog2Blocks, StreamError};
 use mpelog::ids::EventId;
-use mpelog::record::Record;
+use mpelog::record::{EventDef, Record, StateDef};
 use mpelog::{Clog2File, Color};
 
 use crate::drawable::{
     ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable,
 };
 use crate::file::Slog2File;
-use crate::tree::FrameTree;
+use crate::tree::FrameTreeBuilder;
 
 /// Conversion parameters.
 #[derive(Debug, Clone)]
@@ -32,6 +57,11 @@ pub struct ConvertOptions {
     /// Timeline display names; defaults to `P0..Pn` with rank 0 called
     /// `PI_MAIN`, matching the paper's convention.
     pub timeline_names: Option<Vec<String>>,
+    /// Worker threads for the sharded conversion phases: `0` picks the
+    /// machine's available parallelism, `1` forces the serial path, and
+    /// any other value caps the worker count. The output is
+    /// byte-identical at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for ConvertOptions {
@@ -40,6 +70,26 @@ impl Default for ConvertOptions {
             frame_capacity: 64,
             max_depth: 16,
             timeline_names: None,
+            parallelism: 0,
+        }
+    }
+}
+
+impl ConvertOptions {
+    /// Set the worker-thread count (see
+    /// [`parallelism`](Self::parallelism)).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Resolve `parallelism` to a concrete worker count: `0` asks the
+    /// OS, and a machine that reports a single core falls back to the
+    /// serial path.
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
         }
     }
 }
@@ -137,10 +187,16 @@ impl std::fmt::Display for ConvertWarning {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConvertWarning::UnclosedState { rank, name, start } => {
-                write!(f, "rank {rank}: state '{name}' opened at {start:.6}s never closed")
+                write!(
+                    f,
+                    "rank {rank}: state '{name}' opened at {start:.6}s never closed"
+                )
             }
             ConvertWarning::UnmatchedEnd { rank, id, ts } => {
-                write!(f, "rank {rank}: end event {id} at {ts:.6}s has no open state")
+                write!(
+                    f,
+                    "rank {rank}: end event {id} at {ts:.6}s has no open state"
+                )
             }
             ConvertWarning::UnknownEventId { rank, id } => {
                 write!(f, "rank {rank}: event id {id} has no definition")
@@ -151,19 +207,35 @@ impl std::fmt::Display for ConvertWarning {
             ConvertWarning::UnmatchedRecv { src, dst, tag } => {
                 write!(f, "receive {src}->{dst} tag {tag} has no matching send")
             }
-            ConvertWarning::EqualDrawables { category, count, t0, t1 } => {
+            ConvertWarning::EqualDrawables {
+                category,
+                count,
+                t0,
+                t1,
+            } => {
                 write!(
                     f,
                     "Equal Drawables: {count} '{category}' objects share [{t0:.9}, {t1:.9}]"
                 )
             }
-            ConvertWarning::BackwardState { rank, name, end, start } => {
+            ConvertWarning::BackwardState {
+                rank,
+                name,
+                end,
+                start,
+            } => {
                 write!(
                     f,
                     "rank {rank}: state '{name}' ends at {end:.9} before it starts at {start:.9}; normalized"
                 )
             }
-            ConvertWarning::BackwardArrow { src, dst, tag, start, end } => {
+            ConvertWarning::BackwardArrow {
+                src,
+                dst,
+                tag,
+                start,
+                end,
+            } => {
                 write!(
                     f,
                     "arrow {src}->{dst} tag {tag} goes backward in time ({start:.9} -> {end:.9})"
@@ -179,15 +251,24 @@ enum IdRole {
     Solo(u32),
 }
 
-/// Convert a merged CLOG2 log into an SLOG2 file, reporting diagnostics.
-pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<ConvertWarning>) {
-    let mut warnings = Vec::new();
+/// Message-queue key: `(src, dst, tag, size)`, mirroring MPE's matching
+/// on communicating pair + tag + data length.
+type MsgKey = (u32, u32, u32, u32);
 
-    // 1. Categories from the definitions, plus the synthetic arrow
-    //    category ("message") the converter introduces.
+/// The category list plus the event-id → role index shared by every
+/// scan worker (read-only during the scan phase).
+struct CategoryTable {
+    categories: Vec<Category>,
+    roles: HashMap<u32, IdRole>,
+    arrow_cat: u32,
+}
+
+/// Categories from the definitions, plus the synthetic arrow category
+/// ("message") the converter introduces.
+fn build_categories(state_defs: &[StateDef], event_defs: &[EventDef]) -> CategoryTable {
     let mut categories = Vec::new();
     let mut roles: HashMap<u32, IdRole> = HashMap::new();
-    for d in &clog.state_defs {
+    for d in state_defs {
         let idx = categories.len() as u32;
         categories.push(Category {
             index: idx,
@@ -198,7 +279,7 @@ pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<Conve
         roles.insert(d.start.0, IdRole::StateStart(idx));
         roles.insert(d.end.0, IdRole::StateEnd(idx));
     }
-    for d in &clog.event_defs {
+    for d in event_defs {
         let idx = categories.len() as u32;
         categories.push(Category {
             index: idx,
@@ -215,202 +296,326 @@ pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<Conve
         color: Color::WHITE,
         kind: CategoryKind::Arrow,
     });
+    CategoryTable {
+        categories,
+        roles,
+        arrow_cat,
+    }
+}
 
-    // 2. Walk each rank's block: pair state events, emit drawables,
-    //    collect send/recv records for arrow matching.
-    let mut drawables: Vec<Drawable> = Vec::new();
-    // key: (src, dst, tag, size) -> FIFO of send timestamps
-    let mut sends: BTreeMap<(u32, u32, u32, u32), VecDeque<f64>> = BTreeMap::new();
-    let mut recvs: BTreeMap<(u32, u32, u32, u32), VecDeque<f64>> = BTreeMap::new();
+/// Everything one rank's block contributes: its drawables and warnings
+/// in scan order, and its send/recv queues. Send keys carry the shard's
+/// own rank as `src` and recv keys carry it as `dst`, so the maps of
+/// two different shards are key-disjoint by construction and merge into
+/// exactly the queues the serial scan would have built.
+#[derive(Debug, Default)]
+struct RankShard {
+    drawables: Vec<Drawable>,
+    warnings: Vec<ConvertWarning>,
+    sends: BTreeMap<MsgKey, VecDeque<f64>>,
+    recvs: BTreeMap<MsgKey, VecDeque<f64>>,
+}
 
-    for (&rank, records) in &clog.blocks {
-        let mut stack: Vec<(u32, f64, String)> = Vec::new(); // (cat, start, text)
-        let mut last_ts = f64::NEG_INFINITY;
-        for rec in records {
-            last_ts = last_ts.max(rec.ts());
-            match rec {
-                Record::Event { ts, id, text } => match roles.get(&id.0) {
-                    Some(IdRole::StateStart(cat)) => {
-                        stack.push((*cat, *ts, text.clone()));
-                    }
-                    Some(IdRole::StateEnd(cat)) => {
-                        // Normally the innermost open state matches; be
-                        // tolerant of interleaving by searching downward.
-                        match stack.iter().rposition(|(c, _, _)| c == cat) {
-                            Some(pos) => {
-                                let (c, start, mut start_text) = stack.remove(pos);
-                                let nest = pos as u32;
-                                if !text.is_empty() {
-                                    if !start_text.is_empty() {
-                                        start_text.push_str(" | ");
-                                    }
-                                    start_text.push_str(text);
+/// Walk one rank's block: pair state events, emit drawables, collect
+/// send/recv records for arrow matching. Pure per-rank — this is the
+/// unit of work a scan shard runs.
+fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> RankShard {
+    let mut shard = RankShard::default();
+    let mut stack: Vec<(u32, f64, String)> = Vec::new(); // (cat, start, text)
+    let mut last_ts = f64::NEG_INFINITY;
+    for rec in records {
+        last_ts = last_ts.max(rec.ts());
+        match rec {
+            Record::Event { ts, id, text } => match table.roles.get(&id.0) {
+                Some(IdRole::StateStart(cat)) => {
+                    stack.push((*cat, *ts, text.clone()));
+                }
+                Some(IdRole::StateEnd(cat)) => {
+                    // Normally the innermost open state matches; be
+                    // tolerant of interleaving by searching downward.
+                    match stack.iter().rposition(|(c, _, _)| c == cat) {
+                        Some(pos) => {
+                            let (c, start, mut start_text) = stack.remove(pos);
+                            let nest = pos as u32;
+                            if !text.is_empty() {
+                                if !start_text.is_empty() {
+                                    start_text.push_str(" | ");
                                 }
-                                let mut end = *ts;
-                                let mut start = start;
-                                if end < start {
-                                    warnings.push(ConvertWarning::BackwardState {
-                                        rank,
-                                        name: categories[c as usize].name.clone(),
-                                        end,
-                                        start,
-                                    });
-                                    std::mem::swap(&mut start, &mut end);
-                                }
-                                drawables.push(Drawable::State(StateDrawable {
-                                    category: c,
-                                    timeline: rank,
-                                    start,
-                                    end,
-                                    nest_level: nest,
-                                    text: start_text,
-                                }));
+                                start_text.push_str(text);
                             }
-                            None => warnings.push(ConvertWarning::UnmatchedEnd {
-                                rank,
-                                id: *id,
-                                ts: *ts,
-                            }),
+                            let mut end = *ts;
+                            let mut start = start;
+                            if end < start {
+                                shard.warnings.push(ConvertWarning::BackwardState {
+                                    rank,
+                                    name: table.categories[c as usize].name.clone(),
+                                    end,
+                                    start,
+                                });
+                                std::mem::swap(&mut start, &mut end);
+                            }
+                            shard.drawables.push(Drawable::State(StateDrawable {
+                                category: c,
+                                timeline: rank,
+                                start,
+                                end,
+                                nest_level: nest,
+                                text: start_text,
+                            }));
                         }
+                        None => shard.warnings.push(ConvertWarning::UnmatchedEnd {
+                            rank,
+                            id: *id,
+                            ts: *ts,
+                        }),
                     }
-                    Some(IdRole::Solo(cat)) => {
-                        drawables.push(Drawable::Event(EventDrawable {
-                            category: *cat,
-                            timeline: rank,
-                            time: *ts,
-                            text: text.clone(),
-                        }));
-                    }
-                    None => warnings.push(ConvertWarning::UnknownEventId { rank, id: *id }),
-                },
-                Record::Send { ts, dst, tag, size } => {
-                    sends
-                        .entry((rank, *dst, *tag, *size))
-                        .or_default()
-                        .push_back(*ts);
                 }
-                Record::Recv { ts, src, tag, size } => {
-                    recvs
-                        .entry((*src, rank, *tag, *size))
-                        .or_default()
-                        .push_back(*ts);
+                Some(IdRole::Solo(cat)) => {
+                    shard.drawables.push(Drawable::Event(EventDrawable {
+                        category: *cat,
+                        timeline: rank,
+                        time: *ts,
+                        text: text.clone(),
+                    }));
                 }
+                None => shard
+                    .warnings
+                    .push(ConvertWarning::UnknownEventId { rank, id: *id }),
+            },
+            Record::Send { ts, dst, tag, size } => {
+                shard
+                    .sends
+                    .entry((rank, *dst, *tag, *size))
+                    .or_default()
+                    .push_back(*ts);
             }
-        }
-        // Non well-behaved: states still open at end of log. Close them
-        // at the block's last timestamp so the file is still displayable.
-        for (cat, start, text) in stack.into_iter().rev() {
-            let name = categories[cat as usize].name.clone();
-            warnings.push(ConvertWarning::UnclosedState { rank, name, start });
-            drawables.push(Drawable::State(StateDrawable {
-                category: cat,
-                timeline: rank,
-                start,
-                end: last_ts.max(start),
-                nest_level: 0,
-                text,
-            }));
+            Record::Recv { ts, src, tag, size } => {
+                shard
+                    .recvs
+                    .entry((*src, rank, *tag, *size))
+                    .or_default()
+                    .push_back(*ts);
+            }
         }
     }
+    // Non well-behaved: states still open at end of log. Close them
+    // at the block's last timestamp so the file is still displayable.
+    for (cat, start, text) in stack.into_iter().rev() {
+        let name = table.categories[cat as usize].name.clone();
+        shard
+            .warnings
+            .push(ConvertWarning::UnclosedState { rank, name, start });
+        shard.drawables.push(Drawable::State(StateDrawable {
+            category: cat,
+            timeline: rank,
+            start,
+            end: last_ts.max(start),
+            nest_level: 0,
+            text,
+        }));
+    }
+    shard
+}
 
-    // 3. Match sends with receives (FIFO per (src, dst, tag, size) key,
-    //    mirroring MPE's matching on tag + data length).
-    for (key, mut send_ts) in sends {
-        let (src, dst, tag, size) = key;
-        let mut recv_ts = recvs.remove(&key).unwrap_or_default();
-        while let (Some(s), Some(r)) = (send_ts.front().copied(), recv_ts.front().copied()) {
-            send_ts.pop_front();
-            recv_ts.pop_front();
-            if r < s {
-                warnings.push(ConvertWarning::BackwardArrow {
-                    src,
-                    dst,
-                    tag,
-                    start: s,
-                    end: r,
-                });
+/// Scan every block, striping blocks round-robin over up to `workers`
+/// scoped threads (serial when `workers <= 1`). Shards come back in
+/// block order regardless of which thread ran them.
+fn scan_blocks(
+    blocks: &[(u32, &[Record])],
+    table: &CategoryTable,
+    workers: usize,
+) -> Vec<RankShard> {
+    let workers = workers.min(blocks.len());
+    if workers <= 1 {
+        return blocks
+            .iter()
+            .map(|&(rank, records)| scan_rank_block(rank, records, table))
+            .collect();
+    }
+    let mut out: Vec<Option<RankShard>> = blocks.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    blocks
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, &(rank, records))| (i, scan_rank_block(rank, records, table)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, shard) in h.join().expect("scan worker panicked") {
+                out[i] = Some(shard);
             }
-            drawables.push(Drawable::Arrow(ArrowDrawable {
-                category: arrow_cat,
-                from_timeline: src,
-                to_timeline: dst,
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("every block scanned"))
+        .collect()
+}
+
+/// FIFO-match one key's send queue against its receive queue.
+///
+/// Pairing by index is exactly the serial `pop_front` loop: arrow `i`
+/// joins `sends[i]` to `recvs[i]`, then surplus sends and surplus
+/// receives each warn once, in that order.
+fn match_arrows_for_key(
+    key: MsgKey,
+    send_ts: &VecDeque<f64>,
+    recv_ts: &VecDeque<f64>,
+    arrow_cat: u32,
+    drawables: &mut Vec<Drawable>,
+    warnings: &mut Vec<ConvertWarning>,
+) {
+    let (src, dst, tag, size) = key;
+    let matched = send_ts.len().min(recv_ts.len());
+    for (&s, &r) in send_ts.iter().zip(recv_ts.iter()) {
+        if r < s {
+            warnings.push(ConvertWarning::BackwardArrow {
+                src,
+                dst,
+                tag,
                 start: s,
                 end: r,
-                tag,
-                size,
-            }));
+            });
         }
-        for _ in send_ts {
-            warnings.push(ConvertWarning::UnmatchedSend { src, dst, tag });
-        }
-        for _ in recv_ts {
-            warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
-        }
+        drawables.push(Drawable::Arrow(ArrowDrawable {
+            category: arrow_cat,
+            from_timeline: src,
+            to_timeline: dst,
+            start: s,
+            end: r,
+            tag,
+            size,
+        }));
     }
-    for ((src, dst, tag, _), leftover) in recvs {
-        for _ in leftover {
-            warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
-        }
+    for _ in matched..send_ts.len() {
+        warnings.push(ConvertWarning::UnmatchedSend { src, dst, tag });
     }
+    for _ in matched..recv_ts.len() {
+        warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+    }
+}
 
-    // 4. Equal-Drawables detection: same category, bit-identical
-    //    endpoints (and same placement).
-    detect_equal_drawables(&drawables, &categories, &mut warnings);
-
-    // 5. Global range and tree.
-    let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
-    for d in &drawables {
-        t0 = t0.min(d.start());
-        t1 = t1.max(d.end());
+/// Match sends with receives, sharding the (key-ordered) send keys into
+/// contiguous chunks across up to `workers` threads. Chunk outputs
+/// concatenate in chunk order, so the drawable and warning sequences
+/// equal the serial key-order walk. Receive queues whose key was
+/// matched are removed from `recvs`; the caller drains the leftovers.
+fn match_all_arrows(
+    sends: BTreeMap<MsgKey, VecDeque<f64>>,
+    recvs: &mut BTreeMap<MsgKey, VecDeque<f64>>,
+    arrow_cat: u32,
+    workers: usize,
+    drawables: &mut Vec<Drawable>,
+    warnings: &mut Vec<ConvertWarning>,
+) {
+    let pairs: Vec<(MsgKey, VecDeque<f64>, VecDeque<f64>)> = sends
+        .into_iter()
+        .map(|(key, send_ts)| {
+            let recv_ts = recvs.remove(&key).unwrap_or_default();
+            (key, send_ts, recv_ts)
+        })
+        .collect();
+    let workers = workers.min(pairs.len());
+    if workers <= 1 {
+        for (key, send_ts, recv_ts) in &pairs {
+            match_arrows_for_key(*key, send_ts, recv_ts, arrow_cat, drawables, warnings);
+        }
+        return;
     }
-    if !t0.is_finite() {
-        t0 = 0.0;
-        t1 = 0.0;
-    }
-
-    let timelines = opts.timeline_names.clone().unwrap_or_else(|| {
-        (0..clog.nranks)
-            .map(|r| if r == 0 { "PI_MAIN".to_string() } else { format!("P{r}") })
-            .collect()
+    let chunk = pairs.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut ds = Vec::new();
+                    let mut ws = Vec::new();
+                    for (key, send_ts, recv_ts) in chunk {
+                        match_arrows_for_key(*key, send_ts, recv_ts, arrow_cat, &mut ds, &mut ws);
+                    }
+                    (ds, ws)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ds, ws) = h.join().expect("arrow worker panicked");
+            drawables.extend(ds);
+            warnings.extend(ws);
+        }
     });
+}
 
-    let tree = FrameTree::build(drawables, t0, t1, opts.frame_capacity, opts.max_depth);
-    let file = Slog2File {
-        timelines,
-        categories,
-        range: (t0, t1),
-        warnings: warnings.iter().map(|w| w.to_string()).collect(),
-        tree,
-    };
-    (file, warnings)
+/// Equal-Drawables group key: (category, placement, bit-exact interval).
+type EqualKey = (u32, u32, u32, u64, u64);
+
+fn equal_drawable_key(d: &Drawable) -> EqualKey {
+    match d {
+        Drawable::State(s) => (
+            s.category,
+            s.timeline,
+            0,
+            s.start.to_bits(),
+            s.end.to_bits(),
+        ),
+        Drawable::Event(e) => (
+            e.category,
+            e.timeline,
+            0,
+            e.time.to_bits(),
+            e.time.to_bits(),
+        ),
+        Drawable::Arrow(a) => (
+            a.category,
+            a.from_timeline,
+            a.to_timeline,
+            a.start.to_bits(),
+            a.end.to_bits(),
+        ),
+    }
 }
 
 fn detect_equal_drawables(
     drawables: &[Drawable],
     categories: &[Category],
+    workers: usize,
     warnings: &mut Vec<ConvertWarning>,
 ) {
-    // Key on (category, placement, bit-exact interval).
-    let mut groups: HashMap<(u32, u32, u32, u64, u64), usize> = HashMap::new();
-    for d in drawables {
-        let key = match d {
-            Drawable::State(s) => (
-                s.category,
-                s.timeline,
-                0,
-                s.start.to_bits(),
-                s.end.to_bits(),
-            ),
-            Drawable::Event(e) => (e.category, e.timeline, 0, e.time.to_bits(), e.time.to_bits()),
-            Drawable::Arrow(a) => (
-                a.category,
-                a.from_timeline,
-                a.to_timeline,
-                a.start.to_bits(),
-                a.end.to_bits(),
-            ),
-        };
-        *groups.entry(key).or_insert(0) += 1;
+    // Count occurrences per key. With multiple workers, each counts a
+    // contiguous chunk and the integer counts merge associatively —
+    // chunk order cannot affect a sum, and the report below is sorted.
+    const PAR_THRESHOLD: usize = 4096;
+    let mut groups: HashMap<EqualKey, usize> = HashMap::new();
+    if workers <= 1 || drawables.len() < PAR_THRESHOLD {
+        for d in drawables {
+            *groups.entry(equal_drawable_key(d)).or_insert(0) += 1;
+        }
+    } else {
+        let chunk = drawables.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = drawables
+                .chunks(chunk)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut local: HashMap<EqualKey, usize> = HashMap::new();
+                        for d in chunk {
+                            *local.entry(equal_drawable_key(d)).or_insert(0) += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (key, n) in h.join().expect("count worker panicked") {
+                    *groups.entry(key).or_insert(0) += n;
+                }
+            }
+        });
     }
     let mut dups: Vec<_> = groups.into_iter().filter(|(_, n)| *n > 1).collect();
     dups.sort_by_key(|((cat, tl, tl2, s, e), _)| (*cat, *tl, *tl2, *s, *e));
@@ -425,6 +630,136 @@ fn detect_equal_drawables(
             t1: f64::from_bits(e),
         });
     }
+}
+
+/// Run the post-scan phases — shard merge, arrow matching, diagnostics,
+/// tree build, file assembly — over shards given in ascending rank
+/// order. Shared by [`convert`] and [`convert_reader`].
+fn finish_convert(
+    shards: Vec<RankShard>,
+    table: CategoryTable,
+    opts: &ConvertOptions,
+    nranks: u32,
+    workers: usize,
+) -> (Slog2File, Vec<ConvertWarning>) {
+    let CategoryTable {
+        categories,
+        arrow_cat,
+        ..
+    } = table;
+
+    // Merge: concatenation in rank order reproduces the serial scan's
+    // drawable and warning sequences; the per-shard send/recv maps are
+    // key-disjoint (each key names its own rank), so the union carries
+    // every FIFO queue over intact.
+    let mut builder = FrameTreeBuilder::new();
+    let mut warnings = Vec::new();
+    let mut sends: BTreeMap<MsgKey, VecDeque<f64>> = BTreeMap::new();
+    let mut recvs: BTreeMap<MsgKey, VecDeque<f64>> = BTreeMap::new();
+    let mut drawables: Vec<Drawable> = Vec::new();
+    for shard in shards {
+        drawables.extend(shard.drawables);
+        warnings.extend(shard.warnings);
+        for (key, q) in shard.sends {
+            sends.entry(key).or_default().extend(q);
+        }
+        for (key, q) in shard.recvs {
+            recvs.entry(key).or_default().extend(q);
+        }
+    }
+
+    // Match sends with receives (FIFO per (src, dst, tag, size) key).
+    match_all_arrows(
+        sends,
+        &mut recvs,
+        arrow_cat,
+        workers,
+        &mut drawables,
+        &mut warnings,
+    );
+    for ((src, dst, tag, _), leftover) in recvs {
+        for _ in leftover {
+            warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+        }
+    }
+
+    // Equal-Drawables detection: same category, bit-identical
+    // endpoints (and same placement).
+    detect_equal_drawables(&drawables, &categories, workers, &mut warnings);
+
+    // Global range and tree. The builder folds min/max in push order —
+    // the same left-to-right fold the serial converter used.
+    builder.extend(drawables);
+    let range = builder.range();
+
+    let timelines = opts.timeline_names.clone().unwrap_or_else(|| {
+        (0..nranks)
+            .map(|r| {
+                if r == 0 {
+                    "PI_MAIN".to_string()
+                } else {
+                    format!("P{r}")
+                }
+            })
+            .collect()
+    });
+
+    let tree = builder.build(opts.frame_capacity, opts.max_depth, workers);
+    let file = Slog2File {
+        timelines,
+        categories,
+        range,
+        warnings: warnings.iter().map(|w| w.to_string()).collect(),
+        tree,
+    };
+    (file, warnings)
+}
+
+/// Convert a merged CLOG2 log into an SLOG2 file, reporting diagnostics.
+///
+/// With [`ConvertOptions::parallelism`] above 1 the scan, arrow,
+/// diagnostic, and tree phases shard across scoped worker threads; the
+/// resulting file is byte-identical to the serial conversion.
+pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<ConvertWarning>) {
+    let workers = opts.effective_parallelism();
+    let table = build_categories(&clog.state_defs, &clog.event_defs);
+    let blocks: Vec<(u32, &[Record])> = clog
+        .blocks
+        .iter()
+        .map(|(&rank, records)| (rank, records.as_slice()))
+        .collect();
+    let shards = scan_blocks(&blocks, &table, workers);
+    finish_convert(shards, table, opts, clog.nranks, workers)
+}
+
+/// Convert a CLOG2 byte stream without materializing the whole file:
+/// blocks are decoded incrementally (one in memory at a time) and
+/// reduced to their per-rank shard as they arrive, then the shared
+/// pipeline finishes exactly as [`convert`] does. The output is
+/// byte-identical to `convert(&Clog2File::from_bytes(..))` for every
+/// valid stream — shards are keyed by rank, so even a file whose blocks
+/// are not in ascending rank order converts identically.
+pub fn convert_reader<R: std::io::Read>(
+    src: R,
+    opts: &ConvertOptions,
+) -> Result<(Slog2File, Vec<ConvertWarning>), StreamError> {
+    let workers = opts.effective_parallelism();
+    let mut blocks = Clog2Blocks::open(src)?;
+    let table = build_categories(&blocks.state_defs, &blocks.event_defs);
+    let nranks = blocks.nranks;
+    let mut shards: BTreeMap<u32, RankShard> = BTreeMap::new();
+    for item in &mut blocks {
+        let (rank, records) = item?;
+        shards.insert(rank, scan_rank_block(rank, &records, &table));
+    }
+    blocks.finish()?;
+    Ok(finish_convert(
+        shards.into_values().collect(),
+        table,
+        opts,
+        nranks,
+        workers,
+    ))
 }
 
 #[cfg(test)]
@@ -469,12 +804,24 @@ mod tests {
         let (file, warnings) = convert(&sample_clog(), &ConvertOptions::default());
         assert!(warnings.is_empty(), "{warnings:?}");
         let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
-        let states = ds.iter().filter(|d| matches!(d, Drawable::State(_))).count();
-        let events = ds.iter().filter(|d| matches!(d, Drawable::Event(_))).count();
-        let arrows = ds.iter().filter(|d| matches!(d, Drawable::Arrow(_))).count();
+        let states = ds
+            .iter()
+            .filter(|d| matches!(d, Drawable::State(_)))
+            .count();
+        let events = ds
+            .iter()
+            .filter(|d| matches!(d, Drawable::Event(_)))
+            .count();
+        let arrows = ds
+            .iter()
+            .filter(|d| matches!(d, Drawable::Arrow(_)))
+            .count();
         assert_eq!((states, events, arrows), (2, 1, 1));
         assert_eq!(file.range, (0.9, 1.4));
-        assert_eq!(file.timelines, vec!["PI_MAIN".to_string(), "P1".to_string()]);
+        assert_eq!(
+            file.timelines,
+            vec!["PI_MAIN".to_string(), "P1".to_string()]
+        );
     }
 
     #[test]
@@ -519,9 +866,10 @@ mod tests {
         let mut levels: Vec<(String, u32)> = ds
             .iter()
             .filter_map(|d| match d {
-                Drawable::State(s) => {
-                    Some((file.categories[s.category as usize].name.clone(), s.nest_level))
-                }
+                Drawable::State(s) => Some((
+                    file.categories[s.category as usize].name.clone(),
+                    s.nest_level,
+                )),
                 _ => None,
             })
             .collect();
@@ -674,7 +1022,10 @@ mod tests {
             ..Default::default()
         };
         let (file, _) = convert(&clog, &opts);
-        assert_eq!(file.timelines, vec!["master".to_string(), "compressor".to_string()]);
+        assert_eq!(
+            file.timelines,
+            vec!["master".to_string(), "compressor".to_string()]
+        );
     }
 
     #[test]
@@ -682,5 +1033,104 @@ mod tests {
         let (file, _) = convert(&sample_clog(), &ConvertOptions::default());
         let back = Slog2File::from_bytes(&file.to_bytes()).unwrap();
         assert_eq!(back, file);
+    }
+
+    /// A messy multi-rank log exercising every warning path: nesting,
+    /// backward states, unmatched sends/recvs, equal drawables,
+    /// unclosed states, unknown ids.
+    fn messy_clog(nranks: u32) -> Clog2File {
+        let mut loggers: Vec<Logger> = (0..nranks as usize).map(Logger::new).collect();
+        let mut ids = Vec::new();
+        for lg in &mut loggers {
+            let s = lg.define_state("compute", Color::GREEN);
+            let t = lg.define_state("io", Color::RED);
+            let _ = lg.define_event("mark", Color::YELLOW);
+            if ids.is_empty() {
+                ids = vec![s.0, s.1, t.0, t.1];
+            }
+        }
+        let n = nranks as usize;
+        for (r, lg) in loggers.iter_mut().enumerate() {
+            let base = r as f64;
+            // Nested states, one backward.
+            lg.log_event(base + 0.1, ids[0], "outer");
+            lg.log_event(base + 0.2, ids[2], "inner");
+            lg.log_event(base + 0.15, ids[3], ""); // backward io
+            lg.log_event(base + 0.9, ids[1], "");
+            // Ring messages; rank 0 also sends one nobody receives.
+            let dst = (r + 1) % n;
+            lg.log_send(base + 0.3, dst, 7, 64);
+            lg.log_receive(base + 0.35, (r + n - 1) % n, 7, 64);
+            if r == 0 {
+                lg.log_send(base + 0.4, dst, 9, 8); // unmatched send
+                lg.log_receive(base + 0.5, dst, 11, 8); // unmatched recv
+                lg.log_event(base + 0.6, ids[0], "never closed"); // unclosed
+            }
+            // Equal drawables: identical start/end pairs.
+            lg.log_event(base + 0.7, ids[2], "");
+            lg.log_event(base + 0.72, ids[3], "");
+            lg.log_event(base + 0.7, ids[2], "");
+            lg.log_event(base + 0.72, ids[3], "");
+        }
+        let mut blocks = std::collections::BTreeMap::new();
+        for (r, lg) in loggers.iter().enumerate() {
+            blocks.insert(r as u32, lg.records().to_vec());
+        }
+        Clog2File {
+            nranks,
+            state_defs: loggers[0].state_defs().to_vec(),
+            event_defs: loggers[0].event_defs().to_vec(),
+            blocks,
+        }
+    }
+
+    #[test]
+    fn parallel_convert_is_byte_identical_to_serial() {
+        for nranks in [1u32, 2, 5] {
+            let clog = messy_clog(nranks);
+            let serial_opts = ConvertOptions::default().with_parallelism(1);
+            let (serial, serial_warn) = convert(&clog, &serial_opts);
+            let serial_bytes = serial.to_bytes();
+            assert!(!serial_warn.is_empty());
+            for threads in [2usize, 3, 8] {
+                let opts = ConvertOptions::default().with_parallelism(threads);
+                let (par, par_warn) = convert(&clog, &opts);
+                assert_eq!(par_warn, serial_warn, "{nranks} ranks, {threads} threads");
+                assert_eq!(
+                    par.to_bytes(),
+                    serial_bytes,
+                    "{nranks} ranks, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_convert_matches_whole_file() {
+        let clog = messy_clog(4);
+        let bytes = clog.to_bytes();
+        for threads in [1usize, 4] {
+            let opts = ConvertOptions::default().with_parallelism(threads);
+            let (whole, whole_warn) = convert(&clog, &opts);
+            let (streamed, stream_warn) = convert_reader(&bytes[..], &opts).unwrap();
+            assert_eq!(stream_warn, whole_warn);
+            assert_eq!(streamed.to_bytes(), whole.to_bytes());
+        }
+    }
+
+    #[test]
+    fn streaming_convert_propagates_truncation() {
+        let clog = messy_clog(2);
+        let bytes = clog.to_bytes();
+        let err = convert_reader(&bytes[..bytes.len() - 6], &ConvertOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallelism_zero_resolves_to_a_worker_count() {
+        let opts = ConvertOptions::default();
+        assert_eq!(opts.parallelism, 0);
+        assert!(opts.effective_parallelism() >= 1);
+        assert_eq!(opts.clone().with_parallelism(3).effective_parallelism(), 3);
     }
 }

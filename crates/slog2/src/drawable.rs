@@ -272,7 +272,11 @@ mod tests {
 
     #[test]
     fn category_roundtrips() {
-        for kind in [CategoryKind::State, CategoryKind::Event, CategoryKind::Arrow] {
+        for kind in [
+            CategoryKind::State,
+            CategoryKind::Event,
+            CategoryKind::Arrow,
+        ] {
             let c = Category {
                 index: 7,
                 name: "PI_Gather".into(),

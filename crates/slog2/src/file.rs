@@ -258,9 +258,15 @@ fn decode_one_node(r: &mut Reader<'_>) -> Result<(FrameNode, bool), WireError> {
     ))
 }
 
-fn decode_node(r: &mut Reader<'_>, consumed: &mut usize, limit: usize) -> Result<FrameNode, WireError> {
+fn decode_node(
+    r: &mut Reader<'_>,
+    consumed: &mut usize,
+    limit: usize,
+) -> Result<FrameNode, WireError> {
     if *consumed >= limit {
-        return Err(WireError::Corrupt("more nodes than directory entries".into()));
+        return Err(WireError::Corrupt(
+            "more nodes than directory entries".into(),
+        ));
     }
     *consumed += 1;
     let (mut node, has_children) = decode_one_node(r)?;

@@ -31,9 +31,9 @@ pub mod stats;
 pub mod tree;
 pub mod validate;
 
-pub use convert::{convert, ConvertOptions, ConvertWarning};
+pub use convert::{convert, convert_reader, ConvertOptions, ConvertWarning};
 pub use drawable::{ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable};
 pub use file::Slog2File;
 pub use stats::{legend_stats, CategoryStats};
-pub use tree::{FrameNode, FrameTree, Preview};
+pub use tree::{FrameNode, FrameTree, FrameTreeBuilder, Preview};
 pub use validate::{validate, Defect};

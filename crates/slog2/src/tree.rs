@@ -54,7 +54,10 @@ impl Preview {
     /// Merge another preview into this one.
     pub fn merge(&mut self, other: &Preview) {
         for e in &other.entries {
-            match self.entries.binary_search_by_key(&e.category, |x| x.category) {
+            match self
+                .entries
+                .binary_search_by_key(&e.category, |x| x.category)
+            {
                 Ok(i) => {
                     self.entries[i].count += e.count;
                     self.entries[i].coverage += e.coverage;
@@ -111,14 +114,106 @@ pub struct FrameTree {
     pub max_depth: u32,
 }
 
+/// Incremental bulk-loader for [`FrameTree`].
+///
+/// Accepts drawables in batches (e.g. one CLOG2 block at a time from the
+/// streaming converter), tracking the global time range as it goes, and
+/// builds the tree once at the end. Items are kept in arrival order, so
+/// a builder fed the same drawables in the same order as
+/// [`FrameTree::build`] produces a bit-identical tree.
+#[derive(Debug, Clone, Default)]
+pub struct FrameTreeBuilder {
+    items: Vec<Drawable>,
+    t0: f64,
+    t1: f64,
+}
+
+impl FrameTreeBuilder {
+    /// Empty builder.
+    pub fn new() -> FrameTreeBuilder {
+        FrameTreeBuilder {
+            items: Vec::new(),
+            t0: f64::INFINITY,
+            t1: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one drawable.
+    pub fn push(&mut self, d: Drawable) {
+        self.t0 = self.t0.min(d.start());
+        self.t1 = self.t1.max(d.end());
+        self.items.push(d);
+    }
+
+    /// Add a batch of drawables, preserving their order.
+    pub fn extend(&mut self, batch: impl IntoIterator<Item = Drawable>) {
+        for d in batch {
+            self.push(d);
+        }
+    }
+
+    /// How many drawables are loaded.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the builder empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The observed `(min start, max end)` range, or `(0, 0)` if empty.
+    pub fn range(&self) -> (f64, f64) {
+        if self.t0.is_finite() {
+            (self.t0, self.t1)
+        } else {
+            (0.0, 0.0)
+        }
+    }
+
+    /// Build the tree over the observed range, using up to
+    /// `parallelism` threads (`<= 1` builds serially).
+    pub fn build(self, capacity: usize, max_depth: u32, parallelism: usize) -> FrameTree {
+        let (t0, t1) = self.range();
+        FrameTree::build_with_parallelism(self.items, t0, t1, capacity, max_depth, parallelism)
+    }
+}
+
 impl FrameTree {
     /// Build a tree over `[t0, t1]` from `drawables`.
     ///
     /// Every drawable must satisfy `t0 <= start && end <= t1`; the
     /// converter guarantees this by using the log's global range.
-    pub fn build(drawables: Vec<Drawable>, t0: f64, t1: f64, capacity: usize, max_depth: u32) -> FrameTree {
+    pub fn build(
+        drawables: Vec<Drawable>,
+        t0: f64,
+        t1: f64,
+        capacity: usize,
+        max_depth: u32,
+    ) -> FrameTree {
+        Self::build_with_parallelism(drawables, t0, t1, capacity, max_depth, 1)
+    }
+
+    /// Like [`build`](Self::build), forking the subtree recursion onto
+    /// up to `parallelism` scoped threads.
+    ///
+    /// The result is bit-identical to the serial build: every node's
+    /// preview is accumulated from that node's own item list in item
+    /// order, exactly as in the serial recursion — parallelism only
+    /// changes *which thread* runs an independent subtree, never the
+    /// order of any float accumulation.
+    pub fn build_with_parallelism(
+        drawables: Vec<Drawable>,
+        t0: f64,
+        t1: f64,
+        capacity: usize,
+        max_depth: u32,
+        parallelism: usize,
+    ) -> FrameTree {
         let capacity = capacity.max(1);
-        let root = build_node(drawables, t0, t1, 0, capacity, max_depth);
+        // Each fork level doubles the worker count: budget = ceil(log2 n).
+        let forks = parallelism.max(1).next_power_of_two().trailing_zeros();
+        let root = build_node(drawables, t0, t1, 0, capacity, max_depth, forks);
         FrameTree {
             root,
             capacity,
@@ -175,7 +270,14 @@ fn build_node(
     depth: u32,
     capacity: usize,
     max_depth: u32,
+    forks: u32,
 ) -> FrameNode {
+    // The preview over the whole subtree is accumulated here, top-down,
+    // from this node's full item list in item order. Keeping that exact
+    // accumulation (instead of merging child previews bottom-up) is what
+    // makes the forked build byte-identical to the serial one: f64
+    // summation is association-sensitive, so the merge order must not
+    // depend on how the recursion is scheduled.
     let mut preview = Preview::default();
     for d in &items {
         preview.add(d.category(), d.duration());
@@ -217,8 +319,25 @@ fn build_node(
             children: None,
         };
     }
-    let lchild = build_node(left, t0, mid, depth + 1, capacity, max_depth);
-    let rchild = build_node(right, mid, t1, depth + 1, capacity, max_depth);
+    // Fork the right subtree onto a scoped worker while this thread
+    // recurses left; tiny subtrees are not worth a thread spawn.
+    const FORK_THRESHOLD: usize = 4096;
+    let (lchild, rchild) = if forks > 0 && left.len().min(right.len()) >= FORK_THRESHOLD {
+        std::thread::scope(|s| {
+            let rh =
+                s.spawn(|| build_node(right, mid, t1, depth + 1, capacity, max_depth, forks - 1));
+            let l = build_node(left, t0, mid, depth + 1, capacity, max_depth, forks - 1);
+            (l, rh.join().expect("tree build worker panicked"))
+        })
+    } else {
+        // Sequential children: left's forked workers (if any) are joined
+        // before right starts, so the budget can pass down unchanged
+        // without exceeding the concurrency cap.
+        (
+            build_node(left, t0, mid, depth + 1, capacity, max_depth, forks),
+            build_node(right, mid, t1, depth + 1, capacity, max_depth, forks),
+        )
+    };
     FrameNode {
         t0,
         t1,
@@ -352,7 +471,14 @@ mod tests {
         let t = FrameTree::build(ds, 0.0, 10.0, 4, 12);
         t.visit(&mut |n| {
             for d in &n.drawables {
-                assert!(n.t0 <= d.start() && d.end() <= n.t1, "node [{}, {}] holds drawable [{}, {}]", n.t0, n.t1, d.start(), d.end());
+                assert!(
+                    n.t0 <= d.start() && d.end() <= n.t1,
+                    "node [{}, {}] holds drawable [{}, {}]",
+                    n.t0,
+                    n.t1,
+                    d.start(),
+                    d.end()
+                );
             }
         });
     }
@@ -426,5 +552,57 @@ mod tests {
         let t = FrameTree::build(ds, 0.0, 3.0, 0, 8);
         assert_eq!(t.capacity, 1);
         assert_eq!(t.total_drawables(), 4);
+    }
+
+    /// A drawable set big enough (> 2 × FORK_THRESHOLD per side) that a
+    /// parallel build actually forks at the root.
+    fn forking_input() -> Vec<Drawable> {
+        (0..20_000)
+            .map(|i| state(i % 5, i as f64 * 1e-3, i as f64 * 1e-3 + 7e-4))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_serial() {
+        let ds = forking_input();
+        let serial = FrameTree::build(ds.clone(), 0.0, 20.1, 64, 16);
+        for threads in [2, 3, 4, 8] {
+            let par = FrameTree::build_with_parallelism(ds.clone(), 0.0, 20.1, 64, 16, threads);
+            assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn builder_matches_direct_build() {
+        let ds = forking_input();
+        let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for d in &ds {
+            t0 = t0.min(d.start());
+            t1 = t1.max(d.end());
+        }
+        let direct = FrameTree::build(ds.clone(), t0, t1, 32, 12);
+
+        // Feed the builder in uneven batches, as a streaming source would.
+        let mut b = FrameTreeBuilder::new();
+        let mut rest = ds;
+        let mut batch = 1;
+        while !rest.is_empty() {
+            let take = batch.min(rest.len());
+            b.extend(rest.drain(..take));
+            batch = batch * 3 + 1;
+        }
+        assert_eq!(b.len(), direct.total_drawables());
+        assert_eq!(b.range(), (t0, t1));
+        assert_eq!(b.build(32, 12, 4), direct);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_tree() {
+        let b = FrameTreeBuilder::new();
+        assert!(b.is_empty());
+        assert_eq!(b.range(), (0.0, 0.0));
+        let t = b.build(8, 4, 2);
+        assert_eq!(t.total_drawables(), 0);
+        assert_eq!(t, FrameTree::build(vec![], 0.0, 0.0, 8, 4));
     }
 }

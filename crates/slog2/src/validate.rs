@@ -85,10 +85,20 @@ impl std::fmt::Display for Defect {
                 write!(f, "drawable references undefined timeline {timeline}")
             }
             Defect::KindMismatch { category, declared } => {
-                write!(f, "drawable kind disagrees with category {category} ({declared:?})")
+                write!(
+                    f,
+                    "drawable kind disagrees with category {category} ({declared:?})"
+                )
             }
-            Defect::NegativeDuration { category, start, end } => {
-                write!(f, "state of category {category} runs backward: [{start}, {end}]")
+            Defect::NegativeDuration {
+                category,
+                start,
+                end,
+            } => {
+                write!(
+                    f,
+                    "state of category {category} runs backward: [{start}, {end}]"
+                )
             }
             Defect::OutOfFrame { node, drawable } => write!(
                 f,
@@ -96,9 +106,17 @@ impl std::fmt::Display for Defect {
                 drawable.0, drawable.1, node.0, node.1
             ),
             Defect::BrokenPartition { parent } => {
-                write!(f, "children do not partition frame [{}, {}]", parent.0, parent.1)
+                write!(
+                    f,
+                    "children do not partition frame [{}, {}]",
+                    parent.0, parent.1
+                )
             }
-            Defect::PreviewMismatch { node, preview, actual } => write!(
+            Defect::PreviewMismatch {
+                node,
+                preview,
+                actual,
+            } => write!(
                 f,
                 "frame [{}, {}] preview says {preview} drawables, subtree has {actual}",
                 node.0, node.1
@@ -135,7 +153,12 @@ pub fn validate(file: &Slog2File) -> Vec<Defect> {
             defects.push(Defect::DuplicateCategoryIndex { category: c.index });
         }
     }
-    let cat_kind = |idx: u32| file.categories.iter().find(|c| c.index == idx).map(|c| c.kind);
+    let cat_kind = |idx: u32| {
+        file.categories
+            .iter()
+            .find(|c| c.index == idx)
+            .map(|c| c.kind)
+    };
     let ntl = file.timelines.len() as u32;
 
     // Per-drawable checks + frame containment + previews, via the tree.
@@ -276,7 +299,9 @@ mod tests {
         let mut f = sound_file();
         f.categories.clear();
         let defects = validate(&f);
-        assert!(defects.iter().any(|d| matches!(d, Defect::UnknownCategory { category: 0 })));
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, Defect::UnknownCategory { category: 0 })));
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use mpelog::record::Record;
 use mpelog::{Clog2File, Color, Logger};
 use proptest::prelude::*;
-use slog2::{convert, legend_stats, ConvertOptions, Drawable, FrameTree, Slog2File};
+use slog2::{
+    convert, convert_reader, legend_stats, ConvertOptions, Drawable, FrameTree, Slog2File,
+};
 use slog2::{Category, CategoryKind, EventDrawable, StateDrawable};
 
 fn arb_drawable() -> impl Strategy<Value = Drawable> {
@@ -288,5 +290,75 @@ proptest! {
         let (file, _warnings) = convert(&clog, &ConvertOptions::default());
         let defects = slog2::validate(&file);
         prop_assert!(defects.is_empty(), "{defects:?}");
+    }
+}
+
+// Sharded-conversion determinism: for any generated log — varying rank
+// counts, nesting depth, unmatched sends/recvs, quantized clocks that
+// force Equal Drawables — the parallel converter and the streaming
+// converter must produce files byte-identical to the serial one.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_and_streaming_convert_are_byte_identical(
+        per_rank in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    // Quantized clock (1 ms grid): repeats collide into
+                    // bit-identical intervals. Ids 0..8 cover state
+                    // start/end pairs, the solo event, and undefined ids.
+                    (0u64..500, 0u32..8).prop_map(|(q, id)| Record::Event {
+                        ts: q as f64 * 1e-3,
+                        id: mpelog::ids::EventId(id),
+                        text: String::new(),
+                    }),
+                    (0u64..500, 0u32..6, 0u32..4, 0u32..32).prop_map(|(q, dst, tag, size)| {
+                        Record::Send { ts: q as f64 * 1e-3, dst, tag, size }
+                    }),
+                    (0u64..500, 0u32..6, 0u32..4, 0u32..32).prop_map(|(q, src, tag, size)| {
+                        Record::Recv { ts: q as f64 * 1e-3, src, tag, size }
+                    }),
+                ],
+                0..80,
+            ),
+            1..6,
+        ),
+    ) {
+        let mut lg = Logger::new(0);
+        let _ = lg.define_state("outer", Color::RED);
+        let _ = lg.define_state("inner", Color::GREEN);
+        let _ = lg.define_event("tick", Color::YELLOW);
+        let nranks = per_rank.len() as u32;
+        let mut blocks = std::collections::BTreeMap::new();
+        for (r, records) in per_rank.into_iter().enumerate() {
+            blocks.insert(r as u32, records);
+        }
+        let clog = Clog2File {
+            nranks,
+            state_defs: lg.state_defs().to_vec(),
+            event_defs: lg.event_defs().to_vec(),
+            blocks,
+        };
+
+        let serial_opts = ConvertOptions::default().with_parallelism(1);
+        let (serial, serial_warn) = convert(&clog, &serial_opts);
+        let serial_bytes = serial.to_bytes();
+
+        for threads in [2usize, 3, 8] {
+            let opts = ConvertOptions::default().with_parallelism(threads);
+            let (par, par_warn) = convert(&clog, &opts);
+            prop_assert_eq!(&par_warn, &serial_warn, "{} threads", threads);
+            prop_assert_eq!(par.to_bytes(), serial_bytes.clone(), "{} threads", threads);
+        }
+
+        // Streaming over the encoded file must land on the same bytes.
+        let clog_bytes = clog.to_bytes();
+        for threads in [1usize, 4] {
+            let opts = ConvertOptions::default().with_parallelism(threads);
+            let (streamed, stream_warn) = convert_reader(&clog_bytes[..], &opts).unwrap();
+            prop_assert_eq!(&stream_warn, &serial_warn, "streamed, {} threads", threads);
+            prop_assert_eq!(streamed.to_bytes(), serial_bytes.clone(), "streamed, {} threads", threads);
+        }
     }
 }

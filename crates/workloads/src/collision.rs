@@ -92,7 +92,7 @@ pub fn run_query(q: usize, records: &[Record]) -> u64 {
     records
         .iter()
         .filter(|r| match q % 4 {
-            0 => r.severity as usize >= 1 + q % 3,
+            0 => r.severity as usize > q % 3,
             1 => (r.year as usize % 7) == q % 7,
             2 => (r.region as usize % 5) == q % 5,
             _ => r.vehicles as usize > q % 6,
@@ -171,7 +171,9 @@ pub struct CollisionResult {
 /// Reference answers computed serially.
 pub fn expected_answers(params: &CollisionParams) -> Vec<u64> {
     let records = parse_csv(&generate_csv(0, params.rows, params.seed));
-    (0..params.queries).map(|q| run_query(q, &records)).collect()
+    (0..params.queries)
+        .map(|q| run_query(q, &records))
+        .collect()
 }
 
 fn parse_with_work(text: &str, parse_work: u32) -> Vec<Record> {
@@ -189,6 +191,9 @@ fn think(ms: f64) {
 }
 
 /// Run one variant with `workers` worker processes.
+// Index loops over the per-worker channel arrays mirror the Pilot C
+// teaching examples this workload reproduces.
+#[allow(clippy::needless_range_loop)]
 pub fn run_collision(
     config: PilotConfig,
     workers: usize,
@@ -197,7 +202,7 @@ pub fn run_collision(
 ) -> (PilotOutcome, Option<CollisionResult>) {
     assert!(workers >= 1);
     assert!(
-        config.process_capacity() >= workers + 1,
+        config.process_capacity() > workers,
         "world too small for {workers} workers"
     );
     let result: Mutex<Option<CollisionResult>> = Mutex::new(None);
@@ -237,7 +242,8 @@ pub fn run_collision(
                         // the worker pays the parse cost; in B the master
                         // already did, so the worker's parse is cheap.
                         let mut text: Vec<u8> = Vec::new();
-                        pi.read(rx, "%^b", &mut [RSlot::ByteVec(&mut text)]).unwrap();
+                        pi.read(rx, "%^b", &mut [RSlot::ByteVec(&mut text)])
+                            .unwrap();
                         let text = String::from_utf8(text).unwrap();
                         let records = parse_with_work(&text, parse_work);
                         if worker_parses {
@@ -429,12 +435,7 @@ mod tests {
             parse_work: 3,
             ..small()
         };
-        let (_, b) = run_collision(
-            PilotConfig::new(4),
-            3,
-            CollisionVariant::InstanceB,
-            params,
-        );
+        let (_, b) = run_collision(PilotConfig::new(4), 3, CollisionVariant::InstanceB, params);
         let (_, fixed) = run_collision(PilotConfig::new(4), 3, CollisionVariant::Fixed, params);
         let (b, fixed) = (b.unwrap(), fixed.unwrap());
         assert!(

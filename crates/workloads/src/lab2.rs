@@ -24,6 +24,9 @@ pub struct Lab2Result {
 /// Run lab2 with `w` workers over `num` numbers. Pass
 /// `use_autoalloc = true` for the V2.1 variant from the paper's
 /// footnote 3 (`"%^d"` replaces the two reads + malloc).
+// Index loops over the per-worker channel arrays mirror the paper's C
+// listing of this exercise.
+#[allow(clippy::needless_range_loop)]
 pub fn run_lab2(
     config: PilotConfig,
     w: usize,
@@ -32,7 +35,7 @@ pub fn run_lab2(
 ) -> (PilotOutcome, Option<Lab2Result>) {
     assert!(w >= 1);
     assert!(
-        config.process_capacity() >= w + 1,
+        config.process_capacity() > w,
         "world too small for {w} workers"
     );
     let result: Mutex<Option<Lab2Result>> = Mutex::new(None);

@@ -25,7 +25,9 @@ pub mod codec;
 pub mod collision;
 pub mod lab2;
 pub mod thumbnail;
+pub mod trace;
 
 pub use collision::{run_collision, CollisionParams, CollisionResult, CollisionVariant};
 pub use lab2::{run_lab2, Lab2Result};
 pub use thumbnail::{run_thumbnail, ThumbnailParams, ThumbnailResult};
+pub use trace::synthetic_clog;

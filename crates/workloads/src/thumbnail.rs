@@ -145,9 +145,12 @@ pub fn run_thumbnail_with_inputs(
     inputs: &[Vec<u8>],
 ) -> (PilotOutcome, Option<ThumbnailResult>) {
     assert_eq!(inputs.len(), params.n_files);
-    assert!(workers >= 2, "need at least one decompressor and the compressor");
     assert!(
-        config.process_capacity() >= 1 + workers,
+        workers >= 2,
+        "need at least one decompressor and the compressor"
+    );
+    assert!(
+        config.process_capacity() > workers,
         "world too small: capacity {} for 1+{workers} processes",
         config.process_capacity()
     );
@@ -191,26 +194,24 @@ pub fn run_thumbnail_with_inputs(
             let (rq, jb, px) = (req[i], job[i], pix[i]);
             let wf = params.work_factor;
             let think_ms = params.think_ms;
-            pi.assign_work(d, move |pi, idx| {
-                loop {
-                    pi.write(rq, "%d", &[WSlot::Int(idx)]).unwrap();
-                    let mut id = 0i64;
-                    pi.read(jb, "%d", &mut [RSlot::Int(&mut id)]).unwrap();
-                    if id < 0 {
-                        pi.write(px, "%d", &[WSlot::Int(-1)]).unwrap();
-                        return 0;
-                    }
-                    let mut buf: Vec<u8> = Vec::new();
-                    pi.read(jb, "%^b", &mut [RSlot::ByteVec(&mut buf)]).unwrap();
-                    let img = codec::decode(&buf, wf).expect("valid jpeg data");
-                    if think_ms > 0.0 {
-                        std::thread::sleep(std::time::Duration::from_secs_f64(think_ms / 1e3));
-                    }
-                    let thumb = img.crop_center(0.32).downsample(3);
-                    pi.write(px, "%d", &[WSlot::Int(id)]).unwrap();
-                    pi.write(px, "%^b", &[WSlot::ByteArr(&img_to_raw(&thumb))])
-                        .unwrap();
+            pi.assign_work(d, move |pi, idx| loop {
+                pi.write(rq, "%d", &[WSlot::Int(idx)]).unwrap();
+                let mut id = 0i64;
+                pi.read(jb, "%d", &mut [RSlot::Int(&mut id)]).unwrap();
+                if id < 0 {
+                    pi.write(px, "%d", &[WSlot::Int(-1)]).unwrap();
+                    return 0;
                 }
+                let mut buf: Vec<u8> = Vec::new();
+                pi.read(jb, "%^b", &mut [RSlot::ByteVec(&mut buf)]).unwrap();
+                let img = codec::decode(&buf, wf).expect("valid jpeg data");
+                if think_ms > 0.0 {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(think_ms / 1e3));
+                }
+                let thumb = img.crop_center(0.32).downsample(3);
+                pi.write(px, "%d", &[WSlot::Int(id)]).unwrap();
+                pi.write(px, "%^b", &[WSlot::ByteArr(&img_to_raw(&thumb))])
+                    .unwrap();
             })?;
         }
 
@@ -224,7 +225,8 @@ pub fn run_thumbnail_with_inputs(
                 while done < n_d {
                     let which = pi.select(incoming).unwrap();
                     let mut id = 0i64;
-                    pi.read(pix[which], "%d", &mut [RSlot::Int(&mut id)]).unwrap();
+                    pi.read(pix[which], "%d", &mut [RSlot::Int(&mut id)])
+                        .unwrap();
                     if id < 0 {
                         done += 1;
                         continue;

@@ -1,0 +1,88 @@
+//! Synthetic CLOG2 traces for benchmarks and stress tests.
+//!
+//! The generator produces the kind of log the paper's thumbnail
+//! pipeline writes — alternating read/write states with matched
+//! messages between neighbouring ranks — at whatever scale a benchmark
+//! needs, without running a Pilot program.
+
+use mpelog::{Clog2File, Color, Logger};
+
+/// Synthesize a plausible CLOG file: `ranks` timelines, each with
+/// `calls` read/write state pairs plus matched messages.
+///
+/// Drawable budget (what the converter will emit): one state per rank
+/// per call, one solo event per odd rank per call, and one arrow per
+/// even-rank send per call — about `ranks * calls * 2` drawables
+/// total, so `synthetic_clog(6, 12_000)` yields ≈144k drawables.
+pub fn synthetic_clog(ranks: usize, calls: usize) -> Clog2File {
+    let mut blocks = std::collections::BTreeMap::new();
+    let mut defs: Option<(Vec<_>, Vec<_>)> = None;
+    for r in 0..ranks {
+        let mut lg = Logger::new(r);
+        let (w_s, w_e) = lg.define_state("PI_Write", Color::GREEN);
+        let (r_s, r_e) = lg.define_state("PI_Read", Color::RED);
+        let arrival = lg.define_event("msg arrival", Color::YELLOW);
+        let dt = 1e-4;
+        for i in 0..calls {
+            let t = i as f64 * dt * ranks as f64 + r as f64 * dt;
+            if r % 2 == 0 {
+                lg.log_event(t, w_s, "Line: 1");
+                lg.log_send(t + dt * 0.3, (r + 1) % ranks, 1000 + r as u32, 8);
+                lg.log_event(t + dt * 0.5, w_e, "");
+            } else {
+                lg.log_event(t, r_s, "Line: 2");
+                lg.log_receive(
+                    t + dt * 0.4,
+                    (r + ranks - 1) % ranks,
+                    1000 + r as u32 - 1,
+                    8,
+                );
+                lg.log_event(t + dt * 0.4, arrival, "Chan: C0");
+                lg.log_event(t + dt * 0.5, r_e, "");
+            }
+        }
+        if defs.is_none() {
+            defs = Some((lg.state_defs().to_vec(), lg.event_defs().to_vec()));
+        }
+        blocks.insert(r as u32, lg.records().to_vec());
+    }
+    let (state_defs, event_defs) = defs.unwrap();
+    Clog2File {
+        nranks: ranks as u32,
+        state_defs,
+        event_defs,
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_scales_and_roundtrips() {
+        let clog = synthetic_clog(4, 50);
+        assert_eq!(clog.nranks, 4);
+        assert_eq!(clog.blocks.len(), 4);
+        let back = Clog2File::from_bytes(&clog.to_bytes()).unwrap();
+        assert_eq!(back, clog);
+    }
+
+    #[test]
+    fn sends_and_receives_pair_up() {
+        let clog = synthetic_clog(6, 10);
+        let mut sends = 0usize;
+        let mut recvs = 0usize;
+        for records in clog.blocks.values() {
+            for rec in records {
+                match rec {
+                    mpelog::Record::Send { .. } => sends += 1,
+                    mpelog::Record::Recv { .. } => recvs += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(sends, 30);
+        assert_eq!(recvs, 30);
+    }
+}

@@ -14,9 +14,7 @@
 
 use pilot::{PilotConfig, Services};
 use slog2::{convert, ConvertOptions};
-use workloads::collision::{
-    expected_answers, run_collision, CollisionParams, CollisionVariant,
-};
+use workloads::collision::{expected_answers, run_collision, CollisionParams, CollisionVariant};
 
 const WORKERS: usize = 4;
 
@@ -38,8 +36,7 @@ fn main() {
         (CollisionVariant::InstanceB, "out/collision_instance_b.svg"),
         (CollisionVariant::Fixed, "out/collision_fixed.svg"),
     ] {
-        let cfg =
-            PilotConfig::new(1 + WORKERS).with_services(Services::parse("j").unwrap());
+        let cfg = PilotConfig::new(1 + WORKERS).with_services(Services::parse("j").unwrap());
         let t0 = std::time::Instant::now();
         let (outcome, result) = run_collision(cfg, WORKERS, variant, params);
         let wall = t0.elapsed();
@@ -69,7 +66,10 @@ fn main() {
 
         println!("== {} ==", variant.name());
         println!("  wall time        : {wall:.2?}");
-        println!("  init / query time: {:.3}s / {:.3}s", result.init_seconds, result.query_seconds);
+        println!(
+            "  init / query time: {:.3}s / {:.3}s",
+            result.init_seconds, result.query_seconds
+        );
         println!("  worker overlap   : {overlap:.2} (≈0 means serialized)");
         println!("  max worker idle  : {max_idle:.3}s before first message");
         println!("  timeline         : {outfile}");

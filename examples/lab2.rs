@@ -31,7 +31,11 @@ fn main() {
     let (outcome, result) = run_lab2(cfg, W, NUM, false);
     assert!(outcome.is_clean(), "{outcome:?}");
     let result = result.expect("main finished");
-    println!("Grand total = {} (expected {})", result.grand_total, expected_total(NUM));
+    println!(
+        "Grand total = {} (expected {})",
+        result.grand_total,
+        expected_total(NUM)
+    );
     assert_eq!(result.grand_total, expected_total(NUM));
 
     if let Some(clog) = outcome.clog() {
@@ -55,7 +59,10 @@ fn main() {
         std::fs::write("out/lab2.svg", svg).unwrap();
         println!("visual log written to out/lab2.svg");
         let legend = jumpshot::Legend::for_file(&slog);
-        println!("{}", jumpshot::render_legend_text(&legend, jumpshot::LegendSort::Index));
+        println!(
+            "{}",
+            jumpshot::render_legend_text(&legend, jumpshot::LegendSort::Index)
+        );
     }
     if !outcome.artifacts.native_log.is_empty() {
         println!("native log: {} lines", outcome.artifacts.native_log.len());

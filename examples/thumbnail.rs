@@ -35,7 +35,11 @@ fn main() {
     let elapsed = t0.elapsed();
     assert!(outcome.is_clean(), "{outcome:?}");
     let result = result.expect("pipeline finished");
-    assert_eq!(result, expected_result(&params), "thumbnails must be correct");
+    assert_eq!(
+        result,
+        expected_result(&params),
+        "thumbnails must be correct"
+    );
     println!(
         "produced {} thumbnails in {:.2?} (checksum {:016x})",
         result.produced, elapsed, result.checksum

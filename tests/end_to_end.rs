@@ -45,7 +45,11 @@ fn full_pipeline_from_program_to_svg() {
     let slog = run.slog.as_ref().unwrap();
     assert_eq!(
         slog.timelines,
-        vec!["PI_MAIN".to_string(), "producer".to_string(), "consumer".to_string()]
+        vec![
+            "PI_MAIN".to_string(),
+            "producer".to_string(),
+            "consumer".to_string()
+        ]
     );
 
     // Three messages, three arrows, forming the chain 0 -> 1 -> 2 -> 0.
@@ -65,7 +69,13 @@ fn full_pipeline_from_program_to_svg() {
 
     // The SVG names the processes and draws all object kinds.
     let svg = run.render_full(900).unwrap();
-    for needle in ["producer", "consumer", "class=\"state\"", "class=\"arrow\"", "class=\"bubble\""] {
+    for needle in [
+        "producer",
+        "consumer",
+        "class=\"state\"",
+        "class=\"arrow\"",
+        "class=\"bubble\"",
+    ] {
         assert!(svg.contains(needle), "missing {needle}");
     }
 
@@ -153,8 +163,12 @@ fn multi_spec_read_shows_one_bubble_per_message() {
         pi.assign_work(w, move |pi, _| {
             let mut n = 0i64;
             let mut arr = [0.0f64; 100];
-            pi.read(c, "%d %100f", &mut [RSlot::Int(&mut n), RSlot::FloatArr(&mut arr)])
-                .unwrap();
+            pi.read(
+                c,
+                "%d %100f",
+                &mut [RSlot::Int(&mut n), RSlot::FloatArr(&mut arr)],
+            )
+            .unwrap();
             0
         })?;
         pi.start_all()?;
@@ -166,9 +180,17 @@ fn multi_spec_read_shows_one_bubble_per_message() {
     let slog = run.slog.as_ref().unwrap();
     let stats = slog2::legend_stats(slog);
     let cat = |name: &str| slog.category_by_name(name).unwrap().index;
-    assert_eq!(stats[&cat("msg arrival")].count, 2, "one bubble per message");
+    assert_eq!(
+        stats[&cat("msg arrival")].count,
+        2,
+        "one bubble per message"
+    );
     assert_eq!(stats[&cat("message")].count, 2, "one arrow per message");
-    assert_eq!(stats[&cat("PI_Read")].count, 1, "but only one PI_Read state");
+    assert_eq!(
+        stats[&cat("PI_Read")].count,
+        1,
+        "but only one PI_Read state"
+    );
 
     // Both bubbles sit inside the read rectangle.
     let ds = slog.tree.query(f64::NEG_INFINITY, f64::INFINITY);
@@ -187,7 +209,12 @@ fn multi_spec_read_shows_one_bubble_per_message() {
         })
         .collect();
     for t in bubbles {
-        assert!(t >= read.start && t <= read.end, "bubble at {t} outside [{}, {}]", read.start, read.end);
+        assert!(
+            t >= read.start && t <= read.end,
+            "bubble at {t} outside [{}, {}]",
+            read.start,
+            read.end
+        );
     }
 }
 

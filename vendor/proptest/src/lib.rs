@@ -1,0 +1,719 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! Implements the slice of proptest's API the workspace tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_filter` / `boxed`,
+//! range and tuple and string-pattern strategies, [`strategy::Just`],
+//! `prop_oneof!`, `proptest::collection::vec`, `any::<T>()`, the
+//! `proptest!` test macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline stub:
+//! - **No shrinking.** A failing case reports its deterministic seed
+//!   and case index so it can be replayed, but is not minimized.
+//! - String "regex" strategies support the subset the tests use:
+//!   sequences of `.`, `[set]`, or literal-char atoms, each with an
+//!   optional `{m}` / `{m,n}` quantifier.
+//! - Case generation is seeded from the test name, so runs are fully
+//!   deterministic without an environment knob.
+
+pub mod strategy {
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values for which `f` returns true; `reason` names
+        /// the predicate in the too-many-rejects panic.
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter \"{}\" rejected 10000 consecutive values",
+                self.reason
+            )
+        }
+    }
+
+    /// Type-erased strategy, as returned by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: std::rc::Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the (non-empty) list of alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    // --- string-pattern strategies -------------------------------------
+
+    enum Atom {
+        /// `.` — any char from a pool of ASCII plus a few multibyte
+        /// chars (to exercise UTF-8 boundary handling).
+        Any,
+        /// `[..]` — explicit set, ranges expanded.
+        Set(Vec<char>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Multibyte chars `.` can produce: 2-, 3- and 4-byte encodings.
+    const WIDE: &[char] = &['é', 'ß', 'λ', '→', '中', '🦀'];
+
+    fn parse_pattern(pat: &str) -> Vec<Piece> {
+        let mut chars = pat.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = chars.next().unwrap();
+                                for u in lo as u32..=hi as u32 {
+                                    if let Some(ch) = char::from_u32(u) {
+                                        set.push(ch);
+                                    }
+                                }
+                            }
+                            Some(ch) => {
+                                if let Some(p) = prev.replace(ch) {
+                                    set.push(p);
+                                }
+                            }
+                            None => panic!("unterminated [..] in pattern {pat:?}"),
+                        }
+                    }
+                    if let Some(p) = prev {
+                        set.push(p);
+                    }
+                    assert!(!set.is_empty(), "empty [..] in pattern {pat:?}");
+                    Atom::Set(set)
+                }
+                lit => Atom::Lit(lit),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad {m,n} in pattern"),
+                        hi.parse().expect("bad {m,n} in pattern"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad {m} in pattern");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Any => {
+                if rng.gen_range(0..6usize) == 0 {
+                    WIDE[rng.gen_range(0..WIDE.len())]
+                } else {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+                }
+            }
+            Atom::Set(set) => set[rng.gen_range(0..set.len())],
+            Atom::Lit(c) => *c,
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let n = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    out.push(gen_char(&piece.atom, rng));
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use rand::RngCore;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Produce one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mix special values in so NaN/infinity handling gets
+            // exercised; otherwise any bit pattern (usually an extreme
+            // but finite float).
+            const SPECIAL: &[f64] = &[
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0,
+                -0.0,
+                f64::MIN_POSITIVE,
+                f64::MAX,
+                f64::EPSILON,
+                1.0,
+                -1.0,
+            ];
+            if rng.next_u64().is_multiple_of(8) {
+                SPECIAL[(rng.next_u64() % SPECIAL.len() as u64) as usize]
+            } else {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            loop {
+                if let Some(c) = char::from_u32((rng.next_u64() % 0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Per-test configuration (`cases` is the only knob the workspace
+    /// uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive `body` for `config.cases` deterministic cases. Each case's
+    /// RNG is seeded from the test name and case index, so a failure
+    /// report ("case N, seed S") is reproducible without shrinking.
+    pub fn run<F>(config: ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng),
+    {
+        use rand::SeedableRng;
+        let base = fnv1a(name);
+        for case in 0..config.cases {
+            let seed = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut rng);
+            }));
+            if let Err(panic) = outcome {
+                eprintln!(
+                    "proptest {name}: case {case} of {} failed (seed {seed:#018x})",
+                    config.cases
+                );
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each function runs `cases` times with
+/// freshly generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(config, stringify!($name), |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                $body
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Assert within a proptest body (the stub panics rather than
+/// returning `TestCaseError`, which reports the same failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        crate::test_runner::run(ProptestConfig::with_cases(50), "bounds", |rng| {
+            let (a, b, f) = (0u32..10, 5i64..=6, 0f64..1.0).generate(rng);
+            assert!(a < 10);
+            assert!((5..=6).contains(&b));
+            assert!((0.0..1.0).contains(&f));
+        });
+    }
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        crate::test_runner::run(ProptestConfig::with_cases(50), "patterns", |rng| {
+            let s = "[a-z]{1,10}".generate(rng);
+            assert!((1..=10).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = ".{0,40}".generate(rng);
+            assert!(t.chars().count() <= 40);
+            let u = "[a-zA-Z][a-zA-Z ]{0,10}".generate(rng);
+            assert!(u.chars().next().unwrap().is_ascii_alphabetic());
+        });
+    }
+
+    #[test]
+    fn oneof_map_filter_compose() {
+        let strat = prop_oneof![(0u32..5).prop_map(|n| n * 2), Just(99u32),]
+            .prop_filter("nonzero", |&v| v != 0);
+        crate::test_runner::run(ProptestConfig::with_cases(100), "compose", |rng| {
+            let v = strat.generate(rng);
+            assert!(v == 99 || (v % 2 == 0 && v > 0 && v < 10));
+        });
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        crate::test_runner::run(ProptestConfig::with_cases(50), "vecs", |rng| {
+            let xs = crate::collection::vec(any::<u8>(), 1..4).generate(rng);
+            assert!((1..=3).contains(&xs.len()));
+            let fixed = crate::collection::vec(0i64..10, 3usize).generate(rng);
+            assert_eq!(fixed.len(), 3);
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_form_works(x in 0u32..100, s in "[a-z]{1,3}") {
+            prop_assert!(x < 100);
+            prop_assert!(!s.is_empty());
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in any::<i64>()) {
+            prop_assert_ne!(v, v.wrapping_add(1));
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::test_runner::run(ProptestConfig::with_cases(10), "det", |rng| {
+            a.push((0u64..1_000_000).generate(rng));
+        });
+        crate::test_runner::run(ProptestConfig::with_cases(10), "det", |rng| {
+            b.push((0u64..1_000_000).generate(rng));
+        });
+        assert_eq!(a, b);
+    }
+}

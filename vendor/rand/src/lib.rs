@@ -1,0 +1,188 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! Provides the deterministic-seeding surface the workspace uses:
+//! `SmallRng::seed_from_u64` plus `Rng::gen_range` over integer and
+//! float ranges. The generator is xoshiro256** seeded via splitmix64 —
+//! not the upstream algorithm, but the workspace only relies on
+//! *deterministic* pseudo-randomness, never on a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seeding constructors.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    /// Alias kept so `StdRng` imports keep compiling.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(2000..=2020);
+            assert!((2000..=2020).contains(&v));
+            let w: i64 = rng.gen_range(0..1000i64);
+            assert!((0..1000).contains(&w));
+            let f = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+            let n: i32 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..=3usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
