@@ -6,13 +6,22 @@
 //! cargo run -p bench --bin repro --release -- fig1|fig2|fig3|fig4|fig5
 //! cargo run -p bench --bin repro --release -- legend|equal-drawables|clocksync
 //! cargo run -p bench --bin repro --release -- convert-bench [--reps R] [--parallel N]
+//! cargo run -p bench --bin repro --release -- metrics [--workload thumbnail|lab2] [--parallel N]
 //! ```
 //!
 //! `--parallel N` sets the CLOG2→SLOG2 converter's worker-thread count
 //! for every experiment (0 = one per core); output files are
 //! byte-identical at any setting. `convert-bench` times serial vs
 //! parallel vs streaming conversion over a ≥100k-drawable synthetic
-//! trace and writes `out/BENCH_convert.json`.
+//! trace and writes `out/BENCH_convert.json` (including the `--metrics`
+//! instrumentation overhead). `metrics` runs a workload with the full
+//! observability stack attached, prints the merged registry, writes
+//! `out/METRICS.json` + `out/trace.json` (load the latter in
+//! `chrome://tracing` or <https://ui.perfetto.dev>), and exits 1 if the
+//! runtime counters disagree with the rendered log.
+//!
+//! Every subcommand prints a one-line `[time] <phase>: <seconds>`
+//! summary when it finishes, metrics or not.
 //!
 //! SVGs and JSON reports land in `out/`. Absolute numbers will differ
 //! from the paper (its testbed was a cluster; ours is a rank-per-thread
@@ -411,11 +420,22 @@ fn convert_bench(reps: usize, parallel: usize) {
             .0
             .total_drawables()
     });
+    // Same parallel conversion with the obs registry + tracer attached:
+    // the instrumentation must stay in the noise (< 5% — asserted by
+    // CI's smoke run against this report).
+    let (metrics_s, _) = median_secs(&|| {
+        let opts = ConvertOptions::default()
+            .with_parallelism(threads)
+            .with_observability(obs::Obs::handle());
+        convert(&clog, &opts).0.total_drawables()
+    });
     let speedup = serial_s / parallel_s;
+    let metrics_overhead_pct = (metrics_s / parallel_s - 1.0) * 100.0;
     println!("  {drawables} drawables");
     println!("  serial    {serial_s:.4}s");
     println!("  parallel  {parallel_s:.4}s  ({speedup:.2}x, {threads} threads)");
     println!("  streaming {stream_s:.4}s  (serial, incremental decode)");
+    println!("  metrics   {metrics_s:.4}s  (parallel + obs attached, {metrics_overhead_pct:+.2}% overhead)");
 
     let report = Json::Obj(vec![
         ("ranks".into(), Json::Num(ranks as f64)),
@@ -427,10 +447,97 @@ fn convert_bench(reps: usize, parallel: usize) {
         ("parallel_s".into(), Json::Num(parallel_s)),
         ("streaming_s".into(), Json::Num(stream_s)),
         ("speedup".into(), Json::Num(speedup)),
+        ("metrics_s".into(), Json::Num(metrics_s)),
+        (
+            "metrics_overhead_pct".into(),
+            Json::Num(metrics_overhead_pct),
+        ),
     ]);
     let path = out_dir().join("BENCH_convert.json");
     std::fs::write(&path, report.pretty()).expect("write BENCH_convert.json");
     println!("  wrote {}", path.display());
+}
+
+/// `repro metrics`: run a workload with the observability stack wired
+/// through every layer (minimpi ranks, Pilot instrumentation, mpelog,
+/// and the conversion pipeline), print the merged registry, write
+/// `out/METRICS.json` + `out/trace.json`, and cross-check the runtime
+/// counters against the rendered log. Returns whether the cross-check
+/// passed.
+fn metrics(workload: &str, parallel: usize) -> bool {
+    println!("# metrics — {workload} workload with the obs stack attached");
+    let o = obs::Obs::handle();
+    let outcome = match workload {
+        "thumbnail" => {
+            let params = ThumbnailParams {
+                n_files: 24,
+                ..Default::default()
+            };
+            let cfg = PilotConfig::new(6)
+                .with_services(Services::parse("j").unwrap())
+                .with_observability(o.clone());
+            let (outcome, result) = run_thumbnail(cfg, 5, params);
+            assert_eq!(result.unwrap(), expected_result(&params));
+            outcome
+        }
+        "lab2" => {
+            let cfg = PilotConfig::new(6)
+                .with_services(Services::parse("j").unwrap())
+                .with_observability(o.clone());
+            let (outcome, result) = run_lab2(cfg, 5, 10_000, false);
+            assert_eq!(result.unwrap().grand_total, expected_total(10_000));
+            outcome
+        }
+        other => {
+            eprintln!("unknown workload '{other}'; try: thumbnail lab2");
+            std::process::exit(2);
+        }
+    };
+    assert!(outcome.is_clean(), "{outcome:?}");
+
+    let clog = outcome.clog().expect("run must have -pisvc=j");
+    let opts = ConvertOptions {
+        timeline_names: Some(outcome.artifacts.process_names.clone()),
+        parallelism: parallel,
+        ..Default::default()
+    }
+    .with_observability(o.clone());
+    let (slog, warnings) = convert(clog, &opts);
+    for w in &warnings {
+        println!("  converter warning: {w}");
+    }
+    let slog_path = out_dir().join(format!("metrics_{workload}.pslog2"));
+    {
+        let _span = o.span("write", "convert", 0);
+        slog.write_to(&slog_path).expect("write slog2");
+    }
+
+    let snap = o.snapshot();
+    print!("{}", snap.to_prometheus_text());
+    let metrics_path = out_dir().join("METRICS.json");
+    std::fs::write(&metrics_path, snap.to_json()).expect("write METRICS.json");
+    let trace_path = out_dir().join("trace.json");
+    std::fs::write(&trace_path, o.tracer.to_chrome_json()).expect("write trace.json");
+    println!(
+        "  wrote {}, {} ({} spans; open in chrome://tracing or ui.perfetto.dev), {}",
+        metrics_path.display(),
+        trace_path.display(),
+        o.tracer.len(),
+        slog_path.display(),
+    );
+
+    let cc = pilot_vis::counters_vs_trace(&slog, &snap);
+    println!("  {cc}");
+    cc.passed()
+}
+
+/// Run one phase and print its wall-clock — every subcommand reports
+/// elapsed time whether or not the obs stack is attached.
+fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    println!("[time] {label}: {:.3}s", start.elapsed().as_secs_f64());
+    out
 }
 
 fn main() {
@@ -446,45 +553,60 @@ fn main() {
     let files = get_flag("--files", 48);
     let reps = get_flag("--reps", 5);
     let parallel = get_flag("--parallel", 0);
+    let workload = args
+        .iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("thumbnail")
+        .to_string();
     PARALLEL.set(parallel).expect("set once");
 
     match cmd {
-        "table1" => table1(files, reps),
-        "convert-bench" => convert_bench(reps, parallel),
+        "table1" => timed("table1", || table1(files, reps)),
+        "convert-bench" => timed("convert-bench", || convert_bench(reps, parallel)),
         "fig1" => {
-            fig1();
+            timed("fig1", || {
+                fig1();
+            });
         }
-        "fig2" => {
+        "fig2" => timed("fig2", || {
             let outcome = fig1();
             fig2(&outcome);
+        }),
+        "fig3" => timed("fig3", fig3),
+        "fig4" => timed("fig4", fig4),
+        "fig5" => timed("fig5", fig5),
+        "legend" => timed("legend", legend),
+        "equal-drawables" => timed("equal-drawables", equal_drawables),
+        "clocksync" => timed("clocksync", clocksync),
+        "metrics" => {
+            let ok = timed("metrics", || metrics(&workload, parallel));
+            if !ok {
+                std::process::exit(1);
+            }
         }
-        "fig3" => fig3(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "legend" => legend(),
-        "equal-drawables" => equal_drawables(),
-        "clocksync" => clocksync(),
         "all" => {
-            table1(files, reps);
+            timed("table1", || table1(files, reps));
             println!();
-            let outcome = fig1();
-            fig2(&outcome);
+            let outcome = timed("fig1", fig1);
+            timed("fig2", || fig2(&outcome));
             println!();
-            fig3();
+            timed("fig3", fig3);
             println!();
-            fig4();
+            timed("fig4", fig4);
             println!();
-            fig5();
+            timed("fig5", fig5);
             println!();
-            legend();
+            timed("legend", legend);
             println!();
-            equal_drawables();
+            timed("equal-drawables", equal_drawables);
             println!();
-            clocksync();
+            timed("clocksync", clocksync);
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench all"
+                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics all"
             );
             std::process::exit(2);
         }

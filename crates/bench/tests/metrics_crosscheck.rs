@@ -1,0 +1,53 @@
+//! The metrics layer as a correctness oracle: every send counted by the
+//! runtime must appear as exactly one arrow in the converted SLOG2
+//! output — for both paper workloads, at more than one converter
+//! parallelism level.
+
+use pilot::{PilotConfig, Services};
+use slog2::{convert, ConvertOptions};
+use workloads::lab2::{expected_total, run_lab2};
+use workloads::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
+
+fn check(outcome: &pilot::PilotOutcome, o: &obs::ObsHandle, parallel: usize, label: &str) {
+    let clog = outcome.clog().expect("run must have -pisvc=j");
+    let opts = ConvertOptions::default()
+        .with_parallelism(parallel)
+        .with_observability(o.clone());
+    let (slog, _warnings) = convert(clog, &opts);
+    let snap = o.snapshot();
+    let cc = pilot_vis::counters_vs_trace(&slog, &snap);
+    assert!(cc.sends_counted > 0, "{label}: no sends counted");
+    assert!(cc.passed(), "{label}: {cc}");
+}
+
+#[test]
+fn thumbnail_sends_match_arrows_at_two_parallelism_levels() {
+    for parallel in [1usize, 4] {
+        let o = obs::Obs::handle();
+        let params = ThumbnailParams {
+            n_files: 8,
+            ..Default::default()
+        };
+        let cfg = PilotConfig::new(4)
+            .with_services(Services::parse("j").unwrap())
+            .with_observability(o.clone());
+        let (outcome, result) = run_thumbnail(cfg, 3, params);
+        assert!(outcome.is_clean(), "{outcome:?}");
+        assert_eq!(result.unwrap(), expected_result(&params));
+        check(&outcome, &o, parallel, &format!("thumbnail p={parallel}"));
+    }
+}
+
+#[test]
+fn lab2_sends_match_arrows_at_two_parallelism_levels() {
+    for parallel in [1usize, 4] {
+        let o = obs::Obs::handle();
+        let cfg = PilotConfig::new(4)
+            .with_services(Services::parse("j").unwrap())
+            .with_observability(o.clone());
+        let (outcome, result) = run_lab2(cfg, 3, 500, false);
+        assert!(outcome.is_clean(), "{outcome:?}");
+        assert_eq!(result.unwrap().grand_total, expected_total(500));
+        check(&outcome, &o, parallel, &format!("lab2 p={parallel}"));
+    }
+}

@@ -176,6 +176,56 @@ pub fn parallel_overlap(file: &Slog2File, timelines: &[u32], window: Option<(f64
     }
 }
 
+/// Result of [`counters_vs_trace`]: the runtime counter total and the
+/// corresponding count extracted from the rendered SLOG2 file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossCheck {
+    /// Channel sends counted at runtime (`pilot.sends_logged`): each
+    /// increments exactly when `Instrument::log_send` writes an MPE
+    /// send record, the record every arrow is built from.
+    pub sends_counted: u64,
+    /// Arrow drawables in the converted SLOG2 output.
+    pub arrows_rendered: u64,
+}
+
+impl CrossCheck {
+    /// Did the runtime counters agree with the rendered log?
+    pub fn passed(&self) -> bool {
+        self.sends_counted == self.arrows_rendered
+    }
+}
+
+impl std::fmt::Display for CrossCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cross-check: {} sends counted at runtime vs {} arrows rendered -> {}",
+            self.sends_counted,
+            self.arrows_rendered,
+            if self.passed() { "OK" } else { "MISMATCH" }
+        )
+    }
+}
+
+/// Cross-check runtime metrics against the rendered log, turning the
+/// metrics layer into a correctness oracle for the logger itself: every
+/// channel send the runtime counted (`pilot.sends_logged`) must appear
+/// as exactly one arrow in the SLOG2 output. A mismatch means a send
+/// record was dropped, double-logged, or mis-paired somewhere in the
+/// log → merge → convert pipeline.
+pub fn counters_vs_trace(file: &Slog2File, snapshot: &obs::Snapshot) -> CrossCheck {
+    let arrows_rendered = file
+        .tree
+        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .iter()
+        .filter(|d| matches!(d, Drawable::Arrow(_)))
+        .count() as u64;
+    CrossCheck {
+        sends_counted: snapshot.counter("pilot.sends_logged"),
+        arrows_rendered,
+    }
+}
+
 /// Seconds from the start of each worker's Compute state until its
 /// first message-arrival bubble — instance B's "kept waiting till
 /// PI_MAIN did 11 seconds of initialization".
@@ -211,7 +261,7 @@ pub fn idle_until_first_arrival(file: &Slog2File) -> BTreeMap<u32, f64> {
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{Category, CategoryKind, EventDrawable, FrameTree, StateDrawable};
+    use slog2::{ArrowDrawable, Category, CategoryKind, EventDrawable, FrameTree, StateDrawable};
 
     /// Hand-built file: categories 0=Compute, 1=PI_Read, 2=msg arrival.
     fn file_with(drawables: Vec<Drawable>) -> Slog2File {
@@ -333,6 +383,37 @@ mod tests {
         assert_eq!(sub, vec![(1.0, 9.0)]);
         let sub = subtract_intervals(&[(0.0, 4.0)], &[(0.0, 5.0)]);
         assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn counters_vs_trace_is_an_oracle() {
+        let mut ds = vec![state(0, 1, 0.0, 1.0)];
+        for i in 0..3u32 {
+            ds.push(Drawable::Arrow(ArrowDrawable {
+                category: 3,
+                from_timeline: 0,
+                to_timeline: 1,
+                start: 0.1 * f64::from(i + 1),
+                end: 0.1 * f64::from(i + 2),
+                tag: 1000 + i,
+                size: 8,
+            }));
+        }
+        let f = file_with(ds);
+        let o = obs::Obs::handle();
+        o.shard(0).counter("pilot.sends_logged").add(2);
+        o.shard(1).counter("pilot.sends_logged").inc();
+        let cc = counters_vs_trace(&f, &o.snapshot());
+        assert_eq!(cc.sends_counted, 3);
+        assert_eq!(cc.arrows_rendered, 3);
+        assert!(cc.passed());
+        assert!(cc.to_string().contains("OK"));
+
+        // One phantom send the log never rendered: the oracle fires.
+        o.shard(0).counter("pilot.sends_logged").inc();
+        let cc = counters_vs_trace(&f, &o.snapshot());
+        assert!(!cc.passed());
+        assert!(cc.to_string().contains("MISMATCH"));
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use analysis::{
-    busy_intervals, idle_until_first_arrival, parallel_overlap, timeline_state_seconds,
-    TimelineActivity,
+    busy_intervals, counters_vs_trace, idle_until_first_arrival, parallel_overlap,
+    timeline_state_seconds, CrossCheck, TimelineActivity,
 };
 pub use pipeline::{visualize, VisOptions, VisRun};
 pub use report::{run_report, RunReport};

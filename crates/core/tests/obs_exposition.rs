@@ -1,0 +1,77 @@
+//! The obs crate emits its JSON by hand (no serde); these tests prove
+//! both expositions parse with the workspace's own JSON parser — the
+//! same guarantee Perfetto / `chrome://tracing` needs for
+//! `out/trace.json`, and `repro` needs for `out/METRICS.json`.
+
+use pilot_vis::json::Json;
+
+/// An Obs with a few spans and one of every metric kind recorded.
+fn populated() -> obs::ObsHandle {
+    let o = obs::Obs::handle();
+    {
+        let _outer = o.span("scan", "convert", 0);
+        let _inner = o.span("scan.shard", "convert", 3);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    {
+        let _write = o.span("write \"quoted\"\n", "convert", 1);
+    }
+    let s = o.shard(0);
+    s.counter("minimpi.msgs_sent").add(7);
+    s.gauge("minimpi.mailbox_depth").set(2);
+    s.histogram("minimpi.recv_wait_ns").record(1500);
+    o
+}
+
+#[test]
+fn chrome_trace_json_round_trips() {
+    let o = populated();
+    let text = o.tracer.to_chrome_json();
+    let doc = Json::parse(&text).expect("trace.json must be valid JSON");
+    let events = doc.as_arr().expect("Chrome trace array form");
+    assert_eq!(events.len(), 3);
+    for ev in events {
+        // The complete-event fields Perfetto requires.
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        assert!(ev.get("name").and_then(Json::as_str).is_some());
+        assert!(ev.get("cat").and_then(Json::as_str).is_some());
+        assert!(ev.get("ts").and_then(Json::as_u64).is_some());
+        assert!(ev.get("dur").and_then(Json::as_u64).is_some());
+        assert!(ev.get("pid").and_then(Json::as_u64).is_some());
+        assert!(ev.get("tid").and_then(Json::as_u64).is_some());
+    }
+    // Nesting survived: the inner span ends no later than the outer.
+    let by_name = |n: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some(n))
+            .unwrap()
+    };
+    let end =
+        |e: &Json| e.get("ts").unwrap().as_u64().unwrap() + e.get("dur").unwrap().as_u64().unwrap();
+    assert!(end(by_name("scan.shard")) <= end(by_name("scan")));
+}
+
+#[test]
+fn metrics_json_round_trips() {
+    let o = populated();
+    let text = o.snapshot().to_json();
+    let doc = Json::parse(&text).expect("METRICS.json must be valid JSON");
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get("minimpi.msgs_sent"))
+            .and_then(Json::as_u64),
+        Some(7)
+    );
+    let gauge = doc
+        .get("gauges")
+        .and_then(|g| g.get("minimpi.mailbox_depth"))
+        .expect("gauge present");
+    assert_eq!(gauge.get("value").and_then(Json::as_u64), Some(2));
+    let hist = doc
+        .get("histograms")
+        .and_then(|h| h.get("minimpi.recv_wait_ns"))
+        .expect("histogram present");
+    assert_eq!(hist.get("count").and_then(Json::as_u64), Some(1));
+    assert_eq!(hist.get("sum").and_then(Json::as_u64), Some(1500));
+}

@@ -62,6 +62,10 @@ pub(crate) struct Mailbox {
     rx: Receiver<Delivery>,
     /// Arrived-but-unmatched deliveries, in arrival order.
     pending: VecDeque<Delivery>,
+    /// Optional queue-depth gauge (with high-water mark), updated at
+    /// every park/unpark so transient depth spikes inside a blocking
+    /// receive are captured too.
+    depth: Option<obs::Gauge>,
 }
 
 /// A handle other ranks use to deliver into a mailbox.
@@ -76,8 +80,28 @@ impl Mailbox {
             Mailbox {
                 rx,
                 pending: VecDeque::new(),
+                depth: None,
             },
         )
+    }
+
+    /// Attach a queue-depth gauge (see [`crate::WorldBuilder::observe`]).
+    pub(crate) fn set_depth_gauge(&mut self, gauge: obs::Gauge) {
+        gauge.set(self.pending.len() as i64);
+        self.depth = Some(gauge);
+    }
+
+    /// Report the current unexpected-queue depth to the gauge, if any.
+    fn note_depth(&self) {
+        if let Some(g) = &self.depth {
+            g.set(self.pending.len() as i64);
+        }
+    }
+
+    /// Park an arrived delivery on the unexpected queue.
+    fn park(&mut self, d: Delivery) {
+        self.pending.push_back(d);
+        self.note_depth();
     }
 
     fn find_pending(&self, src: Src, tag: Tag) -> Option<usize> {
@@ -87,7 +111,9 @@ impl Mailbox {
     }
 
     fn take_pending(&mut self, idx: usize) -> Message {
-        match self.pending.remove(idx).expect("index valid") {
+        let taken = self.pending.remove(idx).expect("index valid");
+        self.note_depth();
+        match taken {
             Delivery::Msg(m) => m,
             Delivery::SyncMsg(m, ack) => {
                 // Release the rendezvous sender; if it already gave up
@@ -108,7 +134,7 @@ impl Mailbox {
             // Block with a coarse heartbeat so an abort tripped between
             // our check and the blocking call still wakes us.
             match self.rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(d) => self.pending.push_back(d),
+                Ok(d) => self.park(d),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return Err(MpiError::WorldDown),
             }
@@ -135,7 +161,7 @@ impl Mailbox {
             }
             let step = (deadline - now).min(Duration::from_millis(20));
             match self.rx.recv_timeout(step) {
-                Ok(d) => self.pending.push_back(d),
+                Ok(d) => self.park(d),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return Err(MpiError::WorldDown),
             }
@@ -151,7 +177,7 @@ impl Mailbox {
                 return Ok(self.pending[i].message().env);
             }
             match self.rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(d) => self.pending.push_back(d),
+                Ok(d) => self.park(d),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return Err(MpiError::WorldDown),
             }
@@ -169,7 +195,7 @@ impl Mailbox {
         abort.check()?;
         loop {
             match self.rx.try_recv() {
-                Ok(d) => self.pending.push_back(d),
+                Ok(d) => self.park(d),
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => break,
             }
@@ -179,7 +205,9 @@ impl Mailbox {
             .map(|i| self.pending[i].message().env))
     }
 
-    /// Number of parked (arrived, unmatched) deliveries. Diagnostics only.
+    /// Number of parked (arrived, unmatched) deliveries — the depth of
+    /// the unexpected-message queue. (The metrics gauge reads
+    /// `pending.len()` directly; this accessor is for tests.)
     #[cfg(test)]
     pub(crate) fn pending_len(&self) -> usize {
         self.pending.len()

@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
@@ -20,6 +20,35 @@ pub(crate) struct Shared {
     clock: WorldClock,
     abort: AbortToken,
     seq: AtomicU64,
+    obs: Option<obs::ObsHandle>,
+}
+
+/// Per-rank metric handles, registered once at rank start so the hot
+/// paths are single relaxed atomic operations.
+pub(crate) struct RankObs {
+    msgs_sent: obs::Counter,
+    bytes_sent: obs::Counter,
+    msgs_received: obs::Counter,
+    bytes_received: obs::Counter,
+    recv_wait_ns: obs::Histogram,
+    probe_wait_ns: obs::Histogram,
+    /// First-to-last arrival spread observed by the barrier root; see
+    /// [`Rank::barrier`].
+    pub(crate) barrier_skew_ns: obs::Histogram,
+}
+
+impl RankObs {
+    fn new(shard: &obs::Shard) -> Self {
+        Self {
+            msgs_sent: shard.counter("minimpi.msgs_sent"),
+            bytes_sent: shard.counter("minimpi.bytes_sent"),
+            msgs_received: shard.counter("minimpi.msgs_received"),
+            bytes_received: shard.counter("minimpi.bytes_received"),
+            recv_wait_ns: shard.histogram("minimpi.recv_wait_ns"),
+            probe_wait_ns: shard.histogram("minimpi.probe_wait_ns"),
+            barrier_skew_ns: shard.histogram("minimpi.barrier_skew_ns"),
+        }
+    }
 }
 
 /// Builder for a [`World`].
@@ -27,6 +56,7 @@ pub struct WorldBuilder {
     size: usize,
     clock: ClockConfig,
     stack_size: Option<usize>,
+    obs: Option<obs::ObsHandle>,
 }
 
 impl WorldBuilder {
@@ -39,6 +69,14 @@ impl WorldBuilder {
     /// Override the per-rank thread stack size.
     pub fn stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Attach a metrics registry. Each rank records into its own shard
+    /// (`minimpi.*` counters, mailbox-depth gauge, wait-time histograms);
+    /// merge them with [`obs::Obs::snapshot`].
+    pub fn observe(mut self, obs: obs::ObsHandle) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -67,6 +105,7 @@ impl WorldBuilder {
             clock: WorldClock::new(&self.clock),
             abort: AbortToken::default(),
             seq: AtomicU64::new(0),
+            obs: self.obs.clone(),
         });
 
         let body = &body;
@@ -82,11 +121,18 @@ impl WorldBuilder {
                 }
                 let handle = builder
                     .spawn_scoped(scope, move || {
+                        let mut mb = mb;
+                        let robs = shared.obs.as_ref().map(|o| {
+                            let shard = o.shard(r);
+                            mb.set_depth_gauge(shard.gauge("minimpi.mailbox_depth"));
+                            RankObs::new(&shard)
+                        });
                         let rank = Rank {
                             rank: r,
                             shared: Arc::clone(&shared),
                             mailbox: RefCell::new(mb),
                             coll_seq: std::cell::Cell::new(0),
+                            obs: robs,
                         };
                         // If this rank panics, trip the abort switch so the
                         // others don't block forever on messages that will
@@ -155,6 +201,7 @@ impl World {
             size,
             clock: ClockConfig::default(),
             stack_size: None,
+            obs: None,
         }
     }
 }
@@ -192,6 +239,9 @@ pub struct Rank {
     /// counter agrees across ranks and disambiguates back-to-back
     /// collectives that would otherwise match each other's traffic.
     coll_seq: std::cell::Cell<u64>,
+    /// Metric handles when the world was built with
+    /// [`WorldBuilder::observe`].
+    obs: Option<RankObs>,
 }
 
 impl Rank {
@@ -262,6 +312,7 @@ impl Rank {
 
     pub(crate) fn deliver(&self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
         self.shared.abort.check()?;
+        self.note_sent(payload.len());
         let msg = Message::new(self.rank, dst, tag, self.next_seq(), payload);
         self.shared.senders[dst]
             .send(Delivery::Msg(msg))
@@ -273,6 +324,7 @@ impl Rank {
     pub fn ssend(&self, dst: usize, tag: u32, payload: &[u8]) -> Result<()> {
         self.validate(dst, tag, false)?;
         self.shared.abort.check()?;
+        self.note_sent(payload.len());
         let msg = Message::new(
             self.rank,
             dst,
@@ -299,23 +351,57 @@ impl Rank {
         }
     }
 
+    /// Record an outgoing message on this rank's metric shard, if any.
+    fn note_sent(&self, bytes: usize) {
+        if let Some(o) = &self.obs {
+            o.msgs_sent.inc();
+            o.bytes_sent.add(bytes as u64);
+        }
+    }
+
+    /// Record a completed receive and how long it blocked.
+    fn note_received(&self, res: &Result<Message>, start: Option<Instant>) {
+        if let Some(o) = &self.obs {
+            if let Some(t0) = start {
+                o.recv_wait_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+            if let Ok(m) = res {
+                o.msgs_received.inc();
+                o.bytes_received.add(m.payload.len() as u64);
+            }
+        }
+    }
+
     /// Blocking matched receive.
     pub fn recv(&self, src: Src, tag: Tag) -> Result<Message> {
-        self.mailbox.borrow_mut().recv(src, tag, &self.shared.abort)
+        let start = self.obs.as_ref().map(|_| Instant::now());
+        let res = self.mailbox.borrow_mut().recv(src, tag, &self.shared.abort);
+        self.note_received(&res, start);
+        res
     }
 
     /// Matched receive with a deadline.
     pub fn recv_timeout(&self, src: Src, tag: Tag, timeout: Duration) -> Result<Message> {
-        self.mailbox
+        let start = self.obs.as_ref().map(|_| Instant::now());
+        let res = self
+            .mailbox
             .borrow_mut()
-            .recv_timeout(src, tag, timeout, &self.shared.abort)
+            .recv_timeout(src, tag, timeout, &self.shared.abort);
+        self.note_received(&res, start);
+        res
     }
 
     /// Blocking probe (does not consume the message).
     pub fn probe(&self, src: Src, tag: Tag) -> Result<Envelope> {
-        self.mailbox
+        let start = self.obs.as_ref().map(|_| Instant::now());
+        let res = self
+            .mailbox
             .borrow_mut()
-            .probe(src, tag, &self.shared.abort)
+            .probe(src, tag, &self.shared.abort);
+        if let (Some(o), Some(t0)) = (&self.obs, start) {
+            o.probe_wait_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        res
     }
 
     /// Non-blocking probe.
@@ -349,6 +435,11 @@ impl Rank {
         let s = self.coll_seq.get();
         self.coll_seq.set(s + 1);
         s
+    }
+
+    /// This rank's metric handles, if the world is observed.
+    pub(crate) fn obs(&self) -> Option<&RankObs> {
+        self.obs.as_ref()
     }
 }
 
@@ -520,6 +611,36 @@ mod tests {
             0
         });
         assert_eq!(out.aborted, Some((0, 1)));
+    }
+
+    #[test]
+    fn observed_world_counts_messages_and_bytes() {
+        let obs = obs::Obs::handle();
+        let out = World::builder(2)
+            .observe(std::sync::Arc::clone(&obs))
+            .run(|rank| {
+                if rank.rank() == 0 {
+                    rank.send(1, 1, &[0u8; 10]).unwrap();
+                    rank.ssend(1, 2, &[0u8; 5]).unwrap();
+                } else {
+                    rank.recv(Src::Of(0), Tag::Of(2)).unwrap();
+                    rank.recv(Src::Of(0), Tag::Of(1)).unwrap();
+                }
+                rank.barrier().unwrap();
+                0
+            });
+        assert!(out.all_ok());
+        let snap = obs.snapshot();
+        // 2 user messages + 2 barrier messages (1 in, 1 out).
+        assert_eq!(snap.counter("minimpi.msgs_sent"), 4);
+        assert_eq!(snap.counter("minimpi.msgs_received"), 4);
+        assert_eq!(snap.counter("minimpi.bytes_sent"), 15);
+        assert_eq!(snap.counter("minimpi.bytes_received"), 15);
+        // The tag-2 message had to be parked while rank 1 waited on tag
+        // 1 first, so the mailbox-depth high-water mark is at least 1.
+        assert!(snap.gauges["minimpi.mailbox_depth"].high >= 1);
+        assert!(snap.hists["minimpi.recv_wait_ns"].count >= 4);
+        assert_eq!(snap.hists["minimpi.barrier_skew_ns"].count, 1);
     }
 
     #[test]

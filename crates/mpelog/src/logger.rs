@@ -7,8 +7,16 @@
 use crate::color::Color;
 use crate::ids::{EventId, IdAllocator};
 use crate::record::{clamp_info, EventDef, Record, StateDef};
-use crate::spill::SpillWriter;
+use crate::spill::{spill_path, SpillWriter};
 use crate::sync::ClockCorrection;
+
+/// Metric handles registered by [`Logger::set_observability`].
+#[derive(Debug)]
+struct LoggerObs {
+    records_logged: obs::Counter,
+    spill_flushes: obs::Counter,
+    spill_bytes: obs::Counter,
+}
 
 /// A rank's in-memory event log.
 ///
@@ -23,6 +31,7 @@ pub struct Logger {
     records: Vec<Record>,
     correction: ClockCorrection,
     spill: Option<SpillWriter>,
+    obs: Option<LoggerObs>,
 }
 
 impl Logger {
@@ -36,22 +45,51 @@ impl Logger {
             records: Vec::new(),
             correction: ClockCorrection::identity(),
             spill: None,
+            obs: None,
         }
+    }
+
+    /// Record `mpelog.*` metrics (records logged, spill flushes/bytes)
+    /// on `shard`.
+    pub fn set_observability(&mut self, shard: obs::ShardHandle) {
+        self.obs = Some(LoggerObs {
+            records_logged: shard.counter("mpelog.records_logged"),
+            spill_flushes: shard.counter("mpelog.spill_flushes"),
+            spill_bytes: shard.counter("mpelog.spill_bytes"),
+        });
     }
 
     /// Attach an abort-safe spill file (see [`crate::spill`]): every
     /// definition made so far is replayed into it, and every future
     /// record is streamed to disk as it is logged.
+    ///
+    /// Errors carry the spill file path in their message, so a failure
+    /// deep inside `PI_Configure` still names the file that caused it.
     pub fn attach_spill(&mut self, dir: &std::path::Path) -> std::io::Result<()> {
-        let mut w = SpillWriter::create(dir, self.rank)?;
+        let with_path = |e: std::io::Error| {
+            std::io::Error::new(
+                e.kind(),
+                format!("{}: {e}", spill_path(dir, self.rank).display()),
+            )
+        };
+        let mut w = SpillWriter::create(dir, self.rank).map_err(with_path)?;
+        let mut flushes = 0u64;
+        let mut bytes = 0u64;
         for d in &self.state_defs {
-            w.state_def(d)?;
+            bytes += w.state_def(d).map_err(with_path)? as u64;
+            flushes += 1;
         }
         for d in &self.event_defs {
-            w.event_def(d)?;
+            bytes += w.event_def(d).map_err(with_path)? as u64;
+            flushes += 1;
         }
         for r in &self.records {
-            w.record(r)?;
+            bytes += w.record(r).map_err(with_path)? as u64;
+            flushes += 1;
+        }
+        if let Some(o) = &self.obs {
+            o.spill_flushes.add(flushes);
+            o.spill_bytes.add(bytes);
         }
         self.spill = Some(w);
         Ok(())
@@ -59,10 +97,25 @@ impl Logger {
 
     fn spill_record(&mut self, rec: &Record) {
         if let Some(w) = self.spill.as_mut() {
-            if w.record(rec).is_err() {
-                // Best effort: a dead spill must not kill the run.
-                self.spill = None;
+            match w.record(rec) {
+                Ok(n) => {
+                    if let Some(o) = &self.obs {
+                        o.spill_flushes.inc();
+                        o.spill_bytes.add(n as u64);
+                    }
+                }
+                Err(_) => {
+                    // Best effort: a dead spill must not kill the run.
+                    self.spill = None;
+                }
             }
+        }
+    }
+
+    /// Count one logged record on the metric shard, if observed.
+    fn note_record(&self) {
+        if let Some(o) = &self.obs {
+            o.records_logged.inc();
         }
     }
 
@@ -114,6 +167,7 @@ impl Logger {
         };
         self.spill_record(&rec);
         self.records.push(rec);
+        self.note_record();
     }
 
     /// Log a message send — `MPE_Log_send`. Must be paired with a
@@ -127,6 +181,7 @@ impl Logger {
         };
         self.spill_record(&rec);
         self.records.push(rec);
+        self.note_record();
     }
 
     /// Log a message receive — `MPE_Log_receive`.
@@ -139,6 +194,7 @@ impl Logger {
         };
         self.spill_record(&rec);
         self.records.push(rec);
+        self.note_record();
     }
 
     /// Install the clock-sync correction (from [`crate::sync::sync_clocks`]).
@@ -151,12 +207,14 @@ impl Logger {
         &self.correction
     }
 
-    /// Number of buffered records.
+    /// Number of buffered *records* (events, sends, receives). State and
+    /// event *definitions* are not records and are not counted here —
+    /// see [`Logger::state_defs`] / [`Logger::event_defs`] for those.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// Is the buffer empty?
+    /// Is the record buffer empty? (Definitions may still exist.)
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -186,6 +244,11 @@ impl Logger {
     }
 
     /// Drop all buffered records (used between benchmark repetitions).
+    ///
+    /// Only the in-memory record buffer is cleared: state/event
+    /// definitions, the clock correction, and any attached spill file
+    /// are kept, and records already streamed to the spill file stay on
+    /// disk.
     pub fn clear(&mut self) {
         self.records.clear();
     }

@@ -54,33 +54,35 @@ impl SpillWriter {
         Ok(SpillWriter { file })
     }
 
-    fn put_item(&mut self, kind: u8, body: Writer) -> std::io::Result<()> {
+    fn put_item(&mut self, kind: u8, body: Writer) -> std::io::Result<usize> {
         let body = body.into_bytes();
         let mut w = Writer::with_capacity(body.len() + 5);
         w.put_u8(kind);
         w.put_u32(body.len() as u32);
         w.put_bytes(&body);
-        self.file.write_all(&w.into_bytes())?;
+        let bytes = w.into_bytes();
+        self.file.write_all(&bytes)?;
         // The whole point: reach the OS before the world can die.
-        self.file.flush()
+        self.file.flush()?;
+        Ok(bytes.len())
     }
 
-    /// Record a state definition.
-    pub fn state_def(&mut self, def: &StateDef) -> std::io::Result<()> {
+    /// Record a state definition. Returns the bytes written.
+    pub fn state_def(&mut self, def: &StateDef) -> std::io::Result<usize> {
         let mut b = Writer::new();
         def.encode(&mut b);
         self.put_item(ITEM_STATEDEF, b)
     }
 
-    /// Record a solo-event definition.
-    pub fn event_def(&mut self, def: &EventDef) -> std::io::Result<()> {
+    /// Record a solo-event definition. Returns the bytes written.
+    pub fn event_def(&mut self, def: &EventDef) -> std::io::Result<usize> {
         let mut b = Writer::new();
         def.encode(&mut b);
         self.put_item(ITEM_EVENTDEF, b)
     }
 
-    /// Record one log record.
-    pub fn record(&mut self, rec: &Record) -> std::io::Result<()> {
+    /// Record one log record. Returns the bytes written.
+    pub fn record(&mut self, rec: &Record) -> std::io::Result<usize> {
         let mut b = Writer::new();
         rec.encode(&mut b);
         self.put_item(ITEM_RECORD, b)

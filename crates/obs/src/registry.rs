@@ -1,0 +1,515 @@
+//! Sharded metrics registry: counters, gauges with high-water marks, and
+//! log2-bucketed histograms.
+//!
+//! A [`Registry`] holds one [`Shard`] per rank (or pipeline worker).
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are registered by name
+//! on a shard — registration takes a short mutex, every update after
+//! that is a relaxed atomic operation. [`Registry::snapshot`] merges all
+//! shards into one deterministic [`Snapshot`] (BTreeMap-ordered), and
+//! [`Snapshot::merge`] is associative and commutative so partial merges
+//! in any grouping agree.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `b >= 1`
+/// holds values in `[2^(b-1), 2^b)`. 64-bit values always fit.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value (log2 with a dedicated zero bucket).
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    value: AtomicI64,
+    high: AtomicI64,
+}
+
+/// Gauge handle: a signed level with a high-water mark. The high-water
+/// mark only ever ratchets up.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<GaugeCell>);
+
+impl Gauge {
+    /// Set the level and ratchet the high-water mark.
+    pub fn set(&self, v: i64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` and ratchet the high-water mark.
+    pub fn add(&self, delta: i64) {
+        let v = self.0.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.0.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark.
+    pub fn high(&self) -> i64 {
+        self.0.high.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log2-bucketed histogram handle. Values are unitless `u64`s; by
+/// convention durations are recorded in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+}
+
+/// One rank's (or worker's) slice of the registry.
+#[derive(Debug, Default)]
+pub struct Shard {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<GaugeCell>>>,
+    hists: Mutex<BTreeMap<String, Arc<HistCell>>>,
+}
+
+/// Shared handle to a [`Shard`]; cheap to clone.
+pub type ShardHandle = Arc<Shard>;
+
+impl Shard {
+    /// Get (or register) the counter `name` on this shard.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        Counter(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Get (or register) the gauge `name` on this shard.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        Gauge(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Get (or register) the histogram `name` on this shard.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.hists.lock().unwrap();
+        Histogram(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Snapshot just this shard.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            snap.counters
+                .insert(name.clone(), c.load(Ordering::Relaxed));
+        }
+        for (name, g) in self.gauges.lock().unwrap().iter() {
+            snap.gauges.insert(
+                name.clone(),
+                GaugeSnap {
+                    value: g.value.load(Ordering::Relaxed),
+                    high: g.high.load(Ordering::Relaxed),
+                },
+            );
+        }
+        for (name, h) in self.hists.lock().unwrap().iter() {
+            snap.hists.insert(
+                name.clone(),
+                HistSnap {
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                    count: h.count.load(Ordering::Relaxed),
+                    sum: h.sum.load(Ordering::Relaxed),
+                },
+            );
+        }
+        snap
+    }
+}
+
+/// The sharded registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    shards: Mutex<Vec<ShardHandle>>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or create) the shard at index `idx`; the vector grows to
+    /// cover `idx`.
+    pub fn shard(&self, idx: usize) -> ShardHandle {
+        let mut shards = self.shards.lock().unwrap();
+        while shards.len() <= idx {
+            shards.push(Arc::new(Shard::default()));
+        }
+        Arc::clone(&shards[idx])
+    }
+
+    /// Merge every shard into one snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let shards: Vec<ShardHandle> = self.shards.lock().unwrap().clone();
+        shards
+            .iter()
+            .fold(Snapshot::default(), |acc, s| acc.merge(&s.snapshot()))
+    }
+}
+
+/// Point-in-time gauge state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnap {
+    /// Level at snapshot time.
+    pub value: i64,
+    /// High-water mark.
+    pub high: i64,
+}
+
+/// Point-in-time histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnap {
+    /// One count per log2 bucket ([`HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+/// A merged, immutable view of the registry. Maps are BTree-ordered so
+/// two snapshots of the same state compare and print identically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge states by name.
+    pub gauges: BTreeMap<String, GaugeSnap>,
+    /// Histogram states by name.
+    pub hists: BTreeMap<String, HistSnap>,
+}
+
+impl Snapshot {
+    /// Combine two snapshots: counters add, gauge values add, gauge
+    /// high-water marks max, histogram buckets / counts / sums add.
+    /// Associative and commutative.
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        let mut out = self.clone();
+        for (name, v) in &other.counters {
+            *out.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, g) in &other.gauges {
+            let e = out.gauges.entry(name.clone()).or_insert(GaugeSnap {
+                value: 0,
+                high: i64::MIN,
+            });
+            e.value += g.value;
+            e.high = e.high.max(g.high);
+        }
+        for (name, h) in &other.hists {
+            let e = out.hists.entry(name.clone()).or_insert_with(|| HistSnap {
+                buckets: vec![0; HIST_BUCKETS],
+                count: 0,
+                sum: 0,
+            });
+            for (dst, src) in e.buckets.iter_mut().zip(&h.buckets) {
+                *dst += src;
+            }
+            e.count += h.count;
+            e.sum += h.sum;
+        }
+        out
+    }
+
+    /// Counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Prometheus-style text exposition. Metric names have `.` and other
+    /// non-identifier characters folded to `_`; gauges expose the level
+    /// and a `_high` companion; histograms expose cumulative
+    /// `_bucket{le="..."}` lines plus `_count` and `_sum`.
+    pub fn to_prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, g) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!(
+                "# TYPE {n} gauge\n{n} {}\n# TYPE {n}_high gauge\n{n}_high {}\n",
+                g.value, g.high
+            ));
+        }
+        for (name, h) in &self.hists {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (b, c) in h.buckets.iter().enumerate() {
+                if *c == 0 {
+                    continue;
+                }
+                cum += c;
+                // Bucket b >= 1 covers [2^(b-1), 2^b); upper bound is
+                // 2^b - 1 inclusive. Bucket 0 is exactly zero.
+                let le = if b == 0 { 0 } else { (1u128 << b) - 1 };
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"+Inf\"}} {c}\n{n}_count {c}\n{n}_sum {s}\n",
+                c = h.count,
+                s = h.sum
+            ));
+        }
+        out
+    }
+
+    /// JSON exposition: `{"counters":{..},"gauges":{..},"histograms":{..}}`.
+    /// Histogram buckets are emitted sparsely as `[bucket_index, count]`
+    /// pairs. Parses with the workspace's `pilot_vis::json::Json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {v}", json_str(name)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (name, g) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {{\"value\": {}, \"high\": {}}}",
+                json_str(name),
+                g.value,
+                g.high
+            ));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(b, c)| format!("[{b}, {c}]"))
+                .collect();
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}",
+                json_str(name),
+                h.count,
+                h.sum,
+                buckets.join(", ")
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal (quotes included).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_across_shards() {
+        let reg = Registry::new();
+        reg.shard(0).counter("msgs").add(3);
+        reg.shard(1).counter("msgs").add(4);
+        reg.shard(2).counter("other").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("msgs"), 7);
+        assert_eq!(snap.counter("other"), 1);
+        assert_eq!(snap.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Shard::default().gauge("depth");
+        g.add(5);
+        g.add(-3);
+        g.add(2);
+        assert_eq!(g.get(), 4);
+        assert_eq!(g.high(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high(), 5);
+    }
+
+    #[test]
+    fn gauge_merge_sums_values_maxes_high() {
+        let reg = Registry::new();
+        reg.shard(0).gauge("q").set(2);
+        reg.shard(1).gauge("q").set(7);
+        let snap = reg.snapshot();
+        let g = snap.gauges["q"];
+        assert_eq!(g.value, 9);
+        assert_eq!(g.high, 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_with_zero_bucket() {
+        let h = Shard::default().histogram("lat");
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        h.record(u64::MAX);
+        let snap = Shard::default().snapshot(); // empty shard snapshots empty
+        assert!(snap.hists.is_empty());
+        assert_eq!(h.count(), 6);
+        let shard = Shard::default();
+        let h2 = shard.histogram("lat");
+        h2.record(0);
+        h2.record(3);
+        let hs = &shard.snapshot().hists["lat"];
+        assert_eq!(hs.buckets[0], 1); // the zero
+        assert_eq!(hs.buckets[2], 1); // 3 lands in [2,4)
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 3);
+    }
+
+    #[test]
+    fn bucket_of_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative_here() {
+        let reg = Registry::new();
+        reg.shard(0).counter("c").add(1);
+        reg.shard(0).histogram("h").record(9);
+        let a = reg.shard(0).snapshot();
+        let reg2 = Registry::new();
+        reg2.shard(0).counter("c").add(2);
+        reg2.shard(0).gauge("g").set(4);
+        let b = reg2.shard(0).snapshot();
+        assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn same_handle_returned_for_same_name() {
+        let shard = Shard::default();
+        let a = shard.counter("x");
+        let b = shard.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = Registry::new();
+        reg.shard(0).counter("minimpi.msgs_sent").add(5);
+        reg.shard(0).gauge("queue.depth").set(3);
+        reg.shard(0).histogram("wait_ns").record(100);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE minimpi_msgs_sent counter"));
+        assert!(text.contains("minimpi_msgs_sent 5"));
+        assert!(text.contains("queue_depth 3"));
+        assert!(text.contains("queue_depth_high 3"));
+        assert!(text.contains("wait_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("wait_ns_sum 100"));
+    }
+}

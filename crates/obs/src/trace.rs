@@ -1,0 +1,197 @@
+//! Scoped-span tracer emitting Chrome trace-event JSON.
+//!
+//! [`Tracer::span`] returns a guard; when the guard drops, a complete
+//! event (`"ph": "X"`) is recorded with microsecond timestamp and
+//! duration relative to the tracer's construction instant. The output of
+//! [`Tracer::to_chrome_json`] is the JSON-array flavour of the Chrome
+//! trace-event format and loads directly in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::registry::json_str;
+
+/// One complete ("X"-phase) trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name shown on the slice.
+    pub name: String,
+    /// Category (comma-separable in the trace viewers).
+    pub cat: String,
+    /// Start, microseconds since the tracer epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Process id; this suite always uses 1.
+    pub pid: u32,
+    /// Thread id — by convention a rank or pipeline-worker index.
+    pub tid: u32,
+}
+
+/// Collector of scoped spans.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Tracer {
+    /// Fresh tracer; spans are timestamped relative to this call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a span. The event is recorded when the guard drops; `tid`
+    /// keys the viewer row (use the rank or worker index).
+    pub fn span(&self, name: impl Into<String>, cat: &str, tid: u32) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name: name.into(),
+            cat: cat.to_string(),
+            tid,
+            start: Instant::now(),
+        }
+    }
+
+    /// Record a pre-built event (used by the span guard).
+    pub fn record(&self, ev: TraceEvent) {
+        self.events.lock().unwrap().push(ev);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// The trace as Chrome trace-event JSON (array form), one event per
+    /// line. Loadable in `chrome://tracing` and Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events.lock().unwrap();
+        let mut out = String::from("[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"name\": {}, \"cat\": {}, \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": {}, \"tid\": {}}}",
+                json_str(&ev.name),
+                json_str(&ev.cat),
+                ev.ts_us,
+                ev.dur_us,
+                ev.pid,
+                ev.tid
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// RAII guard for an open span; records the event on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    cat: String,
+    tid: u32,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let ts_us = self
+            .start
+            .duration_since(self.tracer.epoch)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let dur_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.tracer.record(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            cat: std::mem::take(&mut self.cat),
+            ts_us,
+            dur_us,
+            pid: 1,
+            tid: self.tid,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let tracer = Tracer::new();
+        assert!(tracer.is_empty());
+        {
+            let _a = tracer.span("outer", "test", 3);
+            let _b = tracer.span("inner", "test", 3);
+        }
+        assert_eq!(tracer.len(), 2);
+        let evs = tracer.events();
+        // Inner guard drops first.
+        assert_eq!(evs[0].name, "inner");
+        assert_eq!(evs[1].name, "outer");
+        assert_eq!(evs[1].tid, 3);
+        assert!(evs[1].ts_us <= evs[0].ts_us);
+    }
+
+    #[test]
+    fn chrome_json_has_required_fields() {
+        let tracer = Tracer::new();
+        {
+            let _s = tracer.span("scan \"q\"", "convert", 0);
+        }
+        let json = tracer.to_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        for key in [
+            "\"name\"",
+            "\"cat\"",
+            "\"ph\": \"X\"",
+            "\"ts\"",
+            "\"dur\"",
+            "\"pid\"",
+            "\"tid\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The quote in the span name must be escaped.
+        assert!(json.contains("scan \\\"q\\\""));
+    }
+
+    #[test]
+    fn spans_work_across_scoped_threads() {
+        let tracer = Tracer::new();
+        std::thread::scope(|scope| {
+            for tid in 0..4u32 {
+                let t = &tracer;
+                scope.spawn(move || {
+                    let _s = t.span(format!("worker-{tid}"), "test", tid);
+                });
+            }
+        });
+        assert_eq!(tracer.len(), 4);
+    }
+}

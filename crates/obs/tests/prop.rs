@@ -1,0 +1,81 @@
+//! Property tests: snapshot merge is associative (and commutative up to
+//! the gauge high-water floor), so shards can be merged in any grouping.
+
+use obs::{GaugeSnap, HistSnap, Snapshot, HIST_BUCKETS};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["minimpi.msgs", "queue.depth", "wait_ns", "x"];
+
+fn snapshot_strategy() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec((0usize..NAMES.len(), 0u64..1_000_000), 0..6),
+        proptest::collection::vec((0usize..NAMES.len(), -500i64..500, -500i64..500), 0..6),
+        proptest::collection::vec(
+            (
+                0usize..NAMES.len(),
+                proptest::collection::vec(0u64..100, HIST_BUCKETS),
+                0u64..10_000,
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(|(counters, gauges, hists)| {
+            let mut snap = Snapshot::default();
+            for (idx, v) in counters {
+                *snap.counters.entry(NAMES[idx].to_string()).or_insert(0) += v;
+            }
+            for (idx, value, d) in gauges {
+                let e = snap
+                    .gauges
+                    .entry(NAMES[idx].to_string())
+                    .or_insert(GaugeSnap {
+                        value: 0,
+                        high: i64::MIN,
+                    });
+                e.value += value;
+                // A live gauge's high-water is >= every level it held;
+                // model that by ratcheting with an arbitrary offset.
+                e.high = e.high.max(value.max(value + d.abs()));
+            }
+            for (idx, buckets, sum) in hists {
+                let count = buckets.iter().sum();
+                snap.hists.insert(
+                    NAMES[idx].to_string(),
+                    HistSnap {
+                        buckets,
+                        count,
+                        sum,
+                    },
+                );
+            }
+            snap
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        a in snapshot_strategy(),
+        b in snapshot_strategy(),
+        c in snapshot_strategy(),
+    ) {
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_commutative(a in snapshot_strategy(), b in snapshot_strategy()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_on_counters_and_hists(a in snapshot_strategy()) {
+        let merged = a.merge(&Snapshot::default());
+        prop_assert_eq!(&merged.counters, &a.counters);
+        prop_assert_eq!(&merged.hists, &a.hists);
+        prop_assert_eq!(&merged.gauges, &a.gauges);
+    }
+}

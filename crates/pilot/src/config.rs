@@ -79,6 +79,11 @@ pub struct PilotConfig {
     /// they are logged, and `mpelog::salvage(dir)` can rebuild a partial
     /// log after an abort. Costs a write+flush per record.
     pub mpe_spill_dir: Option<PathBuf>,
+    /// Runtime metrics/tracing sink. When set, the underlying world
+    /// records `minimpi.*` metrics, the Pilot layer records API-call
+    /// counts and per-channel blocked time, and MPE logging records
+    /// `mpelog.*` — all into per-rank shards of this handle.
+    pub observe: Option<obs::ObsHandle>,
 }
 
 impl PilotConfig {
@@ -94,6 +99,7 @@ impl PilotConfig {
             native_log_path: None,
             synchronous_channels: false,
             mpe_spill_dir: None,
+            observe: None,
         }
     }
 
@@ -146,6 +152,12 @@ impl PilotConfig {
     /// Builder: enable abort-safe MPE spill files under `dir`.
     pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
         self.mpe_spill_dir = Some(dir);
+        self
+    }
+
+    /// Builder: attach a runtime metrics/tracing sink.
+    pub fn with_observability(mut self, obs: obs::ObsHandle) -> Self {
+        self.observe = Some(obs);
         self
     }
 

@@ -98,6 +98,20 @@ struct Ids {
     bubbles: [EventId; 9],
 }
 
+/// The state names in [`StateKind`] order — shared by the MPE event
+/// definitions and the `pilot.calls.*` metric names.
+const STATE_NAMES: [&str; 9] = [
+    "PI_Configure",
+    "Compute",
+    "PI_Read",
+    "PI_Write",
+    "PI_Broadcast",
+    "PI_Scatter",
+    "PI_Gather",
+    "PI_Reduce",
+    "PI_Select",
+];
+
 /// Per-rank instrumentation. Wraps a [`Logger`] with Pilot's event
 /// vocabulary; inert when logging is disabled.
 #[derive(Debug)]
@@ -105,25 +119,45 @@ pub struct Instrument {
     logger: Option<Logger>,
     ids: Option<Ids>,
     arrow_spread: Duration,
+    /// This rank's metric shard, when the run is observed. Independent
+    /// of MPE logging: API-call counters fire even with logging off.
+    shard: Option<obs::ShardHandle>,
+    /// Per-[`StateKind`] API-call counters (`pilot.calls.PI_Read`, …).
+    api_calls: Option<[obs::Counter; 9]>,
+    /// Arrow-bearing sends recorded by this rank — the runtime side of
+    /// the counters-vs-trace oracle (`pilot.sends_logged`).
+    sends_logged: Option<obs::Counter>,
 }
 
 impl Instrument {
     /// Instrumentation for `rank`. `enabled` mirrors `-pisvc=j`;
-    /// `spill_dir` enables the abort-safe extension.
+    /// `spill_dir` enables the abort-safe extension; `obs` is this
+    /// rank's metric shard when the run is observed.
     pub fn new(
         rank: usize,
         enabled: bool,
         arrow_spread: Duration,
         spill_dir: Option<&std::path::Path>,
+        obs: Option<obs::ShardHandle>,
     ) -> Instrument {
+        let api_calls = obs
+            .as_ref()
+            .map(|s| STATE_NAMES.map(|n| s.counter(&format!("pilot.calls.{n}"))));
+        let sends_logged = obs.as_ref().map(|s| s.counter("pilot.sends_logged"));
         if !enabled {
             return Instrument {
                 logger: None,
                 ids: None,
                 arrow_spread,
+                shard: obs,
+                api_calls,
+                sends_logged,
             };
         }
         let mut lg = Logger::new(rank);
+        if let Some(shard) = &obs {
+            lg.set_observability(std::sync::Arc::clone(shard));
+        }
         // Definition order is fixed — identical on every rank, as MPE
         // requires. Names are the Pilot function names so the Jumpshot
         // legend reads like the source code.
@@ -161,6 +195,9 @@ impl Instrument {
             logger: Some(lg),
             ids: Some(Ids { states, bubbles }),
             arrow_spread,
+            shard: obs,
+            api_calls,
+            sends_logged,
         }
     }
 
@@ -179,6 +216,9 @@ impl Instrument {
 
     /// Enter a state at time `ts` with popup `text`.
     pub fn state_start(&mut self, kind: StateKind, ts: f64, text: &str) {
+        if let Some(calls) = &self.api_calls {
+            calls[kind as usize].inc();
+        }
         if let (Some((start, _)), Some(lg)) = (self.state_ids(kind), self.logger.as_mut()) {
             lg.log_event(ts, start, text);
         }
@@ -198,9 +238,15 @@ impl Instrument {
         }
     }
 
-    /// Record a message send (for arrow pairing).
+    /// Record a message send (for arrow pairing). Each call is exactly
+    /// one future arrow in the converted SLOG2 file, so the
+    /// `pilot.sends_logged` counter doubles as the runtime half of the
+    /// counters-vs-trace oracle (see `pilot_vis::analysis`).
     pub fn log_send(&mut self, ts: f64, dst_rank: usize, tag: u32, size: usize) {
         if let Some(lg) = self.logger.as_mut() {
+            if let Some(c) = &self.sends_logged {
+                c.inc();
+            }
             lg.log_send(ts, dst_rank, tag, size);
         }
     }
@@ -218,6 +264,23 @@ impl Instrument {
     pub fn spread_arrows(&self) {
         if self.enabled() && !self.arrow_spread.is_zero() {
             std::thread::sleep(self.arrow_spread);
+        }
+    }
+
+    /// Record time spent blocked inside a read-side call: a per-channel
+    /// counter (`pilot.blocked_ns.<chan>`) plus a per-kind histogram
+    /// (`pilot.read_blocked_ns` / `pilot.select_blocked_ns`). No-op when
+    /// the run is not observed.
+    pub fn note_blocked(&self, kind: StateKind, chan_name: &str, ns: u64) {
+        if let Some(shard) = &self.shard {
+            shard
+                .counter(&format!("pilot.blocked_ns.{chan_name}"))
+                .add(ns);
+            let hist = match kind {
+                StateKind::Select => "pilot.select_blocked_ns",
+                _ => "pilot.read_blocked_ns",
+            };
+            shard.histogram(hist).record(ns);
         }
     }
 
@@ -239,7 +302,7 @@ mod tests {
 
     #[test]
     fn disabled_instrument_records_nothing() {
-        let mut ins = Instrument::new(0, false, Duration::ZERO, None);
+        let mut ins = Instrument::new(0, false, Duration::ZERO, None, None);
         assert!(!ins.enabled());
         ins.state_start(StateKind::Read, 1.0, "x");
         ins.bubble(BubbleKind::MsgArrival, 1.1, "y");
@@ -249,7 +312,7 @@ mod tests {
 
     #[test]
     fn enabled_instrument_brackets_states() {
-        let mut ins = Instrument::new(0, true, Duration::ZERO, None);
+        let mut ins = Instrument::new(0, true, Duration::ZERO, None, None);
         ins.state_start(StateKind::Write, 1.0, "Line: 5");
         ins.state_end(StateKind::Write, 2.0, "");
         let lg = ins.logger().unwrap();
@@ -271,8 +334,8 @@ mod tests {
 
     #[test]
     fn two_ranks_define_identical_vocabulary() {
-        let a = Instrument::new(0, true, Duration::ZERO, None);
-        let b = Instrument::new(5, true, Duration::ZERO, None);
+        let a = Instrument::new(0, true, Duration::ZERO, None, None);
+        let b = Instrument::new(5, true, Duration::ZERO, None, None);
         let la = a.logger().unwrap();
         let lb = b.logger().unwrap();
         assert_eq!(la.state_defs(), lb.state_defs());
@@ -281,7 +344,7 @@ mod tests {
 
     #[test]
     fn paper_colour_scheme_is_installed() {
-        let ins = Instrument::new(0, true, Duration::ZERO, None);
+        let ins = Instrument::new(0, true, Duration::ZERO, None, None);
         let lg = ins.logger().unwrap();
         let color_of = |name: &str| {
             lg.state_defs()
@@ -300,7 +363,7 @@ mod tests {
 
     #[test]
     fn send_receive_records_flow_to_logger() {
-        let mut ins = Instrument::new(2, true, Duration::ZERO, None);
+        let mut ins = Instrument::new(2, true, Duration::ZERO, None, None);
         ins.log_send(0.5, 3, 1007, 64);
         ins.log_receive(0.9, 1, 1002, 8);
         let lg = ins.logger().unwrap();
@@ -326,7 +389,7 @@ mod tests {
 
     #[test]
     fn spread_arrows_is_noop_when_disabled() {
-        let ins = Instrument::new(0, false, Duration::from_millis(50), None);
+        let ins = Instrument::new(0, false, Duration::from_millis(50), None, None);
         let t0 = std::time::Instant::now();
         ins.spread_arrows();
         assert!(t0.elapsed() < Duration::from_millis(20));

@@ -17,7 +17,7 @@
 //!   permits).
 
 use std::cell::RefCell;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use minimpi::{Rank, Src, Tag, World, WorldOutcome};
 use mpelog::{finish_log, sync_clocks, ClockCorrection, Clog2File};
@@ -159,9 +159,11 @@ where
     let config_ref = &config;
     let program_ref = &program;
 
-    let world = World::builder(config.ranks)
-        .clock(config.clock.clone())
-        .run(move |rank| rank_body(rank, config_ref, program_ref, out_ref));
+    let mut builder = World::builder(config.ranks).clock(config.clock.clone());
+    if let Some(obs) = &config.observe {
+        builder = builder.observe(obs.clone());
+    }
+    let world = builder.run(move |rank| rank_body(rank, config_ref, program_ref, out_ref));
 
     let ServiceShared {
         native_lines,
@@ -227,6 +229,7 @@ impl<'r, 'env> Pilot<'r, 'env> {
             config.services.jumpshot,
             config.arrow_spread,
             config.mpe_spill_dir.as_deref(),
+            config.observe.as_ref().map(|o| o.shard(rank.rank())),
         );
         // The Configuration Phase rectangle opens with PI_Configure.
         instr.state_start(StateKind::Configure, rank.wtime(), "Configuration");
@@ -976,6 +979,7 @@ impl<'r, 'env> Pilot<'r, 'env> {
             res: format!("C{}", chan.0),
         });
 
+        let blocked_from = Instant::now();
         let recv_result = (|| -> PilotResult<Vec<Vec<u8>>> {
             let mut msgs = Vec::with_capacity(n_data);
             if self.checks() >= 2 {
@@ -1021,6 +1025,13 @@ impl<'r, 'env> Pilot<'r, 'env> {
         })();
 
         self.ddt_event(SvcEvent::PostBlock { proc: me as u32 });
+        // Per-channel blocked time: how long this PI_Read (or collective
+        // leg) waited on the wire, keyed by the channel's display name.
+        self.instr.borrow().note_blocked(
+            StateKind::Read,
+            &chan_name,
+            blocked_from.elapsed().as_nanos() as u64,
+        );
         let msgs = match recv_result {
             Ok(m) => {
                 self.ddt_event(SvcEvent::NoteRead {
@@ -1532,6 +1543,7 @@ impl<'r, 'env> Pilot<'r, 'env> {
             loc: Self::short_loc(&at),
             res: format!("B{}", bundle.0),
         });
+        let blocked_from = Instant::now();
         let ready = loop {
             if let Some(i) = self.poll_bundle(&channels)? {
                 break i;
@@ -1541,6 +1553,12 @@ impl<'r, 'env> Pilot<'r, 'env> {
         self.ddt_event(SvcEvent::PostBlock {
             proc: self.my_proc_index() as u32,
         });
+        // Blocked time for the select, keyed by the bundle's name.
+        self.instr.borrow().note_blocked(
+            StateKind::Select,
+            &name,
+            blocked_from.elapsed().as_nanos() as u64,
+        );
         self.instr.borrow_mut().state_end(
             StateKind::Select,
             self.rank.wtime(),

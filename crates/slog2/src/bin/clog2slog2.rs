@@ -5,13 +5,15 @@
 //!
 //! ```text
 //! clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D]
-//!            [--parallel N] [--stream] [-q]
+//!            [--parallel N] [--stream] [--metrics] [-q]
 //! ```
 //!
 //! `--parallel N` shards the conversion over N worker threads (0 = one
 //! per core, 1 = serial); the output file is byte-identical at every
 //! setting. `--stream` decodes the CLOG2 input incrementally instead of
-//! loading it whole — same bytes out, bounded input memory.
+//! loading it whole — same bytes out, bounded input memory. `--metrics`
+//! attaches the `obs` registry and prints the merged `convert.*`
+//! counters (Prometheus-style text) after the conversion.
 //!
 //! Exit code 0 on a clean conversion, 1 on warnings (the "non
 //! well-behaved program" case), 2 on usage or I/O errors.
@@ -29,10 +31,11 @@ struct Args {
     max_depth: u32,
     parallel: usize,
     stream: bool,
+    metrics: bool,
     quiet: bool,
 }
 
-const USAGE: &str = "usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [--parallel N] [--stream] [-q]";
+const USAGE: &str = "usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [--parallel N] [--stream] [--metrics] [-q]";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut max_depth = 16u32;
     let mut parallel = 0usize;
     let mut stream = false;
+    let mut metrics = false;
     let mut quiet = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -70,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --parallel value")?
             }
             "--stream" => stream = true,
+            "--metrics" => metrics = true,
             "-q" | "--quiet" => quiet = true,
             other if !other.starts_with('-') && input.is_none() => {
                 input = Some(PathBuf::from(other))
@@ -86,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         max_depth,
         parallel,
         stream,
+        metrics,
         quiet,
     })
 }
@@ -98,11 +104,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let obs = args.metrics.then(obs::Obs::handle);
     let opts = ConvertOptions {
         frame_capacity: args.frame_size,
         max_depth: args.max_depth,
         timeline_names: None,
         parallelism: args.parallel,
+        obs: obs.clone(),
     };
     // (records, ranks) for the report; unknown record count in stream
     // mode, where the input is never held whole.
@@ -150,9 +158,16 @@ fn main() -> ExitCode {
         let (slog, warnings) = convert(&clog, &opts);
         (slog, warnings, provenance)
     };
-    if let Err(e) = slog.write_to(&args.output) {
+    let write_result = {
+        let _span = obs.as_deref().map(|o| o.span("write", "convert", 0));
+        slog.write_to(&args.output)
+    };
+    if let Err(e) = write_result {
         eprintln!("clog2slog2: cannot write {}: {e}", args.output.display());
         return ExitCode::from(2);
+    }
+    if let Some(o) = &obs {
+        print!("{}", o.snapshot().to_prometheus_text());
     }
     if !args.quiet {
         println!(

@@ -62,6 +62,12 @@ pub struct ConvertOptions {
     /// any other value caps the worker count. The output is
     /// byte-identical at every setting.
     pub parallelism: usize,
+    /// Metrics and span tracing for the conversion. Per-stage spans
+    /// (`scan`, `match`, `diagnose`, `tree` — plus per-shard worker
+    /// spans when `parallelism > 1`) land in the tracer; the
+    /// `convert.*` counters are attributed per rank block, so their
+    /// merged totals are identical at every parallelism setting.
+    pub obs: Option<std::sync::Arc<obs::Obs>>,
 }
 
 impl Default for ConvertOptions {
@@ -71,6 +77,7 @@ impl Default for ConvertOptions {
             max_depth: 16,
             timeline_names: None,
             parallelism: 0,
+            obs: None,
         }
     }
 }
@@ -80,6 +87,12 @@ impl ConvertOptions {
     /// [`parallelism`](Self::parallelism)).
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Attach a metrics registry + tracer (see [`obs`](Self::obs)).
+    pub fn with_observability(mut self, obs: std::sync::Arc<obs::Obs>) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -417,6 +430,30 @@ fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> Rank
     shard
 }
 
+/// Attribute one scanned block's metrics to its rank's shard. Every
+/// block is scanned exactly once at any parallelism setting, so the
+/// merged `convert.*` totals are thread-count independent (the
+/// determinism test pins this down).
+fn note_scanned_block(obs: &obs::Obs, rank: u32, records: &[Record], shard: &RankShard) {
+    let s = obs.shard(rank as usize);
+    s.counter("convert.records_scanned")
+        .add(records.len() as u64);
+    let (mut states, mut events) = (0u64, 0u64);
+    for d in &shard.drawables {
+        match d {
+            Drawable::State(_) => states += 1,
+            Drawable::Event(_) => events += 1,
+            Drawable::Arrow(_) => {}
+        }
+    }
+    s.counter("convert.drawables.state").add(states);
+    s.counter("convert.drawables.event").add(events);
+    s.counter("convert.warnings")
+        .add(shard.warnings.len() as u64);
+    s.histogram("convert.block_records")
+        .record(records.len() as u64);
+}
+
 /// Scan every block, striping blocks round-robin over up to `workers`
 /// scoped threads (serial when `workers <= 1`). Shards come back in
 /// block order regardless of which thread ran them.
@@ -424,12 +461,19 @@ fn scan_blocks(
     blocks: &[(u32, &[Record])],
     table: &CategoryTable,
     workers: usize,
+    obs: Option<&obs::Obs>,
 ) -> Vec<RankShard> {
     let workers = workers.min(blocks.len());
     if workers <= 1 {
         return blocks
             .iter()
-            .map(|&(rank, records)| scan_rank_block(rank, records, table))
+            .map(|&(rank, records)| {
+                let shard = scan_rank_block(rank, records, table);
+                if let Some(o) = obs {
+                    note_scanned_block(o, rank, records, &shard);
+                }
+                shard
+            })
             .collect();
     }
     let mut out: Vec<Option<RankShard>> = blocks.iter().map(|_| None).collect();
@@ -437,12 +481,19 @@ fn scan_blocks(
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 s.spawn(move || {
+                    let _span = obs.map(|o| o.span("scan.shard", "convert", w as u32));
                     blocks
                         .iter()
                         .enumerate()
                         .skip(w)
                         .step_by(workers)
-                        .map(|(i, &(rank, records))| (i, scan_rank_block(rank, records, table)))
+                        .map(|(i, &(rank, records))| {
+                            let shard = scan_rank_block(rank, records, table);
+                            if let Some(o) = obs {
+                                note_scanned_block(o, rank, records, &shard);
+                            }
+                            (i, shard)
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -511,6 +562,7 @@ fn match_all_arrows(
     recvs: &mut BTreeMap<MsgKey, VecDeque<f64>>,
     arrow_cat: u32,
     workers: usize,
+    obs: Option<&obs::Obs>,
     drawables: &mut Vec<Drawable>,
     warnings: &mut Vec<ConvertWarning>,
 ) {
@@ -532,8 +584,10 @@ fn match_all_arrows(
     std::thread::scope(|s| {
         let handles: Vec<_> = pairs
             .chunks(chunk)
-            .map(|chunk| {
+            .enumerate()
+            .map(|(w, chunk)| {
                 s.spawn(move || {
+                    let _span = obs.map(|o| o.span("arrow-match.shard", "convert", w as u32));
                     let mut ds = Vec::new();
                     let mut ws = Vec::new();
                     for (key, send_ts, recv_ts) in chunk {
@@ -647,6 +701,7 @@ fn finish_convert(
         arrow_cat,
         ..
     } = table;
+    let obs = opts.obs.as_deref();
 
     // Merge: concatenation in rank order reproduces the serial scan's
     // drawable and warning sequences; the per-shard send/recv maps are
@@ -657,38 +712,64 @@ fn finish_convert(
     let mut sends: BTreeMap<MsgKey, VecDeque<f64>> = BTreeMap::new();
     let mut recvs: BTreeMap<MsgKey, VecDeque<f64>> = BTreeMap::new();
     let mut drawables: Vec<Drawable> = Vec::new();
-    for shard in shards {
-        drawables.extend(shard.drawables);
-        warnings.extend(shard.warnings);
-        for (key, q) in shard.sends {
-            sends.entry(key).or_default().extend(q);
-        }
-        for (key, q) in shard.recvs {
-            recvs.entry(key).or_default().extend(q);
+    {
+        let _span = obs.map(|o| o.span("merge", "convert", 0));
+        for shard in shards {
+            drawables.extend(shard.drawables);
+            warnings.extend(shard.warnings);
+            for (key, q) in shard.sends {
+                sends.entry(key).or_default().extend(q);
+            }
+            for (key, q) in shard.recvs {
+                recvs.entry(key).or_default().extend(q);
+            }
         }
     }
+    let scan_warnings = warnings.len();
 
     // Match sends with receives (FIFO per (src, dst, tag, size) key).
-    match_all_arrows(
-        sends,
-        &mut recvs,
-        arrow_cat,
-        workers,
-        &mut drawables,
-        &mut warnings,
-    );
-    for ((src, dst, tag, _), leftover) in recvs {
-        for _ in leftover {
-            warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+    {
+        let _span = obs.map(|o| o.span("arrow-match", "convert", 0));
+        match_all_arrows(
+            sends,
+            &mut recvs,
+            arrow_cat,
+            workers,
+            obs,
+            &mut drawables,
+            &mut warnings,
+        );
+        for ((src, dst, tag, _), leftover) in recvs {
+            for _ in leftover {
+                warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+            }
         }
     }
 
     // Equal-Drawables detection: same category, bit-identical
     // endpoints (and same placement).
-    detect_equal_drawables(&drawables, &categories, workers, &mut warnings);
+    {
+        let _span = obs.map(|o| o.span("diagnose", "convert", 0));
+        detect_equal_drawables(&drawables, &categories, workers, &mut warnings);
+    }
+
+    // Post-scan totals. The arrow count and the warning sequence are
+    // deterministic at any parallelism, so attributing them to shard 0
+    // keeps the merged snapshot thread-count independent.
+    if let Some(o) = obs {
+        let s = o.shard(0);
+        let arrows = drawables
+            .iter()
+            .filter(|d| matches!(d, Drawable::Arrow(_)))
+            .count() as u64;
+        s.counter("convert.drawables.arrow").add(arrows);
+        s.counter("convert.warnings")
+            .add((warnings.len() - scan_warnings) as u64);
+    }
 
     // Global range and tree. The builder folds min/max in push order —
     // the same left-to-right fold the serial converter used.
+    let _tree_span = obs.map(|o| o.span("tree-build", "convert", 0));
     builder.extend(drawables);
     let range = builder.range();
 
@@ -728,7 +809,10 @@ pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<Conve
         .iter()
         .map(|(&rank, records)| (rank, records.as_slice()))
         .collect();
-    let shards = scan_blocks(&blocks, &table, workers);
+    let shards = {
+        let _span = opts.obs.as_deref().map(|o| o.span("scan", "convert", 0));
+        scan_blocks(&blocks, &table, workers, opts.obs.as_deref())
+    };
     finish_convert(shards, table, opts, clog.nranks, workers)
 }
 
@@ -748,9 +832,16 @@ pub fn convert_reader<R: std::io::Read>(
     let table = build_categories(&blocks.state_defs, &blocks.event_defs);
     let nranks = blocks.nranks;
     let mut shards: BTreeMap<u32, RankShard> = BTreeMap::new();
-    for item in &mut blocks {
-        let (rank, records) = item?;
-        shards.insert(rank, scan_rank_block(rank, &records, &table));
+    {
+        let _span = opts.obs.as_deref().map(|o| o.span("scan", "convert", 0));
+        for item in &mut blocks {
+            let (rank, records) = item?;
+            let shard = scan_rank_block(rank, &records, &table);
+            if let Some(o) = opts.obs.as_deref() {
+                note_scanned_block(o, rank, &records, &shard);
+            }
+            shards.insert(rank, shard);
+        }
     }
     blocks.finish()?;
     Ok(finish_convert(
@@ -1102,6 +1193,28 @@ mod tests {
                     "{nranks} ranks, {threads} threads"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn metrics_totals_are_parallelism_independent() {
+        // Satellite: the merged convert.* snapshot (counters AND
+        // histogram buckets) must be identical at every worker count.
+        let clog = messy_clog(5);
+        let snap_at = |threads: usize| {
+            let o = obs::Obs::handle();
+            let opts = ConvertOptions::default()
+                .with_parallelism(threads)
+                .with_observability(o.clone());
+            let _ = convert(&clog, &opts);
+            o.snapshot()
+        };
+        let base = snap_at(1);
+        assert!(base.counter("convert.records_scanned") > 0);
+        assert!(base.counter("convert.drawables.arrow") > 0);
+        assert!(base.counter("convert.warnings") > 0);
+        for threads in [2usize, 8] {
+            assert_eq!(snap_at(threads), base, "{threads} threads");
         }
     }
 
