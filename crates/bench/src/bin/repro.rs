@@ -7,6 +7,7 @@
 //! cargo run -p bench --bin repro --release -- legend|equal-drawables|clocksync
 //! cargo run -p bench --bin repro --release -- convert-bench [--reps R] [--parallel N]
 //! cargo run -p bench --bin repro --release -- metrics [--workload thumbnail|lab2] [--parallel N]
+//! cargo run -p bench --bin repro --release -- faults [--seed S] [--runs R]
 //! ```
 //!
 //! `--parallel N` sets the CLOG2→SLOG2 converter's worker-thread count
@@ -18,7 +19,11 @@
 //! observability stack attached, prints the merged registry, writes
 //! `out/METRICS.json` + `out/trace.json` (load the latter in
 //! `chrome://tracing` or <https://ui.perfetto.dev>), and exits 1 if the
-//! runtime counters disagree with the rendered log.
+//! runtime counters disagree with the rendered log. `faults` runs the
+//! seeded crash-forensics matrix (deadlock, mid-run panic, torn spill,
+//! held message) and exits 1 unless every faulty run salvages into a
+//! valid SLOG2 with the right terminal verdict, deterministically
+//! across `--runs` repetitions; artifacts land in `out/FAULT_*`.
 //!
 //! Every subcommand prints a one-line `[time] <phase>: <seconds>`
 //! summary when it finishes, metrics or not.
@@ -31,9 +36,12 @@
 use std::path::Path;
 
 use bench::{measure_overhead_cell, LoggingMode};
-use minimpi::{ClockConfig, World};
+use minimpi::{ClockConfig, FaultPlan, World};
 use pilot::{PilotConfig, Services};
-use slog2::{convert, convert_reader, ConvertOptions, ConvertWarning};
+use slog2::{
+    convert, convert_reader, convert_salvaged, ConvertOptions, ConvertWarning, FailureKind,
+    RankVerdict, SalvageReport,
+};
 use workloads::collision::{expected_answers, run_collision, CollisionParams, CollisionVariant};
 use workloads::lab2::{expected_total, run_lab2};
 use workloads::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
@@ -531,6 +539,365 @@ fn metrics(workload: &str, parallel: usize) -> bool {
     cc.passed()
 }
 
+/// What the fault matrix records about one faulty run. `digest` is the
+/// determinism contract: with the same seed it must be byte-identical
+/// across repeated runs of the same scenario.
+struct Forensics {
+    digest: String,
+    report_text: String,
+    truncated: bool,
+    slog: slog2::Slog2File,
+}
+
+/// Shared post-mortem for every scenario: collect verdicts from the
+/// outcome, salvage the spill directory, convert, validate, and build
+/// the deterministic digest.
+fn forensics(
+    name: &str,
+    seed: u64,
+    outcome: &pilot::PilotOutcome,
+    dir: &Path,
+) -> Result<Forensics, String> {
+    let mut verdicts: Vec<RankVerdict> = outcome
+        .world
+        .failures
+        .iter()
+        .map(|f| RankVerdict {
+            rank: f.rank as u32,
+            kind: FailureKind::Aborted,
+            detail: f.to_string(),
+        })
+        .collect();
+    if let Some(dl) = &outcome.artifacts.deadlock {
+        verdicts.extend(dl.stuck.iter().map(|(p, desc)| RankVerdict {
+            rank: *p as u32,
+            kind: FailureKind::Deadlocked,
+            detail: desc.clone(),
+        }));
+    }
+    verdicts.sort_by(|a, b| (a.rank, &a.detail).cmp(&(b.rank, &b.detail)));
+    if verdicts.is_empty() {
+        return Err(format!("{name}: the injected fault produced no verdict"));
+    }
+
+    // Per-rank salvage census: what reached disk before the crash.
+    let mut records = 0usize;
+    let mut bytes = 0usize;
+    let mut torn: Vec<usize> = Vec::new();
+    for r in 0..outcome.world.exit_codes.len() {
+        let p = mpelog::spill::spill_path(dir, r);
+        if let Ok(Some(s)) = mpelog::spill::read_spill(&p) {
+            records += s.records.len();
+            bytes += std::fs::metadata(&p).map(|m| m.len() as usize).unwrap_or(0);
+            if s.torn_tail {
+                torn.push(r);
+            }
+        }
+    }
+    let clog = mpelog::salvage(dir)
+        .map_err(|e| format!("{name}: salvage I/O error: {e}"))?
+        .ok_or_else(|| format!("{name}: no spill files to salvage"))?;
+
+    let diagnosis = match &outcome.artifacts.deadlock {
+        Some(dl) => dl.to_string(),
+        None => {
+            let who: Vec<String> = outcome
+                .world
+                .failures
+                .iter()
+                .map(|f| format!("P{} in {}", f.rank, f.last_op))
+                .collect();
+            format!("{} rank(s) panicked: {}", who.len(), who.join(", "))
+        }
+    };
+    let report = SalvageReport {
+        verdicts: verdicts.clone(),
+        diagnosis: Some(diagnosis.clone()),
+        records_recovered: records,
+        bytes_recovered: bytes,
+        truncated: !torn.is_empty(),
+    };
+    let opts = ConvertOptions {
+        parallelism: parallelism(),
+        ..Default::default()
+    };
+    let (slog, warnings) = convert_salvaged(&clog, &report, &opts);
+    let defects = slog2::validate(&slog);
+    if !defects.is_empty() {
+        return Err(format!(
+            "{name}: salvaged SLOG2 fails validation: {defects:?}"
+        ));
+    }
+
+    let mut digest = String::new();
+    for v in &verdicts {
+        digest.push_str(&format!(
+            "verdict: rank {} {} — {}\n",
+            v.rank, v.kind, v.detail
+        ));
+    }
+    digest.push_str(&format!("diagnosis: {diagnosis}\n"));
+    digest.push_str(&format!(
+        "salvaged: {records} records, {bytes} bytes, torn ranks {torn:?}\n"
+    ));
+    digest.push_str(&format!(
+        "timeline: {} drawables on {} timelines\n",
+        slog.total_drawables(),
+        slog.timelines.len()
+    ));
+
+    let mut report_text = format!("# {name} (seed {seed})\n{digest}");
+    for w in &warnings {
+        report_text.push_str(&format!("warning: {w}\n"));
+    }
+    Ok(Forensics {
+        digest,
+        report_text,
+        truncated: report.truncated,
+        slog,
+    })
+}
+
+/// Scenario 1 — a read/read cycle the event-driven detector convicts.
+fn fault_deadlock(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
+    use pilot::RSlot;
+    let dir = std::env::temp_dir().join(format!("pilot-faults-deadlock-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    // No FaultPlan rules: the bug is in the program itself. The empty
+    // plan still exercises the zero-overhead fast path.
+    let cfg = PilotConfig::new(4)
+        .with_services(Services::parse("dj").unwrap())
+        .with_spill_dir(dir.clone())
+        .with_fault_plan(FaultPlan::new(seed));
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ab = pi.create_channel(a, b)?;
+        let ba = pi.create_channel(b, a)?;
+        pi.assign_work(a, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ba, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.start_all()?;
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// Scenario 2 — a seeded panic mid-run: the worker dies entering its
+/// third PI_Read (clock sync happens only at wrap-up, so its channel
+/// reads are its first receives).
+fn fault_panic(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
+    use pilot::{RSlot, WSlot, PI_MAIN};
+    let dir = std::env::temp_dir().join(format!("pilot-faults-panic-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::new(seed).panic_at_recv(
+        1,
+        3,
+        format!("injected panic at read #3 (seed {seed})"),
+    );
+    let cfg = PilotConfig::new(2)
+        .with_services(Services::parse("j").unwrap())
+        .with_spill_dir(dir.clone())
+        .with_fault_plan(plan);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]); // dies entering this
+            0
+        })?;
+        pi.start_all()?;
+        // Exactly as many messages as the worker survives to read: the
+        // panic fires at recv *entry*, so main's record count cannot
+        // depend on abort timing.
+        pi.write(c, "%d", &[WSlot::Int(1)])?;
+        pi.write(c, "%d", &[WSlot::Int(2)])?;
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// Scenario 3 — the same panic while main's spill writer dies after a
+/// byte budget, leaving a torn file the salvage reader must tolerate.
+fn fault_torn_spill(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
+    use pilot::{RSlot, WSlot, PI_MAIN};
+    let dir = std::env::temp_dir().join(format!("pilot-faults-torn-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    // An odd budget lands mid-record, so rank 0's spill ends in a
+    // partial frame (`torn_tail`) rather than at a clean boundary.
+    let plan = FaultPlan::new(seed)
+        .panic_at_recv(
+            1,
+            5,
+            format!("injected panic after spill loss (seed {seed})"),
+        )
+        .fail_spill_after(0, 389);
+    let cfg = PilotConfig::new(2)
+        .with_services(Services::parse("j").unwrap())
+        .with_spill_dir(dir.clone())
+        .with_fault_plan(plan);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            for _ in 0..4 {
+                pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            }
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]); // dies entering this
+            0
+        })?;
+        pi.start_all()?;
+        for i in 0..4 {
+            pi.write(c, "%d", &[WSlot::Int(i)])?;
+        }
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// Scenario 4 — a held message: worker A's data send (its second send;
+/// the first is the detector's NoteWrite event) never arrives, so B
+/// blocks with credit on the channel and the event-driven detector sees
+/// no cycle. Only the stall watchdog can convict this one.
+fn fault_stall(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
+    use pilot::{RSlot, WSlot};
+    let dir = std::env::temp_dir().join(format!("pilot-faults-stall-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::new(seed).hold_send(1, 2);
+    let cfg = PilotConfig::new(4)
+        .with_services(Services::parse("dj").unwrap())
+        .with_spill_dir(dir.clone())
+        .with_fault_plan(plan)
+        .with_stall_timeout(std::time::Duration::from_millis(300));
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ab = pi.create_channel(a, b)?;
+        pi.assign_work(a, move |pi, _| {
+            let _ = pi.write(ab, "%d", &[WSlot::Int(9)]);
+            0
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.start_all()?;
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// `repro faults`: the seeded crash-forensics matrix. Each scenario
+/// injects a deterministic fault, then proves the wreckage is usable:
+/// the spill salvages, the salvaged SLOG2 validates and reloads, the
+/// timeline carries the right terminal state, and the whole digest is
+/// identical across `runs` repetitions with the same seed.
+fn faults(seed: u64, runs: usize) -> bool {
+    let runs = runs.max(1);
+    println!("# faults — crash-forensics matrix (seed {seed}, {runs} run(s) per scenario)");
+    type Scenario = (
+        &'static str,
+        fn(u64) -> (pilot::PilotOutcome, std::path::PathBuf),
+        FailureKind,
+        bool,
+    );
+    let scenarios: [Scenario; 4] = [
+        ("deadlock", fault_deadlock, FailureKind::Deadlocked, false),
+        ("panic", fault_panic, FailureKind::Aborted, false),
+        ("torn-spill", fault_torn_spill, FailureKind::Aborted, true),
+        ("stall", fault_stall, FailureKind::Deadlocked, false),
+    ];
+    let mut ok = true;
+    for (name, run_fn, kind, want_torn) in scenarios {
+        println!("== {name} ==");
+        let mut first: Option<Forensics> = None;
+        for i in 0..runs {
+            let (outcome, dir) = run_fn(seed);
+            let f = forensics(name, seed, &outcome, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            let f = match f {
+                Ok(f) => f,
+                Err(e) => {
+                    println!("  FAIL: {e}");
+                    ok = false;
+                    break;
+                }
+            };
+            match &first {
+                Some(f0) => {
+                    if f0.digest != f.digest {
+                        println!(
+                            "  FAIL: run {i} diverged from run 0 under the same seed\n\
+                             --- run 0 ---\n{}--- run {i} ---\n{}",
+                            f0.digest, f.digest
+                        );
+                        ok = false;
+                    }
+                }
+                None => {
+                    let cat = kind.category_name();
+                    if f.slog.category_by_name(cat).is_none() {
+                        println!("  FAIL: no terminal {cat} state in the salvaged timeline");
+                        ok = false;
+                    }
+                    if want_torn != f.truncated {
+                        println!(
+                            "  FAIL: expected truncated={want_torn}, got {}",
+                            f.truncated
+                        );
+                        ok = false;
+                    }
+                    let slog_path = out_dir().join(format!("FAULT_{name}.pslog2"));
+                    f.slog.write_to(&slog_path).expect("write salvaged slog2");
+                    let txt_path = out_dir().join(format!("FAULT_{name}.diagnosis.txt"));
+                    std::fs::write(&txt_path, &f.report_text).expect("write diagnosis");
+                    // The artifact must be loadable by any SLOG2 reader.
+                    match slog2::Slog2File::read_from(&slog_path) {
+                        Ok(Ok(back)) if back.total_drawables() == f.slog.total_drawables() => {}
+                        other => {
+                            println!("  FAIL: written artifact does not load back: {other:?}");
+                            ok = false;
+                        }
+                    }
+                    print!(
+                        "{}",
+                        f.digest.lines().fold(String::new(), |mut s, l| {
+                            s.push_str("  ");
+                            s.push_str(l);
+                            s.push('\n');
+                            s
+                        })
+                    );
+                    println!("  wrote {} + {}", slog_path.display(), txt_path.display());
+                    first = Some(f);
+                }
+            }
+        }
+        if first.is_some() && ok {
+            println!("  deterministic across {runs} run(s)");
+        }
+    }
+    ok
+}
+
 /// Run one phase and print its wall-clock — every subcommand reports
 /// elapsed time whether or not the obs stack is attached.
 fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
@@ -553,6 +920,8 @@ fn main() {
     let files = get_flag("--files", 48);
     let reps = get_flag("--reps", 5);
     let parallel = get_flag("--parallel", 0);
+    let seed = get_flag("--seed", 42) as u64;
+    let runs = get_flag("--runs", 2);
     let workload = args
         .iter()
         .position(|a| a == "--workload")
@@ -586,6 +955,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "faults" => {
+            let ok = timed("faults", || faults(seed, runs));
+            if !ok {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             timed("table1", || table1(files, reps));
             println!();
@@ -606,7 +981,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics all"
+                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults all"
             );
             std::process::exit(2);
         }

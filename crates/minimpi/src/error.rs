@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::message::{Src, Tag};
+
 /// Result alias used throughout `minimpi`.
 pub type Result<T> = std::result::Result<T, MpiError>;
 
@@ -20,8 +22,16 @@ pub enum MpiError {
     /// exit code passed by the aborting rank and `origin` that rank.
     Aborted { origin: usize, code: i32 },
     /// A blocking operation timed out (only returned by the `_timeout`
-    /// variants used by the deadlock detector).
-    Timeout,
+    /// variants used by the deadlock detector). Carries what was being
+    /// waited on so the diagnosis can name the missing message.
+    Timeout {
+        /// The operation that timed out ("recv_timeout", ...).
+        op: &'static str,
+        /// The source selector the operation was matching.
+        src: Src,
+        /// The tag selector the operation was matching.
+        tag: Tag,
+    },
     /// Payload could not be decoded as the requested datatype.
     TypeMismatch { expected: &'static str, len: usize },
     /// A collective was invoked with inconsistent participation
@@ -41,7 +51,17 @@ impl fmt::Display for MpiError {
             MpiError::Aborted { origin, code } => {
                 write!(f, "world aborted by rank {origin} with code {code}")
             }
-            MpiError::Timeout => write!(f, "operation timed out"),
+            MpiError::Timeout { op, src, tag } => {
+                let src = match src {
+                    Src::Of(r) => format!("rank {r}"),
+                    Src::Any => "any rank".to_string(),
+                };
+                let tag = match tag {
+                    Tag::Of(t) => format!("tag {t}"),
+                    Tag::Any => "any tag".to_string(),
+                };
+                write!(f, "{op} timed out waiting for a message from {src}, {tag}")
+            }
             MpiError::TypeMismatch { expected, len } => {
                 write!(f, "payload of {len} bytes is not a valid {expected}")
             }
@@ -73,7 +93,32 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(MpiError::Timeout, MpiError::Timeout);
-        assert_ne!(MpiError::Timeout, MpiError::Aborted { origin: 0, code: 0 });
+        let t = MpiError::Timeout {
+            op: "recv_timeout",
+            src: Src::Of(3),
+            tag: Tag::Any,
+        };
+        assert_eq!(t.clone(), t);
+        assert_ne!(t, MpiError::Aborted { origin: 0, code: 0 });
+    }
+
+    #[test]
+    fn timeout_display_names_the_wait() {
+        let t = MpiError::Timeout {
+            op: "recv_timeout",
+            src: Src::Of(3),
+            tag: Tag::Of(9),
+        };
+        let s = t.to_string();
+        assert!(s.contains("recv_timeout"), "{s}");
+        assert!(s.contains("rank 3") && s.contains("tag 9"), "{s}");
+
+        let t = MpiError::Timeout {
+            op: "service_wait",
+            src: Src::Any,
+            tag: Tag::Any,
+        };
+        let s = t.to_string();
+        assert!(s.contains("any rank") && s.contains("any tag"), "{s}");
     }
 }

@@ -1,0 +1,209 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is an explicit, seeded list of rules — *panic rank r
+//! at its Nth send*, *hold (drop) a message*, *delay a delivery*, *fail
+//! spill I/O after K bytes* — installed via
+//! [`crate::WorldBuilder::faults`]. Determinism is by construction:
+//! rules key on a rank's own operation ordinals (each rank counts its
+//! sends and receives locally), so the same plan against the same
+//! program faults at exactly the same point on every run, regardless of
+//! thread interleaving. The seed is carried along so harnesses that
+//! *derive* plans (e.g. `repro faults --seed N`) can report it and so
+//! two plans derived from different seeds compare unequal.
+//!
+//! When no plan is installed the world carries `None` and every hook is
+//! a single never-taken branch — no counters, no allocation, no
+//! atomics.
+
+use std::time::Duration;
+
+/// What to do to a send operation when its ordinal matches a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendFault {
+    /// Panic the sending rank with this payload (the panic unwinds
+    /// through the rank body and is captured as a
+    /// [`crate::RankFailure`]).
+    Panic(String),
+    /// Sleep this long before delivering — models a slow link.
+    Delay(Duration),
+    /// Swallow the message: the send "succeeds" but nothing is ever
+    /// delivered. The receiver blocks until a timeout or abort — the
+    /// lost-message scenario.
+    Hold,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Rule {
+    Send {
+        rank: usize,
+        nth: u64,
+        fault: SendFault,
+    },
+    Recv {
+        rank: usize,
+        nth: u64,
+        message: String,
+    },
+    Spill {
+        rank: usize,
+        byte_budget: u64,
+    },
+}
+
+/// A deterministic schedule of injected faults. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// An empty plan tagged with `seed` (recorded for reporting only;
+    /// rules are explicit and deterministic regardless of the seed).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The seed this plan was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Panic `rank` when it enters its `nth` send (1-based, counting
+    /// both buffered and synchronous sends, including collective
+    /// plumbing).
+    pub fn panic_at_send(mut self, rank: usize, nth: u64, message: impl Into<String>) -> Self {
+        self.rules.push(Rule::Send {
+            rank,
+            nth,
+            fault: SendFault::Panic(message.into()),
+        });
+        self
+    }
+
+    /// Panic `rank` when it enters its `nth` receive (1-based, counting
+    /// `recv` and `recv_timeout`).
+    pub fn panic_at_recv(mut self, rank: usize, nth: u64, message: impl Into<String>) -> Self {
+        self.rules.push(Rule::Recv {
+            rank,
+            nth,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Delay `rank`'s `nth` send by `delay` before delivering.
+    pub fn delay_send(mut self, rank: usize, nth: u64, delay: Duration) -> Self {
+        self.rules.push(Rule::Send {
+            rank,
+            nth,
+            fault: SendFault::Delay(delay),
+        });
+        self
+    }
+
+    /// Silently drop `rank`'s `nth` send (never delivered).
+    pub fn hold_send(mut self, rank: usize, nth: u64) -> Self {
+        self.rules.push(Rule::Send {
+            rank,
+            nth,
+            fault: SendFault::Hold,
+        });
+        self
+    }
+
+    /// Make `rank`'s spill writer fail with an I/O error once it has
+    /// written `bytes` bytes. The spill layer lives in `mpelog`; this
+    /// rule is carried here so one plan describes the whole fault
+    /// schedule, and consumers read it back via
+    /// [`FaultPlan::spill_byte_budget`].
+    pub fn fail_spill_after(mut self, rank: usize, bytes: u64) -> Self {
+        self.rules.push(Rule::Spill {
+            rank,
+            byte_budget: bytes,
+        });
+        self
+    }
+
+    /// The fault, if any, scheduled for `rank`'s send number `ordinal`.
+    pub(crate) fn send_fault(&self, rank: usize, ordinal: u64) -> Option<&SendFault> {
+        self.rules.iter().find_map(|r| match r {
+            Rule::Send {
+                rank: fr,
+                nth,
+                fault,
+            } if *fr == rank && *nth == ordinal => Some(fault),
+            _ => None,
+        })
+    }
+
+    /// The panic message, if any, scheduled for `rank`'s receive number
+    /// `ordinal`.
+    pub(crate) fn recv_fault(&self, rank: usize, ordinal: u64) -> Option<&str> {
+        self.rules.iter().find_map(|r| match r {
+            Rule::Recv {
+                rank: fr,
+                nth,
+                message,
+            } if *fr == rank && *nth == ordinal => Some(message.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Byte budget after which `rank`'s spill I/O should fail, if a
+    /// spill-failure rule is installed for it.
+    pub fn spill_byte_budget(&self, rank: usize) -> Option<u64> {
+        self.rules.iter().find_map(|r| match r {
+            Rule::Spill {
+                rank: fr,
+                byte_budget,
+            } if *fr == rank => Some(*byte_budget),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_match_only_their_rank_and_ordinal() {
+        let plan = FaultPlan::new(7)
+            .panic_at_send(1, 3, "boom")
+            .hold_send(0, 2)
+            .fail_spill_after(2, 64);
+        assert_eq!(plan.seed(), 7);
+        assert!(plan.send_fault(1, 2).is_none());
+        assert!(matches!(
+            plan.send_fault(1, 3),
+            Some(SendFault::Panic(m)) if m == "boom"
+        ));
+        assert!(matches!(plan.send_fault(0, 2), Some(SendFault::Hold)));
+        assert!(plan.send_fault(2, 1).is_none());
+        assert_eq!(plan.spill_byte_budget(2), Some(64));
+        assert_eq!(plan.spill_byte_budget(0), None);
+    }
+
+    #[test]
+    fn recv_rules_are_separate_from_send_rules() {
+        let plan = FaultPlan::new(0).panic_at_recv(0, 1, "bad recv");
+        assert!(plan.send_fault(0, 1).is_none());
+        assert_eq!(plan.recv_fault(0, 1), Some("bad recv"));
+        assert!(plan.recv_fault(0, 2).is_none());
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::new(42).is_empty());
+        assert!(!FaultPlan::new(42).hold_send(0, 1).is_empty());
+    }
+}

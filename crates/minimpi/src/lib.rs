@@ -43,6 +43,7 @@ pub mod clock;
 pub mod collective;
 pub mod datatype;
 pub mod error;
+pub mod fault;
 pub mod mailbox;
 pub mod message;
 pub mod world;
@@ -51,8 +52,9 @@ pub use clock::{ClockConfig, DriftSpec};
 pub use collective::ReduceOp;
 pub use datatype::{Datum, TypedSlice};
 pub use error::{MpiError, Result};
+pub use fault::{FaultPlan, SendFault};
 pub use message::{Envelope, Message, Src, Tag};
-pub use world::{Rank, World, WorldBuilder, WorldOutcome};
+pub use world::{Rank, RankFailure, World, WorldBuilder, WorldOutcome};
 
 /// Highest tag value available to user code. Tags above this bound are
 /// reserved for internal collective-operation plumbing.

@@ -157,7 +157,11 @@ impl Mailbox {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(MpiError::Timeout);
+                return Err(MpiError::Timeout {
+                    op: "recv_timeout",
+                    src,
+                    tag,
+                });
             }
             let step = (deadline - now).min(Duration::from_millis(20));
             match self.rx.recv_timeout(step) {
@@ -264,7 +268,14 @@ mod tests {
         let (_tx, mut mb) = Mailbox::new();
         let abort = AbortToken::default();
         let r = mb.recv_timeout(Src::Any, Tag::Any, Duration::from_millis(30), &abort);
-        assert_eq!(r.unwrap_err(), MpiError::Timeout);
+        assert_eq!(
+            r.unwrap_err(),
+            MpiError::Timeout {
+                op: "recv_timeout",
+                src: Src::Any,
+                tag: Tag::Any,
+            }
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! World construction and the per-rank handle.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -9,9 +9,35 @@ use bytes::Bytes;
 
 use crate::clock::{ClockConfig, RankClock, WorldClock};
 use crate::error::{MpiError, Result};
+use crate::fault::{FaultPlan, SendFault};
 use crate::mailbox::{AbortToken, Mailbox, MailboxSender};
 use crate::message::{Delivery, Envelope, Message, Src, Tag};
 use crate::MAX_USER_TAG;
+
+/// Last-API-op codes recorded per rank for crash forensics. A relaxed
+/// `u8` store per operation; decoded to a name only when building a
+/// [`RankFailure`].
+const OP_NONE: u8 = 0;
+const OP_SEND: u8 = 1;
+const OP_SSEND: u8 = 2;
+const OP_RECV: u8 = 3;
+const OP_RECV_TIMEOUT: u8 = 4;
+const OP_PROBE: u8 = 5;
+const OP_IPROBE: u8 = 6;
+const OP_ABORT: u8 = 7;
+
+fn op_name(code: u8) -> &'static str {
+    match code {
+        OP_SEND => "send",
+        OP_SSEND => "ssend",
+        OP_RECV => "recv",
+        OP_RECV_TIMEOUT => "recv_timeout",
+        OP_PROBE => "probe",
+        OP_IPROBE => "iprobe",
+        OP_ABORT => "abort",
+        _ => "none",
+    }
+}
 
 /// State shared by all ranks of one world.
 pub(crate) struct Shared {
@@ -21,6 +47,10 @@ pub(crate) struct Shared {
     abort: AbortToken,
     seq: AtomicU64,
     obs: Option<obs::ObsHandle>,
+    /// Installed fault schedule; `None` on every production world.
+    faults: Option<Arc<FaultPlan>>,
+    /// Last API operation each rank entered, for [`RankFailure`].
+    last_ops: Vec<AtomicU8>,
 }
 
 /// Per-rank metric handles, registered once at rank start so the hot
@@ -57,6 +87,7 @@ pub struct WorldBuilder {
     clock: ClockConfig,
     stack_size: Option<usize>,
     obs: Option<obs::ObsHandle>,
+    faults: Option<FaultPlan>,
 }
 
 impl WorldBuilder {
@@ -77,6 +108,14 @@ impl WorldBuilder {
     /// merge them with [`obs::Obs::snapshot`].
     pub fn observe(mut self, obs: obs::ObsHandle) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Install a deterministic fault schedule (see [`FaultPlan`]). An
+    /// empty plan is ignored, so `World::builder(n).faults(plan)` with a
+    /// rule-less plan behaves exactly like an unfaulted world.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = (!plan.is_empty()).then_some(plan);
         self
     }
 
@@ -106,6 +145,8 @@ impl WorldBuilder {
             abort: AbortToken::default(),
             seq: AtomicU64::new(0),
             obs: self.obs.clone(),
+            faults: self.faults.map(Arc::new),
+            last_ops: (0..size).map(|_| AtomicU8::new(OP_NONE)).collect(),
         });
 
         let body = &body;
@@ -127,12 +168,18 @@ impl WorldBuilder {
                             mb.set_depth_gauge(shard.gauge("minimpi.mailbox_depth"));
                             RankObs::new(&shard)
                         });
+                        let fault = shared.faults.as_ref().map(|plan| RankFaultState {
+                            plan: Arc::clone(plan),
+                            sends: Cell::new(0),
+                            recvs: Cell::new(0),
+                        });
                         let rank = Rank {
                             rank: r,
                             shared: Arc::clone(&shared),
                             mailbox: RefCell::new(mb),
                             coll_seq: std::cell::Cell::new(0),
                             obs: robs,
+                            fault,
                         };
                         // If this rank panics, trip the abort switch so the
                         // others don't block forever on messages that will
@@ -161,10 +208,23 @@ impl WorldBuilder {
             })
             .unzip();
 
+        let failures = panics
+            .iter()
+            .enumerate()
+            .filter_map(|(r, p)| {
+                p.as_ref().map(|payload| RankFailure {
+                    rank: r,
+                    payload: payload.clone(),
+                    last_op: op_name(shared.last_ops[r].load(Ordering::Relaxed)),
+                })
+            })
+            .collect();
+
         WorldOutcome {
             exit_codes: codes,
             panics,
             aborted: shared.abort.origin(),
+            failures,
         }
     }
 }
@@ -202,7 +262,32 @@ impl World {
             clock: ClockConfig::default(),
             stack_size: None,
             obs: None,
+            faults: None,
         }
+    }
+}
+
+/// Structured description of a rank that died by panic: who, with what
+/// payload, and the last runtime operation it had entered — the raw
+/// material for a crash-forensics report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The rank that panicked.
+    pub rank: usize,
+    /// The panic payload (message), captured at join.
+    pub payload: String,
+    /// The last `minimpi` API operation the rank entered before dying
+    /// ("send", "recv", ... or "none" if it never communicated).
+    pub last_op: &'static str,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} panicked (last op: {}): {}",
+            self.rank, self.last_op, self.payload
+        )
     }
 }
 
@@ -215,6 +300,9 @@ pub struct WorldOutcome {
     pub panics: Vec<Option<String>>,
     /// `(origin_rank, code)` if the world was aborted.
     pub aborted: Option<(usize, i32)>,
+    /// Structured failure per panicked rank (same information as
+    /// `panics`, plus the last API op), in rank order.
+    pub failures: Vec<RankFailure>,
 }
 
 impl WorldOutcome {
@@ -242,6 +330,17 @@ pub struct Rank {
     /// Metric handles when the world was built with
     /// [`WorldBuilder::observe`].
     obs: Option<RankObs>,
+    /// Fault schedule + this rank's op ordinals; `None` unless the world
+    /// was built with [`WorldBuilder::faults`].
+    fault: Option<RankFaultState>,
+}
+
+/// Per-rank fault-injection state: the shared plan and this rank's own
+/// 1-based send/recv ordinals.
+struct RankFaultState {
+    plan: Arc<FaultPlan>,
+    sends: Cell<u64>,
+    recvs: Cell<u64>,
 }
 
 impl Rank {
@@ -298,6 +397,41 @@ impl Rank {
         self.shared.seq.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Record the API operation this rank just entered (one relaxed
+    /// byte store; read back only when building a [`RankFailure`]).
+    #[inline]
+    fn note_op(&self, op: u8) {
+        self.shared.last_ops[self.rank].store(op, Ordering::Relaxed);
+    }
+
+    /// Advance this rank's send ordinal and apply any scheduled fault.
+    /// Returns `true` if the message must be held (silently dropped).
+    /// Never taken unless a [`FaultPlan`] was installed.
+    fn fault_on_send(&self) -> bool {
+        if let Some(fs) = &self.fault {
+            let n = fs.sends.get() + 1;
+            fs.sends.set(n);
+            match fs.plan.send_fault(self.rank, n) {
+                Some(SendFault::Panic(msg)) => panic!("{}", msg.clone()),
+                Some(SendFault::Delay(d)) => std::thread::sleep(*d),
+                Some(SendFault::Hold) => return true,
+                None => {}
+            }
+        }
+        false
+    }
+
+    /// Advance this rank's recv ordinal and apply any scheduled fault.
+    fn fault_on_recv(&self) {
+        if let Some(fs) = &self.fault {
+            let n = fs.recvs.get() + 1;
+            fs.recvs.set(n);
+            if let Some(msg) = fs.plan.recv_fault(self.rank, n) {
+                panic!("{}", msg.to_string());
+            }
+        }
+    }
+
     /// Buffered send (like `MPI_Send` with buffering): enqueues and
     /// returns immediately.
     pub fn send(&self, dst: usize, tag: u32, payload: &[u8]) -> Result<()> {
@@ -306,12 +440,17 @@ impl Rank {
 
     /// Buffered send of an owned payload (no copy).
     pub fn send_bytes(&self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
+        self.note_op(OP_SEND);
         self.validate(dst, tag, false)?;
         self.deliver(dst, tag, payload)
     }
 
     pub(crate) fn deliver(&self, dst: usize, tag: u32, payload: Bytes) -> Result<()> {
         self.shared.abort.check()?;
+        if self.fault_on_send() {
+            // Held: the sender believes it sent; nothing ever arrives.
+            return Ok(());
+        }
         self.note_sent(payload.len());
         let msg = Message::new(self.rank, dst, tag, self.next_seq(), payload);
         self.shared.senders[dst]
@@ -322,8 +461,15 @@ impl Rank {
     /// Synchronous send (like `MPI_Ssend`): blocks until the receiver has
     /// matched the message.
     pub fn ssend(&self, dst: usize, tag: u32, payload: &[u8]) -> Result<()> {
+        self.note_op(OP_SSEND);
         self.validate(dst, tag, false)?;
         self.shared.abort.check()?;
+        if self.fault_on_send() {
+            // Held: rendezvous never completes on the wire, but the
+            // injected fault lets the sender continue so the *receiver*
+            // experiences the loss.
+            return Ok(());
+        }
         self.note_sent(payload.len());
         let msg = Message::new(
             self.rank,
@@ -343,8 +489,11 @@ impl Rank {
                     self.shared.abort.check()?;
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    // Receiver dropped the ack without matching — only
-                    // possible if its mailbox was torn down.
+                    // Receiver dropped the ack without matching — its
+                    // mailbox was torn down. If that teardown came from
+                    // an abort (e.g. the receiver died), report the
+                    // abort rather than masking it as WorldDown.
+                    self.shared.abort.check()?;
                     return Err(MpiError::WorldDown);
                 }
             }
@@ -374,6 +523,8 @@ impl Rank {
 
     /// Blocking matched receive.
     pub fn recv(&self, src: Src, tag: Tag) -> Result<Message> {
+        self.note_op(OP_RECV);
+        self.fault_on_recv();
         let start = self.obs.as_ref().map(|_| Instant::now());
         let res = self.mailbox.borrow_mut().recv(src, tag, &self.shared.abort);
         self.note_received(&res, start);
@@ -382,6 +533,8 @@ impl Rank {
 
     /// Matched receive with a deadline.
     pub fn recv_timeout(&self, src: Src, tag: Tag, timeout: Duration) -> Result<Message> {
+        self.note_op(OP_RECV_TIMEOUT);
+        self.fault_on_recv();
         let start = self.obs.as_ref().map(|_| Instant::now());
         let res = self
             .mailbox
@@ -393,6 +546,7 @@ impl Rank {
 
     /// Blocking probe (does not consume the message).
     pub fn probe(&self, src: Src, tag: Tag) -> Result<Envelope> {
+        self.note_op(OP_PROBE);
         let start = self.obs.as_ref().map(|_| Instant::now());
         let res = self
             .mailbox
@@ -406,6 +560,7 @@ impl Rank {
 
     /// Non-blocking probe.
     pub fn iprobe(&self, src: Src, tag: Tag) -> Result<Option<Envelope>> {
+        self.note_op(OP_IPROBE);
         self.mailbox
             .borrow_mut()
             .iprobe(src, tag, &self.shared.abort)
@@ -416,6 +571,7 @@ impl Rank {
     ///
     /// Returns the abort error so callers can `return Err(rank.abort(code))`.
     pub fn abort(&self, code: i32) -> MpiError {
+        self.note_op(OP_ABORT);
         self.shared.abort.trip(self.rank, code);
         MpiError::Aborted {
             origin: self.rank,
@@ -641,6 +797,206 @@ mod tests {
         assert!(snap.gauges["minimpi.mailbox_depth"].high >= 1);
         assert!(snap.hists["minimpi.recv_wait_ns"].count >= 4);
         assert_eq!(snap.hists["minimpi.barrier_skew_ns"].count, 1);
+    }
+
+    #[test]
+    fn fault_panic_at_nth_send_yields_rank_failure() {
+        let plan = FaultPlan::new(1).panic_at_send(0, 2, "injected: send 2 dies");
+        let out = World::builder(2).faults(plan).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 1, b"first").unwrap();
+                rank.send(1, 1, b"second").unwrap(); // dies here
+                unreachable!();
+            }
+            // The panic guard trips the abort, so the survivor drains.
+            match rank.recv(Src::Of(0), Tag::Of(2)) {
+                Err(MpiError::Aborted { origin: 0, .. }) => 0,
+                other => panic!("expected abort, got {other:?}"),
+            }
+        });
+        assert_eq!(out.aborted, Some((0, -2)));
+        assert_eq!(out.failures.len(), 1);
+        let f = &out.failures[0];
+        assert_eq!(f.rank, 0);
+        assert_eq!(f.last_op, "send");
+        assert!(f.payload.contains("injected: send 2 dies"));
+        assert_eq!(out.exit_codes, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn fault_panic_at_recv_records_last_op() {
+        let plan = FaultPlan::new(1).panic_at_recv(1, 1, "injected: recv dies");
+        let out = World::builder(2).faults(plan).run(|rank| {
+            if rank.rank() == 1 {
+                let _ = rank.recv(Src::Any, Tag::Any);
+                return 1;
+            }
+            // Rank 0 parks until the dying receiver trips the abort.
+            match rank.recv(Src::Of(1), Tag::Of(1)) {
+                Err(MpiError::Aborted { origin: 1, .. }) => 0,
+                other => panic!("expected abort, got {other:?}"),
+            }
+        });
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].rank, 1);
+        assert_eq!(out.failures[0].last_op, "recv");
+    }
+
+    #[test]
+    fn fault_hold_makes_receiver_time_out_with_context() {
+        let plan = FaultPlan::new(1).hold_send(0, 1);
+        let out = World::builder(2).faults(plan).run(|rank| {
+            if rank.rank() == 0 {
+                rank.send(1, 6, b"lost").unwrap(); // held, never arrives
+                return 0;
+            }
+            match rank.recv_timeout(Src::Of(0), Tag::Of(6), Duration::from_millis(60)) {
+                Err(MpiError::Timeout {
+                    op: "recv_timeout",
+                    src: Src::Of(0),
+                    tag: Tag::Of(6),
+                }) => 0,
+                other => panic!("expected contextful timeout, got {other:?}"),
+            }
+        });
+        assert!(out.all_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn fault_delay_slows_delivery() {
+        let plan = FaultPlan::new(1).delay_send(0, 1, Duration::from_millis(40));
+        let out = World::builder(2).faults(plan).run(|rank| {
+            if rank.rank() == 0 {
+                let t0 = Instant::now();
+                rank.send(1, 1, b"slow").unwrap();
+                assert!(t0.elapsed() >= Duration::from_millis(40));
+            } else {
+                rank.recv(Src::Of(0), Tag::Of(1)).unwrap();
+            }
+            0
+        });
+        assert!(out.all_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn fault_matrix_is_deterministic_across_runs() {
+        let run_once = || {
+            let plan = FaultPlan::new(42).panic_at_send(1, 3, "det-panic");
+            World::builder(3).faults(plan).run(|rank| {
+                if rank.rank() == 1 {
+                    for i in 0..10u32 {
+                        rank.send(2, 1, &i.to_le_bytes()).unwrap();
+                    }
+                    return 1;
+                }
+                if rank.rank() == 2 {
+                    loop {
+                        match rank.recv(Src::Of(1), Tag::Of(1)) {
+                            Ok(_) => {}
+                            Err(_) => return 0,
+                        }
+                    }
+                }
+                match rank.recv(Src::Any, Tag::Any) {
+                    Err(_) => 0,
+                    Ok(_) => 3,
+                }
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.failures.len(), 1);
+        assert_eq!(a.failures[0].rank, 1);
+        assert_eq!(a.failures[0].last_op, "send");
+        assert_eq!(a.aborted, b.aborted);
+    }
+
+    #[test]
+    fn unfaulted_world_has_no_failures() {
+        let out = World::builder(1).run(|_| 0);
+        assert!(out.failures.is_empty());
+    }
+
+    #[test]
+    fn recv_timeout_returns_within_heartbeat_under_contention() {
+        // The deadline loop steps in min(remaining, 20 ms) chunks, so
+        // even with unrelated traffic arriving the call must return
+        // within timeout + one heartbeat (+ scheduling slack).
+        let timeout = Duration::from_millis(100);
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                // Contention: a stream of non-matching messages. Sends
+                // may fail once the receiver exits; that's fine.
+                for _ in 0..50 {
+                    let _ = rank.send(1, 5, b"noise");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return 0;
+            }
+            let t0 = Instant::now();
+            let r = rank.recv_timeout(Src::Of(0), Tag::Of(9), timeout);
+            let elapsed = t0.elapsed();
+            assert!(matches!(r, Err(MpiError::Timeout { .. })), "{r:?}");
+            assert!(elapsed >= timeout, "returned early: {elapsed:?}");
+            assert!(
+                elapsed < timeout + Duration::from_millis(120),
+                "recv_timeout overstayed: {elapsed:?}"
+            );
+            0
+        });
+        assert!(out.all_ok(), "{out:?}");
+    }
+
+    #[test]
+    fn abort_wakes_blocked_ssend_promptly_and_is_not_masked() {
+        // Rank 0 blocks in ssend to rank 1, which never matches it and
+        // aborts instead. The ssend must (a) wake within a couple of
+        // heartbeats and (b) report Aborted, not WorldDown.
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                let t0 = Instant::now();
+                let r = rank.ssend(1, 3, b"never matched");
+                let elapsed = t0.elapsed();
+                match r {
+                    Err(MpiError::Aborted {
+                        origin: 1,
+                        code: 17,
+                    }) => {}
+                    other => panic!("expected Aborted from ssend, got {other:?}"),
+                }
+                assert!(
+                    elapsed < Duration::from_millis(500),
+                    "ssend took {elapsed:?} to observe the abort"
+                );
+                return 0;
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            let _ = rank.abort(17);
+            0
+        });
+        assert_eq!(out.aborted, Some((1, 17)));
+    }
+
+    #[test]
+    fn abort_wakes_blocked_recv_promptly() {
+        let out = World::builder(2).run(|rank| {
+            if rank.rank() == 0 {
+                let t0 = Instant::now();
+                let r = rank.recv(Src::Of(1), Tag::Of(1));
+                let elapsed = t0.elapsed();
+                assert!(matches!(r, Err(MpiError::Aborted { .. })), "{r:?}");
+                assert!(
+                    elapsed < Duration::from_millis(500),
+                    "recv took {elapsed:?} to observe the abort"
+                );
+                return 0;
+            }
+            std::thread::sleep(Duration::from_millis(30));
+            let _ = rank.abort(5);
+            0
+        });
+        assert_eq!(out.aborted, Some((1, 5)));
     }
 
     #[test]

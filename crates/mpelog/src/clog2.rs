@@ -122,6 +122,96 @@ impl Clog2File {
         })
     }
 
+    /// Tolerantly parse a possibly-truncated CLOG2 byte stream: decode
+    /// as far as the bytes allow, stop at the first torn item, and
+    /// report what was recovered instead of erroring. Strict parsing
+    /// stays in [`Clog2File::from_bytes`]; this is the post-mortem
+    /// path, for logs cut short by a crash, a full disk, or a kill.
+    ///
+    /// Never panics on any input, and the recovered file is always a
+    /// record-aligned prefix of what the untruncated bytes would parse
+    /// to (per rank, in block order).
+    pub fn salvage_bytes(bytes: &[u8]) -> SalvagedClog {
+        let mut out = SalvagedClog {
+            file: Clog2File::default(),
+            bytes_recovered: 0,
+            records_recovered: 0,
+            truncated: true,
+            torn_rank: None,
+        };
+        let mut r = Reader::new(bytes);
+        if Self::salvage_into(&mut r, bytes.len(), &mut out).is_ok() {
+            out.truncated = false;
+        }
+        out
+    }
+
+    /// The salvage parse loop; any `Err` means "stop here, keep what
+    /// `out` already holds". `out.bytes_recovered` advances only past
+    /// fully-decoded items, so the reported count is item-aligned.
+    fn salvage_into(
+        r: &mut Reader<'_>,
+        total_len: usize,
+        out: &mut SalvagedClog,
+    ) -> Result<(), WireError> {
+        let magic = r.get_bytes(8)?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(format!("{magic:02x?}")));
+        }
+        out.file.nranks = r.get_u32()?;
+        out.bytes_recovered = r.position();
+        let nstates = r.get_u32()? as usize;
+        if nstates > total_len {
+            return Err(WireError::Corrupt("state def count".into()));
+        }
+        for _ in 0..nstates {
+            let d = StateDef::decode(r)?;
+            out.file.state_defs.push(d);
+            out.bytes_recovered = r.position();
+        }
+        let nevents = r.get_u32()? as usize;
+        if nevents > total_len {
+            return Err(WireError::Corrupt("event def count".into()));
+        }
+        for _ in 0..nevents {
+            let d = EventDef::decode(r)?;
+            out.file.event_defs.push(d);
+            out.bytes_recovered = r.position();
+        }
+        let nblocks = r.get_u32()? as usize;
+        if nblocks > total_len {
+            return Err(WireError::Corrupt("block count".into()));
+        }
+        for _ in 0..nblocks {
+            let rank = r.get_u32()?;
+            if out.file.blocks.contains_key(&rank) {
+                return Err(WireError::Corrupt(format!(
+                    "duplicate block for rank {rank}"
+                )));
+            }
+            // From here on, a tear belongs to this rank's block.
+            out.torn_rank = Some(rank);
+            let nrec = r.get_u32()? as usize;
+            if nrec > total_len {
+                return Err(WireError::Corrupt("record count".into()));
+            }
+            out.file.blocks.insert(rank, Vec::new());
+            for _ in 0..nrec {
+                let rec = Record::decode(r)?;
+                out.file
+                    .blocks
+                    .get_mut(&rank)
+                    .expect("block just inserted")
+                    .push(rec);
+                out.records_recovered += 1;
+                out.bytes_recovered = r.position();
+            }
+            out.torn_rank = None;
+            out.bytes_recovered = r.position();
+        }
+        Ok(())
+    }
+
     /// Write to a file.
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_bytes())
@@ -131,6 +221,22 @@ impl Clog2File {
     pub fn read_from(path: &Path) -> std::io::Result<Result<Clog2File, WireError>> {
         Ok(Clog2File::from_bytes(&std::fs::read(path)?))
     }
+}
+
+/// What [`Clog2File::salvage_bytes`] recovered from a torn byte
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvagedClog {
+    /// The recovered (possibly partial) log.
+    pub file: Clog2File,
+    /// Bytes up to the last fully-decoded item.
+    pub bytes_recovered: usize,
+    /// Complete records recovered across all blocks.
+    pub records_recovered: usize,
+    /// True if parsing stopped before a complete document.
+    pub truncated: bool,
+    /// The rank whose block the tear landed in, if it hit inside one.
+    pub torn_rank: Option<u32>,
 }
 
 /// Failure while streaming a CLOG2 file: either the underlying reader
@@ -482,6 +588,56 @@ mod tests {
                 "cut at {cut} should fail"
             );
         }
+    }
+
+    #[test]
+    fn salvage_of_intact_bytes_matches_strict_parse() {
+        let f = sample_file();
+        let s = Clog2File::salvage_bytes(&f.to_bytes());
+        assert!(!s.truncated);
+        assert_eq!(s.torn_rank, None);
+        assert_eq!(s.file, f);
+        assert_eq!(s.records_recovered, f.total_records());
+        assert_eq!(s.bytes_recovered, f.to_bytes().len());
+    }
+
+    #[test]
+    fn salvage_of_truncation_keeps_record_aligned_prefix() {
+        let f = sample_file();
+        let bytes = f.to_bytes();
+        for cut in 0..bytes.len() {
+            let s = Clog2File::salvage_bytes(&bytes[..cut]);
+            assert!(s.truncated, "cut at {cut}");
+            assert!(s.bytes_recovered <= cut);
+            // Every recovered block is a prefix of the true block.
+            for (rank, recs) in &s.file.blocks {
+                let full = &f.blocks[rank];
+                assert!(recs.len() <= full.len());
+                assert_eq!(&full[..recs.len()], &recs[..], "cut at {cut}");
+            }
+            assert_eq!(s.records_recovered, s.file.total_records(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn salvage_mid_block_names_the_torn_rank() {
+        let f = sample_file();
+        let bytes = f.to_bytes();
+        // Cut 3 bytes from the end: the tear lands in rank 1's block.
+        let s = Clog2File::salvage_bytes(&bytes[..bytes.len() - 3]);
+        assert!(s.truncated);
+        assert_eq!(s.torn_rank, Some(1));
+        assert_eq!(s.file.blocks[&0].len(), 2, "rank 0's block is intact");
+    }
+
+    #[test]
+    fn salvage_of_garbage_recovers_nothing_without_panicking() {
+        let s = Clog2File::salvage_bytes(b"not a clog2 file at all");
+        assert!(s.truncated);
+        assert_eq!(s.records_recovered, 0);
+        let s = Clog2File::salvage_bytes(&[]);
+        assert!(s.truncated);
+        assert_eq!(s.bytes_recovered, 0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod spill;
 pub mod sync;
 pub mod wire;
 
-pub use clog2::{finish_log, Clog2Blocks, Clog2File, StreamError};
+pub use clog2::{finish_log, Clog2Blocks, Clog2File, SalvagedClog, StreamError};
 pub use color::Color;
 pub use ids::{EventId, IdAllocator};
 pub use logger::Logger;

@@ -32,6 +32,9 @@ pub struct Logger {
     correction: ClockCorrection,
     spill: Option<SpillWriter>,
     obs: Option<LoggerObs>,
+    /// Armed crash guard: flush the buffer to a spill file under this
+    /// directory if the logger is dropped before being disarmed.
+    crash_dir: Option<std::path::PathBuf>,
 }
 
 impl Logger {
@@ -46,6 +49,7 @@ impl Logger {
             correction: ClockCorrection::identity(),
             spill: None,
             obs: None,
+            crash_dir: None,
         }
     }
 
@@ -93,6 +97,60 @@ impl Logger {
         }
         self.spill = Some(w);
         Ok(())
+    }
+
+    /// Arm the crash guard: if this logger is dropped before
+    /// [`Logger::disarm_crash_guard`] — a panic unwinding the rank
+    /// thread, or an abort path returning early — whatever is buffered
+    /// is flushed to `spill_path(dir, rank)` so post-mortem salvage has
+    /// something to read. The guard stands down by itself when an
+    /// incremental spill writer is attached (records are already
+    /// durable) or when a spill file already exists on disk (e.g. the
+    /// torn remains of a failed writer, whose prefix must be
+    /// preserved).
+    pub fn arm_crash_guard(&mut self, dir: &std::path::Path) {
+        self.crash_dir = Some(dir.to_path_buf());
+    }
+
+    /// Stand the crash guard down after a successful wrap-up (the
+    /// merged log exists; no emergency flush is wanted).
+    pub fn disarm_crash_guard(&mut self) {
+        self.crash_dir = None;
+    }
+
+    /// Inject a deterministic spill I/O failure after `bytes` more
+    /// bytes (see [`SpillWriter::set_failure_budget`]). No-op if no
+    /// spill is attached.
+    pub fn limit_spill_bytes(&mut self, bytes: u64) {
+        if let Some(w) = self.spill.as_mut() {
+            w.set_failure_budget(bytes);
+        }
+    }
+
+    /// The crash-guard flush. Best effort on every path: errors are
+    /// swallowed because this runs during unwinding.
+    fn emergency_flush(&mut self) {
+        let Some(dir) = self.crash_dir.take() else {
+            return;
+        };
+        if self.spill.is_some() {
+            return; // incremental spill already made everything durable
+        }
+        if spill_path(&dir, self.rank).exists() {
+            return; // keep a torn spill's prefix rather than clobber it
+        }
+        let Ok(mut w) = SpillWriter::create(&dir, self.rank) else {
+            return;
+        };
+        for d in &self.state_defs {
+            let _ = w.state_def(d);
+        }
+        for d in &self.event_defs {
+            let _ = w.event_def(d);
+        }
+        for r in &self.records {
+            let _ = w.record(r);
+        }
     }
 
     fn spill_record(&mut self, rec: &Record) {
@@ -254,6 +312,12 @@ impl Logger {
     }
 }
 
+impl Drop for Logger {
+    fn drop(&mut self) {
+        self.emergency_flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +399,70 @@ mod tests {
             b.define_state("s2", Color::GREEN),
         );
         assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn crash_guard_flushes_buffer_on_drop() {
+        let dir = std::env::temp_dir().join("mpelog-crashguard").join("drop");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let mut lg = Logger::new(4);
+            let (s, _) = lg.define_state("PI_Read", Color::RED);
+            lg.log_event(1.0, s, "Line: 3");
+            lg.log_send(1.5, 0, 9, 16);
+            lg.arm_crash_guard(&dir);
+            // dropped armed — as if the rank panicked here
+        }
+        let back = crate::spill::read_spill(&crate::spill::spill_path(&dir, 4))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back.rank, 4);
+        assert_eq!(back.state_defs.len(), 1);
+        assert_eq!(back.records.len(), 2);
+        assert!(!back.torn_tail);
+    }
+
+    #[test]
+    fn disarmed_guard_writes_nothing() {
+        let dir = std::env::temp_dir()
+            .join("mpelog-crashguard")
+            .join("disarm");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let mut lg = Logger::new(0);
+            let id = lg.define_event("x", Color::YELLOW);
+            lg.log_event(0.0, id, "");
+            lg.arm_crash_guard(&dir);
+            lg.disarm_crash_guard();
+        }
+        assert!(!crate::spill::spill_path(&dir, 0).exists());
+    }
+
+    #[test]
+    fn guard_preserves_existing_torn_spill() {
+        let dir = std::env::temp_dir().join("mpelog-crashguard").join("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let mut lg = Logger::new(1);
+            let id = lg.define_event("x", Color::YELLOW);
+            lg.attach_spill(&dir).unwrap();
+            lg.limit_spill_bytes(4); // next record tears the file
+            lg.log_event(0.0, id, "first");
+            assert!(lg.spill.is_none(), "failed spill must detach");
+            lg.log_event(1.0, id, "buffered only");
+            lg.arm_crash_guard(&dir);
+        }
+        // The guard must not have clobbered the torn file with the full
+        // buffer: the event-def item is intact, the first record is torn.
+        let back = crate::spill::read_spill(&crate::spill::spill_path(&dir, 1))
+            .unwrap()
+            .unwrap();
+        assert!(back.torn_tail);
+        assert_eq!(back.event_defs.len(), 1);
+        assert!(back.records.is_empty());
     }
 
     #[test]

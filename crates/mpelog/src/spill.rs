@@ -39,6 +39,12 @@ pub fn spill_path(dir: &Path, rank: usize) -> PathBuf {
 #[derive(Debug)]
 pub struct SpillWriter {
     file: BufWriter<File>,
+    /// Item bytes written since creation (header excluded).
+    written: u64,
+    /// Injected fault: fail once `written` would exceed this budget,
+    /// leaving a torn (partially written) item on disk like a full disk
+    /// or yanked mount would. `None` in production.
+    failure_budget: Option<u64>,
 }
 
 impl SpillWriter {
@@ -51,7 +57,18 @@ impl SpillWriter {
         w.put_u32(rank as u32);
         file.write_all(&w.into_bytes())?;
         file.flush()?;
-        Ok(SpillWriter { file })
+        Ok(SpillWriter {
+            file,
+            written: 0,
+            failure_budget: None,
+        })
+    }
+
+    /// Inject a deterministic I/O failure: the writer accepts `bytes`
+    /// more item bytes, then fails, writing only the part of the final
+    /// item that fits (a torn tail, exactly what a dying disk leaves).
+    pub fn set_failure_budget(&mut self, bytes: u64) {
+        self.failure_budget = Some(self.written + bytes);
     }
 
     fn put_item(&mut self, kind: u8, body: Writer) -> std::io::Result<usize> {
@@ -61,9 +78,23 @@ impl SpillWriter {
         w.put_u32(body.len() as u32);
         w.put_bytes(&body);
         let bytes = w.into_bytes();
+        if let Some(budget) = self.failure_budget {
+            let room = budget.saturating_sub(self.written) as usize;
+            if bytes.len() > room {
+                // Write the fragment that "fit", then report the failure.
+                let _ = self.file.write_all(&bytes[..room]);
+                let _ = self.file.flush();
+                self.written = budget;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    format!("injected spill failure after {budget} bytes"),
+                ));
+            }
+        }
         self.file.write_all(&bytes)?;
         // The whole point: reach the OS before the world can die.
         self.file.flush()?;
+        self.written += bytes.len() as u64;
         Ok(bytes.len())
     }
 
@@ -261,6 +292,31 @@ mod tests {
         let back = read_spill(&path).unwrap().unwrap();
         assert!(back.torn_tail);
         assert_eq!(back.records.len(), 9, "all complete records survive");
+        assert_eq!(back.state_defs.len(), 1);
+    }
+
+    #[test]
+    fn failure_budget_leaves_salvageable_torn_file() {
+        let dir = tmpdir("budget");
+        let (sd, _) = sample_defs();
+        let mut w = SpillWriter::create(&dir, 2).unwrap();
+        w.state_def(&sd).unwrap();
+        let rec = Record::Send {
+            ts: 1.0,
+            dst: 0,
+            tag: 1,
+            size: 8,
+        };
+        let n = w.record(&rec).unwrap();
+        // Allow one more full record plus a few bytes, then fail.
+        w.set_failure_budget(n as u64 + 3);
+        w.record(&rec).unwrap();
+        let err = w.record(&rec).unwrap_err();
+        assert!(err.to_string().contains("injected spill failure"), "{err}");
+        drop(w);
+        let back = read_spill(&spill_path(&dir, 2)).unwrap().unwrap();
+        assert!(back.torn_tail, "partial item must read as torn");
+        assert_eq!(back.records.len(), 2, "complete records survive");
         assert_eq!(back.state_defs.len(), 1);
     }
 

@@ -92,6 +92,41 @@ proptest! {
     }
 
     #[test]
+    fn salvage_of_any_truncation_recovers_aligned_prefix(
+        blocks in proptest::collection::vec(proptest::collection::vec(arb_record(), 0..12), 1..4),
+        frac in 0f64..1.0,
+    ) {
+        let mut file = Clog2File { nranks: blocks.len() as u32, ..Default::default() };
+        for (r, records) in blocks.into_iter().enumerate() {
+            file.blocks.insert(r as u32, records);
+        }
+        let bytes = file.to_bytes();
+        let cut = (((bytes.len() + 1) as f64) * frac) as usize;
+        let cut = cut.min(bytes.len());
+        // The salvage reader must never panic at any offset...
+        let s = Clog2File::salvage_bytes(&bytes[..cut]);
+        prop_assert!(s.bytes_recovered <= cut);
+        prop_assert_eq!(s.records_recovered, s.file.total_records());
+        // ...and always recovers a record-aligned prefix of the
+        // untruncated parse, rank by rank.
+        let full = Clog2File::from_bytes(&bytes).unwrap();
+        for (rank, recs) in &s.file.blocks {
+            let whole = &full.blocks[rank];
+            prop_assert!(recs.len() <= whole.len());
+            prop_assert_eq!(&whole[..recs.len()], &recs[..]);
+        }
+        for (i, d) in s.file.state_defs.iter().enumerate() {
+            prop_assert_eq!(d, &full.state_defs[i]);
+        }
+        if cut == bytes.len() {
+            prop_assert!(!s.truncated);
+            prop_assert_eq!(s.file, full);
+        } else {
+            prop_assert!(s.truncated);
+        }
+    }
+
+    #[test]
     fn corrupted_clog_never_panics(
         seed_byte in any::<u8>(),
         pos_frac in 0f64..1.0,

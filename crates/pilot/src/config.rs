@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use minimpi::ClockConfig;
+use minimpi::{ClockConfig, FaultPlan};
 
 /// Which optional run-time services are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +84,17 @@ pub struct PilotConfig {
     /// counts and per-channel blocked time, and MPE logging records
     /// `mpelog.*` — all into per-rank shards of this handle.
     pub observe: Option<obs::ObsHandle>,
+    /// Deterministic fault injection (crash-forensics testing): panic a
+    /// rank at its Nth send, hold a message in flight, fail spill I/O
+    /// after a byte budget. `None` (the default) adds zero overhead —
+    /// the plan is threaded into the world only when present.
+    pub fault_plan: Option<FaultPlan>,
+    /// Stall watchdog window for the deadlock-detector service rank:
+    /// when no service event arrives for this long AND some process is
+    /// known to be blocked, the detector declares a stall (e.g. a held
+    /// message) and aborts with a diagnosis. `None` disables the
+    /// watchdog — the detector then only fires on true wait-for cycles.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl PilotConfig {
@@ -100,6 +111,8 @@ impl PilotConfig {
             synchronous_channels: false,
             mpe_spill_dir: None,
             observe: None,
+            fault_plan: None,
+            stall_timeout: None,
         }
     }
 
@@ -158,6 +171,20 @@ impl PilotConfig {
     /// Builder: attach a runtime metrics/tracing sink.
     pub fn with_observability(mut self, obs: obs::ObsHandle) -> Self {
         self.observe = Some(obs);
+        self
+    }
+
+    /// Builder: inject deterministic faults (empty plans are kept but
+    /// have no effect — the world builder drops them).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder: arm the service rank's stall watchdog (see
+    /// [`stall_timeout`](Self::stall_timeout)).
+    pub fn with_stall_timeout(mut self, window: Duration) -> Self {
+        self.stall_timeout = Some(window);
         self
     }
 

@@ -183,6 +183,51 @@ impl WaitForGraph {
             Some(DeadlockReport { stuck })
         }
     }
+
+    /// Stall diagnosis: the wait-for graph has no cycle, yet nothing has
+    /// happened for the watchdog window and these processes are still
+    /// inside blocking calls. This catches failures the liveness
+    /// fixpoint is blind to — e.g. a message *held* in the transport (a
+    /// lost write): the reader waits on a running writer forever, so no
+    /// cycle ever forms. `cause` is the watchdog's timeout context
+    /// (which receive timed out, on what source/tag); it is embedded in
+    /// every stuck process's description.
+    ///
+    /// Returns `None` when no process is blocked — a quiet graph with
+    /// everyone running or exited is idle, not stalled.
+    pub fn stall_report(&self, cause: &str) -> Option<DeadlockReport> {
+        let stuck: Vec<(usize, String)> = self
+            .status
+            .iter()
+            .enumerate()
+            .filter_map(|(p, s)| match s {
+                ProcStatus::Blocked(info) => {
+                    let peers: Vec<String> = info
+                        .waits
+                        .iter()
+                        .map(|(peer, _)| format!("P{peer}"))
+                        .collect();
+                    Some((
+                        p,
+                        format!(
+                            "stalled in {} on {} (waiting for {}) at {}; {}",
+                            info.op,
+                            info.resource,
+                            peers.join("/"),
+                            info.location,
+                            cause
+                        ),
+                    ))
+                }
+                _ => None,
+            })
+            .collect();
+        if stuck.is_empty() {
+            None
+        } else {
+            Some(DeadlockReport { stuck })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +343,30 @@ mod tests {
         g.block(1, read_block(0, 0));
         g.unblock(1);
         assert!(g.exit(0).is_none());
+    }
+
+    #[test]
+    fn stall_report_names_blocked_processes_and_cause() {
+        let mut g = WaitForGraph::new(3);
+        g.block(1, read_block(0, 0)); // no cycle: P0 still "running"
+        g.exit(2);
+        let report = g
+            .stall_report("recv_timeout timed out waiting for a message from any rank, tag 900")
+            .expect("P1 is blocked");
+        assert_eq!(report.stuck.len(), 1);
+        assert_eq!(report.stuck[0].0, 1);
+        assert!(report.stuck[0].1.contains("stalled in PI_Read on C0"));
+        assert!(report.stuck[0].1.contains("recv_timeout timed out"));
+        // The liveness fixpoint sees no deadlock here — only the
+        // watchdog catches it.
+        assert!(g.check().is_none());
+    }
+
+    #[test]
+    fn stall_report_is_none_when_nothing_is_blocked() {
+        let mut g = WaitForGraph::new(2);
+        g.exit(1);
+        assert!(g.stall_report("quiet for 200ms").is_none());
     }
 
     #[test]

@@ -295,7 +295,12 @@ mod tests {
     fn mpi_abort_maps_to_pilot_abort() {
         let e: PilotError = MpiError::Aborted { origin: 1, code: 9 }.into();
         assert_eq!(e, PilotError::Aborted { origin: 1, code: 9 });
-        let e: PilotError = MpiError::Timeout.into();
-        assert!(matches!(e, PilotError::System(MpiError::Timeout)));
+        let e: PilotError = MpiError::Timeout {
+            op: "recv_timeout",
+            src: minimpi::Src::Any,
+            tag: minimpi::Tag::Any,
+        }
+        .into();
+        assert!(matches!(e, PilotError::System(MpiError::Timeout { .. })));
     }
 }

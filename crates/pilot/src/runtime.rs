@@ -163,6 +163,9 @@ where
     if let Some(obs) = &config.observe {
         builder = builder.observe(obs.clone());
     }
+    if let Some(plan) = &config.fault_plan {
+        builder = builder.faults(plan.clone());
+    }
     let world = builder.run(move |rank| rank_body(rank, config_ref, program_ref, out_ref));
 
     let ServiceShared {
@@ -231,6 +234,24 @@ impl<'r, 'env> Pilot<'r, 'env> {
             config.mpe_spill_dir.as_deref(),
             config.observe.as_ref().map(|o| o.shard(rank.rank())),
         );
+        if let Some(lg) = instr.logger_mut() {
+            // Injected spill-I/O failure: stop the incremental spill
+            // after the plan's byte budget, leaving a torn file for the
+            // salvage reader.
+            if let Some(budget) = config
+                .fault_plan
+                .as_ref()
+                .and_then(|p| p.spill_byte_budget(rank.rank()))
+            {
+                lg.limit_spill_bytes(budget);
+            }
+            // Crash guard: if this rank dies before the wrap-up, its
+            // buffered records are flushed to the spill directory on
+            // unwind (disarmed after a successful finish_log).
+            if let Some(dir) = &config.mpe_spill_dir {
+                lg.arm_crash_guard(dir);
+            }
+        }
         // The Configuration Phase rectangle opens with PI_Configure.
         instr.state_start(StateKind::Configure, rank.wtime(), "Configuration");
         let st = State {
@@ -725,6 +746,11 @@ impl<'r, 'env> Pilot<'r, 'env> {
             if let Some(file) = finish_log(self.rank, lg)? {
                 *self.out.clog.lock() = Some(file);
             }
+        }
+        // The log is durably merged (an abort above leaves the guard
+        // armed, so the unwind still flushes what this rank buffered).
+        if let Some(lg) = ins.logger_mut() {
+            lg.disarm_crash_guard();
         }
         Ok(())
     }

@@ -17,7 +17,7 @@
 
 use std::io::Write as _;
 
-use minimpi::{Rank, Src, Tag};
+use minimpi::{MpiError, Rank, Src, Tag};
 use mpelog::wire::{Reader, WireError, Writer};
 use parking_lot::Mutex;
 
@@ -184,9 +184,31 @@ pub fn run_service(rank: &Rank, config: &PilotConfig, shared: &ServiceShared) ->
     });
 
     loop {
-        let msg = match rank.recv(Src::Any, Tag::Of(TAG_SVC)) {
-            Ok(m) => m,
-            Err(_) => return false, // aborted; partial native log retained
+        // With a stall timeout configured, the detector doubles as a
+        // watchdog: a quiet window while processes sit in blocking calls
+        // means progress has stopped without a wait-for cycle (e.g. a
+        // message lost in the transport) — a condition the event-driven
+        // fixpoint can never observe on its own.
+        let msg = match config.stall_timeout {
+            Some(window) => match rank.recv_timeout(Src::Any, Tag::Of(TAG_SVC), window) {
+                Ok(m) => m,
+                Err(e @ MpiError::Timeout { .. }) => {
+                    if config.services.deadlock {
+                        if let Some(report) = wfg.stall_report(&format!("{e} for {window:?}")) {
+                            eprintln!("Pilot stall watchdog:\n{report}");
+                            *shared.deadlock.lock() = Some(report);
+                            let _ = rank.abort(-3);
+                            return false;
+                        }
+                    }
+                    continue;
+                }
+                Err(_) => return false, // aborted; partial native log retained
+            },
+            None => match rank.recv(Src::Any, Tag::Of(TAG_SVC)) {
+                Ok(m) => m,
+                Err(_) => return false, // aborted; partial native log retained
+            },
         };
         let ev = match SvcEvent::decode(&msg.payload) {
             Ok(ev) => ev,

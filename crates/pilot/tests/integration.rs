@@ -854,6 +854,113 @@ fn spill_files_salvage_the_log_after_abort() {
 }
 
 #[test]
+fn injected_fault_yields_forensics_and_salvaged_timeline() {
+    use slog2::{convert_salvaged, ConvertOptions, FailureKind, RankVerdict, SalvageReport};
+
+    let dir = std::env::temp_dir().join("pilot-fault-forensics");
+    let _ = std::fs::remove_dir_all(&dir);
+    // The worker is rank 1; clock sync only runs at wrap-up, so its
+    // PI_Reads are its first receives: the plan kills it entering the
+    // second one.
+    let plan = minimpi::FaultPlan::new(42).panic_at_recv(1, 2, "injected: worker dies mid-read");
+    let cfg = PilotConfig::new(2)
+        .with_services(svc("j"))
+        .with_spill_dir(dir.clone())
+        .with_fault_plan(plan);
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]); // dies entering this
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(c, "%d", &[WSlot::Int(7)])?;
+        std::thread::sleep(Duration::from_millis(80));
+        pi.stop_main(0)
+    });
+    // The world captured the panic as structured forensics.
+    assert_eq!(out.world.failures.len(), 1, "{:?}", out.world.panics);
+    let f = &out.world.failures[0];
+    assert_eq!(f.rank, 1);
+    assert_eq!(f.last_op, "recv");
+    assert!(f.payload.contains("injected: worker dies"), "{}", f.payload);
+    assert!(out.world.aborted.is_some());
+    assert!(out.clog().is_none(), "merged log is lost on abort");
+    // The spilled records salvage, and the salvage converter produces a
+    // validated timeline with a terminal ABORTED state on the dead rank.
+    let clog = mpelog::salvage(&dir).unwrap().expect("spilled log");
+    let report = SalvageReport {
+        verdicts: out
+            .world
+            .failures
+            .iter()
+            .map(|f| RankVerdict {
+                rank: f.rank as u32,
+                kind: FailureKind::Aborted,
+                detail: f.to_string(),
+            })
+            .collect(),
+        diagnosis: Some("fault-injection run".into()),
+        ..Default::default()
+    };
+    let (slog, warnings) = convert_salvaged(&clog, &report, &ConvertOptions::default());
+    assert!(slog2::validate(&slog).is_empty());
+    let aborted = slog.category_by_name("ABORTED").expect("terminal category");
+    let ds = slog.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+    assert!(
+        ds.iter().any(|d| matches!(
+            d,
+            slog2::Drawable::State(s) if s.category == aborted.index && s.timeline == 1
+        )),
+        "dead rank must carry a terminal ABORTED rectangle"
+    );
+    assert!(
+        warnings
+            .iter()
+            .any(|w| w.to_string().contains("rank 1 ABORTED")),
+        "{warnings:?}"
+    );
+}
+
+#[test]
+fn stall_watchdog_diagnoses_quiet_blocked_process() {
+    // A reader waits for a message that is a long time coming — to the
+    // service rank this is indistinguishable from a message lost in the
+    // transport. No wait-for cycle ever forms, so only the stall
+    // watchdog can diagnose it.
+    let cfg = PilotConfig::new(3)
+        .with_services(svc("d"))
+        .with_stall_timeout(Duration::from_millis(150));
+    let out = pilot::run(cfg, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(c, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7, // unblocked by the watchdog's abort
+                Ok(()) => 0,
+            }
+        })?;
+        pi.start_all()?;
+        // Main dawdles far past the watchdog window before writing.
+        std::thread::sleep(Duration::from_millis(600));
+        let _ = pi.write(c, "%d", &[WSlot::Int(1)]);
+        pi.stop_main(0)
+    });
+    let report = out.artifacts.deadlock.expect("stall watchdog must fire");
+    assert_eq!(report.stuck.len(), 1, "{report}");
+    assert_eq!(report.stuck[0].0, 1, "the worker is the stuck process");
+    let text = report.to_string();
+    assert!(text.contains("stalled in PI_Read"), "{text}");
+    assert!(text.contains("waiting for P0"), "{text}");
+    assert!(text.contains("timed out"), "{text}");
+    assert_eq!(out.world.aborted, Some((2, -3)), "service rank aborts");
+}
+
+#[test]
 fn spill_and_buffer_agree_on_clean_runs() {
     let dir = std::env::temp_dir().join("pilot-spill-clean");
     let _ = std::fs::remove_dir_all(&dir);

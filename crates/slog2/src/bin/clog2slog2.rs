@@ -13,7 +13,12 @@
 //! setting. `--stream` decodes the CLOG2 input incrementally instead of
 //! loading it whole — same bytes out, bounded input memory. `--metrics`
 //! attaches the `obs` registry and prints the merged `convert.*`
-//! counters (Prometheus-style text) after the conversion.
+//! counters (Prometheus-style text) after the conversion. `--salvage`
+//! accepts a *torn* CLOG2 file (e.g. from an aborted run): the tolerant
+//! reader recovers the record-aligned prefix, the rank whose block was
+//! cut mid-frame gets an `ABORTED` terminal state, and the recovery
+//! counts are embedded in the output's warning list. The salvaged file
+//! always validates.
 //!
 //! Exit code 0 on a clean conversion, 1 on warnings (the "non
 //! well-behaved program" case), 2 on usage or I/O errors.
@@ -22,7 +27,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use mpelog::Clog2File;
-use slog2::{convert, convert_reader, ConvertOptions};
+use slog2::{
+    convert, convert_reader, convert_salvaged, ConvertOptions, FailureKind, RankVerdict,
+    SalvageReport,
+};
 
 struct Args {
     input: PathBuf,
@@ -32,10 +40,11 @@ struct Args {
     parallel: usize,
     stream: bool,
     metrics: bool,
+    salvage: bool,
     quiet: bool,
 }
 
-const USAGE: &str = "usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [--parallel N] [--stream] [--metrics] [-q]";
+const USAGE: &str = "usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [--parallel N] [--stream] [--metrics] [--salvage] [-q]";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
@@ -45,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut parallel = 0usize;
     let mut stream = false;
     let mut metrics = false;
+    let mut salvage = false;
     let mut quiet = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -75,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stream" => stream = true,
             "--metrics" => metrics = true,
+            "--salvage" => salvage = true,
             "-q" | "--quiet" => quiet = true,
             other if !other.starts_with('-') && input.is_none() => {
                 input = Some(PathBuf::from(other))
@@ -83,6 +94,9 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let input = input.ok_or(USAGE)?;
+    if salvage && stream {
+        return Err("--salvage needs the whole file; drop --stream".into());
+    }
     let output = output.unwrap_or_else(|| input.with_extension("pslog2"));
     Ok(Args {
         input,
@@ -92,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         parallel,
         stream,
         metrics,
+        salvage,
         quiet,
     })
 }
@@ -135,6 +150,37 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    } else if args.salvage {
+        let bytes = match std::fs::read(&args.input) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
+                return ExitCode::from(2);
+            }
+        };
+        let s = Clog2File::salvage_bytes(&bytes);
+        let mut report = SalvageReport {
+            records_recovered: s.records_recovered,
+            bytes_recovered: s.bytes_recovered,
+            truncated: s.truncated,
+            ..Default::default()
+        };
+        if let Some(rank) = s.torn_rank {
+            report.verdicts.push(RankVerdict {
+                rank,
+                kind: FailureKind::Aborted,
+                detail: "log truncated mid-block".into(),
+            });
+        }
+        let provenance = format!(
+            "salvaged {} records ({} of {} bytes) over {} ranks",
+            s.records_recovered,
+            s.bytes_recovered,
+            bytes.len(),
+            s.file.nranks
+        );
+        let (slog, warnings) = convert_salvaged(&s.file, &report, &opts);
+        (slog, warnings, provenance)
     } else {
         let clog = match Clog2File::read_from(&args.input) {
             Ok(Ok(c)) => c,

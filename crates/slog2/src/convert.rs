@@ -194,6 +194,29 @@ pub enum ConvertWarning {
         /// Receive time.
         end: f64,
     },
+    /// A rank terminated abnormally; the salvage converter drew a
+    /// terminal state rectangle on its timeline.
+    RankFailure {
+        /// The failed rank.
+        rank: u32,
+        /// How it failed.
+        kind: FailureKind,
+        /// The failure payload or detector description.
+        detail: String,
+    },
+    /// The run-level failure diagnosis, embedded verbatim so the viewer
+    /// can show *why* the timeline ends in a terminal state.
+    FailureDiagnosis {
+        /// The diagnosis text (may be multi-line).
+        text: String,
+    },
+    /// The input log was torn; only a prefix was recovered.
+    SalvagedLog {
+        /// Bytes of the CLOG2 input that decoded cleanly.
+        bytes_recovered: usize,
+        /// Records recovered across all ranks.
+        records_recovered: usize,
+    },
 }
 
 impl std::fmt::Display for ConvertWarning {
@@ -254,8 +277,105 @@ impl std::fmt::Display for ConvertWarning {
                     "arrow {src}->{dst} tag {tag} goes backward in time ({start:.9} -> {end:.9})"
                 )
             }
+            ConvertWarning::RankFailure { rank, kind, detail } => {
+                write!(f, "rank {rank} {kind}: {detail}")
+            }
+            ConvertWarning::FailureDiagnosis { text } => write!(f, "diagnosis: {text}"),
+            ConvertWarning::SalvagedLog {
+                bytes_recovered,
+                records_recovered,
+            } => {
+                write!(
+                    f,
+                    "salvaged torn log: {records_recovered} records ({bytes_recovered} bytes) recovered"
+                )
+            }
         }
     }
+}
+
+/// How a failed rank's run ended, as rendered on its timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The rank panicked or was aborted mid-run.
+    Aborted,
+    /// The deadlock (or stall) detector convicted the rank.
+    Deadlocked,
+}
+
+impl FailureKind {
+    /// The synthetic terminal category's display name.
+    pub fn category_name(self) -> &'static str {
+        match self {
+            FailureKind::Aborted => "ABORTED",
+            FailureKind::Deadlocked => "DEADLOCKED",
+        }
+    }
+
+    fn color(self) -> Color {
+        match self {
+            FailureKind::Aborted => Color::DARK_RED,
+            FailureKind::Deadlocked => Color::ORANGE,
+        }
+    }
+
+    fn slot(self) -> usize {
+        match self {
+            FailureKind::Aborted => 0,
+            FailureKind::Deadlocked => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.category_name())
+    }
+}
+
+/// One failed rank's post-mortem, as established by the supervisor
+/// ([`minimpi`]'s `RankFailure`) or the deadlock detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankVerdict {
+    /// The failed rank.
+    pub rank: u32,
+    /// How it failed.
+    pub kind: FailureKind,
+    /// Panic payload or detector description; drawn (clamped) as the
+    /// terminal state's info text.
+    pub detail: String,
+}
+
+/// Everything the salvage converter embeds beyond the log itself: which
+/// ranks failed and how, the detector's diagnosis, and how much of a
+/// torn input was recovered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SalvageReport {
+    /// Per-rank failure verdicts; each yields a terminal state.
+    pub verdicts: Vec<RankVerdict>,
+    /// The run-level diagnosis (e.g. the deadlock report), embedded
+    /// verbatim in the file's warning list.
+    pub diagnosis: Option<String>,
+    /// Records recovered from a torn input (0 if the log was whole).
+    pub records_recovered: usize,
+    /// Bytes recovered from a torn input.
+    pub bytes_recovered: usize,
+    /// Whether the input log was torn (stopped at a partial frame).
+    pub truncated: bool,
+}
+
+/// Info-text clamp for terminal states: long panic payloads stay
+/// readable in a state rectangle; the full text lives in the warnings.
+fn clamp_terminal_text(s: &str) -> String {
+    const MAX: usize = 96;
+    if s.len() <= MAX {
+        return s.to_string();
+    }
+    let mut cut = MAX;
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}…", &s[..cut])
 }
 
 enum IdRole {
@@ -816,6 +936,124 @@ pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<Conve
     finish_convert(shards, table, opts, clog.nranks, workers)
 }
 
+/// Convert a (possibly torn) CLOG2 log from a failed run into a valid,
+/// viewable SLOG2 file.
+///
+/// Beyond the normal pipeline this:
+///
+/// * appends synthetic `ABORTED` / `DEADLOCKED` state categories
+///   **after** the arrow category, so every index the plain converter
+///   assigns is unchanged (an empty [`SalvageReport`] converts
+///   byte-identically to [`convert`]);
+/// * draws one terminal state per failed rank, from that rank's last
+///   recovered timestamp to the log's global end, carrying the (clamped)
+///   failure detail as info text;
+/// * embeds the rank verdicts, the detector's diagnosis, and the torn
+///   input's recovery counts as [`ConvertWarning`]s, which land in the
+///   file's warning list.
+///
+/// The output always passes [`crate::validate`]: the point of salvage is
+/// a file the viewer can actually open.
+pub fn convert_salvaged(
+    clog: &Clog2File,
+    report: &SalvageReport,
+    opts: &ConvertOptions,
+) -> (Slog2File, Vec<ConvertWarning>) {
+    let workers = opts.effective_parallelism();
+    let mut table = build_categories(&clog.state_defs, &clog.event_defs);
+    // Terminal categories, in fixed ABORTED-then-DEADLOCKED order and
+    // only when some verdict needs them: index assignment stays
+    // deterministic and the no-failure file is unchanged.
+    let mut terminal_cats: [Option<u32>; 2] = [None, None];
+    for kind in [FailureKind::Aborted, FailureKind::Deadlocked] {
+        if report.verdicts.iter().any(|v| v.kind == kind) {
+            let idx = table.categories.len() as u32;
+            table.categories.push(Category {
+                index: idx,
+                name: kind.category_name().into(),
+                color: kind.color(),
+                kind: CategoryKind::State,
+            });
+            terminal_cats[kind.slot()] = Some(idx);
+        }
+    }
+
+    let blocks: Vec<(u32, &[Record])> = clog
+        .blocks
+        .iter()
+        .map(|(&rank, records)| (rank, records.as_slice()))
+        .collect();
+    let shards = {
+        let _span = opts.obs.as_deref().map(|o| o.span("scan", "convert", 0));
+        scan_blocks(&blocks, &table, workers, opts.obs.as_deref())
+    };
+
+    // The log's time extent and each rank's last recovered timestamp,
+    // straight from the raw records (drawable endpoints never exceed
+    // these, so terminal states keep the file's range intact).
+    let mut t_min = f64::INFINITY;
+    let mut t_max = f64::NEG_INFINITY;
+    let mut rank_last: HashMap<u32, f64> = HashMap::new();
+    for &(rank, records) in &blocks {
+        for rec in records {
+            let ts = rec.ts();
+            t_min = t_min.min(ts);
+            t_max = t_max.max(ts);
+            let last = rank_last.entry(rank).or_insert(f64::NEG_INFINITY);
+            *last = last.max(ts);
+        }
+    }
+
+    // A synthetic final shard carries the terminal drawables and the
+    // forensic warnings; concatenating it last keeps everything the
+    // plain pipeline emits in its usual order.
+    let mut terminal = RankShard::default();
+    if report.truncated {
+        terminal.warnings.push(ConvertWarning::SalvagedLog {
+            bytes_recovered: report.bytes_recovered,
+            records_recovered: report.records_recovered,
+        });
+    }
+    for v in &report.verdicts {
+        terminal.warnings.push(ConvertWarning::RankFailure {
+            rank: v.rank,
+            kind: v.kind,
+            detail: v.detail.clone(),
+        });
+        if v.rank >= clog.nranks {
+            // No timeline to draw on; the warning above still records it.
+            continue;
+        }
+        let cat = terminal_cats[v.kind.slot()].expect("terminal category registered above");
+        let start = rank_last
+            .get(&v.rank)
+            .copied()
+            .unwrap_or(if t_min.is_finite() { t_min } else { 0.0 });
+        let end = if t_max.is_finite() {
+            t_max.max(start)
+        } else {
+            start
+        };
+        terminal.drawables.push(Drawable::State(StateDrawable {
+            category: cat,
+            timeline: v.rank,
+            start,
+            end,
+            nest_level: 0,
+            text: clamp_terminal_text(&v.detail),
+        }));
+    }
+    if let Some(diag) = &report.diagnosis {
+        terminal
+            .warnings
+            .push(ConvertWarning::FailureDiagnosis { text: diag.clone() });
+    }
+
+    let mut shards = shards;
+    shards.push(terminal);
+    finish_convert(shards, table, opts, clog.nranks, workers)
+}
+
 /// Convert a CLOG2 byte stream without materializing the whole file:
 /// blocks are decoded incrementally (one in memory at a time) and
 /// reduced to their per-rank shard as they arrive, then the shared
@@ -1245,5 +1483,186 @@ mod tests {
         assert_eq!(opts.parallelism, 0);
         assert!(opts.effective_parallelism() >= 1);
         assert_eq!(opts.clone().with_parallelism(3).effective_parallelism(), 3);
+    }
+
+    #[test]
+    fn empty_salvage_report_converts_byte_identically() {
+        let clog = sample_clog();
+        let opts = ConvertOptions::default();
+        let (plain, plain_warn) = convert(&clog, &opts);
+        let (salvaged, salvage_warn) = convert_salvaged(&clog, &SalvageReport::default(), &opts);
+        assert_eq!(salvage_warn, plain_warn);
+        assert_eq!(salvaged.to_bytes(), plain.to_bytes());
+    }
+
+    #[test]
+    fn salvaged_conversion_marks_failed_rank_and_validates() {
+        let clog = sample_clog();
+        let report = SalvageReport {
+            verdicts: vec![RankVerdict {
+                rank: 0,
+                kind: FailureKind::Aborted,
+                detail: "injected fault at send #2".into(),
+            }],
+            diagnosis: Some("rank 0 panicked (last op: send): injected fault at send #2".into()),
+            records_recovered: 7,
+            bytes_recovered: 120,
+            truncated: true,
+        };
+        let (file, warnings) = convert_salvaged(&clog, &report, &ConvertOptions::default());
+        assert!(
+            crate::validate::validate(&file).is_empty(),
+            "{:?}",
+            crate::validate::validate(&file)
+        );
+        // The terminal category sits after the normal table, named and
+        // typed as a state.
+        let term = file.categories.last().unwrap();
+        assert_eq!(term.name, "ABORTED");
+        assert_eq!(term.kind, CategoryKind::State);
+        // The terminal state spans rank 0's last record (1.2) to the
+        // global end of the log (1.4).
+        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let terminal = ds
+            .iter()
+            .find_map(|d| match d {
+                Drawable::State(s) if s.category == term.index => Some(s),
+                _ => None,
+            })
+            .expect("terminal state drawn");
+        assert_eq!(terminal.timeline, 0);
+        assert_eq!(terminal.start, 1.2);
+        assert_eq!(terminal.end, 1.4);
+        assert_eq!(terminal.text, "injected fault at send #2");
+        // Forensic warnings land in the file's warning list verbatim.
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            ConvertWarning::RankFailure {
+                rank: 0,
+                kind: FailureKind::Aborted,
+                ..
+            }
+        )));
+        assert!(file
+            .warnings
+            .iter()
+            .any(|w| w.contains("diagnosis: rank 0 panicked")));
+        assert!(file
+            .warnings
+            .iter()
+            .any(|w| w.contains("salvaged torn log: 7 records (120 bytes) recovered")));
+    }
+
+    #[test]
+    fn terminal_categories_appended_after_arrow_category() {
+        let clog = sample_clog();
+        let (plain, _) = convert(&clog, &ConvertOptions::default());
+        let report = SalvageReport {
+            verdicts: vec![
+                RankVerdict {
+                    rank: 0,
+                    kind: FailureKind::Deadlocked,
+                    detail: "blocked in PI_Read".into(),
+                },
+                RankVerdict {
+                    rank: 1,
+                    kind: FailureKind::Aborted,
+                    detail: "panicked".into(),
+                },
+            ],
+            ..Default::default()
+        };
+        let (file, _) = convert_salvaged(&clog, &report, &ConvertOptions::default());
+        // Prefix of the category table is exactly the plain table (the
+        // arrow category keeps its index)...
+        let n = plain.categories.len();
+        assert_eq!(&file.categories[..n], &plain.categories[..]);
+        // ...and the terminal categories follow in fixed order.
+        assert_eq!(file.categories[n].name, "ABORTED");
+        assert_eq!(file.categories[n + 1].name, "DEADLOCKED");
+        assert!(crate::validate::validate(&file).is_empty());
+    }
+
+    #[test]
+    fn rank_with_no_recovered_records_gets_full_span_terminal_state() {
+        // Rank 1 exists but its block was entirely lost: the terminal
+        // state covers the whole recovered time range.
+        let mut lg0 = Logger::new(0);
+        let ev = lg0.define_event("tick", Color::YELLOW);
+        lg0.log_event(2.0, ev, "");
+        lg0.log_event(5.0, ev, "");
+        let mut blocks = std::collections::BTreeMap::new();
+        blocks.insert(0u32, lg0.records().to_vec());
+        let clog = Clog2File {
+            nranks: 2,
+            state_defs: vec![],
+            event_defs: lg0.event_defs().to_vec(),
+            blocks,
+        };
+        let report = SalvageReport {
+            verdicts: vec![RankVerdict {
+                rank: 1,
+                kind: FailureKind::Aborted,
+                detail: "no records recovered".into(),
+            }],
+            truncated: true,
+            ..Default::default()
+        };
+        let (file, _) = convert_salvaged(&clog, &report, &ConvertOptions::default());
+        assert!(crate::validate::validate(&file).is_empty());
+        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let term = ds
+            .iter()
+            .find_map(|d| match d {
+                Drawable::State(s) if s.timeline == 1 => Some(s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!((term.start, term.end), (2.0, 5.0));
+    }
+
+    #[test]
+    fn terminal_text_is_clamped_but_warning_keeps_full_detail() {
+        let clog = sample_clog();
+        let long = "x".repeat(300);
+        let report = SalvageReport {
+            verdicts: vec![RankVerdict {
+                rank: 1,
+                kind: FailureKind::Aborted,
+                detail: long.clone(),
+            }],
+            ..Default::default()
+        };
+        let (file, warnings) = convert_salvaged(&clog, &report, &ConvertOptions::default());
+        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let term_cat = file.categories.last().unwrap().index;
+        let term = ds
+            .iter()
+            .find_map(|d| match d {
+                Drawable::State(s) if s.category == term_cat => Some(s),
+                _ => None,
+            })
+            .unwrap();
+        assert!(term.text.len() < 110, "clamped: {}", term.text.len());
+        assert!(term.text.ends_with('…'));
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, ConvertWarning::RankFailure { detail, .. } if *detail == long)));
+    }
+
+    #[test]
+    fn salvaged_file_roundtrips() {
+        let report = SalvageReport {
+            verdicts: vec![RankVerdict {
+                rank: 1,
+                kind: FailureKind::Deadlocked,
+                detail: "blocked in PI_Read on channel C1".into(),
+            }],
+            diagnosis: Some("1 process(es) cannot proceed".into()),
+            ..Default::default()
+        };
+        let (file, _) = convert_salvaged(&sample_clog(), &report, &ConvertOptions::default());
+        let back = Slog2File::from_bytes(&file.to_bytes()).unwrap();
+        assert_eq!(back, file);
     }
 }

@@ -31,7 +31,10 @@ pub mod stats;
 pub mod tree;
 pub mod validate;
 
-pub use convert::{convert, convert_reader, ConvertOptions, ConvertWarning};
+pub use convert::{
+    convert, convert_reader, convert_salvaged, ConvertOptions, ConvertWarning, FailureKind,
+    RankVerdict, SalvageReport,
+};
 pub use drawable::{ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable};
 pub use file::Slog2File;
 pub use stats::{legend_stats, CategoryStats};
