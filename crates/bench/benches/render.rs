@@ -39,7 +39,7 @@ fn dense_file(states: usize, timelines: u32) -> Slog2File {
     Slog2File {
         timelines: (0..timelines).map(|r| format!("P{r}")).collect(),
         categories,
-        range: (0.0, t1),
+        range: slog2::TimeWindow::new(0.0, t1),
         warnings: vec![],
         tree: FrameTree::build(drawables, 0.0, t1, 64, 16),
     }
@@ -49,17 +49,17 @@ fn bench_render(c: &mut Criterion) {
     let mut group = c.benchmark_group("render_svg");
     for states in [1_000usize, 20_000] {
         let file = dense_file(states, 8);
-        let (t0, t1) = file.range;
+        let (t0, t1) = (file.range.t0, file.range.t1);
         group.bench_with_input(BenchmarkId::new("full_view", states), &file, |b, file| {
-            let vp = jumpshot::Viewport::new(t0, t1, 1280);
-            let opts = jumpshot::RenderOptions::default();
-            b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
+            let opts = jumpshot::RenderOptions::default().with_width(1280);
+            b.iter(|| jumpshot::Renderer::render(&jumpshot::SvgRenderer, file, &opts).len())
         });
         group.bench_with_input(BenchmarkId::new("zoom_1pct", states), &file, |b, file| {
             let span = t1 - t0;
-            let vp = jumpshot::Viewport::new(t0 + span * 0.495, t0 + span * 0.505, 1280);
-            let opts = jumpshot::RenderOptions::default();
-            b.iter(|| jumpshot::render_svg(file, &vp, &opts).len())
+            let opts = jumpshot::RenderOptions::default()
+                .with_window(slog2::TimeWindow::new(t0 + span * 0.495, t0 + span * 0.505))
+                .with_width(1280);
+            b.iter(|| jumpshot::Renderer::render(&jumpshot::SvgRenderer, file, &opts).len())
         });
     }
     group.finish();

@@ -57,16 +57,15 @@ fn bench_file_roundtrip(c: &mut Criterion) {
 fn bench_tree_query(c: &mut Criterion) {
     let clog = synthetic_clog(6, 10_000);
     let (slog, _) = convert(&clog, &ConvertOptions::default());
-    let (t0, t1) = slog.range;
-    let span = t1 - t0;
-    c.bench_function("tree_query_full", |b| {
-        b.iter(|| slog.tree.query(t0, t1).len())
-    });
+    let w = slog.range;
+    let span = w.span();
+    c.bench_function("tree_query_full", |b| b.iter(|| slog.tree.query(w).len()));
     c.bench_function("tree_query_1pct_window", |b| {
-        b.iter(|| slog.tree.query(t0 + span * 0.495, t0 + span * 0.505).len())
+        let zoom = slog2::TimeWindow::new(w.t0 + span * 0.495, w.t0 + span * 0.505);
+        b.iter(|| slog.tree.query(zoom).len())
     });
     c.bench_function("tree_window_preview", |b| {
-        b.iter(|| slog.tree.window_preview(t0, t1))
+        b.iter(|| slog.tree.window_preview(w))
     });
 }
 

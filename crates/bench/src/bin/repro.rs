@@ -64,7 +64,7 @@ fn render_outcome(
     outcome: &pilot::PilotOutcome,
     path: &Path,
     width: u32,
-    window: Option<(f64, f64)>,
+    window: Option<slog2::TimeWindow>,
 ) -> slog2::Slog2File {
     let clog = outcome.clog().expect("run must have -pisvc=j");
     let (slog, warnings) = convert(
@@ -78,12 +78,9 @@ fn render_outcome(
     for w in &warnings {
         println!("  converter warning: {w}");
     }
-    let (t0, t1) = window.unwrap_or(slog.range);
-    let svg = jumpshot::render_svg(
-        &slog,
-        &jumpshot::Viewport::new(t0, t1, width),
-        &jumpshot::RenderOptions::default(),
-    );
+    let mut opts = jumpshot::RenderOptions::default().with_width(width);
+    opts.window = window;
+    let svg = jumpshot::Renderer::render(&jumpshot::SvgRenderer, &slog, &opts);
     std::fs::write(path, svg).expect("write svg");
     println!("  wrote {}", path.display());
     slog
@@ -159,16 +156,19 @@ fn fig1() -> pilot::PilotOutcome {
         "  {} drawables across {} timelines over {:.3}s",
         slog.total_drawables(),
         slog.timelines.len(),
-        slog.range.1 - slog.range.0
+        slog.range.span()
     );
     // The duration-statistics window the paper mentions ("easy detection
     // of load imbalance across processes among timelines").
-    let hist = jumpshot::render_histogram_svg(&slog, slog.range.0, slog.range.1, 1000);
+    let hist = jumpshot::Renderer::render(
+        &jumpshot::HistogramRenderer,
+        &slog,
+        &jumpshot::RenderOptions::default().with_width(1000),
+    );
     std::fs::write(out_dir().join("fig1_histogram.svg"), hist).unwrap();
     let compute = slog.category_by_name("Compute").unwrap().index;
     let decompressors: Vec<u32> = (2..slog.timelines.len() as u32).collect();
-    let imbalance =
-        jumpshot::load_imbalance(&slog, compute, &decompressors, slog.range.0, slog.range.1);
+    let imbalance = jumpshot::load_imbalance(&slog, compute, &decompressors, slog.range);
     println!("  decompressor load imbalance (max/min compute): {imbalance:.2}x");
     println!("  wrote out/fig1_histogram.svg");
     outcome
@@ -186,13 +186,15 @@ fn fig2(outcome: &pilot::PilotOutcome) {
             ..Default::default()
         },
     );
-    let span = slog.range.1 - slog.range.0;
-    let mid = slog.range.0 + span * 0.5;
-    let window = (mid - span * 0.05, mid + span * 0.05);
-    let svg = jumpshot::render_svg(
+    let span = slog.range.span();
+    let mid = slog.range.t0 + span * 0.5;
+    let window = slog2::TimeWindow::new(mid - span * 0.05, mid + span * 0.05);
+    let svg = jumpshot::Renderer::render(
+        &jumpshot::SvgRenderer,
         &slog,
-        &jumpshot::Viewport::new(window.0, window.1, 1400),
-        &jumpshot::RenderOptions::default(),
+        &jumpshot::RenderOptions::default()
+            .with_window(window)
+            .with_width(1400),
     );
     std::fs::write(out_dir().join("fig2_zoom.svg"), svg).unwrap();
     println!("  wrote out/fig2_zoom.svg");
@@ -263,7 +265,7 @@ fn collision_fig(variant: CollisionVariant, outfile: &str) {
     // The query phase is the tail of the run; restricting the overlap
     // measurement to it isolates the Fig. 4 diagnosis (A's queries are
     // serialized even though its parse phase partially overlaps).
-    let qwin = (slog.range.1 - result.query_seconds, slog.range.1);
+    let qwin = slog2::TimeWindow::new(slog.range.t1 - result.query_seconds, slog.range.t1);
     let q_overlap = pilot_vis::parallel_overlap(&slog, &workers, Some(qwin));
     let idle = pilot_vis::idle_until_first_arrival(&slog);
     let max_idle = idle.values().cloned().fold(0.0f64, f64::max);
@@ -464,6 +466,162 @@ fn convert_bench(reps: usize, parallel: usize) {
     let path = out_dir().join("BENCH_convert.json");
     std::fs::write(&path, report.pretty()).expect("write BENCH_convert.json");
     println!("  wrote {}", path.display());
+}
+
+/// `repro serve-bench`: start an in-process `pilotd` server over a
+/// synthetic trace and replay the same zoom-in tile path from N
+/// concurrent keep-alive clients. Every response is checked
+/// byte-for-byte against a direct in-process query on a second,
+/// independently loaded service (the oracle), so the index, cache, and
+/// HTTP layer must all be invisible. Writes `out/BENCH_serve.json`
+/// (p50/p99 latency, cache hit rate) — the artifact CI's serve-smoke
+/// job uploads and gates on.
+fn serve_bench(clients: usize) -> bool {
+    use pilot_vis::json::Json;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let path = out_dir().join("serve_workload.pslog2");
+    if !path.exists() {
+        let clog = workloads::synthetic_clog(8, 4_000);
+        let (slog, _) = convert(&clog, &ConvertOptions::default());
+        slog.write_to(&path).expect("write serve workload");
+    }
+    let svc = Arc::new(timeline::TimelineService::load(&path).expect("load serve workload"));
+    let oracle = timeline::TimelineService::load(&path).expect("load oracle copy");
+    let nranks = svc.file().timelines.len() as u32;
+    println!(
+        "== serve-bench: {} drawables, {nranks} ranks, {clients} clients ==",
+        svc.file().total_drawables()
+    );
+
+    // The zoom path every client replays: drill from zoom 0 to 6
+    // toward 37% of the trace, touching the tile under the cursor and
+    // its right neighbour on every rank at each level. All clients
+    // replay the identical path, so of `clients` requests for a given
+    // tile exactly one is a miss — expected hit rate ≈ 1 - 1/clients.
+    let mut requests: Vec<(String, String)> = Vec::new();
+    let mut unique = std::collections::HashSet::new();
+    for zoom in 0u8..=6 {
+        let n = 1u32 << zoom;
+        let center = ((0.37 * n as f64) as u32).min(n - 1);
+        for rank in 0..nranks {
+            for tile in [center, (center + 1).min(n - 1)] {
+                unique.insert((rank, zoom, tile));
+                let w = oracle.tile_window(zoom, tile).expect("tile in range");
+                requests.push((
+                    format!("/v1/tile?rank={rank}&zoom={zoom}&tile={tile}"),
+                    oracle.query_json(w, Some(&[rank])),
+                ));
+            }
+        }
+    }
+
+    let server = timeline::serve(Arc::clone(&svc), "127.0.0.1:0", 8).expect("bind server");
+    let addr = format!("127.0.0.1:{}", server.port());
+    let requests = Arc::new(requests);
+    let errors = Arc::new(AtomicUsize::new(0));
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients.max(1))
+        .map(|_| {
+            let addr = addr.clone();
+            let requests = Arc::clone(&requests);
+            let errors = Arc::clone(&errors);
+            let mismatches = Arc::clone(&mismatches);
+            std::thread::spawn(move || -> Vec<f64> {
+                let mut latencies_ms = Vec::with_capacity(requests.len());
+                let mut client = match timeline::Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(requests.len(), Ordering::SeqCst);
+                        return latencies_ms;
+                    }
+                };
+                for (path, want) in requests.iter() {
+                    let start = Instant::now();
+                    match client.get(path) {
+                        Ok((200, body)) => {
+                            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                            if &body != want {
+                                mismatches.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut probe = timeline::Client::connect(&addr).expect("stats probe");
+    let (_, stats_body) = probe.get("/v1/stats").expect("stats request");
+    drop(server);
+    let stats = Json::parse(&stats_body).expect("stats json");
+    let count = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let (hits, misses, evictions) = (
+        count("cache_hits"),
+        count("cache_misses"),
+        count("cache_evictions"),
+    );
+    let hit_rate = hits as f64 / ((hits + misses).max(1)) as f64;
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let pct = |p: f64| -> f64 {
+        match latencies.len() {
+            0 => f64::NAN,
+            n => latencies[(((n - 1) as f64) * p).round() as usize],
+        }
+    };
+    let (p50_ms, p99_ms) = (pct(0.50), pct(0.99));
+    let errors = errors.load(Ordering::SeqCst);
+    let mismatches = mismatches.load(Ordering::SeqCst);
+
+    println!(
+        "  {} requests ({} unique tiles) in {wall_s:.3}s",
+        latencies.len(),
+        unique.len()
+    );
+    println!("  p50 {p50_ms:.3}ms  p99 {p99_ms:.3}ms");
+    println!(
+        "  cache: {hits} hits / {misses} misses / {evictions} evictions  (hit rate {hit_rate:.4})"
+    );
+    println!("  errors {errors}, parity mismatches {mismatches}");
+
+    let report = Json::Obj(vec![
+        ("clients".into(), Json::Num(clients as f64)),
+        ("requests".into(), Json::Num(latencies.len() as f64)),
+        ("unique_tiles".into(), Json::Num(unique.len() as f64)),
+        ("wall_s".into(), Json::Num(wall_s)),
+        ("p50_ms".into(), Json::Num(p50_ms)),
+        ("p99_ms".into(), Json::Num(p99_ms)),
+        ("cache_hits".into(), Json::Num(hits as f64)),
+        ("cache_misses".into(), Json::Num(misses as f64)),
+        ("cache_evictions".into(), Json::Num(evictions as f64)),
+        ("hit_rate".into(), Json::Num(hit_rate)),
+        ("errors".into(), Json::Num(errors as f64)),
+        ("parity_mismatches".into(), Json::Num(mismatches as f64)),
+    ]);
+    let report_path = out_dir().join("BENCH_serve.json");
+    std::fs::write(&report_path, report.pretty()).expect("write BENCH_serve.json");
+    println!("  wrote {}", report_path.display());
+
+    let ok = errors == 0 && mismatches == 0 && hit_rate >= 0.9 && !latencies.is_empty();
+    if !ok {
+        eprintln!(
+            "serve-bench FAILED: errors={errors} mismatches={mismatches} hit_rate={hit_rate:.4}"
+        );
+    }
+    ok
 }
 
 /// `repro metrics`: run a workload with the observability stack wired
@@ -871,7 +1029,7 @@ fn faults(seed: u64, runs: usize) -> bool {
                     std::fs::write(&txt_path, &f.report_text).expect("write diagnosis");
                     // The artifact must be loadable by any SLOG2 reader.
                     match slog2::Slog2File::read_from(&slog_path) {
-                        Ok(Ok(back)) if back.total_drawables() == f.slog.total_drawables() => {}
+                        Ok(back) if back.total_drawables() == f.slog.total_drawables() => {}
                         other => {
                             println!("  FAIL: written artifact does not load back: {other:?}");
                             ok = false;
@@ -961,6 +1119,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "serve-bench" => {
+            let clients = get_flag("--clients", 32);
+            let ok = timed("serve-bench", || serve_bench(clients));
+            if !ok {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             timed("table1", || table1(files, reps));
             println!();
@@ -981,7 +1146,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults all"
+                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults serve-bench all"
             );
             std::process::exit(2);
         }

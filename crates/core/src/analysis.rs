@@ -20,7 +20,7 @@
 
 use std::collections::BTreeMap;
 
-use slog2::{Drawable, Slog2File};
+use slog2::{Drawable, Slog2File, TimeWindow};
 
 /// Per-timeline activity summary.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -90,7 +90,7 @@ pub fn busy_intervals(file: &Slog2File, timeline: u32) -> Vec<(f64, f64)> {
     let select = category_index(file, "PI_Select");
     let mut compute_iv = Vec::new();
     let mut blocked_iv = Vec::new();
-    for d in file.tree.query(f64::NEG_INFINITY, f64::INFINITY) {
+    for d in file.tree.query(TimeWindow::ALL) {
         if let Drawable::State(s) = d {
             if s.timeline != timeline {
                 continue;
@@ -132,18 +132,18 @@ pub fn timeline_activity(file: &Slog2File, timeline: u32) -> TimelineActivity {
 
 /// Fraction of "some timeline is busy" time during which **two or
 /// more** of the given timelines are busy simultaneously, optionally
-/// restricted to `[t0, t1]`.
+/// restricted to a window.
 ///
 /// A perfectly serialized phase scores ~0; `k` workers computing in
 /// parallel score close to 1.
-pub fn parallel_overlap(file: &Slog2File, timelines: &[u32], window: Option<(f64, f64)>) -> f64 {
+pub fn parallel_overlap(file: &Slog2File, timelines: &[u32], window: Option<TimeWindow>) -> f64 {
     // Sweep over busy-interval edges counting concurrency.
     let mut events: Vec<(f64, i32)> = Vec::new();
     for &tl in timelines {
         for (mut s, mut e) in busy_intervals(file, tl) {
-            if let Some((w0, w1)) = window {
-                s = s.max(w0);
-                e = e.min(w1);
+            if let Some(w) = window {
+                s = s.max(w.t0);
+                e = e.min(w.t1);
                 if s >= e {
                     continue;
                 }
@@ -216,7 +216,7 @@ impl std::fmt::Display for CrossCheck {
 pub fn counters_vs_trace(file: &Slog2File, snapshot: &obs::Snapshot) -> CrossCheck {
     let arrows_rendered = file
         .tree
-        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .query(TimeWindow::ALL)
         .iter()
         .filter(|d| matches!(d, Drawable::Arrow(_)))
         .count() as u64;
@@ -234,7 +234,7 @@ pub fn idle_until_first_arrival(file: &Slog2File) -> BTreeMap<u32, f64> {
     let arrival = category_index(file, "msg arrival");
     let mut compute_start: BTreeMap<u32, f64> = BTreeMap::new();
     let mut first_arrival: BTreeMap<u32, f64> = BTreeMap::new();
-    for d in file.tree.query(f64::NEG_INFINITY, f64::INFINITY) {
+    for d in file.tree.query(TimeWindow::ALL) {
         match d {
             Drawable::State(s) if Some(s.category) == compute => {
                 compute_start
@@ -293,7 +293,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into(), "W0".into(), "W1".into()],
             categories,
-            range: (t0, t1),
+            range: TimeWindow::new(t0, t1),
             warnings: vec![],
             tree: FrameTree::build(drawables, t0, t1, 16, 8),
         }
@@ -351,8 +351,8 @@ mod tests {
             state(0, 1, 4.0, 6.0),
             state(0, 2, 6.0, 8.0),
         ]);
-        assert!(parallel_overlap(&f, &[1, 2], Some((0.0, 4.0))) > 0.99);
-        assert!(parallel_overlap(&f, &[1, 2], Some((4.0, 8.0))) < 0.01);
+        assert!(parallel_overlap(&f, &[1, 2], Some(TimeWindow::new(0.0, 4.0))) > 0.99);
+        assert!(parallel_overlap(&f, &[1, 2], Some(TimeWindow::new(4.0, 8.0))) < 0.01);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use std::path::Path;
 
-use jumpshot::{render_svg, Legend, LegendSort, RenderOptions, Viewport};
+use jumpshot::{HistogramRenderer, Legend, LegendSort, RenderOptions, Renderer, SvgRenderer};
 use pilot::{Pilot, PilotConfig, PilotOutcome, PilotResult};
-use slog2::{convert, ConvertOptions, ConvertWarning, Slog2File};
+use slog2::{convert, ConvertOptions, ConvertWarning, Slog2File, TimeWindow};
 
 /// Pipeline options.
 #[derive(Debug, Clone, Default)]
@@ -77,15 +77,15 @@ impl VisRun {
     /// style whole-run view.
     pub fn render_full(&self, width_px: u32) -> Option<String> {
         let slog = self.slog.as_ref()?;
-        let vp = Viewport::new(slog.range.0, slog.range.1, width_px);
-        Some(render_svg(slog, &vp, &self.render_opts))
+        let opts = self.render_opts.clone().with_width(width_px);
+        Some(SvgRenderer.render(slog, &opts))
     }
 
-    /// Render a zoomed window `[t0, t1]` — the Fig. 2 style view.
-    pub fn render_window(&self, t0: f64, t1: f64, width_px: u32) -> Option<String> {
+    /// Render a zoomed window — the Fig. 2 style view.
+    pub fn render_window(&self, w: TimeWindow, width_px: u32) -> Option<String> {
         let slog = self.slog.as_ref()?;
-        let vp = Viewport::new(t0, t1, width_px).clamp_to(slog.range.0, slog.range.1);
-        Some(render_svg(slog, &vp, &self.render_opts))
+        let opts = self.render_opts.clone().with_window(w).with_width(width_px);
+        Some(SvgRenderer.render(slog, &opts))
     }
 
     /// Render and write an SVG file.
@@ -136,10 +136,11 @@ impl VisRun {
 
     /// Render the duration-statistics histogram (load-imbalance view)
     /// for a window, defaulting to the full range.
-    pub fn render_histogram(&self, window: Option<(f64, f64)>, width_px: u32) -> Option<String> {
+    pub fn render_histogram(&self, window: Option<TimeWindow>, width_px: u32) -> Option<String> {
         let slog = self.slog.as_ref()?;
-        let (t0, t1) = window.unwrap_or(slog.range);
-        Some(jumpshot::render_histogram_svg(slog, t0, t1, width_px))
+        let mut opts = RenderOptions::default().with_width(width_px);
+        opts.window = window;
+        Some(HistogramRenderer.render(slog, &opts))
     }
 
     /// Save the converted SLOG2 file.
@@ -199,7 +200,9 @@ mod tests {
     #[test]
     fn zoomed_render_clamps_to_range() {
         let run = visualize(logged_cfg(2), VisOptions::default(), tiny_program);
-        let svg = run.render_window(-100.0, 100.0, 400).unwrap();
+        let svg = run
+            .render_window(TimeWindow::new(-100.0, 100.0), 400)
+            .unwrap();
         assert!(svg.contains("<svg"));
     }
 
@@ -258,7 +261,7 @@ mod tests {
         assert!(run.save_clog(&clog_path).unwrap());
         assert!(run.save_slog(&slog_path).unwrap());
         assert!(run.render_to_file(&svg_path, 640).unwrap());
-        let slog_back = Slog2File::read_from(&slog_path).unwrap().unwrap();
+        let slog_back = Slog2File::read_from(&slog_path).unwrap();
         assert_eq!(&slog_back, run.slog.as_ref().unwrap());
         assert!(std::fs::read_to_string(&svg_path).unwrap().contains("<svg"));
     }

@@ -1,6 +1,8 @@
 //! Machine-readable run reports (JSON) — what the benchmark harness
 //! stores next to each regenerated figure.
 
+use slog2::TimeWindow;
+
 use crate::analysis::{idle_until_first_arrival, parallel_overlap, timeline_activity};
 use crate::json::Json;
 use crate::pipeline::VisRun;
@@ -41,7 +43,7 @@ pub struct RunReport {
     /// Whether the run was clean.
     pub clean: bool,
     /// Global time range of the log.
-    pub range: (f64, f64),
+    pub range: TimeWindow,
     /// Total drawables.
     pub drawables: usize,
     /// Conversion warnings (stringified).
@@ -192,7 +194,7 @@ impl RunReport {
             ("clean", Json::Bool(self.clean)),
             (
                 "range",
-                Json::Arr(vec![Json::Num(self.range.0), Json::Num(self.range.1)]),
+                Json::Arr(vec![Json::Num(self.range.t0), Json::Num(self.range.t1)]),
             ),
             ("drawables", Json::Num(self.drawables as f64)),
             (
@@ -255,7 +257,7 @@ impl RunReport {
             clean: field(&v, "clean")?
                 .as_bool()
                 .ok_or_else(|| "field `clean` is not a bool".to_string())?,
-            range: (
+            range: TimeWindow::new(
                 range[0].as_f64().ok_or("range start is not a number")?,
                 range[1].as_f64().ok_or("range end is not a number")?,
             ),

@@ -15,8 +15,9 @@
 
 use std::fmt::Write as _;
 
-use slog2::{Drawable, Slog2File};
+use slog2::{Drawable, Slog2File, TimeWindow};
 
+use crate::render::RenderOptions;
 use crate::viewport::Viewport;
 
 /// Options for the text view.
@@ -41,11 +42,26 @@ impl Default for AsciiOptions {
 }
 
 /// Render the window `[t0, t1]` as text.
+#[deprecated(
+    note = "use jumpshot::AsciiRenderer (the Renderer trait) with RenderOptions::with_window"
+)]
+pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> String {
+    let ropts = RenderOptions::default()
+        .with_window(TimeWindow::new(t0, t1))
+        .with_width(opts.width as u32)
+        .with_arrows(opts.show_arrows)
+        .with_max_arrows(opts.max_arrows);
+    ascii_string(file, TimeWindow::new(t0, t1), &ropts)
+}
+
 // The cell-painting loop indexes a clamped column range of a 2-D grid;
 // a slice iterator would need the same bounds arithmetic, less clearly.
 #[allow(clippy::needless_range_loop)]
-pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> String {
-    let width = opts.width.max(8);
+pub(crate) fn ascii_string(file: &Slog2File, w: TimeWindow, opts: &RenderOptions) -> String {
+    let (t0, t1) = (w.t0, w.t1);
+    let show_arrows = opts.show_arrows;
+    let max_arrows = opts.max_arrows;
+    let width = (opts.width as usize).max(8);
     let vp = Viewport::new(t0, t1.max(t0 + f64::MIN_POSITIVE), width as u32);
     let ntl = file.timelines.len();
     let label_w = file
@@ -60,7 +76,7 @@ pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> 
     let mut cells = vec![vec![(0.0f64, ' '); width]; ntl];
     let mut arrows: Vec<(f64, u32, u32)> = Vec::new();
 
-    for d in file.tree.query(t0, t1) {
+    for d in file.tree.query(w) {
         match d {
             Drawable::State(s) => {
                 if s.timeline as usize >= ntl {
@@ -110,10 +126,10 @@ pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> 
         }
         out.push_str("|\n");
     }
-    if opts.show_arrows && !arrows.is_empty() {
+    if show_arrows && !arrows.is_empty() {
         arrows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        let shown = if opts.max_arrows > 0 {
-            arrows.len().min(opts.max_arrows)
+        let shown = if max_arrows > 0 {
+            arrows.len().min(max_arrows)
         } else {
             arrows.len()
         };
@@ -199,7 +215,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into(), "P1".into()],
             categories,
-            range: (0.0, 8.0),
+            range: TimeWindow::new(0.0, 8.0),
             warnings: vec![],
             tree: FrameTree::build(ds, 0.0, 8.0, 8, 4),
         }
@@ -207,14 +223,10 @@ mod tests {
 
     #[test]
     fn ascii_shows_states_events_and_arrows() {
-        let txt = render_ascii(
+        let txt = ascii_string(
             &file(),
-            0.0,
-            8.0,
-            &AsciiOptions {
-                width: 16,
-                ..Default::default()
-            },
+            TimeWindow::new(0.0, 8.0),
+            &RenderOptions::default().with_width(16),
         );
         let lines: Vec<&str> = txt.lines().collect();
         assert!(lines[0].starts_with("PI_MAIN"));
@@ -227,7 +239,11 @@ mod tests {
 
     #[test]
     fn read_letter_strips_pi_prefix() {
-        let txt = render_ascii(&file(), 0.0, 8.0, &AsciiOptions::default());
+        let txt = ascii_string(
+            &file(),
+            TimeWindow::new(0.0, 8.0),
+            &RenderOptions::default().with_width(72),
+        );
         assert!(txt.contains('R'));
         assert!(!txt.contains('P') || txt.contains("PI_MAIN")); // only in labels
     }
@@ -235,7 +251,11 @@ mod tests {
     #[test]
     fn window_clips() {
         // Window after all activity: empty rows, no arrows.
-        let txt = render_ascii(&file(), 9.0, 10.0, &AsciiOptions::default());
+        let txt = ascii_string(
+            &file(),
+            TimeWindow::new(9.0, 10.0),
+            &RenderOptions::default().with_width(72),
+        );
         assert!(!txt.contains('C'));
         assert!(!txt.contains("arrows:"));
     }
@@ -256,14 +276,10 @@ mod tests {
             }));
         }
         f.tree = FrameTree::build(ds, 0.0, 8.0, 8, 4);
-        let txt = render_ascii(
+        let txt = ascii_string(
             &f,
-            0.0,
-            8.0,
-            &AsciiOptions {
-                max_arrows: 5,
-                ..Default::default()
-            },
+            TimeWindow::new(0.0, 8.0),
+            &RenderOptions::default().with_width(72).with_max_arrows(5),
         );
         assert!(txt.contains("(+25 more)"), "{txt}");
     }
@@ -271,8 +287,22 @@ mod tests {
     #[test]
     fn deterministic() {
         let f = file();
-        let a = render_ascii(&f, 0.0, 8.0, &AsciiOptions::default());
-        let b = render_ascii(&f, 0.0, 8.0, &AsciiOptions::default());
+        let opts = RenderOptions::default().with_width(72);
+        let a = ascii_string(&f, TimeWindow::new(0.0, 8.0), &opts);
+        let b = ascii_string(&f, TimeWindow::new(0.0, 8.0), &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_trait_path() {
+        let f = file();
+        let old = render_ascii(&f, 0.0, 8.0, &AsciiOptions::default());
+        let new = ascii_string(
+            &f,
+            TimeWindow::new(0.0, 8.0),
+            &RenderOptions::default().with_width(72),
+        );
+        assert_eq!(old, new);
     }
 }

@@ -13,8 +13,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use jumpshot::{LegendSort, RenderOptions, SearchQuery, Viewport};
-use slog2::Slog2File;
+use jumpshot::{renderer_by_name, LegendSort, RenderOptions, SearchQuery};
+use slog2::{Slog2File, TimeWindow};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("jumpshot: {msg}");
@@ -33,14 +33,8 @@ fn main() -> ExitCode {
     let rest = &args[2..];
 
     let file = match Slog2File::read_from(&path) {
-        Ok(Ok(f)) => f,
-        Ok(Err(e)) => {
-            return fail(&format!(
-                "{} is not a valid SLOG2 file: {e}",
-                path.display()
-            ))
-        }
-        Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot load {}: {e}", path.display())),
     };
 
     let flag_val = |name: &str| -> Option<&str> {
@@ -49,18 +43,18 @@ fn main() -> ExitCode {
             .and_then(|i| rest.get(i + 1))
             .map(String::as_str)
     };
-    let window = || -> (f64, f64) {
+    let window = || -> TimeWindow {
         match rest.iter().position(|a| a == "--window") {
             Some(i) => {
                 let t0 = rest
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or(file.range.0);
+                    .unwrap_or(file.range.t0);
                 let t1 = rest
                     .get(i + 2)
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or(file.range.1);
-                (t0, t1)
+                    .unwrap_or(file.range.t1);
+                TimeWindow::new(t0, t1)
             }
             None => file.range,
         }
@@ -72,47 +66,43 @@ fn main() -> ExitCode {
     };
 
     match cmd {
-        "render" => {
-            let (t0, t1) = window();
-            let width: u32 = flag_val("--width")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1280);
-            let vp = Viewport::new(t0, t1, width).clamp_to(file.range.0, file.range.1);
-            let svg = jumpshot::render_svg(&file, &vp, &RenderOptions::default());
-            let out = out_path("svg");
-            if let Err(e) = std::fs::write(&out, svg) {
-                return fail(&format!("cannot write {}: {e}", out.display()));
-            }
-            println!("wrote {}", out.display());
-        }
-        "html" => {
-            let html = jumpshot::render_html(&file, &RenderOptions::default());
-            let out = out_path("html");
-            if let Err(e) = std::fs::write(&out, html) {
-                return fail(&format!("cannot write {}: {e}", out.display()));
-            }
-            println!(
-                "wrote {} (open in a browser; drag to scroll, wheel to zoom)",
-                out.display()
-            );
-        }
-        "ascii" => {
-            let (t0, t1) = window();
-            let width: usize = flag_val("--width")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(100);
-            print!(
-                "{}",
-                jumpshot::render_ascii(
-                    &file,
-                    t0,
-                    t1,
-                    &jumpshot::AsciiOptions {
-                        width,
-                        ..Default::default()
+        // All four render-producing commands share the Renderer trait
+        // dispatch — the same code path `pilotd serve` uses.
+        "render" | "html" | "ascii" | "hist" => {
+            let backend = renderer_by_name(cmd).expect("all four names are registered");
+            let width: u32 =
+                flag_val("--width")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(match cmd {
+                        "ascii" => 100,
+                        "hist" => 1000,
+                        _ => 1280,
+                    });
+            let opts = RenderOptions::default()
+                .with_window(window())
+                .with_width(width);
+            let doc = backend.render(&file, &opts);
+            match cmd {
+                "ascii" => print!("{doc}"),
+                _ => {
+                    let out = out_path(match cmd {
+                        "html" => "html",
+                        "hist" => "hist.svg",
+                        _ => "svg",
+                    });
+                    if let Err(e) = std::fs::write(&out, doc) {
+                        return fail(&format!("cannot write {}: {e}", out.display()));
                     }
-                )
-            );
+                    if cmd == "html" {
+                        println!(
+                            "wrote {} (open in a browser; drag to scroll, wheel to zoom)",
+                            out.display()
+                        );
+                    } else {
+                        println!("wrote {}", out.display());
+                    }
+                }
+            }
         }
         "legend" => {
             let sort = match flag_val("--sort").unwrap_or("index") {
@@ -124,15 +114,6 @@ fn main() -> ExitCode {
             };
             let legend = jumpshot::Legend::for_file(&file);
             print!("{}", jumpshot::render_legend_text(&legend, sort));
-        }
-        "hist" => {
-            let (t0, t1) = window();
-            let svg = jumpshot::render_histogram_svg(&file, t0, t1, 1000);
-            let out = out_path("hist.svg");
-            if let Err(e) = std::fs::write(&out, svg) {
-                return fail(&format!("cannot write {}: {e}", out.display()));
-            }
-            println!("wrote {}", out.display());
         }
         "search" => {
             let needle = match rest.iter().find(|a| !a.starts_with("--")) {
@@ -163,7 +144,7 @@ fn main() -> ExitCode {
             );
             println!("categories: {}", file.categories.len());
             println!("drawables : {}", file.total_drawables());
-            println!("range     : [{:.6}s, {:.6}s]", file.range.0, file.range.1);
+            println!("range     : [{:.6}s, {:.6}s]", file.range.t0, file.range.t1);
             println!(
                 "tree      : {} nodes, depth {}, frame capacity {}",
                 file.tree.node_count(),

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use slog2::{Drawable, Slog2File};
+use slog2::{Drawable, Slog2File, TimeWindow};
 
 /// One timeline's per-category coverage within the selected duration.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -28,15 +28,15 @@ impl TimelineHistogram {
 }
 
 /// Compute the per-timeline, per-category state coverage clipped to
-/// `[t0, t1]`.
-pub fn duration_stats(file: &Slog2File, t0: f64, t1: f64) -> BTreeMap<u32, TimelineHistogram> {
+/// the window `w`.
+pub fn duration_stats(file: &Slog2File, w: TimeWindow) -> BTreeMap<u32, TimelineHistogram> {
     let mut out: BTreeMap<u32, TimelineHistogram> = BTreeMap::new();
     for tl in 0..file.timelines.len() as u32 {
         out.insert(tl, TimelineHistogram::default());
     }
-    for d in file.tree.query(t0, t1) {
+    for d in file.tree.query(w) {
         if let Drawable::State(s) = d {
-            let clipped = (s.end.min(t1) - s.start.max(t0)).max(0.0);
+            let clipped = w.clip_span(s.start, s.end);
             if clipped > 0.0 {
                 *out.entry(s.timeline)
                     .or_default()
@@ -53,8 +53,8 @@ pub fn duration_stats(file: &Slog2File, t0: f64, t1: f64) -> BTreeMap<u32, Timel
 /// the busiest and the least-busy timeline's coverage of `category`
 /// within the window (1.0 = perfectly balanced; `f64::INFINITY` when a
 /// timeline has none). Timelines listed in `among` only.
-pub fn load_imbalance(file: &Slog2File, category: u32, among: &[u32], t0: f64, t1: f64) -> f64 {
-    let stats = duration_stats(file, t0, t1);
+pub fn load_imbalance(file: &Slog2File, category: u32, among: &[u32], w: TimeWindow) -> f64 {
+    let stats = duration_stats(file, w);
     let loads: Vec<f64> = among
         .iter()
         .map(|tl| {
@@ -80,8 +80,16 @@ pub fn load_imbalance(file: &Slog2File, category: u32, among: &[u32], t0: f64, t
 
 /// Render the histogram window as an SVG: one horizontal stacked bar
 /// per timeline, category colours from the legend, with totals.
+#[deprecated(
+    note = "use jumpshot::HistogramRenderer (the Renderer trait) with RenderOptions::with_window"
+)]
 pub fn render_histogram_svg(file: &Slog2File, t0: f64, t1: f64, width_px: u32) -> String {
-    let stats = duration_stats(file, t0, t1);
+    histogram_string(file, TimeWindow::new(t0, t1), width_px)
+}
+
+pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, width_px: u32) -> String {
+    let (t0, t1) = (w.t0, w.t1);
+    let stats = duration_stats(file, w);
     let row_h = 24.0;
     let gutter = 90.0;
     let bar_w = width_px as f64 - gutter - 80.0;
@@ -195,7 +203,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into(), "P1".into()],
             categories,
-            range: (0.0, 10.0),
+            range: TimeWindow::new(0.0, 10.0),
             warnings: vec![],
             tree: FrameTree::build(ds, 0.0, 10.0, 8, 8),
         }
@@ -203,7 +211,7 @@ mod tests {
 
     #[test]
     fn duration_stats_clip_to_window() {
-        let stats = duration_stats(&file(), 2.0, 5.0);
+        let stats = duration_stats(&file(), TimeWindow::new(2.0, 5.0));
         // Timeline 0: Compute clipped to [2,5] = 3s.
         assert!((stats[&0].coverage[&0] - 3.0).abs() < 1e-12);
         // Timeline 1: Compute [2,4] = 2s, Read [4,5] = 1s.
@@ -214,7 +222,7 @@ mod tests {
 
     #[test]
     fn full_window_matches_raw_durations() {
-        let stats = duration_stats(&file(), 0.0, 10.0);
+        let stats = duration_stats(&file(), TimeWindow::new(0.0, 10.0));
         assert!((stats[&0].coverage[&0] - 10.0).abs() < 1e-12);
         assert!((stats[&1].coverage[&0] - 4.0).abs() < 1e-12);
     }
@@ -223,17 +231,20 @@ mod tests {
     fn imbalance_detects_uneven_compute() {
         let f = file();
         // Compute: 10s on timeline 0 vs 4s on timeline 1 -> 2.5x.
-        let imb = load_imbalance(&f, 0, &[0, 1], 0.0, 10.0);
+        let imb = load_imbalance(&f, 0, &[0, 1], TimeWindow::new(0.0, 10.0));
         assert!((imb - 2.5).abs() < 1e-12);
         // Reads: only timeline 1 has any -> infinite imbalance vs 0.
-        assert!(load_imbalance(&f, 1, &[0, 1], 0.0, 10.0).is_infinite());
+        assert!(load_imbalance(&f, 1, &[0, 1], TimeWindow::new(0.0, 10.0)).is_infinite());
         // Nobody has category 99 -> balanced by convention.
-        assert_eq!(load_imbalance(&f, 99, &[0, 1], 0.0, 10.0), 1.0);
+        assert_eq!(
+            load_imbalance(&f, 99, &[0, 1], TimeWindow::new(0.0, 10.0)),
+            1.0
+        );
     }
 
     #[test]
     fn histogram_svg_contains_bars_and_labels() {
-        let svg = render_histogram_svg(&file(), 0.0, 10.0, 800);
+        let svg = histogram_string(&file(), TimeWindow::new(0.0, 10.0), 800);
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("class=\"histbar\""));
         assert!(svg.contains("PI_MAIN"));
@@ -243,7 +254,7 @@ mod tests {
 
     #[test]
     fn empty_window_renders_without_bars() {
-        let svg = render_histogram_svg(&file(), 20.0, 30.0, 800);
+        let svg = histogram_string(&file(), TimeWindow::new(20.0, 30.0), 800);
         assert!(!svg.contains("class=\"histbar\""));
     }
 }

@@ -17,14 +17,20 @@ use std::fmt::Write as _;
 use slog2::Slog2File;
 
 use crate::legend::{Legend, LegendSort};
-use crate::render::{render_svg, RenderOptions};
+use crate::render::{svg_string, RenderOptions};
 use crate::viewport::Viewport;
 
 /// Render `file` into a self-contained interactive HTML page.
+#[deprecated(note = "use jumpshot::HtmlRenderer (the Renderer trait)")]
 pub fn render_html(file: &Slog2File, opts: &RenderOptions) -> String {
+    html_string(file, opts)
+}
+
+pub(crate) fn html_string(file: &Slog2File, opts: &RenderOptions) -> String {
     // Render wide so zooming has detail to reveal.
-    let vp = Viewport::new(file.range.0, file.range.1, 2400);
-    let svg = render_svg(file, &vp, opts);
+    let w = opts.window.unwrap_or(file.range);
+    let vp = Viewport::new(w.t0, w.t1.max(w.t0 + f64::MIN_POSITIVE), 2400).clamp_to(file.range);
+    let svg = svg_string(file, &vp, opts);
     let legend = Legend::for_file(file);
 
     let mut rows = String::new();
@@ -124,7 +130,7 @@ fn html_escape(s: &str) -> String {
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{Category, CategoryKind, Drawable, FrameTree, StateDrawable};
+    use slog2::{Category, CategoryKind, Drawable, FrameTree, StateDrawable, TimeWindow};
 
     fn file() -> Slog2File {
         let ds = vec![Drawable::State(StateDrawable {
@@ -143,7 +149,7 @@ mod tests {
                 color: Color::GREEN,
                 kind: CategoryKind::State,
             }],
-            range: (0.0, 1.0),
+            range: TimeWindow::new(0.0, 1.0),
             warnings: vec!["Equal Drawables: demo".into()],
             tree: FrameTree::build(ds, 0.0, 1.0, 8, 4),
         }
@@ -151,7 +157,7 @@ mod tests {
 
     #[test]
     fn html_embeds_svg_legend_and_warnings() {
-        let html = render_html(&file(), &RenderOptions::default());
+        let html = html_string(&file(), &RenderOptions::default());
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("<svg"));
         assert!(html.contains("PI_Write"));
@@ -165,7 +171,7 @@ mod tests {
     fn html_escapes_warning_text() {
         let mut f = file();
         f.warnings = vec!["a<b & c".into()];
-        let html = render_html(&f, &RenderOptions::default());
+        let html = html_string(&f, &RenderOptions::default());
         assert!(html.contains("a&lt;b &amp; c"));
     }
 }

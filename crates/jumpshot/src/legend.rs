@@ -202,7 +202,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into(), "P1".into()],
             categories,
-            range: (0.0, 10.0),
+            range: slog2::TimeWindow::new(0.0, 10.0),
             warnings: vec![],
             tree: FrameTree::build(ds, 0.0, 10.0, 16, 8),
         }

@@ -20,6 +20,10 @@
 //!   from user-selected duration"), including the load-imbalance
 //!   indicator.
 //! * [`search`] — search-and-scan over the frame tree.
+//! * [`renderer`] — the unified [`Renderer`] trait putting the svg,
+//!   ascii, html, and histogram backends behind one
+//!   `(file, RenderOptions) -> String` entry point, shared by this
+//!   crate's CLI and the `pilotd` query service.
 //! * [`popup`] — the popup info model, including a faithful reproduction
 //!   of the text-reordering bug the paper hit ("%d lines" displaying as
 //!   "lines 42") and the literal-prefix workaround it adopted.
@@ -30,14 +34,25 @@ pub mod html;
 pub mod legend;
 pub mod popup;
 pub mod render;
+pub mod renderer;
 pub mod search;
 pub mod viewport;
 
-pub use ascii::{render_ascii, AsciiOptions};
-pub use histogram::{duration_stats, load_imbalance, render_histogram_svg, TimelineHistogram};
+#[allow(deprecated)]
+pub use ascii::render_ascii;
+pub use ascii::AsciiOptions;
+#[allow(deprecated)]
+pub use histogram::render_histogram_svg;
+pub use histogram::{duration_stats, load_imbalance, TimelineHistogram};
+#[allow(deprecated)]
 pub use html::render_html;
 pub use legend::{render_legend_text, Legend, LegendRow, LegendSort};
 pub use popup::{jumpshot_display, InfoArg};
-pub use render::{render_svg, RenderOptions};
-pub use search::{find_next, find_prev, SearchQuery};
+#[allow(deprecated)]
+pub use render::render_svg;
+pub use render::RenderOptions;
+pub use renderer::{
+    renderer_by_name, AsciiRenderer, HistogramRenderer, HtmlRenderer, Renderer, SvgRenderer,
+};
+pub use search::{find_next, find_prev, scan, SearchQuery};
 pub use viewport::Viewport;

@@ -19,13 +19,20 @@
 use std::collections::{BTreeMap, HashSet};
 use std::fmt::Write as _;
 
-use slog2::{Drawable, Slog2File};
+use slog2::{Drawable, Slog2File, TimeWindow};
 
 use crate::viewport::Viewport;
 
-/// Rendering options.
+/// Rendering options shared by every [`Renderer`](crate::Renderer)
+/// backend. Construct with [`Default`] and refine with the `with_*`
+/// builder methods.
 #[derive(Debug, Clone)]
 pub struct RenderOptions {
+    /// Time window to render; `None` = the file's full range.
+    pub window: Option<TimeWindow>,
+    /// Output width: pixels for the SVG/HTML/histogram backends,
+    /// characters for the ascii backend.
+    pub width: u32,
     /// Height of one timeline row in pixels.
     pub row_height: u32,
     /// States narrower than this many pixels go into preview stripes.
@@ -36,6 +43,8 @@ pub struct RenderOptions {
     pub show_arrows: bool,
     /// Draw event bubbles?
     pub show_events: bool,
+    /// Cap on the ascii backend's arrow list (0 = unlimited).
+    pub max_arrows: usize,
     /// If set, only these category indices are drawn (legend visibility
     /// toggles).
     pub visible_categories: Option<HashSet<u32>>,
@@ -50,16 +59,57 @@ pub struct RenderOptions {
 impl Default for RenderOptions {
     fn default() -> Self {
         RenderOptions {
+            window: None,
+            width: 1280,
             row_height: 28,
             min_state_px: 1.5,
             bucket_px: 4,
             show_arrows: true,
             show_events: true,
+            max_arrows: 20,
             visible_categories: None,
             background: "#101018".to_string(),
             label_gutter: 80,
             axis_height: 26,
         }
+    }
+}
+
+impl RenderOptions {
+    /// Render only this time window instead of the full file range.
+    pub fn with_window(mut self, w: TimeWindow) -> Self {
+        self.window = Some(w);
+        self
+    }
+
+    /// Set the output width (pixels, or characters for ascii).
+    pub fn with_width(mut self, width: u32) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Toggle message arrows.
+    pub fn with_arrows(mut self, show: bool) -> Self {
+        self.show_arrows = show;
+        self
+    }
+
+    /// Toggle event bubbles.
+    pub fn with_events(mut self, show: bool) -> Self {
+        self.show_events = show;
+        self
+    }
+
+    /// Cap the ascii arrow list.
+    pub fn with_max_arrows(mut self, cap: usize) -> Self {
+        self.max_arrows = cap;
+        self
+    }
+
+    /// Restrict drawing to these category indices.
+    pub fn with_visible_categories(mut self, cats: HashSet<u32>) -> Self {
+        self.visible_categories = Some(cats);
+        self
     }
 }
 
@@ -97,7 +147,14 @@ impl Layout {
 }
 
 /// Render the window `vp` of `file` to an SVG string.
+#[deprecated(
+    note = "use jumpshot::SvgRenderer (the Renderer trait) with RenderOptions::with_window"
+)]
 pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> String {
+    svg_string(file, vp, opts)
+}
+
+pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> String {
     let lay = Layout {
         gutter: opts.label_gutter as f64,
         row_h: opts.row_height as f64,
@@ -147,7 +204,7 @@ pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> Stri
     }
 
     // Partition drawables of the window.
-    let hits = file.tree.query(vp.t0, vp.t1);
+    let hits = file.tree.query(TimeWindow::new(vp.t0, vp.t1));
     let mut wide_states = Vec::new();
     // (timeline, bucket) -> per-category clipped coverage
     let mut buckets: BTreeMap<(u32, u32), BTreeMap<u32, f64>> = BTreeMap::new();
@@ -390,7 +447,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into(), "P1".into()],
             categories,
-            range: (t0, t1),
+            range: TimeWindow::new(t0, t1),
             warnings: vec![],
             tree: FrameTree::build(drawables, t0, t1, 16, 8),
         }
@@ -410,7 +467,7 @@ mod tests {
     #[test]
     fn wide_state_renders_as_rect_with_tooltip() {
         let f = test_file(vec![state(0, 0.0, 1.0)]);
-        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 800), &RenderOptions::default());
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 800), &RenderOptions::default());
         assert!(svg.contains("class=\"state\""));
         assert!(svg.contains("#ff0000"));
         assert!(svg.contains("Line: 42"));
@@ -425,7 +482,7 @@ mod tests {
             .map(|i| state(0, i as f64 * 1e-3, i as f64 * 1e-3 + 1e-6))
             .collect();
         let f = test_file(ds);
-        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 800), &RenderOptions::default());
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 800), &RenderOptions::default());
         assert!(!svg.contains("class=\"state\""));
         assert!(svg.contains("class=\"preview\""));
         assert!(svg.contains("class=\"stripe\""));
@@ -438,7 +495,7 @@ mod tests {
             .collect();
         let f = test_file(ds);
         // Zoomed to 5 ms: each 0.9 ms state is ~144 px wide.
-        let svg = render_svg(
+        let svg = svg_string(
             &f,
             &Viewport::new(0.0, 0.005, 800),
             &RenderOptions::default(),
@@ -454,7 +511,7 @@ mod tests {
             time: 0.5,
             text: "Chan: C3".into(),
         })]);
-        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
         assert!(svg.contains("class=\"bubble\""));
         assert!(svg.contains("Chan: C3"));
         assert!(svg.contains("#ffff00"));
@@ -471,7 +528,7 @@ mod tests {
             tag: 9,
             size: 128,
         })]);
-        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
         assert!(svg.contains("class=\"arrow\""));
         assert!(svg.contains("tag 9"));
         assert!(svg.contains("size 128B"));
@@ -492,7 +549,7 @@ mod tests {
             visible_categories: Some([1u32].into_iter().collect()),
             ..Default::default()
         };
-        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &opts);
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &opts);
         assert!(!svg.contains("class=\"state\""));
         assert!(svg.contains("class=\"bubble\""));
     }
@@ -504,15 +561,15 @@ mod tests {
             .collect();
         let f = test_file(ds);
         let vp = Viewport::new(0.0, 1.0, 640);
-        let a = render_svg(&f, &vp, &RenderOptions::default());
-        let b = render_svg(&f, &vp, &RenderOptions::default());
+        let a = svg_string(&f, &vp, &RenderOptions::default());
+        let b = svg_string(&f, &vp, &RenderOptions::default());
         assert_eq!(a, b);
     }
 
     #[test]
     fn off_window_drawables_are_not_rendered() {
         let f = test_file(vec![state(0, 0.0, 1.0), state(0, 5.0, 6.0)]);
-        let svg = render_svg(&f, &Viewport::new(4.5, 6.5, 400), &RenderOptions::default());
+        let svg = svg_string(&f, &Viewport::new(4.5, 6.5, 400), &RenderOptions::default());
         // Only the second state is in the window.
         assert_eq!(svg.matches("class=\"state\"").count(), 1);
     }
@@ -525,7 +582,7 @@ mod tests {
             time: 0.5,
             text: "a<b & \"c\"".into(),
         })]);
-        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
         assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
         assert!(!svg.contains("a<b"));
     }
@@ -533,7 +590,7 @@ mod tests {
     #[test]
     fn empty_file_renders_frame_only() {
         let f = test_file(vec![]);
-        let svg = render_svg(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &RenderOptions::default());
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         assert!(!svg.contains("class=\"state\""));

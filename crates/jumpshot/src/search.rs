@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use slog2::{Drawable, Slog2File};
+use slog2::{Drawable, Slog2File, TimeWindow};
 
 /// What to search for.
 #[derive(Debug, Clone, Default)]
@@ -52,7 +52,7 @@ impl SearchQuery {
 /// (by start time). Returns `None` if nothing matches.
 pub fn find_next<'a>(file: &'a Slog2File, from: f64, query: &SearchQuery) -> Option<&'a Drawable> {
     let mut best: Option<&Drawable> = None;
-    for d in file.tree.query(from, f64::INFINITY) {
+    for d in file.tree.query(TimeWindow::new(from, f64::INFINITY)) {
         if d.start() > from && query.matches(d) {
             match best {
                 Some(b) if b.start() <= d.start() => {}
@@ -66,7 +66,7 @@ pub fn find_next<'a>(file: &'a Slog2File, from: f64, query: &SearchQuery) -> Opt
 /// Find the last matching drawable strictly before time `from`.
 pub fn find_prev<'a>(file: &'a Slog2File, from: f64, query: &SearchQuery) -> Option<&'a Drawable> {
     let mut best: Option<&Drawable> = None;
-    for d in file.tree.query(f64::NEG_INFINITY, from) {
+    for d in file.tree.query(TimeWindow::new(f64::NEG_INFINITY, from)) {
         if d.start() < from && query.matches(d) {
             match best {
                 Some(b) if b.start() >= d.start() => {}
@@ -77,12 +77,12 @@ pub fn find_prev<'a>(file: &'a Slog2File, from: f64, query: &SearchQuery) -> Opt
     best
 }
 
-/// All matches in `[a, b]`, sorted by start time (the "scan" half of
-/// search-and-scan).
-pub fn scan<'a>(file: &'a Slog2File, a: f64, b: f64, query: &SearchQuery) -> Vec<&'a Drawable> {
+/// All matches in the window `w`, sorted by start time (the "scan"
+/// half of search-and-scan).
+pub fn scan<'a>(file: &'a Slog2File, w: TimeWindow, query: &SearchQuery) -> Vec<&'a Drawable> {
     let mut out: Vec<&Drawable> = file
         .tree
-        .query(a, b)
+        .query(w)
         .into_iter()
         .filter(|d| query.matches(d))
         .collect();
@@ -131,7 +131,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into(), "P1".into()],
             categories,
-            range: (0.0, 10.0),
+            range: TimeWindow::new(0.0, 10.0),
             warnings: vec![],
             tree: FrameTree::build(ds, 0.0, 10.0, 4, 8),
         }
@@ -199,7 +199,7 @@ mod tests {
     fn scan_returns_sorted_window_matches() {
         let f = file();
         let q = SearchQuery::default();
-        let hits = scan(&f, 2.0, 5.0, &q);
+        let hits = scan(&f, TimeWindow::new(2.0, 5.0), &q);
         let starts: Vec<f64> = hits.iter().map(|d| d.start()).collect();
         // states at 2,3,4,5 intersecting window + event at 4.25, plus the
         // state [1.0,1.5] does not reach 2.0... check sortedness and bounds.

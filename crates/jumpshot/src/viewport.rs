@@ -2,6 +2,8 @@
 //! pixels, supporting the interactions the paper lists — zoom in/out
 //! around a point, dragged zoom to a sub-range, grasp-and-scroll.
 
+use slog2::TimeWindow;
+
 /// A time window rendered at a pixel width.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Viewport {
@@ -24,6 +26,11 @@ impl Viewport {
     /// Window duration in seconds.
     pub fn span(&self) -> f64 {
         self.t1 - self.t0
+    }
+
+    /// The window covered by this viewport.
+    pub fn window(&self) -> TimeWindow {
+        TimeWindow::new(self.t0, self.t1)
     }
 
     /// Seconds per pixel.
@@ -91,9 +98,10 @@ impl Viewport {
         }
     }
 
-    /// Clamp the window inside `[lo, hi]`, preserving the span where
+    /// Clamp the window inside `bounds`, preserving the span where
     /// possible (shrinks only if the span exceeds the full range).
-    pub fn clamp_to(&self, lo: f64, hi: f64) -> Viewport {
+    pub fn clamp_to(&self, bounds: TimeWindow) -> Viewport {
+        let (lo, hi) = (bounds.t0, bounds.t1);
         let span = self.span().min((hi - lo).max(0.0));
         let mut t0 = self.t0;
         if t0 < lo {
@@ -157,15 +165,15 @@ mod tests {
 
     #[test]
     fn clamp_keeps_span_when_possible() {
-        let v = Viewport::new(-5.0, 5.0, 100).clamp_to(0.0, 100.0);
+        let v = Viewport::new(-5.0, 5.0, 100).clamp_to(TimeWindow::new(0.0, 100.0));
         assert_eq!((v.t0, v.t1), (0.0, 10.0));
-        let v = Viewport::new(95.0, 105.0, 100).clamp_to(0.0, 100.0);
+        let v = Viewport::new(95.0, 105.0, 100).clamp_to(TimeWindow::new(0.0, 100.0));
         assert_eq!((v.t0, v.t1), (90.0, 100.0));
     }
 
     #[test]
     fn clamp_shrinks_oversized_window() {
-        let v = Viewport::new(-10.0, 200.0, 100).clamp_to(0.0, 50.0);
+        let v = Viewport::new(-10.0, 200.0, 100).clamp_to(TimeWindow::new(0.0, 50.0));
         assert_eq!((v.t0, v.t1), (0.0, 50.0));
     }
 

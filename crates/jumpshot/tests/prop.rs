@@ -2,10 +2,13 @@
 //! renderer robustness over random logs.
 
 use jumpshot::popup::{correct_display, is_workaround_safe, jumpshot_display, InfoArg};
-use jumpshot::{render_svg, RenderOptions, Viewport};
+use jumpshot::{RenderOptions, Renderer, SvgRenderer, Viewport};
 use mpelog::Color;
 use proptest::prelude::*;
-use slog2::{Category, CategoryKind, Drawable, EventDrawable, FrameTree, Slog2File, StateDrawable};
+use slog2::{
+    Category, CategoryKind, Drawable, EventDrawable, FrameTree, Slog2File, StateDrawable,
+    TimeWindow,
+};
 
 proptest! {
     #[test]
@@ -57,7 +60,7 @@ proptest! {
         hi_extra in 1e-3f64..200.0,
     ) {
         let hi = lo + hi_extra;
-        let c = Viewport::new(t0, t0 + span, 100).clamp_to(lo, hi);
+        let c = Viewport::new(t0, t0 + span, 100).clamp_to(TimeWindow::new(lo, hi));
         prop_assert!(c.t0 >= lo - 1e-9);
         prop_assert!(c.t1 <= hi + 1e-9);
         prop_assert!(c.span() <= span + 1e-9);
@@ -181,7 +184,7 @@ fn arb_file() -> impl Strategy<Value = Slog2File> {
         Slog2File {
             timelines: vec!["PI_MAIN".into(), "P1".into(), "P2".into()],
             categories,
-            range: (0.0, 11.0),
+            range: TimeWindow::new(0.0, 11.0),
             warnings: vec![],
             tree: FrameTree::build(ds, 0.0, 11.0, 8, 10),
         }
@@ -198,13 +201,15 @@ proptest! {
         span in 1e-3f64..11.0,
         width in 50u32..2000,
     ) {
-        let vp = Viewport::new(w0, w0 + span, width);
-        let svg = render_svg(&file, &vp, &RenderOptions::default());
+        let opts = RenderOptions::default()
+            .with_window(TimeWindow::new(w0, w0 + span))
+            .with_width(width);
+        let svg = SvgRenderer.render(&file, &opts);
         prop_assert!(svg.starts_with("<svg"));
         prop_assert!(svg.ends_with("</svg>\n"));
         prop_assert!(xml_balanced(&svg), "unbalanced tags");
         // Determinism.
-        prop_assert_eq!(render_svg(&file, &vp, &RenderOptions::default()), svg);
+        prop_assert_eq!(SvgRenderer.render(&file, &opts), svg);
     }
 
     #[test]

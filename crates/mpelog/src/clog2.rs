@@ -217,9 +217,10 @@ impl Clog2File {
         std::fs::write(path, self.to_bytes())
     }
 
-    /// Read from a file.
-    pub fn read_from(path: &Path) -> std::io::Result<Result<Clog2File, WireError>> {
-        Ok(Clog2File::from_bytes(&std::fs::read(path)?))
+    /// Read from a file. I/O and decode failures are both flattened
+    /// into [`StreamError`], so callers get one error to match on.
+    pub fn read_from(path: &Path) -> Result<Clog2File, StreamError> {
+        Ok(Clog2File::from_bytes(&std::fs::read(path)?)?)
     }
 }
 
@@ -647,8 +648,12 @@ mod tests {
         let path = dir.join("roundtrip.pclog2");
         let f = sample_file();
         f.write_to(&path).unwrap();
-        let back = Clog2File::read_from(&path).unwrap().unwrap();
+        let back = Clog2File::read_from(&path).unwrap();
         assert_eq!(back, f);
+        assert!(matches!(
+            Clog2File::read_from(Path::new("/nonexistent/nope.pclog2")),
+            Err(StreamError::Io(_))
+        ));
     }
 
     #[test]

@@ -571,7 +571,7 @@ fn converted_log_has_states_arrows_and_nesting() {
     assert!(out.is_clean(), "{out:?}");
     let (file, warnings) = convert(out.clog().unwrap(), &ConvertOptions::default());
     assert!(warnings.is_empty(), "{warnings:?}");
-    let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+    let ds = file.tree.query(slog2::TimeWindow::ALL);
 
     let cat = |name: &str| file.category_by_name(name).unwrap().index;
     let count_states = |c: u32| {
@@ -909,7 +909,7 @@ fn injected_fault_yields_forensics_and_salvaged_timeline() {
     let (slog, warnings) = convert_salvaged(&clog, &report, &ConvertOptions::default());
     assert!(slog2::validate(&slog).is_empty());
     let aborted = slog.category_by_name("ABORTED").expect("terminal category");
-    let ds = slog.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+    let ds = slog.tree.query(slog2::TimeWindow::ALL);
     assert!(
         ds.iter().any(|d| matches!(
             d,

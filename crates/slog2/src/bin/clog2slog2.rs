@@ -183,16 +183,9 @@ fn main() -> ExitCode {
         (slog, warnings, provenance)
     } else {
         let clog = match Clog2File::read_from(&args.input) {
-            Ok(Ok(c)) => c,
-            Ok(Err(e)) => {
-                eprintln!(
-                    "clog2slog2: {} is not a valid CLOG2 file: {e}",
-                    args.input.display()
-                );
-                return ExitCode::from(2);
-            }
+            Ok(c) => c,
             Err(e) => {
-                eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
+                eprintln!("clog2slog2: cannot load {}: {e}", args.input.display());
                 return ExitCode::from(2);
             }
         };
@@ -223,8 +216,8 @@ fn main() -> ExitCode {
             slog.total_drawables(),
             slog.tree.node_count(),
             slog.tree.depth(),
-            slog.range.0,
-            slog.range.1,
+            slog.range.t0,
+            slog.range.t1,
             args.output.display(),
         );
         for w in &warnings {

@@ -1132,7 +1132,7 @@ mod tests {
     fn basic_conversion_produces_expected_objects() {
         let (file, warnings) = convert(&sample_clog(), &ConvertOptions::default());
         assert!(warnings.is_empty(), "{warnings:?}");
-        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let ds = file.tree.query(crate::TimeWindow::ALL);
         let states = ds
             .iter()
             .filter(|d| matches!(d, Drawable::State(_)))
@@ -1146,7 +1146,7 @@ mod tests {
             .filter(|d| matches!(d, Drawable::Arrow(_)))
             .count();
         assert_eq!((states, events, arrows), (2, 1, 1));
-        assert_eq!(file.range, (0.9, 1.4));
+        assert_eq!(file.range, crate::TimeWindow::new(0.9, 1.4));
         assert_eq!(
             file.timelines,
             vec!["PI_MAIN".to_string(), "P1".to_string()]
@@ -1156,7 +1156,7 @@ mod tests {
     #[test]
     fn arrow_connects_send_to_receive() {
         let (file, _) = convert(&sample_clog(), &ConvertOptions::default());
-        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let ds = file.tree.query(crate::TimeWindow::ALL);
         let arrow = ds
             .iter()
             .find_map(|d| match d {
@@ -1191,7 +1191,7 @@ mod tests {
         };
         let (file, warnings) = convert(&clog, &ConvertOptions::default());
         assert!(warnings.is_empty());
-        let ds = file.tree.query(0.0, 100.0);
+        let ds = file.tree.query(crate::TimeWindow::new(0.0, 100.0));
         let mut levels: Vec<(String, u32)> = ds
             .iter()
             .filter_map(|d| match d {
@@ -1226,7 +1226,7 @@ mod tests {
             warnings[0],
             ConvertWarning::UnclosedState { rank: 0, ref name, start } if name == "A" && start == 1.0
         ));
-        let ds = file.tree.query(0.0, 100.0);
+        let ds = file.tree.query(crate::TimeWindow::new(0.0, 100.0));
         let s = ds
             .iter()
             .find_map(|d| match d {
@@ -1335,7 +1335,7 @@ mod tests {
         };
         let (file, warnings) = convert(&clog, &ConvertOptions::default());
         assert!(warnings.is_empty());
-        assert_eq!(file.range, (0.0, 0.0));
+        assert_eq!(file.range, crate::TimeWindow::new(0.0, 0.0));
         assert_eq!(file.total_drawables(), 0);
         assert_eq!(file.timelines.len(), 3);
     }
@@ -1522,7 +1522,7 @@ mod tests {
         assert_eq!(term.kind, CategoryKind::State);
         // The terminal state spans rank 0's last record (1.2) to the
         // global end of the log (1.4).
-        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let ds = file.tree.query(crate::TimeWindow::ALL);
         let terminal = ds
             .iter()
             .find_map(|d| match d {
@@ -1610,7 +1610,7 @@ mod tests {
         };
         let (file, _) = convert_salvaged(&clog, &report, &ConvertOptions::default());
         assert!(crate::validate::validate(&file).is_empty());
-        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let ds = file.tree.query(crate::TimeWindow::ALL);
         let term = ds
             .iter()
             .find_map(|d| match d {
@@ -1634,7 +1634,7 @@ mod tests {
             ..Default::default()
         };
         let (file, warnings) = convert_salvaged(&clog, &report, &ConvertOptions::default());
-        let ds = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let ds = file.tree.query(crate::TimeWindow::ALL);
         let term_cat = file.categories.last().unwrap().index;
         let term = ds
             .iter()

@@ -159,8 +159,9 @@ impl Drawable {
     }
 
     /// Does this object overlap the closed time window `[a, b]`?
+    #[deprecated(note = "use TimeWindow::overlaps, the one definition of window inclusivity")]
     pub fn intersects(&self, a: f64, b: f64) -> bool {
-        self.start() <= b && self.end() >= a
+        crate::window::TimeWindow::new(a, b).overlaps(self)
     }
 
     pub(crate) fn encode(&self, w: &mut Writer) {
@@ -292,6 +293,7 @@ mod tests {
 
     #[test]
     fn interval_accessors() {
+        use crate::window::TimeWindow;
         let s = Drawable::State(StateDrawable {
             category: 0,
             timeline: 0,
@@ -303,10 +305,16 @@ mod tests {
         assert_eq!(s.start(), 1.0);
         assert_eq!(s.end(), 3.0);
         assert_eq!(s.duration(), 2.0);
-        assert!(s.intersects(2.5, 4.0));
-        assert!(s.intersects(3.0, 4.0)); // closed interval: touching counts
-        assert!(!s.intersects(3.1, 4.0));
-        assert!(!s.intersects(0.0, 0.9));
+        assert!(TimeWindow::new(2.5, 4.0).overlaps(&s));
+        assert!(TimeWindow::new(3.0, 4.0).overlaps(&s)); // closed interval: touching counts
+        assert!(!TimeWindow::new(3.1, 4.0).overlaps(&s));
+        assert!(!TimeWindow::new(0.0, 0.9).overlaps(&s));
+        // The deprecated wrapper must agree with the TimeWindow rule.
+        #[allow(deprecated)]
+        {
+            assert!(s.intersects(3.0, 4.0));
+            assert!(!s.intersects(3.1, 4.0));
+        }
     }
 
     #[test]
@@ -335,7 +343,7 @@ mod tests {
             text: String::new(),
         });
         assert_eq!(e.duration(), 0.0);
-        assert!(e.intersects(5.0, 5.0));
-        assert!(!e.intersects(5.1, 6.0));
+        assert!(crate::window::TimeWindow::new(5.0, 5.0).overlaps(&e));
+        assert!(!crate::window::TimeWindow::new(5.1, 6.0).overlaps(&e));
     }
 }

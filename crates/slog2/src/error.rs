@@ -1,0 +1,88 @@
+//! The one error type for loading and validating SLOG-2 files.
+//!
+//! `Slog2File::read_from` used to return the nested
+//! `std::io::Result<Result<Slog2File, WireError>>`, forcing every call
+//! site into a three-arm match (and making `?` unusable). All load
+//! paths now return [`Slog2Error`], which also carries the validation
+//! failure case so a server can insist on a defect-free file with one
+//! `?`.
+
+use std::fmt;
+
+use mpelog::wire::WireError;
+
+use crate::validate::Defect;
+
+/// Everything that can go wrong loading a `.pslog2` file.
+#[derive(Debug)]
+pub enum Slog2Error {
+    /// The file could not be read from disk.
+    Io(std::io::Error),
+    /// The bytes are not a valid SLOG-2 image (bad magic, truncation,
+    /// corrupt counts, …).
+    Wire(WireError),
+    /// The file parsed but failed semantic validation
+    /// ([`validate`](crate::validate::validate) found defects).
+    Validate(Vec<Defect>),
+}
+
+impl fmt::Display for Slog2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Slog2Error::Io(e) => write!(f, "i/o error: {e}"),
+            Slog2Error::Wire(e) => write!(f, "malformed SLOG-2 data: {e}"),
+            Slog2Error::Validate(defects) => {
+                write!(f, "file failed validation with {} defect(s)", defects.len())?;
+                if let Some(first) = defects.first() {
+                    write!(f, "; first: {first:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Slog2Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Slog2Error::Io(e) => Some(e),
+            Slog2Error::Wire(e) => Some(e),
+            Slog2Error::Validate(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Slog2Error {
+    fn from(e: std::io::Error) -> Slog2Error {
+        Slog2Error::Io(e)
+    }
+}
+
+impl From<WireError> for Slog2Error {
+    fn from(e: WireError) -> Slog2Error {
+        Slog2Error::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let io: Slog2Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        let wire: Slog2Error = WireError::BadMagic("ff".into()).into();
+        assert!(wire.to_string().contains("malformed"));
+        let val = Slog2Error::Validate(vec![Defect::DuplicateCategoryIndex { category: 3 }]);
+        assert!(val.to_string().contains("1 defect"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let io: Slog2Error = std::io::Error::other("x").into();
+        assert!(io.source().is_some());
+        assert!(Slog2Error::Validate(vec![]).source().is_none());
+    }
+}

@@ -26,7 +26,9 @@ use std::path::Path;
 use mpelog::wire::{Reader, WireError, Writer};
 
 use crate::drawable::{Category, Drawable};
+use crate::error::Slog2Error;
 use crate::tree::{FrameNode, FrameTree, Preview, PreviewEntry};
+use crate::window::{Query, TimeWindow};
 
 const MAGIC: &[u8; 8] = b"PSLOG2\x00\x01";
 
@@ -38,8 +40,8 @@ pub struct Slog2File {
     pub timelines: Vec<String>,
     /// Legend categories.
     pub categories: Vec<Category>,
-    /// Global time range `(t_min, t_max)`.
-    pub range: (f64, f64),
+    /// Global time range `[t_min, t_max]`.
+    pub range: TimeWindow,
     /// Converter diagnostics ("Equal Drawables", unmatched sends, …).
     pub warnings: Vec<String>,
     /// The frame tree.
@@ -63,8 +65,8 @@ impl Slog2File {
         w.put_bytes(MAGIC);
         w.put_u32(self.tree.capacity as u32);
         w.put_u32(self.tree.max_depth);
-        w.put_f64(self.range.0);
-        w.put_f64(self.range.1);
+        w.put_f64(self.range.t0);
+        w.put_f64(self.range.t1);
         w.put_u32(self.timelines.len() as u32);
         for t in &self.timelines {
             w.put_str(t);
@@ -101,7 +103,7 @@ impl Slog2File {
         }
         let capacity = r.get_u32()? as usize;
         let max_depth = r.get_u32()?;
-        let range = (r.get_f64()?, r.get_f64()?);
+        let range = TimeWindow::new(r.get_f64()?, r.get_f64()?);
         let ntl = checked_count(r.get_u32()?, bytes.len())?;
         let mut timelines = Vec::with_capacity(ntl);
         for _ in 0..ntl {
@@ -183,9 +185,35 @@ impl Slog2File {
         std::fs::write(path, self.to_bytes())
     }
 
-    /// Read from a file.
-    pub fn read_from(path: &Path) -> std::io::Result<Result<Slog2File, WireError>> {
-        Ok(Slog2File::from_bytes(&std::fs::read(path)?))
+    /// Read from a file. I/O and decode failures both surface through
+    /// the single [`Slog2Error`], so `?` works at every call site.
+    pub fn read_from(path: &Path) -> Result<Slog2File, Slog2Error> {
+        Ok(Slog2File::from_bytes(&std::fs::read(path)?)?)
+    }
+
+    /// Read from a file and insist it passes
+    /// [`validate`](crate::validate::validate); defects surface as
+    /// [`Slog2Error::Validate`]. This is what long-running consumers
+    /// (the `pilotd` query service) use, so a defective file is refused
+    /// at load instead of rendering a wrong picture later.
+    pub fn read_validated(path: &Path) -> Result<Slog2File, Slog2Error> {
+        let file = Slog2File::read_from(path)?;
+        let defects = crate::validate::validate(&file);
+        if defects.is_empty() {
+            Ok(file)
+        } else {
+            Err(Slog2Error::Validate(defects))
+        }
+    }
+}
+
+impl Query for Slog2File {
+    fn drawables_in(&self, w: TimeWindow) -> Vec<&Drawable> {
+        self.tree.drawables_in(w)
+    }
+
+    fn preview_in(&self, w: TimeWindow) -> Preview {
+        self.tree.preview_in(w)
     }
 }
 
@@ -323,7 +351,7 @@ mod tests {
                     kind: CategoryKind::Event,
                 },
             ],
-            range: (0.0, 4.0),
+            range: TimeWindow::new(0.0, 4.0),
             warnings: vec!["Equal Drawables: 2 x arrival".into()],
             tree,
         }
@@ -385,7 +413,28 @@ mod tests {
         let path = dir.join("roundtrip.pslog2");
         let f = sample();
         f.write_to(&path).unwrap();
-        assert_eq!(Slog2File::read_from(&path).unwrap().unwrap(), f);
+        assert_eq!(Slog2File::read_from(&path).unwrap(), f);
+        assert_eq!(Slog2File::read_validated(&path).unwrap(), f);
+    }
+
+    #[test]
+    fn read_from_missing_file_is_io_error() {
+        let err = Slog2File::read_from(Path::new("/nonexistent/nope.pslog2")).unwrap_err();
+        assert!(matches!(err, Slog2Error::Io(_)));
+    }
+
+    #[test]
+    fn read_validated_rejects_defective_file() {
+        let dir = std::env::temp_dir().join("slog2-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("defective.pslog2");
+        let mut f = sample();
+        // Claim a range that excludes every drawable: OutOfRange defects.
+        f.range = TimeWindow::new(100.0, 101.0);
+        f.write_to(&path).unwrap();
+        assert!(Slog2File::read_from(&path).is_ok());
+        let err = Slog2File::read_validated(&path).unwrap_err();
+        assert!(matches!(err, Slog2Error::Validate(ref d) if !d.is_empty()));
     }
 
     #[test]

@@ -26,17 +26,21 @@
 
 pub mod convert;
 pub mod drawable;
+pub mod error;
 pub mod file;
 pub mod stats;
 pub mod tree;
 pub mod validate;
+pub mod window;
 
 pub use convert::{
     convert, convert_reader, convert_salvaged, ConvertOptions, ConvertWarning, FailureKind,
     RankVerdict, SalvageReport,
 };
 pub use drawable::{ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable};
+pub use error::Slog2Error;
 pub use file::Slog2File;
 pub use stats::{legend_stats, CategoryStats};
 pub use tree::{FrameNode, FrameTree, FrameTreeBuilder, Preview};
 pub use validate::{validate, Defect};
+pub use window::{Query, TimeWindow};

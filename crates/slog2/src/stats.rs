@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use crate::drawable::Drawable;
 use crate::file::Slog2File;
+use crate::window::{Query, TimeWindow};
 
 /// Per-category aggregate statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -35,7 +36,7 @@ pub fn legend_stats(file: &Slog2File) -> BTreeMap<u32, CategoryStats> {
         stats.insert(c.index, CategoryStats::default());
     }
 
-    let drawables = file.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+    let drawables = file.drawables_in(TimeWindow::ALL);
 
     // Group states per timeline for the exclusive-time sweep.
     let mut per_timeline: BTreeMap<u32, Vec<&crate::drawable::StateDrawable>> = BTreeMap::new();
@@ -92,7 +93,7 @@ pub fn legend_stats(file: &Slog2File) -> BTreeMap<u32, CategoryStats> {
 /// category.
 pub fn timeline_category_time(file: &Slog2File, category: u32) -> BTreeMap<u32, f64> {
     let mut out = BTreeMap::new();
-    for d in file.tree.query(f64::NEG_INFINITY, f64::INFINITY) {
+    for d in file.drawables_in(TimeWindow::ALL) {
         if let Drawable::State(s) = d {
             if s.category == category {
                 *out.entry(s.timeline).or_insert(0.0) += s.end - s.start;
@@ -137,7 +138,7 @@ mod tests {
         Slog2File {
             timelines: vec!["P0".into(), "P1".into()],
             categories,
-            range: (t0, t1),
+            range: TimeWindow::new(t0, t1),
             warnings: vec![],
             tree: FrameTree::build(drawables, t0, t1, 16, 8),
         }

@@ -13,6 +13,7 @@
 //! of the paper's Fig. 1 without touching leaf data.
 
 use crate::drawable::Drawable;
+use crate::window::{Query, TimeWindow};
 
 /// Per-category aggregate used for zoomed-out rendering.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -162,20 +163,20 @@ impl FrameTreeBuilder {
         self.items.is_empty()
     }
 
-    /// The observed `(min start, max end)` range, or `(0, 0)` if empty.
-    pub fn range(&self) -> (f64, f64) {
+    /// The observed `[min start, max end]` range, or `[0, 0]` if empty.
+    pub fn range(&self) -> TimeWindow {
         if self.t0.is_finite() {
-            (self.t0, self.t1)
+            TimeWindow::new(self.t0, self.t1)
         } else {
-            (0.0, 0.0)
+            TimeWindow::new(0.0, 0.0)
         }
     }
 
     /// Build the tree over the observed range, using up to
     /// `parallelism` threads (`<= 1` builds serially).
     pub fn build(self, capacity: usize, max_depth: u32, parallelism: usize) -> FrameTree {
-        let (t0, t1) = self.range();
-        FrameTree::build_with_parallelism(self.items, t0, t1, capacity, max_depth, parallelism)
+        let w = self.range();
+        FrameTree::build_with_parallelism(self.items, w.t0, w.t1, capacity, max_depth, parallelism)
     }
 }
 
@@ -221,19 +222,15 @@ impl FrameTree {
         }
     }
 
-    /// All drawables intersecting the closed window `[a, b]`.
-    pub fn query(&self, a: f64, b: f64) -> Vec<&Drawable> {
-        let mut out = Vec::new();
-        query_node(&self.root, a, b, &mut out);
-        out
+    /// All drawables overlapping the closed window `w`.
+    pub fn query(&self, w: TimeWindow) -> Vec<&Drawable> {
+        self.drawables_in(w)
     }
 
-    /// Exact per-category coverage *clipped to* the window `[a, b]`.
+    /// Exact per-category coverage *clipped to* the window `w`.
     /// Used by the renderer to draw proportional preview stripes.
-    pub fn window_preview(&self, a: f64, b: f64) -> Preview {
-        let mut p = Preview::default();
-        window_preview_node(&self.root, a, b, &mut p);
-        p
+    pub fn window_preview(&self, w: TimeWindow) -> Preview {
+        self.preview_in(w)
     }
 
     /// Visit every node, parents before children.
@@ -348,39 +345,52 @@ fn build_node(
     }
 }
 
-fn query_node<'a>(node: &'a FrameNode, a: f64, b: f64, out: &mut Vec<&'a Drawable>) {
-    if node.t0 > b || node.t1 < a {
+impl Query for FrameTree {
+    fn drawables_in(&self, w: TimeWindow) -> Vec<&Drawable> {
+        let mut out = Vec::new();
+        query_node(&self.root, w, &mut out);
+        out
+    }
+
+    fn preview_in(&self, w: TimeWindow) -> Preview {
+        let mut p = Preview::default();
+        window_preview_node(&self.root, w, &mut p);
+        p
+    }
+}
+
+fn query_node<'a>(node: &'a FrameNode, w: TimeWindow, out: &mut Vec<&'a Drawable>) {
+    if node.t0 > w.t1 || node.t1 < w.t0 {
         return;
     }
     for d in &node.drawables {
-        if d.intersects(a, b) {
+        if w.overlaps(d) {
             out.push(d);
         }
     }
     if let Some(ch) = &node.children {
-        query_node(&ch.0, a, b, out);
-        query_node(&ch.1, a, b, out);
+        query_node(&ch.0, w, out);
+        query_node(&ch.1, w, out);
     }
 }
 
-fn window_preview_node(node: &FrameNode, a: f64, b: f64, acc: &mut Preview) {
-    if node.t0 > b || node.t1 < a {
+fn window_preview_node(node: &FrameNode, w: TimeWindow, acc: &mut Preview) {
+    if node.t0 > w.t1 || node.t1 < w.t0 {
         return;
     }
-    if a <= node.t0 && node.t1 <= b {
+    if w.contains_window(TimeWindow::new(node.t0, node.t1)) {
         // Entire subtree inside the window: use the precomputed aggregate.
         acc.merge(&node.preview);
         return;
     }
     for d in &node.drawables {
-        if d.intersects(a, b) {
-            let clipped = (d.end().min(b) - d.start().max(a)).max(0.0);
-            acc.add(d.category(), clipped);
+        if w.overlaps(d) {
+            acc.add(d.category(), w.clip_span(d.start(), d.end()));
         }
     }
     if let Some(ch) = &node.children {
-        window_preview_node(&ch.0, a, b, acc);
-        window_preview_node(&ch.1, a, b, acc);
+        window_preview_node(&ch.0, w, acc);
+        window_preview_node(&ch.1, w, acc);
     }
 }
 
@@ -455,11 +465,11 @@ mod tests {
             event(1, 2.5),
         ];
         let t = FrameTree::build(ds, 0.0, 5.0, 2, 8);
-        let hits = t.query(2.0, 3.0);
+        let hits = t.query(TimeWindow::new(2.0, 3.0));
         assert_eq!(hits.len(), 2);
-        let hits = t.query(1.5, 1.9);
+        let hits = t.query(TimeWindow::new(1.5, 1.9));
         assert!(hits.is_empty());
-        let hits = t.query(0.0, 5.0);
+        let hits = t.query(TimeWindow::new(0.0, 5.0));
         assert_eq!(hits.len(), 4);
     }
 
@@ -522,7 +532,7 @@ mod tests {
     fn window_preview_clips_durations() {
         let ds = vec![state(0, 0.0, 4.0)];
         let t = FrameTree::build(ds, 0.0, 4.0, 8, 4);
-        let p = t.window_preview(1.0, 2.0);
+        let p = t.window_preview(TimeWindow::new(1.0, 2.0));
         assert_eq!(p.entries.len(), 1);
         assert!((p.entries[0].coverage - 1.0).abs() < 1e-12);
     }
@@ -533,7 +543,7 @@ mod tests {
             .map(|i| state(i % 2, i as f64 * 0.3, i as f64 * 0.3 + 0.2))
             .collect();
         let t = FrameTree::build(ds, 0.0, 10.0, 4, 10);
-        let p = t.window_preview(0.0, 10.0);
+        let p = t.window_preview(TimeWindow::new(0.0, 10.0));
         assert_eq!(p, t.root.preview);
     }
 
@@ -543,7 +553,7 @@ mod tests {
         let ds: Vec<_> = (0..10).map(|_| event(0, 5.0)).collect();
         let t = FrameTree::build(ds, 5.0, 5.0, 2, 8);
         assert_eq!(t.total_drawables(), 10);
-        assert_eq!(t.query(5.0, 5.0).len(), 10);
+        assert_eq!(t.query(TimeWindow::new(5.0, 5.0)).len(), 10);
     }
 
     #[test]
@@ -592,7 +602,7 @@ mod tests {
             batch = batch * 3 + 1;
         }
         assert_eq!(b.len(), direct.total_drawables());
-        assert_eq!(b.range(), (t0, t1));
+        assert_eq!(b.range(), TimeWindow::new(t0, t1));
         assert_eq!(b.build(32, 12, 4), direct);
     }
 
@@ -600,7 +610,7 @@ mod tests {
     fn empty_builder_builds_empty_tree() {
         let b = FrameTreeBuilder::new();
         assert!(b.is_empty());
-        assert_eq!(b.range(), (0.0, 0.0));
+        assert_eq!(b.range(), TimeWindow::new(0.0, 0.0));
         let t = b.build(8, 4, 2);
         assert_eq!(t.total_drawables(), 0);
         assert_eq!(t, FrameTree::build(vec![], 0.0, 0.0, 8, 4));

@@ -193,7 +193,7 @@ pub fn validate(file: &Slog2File) -> Vec<Defect> {
                     drawable: (d.start(), d.end()),
                 });
             }
-            if d.start() < file.range.0 || d.end() > file.range.1 {
+            if d.start() < file.range.t0 || d.end() > file.range.t1 {
                 defects.push(Defect::OutOfRange {
                     drawable: (d.start(), d.end()),
                 });
@@ -239,6 +239,7 @@ mod tests {
     use super::*;
     use crate::drawable::{Category, StateDrawable};
     use crate::tree::FrameTree;
+    use crate::window::TimeWindow;
     use mpelog::Color;
 
     fn sound_file() -> Slog2File {
@@ -258,7 +259,7 @@ mod tests {
                 color: Color::RED,
                 kind: CategoryKind::State,
             }],
-            range: (0.0, 3.0),
+            range: TimeWindow::new(0.0, 3.0),
             warnings: vec![],
             tree: FrameTree::build(ds, 0.0, 3.0, 8, 4),
         }
@@ -325,7 +326,7 @@ mod tests {
     #[test]
     fn out_of_range_is_flagged() {
         let mut f = sound_file();
-        f.range = (1.5, 1.6);
+        f.range = TimeWindow::new(1.5, 1.6);
         assert!(validate(&f)
             .iter()
             .any(|d| matches!(d, Defect::OutOfRange { .. })));

@@ -5,7 +5,8 @@ use mpelog::record::Record;
 use mpelog::{Clog2File, Color, Logger};
 use proptest::prelude::*;
 use slog2::{
-    convert, convert_reader, legend_stats, ConvertOptions, Drawable, FrameTree, Slog2File,
+    convert, convert_reader, legend_stats, ConvertOptions, Drawable, FrameTree, Query, Slog2File,
+    TimeWindow,
 };
 use slog2::{Category, CategoryKind, EventDrawable, StateDrawable};
 
@@ -41,7 +42,7 @@ proptest! {
         let tree = FrameTree::build(ds.clone(), 0.0, 105.0, capacity, 12);
         prop_assert_eq!(tree.total_drawables(), ds.len());
         // Every original drawable is found by a full-range query.
-        let hits = tree.query(f64::NEG_INFINITY, f64::INFINITY);
+        let hits = tree.query(TimeWindow::ALL);
         prop_assert_eq!(hits.len(), ds.len());
     }
 
@@ -69,17 +70,66 @@ proptest! {
         a in 0f64..105.0,
         span in 0f64..50.0,
     ) {
-        let b = a + span;
+        let w = TimeWindow::new(a, a + span);
         let tree = FrameTree::build(ds.clone(), 0.0, 105.0, 8, 12);
-        let mut got: Vec<String> = tree.query(a, b).iter().map(|d| format!("{d:?}")).collect();
+        let mut got: Vec<String> = tree.query(w).iter().map(|d| format!("{d:?}")).collect();
         let mut want: Vec<String> = ds
             .iter()
-            .filter(|d| d.intersects(a, b))
+            .filter(|d| w.overlaps(d))
             .map(|d| format!("{d:?}"))
             .collect();
         got.sort();
         want.sort();
         prop_assert_eq!(got, want);
+    }
+
+    /// The one boundary-inclusivity rule: a drawable overlaps `[a, b]`
+    /// iff `start <= b && end >= a` — closed on both sides. Checked
+    /// against the trait path, the window helpers, and the edges.
+    #[test]
+    fn window_inclusivity_is_closed_on_both_sides(
+        ds in proptest::collection::vec(arb_drawable(), 0..100),
+        a in 0f64..105.0,
+        span in 0f64..50.0,
+    ) {
+        let w = TimeWindow::new(a, a + span);
+        for d in &ds {
+            let want = d.start() <= w.t1 && d.end() >= w.t0;
+            prop_assert_eq!(w.overlaps(d), want);
+            // A zero-span window sitting exactly on a drawable's start
+            // or end must hit it (touching counts).
+            prop_assert!(TimeWindow::new(d.start(), d.start()).overlaps(d));
+            prop_assert!(TimeWindow::new(d.end(), d.end()).overlaps(d));
+        }
+        // Query-trait counting agrees with the rule.
+        let tree = FrameTree::build(ds.clone(), 0.0, 105.0, 8, 12);
+        let want = ds.iter().filter(|d| w.overlaps(d)).count();
+        prop_assert_eq!(tree.count_in(w), want);
+    }
+
+    /// `preview_in` (which may shortcut through precomputed node
+    /// aggregates) counts exactly the drawables the full scan finds, and
+    /// its coverage equals the sum of clipped durations.
+    #[test]
+    fn window_preview_equals_naive_clip(
+        ds in proptest::collection::vec(arb_drawable(), 0..150),
+        a in 0f64..105.0,
+        span in 0f64..105.0,
+        capacity in 1usize..32,
+    ) {
+        let w = TimeWindow::new(a, a + span);
+        let tree = FrameTree::build(ds.clone(), 0.0, 105.0, capacity, 12);
+        let p = tree.preview_in(w);
+        let want_count = ds.iter().filter(|d| w.overlaps(d)).count() as u64;
+        prop_assert_eq!(p.total_count(), want_count);
+        let want_cov: f64 = ds
+            .iter()
+            .filter(|d| w.overlaps(d))
+            .map(|d| w.clip_span(d.start(), d.end()))
+            .sum();
+        let got = p.total_coverage();
+        prop_assert!((got - want_cov).abs() < 1e-9 * (1.0 + want_cov.abs()),
+            "{got} vs {want_cov}");
     }
 
     #[test]
@@ -109,7 +159,7 @@ proptest! {
         let file = Slog2File {
             timelines: (0..4).map(|r| format!("P{r}")).collect(),
             categories,
-            range: (0.0, 105.0),
+            range: TimeWindow::new(0.0, 105.0),
             warnings: vec!["w".into()],
             tree: FrameTree::build(ds, 0.0, 105.0, capacity, 12),
         };
@@ -125,7 +175,7 @@ proptest! {
         let file = Slog2File {
             timelines: vec!["P0".into()],
             categories: vec![],
-            range: (0.0, 105.0),
+            range: TimeWindow::new(0.0, 105.0),
             warnings: vec![],
             tree: FrameTree::build(ds, 0.0, 105.0, 8, 8),
         };
@@ -149,7 +199,7 @@ proptest! {
         let file = Slog2File {
             timelines: (0..4).map(|r| format!("P{r}")).collect(),
             categories,
-            range: (0.0, 105.0),
+            range: TimeWindow::new(0.0, 105.0),
             warnings: vec![],
             tree: FrameTree::build(ds.clone(), 0.0, 105.0, 16, 10),
         };

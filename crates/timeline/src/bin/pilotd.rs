@@ -1,0 +1,71 @@
+//! `pilotd` — the timeline query daemon.
+//!
+//! ```text
+//! pilotd serve trace.pslog2 [--addr 127.0.0.1:7007] [--workers 8]
+//! pilotd info  trace.pslog2
+//! ```
+
+use std::sync::Arc;
+
+use timeline::TimelineService;
+
+fn usage() -> ! {
+    eprintln!("usage: pilotd <serve|info> <trace.pslog2> [--addr HOST:PORT] [--workers N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => usage(),
+    };
+    let flag = |name: &str, default: &str| -> String {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    };
+
+    let svc = match TimelineService::load(std::path::Path::new(path)) {
+        Ok(svc) => Arc::new(svc),
+        Err(e) => {
+            eprintln!("pilotd: cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match cmd {
+        "info" => {
+            println!("{}", svc.info_json());
+        }
+        "serve" => {
+            let addr = flag("--addr", "127.0.0.1:7007");
+            let workers: usize = flag("--workers", &timeline::DEFAULT_WORKERS.to_string())
+                .parse()
+                .unwrap_or_else(|_| usage());
+            let server = match timeline::serve(Arc::clone(&svc), &addr, workers) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("pilotd: cannot bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "pilotd: serving {path} ({} ranks) on port {} with {workers} workers",
+                svc.file().timelines.len(),
+                server.port()
+            );
+            eprintln!(
+                "pilotd: try  curl http://127.0.0.1:{}/v1/info",
+                server.port()
+            );
+            // Serve until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        _ => usage(),
+    }
+}

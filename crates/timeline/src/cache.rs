@@ -1,0 +1,251 @@
+//! The sharded LRU tile cache.
+//!
+//! Tile responses are deterministic functions of (file digest, rank,
+//! zoom level, tile number), so they cache perfectly: invalidation is
+//! by key — a different file has a different digest and simply never
+//! collides. Keys hash to one of 16 shards, each an independently
+//! locked LRU map, so concurrent clients replaying the same zoom path
+//! rarely contend on the same lock. A shard's lock is held across the
+//! compute of a missing tile (single flight): when 32 clients race for
+//! the same cold tile, one computes it and 31 hit.
+//!
+//! Hit / miss / eviction counts go to an [`obs`] registry — one metric
+//! shard per cache shard, merged at snapshot time.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use obs::ObsHandle;
+
+/// Number of independently locked cache shards.
+pub const CACHE_SHARDS: usize = 16;
+
+/// Key of one cached tile. The digest pins the file version: a reload
+/// of a changed file yields new keys, and stale entries age out of the
+/// LRU instead of being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileKey {
+    /// FNV-1a digest of the file bytes.
+    pub digest: u64,
+    /// Rank (timeline) the tile describes.
+    pub rank: u32,
+    /// Zoom level: the file range divides into `2^zoom` tiles.
+    pub zoom: u8,
+    /// Tile number within the zoom level, `0 .. 2^zoom`.
+    pub tile: u32,
+}
+
+impl TileKey {
+    fn shard(&self) -> usize {
+        // FNV-1a over the key fields; cheap and well-spread for the
+        // small dense key space.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in self
+            .digest
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.rank.to_le_bytes())
+            .chain([self.zoom])
+            .chain(self.tile.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % CACHE_SHARDS as u64) as usize
+    }
+}
+
+#[derive(Default)]
+struct ShardState {
+    /// key -> (recency stamp, body).
+    map: HashMap<TileKey, (u64, Arc<String>)>,
+    /// recency stamp -> key; the smallest stamp is the LRU victim.
+    order: BTreeMap<u64, TileKey>,
+    next_stamp: u64,
+}
+
+impl ShardState {
+    fn stamp(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+
+    /// Move an existing entry to the most-recent end of the order.
+    fn touch(&mut self, key: TileKey) {
+        let stamp = self.stamp();
+        if let Some((old, _)) = self.map.get_mut(&key) {
+            let prev = *old;
+            *old = stamp;
+            self.order.remove(&prev);
+            self.order.insert(stamp, key);
+        }
+    }
+}
+
+/// The sharded LRU cache of rendered tile bodies.
+pub struct TileCache {
+    shards: Vec<Mutex<ShardState>>,
+    per_shard_capacity: usize,
+    obs: ObsHandle,
+}
+
+impl TileCache {
+    /// A cache holding at most `capacity` tiles total (rounded up to a
+    /// multiple of [`CACHE_SHARDS`]), reporting to `obs`.
+    pub fn new(capacity: usize, obs: ObsHandle) -> TileCache {
+        TileCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            per_shard_capacity: capacity.div_ceil(CACHE_SHARDS).max(1),
+            obs,
+        }
+    }
+
+    /// Fetch the tile, computing it with `f` on a miss. The shard lock
+    /// is held across `f`, so concurrent requests for the same missing
+    /// tile compute it exactly once.
+    pub fn get_or_compute(&self, key: TileKey, f: impl FnOnce() -> String) -> Arc<String> {
+        let shard_idx = key.shard();
+        let metrics = self.obs.shard(shard_idx);
+        let mut shard = self.shards[shard_idx].lock().expect("cache shard poisoned");
+        if let Some((_, body)) = shard.map.get(&key) {
+            let body = Arc::clone(body);
+            shard.touch(key);
+            metrics.counter("serve.cache.hit").inc();
+            return body;
+        }
+        metrics.counter("serve.cache.miss").inc();
+        let body = Arc::new(f());
+        let stamp = shard.stamp();
+        shard.map.insert(key, (stamp, Arc::clone(&body)));
+        shard.order.insert(stamp, key);
+        while shard.map.len() > self.per_shard_capacity {
+            let (&stamp, &victim) = shard.order.iter().next().expect("order tracks map");
+            shard.order.remove(&stamp);
+            shard.map.remove(&victim);
+            metrics.counter("serve.cache.eviction").inc();
+        }
+        body
+    }
+
+    /// Merged (hit, miss, eviction) counts across every shard.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let snap = self.obs.snapshot();
+        (
+            snap.counter("serve.cache.hit"),
+            snap.counter("serve.cache.miss"),
+            snap.counter("serve.cache.eviction"),
+        )
+    }
+
+    /// Number of cached tiles right now.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tile: u32) -> TileKey {
+        TileKey {
+            digest: 42,
+            rank: 0,
+            zoom: 4,
+            tile,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_body() {
+        let cache = TileCache::new(64, obs::Obs::handle());
+        let a = cache.get_or_compute(key(1), || "body".to_string());
+        let b = cache.get_or_compute(key(1), || panic!("must not recompute"));
+        assert_eq!(a, b);
+        let (hit, miss, evict) = cache.counters();
+        assert_eq!((hit, miss, evict), (1, 1, 0));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = TileCache::new(1024, obs::Obs::handle());
+        for t in 0..100 {
+            cache.get_or_compute(key(t), || format!("tile {t}"));
+        }
+        for t in 0..100 {
+            let body = cache.get_or_compute(key(t), || panic!("must be cached"));
+            assert_eq!(*body, format!("tile {t}"));
+        }
+        assert_eq!(cache.len(), 100);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        // Capacity 16 total = 1 per shard; keys landing in the same
+        // shard evict each other oldest-first.
+        let cache = TileCache::new(16, obs::Obs::handle());
+        let mut by_shard: HashMap<usize, Vec<u32>> = HashMap::new();
+        for t in 0..64 {
+            by_shard.entry(key(t).shard()).or_default().push(t);
+        }
+        let (_, crowded) = by_shard
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .expect("some shard");
+        let (a, b) = (crowded[0], crowded[1]);
+        cache.get_or_compute(key(a), || "a".into());
+        cache.get_or_compute(key(b), || "b".into());
+        // `a` was evicted to make room for `b`; recomputing it is a miss.
+        let again = cache.get_or_compute(key(a), || "a2".into());
+        assert_eq!(*again, "a2");
+        let (_, _, evictions) = cache.counters();
+        assert!(evictions >= 2, "evictions {evictions}");
+    }
+
+    #[test]
+    fn digest_isolates_file_versions() {
+        let cache = TileCache::new(64, obs::Obs::handle());
+        let old = TileKey {
+            digest: 1,
+            ..key(0)
+        };
+        let new = TileKey {
+            digest: 2,
+            ..key(0)
+        };
+        cache.get_or_compute(old, || "old".into());
+        let body = cache.get_or_compute(new, || "new".into());
+        assert_eq!(*body, "new");
+    }
+
+    #[test]
+    fn concurrent_same_key_computes_once() {
+        let cache = Arc::new(TileCache::new(64, obs::Obs::handle()));
+        let computes = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            handles.push(std::thread::spawn(move || {
+                cache.get_or_compute(key(7), move || {
+                    computes.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    "once".to_string()
+                })
+            }));
+        }
+        for h in handles {
+            assert_eq!(*h.join().unwrap(), "once");
+        }
+        assert_eq!(computes.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

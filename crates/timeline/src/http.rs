@@ -1,0 +1,464 @@
+//! A minimal HTTP/1.1 front end for [`TimelineService`].
+//!
+//! Standard library only: a `TcpListener` accept thread hands
+//! connections to a fixed pool of worker threads over an `mpsc`
+//! channel. Connections are keep-alive — a viewer replaying a zoom path
+//! issues hundreds of tile requests on one socket — and every response
+//! carries `Content-Length`, so the bundled [`Client`] can pipeline
+//! request/response pairs without chunked-encoding parsing.
+//!
+//! Routes:
+//!
+//! | path           | answer                                            |
+//! |----------------|---------------------------------------------------|
+//! | `/v1/info`     | file digest, ranks, range, shape                  |
+//! | `/v1/legend`   | per-category legend statistics                    |
+//! | `/v1/warnings` | converter warnings + crash-forensics verdicts     |
+//! | `/v1/query`    | window query (`t0`,`t1`,`ranks=0,2`)              |
+//! | `/v1/tile`     | cached tile (`rank`,`zoom`,`tile`)                |
+//! | `/v1/render`   | full document (`backend`,`t0`,`t1`,`width`)       |
+//! | `/v1/stats`    | query + cache counters                            |
+//! | `/metrics`     | Prometheus text of the obs registry               |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use slog2::TimeWindow;
+
+use crate::service::TimelineService;
+
+/// Default worker-pool size for `pilotd serve`.
+pub const DEFAULT_WORKERS: usize = 8;
+
+/// A running server; dropping it (or calling [`stop`](Server::stop))
+/// shuts the listener and workers down.
+pub struct Server {
+    port: u16,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+/// `svc` on `workers` threads.
+pub fn serve(svc: Arc<TimelineService>, addr: &str, workers: usize) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let port = listener.local_addr()?.port();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut pool = Vec::with_capacity(workers.max(1));
+    for _ in 0..workers.max(1) {
+        let svc = Arc::clone(&svc);
+        let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&rx);
+        let shutdown = Arc::clone(&shutdown);
+        pool.push(std::thread::spawn(move || loop {
+            let conn = rx.lock().expect("worker queue poisoned").recv();
+            match conn {
+                Ok(stream) => handle_connection(&svc, stream, &shutdown),
+                Err(_) => break, // sender gone: server stopped
+            }
+        }));
+    }
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                // A full queue just delays the connection; drop errors
+                // only happen after stop().
+                let _ = tx.send(stream);
+            }
+        }
+    });
+
+    Ok(Server {
+        port,
+        shutdown,
+        accept: Some(accept),
+        workers: pool,
+    })
+}
+
+impl Server {
+    /// The bound port (useful with `127.0.0.1:0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Signal shutdown and join every thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(svc: &TimelineService, stream: TcpStream, shutdown: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    // A short read timeout lets idle keep-alive workers notice stop().
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    loop {
+        let mut request_line = String::new();
+        match reader.read_line(&mut request_line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let mut close = false;
+        // Drain headers; we only care about Connection.
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) if line.trim_end().is_empty() => break,
+                Ok(_) => {
+                    let lower = line.to_ascii_lowercase();
+                    if lower.starts_with("connection:") && lower.contains("close") {
+                        close = true;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let target = parts.next().unwrap_or("/");
+        let (status, content_type, body) = if method == "GET" {
+            route(svc, target)
+        } else {
+            (405, "text/plain", "method not allowed\n".to_string())
+        };
+        let reason = match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        };
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        if writer.write_all(head.as_bytes()).is_err() || writer.write_all(body.as_bytes()).is_err()
+        {
+            return;
+        }
+        if close || shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Dispatch one request target to the service. Split out from the
+/// connection loop so tests can exercise routing without sockets.
+pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params: Vec<(&str, &str)> = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+        .collect();
+    let get = |k: &str| params.iter().find(|(key, _)| *key == k).map(|(_, v)| *v);
+
+    macro_rules! param {
+        ($name:literal as $ty:ty, default $default:expr) => {
+            match get($name) {
+                None => $default,
+                Some(raw) => match raw.parse::<$ty>() {
+                    Ok(v) => v,
+                    Err(_) => return (400, "text/plain", format!("bad {}: {raw:?}\n", $name)),
+                },
+            }
+        };
+    }
+
+    match path {
+        "/v1/info" => (200, "application/json", svc.info_json()),
+        "/v1/legend" => (200, "application/json", svc.legend_json()),
+        "/v1/warnings" => (200, "application/json", svc.warnings_json()),
+        "/v1/stats" => (200, "application/json", svc.stats_json()),
+        "/metrics" => (200, "text/plain; version=0.0.4", svc.metrics_text()),
+        "/v1/query" => {
+            let range = svc.file().range;
+            let t0 = param!("t0" as f64, default range.t0);
+            let t1 = param!("t1" as f64, default range.t1);
+            let ranks: Option<Vec<u32>> = match get("ranks") {
+                None | Some("") => None,
+                Some(raw) => {
+                    let mut out = Vec::new();
+                    for piece in raw.split(',') {
+                        match piece.parse::<u32>() {
+                            Ok(r) => out.push(r),
+                            Err(_) => return (400, "text/plain", format!("bad ranks: {raw:?}\n")),
+                        }
+                    }
+                    Some(out)
+                }
+            };
+            (
+                200,
+                "application/json",
+                svc.query_json(TimeWindow::new(t0, t1), ranks.as_deref()),
+            )
+        }
+        "/v1/tile" => {
+            let rank = param!("rank" as u32, default 0);
+            let zoom = param!("zoom" as u8, default 0);
+            let tile = param!("tile" as u32, default 0);
+            match svc.tile_json(rank, zoom, tile) {
+                Some(body) => (200, "application/json", body.as_ref().clone()),
+                None => (
+                    404,
+                    "text/plain",
+                    format!("no tile {tile} at zoom {zoom}\n"),
+                ),
+            }
+        }
+        "/v1/render" => {
+            let backend = get("backend").unwrap_or("svg");
+            let width = param!("width" as u32, default 1280);
+            let window = match (get("t0"), get("t1")) {
+                (None, None) => None,
+                _ => {
+                    let range = svc.file().range;
+                    let t0 = param!("t0" as f64, default range.t0);
+                    let t1 = param!("t1" as f64, default range.t1);
+                    Some(TimeWindow::new(t0, t1))
+                }
+            };
+            match svc.render(backend, window, width) {
+                Some((ct, body)) => (200, ct, body),
+                None => (404, "text/plain", format!("unknown backend {backend:?}\n")),
+            }
+        }
+        _ => (404, "text/plain", format!("no route {path:?}\n")),
+    }
+}
+
+/// A keep-alive HTTP/1.1 client for one pilotd connection. Used by the
+/// server tests and by `repro serve-bench`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:8080`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Issue `GET path` on the persistent connection; returns
+    /// `(status, body)`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        let request =
+            format!("GET {path} HTTP/1.1\r\nHost: pilotd\r\nConnection: keep-alive\r\n\r\n");
+        self.reader.get_mut().write_all(request.as_bytes())?;
+
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpelog::Color;
+    use slog2::{Category, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable};
+
+    fn service() -> Arc<TimelineService> {
+        let mut ds = Vec::new();
+        for r in 0..2u32 {
+            for i in 0..8 {
+                ds.push(Drawable::State(StateDrawable {
+                    category: 0,
+                    timeline: r,
+                    start: i as f64,
+                    end: i as f64 + 0.5,
+                    nest_level: 0,
+                    text: String::new(),
+                }));
+            }
+        }
+        let range = TimeWindow::new(0.0, 8.0);
+        Arc::new(TimelineService::from_file(Slog2File {
+            timelines: vec!["PI_MAIN".into(), "P1".into()],
+            categories: vec![Category {
+                index: 0,
+                name: "Compute".into(),
+                color: Color::GRAY,
+                kind: CategoryKind::State,
+            }],
+            range,
+            warnings: vec![],
+            tree: FrameTree::build(ds, range.t0, range.t1, 16, 8),
+        }))
+    }
+
+    #[test]
+    fn serves_info_over_a_socket() {
+        let svc = service();
+        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
+        let (status, body) = client.get("/v1/info").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, svc.info_json());
+        server.stop();
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        let svc = service();
+        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
+        for path in [
+            "/v1/legend",
+            "/v1/warnings",
+            "/v1/stats",
+            "/v1/query?t0=1&t1=2",
+        ] {
+            let (status, body) = client.get(path).unwrap();
+            assert_eq!(status, 200, "{path}");
+            assert!(!body.is_empty(), "{path}");
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn socket_bodies_match_in_process_calls() {
+        let svc = service();
+        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 4).unwrap();
+        let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
+        let (_, over_wire) = client.get("/v1/query?t0=0.5&t1=3.5&ranks=1").unwrap();
+        assert_eq!(
+            over_wire,
+            svc.query_json(TimeWindow::new(0.5, 3.5), Some(&[1]))
+        );
+        let (_, tile) = client.get("/v1/tile?rank=0&zoom=2&tile=1").unwrap();
+        assert_eq!(tile, *svc.tile_json(0, 2, 1).unwrap());
+        server.stop();
+    }
+
+    #[test]
+    fn routes_reject_bad_input() {
+        let svc = service();
+        assert_eq!(route(&svc, "/v1/query?t0=potato").0, 400);
+        assert_eq!(route(&svc, "/v1/query?ranks=1,x").0, 400);
+        assert_eq!(route(&svc, "/v1/tile?rank=0&zoom=30&tile=0").0, 404);
+        assert_eq!(route(&svc, "/v1/render?backend=nope").0, 404);
+        assert_eq!(route(&svc, "/nowhere").0, 404);
+    }
+
+    #[test]
+    fn render_route_serves_every_backend() {
+        let svc = service();
+        for backend in ["svg", "ascii", "html", "hist"] {
+            let (status, _, body) = route(&svc, &format!("/v1/render?backend={backend}&width=320"));
+            assert_eq!(status, 200, "{backend}");
+            assert!(!body.is_empty(), "{backend}");
+        }
+        let (status, _, windowed) = route(&svc, "/v1/render?backend=svg&t0=1&t1=2");
+        assert_eq!(status, 200);
+        assert!(windowed.contains("<svg"));
+    }
+
+    #[test]
+    fn concurrent_clients_get_consistent_tiles() {
+        let svc = service();
+        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 4).unwrap();
+        let addr = format!("127.0.0.1:{}", server.port());
+        let expected = svc.tile_json(0, 3, 5).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(&addr).unwrap();
+                    c.get("/v1/tile?rank=0&zoom=3&tile=5").unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, *expected);
+        }
+        server.stop();
+    }
+}

@@ -1,0 +1,28 @@
+//! Timeline query service for SLOG-2 traces.
+//!
+//! The viewer crates (`jumpshot`, `pilot-vis`) render whole documents
+//! from a file loaded in-process. This crate turns a loaded `.pslog2`
+//! into a *service*: a per-rank interval index answers window queries
+//! without rescanning the file, a sharded LRU cache memoises tile
+//! responses along a viewer's zoom path, and `pilotd serve` exposes the
+//! whole thing over plain HTTP/1.1 with JSON bodies — standard library
+//! sockets and threads only.
+//!
+//! - [`index`] — immutable per-rank interval index ([`TimelineIndex`]),
+//!   one frame tree per rank plus a shared arrow tree.
+//! - [`cache`] — sharded LRU tile cache ([`TileCache`]) keyed by
+//!   (file digest, rank, zoom, tile), single-flight on misses.
+//! - [`service`] — [`TimelineService`], the unified query/render API;
+//!   every HTTP endpoint is a deterministic method here.
+//! - [`http`] — the `pilotd` HTTP front end ([`serve`], [`Server`])
+//!   and a keep-alive [`Client`] used by tests and `repro serve-bench`.
+
+pub mod cache;
+pub mod http;
+pub mod index;
+pub mod service;
+
+pub use cache::{TileCache, TileKey, CACHE_SHARDS};
+pub use http::{route, serve, Client, Server, DEFAULT_WORKERS};
+pub use index::TimelineIndex;
+pub use service::{fnv1a, TimelineService, MAX_ZOOM};

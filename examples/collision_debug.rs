@@ -52,11 +52,9 @@ fn main() {
                 ..Default::default()
             },
         );
-        let svg = jumpshot::render_svg(
-            &slog,
-            &jumpshot::Viewport::new(slog.range.0, slog.range.1, 1400),
-            &jumpshot::RenderOptions::default(),
-        );
+        use jumpshot::Renderer as _;
+        let svg = jumpshot::SvgRenderer
+            .render(&slog, &jumpshot::RenderOptions::default().with_width(1400));
         std::fs::write(outfile, svg).unwrap();
 
         let workers: Vec<u32> = (1..=WORKERS as u32).collect();

@@ -53,8 +53,8 @@ fn main() {
                 println!("  {w}");
             }
         }
-        let vp = jumpshot::Viewport::new(slog.range.0, slog.range.1, 1280);
-        let svg = jumpshot::render_svg(&slog, &vp, &VisOptions::default().render);
+        use jumpshot::Renderer as _;
+        let svg = jumpshot::SvgRenderer.render(&slog, &VisOptions::default().render);
         std::fs::create_dir_all("out").unwrap();
         std::fs::write("out/lab2.svg", svg).unwrap();
         println!("visual log written to out/lab2.svg");

@@ -59,7 +59,7 @@ fn main() {
     println!(
         "Log: {} drawables over {:.6}s, wrap-up cost {:.6}s",
         report.drawables,
-        report.range.1 - report.range.0,
+        report.range.span(),
         report.wrapup_seconds.unwrap_or(0.0)
     );
 }

@@ -57,21 +57,19 @@ fn main() {
         println!("converter warning: {w}");
     }
     std::fs::create_dir_all("out").unwrap();
-    let opts = jumpshot::RenderOptions::default();
+    use jumpshot::Renderer as _;
+    let opts = jumpshot::RenderOptions::default().with_width(1400);
     // Fig. 1: the whole run.
-    let full = jumpshot::render_svg(
-        &slog,
-        &jumpshot::Viewport::new(slog.range.0, slog.range.1, 1400),
-        &opts,
-    );
+    let full = jumpshot::SvgRenderer.render(&slog, &opts);
     std::fs::write("out/thumbnail_full.svg", full).unwrap();
     // Fig. 2: zoom into the middle 10% of the run.
-    let span = slog.range.1 - slog.range.0;
-    let mid = slog.range.0 + span * 0.5;
-    let zoom = jumpshot::render_svg(
+    let span = slog.range.span();
+    let mid = slog.range.t0 + span * 0.5;
+    let zoom = jumpshot::SvgRenderer.render(
         &slog,
-        &jumpshot::Viewport::new(mid - span * 0.05, mid + span * 0.05, 1400),
-        &opts,
+        &opts
+            .clone()
+            .with_window(slog2::TimeWindow::new(mid - span * 0.05, mid + span * 0.05)),
     );
     std::fs::write("out/thumbnail_zoom.svg", zoom).unwrap();
     println!("views written to out/thumbnail_full.svg and out/thumbnail_zoom.svg");

@@ -55,7 +55,7 @@ fn full_pipeline_from_program_to_svg() {
     // Three messages, three arrows, forming the chain 0 -> 1 -> 2 -> 0.
     let arrows: Vec<_> = slog
         .tree
-        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .query(slog2::TimeWindow::ALL)
         .into_iter()
         .filter_map(|d| match d {
             Drawable::Arrow(a) => Some((a.from_timeline, a.to_timeline)),
@@ -129,7 +129,7 @@ fn collectives_show_bundle_fanout_arrows() {
     // The broadcast state's popup names the bundle.
     let bc = slog
         .tree
-        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .query(slog2::TimeWindow::ALL)
         .into_iter()
         .find_map(|d| match d {
             Drawable::State(s) if s.category == cat("PI_Broadcast") => Some(s.clone()),
@@ -140,7 +140,7 @@ fn collectives_show_bundle_fanout_arrows() {
     // Arrow spreading kept the arrows apart in time.
     let mut send_times: Vec<f64> = slog
         .tree
-        .query(f64::NEG_INFINITY, f64::INFINITY)
+        .query(slog2::TimeWindow::ALL)
         .into_iter()
         .filter_map(|d| match d {
             Drawable::Arrow(a) => Some(a.start),
@@ -193,7 +193,7 @@ fn multi_spec_read_shows_one_bubble_per_message() {
     );
 
     // Both bubbles sit inside the read rectangle.
-    let ds = slog.tree.query(f64::NEG_INFINITY, f64::INFINITY);
+    let ds = slog.tree.query(slog2::TimeWindow::ALL);
     let read = ds
         .iter()
         .find_map(|d| match d {
@@ -265,11 +265,14 @@ fn slog_file_roundtrips_through_disk_and_reloads_into_viewer() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("run.pslog2");
     assert!(run.save_slog(&path).unwrap());
-    let reloaded = slog2::Slog2File::read_from(&path).unwrap().unwrap();
+    let reloaded = slog2::Slog2File::read_from(&path).unwrap();
     assert_eq!(&reloaded, run.slog.as_ref().unwrap());
     // A fresh viewer session over the reloaded file renders identically.
-    let vp = jumpshot::Viewport::new(reloaded.range.0, reloaded.range.1, 700);
-    let a = jumpshot::render_svg(&reloaded, &vp, &jumpshot::RenderOptions::default());
+    use jumpshot::Renderer as _;
+    let a = jumpshot::SvgRenderer.render(
+        &reloaded,
+        &jumpshot::RenderOptions::default().with_width(700),
+    );
     let b = run.render_full(700).unwrap();
     assert_eq!(a, b);
 }

@@ -98,7 +98,7 @@ fn sec4b_instance_a_serializes_queries() {
         let result = result.unwrap();
         let (slog, _) = slog2::convert(outcome.clog().unwrap(), &Default::default());
         let workers: Vec<u32> = (1..=3).collect();
-        let qwin = (slog.range.1 - result.query_seconds, slog.range.1);
+        let qwin = slog2::TimeWindow::new(slog.range.t1 - result.query_seconds, slog.range.t1);
         pilot_vis::parallel_overlap(&slog, &workers, Some(qwin))
     };
     let a = measure(CollisionVariant::InstanceA);
@@ -265,7 +265,7 @@ fn sec3c_popup_texts_follow_workaround() {
     );
     assert!(run.is_clean());
     let slog = run.slog.as_ref().unwrap();
-    for d in slog.tree.query(f64::NEG_INFINITY, f64::INFINITY) {
+    for d in slog.tree.query(slog2::TimeWindow::ALL) {
         let text = match d {
             slog2::Drawable::State(s) => &s.text,
             slog2::Drawable::Event(e) => &e.text,
