@@ -1,0 +1,212 @@
+//! Deterministic trace fixtures.
+//!
+//! The paper's Figs. 4 and 5 show two student submissions whose
+//! timings ("PI_MAIN did 11 seconds of initialization") we cannot
+//! reproduce live without actually sleeping for 11 seconds, so the
+//! golden diagnosis tests and `repro diagnose --workload instance-a |
+//! instance-b` run on these hand-built paper-scale traces instead:
+//! every timestamp is an exact literal, so the resulting
+//! `DIAGNOSIS.json` is byte-identical across runs and machines.
+
+use mpelog::Color;
+use slog2::{
+    ArrowDrawable, Category, CategoryId, CategoryKind, Drawable, EventDrawable, FrameTree,
+    Slog2File, StateDrawable, TimeWindow, TimelineId, WellKnownCategory,
+};
+
+/// A state drawable on `(cat, tl)` — categories use the fixture layout
+/// 0=Compute, 1=PI_Read, 2=msg arrival, 3=message.
+pub fn state(cat: u32, tl: u32, start: f64, end: f64) -> Drawable {
+    Drawable::State(StateDrawable {
+        category: CategoryId(cat),
+        timeline: TimelineId(tl),
+        start,
+        end,
+        nest_level: u32::from(cat == 1),
+        text: String::new(),
+    })
+}
+
+/// A "msg arrival" bubble.
+pub fn arrival(tl: u32, time: f64) -> Drawable {
+    Drawable::Event(EventDrawable {
+        category: CategoryId(2),
+        timeline: TimelineId(tl),
+        time,
+        text: String::new(),
+    })
+}
+
+/// A message arrow.
+pub fn arrow(from: u32, to: u32, send: f64, recv: f64, tag: u32) -> Drawable {
+    Drawable::Arrow(ArrowDrawable {
+        category: CategoryId(3),
+        from_timeline: TimelineId(from),
+        to_timeline: TimelineId(to),
+        start: send,
+        end: recv,
+        tag,
+        size: 8,
+    })
+}
+
+/// Wrap drawables in a file with the standard Pilot category layout
+/// and five timelines (`PI_MAIN`, `W0`..`W3`).
+pub fn file_with(drawables: Vec<Drawable>) -> Slog2File {
+    let categories = vec![
+        Category {
+            index: CategoryId(0),
+            name: WellKnownCategory::Compute.name().into(),
+            color: Color::GRAY,
+            kind: CategoryKind::State,
+        },
+        Category {
+            index: CategoryId(1),
+            name: WellKnownCategory::PiRead.name().into(),
+            color: Color::RED,
+            kind: CategoryKind::State,
+        },
+        Category {
+            index: CategoryId(2),
+            name: WellKnownCategory::MsgArrival.name().into(),
+            color: Color::YELLOW,
+            kind: CategoryKind::Event,
+        },
+        Category {
+            index: CategoryId(3),
+            name: WellKnownCategory::Message.name().into(),
+            color: Color::WHITE,
+            kind: CategoryKind::Arrow,
+        },
+    ];
+    let (mut t0, mut t1) = (0.0f64, 1.0f64);
+    for d in &drawables {
+        if d.start().is_finite() {
+            t0 = t0.min(d.start());
+        }
+        if d.end().is_finite() {
+            t1 = t1.max(d.end());
+        }
+    }
+    Slog2File {
+        timelines: vec![
+            "PI_MAIN".into(),
+            "W0".into(),
+            "W1".into(),
+            "W2".into(),
+            "W3".into(),
+        ],
+        categories,
+        range: TimeWindow::new(t0, t1),
+        warnings: vec![],
+        tree: FrameTree::build(drawables, t0, t1, 32, 8),
+    }
+}
+
+/// Paper-scale instance A (Fig. 4): chunk distribution staggers the
+/// parses, then the query loop inadvertently serializes the workers.
+pub fn instance_a() -> Slog2File {
+    let workers = 4u32;
+    let queries = 6u32;
+    let mut ds = Vec::new();
+
+    // PI_MAIN reads the file and ships chunks one worker at a time.
+    ds.push(state(0, 0, 0.0, 15.0));
+    for i in 0..workers {
+        let ship = 0.6 * f64::from(i + 1);
+        let recv = ship + 0.05;
+        let w = i + 1;
+        ds.push(arrow(0, w, ship, recv, 100 + i));
+        ds.push(arrival(w, recv));
+        // Worker: idle from startup, then parses its chunk for 1.5 s.
+        ds.push(state(0, w, 0.1, 15.0));
+        ds.push(state(1, w, 0.2, recv)); // blocked until the chunk lands
+                                         // (parse runs [recv, recv + 1.5] — busy time, no extra state)
+                                         // Blocked again from parse end until the first query arrives.
+    }
+
+    // Serialized query loop: main sends one query parcel at a time and
+    // waits for the answer before the next — one worker busy at once.
+    let qs = 4.0;
+    let slot = 0.45;
+    for q in 0..queries {
+        for i in 0..workers {
+            let w = i + 1;
+            let st = qs + f64::from(q * workers + i) * slot;
+            ds.push(arrow(0, w, st - 0.05, st, 200 + q * workers + i));
+            ds.push(arrival(w, st));
+            // Worker blocked from its previous activity until this query.
+            let prev_end = if q == 0 {
+                0.65 + 0.6 * f64::from(i) + 1.5 // parse end
+            } else {
+                qs + f64::from((q - 1) * workers + i) * slot + 0.4
+            };
+            ds.push(state(1, w, prev_end, st));
+            // Busy answering [st, st+0.4], then reply.
+            ds.push(arrow(w, 0, st + 0.4, st + slot, 300 + q * workers + i));
+            ds.push(arrival(0, st + slot));
+            // Main blocked while this worker computes.
+            ds.push(state(1, 0, st - 0.04, st + slot));
+        }
+    }
+    // Tail blocks: workers wait from their last answer to the end.
+    let last_round_start = qs + f64::from((queries - 1) * workers) * slot;
+    for i in 0..workers {
+        let done = last_round_start + f64::from(i) * slot + 0.4;
+        ds.push(state(1, i + 1, done, 15.0));
+    }
+    file_with(ds)
+}
+
+/// Paper-scale instance B (Fig. 5): PI_MAIN reads *and parses* the
+/// whole file itself for 11.5 s while every worker sits blocked in
+/// `PI_Read`; the queries afterwards are quick.
+pub fn instance_b() -> Slog2File {
+    let workers = 4u32;
+    let mut ds = Vec::new();
+    let init_end = 11.5;
+
+    ds.push(state(0, 0, 0.0, 16.2));
+    let mut last_reply = 0.0f64;
+    for i in 0..workers {
+        let w = i + 1;
+        let ship = init_end + 0.1 * f64::from(i);
+        let recv = ship + 0.15;
+        ds.push(arrow(0, w, ship, recv, 100 + i));
+        ds.push(arrival(w, recv));
+        // Worker: started at 0.2, blocked in PI_Read the whole init.
+        ds.push(state(0, w, 0.2, 16.0));
+        ds.push(state(1, w, 0.3, recv));
+        // Parse + queries: busy [recv, recv + 1.5], then reply.
+        let reply = recv + 1.5;
+        ds.push(state(1, w, reply, 16.0)); // blocked after its work is done
+        ds.push(arrow(w, 0, reply, reply + 0.2, 200 + i));
+        ds.push(arrival(0, reply + 0.2));
+        last_reply = last_reply.max(reply + 0.2);
+    }
+    // Main blocked while collecting replies, then merges.
+    ds.push(state(1, 0, init_end + 0.5, last_reply));
+    file_with(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        for f in [instance_a(), instance_b()] {
+            assert_eq!(f.timelines.len(), 5);
+            let defects = slog2::validate(&f);
+            assert!(defects.is_empty(), "{defects:?}");
+        }
+    }
+
+    #[test]
+    fn instance_b_workers_idle_past_eleven_seconds() {
+        let idle = crate::activity::idle_until_first_arrival(&instance_b());
+        for w in 1..=4u32 {
+            assert!(idle[&TimelineId(w)] >= 11.0, "{idle:?}");
+        }
+    }
+}

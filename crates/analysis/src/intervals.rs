@@ -1,0 +1,93 @@
+//! Total interval arithmetic over `(start, end)` pairs of seconds.
+//!
+//! These helpers used to live in `pilot-vis` and sorted with
+//! `partial_cmp(..).unwrap()`, which panics the moment a NaN endpoint
+//! shows up — and NaN endpoints are reachable: a torn log salvaged by
+//! the crash-forensics converter can carry drawables whose timestamps
+//! were never written. Every function here is *total*: non-finite or
+//! empty intervals are skipped, never compared.
+
+/// Merge an interval list into a sorted, disjoint cover.
+///
+/// Intervals with a non-finite endpoint or with `end < start` are
+/// dropped; touching intervals (`end == next.start`) are coalesced.
+pub fn merge_intervals(iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    let mut iv: Vec<(f64, f64)> = iv
+        .into_iter()
+        .filter(|&(s, e)| s.is_finite() && e.is_finite() && s <= e)
+        .collect();
+    iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Subtract interval set `b` from interval set `a`.
+///
+/// Both inputs must be merged/sorted (the output of
+/// [`merge_intervals`]); the result is again sorted and disjoint.
+pub fn subtract_intervals(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for &(s, e) in a {
+        let mut cur = s;
+        for &(bs, be) in b {
+            if be <= cur || bs >= e {
+                continue;
+            }
+            if bs > cur {
+                out.push((cur, bs));
+            }
+            cur = cur.max(be);
+            if cur >= e {
+                break;
+            }
+        }
+        if cur < e {
+            out.push((cur, e));
+        }
+    }
+    out
+}
+
+/// Total seconds covered by an interval list.
+pub fn total_seconds(iv: &[(f64, f64)]) -> f64 {
+    iv.iter().map(|(s, e)| e - s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_handles_adjacent_and_nested() {
+        let merged = merge_intervals(vec![(0.0, 2.0), (2.0, 3.0), (5.0, 6.0), (4.9, 5.5)]);
+        assert_eq!(merged, vec![(0.0, 3.0), (4.9, 6.0)]);
+    }
+
+    #[test]
+    fn subtract_carves_holes() {
+        let sub = subtract_intervals(&[(0.0, 10.0)], &[(0.0, 1.0), (9.0, 10.0)]);
+        assert_eq!(sub, vec![(1.0, 9.0)]);
+        let sub = subtract_intervals(&[(0.0, 4.0)], &[(0.0, 5.0)]);
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn non_finite_and_inverted_intervals_are_skipped() {
+        let merged = merge_intervals(vec![
+            (f64::NAN, 1.0),
+            (0.0, f64::NAN),
+            (f64::NEG_INFINITY, 0.5),
+            (2.0, f64::INFINITY),
+            (5.0, 3.0),
+            (1.0, 2.0),
+        ]);
+        assert_eq!(merged, vec![(1.0, 2.0)]);
+        assert!((total_seconds(&merged) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! # analysis — the causal diagnosis engine
+//!
+//! The paper's whole pitch is that a *picture* of the log lets an
+//! instructor diagnose a parallel program in moments. This crate is
+//! the next step: it reads the same SLOG2 trace and produces the
+//! diagnosis itself, with evidence a test can assert on.
+//!
+//! * [`graph`] — the happens-before graph: per-timeline program order
+//!   plus cross-timeline edges from message arrows, with vector-clock
+//!   timestamps (`happens_before` / `concurrent` queries).
+//! * [`critical`] — the weighted critical path from run start to last
+//!   completion (its length equals the makespan by construction), and
+//!   the attribution of every blocked interval to the specific send
+//!   that released it.
+//! * [`verdict`] — automated bottleneck verdicts: `SerializedPhase`
+//!   (the paper's instance A), `LateProducer` (instance B's 11 s),
+//!   `LoadImbalance`, `CriticalRankDominance` — each with a time
+//!   window, the implicated timelines, and an estimate of the seconds
+//!   recoverable.
+//! * [`activity`] / [`intervals`] — the quantitative helpers behind
+//!   the detectors (moved here from `pilot-vis`, now total over NaN
+//!   endpoints from salvaged torn logs).
+//! * [`fixtures`] — deterministic paper-scale traces of instances A
+//!   and B, shared by the golden tests and `repro diagnose`.
+//!
+//! [`TraceAnalyzer`] bundles it all behind one handle:
+//!
+//! ```
+//! use analysis::{TraceAnalyzer, VerdictKind};
+//! let file = analysis::fixtures::instance_b();
+//! let az = TraceAnalyzer::new(&file);
+//! let diagnosis = az.diagnose("instance-b");
+//! assert!(diagnosis.has(VerdictKind::LateProducer));
+//! assert!((az.critical_path().length() - diagnosis.makespan).abs() < 1e-9);
+//! ```
+
+pub mod activity;
+pub mod critical;
+pub mod fixtures;
+pub mod graph;
+pub mod intervals;
+pub mod verdict;
+
+pub use activity::{
+    busy_intervals, idle_until_first_arrival, parallel_overlap, timeline_activity,
+    timeline_state_seconds, TimelineActivity,
+};
+pub use critical::{
+    attribute_blocks, critical_path, BlockAttribution, CriticalPath, PathHop, PathSegment,
+    ReleasingSend,
+};
+pub use graph::{HbGraph, HbNode, HbNodeKind};
+pub use intervals::{merge_intervals, subtract_intervals, total_seconds};
+pub use verdict::{diagnose, worker_timelines, Diagnosis, Verdict, VerdictKind};
+
+use slog2::{Slog2File, TimelineId};
+
+/// One-stop analysis handle over a loaded trace.
+pub struct TraceAnalyzer<'a> {
+    file: &'a Slog2File,
+}
+
+impl<'a> TraceAnalyzer<'a> {
+    /// Wrap a loaded file.
+    pub fn new(file: &'a Slog2File) -> TraceAnalyzer<'a> {
+        TraceAnalyzer { file }
+    }
+
+    /// The underlying file.
+    pub fn file(&self) -> &'a Slog2File {
+        self.file
+    }
+
+    /// Build the happens-before graph.
+    pub fn happens_before_graph(&self) -> HbGraph {
+        HbGraph::build(self.file)
+    }
+
+    /// Compute the critical path.
+    pub fn critical_path(&self) -> CriticalPath {
+        critical::critical_path(self.file)
+    }
+
+    /// Attribute every blocked interval to its releasing send.
+    pub fn blocked_intervals(&self) -> Vec<BlockAttribution> {
+        critical::attribute_blocks(self.file)
+    }
+
+    /// Busy (computing, not blocked) intervals of one timeline.
+    pub fn busy_intervals(&self, timeline: TimelineId) -> Vec<(f64, f64)> {
+        activity::busy_intervals(self.file, timeline)
+    }
+
+    /// Run every detector and assemble the diagnosis.
+    pub fn diagnose(&self, workload: &str) -> Diagnosis {
+        verdict::diagnose(self.file, workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzer_wires_the_layers_together() {
+        let file = fixtures::instance_b();
+        let az = TraceAnalyzer::new(&file);
+        let g = az.happens_before_graph();
+        assert!(g.nodes().len() > file.timelines.len());
+        let cp = az.critical_path();
+        assert!((cp.length() - cp.makespan()).abs() < 1e-9);
+        let blocks = az.blocked_intervals();
+        assert!(blocks.iter().any(|b| b.released_by.is_some()));
+        assert!(az.diagnose("x").has(VerdictKind::LateProducer));
+        assert!(!az.busy_intervals(TimelineId(0)).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests: the critical-path invariant and NaN-totality of the
+//! interval helpers.
+
+use analysis::{
+    busy_intervals, critical_path, merge_intervals, parallel_overlap, subtract_intervals,
+    TraceAnalyzer,
+};
+use mpelog::Color;
+use proptest::prelude::*;
+use slog2::{
+    ArrowDrawable, Category, CategoryId, CategoryKind, Drawable, FrameTree, Slog2File,
+    StateDrawable, TimeWindow, TimelineId,
+};
+
+fn file_from(drawables: Vec<Drawable>, ntl: u32) -> Slog2File {
+    let categories = vec![
+        Category {
+            index: CategoryId(0),
+            name: "Compute".into(),
+            color: Color::GRAY,
+            kind: CategoryKind::State,
+        },
+        Category {
+            index: CategoryId(1),
+            name: "PI_Read".into(),
+            color: Color::RED,
+            kind: CategoryKind::State,
+        },
+        Category {
+            index: CategoryId(2),
+            name: "message".into(),
+            color: Color::WHITE,
+            kind: CategoryKind::Arrow,
+        },
+    ];
+    let (mut t0, mut t1) = (0.0f64, 1.0f64);
+    for d in &drawables {
+        if d.start().is_finite() {
+            t0 = t0.min(d.start());
+        }
+        if d.end().is_finite() {
+            t1 = t1.max(d.end());
+        }
+    }
+    Slog2File {
+        timelines: (0..ntl).map(|i| format!("P{i}")).collect(),
+        categories,
+        range: TimeWindow::new(t0, t1),
+        warnings: vec![],
+        tree: FrameTree::build(drawables, t0, t1, 16, 8),
+    }
+}
+
+/// A well-formed trace: finite times, forward arrows, valid ids.
+fn arb_well_formed(ntl: u32) -> impl Strategy<Value = Vec<Drawable>> {
+    let state = (0u32..2, 0..ntl, 0.0f64..50.0, 0.01f64..20.0).prop_map(|(cat, tl, s, d)| {
+        Drawable::State(StateDrawable {
+            category: CategoryId(cat),
+            timeline: TimelineId(tl),
+            start: s,
+            end: s + d,
+            nest_level: cat,
+            text: String::new(),
+        })
+    });
+    let arrow = (0..ntl, 0..ntl, 0.0f64..50.0, 0.0f64..10.0, 0u32..100).prop_map(
+        |(from, to, s, d, tag)| {
+            Drawable::Arrow(ArrowDrawable {
+                category: CategoryId(2),
+                from_timeline: TimelineId(from),
+                to_timeline: TimelineId(to),
+                start: s,
+                end: s + d,
+                tag,
+                size: 8,
+            })
+        },
+    );
+    proptest::collection::vec(prop_oneof![state.clone(), state, arrow], 1..60)
+}
+
+/// Any f64, including NaN and infinities.
+fn wild_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-100.0f64..100.0).boxed(),
+        (-100.0f64..100.0).boxed(),
+        (-100.0f64..100.0).boxed(),
+        Just(f64::NAN).boxed(),
+        Just(f64::INFINITY).boxed(),
+        Just(f64::NEG_INFINITY).boxed(),
+    ]
+}
+
+fn arb_wild_drawable(ntl: u32) -> impl Strategy<Value = Drawable> {
+    let state = (0u32..2, 0..ntl, wild_f64(), wild_f64()).prop_map(|(cat, tl, s, e)| {
+        Drawable::State(StateDrawable {
+            category: CategoryId(cat),
+            timeline: TimelineId(tl),
+            start: s,
+            end: e,
+            nest_level: 0,
+            text: String::new(),
+        })
+    });
+    let arrow = (0..ntl, 0..ntl, wild_f64(), wild_f64()).prop_map(|(from, to, s, e)| {
+        Drawable::Arrow(ArrowDrawable {
+            category: CategoryId(2),
+            from_timeline: TimelineId(from),
+            to_timeline: TimelineId(to),
+            start: s,
+            end: e,
+            tag: 0,
+            size: 0,
+        })
+    });
+    prop_oneof![state, arrow]
+}
+
+proptest! {
+    /// The defining invariant: the critical path's weighted length is
+    /// the makespan, on any well-formed trace.
+    #[test]
+    fn critical_path_length_equals_makespan(ds in arb_well_formed(4)) {
+        let f = file_from(ds, 4);
+        let p = critical_path(&f);
+        prop_assert!(
+            (p.length() - p.makespan()).abs() < 1e-9,
+            "length {} vs makespan {}", p.length(), p.makespan()
+        );
+        // Segments and hops alternate contiguously backward in time.
+        for (seg, hop) in p.segments.iter().zip(&p.hops) {
+            prop_assert!(seg.end >= seg.start);
+            prop_assert!(hop.recv >= hop.send);
+            prop_assert!((hop.recv - seg.start).abs() < 1e-12);
+        }
+    }
+
+    /// Salvaged torn logs can carry NaN/inf endpoints; no analysis
+    /// entry point may panic or return a non-finite aggregate.
+    #[test]
+    fn non_finite_drawables_never_panic(
+        ds in proptest::collection::vec(arb_wild_drawable(3), 0..40)
+    ) {
+        let f = file_from(ds, 3);
+        let az = TraceAnalyzer::new(&f);
+        for tl in f.timeline_ids() {
+            for (s, e) in busy_intervals(&f, tl) {
+                prop_assert!(s.is_finite() && e.is_finite() && s <= e);
+            }
+        }
+        let tls: Vec<TimelineId> = f.timeline_ids().collect();
+        prop_assert!(parallel_overlap(&f, &tls, None).is_finite());
+        let p = az.critical_path();
+        prop_assert!(p.length().is_finite());
+        let d = az.diagnose("wild");
+        for v in &d.verdicts {
+            prop_assert!(v.recoverable_seconds.is_finite(), "{v:?}");
+        }
+        az.happens_before_graph();
+        az.blocked_intervals();
+    }
+
+    /// merge/subtract are total and produce sorted disjoint covers.
+    #[test]
+    fn interval_helpers_are_total(
+        iv in proptest::collection::vec((wild_f64(), wild_f64()), 0..30),
+        cut in proptest::collection::vec((-50.0f64..50.0, 0.0f64..20.0), 0..10),
+    ) {
+        let merged = merge_intervals(iv);
+        for w in merged.windows(2) {
+            prop_assert!(w[0].1 < w[1].0);
+        }
+        let cuts = merge_intervals(cut.into_iter().map(|(s, d)| (s, s + d)).collect());
+        let rest = subtract_intervals(&merged, &cuts);
+        for &(s, e) in &rest {
+            prop_assert!(s.is_finite() && e.is_finite() && s < e);
+            // Nothing left inside a cut.
+            for &(cs, ce) in &cuts {
+                prop_assert!(e <= cs || s >= ce);
+            }
+        }
+    }
+}

@@ -5,18 +5,20 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mpelog::Color;
-use slog2::{Category, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable};
+use slog2::{
+    Category, CategoryId, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable, TimelineId,
+};
 
 fn dense_file(states: usize, timelines: u32) -> Slog2File {
     let categories = vec![
         Category {
-            index: 0,
+            index: CategoryId(0),
             name: "Compute".into(),
             color: Color::GRAY,
             kind: CategoryKind::State,
         },
         Category {
-            index: 1,
+            index: CategoryId(1),
             name: "PI_Read".into(),
             color: Color::RED,
             kind: CategoryKind::State,
@@ -26,8 +28,8 @@ fn dense_file(states: usize, timelines: u32) -> Slog2File {
     let drawables: Vec<Drawable> = (0..states)
         .map(|i| {
             Drawable::State(StateDrawable {
-                category: (i % 2) as u32,
-                timeline: (i as u32) % timelines,
+                category: CategoryId((i % 2) as u32),
+                timeline: TimelineId((i as u32) % timelines),
                 start: i as f64 * dt,
                 end: i as f64 * dt + dt * 0.8,
                 nest_level: 0,

@@ -47,7 +47,7 @@ pub struct OverheadCell {
 
 /// Median of a sample (consumes and sorts it).
 pub fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.sort_by(f64::total_cmp);
     let n = xs.len();
     if n == 0 {
         return f64::NAN;

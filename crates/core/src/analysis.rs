@@ -1,180 +1,13 @@
-//! Quantitative log analyses — the numbers behind the paper's visual
-//! diagnoses.
+//! Cross-checking the rendered log against runtime counters.
 //!
-//! Section IV.B of the paper diagnoses two student programs *by eye*:
-//! instance A's query phase is inadvertently serialized (workers never
-//! compute simultaneously), and instance B's workers sit idle while the
-//! master initializes. These functions extract the same evidence from
-//! the SLOG2 data so the reproduction can assert on it:
-//!
-//! * [`busy_intervals`] — when a timeline is actually computing
-//!   (inside its Compute state but *not* blocked in `PI_Read` /
-//!   `PI_Select`);
-//! * [`parallel_overlap`] — the fraction of total busy time during
-//!   which at least two of the given timelines are busy at once:
-//!   ≈ 0 for a serialized program, high for a parallel one;
-//! * [`idle_until_first_arrival`] — how long each worker waits before
-//!   its first message arrives (instance B's 11-second wait);
-//! * [`timeline_state_seconds`] — gray-vs-red style totals per timeline
-//!   ("the unfavourable ratio of gray computation to red blocking-read").
-
-use std::collections::BTreeMap;
+//! The quantitative trace analyses (busy intervals, parallel overlap,
+//! idle-until-first-arrival, per-category totals) moved to the
+//! dedicated `analysis` crate alongside the happens-before graph and
+//! the verdict engine; this module keeps the one analysis that needs
+//! the observability layer, which `analysis` deliberately does not
+//! depend on.
 
 use slog2::{Drawable, Slog2File, TimeWindow};
-
-/// Per-timeline activity summary.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct TimelineActivity {
-    /// Total seconds inside the Compute state.
-    pub compute_span: f64,
-    /// Seconds blocked in `PI_Read` / `PI_Select`.
-    pub blocked: f64,
-    /// Compute span minus blocked time.
-    pub busy: f64,
-}
-
-fn category_index(file: &Slog2File, name: &str) -> Option<u32> {
-    file.category_by_name(name).map(|c| c.index)
-}
-
-/// Total seconds spent in states of the named category, per timeline.
-pub fn timeline_state_seconds(file: &Slog2File, category_name: &str) -> BTreeMap<u32, f64> {
-    match category_index(file, category_name) {
-        Some(idx) => slog2::stats::timeline_category_time(file, idx),
-        None => BTreeMap::new(),
-    }
-}
-
-/// Merge a sorted interval list in place (helper).
-fn merge_intervals(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
-    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
-    for (s, e) in iv {
-        match out.last_mut() {
-            Some(last) if s <= last.1 => last.1 = last.1.max(e),
-            _ => out.push((s, e)),
-        }
-    }
-    out
-}
-
-/// Subtract interval set `b` from interval set `a` (both merged/sorted).
-fn subtract_intervals(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<(f64, f64)> {
-    let mut out = Vec::new();
-    for &(s, e) in a {
-        let mut cur = s;
-        for &(bs, be) in b {
-            if be <= cur || bs >= e {
-                continue;
-            }
-            if bs > cur {
-                out.push((cur, bs));
-            }
-            cur = cur.max(be);
-            if cur >= e {
-                break;
-            }
-        }
-        if cur < e {
-            out.push((cur, e));
-        }
-    }
-    out
-}
-
-/// The intervals during which `timeline` is computing: inside its
-/// Compute state but not blocked in `PI_Read` or `PI_Select`.
-pub fn busy_intervals(file: &Slog2File, timeline: u32) -> Vec<(f64, f64)> {
-    let compute = category_index(file, "Compute");
-    let read = category_index(file, "PI_Read");
-    let select = category_index(file, "PI_Select");
-    let mut compute_iv = Vec::new();
-    let mut blocked_iv = Vec::new();
-    for d in file.tree.query(TimeWindow::ALL) {
-        if let Drawable::State(s) = d {
-            if s.timeline != timeline {
-                continue;
-            }
-            if Some(s.category) == compute {
-                compute_iv.push((s.start, s.end));
-            } else if Some(s.category) == read || Some(s.category) == select {
-                blocked_iv.push((s.start, s.end));
-            }
-        }
-    }
-    subtract_intervals(&merge_intervals(compute_iv), &merge_intervals(blocked_iv))
-}
-
-/// Activity summary for one timeline.
-pub fn timeline_activity(file: &Slog2File, timeline: u32) -> TimelineActivity {
-    let compute = timeline_state_seconds(file, "Compute")
-        .get(&timeline)
-        .copied()
-        .unwrap_or(0.0);
-    let read = timeline_state_seconds(file, "PI_Read")
-        .get(&timeline)
-        .copied()
-        .unwrap_or(0.0);
-    let select = timeline_state_seconds(file, "PI_Select")
-        .get(&timeline)
-        .copied()
-        .unwrap_or(0.0);
-    let busy: f64 = busy_intervals(file, timeline)
-        .iter()
-        .map(|(s, e)| e - s)
-        .sum();
-    TimelineActivity {
-        compute_span: compute,
-        blocked: read + select,
-        busy,
-    }
-}
-
-/// Fraction of "some timeline is busy" time during which **two or
-/// more** of the given timelines are busy simultaneously, optionally
-/// restricted to a window.
-///
-/// A perfectly serialized phase scores ~0; `k` workers computing in
-/// parallel score close to 1.
-pub fn parallel_overlap(file: &Slog2File, timelines: &[u32], window: Option<TimeWindow>) -> f64 {
-    // Sweep over busy-interval edges counting concurrency.
-    let mut events: Vec<(f64, i32)> = Vec::new();
-    for &tl in timelines {
-        for (mut s, mut e) in busy_intervals(file, tl) {
-            if let Some(w) = window {
-                s = s.max(w.t0);
-                e = e.min(w.t1);
-                if s >= e {
-                    continue;
-                }
-            }
-            events.push((s, 1));
-            events.push((e, -1));
-        }
-    }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
-    let mut depth = 0i32;
-    let mut prev = f64::NAN;
-    let mut any = 0.0;
-    let mut multi = 0.0;
-    for (t, delta) in events {
-        if prev.is_finite() && t > prev {
-            if depth >= 1 {
-                any += t - prev;
-            }
-            if depth >= 2 {
-                multi += t - prev;
-            }
-        }
-        depth += delta;
-        prev = t;
-    }
-    if any > 0.0 {
-        multi / any
-    } else {
-        0.0
-    }
-}
 
 /// Result of [`counters_vs_trace`]: the runtime counter total and the
 /// corresponding count extracted from the rendered SLOG2 file.
@@ -226,63 +59,27 @@ pub fn counters_vs_trace(file: &Slog2File, snapshot: &obs::Snapshot) -> CrossChe
     }
 }
 
-/// Seconds from the start of each worker's Compute state until its
-/// first message-arrival bubble — instance B's "kept waiting till
-/// PI_MAIN did 11 seconds of initialization".
-pub fn idle_until_first_arrival(file: &Slog2File) -> BTreeMap<u32, f64> {
-    let compute = category_index(file, "Compute");
-    let arrival = category_index(file, "msg arrival");
-    let mut compute_start: BTreeMap<u32, f64> = BTreeMap::new();
-    let mut first_arrival: BTreeMap<u32, f64> = BTreeMap::new();
-    for d in file.tree.query(TimeWindow::ALL) {
-        match d {
-            Drawable::State(s) if Some(s.category) == compute => {
-                compute_start
-                    .entry(s.timeline)
-                    .and_modify(|t| *t = t.min(s.start))
-                    .or_insert(s.start);
-            }
-            Drawable::Event(e) if Some(e.category) == arrival => {
-                first_arrival
-                    .entry(e.timeline)
-                    .and_modify(|t| *t = t.min(e.time))
-                    .or_insert(e.time);
-            }
-            _ => {}
-        }
-    }
-    compute_start
-        .into_iter()
-        .filter_map(|(tl, start)| first_arrival.get(&tl).map(|&a| (tl, (a - start).max(0.0))))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{ArrowDrawable, Category, CategoryKind, EventDrawable, FrameTree, StateDrawable};
+    use slog2::{
+        ArrowDrawable, Category, CategoryId, CategoryKind, FrameTree, StateDrawable, TimelineId,
+    };
 
-    /// Hand-built file: categories 0=Compute, 1=PI_Read, 2=msg arrival.
     fn file_with(drawables: Vec<Drawable>) -> Slog2File {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "Compute".into(),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
-                name: "PI_Read".into(),
-                color: Color::RED,
-                kind: CategoryKind::State,
-            },
-            Category {
-                index: 2,
-                name: "msg arrival".into(),
-                color: Color::YELLOW,
-                kind: CategoryKind::Event,
+                index: CategoryId(3),
+                name: "message".into(),
+                color: Color::WHITE,
+                kind: CategoryKind::Arrow,
             },
         ];
         let (mut t0, mut t1) = (0.0f64, 1.0f64);
@@ -291,7 +88,7 @@ mod tests {
             t1 = t1.max(d.end());
         }
         Slog2File {
-            timelines: vec!["PI_MAIN".into(), "W0".into(), "W1".into()],
+            timelines: vec!["PI_MAIN".into(), "W0".into()],
             categories,
             range: TimeWindow::new(t0, t1),
             warnings: vec![],
@@ -299,100 +96,21 @@ mod tests {
         }
     }
 
-    fn state(cat: u32, tl: u32, s: f64, e: f64) -> Drawable {
-        Drawable::State(StateDrawable {
-            category: cat,
-            timeline: tl,
-            start: s,
-            end: e,
-            nest_level: if cat == 1 { 1 } else { 0 },
-            text: String::new(),
-        })
-    }
-
-    #[test]
-    fn busy_subtracts_blocking() {
-        // Compute [0,10], read [2,5]: busy = [0,2] ∪ [5,10].
-        let f = file_with(vec![state(0, 1, 0.0, 10.0), state(1, 1, 2.0, 5.0)]);
-        let busy = busy_intervals(&f, 1);
-        assert_eq!(busy, vec![(0.0, 2.0), (5.0, 10.0)]);
-        let act = timeline_activity(&f, 1);
-        assert!((act.compute_span - 10.0).abs() < 1e-12);
-        assert!((act.blocked - 3.0).abs() < 1e-12);
-        assert!((act.busy - 7.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn serialized_workers_score_near_zero_overlap() {
-        // W0 busy [0,5], W1 busy [5,10]: no overlap.
-        let f = file_with(vec![
-            state(0, 1, 0.0, 10.0),
-            state(1, 1, 5.0, 10.0), // W0 blocked 5..10 -> busy 0..5
-            state(0, 2, 0.0, 10.0),
-            state(1, 2, 0.0, 5.0), // W1 blocked 0..5 -> busy 5..10
-        ]);
-        let overlap = parallel_overlap(&f, &[1, 2], None);
-        assert!(overlap < 0.01, "overlap {overlap}");
-    }
-
-    #[test]
-    fn parallel_workers_score_high_overlap() {
-        let f = file_with(vec![state(0, 1, 0.0, 10.0), state(0, 2, 0.0, 10.0)]);
-        let overlap = parallel_overlap(&f, &[1, 2], None);
-        assert!(overlap > 0.99, "overlap {overlap}");
-    }
-
-    #[test]
-    fn window_restricts_overlap_measurement() {
-        // Parallel early, serialized late.
-        let f = file_with(vec![
-            state(0, 1, 0.0, 4.0),
-            state(0, 2, 0.0, 4.0),
-            state(0, 1, 4.0, 6.0),
-            state(0, 2, 6.0, 8.0),
-        ]);
-        assert!(parallel_overlap(&f, &[1, 2], Some(TimeWindow::new(0.0, 4.0))) > 0.99);
-        assert!(parallel_overlap(&f, &[1, 2], Some(TimeWindow::new(4.0, 8.0))) < 0.01);
-    }
-
-    #[test]
-    fn idle_until_first_arrival_measures_wait() {
-        let mut ds = vec![state(0, 1, 1.0, 20.0)];
-        ds.push(Drawable::Event(EventDrawable {
-            category: 2,
-            timeline: 1,
-            time: 12.0,
-            text: String::new(),
-        }));
-        ds.push(Drawable::Event(EventDrawable {
-            category: 2,
-            timeline: 1,
-            time: 15.0,
-            text: String::new(),
-        }));
-        let f = file_with(ds);
-        let idle = idle_until_first_arrival(&f);
-        assert!((idle[&1] - 11.0).abs() < 1e-12, "{idle:?}");
-    }
-
-    #[test]
-    fn interval_helpers_handle_adjacent_and_nested() {
-        let merged = merge_intervals(vec![(0.0, 2.0), (2.0, 3.0), (5.0, 6.0), (4.9, 5.5)]);
-        assert_eq!(merged, vec![(0.0, 3.0), (4.9, 6.0)]);
-        let sub = subtract_intervals(&[(0.0, 10.0)], &[(0.0, 1.0), (9.0, 10.0)]);
-        assert_eq!(sub, vec![(1.0, 9.0)]);
-        let sub = subtract_intervals(&[(0.0, 4.0)], &[(0.0, 5.0)]);
-        assert!(sub.is_empty());
-    }
-
     #[test]
     fn counters_vs_trace_is_an_oracle() {
-        let mut ds = vec![state(0, 1, 0.0, 1.0)];
+        let mut ds = vec![Drawable::State(StateDrawable {
+            category: CategoryId(0),
+            timeline: TimelineId(1),
+            start: 0.0,
+            end: 1.0,
+            nest_level: 0,
+            text: String::new(),
+        })];
         for i in 0..3u32 {
             ds.push(Drawable::Arrow(ArrowDrawable {
-                category: 3,
-                from_timeline: 0,
-                to_timeline: 1,
+                category: CategoryId(3),
+                from_timeline: TimelineId(0),
+                to_timeline: TimelineId(1),
                 start: 0.1 * f64::from(i + 1),
                 end: 0.1 * f64::from(i + 2),
                 tag: 1000 + i,
@@ -414,14 +132,5 @@ mod tests {
         let cc = counters_vs_trace(&f, &o.snapshot());
         assert!(!cc.passed());
         assert!(cc.to_string().contains("MISMATCH"));
-    }
-
-    #[test]
-    fn missing_categories_are_graceful() {
-        let f = file_with(vec![]);
-        assert!(timeline_state_seconds(&f, "nonexistent").is_empty());
-        assert!(busy_intervals(&f, 0).is_empty());
-        assert_eq!(parallel_overlap(&f, &[0, 1], None), 0.0);
-        assert!(idle_until_first_arrival(&f).is_empty());
     }
 }

@@ -28,9 +28,10 @@ pub mod json;
 pub mod pipeline;
 pub mod report;
 
-pub use analysis::{
-    busy_intervals, counters_vs_trace, idle_until_first_arrival, parallel_overlap,
-    timeline_state_seconds, CrossCheck, TimelineActivity,
+pub use crate::analysis::{counters_vs_trace, CrossCheck};
+pub use ::analysis::{
+    busy_intervals, idle_until_first_arrival, parallel_overlap, timeline_state_seconds,
+    TimelineActivity,
 };
 pub use pipeline::{visualize, VisOptions, VisRun};
 pub use report::{run_report, RunReport};

@@ -1,9 +1,10 @@
 //! Machine-readable run reports (JSON) — what the benchmark harness
 //! stores next to each regenerated figure.
 
-use slog2::TimeWindow;
+use slog2::{TimeWindow, TimelineId};
 
-use crate::analysis::{idle_until_first_arrival, parallel_overlap, timeline_activity};
+use ::analysis::{idle_until_first_arrival, parallel_overlap, timeline_activity};
+
 use crate::json::Json;
 use crate::pipeline::VisRun;
 
@@ -81,7 +82,7 @@ pub fn run_report(run: &VisRun) -> Option<RunReport> {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let act = timeline_activity(slog, i as u32);
+            let act = timeline_activity(slog, TimelineId(i as u32));
             ReportTimeline {
                 rank: i as u32,
                 name: name.clone(),
@@ -91,7 +92,7 @@ pub fn run_report(run: &VisRun) -> Option<RunReport> {
             }
         })
         .collect();
-    let workers: Vec<u32> = (1..slog.timelines.len() as u32).collect();
+    let workers: Vec<TimelineId> = (1..slog.timelines.len() as u32).map(TimelineId).collect();
     RunReport {
         clean: run.is_clean(),
         range: slog.range,
@@ -99,7 +100,10 @@ pub fn run_report(run: &VisRun) -> Option<RunReport> {
         warnings: run.warnings.iter().map(|w| w.to_string()).collect(),
         legend: legend_rows,
         worker_overlap: parallel_overlap(slog, &workers, None),
-        idle_until_first_arrival: idle_until_first_arrival(slog).into_iter().collect(),
+        idle_until_first_arrival: idle_until_first_arrival(slog)
+            .into_iter()
+            .map(|(tl, idle)| (tl.as_u32(), idle))
+            .collect(),
         timelines,
         wrapup_seconds: run.outcome.artifacts.wrapup_seconds,
     }

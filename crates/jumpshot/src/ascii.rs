@@ -15,44 +15,10 @@
 
 use std::fmt::Write as _;
 
-use slog2::{Drawable, Slog2File, TimeWindow};
+use slog2::{Drawable, Slog2File, TimeWindow, TimelineId};
 
 use crate::render::RenderOptions;
 use crate::viewport::Viewport;
-
-/// Options for the text view.
-#[derive(Debug, Clone)]
-pub struct AsciiOptions {
-    /// Chart width in characters.
-    pub width: usize,
-    /// Include the arrow list below the chart.
-    pub show_arrows: bool,
-    /// Cap on the arrow list (0 = unlimited).
-    pub max_arrows: usize,
-}
-
-impl Default for AsciiOptions {
-    fn default() -> Self {
-        AsciiOptions {
-            width: 72,
-            show_arrows: true,
-            max_arrows: 20,
-        }
-    }
-}
-
-/// Render the window `[t0, t1]` as text.
-#[deprecated(
-    note = "use jumpshot::AsciiRenderer (the Renderer trait) with RenderOptions::with_window"
-)]
-pub fn render_ascii(file: &Slog2File, t0: f64, t1: f64, opts: &AsciiOptions) -> String {
-    let ropts = RenderOptions::default()
-        .with_window(TimeWindow::new(t0, t1))
-        .with_width(opts.width as u32)
-        .with_arrows(opts.show_arrows)
-        .with_max_arrows(opts.max_arrows);
-    ascii_string(file, TimeWindow::new(t0, t1), &ropts)
-}
 
 // The cell-painting loop indexes a clamped column range of a 2-D grid;
 // a slice iterator would need the same bounds arithmetic, less clearly.
@@ -74,17 +40,17 @@ pub(crate) fn ascii_string(file: &Slog2File, w: TimeWindow, opts: &RenderOptions
 
     // cells[tl][col] = (best coverage, letter)
     let mut cells = vec![vec![(0.0f64, ' '); width]; ntl];
-    let mut arrows: Vec<(f64, u32, u32)> = Vec::new();
+    let mut arrows: Vec<(f64, TimelineId, TimelineId)> = Vec::new();
 
     for d in file.tree.query(w) {
         match d {
             Drawable::State(s) => {
-                if s.timeline as usize >= ntl {
+                if s.timeline.as_usize() >= ntl {
                     continue;
                 }
                 let letter = file
                     .categories
-                    .get(s.category as usize)
+                    .get(s.category.as_usize())
                     .and_then(|c| {
                         // Use the distinguishing letter of the Pilot name:
                         // "PI_Read" -> 'R', "Compute" -> 'C'.
@@ -98,36 +64,62 @@ pub(crate) fn ascii_string(file: &Slog2File, w: TimeWindow, opts: &RenderOptions
                     // coverage-per-cell comparison with small bias).
                     let cov = (s.end - s.start) / (1.0 + s.nest_level as f64 * 0.0)
                         + s.nest_level as f64 * 1e9;
-                    let cell = &mut cells[s.timeline as usize][col];
+                    let cell = &mut cells[s.timeline.as_usize()][col];
                     if cov >= cell.0 {
                         *cell = (cov, letter);
                     }
                 }
             }
             Drawable::Event(e) => {
-                if e.timeline as usize >= ntl {
+                if e.timeline.as_usize() >= ntl {
                     continue;
                 }
                 let col = vp.x_of(e.time).floor().max(0.0) as usize;
                 if col < width {
-                    cells[e.timeline as usize][col] = (f64::INFINITY, '*');
+                    cells[e.timeline.as_usize()][col] = (f64::INFINITY, '*');
                 }
             }
             Drawable::Arrow(a) => arrows.push((a.start, a.from_timeline, a.to_timeline)),
         }
     }
 
+    let overlay = opts.overlay.as_ref();
+    let col_span = (t1 - t0) / width as f64;
     let mut out = String::new();
     for (tl, name) in file.timelines.iter().enumerate() {
         let short: String = name.chars().take(label_w).collect();
         let _ = write!(out, "{short:<label_w$} |");
-        for &(_, ch) in &cells[tl] {
-            out.push(if ch == ' ' { '.' } else { ch });
+        for (col, &(_, ch)) in cells[tl].iter().enumerate() {
+            let mut ch = if ch == ' ' { '.' } else { ch };
+            // With a dimming overlay, off-path cells drop to lowercase
+            // so the critical path stays the loudest thing on screen.
+            if let Some(ov) = overlay {
+                let c0 = t0 + col as f64 * col_span;
+                if ov.dim_others && !ov.on_path(TimelineId(tl as u32), c0, c0 + col_span) {
+                    ch = ch.to_ascii_lowercase();
+                }
+            }
+            out.push(ch);
         }
         out.push_str("|\n");
     }
+    if let Some(ov) = overlay {
+        let _ = writeln!(
+            out,
+            "critical path: {} segment(s), {} hop(s)",
+            ov.segments.len(),
+            ov.hops.len()
+        );
+        for &(tl, s0, s1) in &ov.segments {
+            let name = file.timeline_name(tl).unwrap_or("?");
+            let _ = writeln!(out, "  {name} [{s0:.6}s, {s1:.6}s]");
+        }
+        for &(from, to, t_send, t_recv) in &ov.hops {
+            let _ = writeln!(out, "  hop {from}->{to} @{t_send:.6}s..{t_recv:.6}s");
+        }
+    }
     if show_arrows && !arrows.is_empty() {
-        arrows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        arrows.sort_by(|a, b| a.0.total_cmp(&b.0));
         let shown = if max_arrows > 0 {
             arrows.len().min(max_arrows)
         } else {
@@ -149,31 +141,34 @@ pub(crate) fn ascii_string(file: &Slog2File, w: TimeWindow, opts: &RenderOptions
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::render::PathOverlay;
     use mpelog::Color;
-    use slog2::{ArrowDrawable, Category, CategoryKind, EventDrawable, FrameTree, StateDrawable};
+    use slog2::{
+        ArrowDrawable, Category, CategoryId, CategoryKind, EventDrawable, FrameTree, StateDrawable,
+    };
 
     fn file() -> Slog2File {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "Compute".into(),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "PI_Read".into(),
                 color: Color::RED,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 2,
+                index: CategoryId(2),
                 name: "msg arrival".into(),
                 color: Color::YELLOW,
                 kind: CategoryKind::Event,
             },
             Category {
-                index: 3,
+                index: CategoryId(3),
                 name: "message".into(),
                 color: Color::WHITE,
                 kind: CategoryKind::Arrow,
@@ -181,31 +176,31 @@ mod tests {
         ];
         let ds = vec![
             Drawable::State(StateDrawable {
-                category: 0,
-                timeline: 0,
+                category: CategoryId(0),
+                timeline: TimelineId(0),
                 start: 0.0,
                 end: 8.0,
                 nest_level: 0,
                 text: String::new(),
             }),
             Drawable::State(StateDrawable {
-                category: 1,
-                timeline: 1,
+                category: CategoryId(1),
+                timeline: TimelineId(1),
                 start: 2.0,
                 end: 6.0,
                 nest_level: 0,
                 text: String::new(),
             }),
             Drawable::Event(EventDrawable {
-                category: 2,
-                timeline: 1,
+                category: CategoryId(2),
+                timeline: TimelineId(1),
                 time: 5.0,
                 text: String::new(),
             }),
             Drawable::Arrow(ArrowDrawable {
-                category: 3,
-                from_timeline: 0,
-                to_timeline: 1,
+                category: CategoryId(3),
+                from_timeline: TimelineId(0),
+                to_timeline: TimelineId(1),
                 start: 4.0,
                 end: 5.0,
                 tag: 7,
@@ -266,9 +261,9 @@ mod tests {
         let mut ds: Vec<Drawable> = Vec::new();
         for i in 0..30 {
             ds.push(Drawable::Arrow(ArrowDrawable {
-                category: 3,
-                from_timeline: 0,
-                to_timeline: 1,
+                category: CategoryId(3),
+                from_timeline: TimelineId(0),
+                to_timeline: TimelineId(1),
                 start: i as f64 * 0.1,
                 end: i as f64 * 0.1 + 0.05,
                 tag: 0,
@@ -294,15 +289,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_trait_path() {
-        let f = file();
-        let old = render_ascii(&f, 0.0, 8.0, &AsciiOptions::default());
-        let new = ascii_string(
-            &f,
+    fn overlay_dims_off_path_and_lists_segments() {
+        let ov = PathOverlay {
+            segments: vec![(TimelineId(0), 0.0, 8.0)],
+            hops: vec![(TimelineId(0), TimelineId(1), 4.0, 5.0)],
+            dim_others: true,
+        };
+        let txt = ascii_string(
+            &file(),
             TimeWindow::new(0.0, 8.0),
-            &RenderOptions::default().with_width(72),
+            &RenderOptions::default().with_width(16).with_overlay(ov),
         );
-        assert_eq!(old, new);
+        let lines: Vec<&str> = txt.lines().collect();
+        // PI_MAIN is entirely on the path: letters stay uppercase.
+        assert!(lines[0].contains('C'), "{txt}");
+        // P1 is off the path: its PI_Read letters are dimmed.
+        assert!(lines[1].contains('r'), "{txt}");
+        assert!(!lines[1].contains('R'), "{txt}");
+        assert!(
+            txt.contains("critical path: 1 segment(s), 1 hop(s)"),
+            "{txt}"
+        );
+        assert!(txt.contains("PI_MAIN [0.000000s, 8.000000s]"), "{txt}");
+        assert!(txt.contains("hop 0->1 @4.000000s..5.000000s"), "{txt}");
     }
 }

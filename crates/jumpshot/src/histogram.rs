@@ -11,13 +11,15 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use slog2::{Drawable, Slog2File, TimeWindow};
+use slog2::{CategoryId, Drawable, Slog2File, TimeWindow, TimelineId};
+
+use crate::render::RenderOptions;
 
 /// One timeline's per-category coverage within the selected duration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimelineHistogram {
     /// `category index -> clipped seconds` (states only).
-    pub coverage: BTreeMap<u32, f64>,
+    pub coverage: BTreeMap<CategoryId, f64>,
 }
 
 impl TimelineHistogram {
@@ -29,9 +31,9 @@ impl TimelineHistogram {
 
 /// Compute the per-timeline, per-category state coverage clipped to
 /// the window `w`.
-pub fn duration_stats(file: &Slog2File, w: TimeWindow) -> BTreeMap<u32, TimelineHistogram> {
-    let mut out: BTreeMap<u32, TimelineHistogram> = BTreeMap::new();
-    for tl in 0..file.timelines.len() as u32 {
+pub fn duration_stats(file: &Slog2File, w: TimeWindow) -> BTreeMap<TimelineId, TimelineHistogram> {
+    let mut out: BTreeMap<TimelineId, TimelineHistogram> = BTreeMap::new();
+    for tl in file.timeline_ids() {
         out.insert(tl, TimelineHistogram::default());
     }
     for d in file.tree.query(w) {
@@ -53,7 +55,12 @@ pub fn duration_stats(file: &Slog2File, w: TimeWindow) -> BTreeMap<u32, Timeline
 /// the busiest and the least-busy timeline's coverage of `category`
 /// within the window (1.0 = perfectly balanced; `f64::INFINITY` when a
 /// timeline has none). Timelines listed in `among` only.
-pub fn load_imbalance(file: &Slog2File, category: u32, among: &[u32], w: TimeWindow) -> f64 {
+pub fn load_imbalance(
+    file: &Slog2File,
+    category: CategoryId,
+    among: &[TimelineId],
+    w: TimeWindow,
+) -> f64 {
     let stats = duration_stats(file, w);
     let loads: Vec<f64> = among
         .iter()
@@ -78,16 +85,9 @@ pub fn load_imbalance(file: &Slog2File, category: u32, among: &[u32], w: TimeWin
     }
 }
 
-/// Render the histogram window as an SVG: one horizontal stacked bar
-/// per timeline, category colours from the legend, with totals.
-#[deprecated(
-    note = "use jumpshot::HistogramRenderer (the Renderer trait) with RenderOptions::with_window"
-)]
-pub fn render_histogram_svg(file: &Slog2File, t0: f64, t1: f64, width_px: u32) -> String {
-    histogram_string(file, TimeWindow::new(t0, t1), width_px)
-}
-
-pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, width_px: u32) -> String {
+pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, opts: &RenderOptions) -> String {
+    let width_px = opts.width.max(1);
+    let overlay = opts.overlay.as_ref();
     let (t0, t1) = (w.t0, w.t1);
     let stats = duration_stats(file, w);
     let row_h = 24.0;
@@ -110,11 +110,7 @@ pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, width_px: u32) -
     );
     for (i, (tl, hist)) in stats.iter().enumerate() {
         let y = 22.0 + i as f64 * row_h;
-        let name = file
-            .timelines
-            .get(*tl as usize)
-            .map(String::as_str)
-            .unwrap_or("?");
+        let name = file.timeline_name(*tl).unwrap_or("?");
         let _ = writeln!(
             svg,
             "<text x=\"4\" y=\"{ty}\" fill=\"#ddd\">{name}</text>",
@@ -124,15 +120,10 @@ pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, width_px: u32) -
         for (cat, secs) in &hist.coverage {
             let wpx = secs / max_total * bar_w;
             let color = file
-                .categories
-                .get(*cat as usize)
+                .category(*cat)
                 .map(|c| c.color.to_hex())
                 .unwrap_or_else(|| "#888888".into());
-            let cname = file
-                .categories
-                .get(*cat as usize)
-                .map(|c| c.name.as_str())
-                .unwrap_or("?");
+            let cname = file.category(*cat).map(|c| c.name.as_str()).unwrap_or("?");
             let _ = writeln!(
                 svg,
                 "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{wpx:.2}\" height=\"{h:.2}\" \
@@ -141,13 +132,25 @@ pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, width_px: u32) -
             );
             x += wpx;
         }
-        let _ = writeln!(
-            svg,
-            "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#aaa\">{total:.4}s</text>",
-            tx = x + 6.0,
-            ty = y + row_h / 2.0 + 4.0,
-            total = hist.total()
-        );
+        let crit = overlay.map(|ov| ov.seconds_on(*tl, t0, t1)).unwrap_or(0.0);
+        if crit > 0.0 {
+            let _ = writeln!(
+                svg,
+                "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#ff4081\" class=\"critical-path\">\
+                 {total:.4}s (crit {crit:.4}s)</text>",
+                tx = x + 6.0,
+                ty = y + row_h / 2.0 + 4.0,
+                total = hist.total()
+            );
+        } else {
+            let _ = writeln!(
+                svg,
+                "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#aaa\">{total:.4}s</text>",
+                tx = x + 6.0,
+                ty = y + row_h / 2.0 + 4.0,
+                total = hist.total()
+            );
+        }
     }
     svg.push_str("</svg>\n");
     svg
@@ -156,19 +159,20 @@ pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, width_px: u32) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::render::PathOverlay;
     use mpelog::Color;
     use slog2::{Category, CategoryKind, FrameTree, StateDrawable};
 
     fn file() -> Slog2File {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "Compute".into(),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "PI_Read".into(),
                 color: Color::RED,
                 kind: CategoryKind::State,
@@ -176,24 +180,24 @@ mod tests {
         ];
         let ds = vec![
             Drawable::State(StateDrawable {
-                category: 0,
-                timeline: 0,
+                category: CategoryId(0),
+                timeline: TimelineId(0),
                 start: 0.0,
                 end: 10.0,
                 nest_level: 0,
                 text: String::new(),
             }),
             Drawable::State(StateDrawable {
-                category: 0,
-                timeline: 1,
+                category: CategoryId(0),
+                timeline: TimelineId(1),
                 start: 0.0,
                 end: 4.0,
                 nest_level: 0,
                 text: String::new(),
             }),
             Drawable::State(StateDrawable {
-                category: 1,
-                timeline: 1,
+                category: CategoryId(1),
+                timeline: TimelineId(1),
                 start: 4.0,
                 end: 6.0,
                 nest_level: 0,
@@ -213,38 +217,40 @@ mod tests {
     fn duration_stats_clip_to_window() {
         let stats = duration_stats(&file(), TimeWindow::new(2.0, 5.0));
         // Timeline 0: Compute clipped to [2,5] = 3s.
-        assert!((stats[&0].coverage[&0] - 3.0).abs() < 1e-12);
+        assert!((stats[&TimelineId(0)].coverage[&CategoryId(0)] - 3.0).abs() < 1e-12);
         // Timeline 1: Compute [2,4] = 2s, Read [4,5] = 1s.
-        assert!((stats[&1].coverage[&0] - 2.0).abs() < 1e-12);
-        assert!((stats[&1].coverage[&1] - 1.0).abs() < 1e-12);
-        assert!((stats[&1].total() - 3.0).abs() < 1e-12);
+        assert!((stats[&TimelineId(1)].coverage[&CategoryId(0)] - 2.0).abs() < 1e-12);
+        assert!((stats[&TimelineId(1)].coverage[&CategoryId(1)] - 1.0).abs() < 1e-12);
+        assert!((stats[&TimelineId(1)].total() - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn full_window_matches_raw_durations() {
         let stats = duration_stats(&file(), TimeWindow::new(0.0, 10.0));
-        assert!((stats[&0].coverage[&0] - 10.0).abs() < 1e-12);
-        assert!((stats[&1].coverage[&0] - 4.0).abs() < 1e-12);
+        assert!((stats[&TimelineId(0)].coverage[&CategoryId(0)] - 10.0).abs() < 1e-12);
+        assert!((stats[&TimelineId(1)].coverage[&CategoryId(0)] - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn imbalance_detects_uneven_compute() {
         let f = file();
+        let both = [TimelineId(0), TimelineId(1)];
         // Compute: 10s on timeline 0 vs 4s on timeline 1 -> 2.5x.
-        let imb = load_imbalance(&f, 0, &[0, 1], TimeWindow::new(0.0, 10.0));
+        let imb = load_imbalance(&f, CategoryId(0), &both, TimeWindow::new(0.0, 10.0));
         assert!((imb - 2.5).abs() < 1e-12);
         // Reads: only timeline 1 has any -> infinite imbalance vs 0.
-        assert!(load_imbalance(&f, 1, &[0, 1], TimeWindow::new(0.0, 10.0)).is_infinite());
+        assert!(load_imbalance(&f, CategoryId(1), &both, TimeWindow::new(0.0, 10.0)).is_infinite());
         // Nobody has category 99 -> balanced by convention.
         assert_eq!(
-            load_imbalance(&f, 99, &[0, 1], TimeWindow::new(0.0, 10.0)),
+            load_imbalance(&f, CategoryId(99), &both, TimeWindow::new(0.0, 10.0)),
             1.0
         );
     }
 
     #[test]
     fn histogram_svg_contains_bars_and_labels() {
-        let svg = histogram_string(&file(), TimeWindow::new(0.0, 10.0), 800);
+        let opts = RenderOptions::default().with_width(800);
+        let svg = histogram_string(&file(), TimeWindow::new(0.0, 10.0), &opts);
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("class=\"histbar\""));
         assert!(svg.contains("PI_MAIN"));
@@ -254,7 +260,22 @@ mod tests {
 
     #[test]
     fn empty_window_renders_without_bars() {
-        let svg = histogram_string(&file(), TimeWindow::new(20.0, 30.0), 800);
+        let opts = RenderOptions::default().with_width(800);
+        let svg = histogram_string(&file(), TimeWindow::new(20.0, 30.0), &opts);
         assert!(!svg.contains("class=\"histbar\""));
+    }
+
+    #[test]
+    fn overlay_annotates_critical_seconds_per_row() {
+        let ov = PathOverlay {
+            segments: vec![(TimelineId(0), 0.0, 7.5)],
+            hops: vec![],
+            dim_others: false,
+        };
+        let opts = RenderOptions::default().with_width(800).with_overlay(ov);
+        let svg = histogram_string(&file(), TimeWindow::new(0.0, 10.0), &opts);
+        // Timeline 0 carries 7.5s of the critical path; timeline 1 none.
+        assert!(svg.contains("(crit 7.5000s)"), "{svg}");
+        assert_eq!(svg.matches("(crit ").count(), 1, "{svg}");
     }
 }

@@ -20,12 +20,6 @@ use crate::legend::{Legend, LegendSort};
 use crate::render::{svg_string, RenderOptions};
 use crate::viewport::Viewport;
 
-/// Render `file` into a self-contained interactive HTML page.
-#[deprecated(note = "use jumpshot::HtmlRenderer (the Renderer trait)")]
-pub fn render_html(file: &Slog2File, opts: &RenderOptions) -> String {
-    html_string(file, opts)
-}
-
 pub(crate) fn html_string(file: &Slog2File, opts: &RenderOptions) -> String {
     // Render wide so zooming has detail to reveal.
     let w = opts.window.unwrap_or(file.range);
@@ -129,13 +123,17 @@ fn html_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::render::PathOverlay;
     use mpelog::Color;
-    use slog2::{Category, CategoryKind, Drawable, FrameTree, StateDrawable, TimeWindow};
+    use slog2::{
+        Category, CategoryId, CategoryKind, Drawable, FrameTree, StateDrawable, TimeWindow,
+        TimelineId,
+    };
 
     fn file() -> Slog2File {
         let ds = vec![Drawable::State(StateDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             start: 0.0,
             end: 1.0,
             nest_level: 0,
@@ -144,7 +142,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into()],
             categories: vec![Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "PI_Write".into(),
                 color: Color::GREEN,
                 kind: CategoryKind::State,
@@ -165,6 +163,18 @@ mod tests {
         assert!(html.contains("Equal Drawables: demo"));
         assert!(html.contains("viewBox"));
         assert!(html.contains("addEventListener"));
+    }
+
+    #[test]
+    fn html_page_inherits_critical_path_overlay() {
+        let ov = PathOverlay {
+            segments: vec![(TimelineId(0), 0.0, 1.0)],
+            hops: vec![],
+            dim_others: true,
+        };
+        let html = html_string(&file(), &RenderOptions::default().with_overlay(ov));
+        assert!(html.contains("class=\"critical-path\""));
+        assert!(html.contains("class=\"dim\""));
     }
 
     #[test]

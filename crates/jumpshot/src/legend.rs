@@ -8,7 +8,7 @@
 
 use std::collections::HashSet;
 
-use slog2::{legend_stats, CategoryKind, Slog2File};
+use slog2::{legend_stats, CategoryId, CategoryKind, Slog2File};
 
 /// Sort orders for the legend table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +29,7 @@ pub enum LegendSort {
 #[derive(Debug, Clone, PartialEq)]
 pub struct LegendRow {
     /// Category index.
-    pub index: u32,
+    pub index: CategoryId,
     /// Display name.
     pub name: String,
     /// Colour (hex).
@@ -86,25 +86,21 @@ impl Legend {
             LegendSort::Index => rows.sort_by_key(|r| r.index),
             LegendSort::Name => rows.sort_by(|a, b| a.name.cmp(&b.name)),
             LegendSort::Count => rows.sort_by_key(|r| std::cmp::Reverse(r.count)),
-            LegendSort::Inclusive => {
-                rows.sort_by(|a, b| b.inclusive.partial_cmp(&a.inclusive).unwrap())
-            }
-            LegendSort::Exclusive => {
-                rows.sort_by(|a, b| b.exclusive.partial_cmp(&a.exclusive).unwrap())
-            }
+            LegendSort::Inclusive => rows.sort_by(|a, b| b.inclusive.total_cmp(&a.inclusive)),
+            LegendSort::Exclusive => rows.sort_by(|a, b| b.exclusive.total_cmp(&a.exclusive)),
         }
         rows
     }
 
     /// Toggle a category's visibility; returns the new value.
-    pub fn toggle_visible(&mut self, index: u32) -> Option<bool> {
+    pub fn toggle_visible(&mut self, index: CategoryId) -> Option<bool> {
         let row = self.rows.iter_mut().find(|r| r.index == index)?;
         row.visible = !row.visible;
         Some(row.visible)
     }
 
     /// Toggle a category's searchability; returns the new value.
-    pub fn toggle_searchable(&mut self, index: u32) -> Option<bool> {
+    pub fn toggle_searchable(&mut self, index: CategoryId) -> Option<bool> {
         let row = self.rows.iter_mut().find(|r| r.index == index)?;
         row.searchable = !row.searchable;
         Some(row.searchable)
@@ -112,7 +108,7 @@ impl Legend {
 
     /// The set of currently visible category indices (for
     /// `RenderOptions::visible_categories`).
-    pub fn visible_set(&self) -> HashSet<u32> {
+    pub fn visible_set(&self) -> HashSet<CategoryId> {
         self.rows
             .iter()
             .filter(|r| r.visible)
@@ -121,7 +117,7 @@ impl Legend {
     }
 
     /// The set of currently searchable category indices.
-    pub fn searchable_set(&self) -> HashSet<u32> {
+    pub fn searchable_set(&self) -> HashSet<CategoryId> {
         self.rows
             .iter()
             .filter(|r| r.searchable)
@@ -156,18 +152,18 @@ pub fn render_legend_text(legend: &Legend, sort: LegendSort) -> String {
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{Category, Drawable, FrameTree, StateDrawable};
+    use slog2::{Category, Drawable, FrameTree, StateDrawable, TimelineId};
 
     fn file() -> Slog2File {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "Reduce".into(),
                 color: Color::DARK_RED,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "Compute".into(),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
@@ -175,24 +171,24 @@ mod tests {
         ];
         let ds = vec![
             Drawable::State(StateDrawable {
-                category: 0,
-                timeline: 0,
+                category: CategoryId(0),
+                timeline: TimelineId(0),
                 start: 1.0,
                 end: 2.0,
                 nest_level: 1,
                 text: String::new(),
             }),
             Drawable::State(StateDrawable {
-                category: 1,
-                timeline: 0,
+                category: CategoryId(1),
+                timeline: TimelineId(0),
                 start: 0.0,
                 end: 10.0,
                 nest_level: 0,
                 text: String::new(),
             }),
             Drawable::State(StateDrawable {
-                category: 0,
-                timeline: 1,
+                category: CategoryId(0),
+                timeline: TimelineId(1),
                 start: 0.0,
                 end: 0.5,
                 nest_level: 0,
@@ -230,13 +226,13 @@ mod tests {
             .iter()
             .map(|r| r.index)
             .collect();
-        assert_eq!(by_count, vec![0, 1]); // Reduce count 2 > Compute 1
+        assert_eq!(by_count, vec![CategoryId(0), CategoryId(1)]); // Reduce count 2 > Compute 1
         let by_incl: Vec<_> = legend
             .sorted(LegendSort::Inclusive)
             .iter()
             .map(|r| r.index)
             .collect();
-        assert_eq!(by_incl, vec![1, 0]); // Compute 10s > Reduce 1.5s
+        assert_eq!(by_incl, vec![CategoryId(1), CategoryId(0)]); // Compute 10s > Reduce 1.5s
         let by_name: Vec<_> = legend
             .sorted(LegendSort::Name)
             .iter()
@@ -249,12 +245,12 @@ mod tests {
     fn toggles_update_sets() {
         let mut legend = Legend::for_file(&file());
         assert_eq!(legend.visible_set().len(), 2);
-        assert_eq!(legend.toggle_visible(0), Some(false));
-        assert!(!legend.visible_set().contains(&0));
-        assert_eq!(legend.toggle_visible(0), Some(true));
-        assert_eq!(legend.toggle_searchable(1), Some(false));
-        assert!(!legend.searchable_set().contains(&1));
-        assert_eq!(legend.toggle_visible(99), None);
+        assert_eq!(legend.toggle_visible(CategoryId(0)), Some(false));
+        assert!(!legend.visible_set().contains(&CategoryId(0)));
+        assert_eq!(legend.toggle_visible(CategoryId(0)), Some(true));
+        assert_eq!(legend.toggle_searchable(CategoryId(1)), Some(false));
+        assert!(!legend.searchable_set().contains(&CategoryId(1)));
+        assert_eq!(legend.toggle_visible(CategoryId(99)), None);
     }
 
     #[test]

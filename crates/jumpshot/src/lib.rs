@@ -38,19 +38,10 @@ pub mod renderer;
 pub mod search;
 pub mod viewport;
 
-#[allow(deprecated)]
-pub use ascii::render_ascii;
-pub use ascii::AsciiOptions;
-#[allow(deprecated)]
-pub use histogram::render_histogram_svg;
 pub use histogram::{duration_stats, load_imbalance, TimelineHistogram};
-#[allow(deprecated)]
-pub use html::render_html;
 pub use legend::{render_legend_text, Legend, LegendRow, LegendSort};
 pub use popup::{jumpshot_display, InfoArg};
-#[allow(deprecated)]
-pub use render::render_svg;
-pub use render::RenderOptions;
+pub use render::{PathOverlay, RenderOptions};
 pub use renderer::{
     renderer_by_name, AsciiRenderer, HistogramRenderer, HtmlRenderer, Renderer, SvgRenderer,
 };

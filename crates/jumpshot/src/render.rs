@@ -19,9 +19,42 @@
 use std::collections::{BTreeMap, HashSet};
 use std::fmt::Write as _;
 
-use slog2::{Drawable, Slog2File, TimeWindow};
+use slog2::{CategoryId, Drawable, Slog2File, TimeWindow, TimelineId};
 
 use crate::viewport::Viewport;
+
+/// A critical-path overlay: the on-timeline segments and cross-timeline
+/// hops of a causal critical path (as computed by the `analysis`
+/// crate), drawn highlighted over the normal canvas. Every backend of
+/// the [`Renderer`](crate::Renderer) trait honours it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathOverlay {
+    /// On-timeline path segments `(timeline, t0, t1)`.
+    pub segments: Vec<(TimelineId, f64, f64)>,
+    /// Cross-timeline hops `(from, to, send_time, recv_time)` — the
+    /// message arrows the path rides between timelines.
+    pub hops: Vec<(TimelineId, TimelineId, f64, f64)>,
+    /// Dim everything that is not on the path.
+    pub dim_others: bool,
+}
+
+impl PathOverlay {
+    /// Seconds of path segments on `tl` clipped to `[t0, t1]`.
+    pub fn seconds_on(&self, tl: TimelineId, t0: f64, t1: f64) -> f64 {
+        self.segments
+            .iter()
+            .filter(|(s_tl, _, _)| *s_tl == tl)
+            .map(|&(_, s0, s1)| (s1.min(t1) - s0.max(t0)).max(0.0))
+            .sum()
+    }
+
+    /// Does any segment on `tl` overlap `[t0, t1]` (closed interval)?
+    pub fn on_path(&self, tl: TimelineId, t0: f64, t1: f64) -> bool {
+        self.segments
+            .iter()
+            .any(|&(s_tl, s0, s1)| s_tl == tl && s0 <= t1 && s1 >= t0)
+    }
+}
 
 /// Rendering options shared by every [`Renderer`](crate::Renderer)
 /// backend. Construct with [`Default`] and refine with the `with_*`
@@ -47,13 +80,16 @@ pub struct RenderOptions {
     pub max_arrows: usize,
     /// If set, only these category indices are drawn (legend visibility
     /// toggles).
-    pub visible_categories: Option<HashSet<u32>>,
+    pub visible_categories: Option<HashSet<CategoryId>>,
     /// Canvas background colour.
     pub background: String,
     /// Left gutter for timeline labels, pixels.
     pub label_gutter: u32,
     /// Bottom strip for the time axis, pixels.
     pub axis_height: u32,
+    /// Critical-path overlay: highlight these segments and hops, and
+    /// (optionally) dim everything off the path.
+    pub overlay: Option<PathOverlay>,
 }
 
 impl Default for RenderOptions {
@@ -71,6 +107,7 @@ impl Default for RenderOptions {
             background: "#101018".to_string(),
             label_gutter: 80,
             axis_height: 26,
+            overlay: None,
         }
     }
 }
@@ -107,8 +144,14 @@ impl RenderOptions {
     }
 
     /// Restrict drawing to these category indices.
-    pub fn with_visible_categories(mut self, cats: HashSet<u32>) -> Self {
+    pub fn with_visible_categories(mut self, cats: HashSet<CategoryId>) -> Self {
         self.visible_categories = Some(cats);
+        self
+    }
+
+    /// Highlight a critical path over the canvas.
+    pub fn with_overlay(mut self, overlay: PathOverlay) -> Self {
+        self.overlay = Some(overlay);
         self
     }
 }
@@ -129,11 +172,11 @@ struct Layout {
 }
 
 impl Layout {
-    fn row_top(&self, timeline: u32) -> f64 {
-        timeline as f64 * self.row_h
+    fn row_top(&self, timeline: TimelineId) -> f64 {
+        timeline.as_u32() as f64 * self.row_h
     }
 
-    fn row_mid(&self, timeline: u32) -> f64 {
+    fn row_mid(&self, timeline: TimelineId) -> f64 {
         self.row_top(timeline) + self.row_h / 2.0
     }
 
@@ -146,14 +189,6 @@ impl Layout {
     }
 }
 
-/// Render the window `vp` of `file` to an SVG string.
-#[deprecated(
-    note = "use jumpshot::SvgRenderer (the Renderer trait) with RenderOptions::with_window"
-)]
-pub fn render_svg(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> String {
-    svg_string(file, vp, opts)
-}
-
 pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) -> String {
     let lay = Layout {
         gutter: opts.label_gutter as f64,
@@ -163,7 +198,7 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
         canvas_w: vp.width_px as f64,
     };
 
-    let visible = |cat: u32| -> bool {
+    let visible = |cat: CategoryId| -> bool {
         opts.visible_categories
             .as_ref()
             .is_none_or(|set| set.contains(&cat))
@@ -187,7 +222,7 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
 
     // Row separators and labels.
     for (r, name) in file.timelines.iter().enumerate() {
-        let y = lay.row_top(r as u32);
+        let y = lay.row_top(TimelineId(r as u32));
         let _ = writeln!(
             svg,
             "<line x1=\"{g}\" y1=\"{y}\" x2=\"{x2}\" y2=\"{y}\" stroke=\"#333\" stroke-width=\"0.5\"/>",
@@ -198,7 +233,7 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
         let _ = writeln!(
             svg,
             "<text x=\"4\" y=\"{}\" fill=\"#ddd\" class=\"tl-label\">{}</text>",
-            lay.row_mid(r as u32) + 4.0,
+            lay.row_mid(TimelineId(r as u32)) + 4.0,
             esc(name)
         );
     }
@@ -207,7 +242,7 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
     let hits = file.tree.query(TimeWindow::new(vp.t0, vp.t1));
     let mut wide_states = Vec::new();
     // (timeline, bucket) -> per-category clipped coverage
-    let mut buckets: BTreeMap<(u32, u32), BTreeMap<u32, f64>> = BTreeMap::new();
+    let mut buckets: BTreeMap<(TimelineId, u32), BTreeMap<CategoryId, f64>> = BTreeMap::new();
     let mut events = Vec::new();
     let mut arrows = Vec::new();
 
@@ -250,18 +285,13 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
     wide_states.sort_by(|a, b| {
         a.timeline
             .cmp(&b.timeline)
-            .then(a.start.partial_cmp(&b.start).unwrap())
+            .then(a.start.total_cmp(&b.start))
             .then(a.nest_level.cmp(&b.nest_level))
     });
-    events.sort_by(|a, b| {
-        a.timeline
-            .cmp(&b.timeline)
-            .then(a.time.partial_cmp(&b.time).unwrap())
-    });
+    events.sort_by(|a, b| a.timeline.cmp(&b.timeline).then(a.time.total_cmp(&b.time)));
     arrows.sort_by(|a, b| {
         a.start
-            .partial_cmp(&b.start)
-            .unwrap()
+            .total_cmp(&b.start)
             .then(a.from_timeline.cmp(&b.from_timeline))
             .then(a.to_timeline.cmp(&b.to_timeline))
     });
@@ -286,7 +316,7 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
             let sh = share * h;
             let color = file
                 .categories
-                .get(*cat as usize)
+                .get(cat.as_usize())
                 .map(|c| c.color.to_hex())
                 .unwrap_or_else(|| "#000000".into());
             let _ = writeln!(
@@ -307,12 +337,12 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
         let h = (lay.row_h - 4.0 - 2.0 * shrink).max(2.0);
         let color = file
             .categories
-            .get(s.category as usize)
+            .get(s.category.as_usize())
             .map(|c| c.color.to_hex())
             .unwrap_or_else(|| "#000000".into());
         let name = file
             .categories
-            .get(s.category as usize)
+            .get(s.category.as_usize())
             .map(|c| c.name.as_str())
             .unwrap_or("?");
         let tooltip = format!(
@@ -340,7 +370,7 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
         let y1 = lay.row_mid(a.to_timeline);
         let color = file
             .categories
-            .get(a.category as usize)
+            .get(a.category.as_usize())
             .map(|c| c.color.to_hex())
             .unwrap_or_else(|| "#ffffff".into());
         let tooltip = format!(
@@ -367,12 +397,12 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
         let y = lay.row_mid(e.timeline);
         let color = file
             .categories
-            .get(e.category as usize)
+            .get(e.category.as_usize())
             .map(|c| c.color.to_hex())
             .unwrap_or_else(|| "#ffff00".into());
         let name = file
             .categories
-            .get(e.category as usize)
+            .get(e.category.as_usize())
             .map(|c| c.name.as_str())
             .unwrap_or("?");
         let tooltip = format!("{} @ {:.6}s\n{}", name, e.time, e.text);
@@ -381,6 +411,55 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
             "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"2.5\" fill=\"{color}\" class=\"bubble\"><title>{t}</title></circle>",
             t = esc(&tooltip)
         );
+    }
+
+    // Critical-path overlay: dim everything, then trace the path.
+    if let Some(ov) = &opts.overlay {
+        if ov.dim_others {
+            let _ = writeln!(
+                svg,
+                "<rect x=\"{g}\" y=\"0\" width=\"{w:.2}\" height=\"{h:.2}\" \
+                 fill=\"#000\" opacity=\"0.55\" class=\"dim\"/>",
+                g = lay.gutter,
+                w = lay.canvas_w,
+                h = lay.rows as f64 * lay.row_h
+            );
+        }
+        for &(tl, s0, s1) in &ov.segments {
+            let (c0, c1) = (s0.max(vp.t0), s1.min(vp.t1));
+            if c1 < c0 {
+                continue;
+            }
+            let x0 = lay.gutter + vp.x_of(c0).max(0.0);
+            let x1 = lay.gutter + vp.x_of(c1).min(lay.canvas_w);
+            let y = lay.row_mid(tl);
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x0:.2}\" y1=\"{y:.2}\" x2=\"{x1:.2}\" y2=\"{y:.2}\" \
+                 stroke=\"#ff4081\" stroke-width=\"4\" stroke-linecap=\"round\" \
+                 opacity=\"0.9\" class=\"critical-path\"><title>critical path: {tl} \
+                 [{s0:.6}s, {s1:.6}s]</title></line>",
+                tl = tl
+            );
+        }
+        for &(from, to, t_send, t_recv) in &ov.hops {
+            if t_recv < vp.t0 || t_send > vp.t1 {
+                continue;
+            }
+            let x0 = lay.gutter + vp.x_of(t_send);
+            let x1 = lay.gutter + vp.x_of(t_recv);
+            let y0 = lay.row_mid(from);
+            let y1 = lay.row_mid(to);
+            let _ = writeln!(
+                svg,
+                "<line x1=\"{x0:.2}\" y1=\"{y0:.2}\" x2=\"{x1:.2}\" y2=\"{y1:.2}\" \
+                 stroke=\"#ff4081\" stroke-width=\"2\" stroke-dasharray=\"5 3\" \
+                 class=\"critical-hop\"><title>critical hop {from}->{to} \
+                 [{t_send:.6}s, {t_recv:.6}s]</title></line>",
+                from = from,
+                to = to
+            );
+        }
     }
 
     // Time axis.
@@ -417,19 +496,19 @@ mod tests {
     fn test_file(drawables: Vec<Drawable>) -> Slog2File {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "PI_Read".into(),
                 color: Color::RED,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "arrival".into(),
                 color: Color::YELLOW,
                 kind: CategoryKind::Event,
             },
             Category {
-                index: 2,
+                index: CategoryId(2),
                 name: "message".into(),
                 color: Color::WHITE,
                 kind: CategoryKind::Arrow,
@@ -455,8 +534,8 @@ mod tests {
 
     fn state(tl: u32, start: f64, end: f64) -> Drawable {
         Drawable::State(StateDrawable {
-            category: 0,
-            timeline: tl,
+            category: CategoryId(0),
+            timeline: TimelineId(tl),
             start,
             end,
             nest_level: 0,
@@ -506,8 +585,8 @@ mod tests {
     #[test]
     fn events_render_as_bubbles() {
         let f = test_file(vec![Drawable::Event(EventDrawable {
-            category: 1,
-            timeline: 1,
+            category: CategoryId(1),
+            timeline: TimelineId(1),
             time: 0.5,
             text: "Chan: C3".into(),
         })]);
@@ -520,9 +599,9 @@ mod tests {
     #[test]
     fn arrows_connect_timelines() {
         let f = test_file(vec![Drawable::Arrow(ArrowDrawable {
-            category: 2,
-            from_timeline: 0,
-            to_timeline: 1,
+            category: CategoryId(2),
+            from_timeline: TimelineId(0),
+            to_timeline: TimelineId(1),
             start: 0.2,
             end: 0.4,
             tag: 9,
@@ -539,14 +618,14 @@ mod tests {
         let f = test_file(vec![
             state(0, 0.0, 1.0),
             Drawable::Event(EventDrawable {
-                category: 1,
-                timeline: 0,
+                category: CategoryId(1),
+                timeline: TimelineId(0),
                 time: 0.5,
                 text: String::new(),
             }),
         ]);
         let opts = RenderOptions {
-            visible_categories: Some([1u32].into_iter().collect()),
+            visible_categories: Some([CategoryId(1)].into_iter().collect()),
             ..Default::default()
         };
         let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &opts);
@@ -577,8 +656,8 @@ mod tests {
     #[test]
     fn xml_specials_are_escaped() {
         let f = test_file(vec![Drawable::Event(EventDrawable {
-            category: 1,
-            timeline: 0,
+            category: CategoryId(1),
+            timeline: TimelineId(0),
             time: 0.5,
             text: "a<b & \"c\"".into(),
         })]);
@@ -594,5 +673,50 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         assert!(!svg.contains("class=\"state\""));
+    }
+
+    #[test]
+    fn overlay_highlights_path_and_dims_rest() {
+        let f = test_file(vec![state(0, 0.0, 1.0), state(1, 0.2, 0.8)]);
+        let ov = PathOverlay {
+            segments: vec![(TimelineId(0), 0.0, 0.4), (TimelineId(1), 0.5, 0.8)],
+            hops: vec![(TimelineId(0), TimelineId(1), 0.4, 0.5)],
+            dim_others: true,
+        };
+        let opts = RenderOptions::default().with_overlay(ov);
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 800), &opts);
+        assert_eq!(svg.matches("class=\"critical-path\"").count(), 2);
+        assert_eq!(svg.matches("class=\"critical-hop\"").count(), 1);
+        assert!(svg.contains("class=\"dim\""));
+    }
+
+    #[test]
+    fn overlay_clips_to_viewport() {
+        let f = test_file(vec![state(0, 0.0, 10.0)]);
+        let ov = PathOverlay {
+            segments: vec![(TimelineId(0), 0.0, 1.0), (TimelineId(0), 8.0, 9.0)],
+            hops: vec![],
+            dim_others: false,
+        };
+        let opts = RenderOptions::default().with_overlay(ov);
+        // Window [2, 5] excludes both segments entirely? No: [0,1] ends
+        // before 2 and [8,9] starts after 5 — nothing drawn, no dim.
+        let svg = svg_string(&f, &Viewport::new(2.0, 5.0, 400), &opts);
+        assert!(!svg.contains("class=\"critical-path\""));
+        assert!(!svg.contains("class=\"dim\""));
+    }
+
+    #[test]
+    fn overlay_helpers_measure_path_seconds() {
+        let ov = PathOverlay {
+            segments: vec![(TimelineId(1), 1.0, 3.0), (TimelineId(1), 5.0, 6.0)],
+            hops: vec![],
+            dim_others: false,
+        };
+        assert!((ov.seconds_on(TimelineId(1), 0.0, 10.0) - 3.0).abs() < 1e-12);
+        assert!((ov.seconds_on(TimelineId(1), 2.0, 5.5) - 1.5).abs() < 1e-12);
+        assert_eq!(ov.seconds_on(TimelineId(0), 0.0, 10.0), 0.0);
+        assert!(ov.on_path(TimelineId(1), 3.0, 4.0)); // touching counts
+        assert!(!ov.on_path(TimelineId(1), 3.5, 4.5));
     }
 }

@@ -85,7 +85,7 @@ impl Renderer for HistogramRenderer {
     }
 
     fn render(&self, file: &Slog2File, opts: &RenderOptions) -> String {
-        crate::histogram::histogram_string(file, effective_window(file, opts), opts.width.max(1))
+        crate::histogram::histogram_string(file, effective_window(file, opts), opts)
     }
 }
 
@@ -104,13 +104,16 @@ pub fn renderer_by_name(name: &str) -> Option<Box<dyn Renderer + Send + Sync>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::render::PathOverlay;
     use mpelog::Color;
-    use slog2::{Category, CategoryKind, Drawable, FrameTree, StateDrawable};
+    use slog2::{
+        Category, CategoryId, CategoryKind, Drawable, FrameTree, StateDrawable, TimelineId,
+    };
 
     fn file() -> Slog2File {
         let ds = vec![Drawable::State(StateDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             start: 0.0,
             end: 1.0,
             nest_level: 0,
@@ -119,7 +122,7 @@ mod tests {
         Slog2File {
             timelines: vec!["PI_MAIN".into()],
             categories: vec![Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "PI_Write".into(),
                 color: Color::GREEN,
                 kind: CategoryKind::State,
@@ -159,6 +162,26 @@ mod tests {
         // Window past all activity, clamped back into range: still valid SVG.
         let svg = SvgRenderer.render(&f, &opts);
         assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn all_four_backends_render_the_overlay() {
+        let f = file();
+        let ov = PathOverlay {
+            segments: vec![(TimelineId(0), 0.0, 1.0)],
+            hops: vec![],
+            dim_others: false,
+        };
+        let opts = RenderOptions::default().with_overlay(ov);
+        for (name, marker) in [
+            ("svg", "class=\"critical-path\""),
+            ("ascii", "critical path: 1 segment(s)"),
+            ("html", "class=\"critical-path\""),
+            ("hist", "(crit 1.0000s)"),
+        ] {
+            let out = renderer_by_name(name).unwrap().render(&f, &opts);
+            assert!(out.contains(marker), "{name} missing overlay: {out}");
+        }
     }
 
     #[test]

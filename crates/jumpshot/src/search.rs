@@ -3,16 +3,16 @@
 
 use std::collections::HashSet;
 
-use slog2::{Drawable, Slog2File, TimeWindow};
+use slog2::{CategoryId, Drawable, Slog2File, TimeWindow, TimelineId};
 
 /// What to search for.
 #[derive(Debug, Clone, Default)]
 pub struct SearchQuery {
     /// Restrict to these category indices (e.g. the legend's
     /// searchable set). `None` = all.
-    pub categories: Option<HashSet<u32>>,
+    pub categories: Option<HashSet<CategoryId>>,
     /// Restrict to this timeline (rank).
-    pub timeline: Option<u32>,
+    pub timeline: Option<TimelineId>,
     /// Require the popup text to contain this substring.
     pub text_contains: Option<String>,
 }
@@ -86,7 +86,7 @@ pub fn scan<'a>(file: &'a Slog2File, w: TimeWindow, query: &SearchQuery) -> Vec<
         .into_iter()
         .filter(|d| query.matches(d))
         .collect();
-    out.sort_by(|x, y| x.start().partial_cmp(&y.start()).unwrap());
+    out.sort_by(|x, y| x.start().total_cmp(&y.start()));
     out
 }
 
@@ -99,13 +99,13 @@ mod tests {
     fn file() -> Slog2File {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "PI_Read".into(),
                 color: Color::RED,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "tick".into(),
                 color: Color::YELLOW,
                 kind: CategoryKind::Event,
@@ -114,8 +114,8 @@ mod tests {
         let mut ds = Vec::new();
         for i in 0..10 {
             ds.push(Drawable::State(StateDrawable {
-                category: 0,
-                timeline: (i % 2) as u32,
+                category: CategoryId(0),
+                timeline: TimelineId((i % 2) as u32),
                 start: i as f64,
                 end: i as f64 + 0.5,
                 nest_level: 0,
@@ -123,8 +123,8 @@ mod tests {
             }));
         }
         ds.push(Drawable::Event(EventDrawable {
-            category: 1,
-            timeline: 0,
+            category: CategoryId(1),
+            timeline: TimelineId(0),
             time: 4.25,
             text: "special".into(),
         }));
@@ -165,7 +165,7 @@ mod tests {
     fn category_filter() {
         let f = file();
         let q = SearchQuery {
-            categories: Some([1u32].into_iter().collect()),
+            categories: Some([CategoryId(1)].into_iter().collect()),
             ..Default::default()
         };
         let d = find_next(&f, 0.0, &q).unwrap();
@@ -177,7 +177,7 @@ mod tests {
     fn timeline_filter() {
         let f = file();
         let q = SearchQuery {
-            timeline: Some(1),
+            timeline: Some(TimelineId(1)),
             ..Default::default()
         };
         let d = find_next(&f, 0.5, &q).unwrap();

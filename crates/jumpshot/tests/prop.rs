@@ -6,8 +6,8 @@ use jumpshot::{RenderOptions, Renderer, SvgRenderer, Viewport};
 use mpelog::Color;
 use proptest::prelude::*;
 use slog2::{
-    Category, CategoryKind, Drawable, EventDrawable, FrameTree, Slog2File, StateDrawable,
-    TimeWindow,
+    Category, CategoryId, CategoryKind, Drawable, EventDrawable, FrameTree, Slog2File,
+    StateDrawable, TimeWindow, TimelineId,
 };
 
 proptest! {
@@ -141,8 +141,8 @@ fn arb_file() -> impl Strategy<Value = Slog2File> {
         prop_oneof![
             (0u32..2, 0u32..3, 0f64..10.0, 0f64..1.0).prop_map(|(cat, tl, s, d)| {
                 Drawable::State(StateDrawable {
-                    category: cat,
-                    timeline: tl,
+                    category: CategoryId(cat),
+                    timeline: TimelineId(tl),
                     start: s,
                     end: s + d,
                     nest_level: 0,
@@ -151,8 +151,8 @@ fn arb_file() -> impl Strategy<Value = Slog2File> {
             }),
             (0u32..3, 0f64..11.0).prop_map(|(tl, t)| {
                 Drawable::Event(EventDrawable {
-                    category: 2,
-                    timeline: tl,
+                    category: CategoryId(2),
+                    timeline: TimelineId(tl),
                     time: t,
                     text: String::new(),
                 })
@@ -163,19 +163,19 @@ fn arb_file() -> impl Strategy<Value = Slog2File> {
     .prop_map(|ds| {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "PI_Read".into(),
                 color: Color::RED,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "PI_Write".into(),
                 color: Color::GREEN,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 2,
+                index: CategoryId(2),
                 name: "tick".into(),
                 color: Color::YELLOW,
                 kind: CategoryKind::Event,

@@ -574,7 +574,7 @@ fn converted_log_has_states_arrows_and_nesting() {
     let ds = file.tree.query(slog2::TimeWindow::ALL);
 
     let cat = |name: &str| file.category_by_name(name).unwrap().index;
-    let count_states = |c: u32| {
+    let count_states = |c: slog2::CategoryId| {
         ds.iter()
             .filter(|d| matches!(d, Drawable::State(s) if s.category == c))
             .count()
@@ -596,7 +596,7 @@ fn converted_log_has_states_arrows_and_nesting() {
     assert_eq!(arrows.len(), 2, "{arrows:?}");
     assert!(arrows
         .iter()
-        .all(|a| a.from_timeline == 0 && a.to_timeline == 1));
+        .all(|a| a.from_timeline.as_u32() == 0 && a.to_timeline.as_u32() == 1));
     assert!(arrows.iter().all(|a| a.end >= a.start), "causal arrows");
     let bubbles = ds
         .iter()
@@ -611,7 +611,7 @@ fn converted_log_has_states_arrows_and_nesting() {
             _ => None,
         })
         .unwrap();
-    assert_eq!(read_state.timeline, 1);
+    assert_eq!(read_state.timeline.as_u32(), 1);
     assert_eq!(read_state.nest_level, 1);
     assert!(read_state.text.contains("Line:"), "{}", read_state.text);
 }
@@ -913,7 +913,7 @@ fn injected_fault_yields_forensics_and_salvaged_timeline() {
     assert!(
         ds.iter().any(|d| matches!(
             d,
-            slog2::Drawable::State(s) if s.category == aborted.index && s.timeline == 1
+            slog2::Drawable::State(s) if s.category == aborted.index && s.timeline.as_u32() == 1
         )),
         "dead rank must carry a terminal ABORTED rectangle"
     );

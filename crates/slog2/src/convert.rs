@@ -43,6 +43,7 @@ use crate::drawable::{
     ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable,
 };
 use crate::file::Slog2File;
+use crate::id::{CategoryId, TimelineId};
 use crate::tree::FrameTreeBuilder;
 
 /// Conversion parameters.
@@ -379,9 +380,9 @@ fn clamp_terminal_text(s: &str) -> String {
 }
 
 enum IdRole {
-    StateStart(u32),
-    StateEnd(u32),
-    Solo(u32),
+    StateStart(CategoryId),
+    StateEnd(CategoryId),
+    Solo(CategoryId),
 }
 
 /// Message-queue key: `(src, dst, tag, size)`, mirroring MPE's matching
@@ -393,7 +394,7 @@ type MsgKey = (u32, u32, u32, u32);
 struct CategoryTable {
     categories: Vec<Category>,
     roles: HashMap<u32, IdRole>,
-    arrow_cat: u32,
+    arrow_cat: CategoryId,
 }
 
 /// Categories from the definitions, plus the synthetic arrow category
@@ -402,7 +403,7 @@ fn build_categories(state_defs: &[StateDef], event_defs: &[EventDef]) -> Categor
     let mut categories = Vec::new();
     let mut roles: HashMap<u32, IdRole> = HashMap::new();
     for d in state_defs {
-        let idx = categories.len() as u32;
+        let idx = CategoryId(categories.len() as u32);
         categories.push(Category {
             index: idx,
             name: d.name.clone(),
@@ -413,7 +414,7 @@ fn build_categories(state_defs: &[StateDef], event_defs: &[EventDef]) -> Categor
         roles.insert(d.end.0, IdRole::StateEnd(idx));
     }
     for d in event_defs {
-        let idx = categories.len() as u32;
+        let idx = CategoryId(categories.len() as u32);
         categories.push(Category {
             index: idx,
             name: d.name.clone(),
@@ -422,7 +423,7 @@ fn build_categories(state_defs: &[StateDef], event_defs: &[EventDef]) -> Categor
         });
         roles.insert(d.id.0, IdRole::Solo(idx));
     }
-    let arrow_cat = categories.len() as u32;
+    let arrow_cat = CategoryId(categories.len() as u32);
     categories.push(Category {
         index: arrow_cat,
         name: "message".into(),
@@ -454,7 +455,7 @@ struct RankShard {
 /// unit of work a scan shard runs.
 fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> RankShard {
     let mut shard = RankShard::default();
-    let mut stack: Vec<(u32, f64, String)> = Vec::new(); // (cat, start, text)
+    let mut stack: Vec<(CategoryId, f64, String)> = Vec::new(); // (cat, start, text)
     let mut last_ts = f64::NEG_INFINITY;
     for rec in records {
         last_ts = last_ts.max(rec.ts());
@@ -481,7 +482,7 @@ fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> Rank
                             if end < start {
                                 shard.warnings.push(ConvertWarning::BackwardState {
                                     rank,
-                                    name: table.categories[c as usize].name.clone(),
+                                    name: table.categories[c.as_usize()].name.clone(),
                                     end,
                                     start,
                                 });
@@ -489,7 +490,7 @@ fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> Rank
                             }
                             shard.drawables.push(Drawable::State(StateDrawable {
                                 category: c,
-                                timeline: rank,
+                                timeline: TimelineId(rank),
                                 start,
                                 end,
                                 nest_level: nest,
@@ -506,7 +507,7 @@ fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> Rank
                 Some(IdRole::Solo(cat)) => {
                     shard.drawables.push(Drawable::Event(EventDrawable {
                         category: *cat,
-                        timeline: rank,
+                        timeline: TimelineId(rank),
                         time: *ts,
                         text: text.clone(),
                     }));
@@ -534,13 +535,13 @@ fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> Rank
     // Non well-behaved: states still open at end of log. Close them
     // at the block's last timestamp so the file is still displayable.
     for (cat, start, text) in stack.into_iter().rev() {
-        let name = table.categories[cat as usize].name.clone();
+        let name = table.categories[cat.as_usize()].name.clone();
         shard
             .warnings
             .push(ConvertWarning::UnclosedState { rank, name, start });
         shard.drawables.push(Drawable::State(StateDrawable {
             category: cat,
-            timeline: rank,
+            timeline: TimelineId(rank),
             start,
             end: last_ts.max(start),
             nest_level: 0,
@@ -638,7 +639,7 @@ fn match_arrows_for_key(
     key: MsgKey,
     send_ts: &VecDeque<f64>,
     recv_ts: &VecDeque<f64>,
-    arrow_cat: u32,
+    arrow_cat: CategoryId,
     drawables: &mut Vec<Drawable>,
     warnings: &mut Vec<ConvertWarning>,
 ) {
@@ -656,8 +657,8 @@ fn match_arrows_for_key(
         }
         drawables.push(Drawable::Arrow(ArrowDrawable {
             category: arrow_cat,
-            from_timeline: src,
-            to_timeline: dst,
+            from_timeline: TimelineId(src),
+            to_timeline: TimelineId(dst),
             start: s,
             end: r,
             tag,
@@ -680,7 +681,7 @@ fn match_arrows_for_key(
 fn match_all_arrows(
     sends: BTreeMap<MsgKey, VecDeque<f64>>,
     recvs: &mut BTreeMap<MsgKey, VecDeque<f64>>,
-    arrow_cat: u32,
+    arrow_cat: CategoryId,
     workers: usize,
     obs: Option<&obs::Obs>,
     drawables: &mut Vec<Drawable>,
@@ -731,23 +732,23 @@ type EqualKey = (u32, u32, u32, u64, u64);
 fn equal_drawable_key(d: &Drawable) -> EqualKey {
     match d {
         Drawable::State(s) => (
-            s.category,
-            s.timeline,
+            s.category.0,
+            s.timeline.0,
             0,
             s.start.to_bits(),
             s.end.to_bits(),
         ),
         Drawable::Event(e) => (
-            e.category,
-            e.timeline,
+            e.category.0,
+            e.timeline.0,
             0,
             e.time.to_bits(),
             e.time.to_bits(),
         ),
         Drawable::Arrow(a) => (
-            a.category,
-            a.from_timeline,
-            a.to_timeline,
+            a.category.0,
+            a.from_timeline.0,
+            a.to_timeline.0,
             a.start.to_bits(),
             a.end.to_bits(),
         ),
@@ -964,10 +965,10 @@ pub fn convert_salvaged(
     // Terminal categories, in fixed ABORTED-then-DEADLOCKED order and
     // only when some verdict needs them: index assignment stays
     // deterministic and the no-failure file is unchanged.
-    let mut terminal_cats: [Option<u32>; 2] = [None, None];
+    let mut terminal_cats: [Option<CategoryId>; 2] = [None, None];
     for kind in [FailureKind::Aborted, FailureKind::Deadlocked] {
         if report.verdicts.iter().any(|v| v.kind == kind) {
-            let idx = table.categories.len() as u32;
+            let idx = CategoryId(table.categories.len() as u32);
             table.categories.push(Category {
                 index: idx,
                 name: kind.category_name().into(),
@@ -1036,7 +1037,7 @@ pub fn convert_salvaged(
         };
         terminal.drawables.push(Drawable::State(StateDrawable {
             category: cat,
-            timeline: v.rank,
+            timeline: TimelineId(v.rank),
             start,
             end,
             nest_level: 0,
@@ -1164,8 +1165,8 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert_eq!(arrow.from_timeline, 0);
-        assert_eq!(arrow.to_timeline, 1);
+        assert_eq!(arrow.from_timeline, TimelineId(0));
+        assert_eq!(arrow.to_timeline, TimelineId(1));
         assert_eq!(arrow.start, 1.1);
         assert_eq!(arrow.end, 1.3);
         assert_eq!(arrow.tag, 5);
@@ -1196,7 +1197,7 @@ mod tests {
             .iter()
             .filter_map(|d| match d {
                 Drawable::State(s) => Some((
-                    file.categories[s.category as usize].name.clone(),
+                    file.categories[s.category.as_usize()].name.clone(),
                     s.nest_level,
                 )),
                 _ => None,
@@ -1530,7 +1531,7 @@ mod tests {
                 _ => None,
             })
             .expect("terminal state drawn");
-        assert_eq!(terminal.timeline, 0);
+        assert_eq!(terminal.timeline, TimelineId(0));
         assert_eq!(terminal.start, 1.2);
         assert_eq!(terminal.end, 1.4);
         assert_eq!(terminal.text, "injected fault at send #2");
@@ -1614,7 +1615,7 @@ mod tests {
         let term = ds
             .iter()
             .find_map(|d| match d {
-                Drawable::State(s) if s.timeline == 1 => Some(s),
+                Drawable::State(s) if s.timeline == TimelineId(1) => Some(s),
                 _ => None,
             })
             .unwrap();

@@ -3,6 +3,8 @@
 use mpelog::wire::{Reader, WireError, Writer};
 use mpelog::Color;
 
+use crate::id::{CategoryId, TimelineId};
+
 /// What kind of graphical object a category describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CategoryKind {
@@ -37,7 +39,7 @@ impl CategoryKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Category {
     /// Index used by drawables to refer to this category.
-    pub index: u32,
+    pub index: CategoryId,
     /// Display name (`"PI_Read"`, `"message"`, …).
     pub name: String,
     /// Display colour.
@@ -48,7 +50,7 @@ pub struct Category {
 
 impl Category {
     pub(crate) fn encode(&self, w: &mut Writer) {
-        w.put_u32(self.index);
+        w.put_u32(self.index.0);
         w.put_str(&self.name);
         w.put_u32(self.color.pack());
         w.put_u8(self.kind.to_u8());
@@ -56,7 +58,7 @@ impl Category {
 
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Category, WireError> {
         Ok(Category {
-            index: r.get_u32()?,
+            index: CategoryId(r.get_u32()?),
             name: r.get_str()?,
             color: Color::unpack(r.get_u32()?),
             kind: CategoryKind::from_u8(r.get_u8()?)?,
@@ -68,9 +70,9 @@ impl Category {
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateDrawable {
     /// Category index.
-    pub category: u32,
+    pub category: CategoryId,
     /// Timeline (rank) this state belongs to.
-    pub timeline: u32,
+    pub timeline: TimelineId,
     /// Start time (seconds, global timeline).
     pub start: f64,
     /// End time.
@@ -86,9 +88,9 @@ pub struct StateDrawable {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventDrawable {
     /// Category index.
-    pub category: u32,
+    pub category: CategoryId,
     /// Timeline (rank).
-    pub timeline: u32,
+    pub timeline: TimelineId,
     /// Event time.
     pub time: f64,
     /// Info text (popup content).
@@ -99,11 +101,11 @@ pub struct EventDrawable {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrowDrawable {
     /// Category index (normally the synthetic "message" category).
-    pub category: u32,
+    pub category: CategoryId,
     /// Sending timeline.
-    pub from_timeline: u32,
+    pub from_timeline: TimelineId,
     /// Receiving timeline.
-    pub to_timeline: u32,
+    pub to_timeline: TimelineId,
     /// Send time.
     pub start: f64,
     /// Receive time.
@@ -145,7 +147,7 @@ impl Drawable {
     }
 
     /// Category index.
-    pub fn category(&self) -> u32 {
+    pub fn category(&self) -> CategoryId {
         match self {
             Drawable::State(s) => s.category,
             Drawable::Event(e) => e.category,
@@ -158,18 +160,12 @@ impl Drawable {
         self.end() - self.start()
     }
 
-    /// Does this object overlap the closed time window `[a, b]`?
-    #[deprecated(note = "use TimeWindow::overlaps, the one definition of window inclusivity")]
-    pub fn intersects(&self, a: f64, b: f64) -> bool {
-        crate::window::TimeWindow::new(a, b).overlaps(self)
-    }
-
     pub(crate) fn encode(&self, w: &mut Writer) {
         match self {
             Drawable::State(s) => {
                 w.put_u8(0);
-                w.put_u32(s.category);
-                w.put_u32(s.timeline);
+                w.put_u32(s.category.0);
+                w.put_u32(s.timeline.0);
                 w.put_f64(s.start);
                 w.put_f64(s.end);
                 w.put_u32(s.nest_level);
@@ -177,16 +173,16 @@ impl Drawable {
             }
             Drawable::Event(e) => {
                 w.put_u8(1);
-                w.put_u32(e.category);
-                w.put_u32(e.timeline);
+                w.put_u32(e.category.0);
+                w.put_u32(e.timeline.0);
                 w.put_f64(e.time);
                 w.put_str(&e.text);
             }
             Drawable::Arrow(a) => {
                 w.put_u8(2);
-                w.put_u32(a.category);
-                w.put_u32(a.from_timeline);
-                w.put_u32(a.to_timeline);
+                w.put_u32(a.category.0);
+                w.put_u32(a.from_timeline.0);
+                w.put_u32(a.to_timeline.0);
                 w.put_f64(a.start);
                 w.put_f64(a.end);
                 w.put_u32(a.tag);
@@ -198,23 +194,23 @@ impl Drawable {
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Drawable, WireError> {
         match r.get_u8()? {
             0 => Ok(Drawable::State(StateDrawable {
-                category: r.get_u32()?,
-                timeline: r.get_u32()?,
+                category: CategoryId(r.get_u32()?),
+                timeline: TimelineId(r.get_u32()?),
                 start: r.get_f64()?,
                 end: r.get_f64()?,
                 nest_level: r.get_u32()?,
                 text: r.get_str()?,
             })),
             1 => Ok(Drawable::Event(EventDrawable {
-                category: r.get_u32()?,
-                timeline: r.get_u32()?,
+                category: CategoryId(r.get_u32()?),
+                timeline: TimelineId(r.get_u32()?),
                 time: r.get_f64()?,
                 text: r.get_str()?,
             })),
             2 => Ok(Drawable::Arrow(ArrowDrawable {
-                category: r.get_u32()?,
-                from_timeline: r.get_u32()?,
-                to_timeline: r.get_u32()?,
+                category: CategoryId(r.get_u32()?),
+                from_timeline: TimelineId(r.get_u32()?),
+                to_timeline: TimelineId(r.get_u32()?),
                 start: r.get_f64()?,
                 end: r.get_f64()?,
                 tag: r.get_u32()?,
@@ -243,23 +239,23 @@ mod tests {
     fn drawable_roundtrips() {
         let ds = [
             Drawable::State(StateDrawable {
-                category: 1,
-                timeline: 2,
+                category: CategoryId(1),
+                timeline: TimelineId(2),
                 start: 0.5,
                 end: 1.5,
                 nest_level: 1,
                 text: "P2 idx=3 Line: 40".into(),
             }),
             Drawable::Event(EventDrawable {
-                category: 4,
-                timeline: 0,
+                category: CategoryId(4),
+                timeline: TimelineId(0),
                 time: 0.75,
                 text: "Chan: C3".into(),
             }),
             Drawable::Arrow(ArrowDrawable {
-                category: 9,
-                from_timeline: 0,
-                to_timeline: 5,
+                category: CategoryId(9),
+                from_timeline: TimelineId(0),
+                to_timeline: TimelineId(5),
                 start: 1.0,
                 end: 1.01,
                 tag: 1000,
@@ -279,7 +275,7 @@ mod tests {
             CategoryKind::Arrow,
         ] {
             let c = Category {
-                index: 7,
+                index: CategoryId(7),
                 name: "PI_Gather".into(),
                 color: Color::INDIAN_RED,
                 kind,
@@ -295,8 +291,8 @@ mod tests {
     fn interval_accessors() {
         use crate::window::TimeWindow;
         let s = Drawable::State(StateDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             start: 1.0,
             end: 3.0,
             nest_level: 0,
@@ -309,12 +305,6 @@ mod tests {
         assert!(TimeWindow::new(3.0, 4.0).overlaps(&s)); // closed interval: touching counts
         assert!(!TimeWindow::new(3.1, 4.0).overlaps(&s));
         assert!(!TimeWindow::new(0.0, 0.9).overlaps(&s));
-        // The deprecated wrapper must agree with the TimeWindow rule.
-        #[allow(deprecated)]
-        {
-            assert!(s.intersects(3.0, 4.0));
-            assert!(!s.intersects(3.1, 4.0));
-        }
     }
 
     #[test]
@@ -322,9 +312,9 @@ mod tests {
         // An arrow whose receive precedes its send (clock drift!) still
         // reports a sane bounding interval.
         let a = Drawable::Arrow(ArrowDrawable {
-            category: 0,
-            from_timeline: 0,
-            to_timeline: 1,
+            category: CategoryId(0),
+            from_timeline: TimelineId(0),
+            to_timeline: TimelineId(1),
             start: 2.0,
             end: 1.0,
             tag: 0,
@@ -337,8 +327,8 @@ mod tests {
     #[test]
     fn event_is_instantaneous() {
         let e = Drawable::Event(EventDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             time: 5.0,
             text: String::new(),
         });

@@ -74,7 +74,9 @@ mod tests {
         assert!(io.to_string().contains("gone"));
         let wire: Slog2Error = WireError::BadMagic("ff".into()).into();
         assert!(wire.to_string().contains("malformed"));
-        let val = Slog2Error::Validate(vec![Defect::DuplicateCategoryIndex { category: 3 }]);
+        let val = Slog2Error::Validate(vec![Defect::DuplicateCategoryIndex {
+            category: crate::id::CategoryId(3),
+        }]);
         assert!(val.to_string().contains("1 defect"));
     }
 

@@ -27,6 +27,7 @@ use mpelog::wire::{Reader, WireError, Writer};
 
 use crate::drawable::{Category, Drawable};
 use crate::error::Slog2Error;
+use crate::id::{CategoryId, CategoryMap, TimelineId};
 use crate::tree::{FrameNode, FrameTree, Preview, PreviewEntry};
 use crate::window::{Query, TimeWindow};
 
@@ -57,6 +58,33 @@ impl Slog2File {
     /// Look a category up by name.
     pub fn category_by_name(&self, name: &str) -> Option<&Category> {
         self.categories.iter().find(|c| c.name == name)
+    }
+
+    /// Look a category up by id. This resolves by the category's
+    /// declared `index` field, not by table position (the two coincide
+    /// for converter output but a hand-built file may differ).
+    pub fn category(&self, id: CategoryId) -> Option<&Category> {
+        self.categories
+            .get(id.as_usize())
+            .filter(|c| c.index == id)
+            .or_else(|| self.categories.iter().find(|c| c.index == id))
+    }
+
+    /// A timeline's display name.
+    pub fn timeline_name(&self, id: TimelineId) -> Option<&str> {
+        self.timelines.get(id.as_usize()).map(String::as_str)
+    }
+
+    /// Every timeline id in table order.
+    pub fn timeline_ids(&self) -> impl Iterator<Item = TimelineId> + '_ {
+        (0..self.timelines.len() as u32).map(TimelineId)
+    }
+
+    /// Resolve the file's [`WellKnownCategory`] table once.
+    ///
+    /// [`WellKnownCategory`]: crate::WellKnownCategory
+    pub fn category_map(&self) -> CategoryMap {
+        CategoryMap::resolve(self)
     }
 
     /// Serialize to bytes.
@@ -238,7 +266,7 @@ fn encode_node(node: &FrameNode, w: &mut Writer, dir_start: usize, idx: &mut usi
     }
     w.put_u32(node.preview.entries.len() as u32);
     for e in &node.preview.entries {
-        w.put_u32(e.category);
+        w.put_u32(e.category.0);
         w.put_u64(e.count);
         w.put_f64(e.coverage);
     }
@@ -268,7 +296,7 @@ fn decode_one_node(r: &mut Reader<'_>) -> Result<(FrameNode, bool), WireError> {
     let mut entries = Vec::with_capacity(np);
     for _ in 0..np {
         entries.push(PreviewEntry {
-            category: r.get_u32()?,
+            category: CategoryId(r.get_u32()?),
             count: r.get_u64()?,
             coverage: r.get_f64()?,
         });
@@ -317,8 +345,8 @@ mod tests {
             .map(|i| {
                 if i % 2 == 0 {
                     Drawable::State(StateDrawable {
-                        category: 0,
-                        timeline: (i % 3) as u32,
+                        category: CategoryId(0),
+                        timeline: TimelineId((i % 3) as u32),
                         start: i as f64 * 0.1,
                         end: i as f64 * 0.1 + 0.05,
                         nest_level: 0,
@@ -326,8 +354,8 @@ mod tests {
                     })
                 } else {
                     Drawable::Event(EventDrawable {
-                        category: 1,
-                        timeline: (i % 3) as u32,
+                        category: CategoryId(1),
+                        timeline: TimelineId((i % 3) as u32),
                         time: i as f64 * 0.1,
                         text: String::new(),
                     })
@@ -339,13 +367,13 @@ mod tests {
             timelines: vec!["PI_MAIN".into(), "P1".into(), "P2".into()],
             categories: vec![
                 Category {
-                    index: 0,
+                    index: CategoryId(0),
                     name: "PI_Read".into(),
                     color: Color::RED,
                     kind: CategoryKind::State,
                 },
                 Category {
-                    index: 1,
+                    index: CategoryId(1),
                     name: "arrival".into(),
                     color: Color::YELLOW,
                     kind: CategoryKind::Event,
@@ -440,7 +468,11 @@ mod tests {
     #[test]
     fn category_lookup() {
         let f = sample();
-        assert_eq!(f.category_by_name("PI_Read").unwrap().index, 0);
+        assert_eq!(f.category_by_name("PI_Read").unwrap().index, CategoryId(0));
+        assert_eq!(f.category(CategoryId(0)).unwrap().name, "PI_Read");
+        assert!(f.category(CategoryId(9)).is_none());
+        assert_eq!(f.timeline_name(TimelineId(1)), Some("P1"));
+        assert_eq!(f.timeline_ids().count(), 3);
         assert!(f.category_by_name("PI_Write").is_none());
     }
 }

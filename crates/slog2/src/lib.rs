@@ -28,6 +28,7 @@ pub mod convert;
 pub mod drawable;
 pub mod error;
 pub mod file;
+pub mod id;
 pub mod stats;
 pub mod tree;
 pub mod validate;
@@ -40,6 +41,7 @@ pub use convert::{
 pub use drawable::{ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable};
 pub use error::Slog2Error;
 pub use file::Slog2File;
+pub use id::{CategoryId, CategoryMap, TimelineId, WellKnownCategory};
 pub use stats::{legend_stats, CategoryStats};
 pub use tree::{FrameNode, FrameTree, FrameTreeBuilder, Preview};
 pub use validate::{validate, Defect};

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 
 use crate::drawable::Drawable;
 use crate::file::Slog2File;
+use crate::id::{CategoryId, TimelineId};
 use crate::window::{Query, TimeWindow};
 
 /// Per-category aggregate statistics.
@@ -30,8 +31,8 @@ pub struct CategoryStats {
 ///
 /// Returns a map keyed by category index; categories with no instances
 /// get a zeroed entry.
-pub fn legend_stats(file: &Slog2File) -> BTreeMap<u32, CategoryStats> {
-    let mut stats: BTreeMap<u32, CategoryStats> = BTreeMap::new();
+pub fn legend_stats(file: &Slog2File) -> BTreeMap<CategoryId, CategoryStats> {
+    let mut stats: BTreeMap<CategoryId, CategoryStats> = BTreeMap::new();
     for c in &file.categories {
         stats.insert(c.index, CategoryStats::default());
     }
@@ -39,7 +40,8 @@ pub fn legend_stats(file: &Slog2File) -> BTreeMap<u32, CategoryStats> {
     let drawables = file.drawables_in(TimeWindow::ALL);
 
     // Group states per timeline for the exclusive-time sweep.
-    let mut per_timeline: BTreeMap<u32, Vec<&crate::drawable::StateDrawable>> = BTreeMap::new();
+    let mut per_timeline: BTreeMap<TimelineId, Vec<&crate::drawable::StateDrawable>> =
+        BTreeMap::new();
     for d in &drawables {
         let entry = stats.entry(d.category()).or_default();
         entry.count += 1;
@@ -58,14 +60,13 @@ pub fn legend_stats(file: &Slog2File) -> BTreeMap<u32, CategoryStats> {
     for states in per_timeline.values_mut() {
         states.sort_by(|a, b| {
             a.start
-                .partial_cmp(&b.start)
-                .unwrap()
-                .then(b.end.partial_cmp(&a.end).unwrap())
+                .total_cmp(&b.start)
+                .then(b.end.total_cmp(&a.end))
                 // Equal intervals: deeper nest level is the inner state.
                 .then(a.nest_level.cmp(&b.nest_level))
         });
         // (category, end, own_exclusive_so_far)
-        let mut stack: Vec<(u32, f64, f64)> = Vec::new();
+        let mut stack: Vec<(CategoryId, f64, f64)> = Vec::new();
         for s in states.iter() {
             while let Some(&(cat, end, excl)) = stack.last() {
                 if end <= s.start {
@@ -91,7 +92,7 @@ pub fn legend_stats(file: &Slog2File) -> BTreeMap<u32, CategoryStats> {
 /// Per-timeline totals used by the debugging analyses (Figs. 4 and 5):
 /// how much of a timeline's span is covered by states of a given
 /// category.
-pub fn timeline_category_time(file: &Slog2File, category: u32) -> BTreeMap<u32, f64> {
+pub fn timeline_category_time(file: &Slog2File, category: CategoryId) -> BTreeMap<TimelineId, f64> {
     let mut out = BTreeMap::new();
     for d in file.drawables_in(TimeWindow::ALL) {
         if let Drawable::State(s) = d {
@@ -112,8 +113,8 @@ mod tests {
 
     fn state(cat: u32, tl: u32, start: f64, end: f64, nest: u32) -> Drawable {
         Drawable::State(StateDrawable {
-            category: cat,
-            timeline: tl,
+            category: CategoryId(cat),
+            timeline: TimelineId(tl),
             start,
             end,
             nest_level: nest,
@@ -124,7 +125,7 @@ mod tests {
     fn file_with(drawables: Vec<Drawable>, ncat: u32) -> Slog2File {
         let categories = (0..ncat)
             .map(|i| Category {
-                index: i,
+                index: CategoryId(i),
                 name: format!("cat{i}"),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
@@ -147,7 +148,7 @@ mod tests {
     #[test]
     fn flat_states_have_exclusive_equal_inclusive() {
         let f = file_with(vec![state(0, 0, 1.0, 2.0, 0), state(0, 0, 3.0, 5.0, 0)], 1);
-        let s = legend_stats(&f)[&0];
+        let s = legend_stats(&f)[&CategoryId(0)];
         assert_eq!(s.count, 2);
         assert!((s.inclusive - 3.0).abs() < 1e-12);
         assert!((s.exclusive - 3.0).abs() < 1e-12);
@@ -158,10 +159,10 @@ mod tests {
         // A [0,10] contains B [2,5]: A excl = 7, B excl = 3.
         let f = file_with(vec![state(0, 0, 0.0, 10.0, 0), state(1, 0, 2.0, 5.0, 1)], 2);
         let stats = legend_stats(&f);
-        assert!((stats[&0].inclusive - 10.0).abs() < 1e-12);
-        assert!((stats[&0].exclusive - 7.0).abs() < 1e-12);
-        assert!((stats[&1].inclusive - 3.0).abs() < 1e-12);
-        assert!((stats[&1].exclusive - 3.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(0)].inclusive - 10.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(0)].exclusive - 7.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(1)].inclusive - 3.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(1)].exclusive - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -176,9 +177,9 @@ mod tests {
             3,
         );
         let stats = legend_stats(&f);
-        assert!((stats[&0].exclusive - 2.0).abs() < 1e-12);
-        assert!((stats[&1].exclusive - 7.0).abs() < 1e-12);
-        assert!((stats[&2].exclusive - 1.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(0)].exclusive - 2.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(1)].exclusive - 7.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(2)].exclusive - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -193,8 +194,8 @@ mod tests {
             2,
         );
         let stats = legend_stats(&f);
-        assert!((stats[&0].exclusive - 5.0).abs() < 1e-12);
-        assert!((stats[&1].exclusive - 5.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(0)].exclusive - 5.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(1)].exclusive - 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -202,32 +203,32 @@ mod tests {
         // Overlapping intervals on *different* timelines are not nested.
         let f = file_with(vec![state(0, 0, 0.0, 10.0, 0), state(1, 1, 2.0, 5.0, 0)], 2);
         let stats = legend_stats(&f);
-        assert!((stats[&0].exclusive - 10.0).abs() < 1e-12);
-        assert!((stats[&1].exclusive - 3.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(0)].exclusive - 10.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(1)].exclusive - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn events_count_without_duration() {
         let mut ds = vec![state(0, 0, 0.0, 1.0, 0)];
         ds.push(Drawable::Event(EventDrawable {
-            category: 1,
-            timeline: 0,
+            category: CategoryId(1),
+            timeline: TimelineId(0),
             time: 0.5,
             text: String::new(),
         }));
         let f = file_with(ds, 2);
         let stats = legend_stats(&f);
-        assert_eq!(stats[&1].count, 1);
-        assert_eq!(stats[&1].inclusive, 0.0);
+        assert_eq!(stats[&CategoryId(1)].count, 1);
+        assert_eq!(stats[&CategoryId(1)].inclusive, 0.0);
         // A bubble inside a state does NOT reduce the state's exclusive time.
-        assert!((stats[&0].exclusive - 1.0).abs() < 1e-12);
+        assert!((stats[&CategoryId(0)].exclusive - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn empty_categories_report_zero() {
         let f = file_with(vec![state(0, 0, 0.0, 1.0, 0)], 3);
         let stats = legend_stats(&f);
-        assert_eq!(stats[&2], CategoryStats::default());
+        assert_eq!(stats[&CategoryId(2)], CategoryStats::default());
     }
 
     #[test]
@@ -240,8 +241,8 @@ mod tests {
             ],
             1,
         );
-        let per_tl = timeline_category_time(&f, 0);
-        assert!((per_tl[&0] - 3.0).abs() < 1e-12);
-        assert!((per_tl[&1] - 5.0).abs() < 1e-12);
+        let per_tl = timeline_category_time(&f, CategoryId(0));
+        assert!((per_tl[&TimelineId(0)] - 3.0).abs() < 1e-12);
+        assert!((per_tl[&TimelineId(1)] - 5.0).abs() < 1e-12);
     }
 }

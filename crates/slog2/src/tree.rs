@@ -13,6 +13,7 @@
 //! of the paper's Fig. 1 without touching leaf data.
 
 use crate::drawable::Drawable;
+use crate::id::CategoryId;
 use crate::window::{Query, TimeWindow};
 
 /// Per-category aggregate used for zoomed-out rendering.
@@ -26,7 +27,7 @@ pub struct Preview {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PreviewEntry {
     /// Category index.
-    pub category: u32,
+    pub category: CategoryId,
     /// Number of drawable instances.
     pub count: u64,
     /// Summed duration in seconds (0 for instantaneous events).
@@ -35,7 +36,7 @@ pub struct PreviewEntry {
 
 impl Preview {
     /// Add one drawable's contribution.
-    pub fn add(&mut self, category: u32, duration: f64) {
+    pub fn add(&mut self, category: CategoryId, duration: f64) {
         match self.entries.binary_search_by_key(&category, |e| e.category) {
             Ok(i) => {
                 self.entries[i].count += 1;
@@ -406,11 +407,12 @@ fn visit_node<'a>(node: &'a FrameNode, f: &mut impl FnMut(&'a FrameNode)) {
 mod tests {
     use super::*;
     use crate::drawable::{EventDrawable, StateDrawable};
+    use crate::id::TimelineId;
 
     fn state(cat: u32, start: f64, end: f64) -> Drawable {
         Drawable::State(StateDrawable {
-            category: cat,
-            timeline: 0,
+            category: CategoryId(cat),
+            timeline: TimelineId(0),
             start,
             end,
             nest_level: 0,
@@ -420,8 +422,8 @@ mod tests {
 
     fn event(cat: u32, t: f64) -> Drawable {
         Drawable::Event(EventDrawable {
-            category: cat,
-            timeline: 0,
+            category: CategoryId(cat),
+            timeline: TimelineId(0),
             time: t,
             text: String::new(),
         })
@@ -514,7 +516,7 @@ mod tests {
             .collect();
         let t = FrameTree::build(ds.clone(), 0.0, 10.1, 4, 10);
         assert_eq!(t.root.preview.total_count(), 50);
-        for cat in 0..3u32 {
+        for cat in (0..3u32).map(CategoryId) {
             let want = ds.iter().filter(|d| d.category() == cat).count() as u64;
             let got = t
                 .root

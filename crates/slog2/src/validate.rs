@@ -9,6 +9,7 @@
 
 use crate::drawable::{CategoryKind, Drawable};
 use crate::file::Slog2File;
+use crate::id::{CategoryId, TimelineId};
 use crate::tree::FrameNode;
 
 /// A structural defect found in an SLOG2 file.
@@ -17,24 +18,24 @@ pub enum Defect {
     /// A drawable references a category index with no definition.
     UnknownCategory {
         /// The dangling index.
-        category: u32,
+        category: CategoryId,
     },
     /// A drawable references a timeline beyond the timeline table.
     UnknownTimeline {
         /// The dangling rank.
-        timeline: u32,
+        timeline: TimelineId,
     },
     /// A drawable's kind disagrees with its category's kind.
     KindMismatch {
         /// Category index.
-        category: u32,
+        category: CategoryId,
         /// The category's declared kind.
         declared: CategoryKind,
     },
     /// A state with `end < start`.
     NegativeDuration {
         /// Category index.
-        category: u32,
+        category: CategoryId,
         /// Start.
         start: f64,
         /// End.
@@ -69,7 +70,7 @@ pub enum Defect {
     /// Category indices are not unique.
     DuplicateCategoryIndex {
         /// The repeated index.
-        category: u32,
+        category: CategoryId,
     },
     /// A non-finite timestamp.
     NonFiniteTime,
@@ -153,7 +154,7 @@ pub fn validate(file: &Slog2File) -> Vec<Defect> {
             defects.push(Defect::DuplicateCategoryIndex { category: c.index });
         }
     }
-    let cat_kind = |idx: u32| {
+    let cat_kind = |idx: CategoryId| {
         file.categories
             .iter()
             .find(|c| c.index == idx)
@@ -198,7 +199,7 @@ pub fn validate(file: &Slog2File) -> Vec<Defect> {
                     drawable: (d.start(), d.end()),
                 });
             }
-            let (cat, timelines, want_kind): (u32, Vec<u32>, CategoryKind) = match d {
+            let (cat, timelines, want_kind): (CategoryId, Vec<TimelineId>, CategoryKind) = match d {
                 Drawable::State(s) => {
                     if s.end < s.start {
                         defects.push(Defect::NegativeDuration {
@@ -225,7 +226,7 @@ pub fn validate(file: &Slog2File) -> Vec<Defect> {
                 _ => {}
             }
             for tl in timelines {
-                if tl >= ntl {
+                if tl.as_u32() >= ntl {
                     defects.push(Defect::UnknownTimeline { timeline: tl });
                 }
             }
@@ -244,8 +245,8 @@ mod tests {
 
     fn sound_file() -> Slog2File {
         let ds = vec![Drawable::State(StateDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             start: 1.0,
             end: 2.0,
             nest_level: 0,
@@ -254,7 +255,7 @@ mod tests {
         Slog2File {
             timelines: vec!["P0".into()],
             categories: vec![Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "s".into(),
                 color: Color::RED,
                 kind: CategoryKind::State,
@@ -300,27 +301,37 @@ mod tests {
         let mut f = sound_file();
         f.categories.clear();
         let defects = validate(&f);
-        assert!(defects
-            .iter()
-            .any(|d| matches!(d, Defect::UnknownCategory { category: 0 })));
+        assert!(defects.iter().any(|d| matches!(
+            d,
+            Defect::UnknownCategory {
+                category: CategoryId(0)
+            }
+        )));
     }
 
     #[test]
     fn unknown_timeline_is_flagged() {
         let mut f = sound_file();
         f.timelines.clear();
-        assert!(validate(&f)
-            .iter()
-            .any(|d| matches!(d, Defect::UnknownTimeline { timeline: 0 })));
+        assert!(validate(&f).iter().any(|d| matches!(
+            d,
+            Defect::UnknownTimeline {
+                timeline: TimelineId(0)
+            }
+        )));
     }
 
     #[test]
     fn kind_mismatch_is_flagged() {
         let mut f = sound_file();
         f.categories[0].kind = CategoryKind::Event;
-        assert!(validate(&f)
-            .iter()
-            .any(|d| matches!(d, Defect::KindMismatch { category: 0, .. })));
+        assert!(validate(&f).iter().any(|d| matches!(
+            d,
+            Defect::KindMismatch {
+                category: CategoryId(0),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -337,9 +348,12 @@ mod tests {
         let mut f = sound_file();
         let dup = f.categories[0].clone();
         f.categories.push(dup);
-        assert!(validate(&f)
-            .iter()
-            .any(|d| matches!(d, Defect::DuplicateCategoryIndex { category: 0 })));
+        assert!(validate(&f).iter().any(|d| matches!(
+            d,
+            Defect::DuplicateCategoryIndex {
+                category: CategoryId(0)
+            }
+        )));
     }
 
     #[test]
@@ -354,8 +368,8 @@ mod tests {
     #[test]
     fn negative_duration_is_flagged() {
         let ds = vec![Drawable::State(StateDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             start: 2.0,
             end: 1.0,
             nest_level: 0,

@@ -122,11 +122,12 @@ pub trait Query {
 mod tests {
     use super::*;
     use crate::drawable::{EventDrawable, StateDrawable};
+    use crate::id::{CategoryId, TimelineId};
 
     fn state(start: f64, end: f64) -> Drawable {
         Drawable::State(StateDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             start,
             end,
             nest_level: 0,
@@ -150,8 +151,8 @@ mod tests {
         assert!(!w.overlaps(&state(2.001, 3.0)));
         // Instants (events) on the edge count too.
         let e = Drawable::Event(EventDrawable {
-            category: 0,
-            timeline: 0,
+            category: CategoryId(0),
+            timeline: TimelineId(0),
             time: 2.0,
             text: String::new(),
         });

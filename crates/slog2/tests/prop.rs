@@ -8,14 +8,14 @@ use slog2::{
     convert, convert_reader, legend_stats, ConvertOptions, Drawable, FrameTree, Query, Slog2File,
     TimeWindow,
 };
-use slog2::{Category, CategoryKind, EventDrawable, StateDrawable};
+use slog2::{Category, CategoryId, CategoryKind, EventDrawable, StateDrawable, TimelineId};
 
 fn arb_drawable() -> impl Strategy<Value = Drawable> {
     prop_oneof![
         (0u32..4, 0u32..4, 0f64..100.0, 0f64..5.0).prop_map(|(cat, tl, start, dur)| {
             Drawable::State(StateDrawable {
-                category: cat,
-                timeline: tl,
+                category: CategoryId(cat),
+                timeline: TimelineId(tl),
                 start,
                 end: start + dur,
                 nest_level: 0,
@@ -24,8 +24,8 @@ fn arb_drawable() -> impl Strategy<Value = Drawable> {
         }),
         (4u32..6, 0u32..4, 0f64..105.0).prop_map(|(cat, tl, t)| {
             Drawable::Event(EventDrawable {
-                category: cat,
-                timeline: tl,
+                category: CategoryId(cat),
+                timeline: TimelineId(tl),
                 time: t,
                 text: String::new(),
             })
@@ -150,7 +150,7 @@ proptest! {
     ) {
         let categories: Vec<Category> = (0..6)
             .map(|i| Category {
-                index: i,
+                index: CategoryId(i),
                 name: format!("cat{i}"),
                 color: Color::GRAY,
                 kind: if i < 4 { CategoryKind::State } else { CategoryKind::Event },
@@ -190,7 +190,7 @@ proptest! {
     ) {
         let categories: Vec<Category> = (0..6)
             .map(|i| Category {
-                index: i,
+                index: CategoryId(i),
                 name: format!("cat{i}"),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
@@ -204,7 +204,7 @@ proptest! {
             tree: FrameTree::build(ds.clone(), 0.0, 105.0, 16, 10),
         };
         let stats = legend_stats(&file);
-        for cat in 0..6u32 {
+        for cat in (0..6u32).map(CategoryId) {
             let want: f64 = ds
                 .iter()
                 .filter(|d| d.category() == cat)

@@ -16,7 +16,8 @@
 //! | `/v1/warnings` | converter warnings + crash-forensics verdicts     |
 //! | `/v1/query`    | window query (`t0`,`t1`,`ranks=0,2`)              |
 //! | `/v1/tile`     | cached tile (`rank`,`zoom`,`tile`)                |
-//! | `/v1/render`   | full document (`backend`,`t0`,`t1`,`width`)       |
+//! | `/v1/render`   | full document (`backend`,`t0`,`t1`,`width`,`overlay`) |
+//! | `/v1/diagnose` | automated bottleneck verdicts (cached)            |
 //! | `/v1/stats`    | query + cache counters                            |
 //! | `/metrics`     | Prometheus text of the obs registry               |
 
@@ -219,6 +220,7 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
         "/v1/legend" => (200, "application/json", svc.legend_json()),
         "/v1/warnings" => (200, "application/json", svc.warnings_json()),
         "/v1/stats" => (200, "application/json", svc.stats_json()),
+        "/v1/diagnose" => (200, "application/json", svc.diagnose_json().to_string()),
         "/metrics" => (200, "text/plain; version=0.0.4", svc.metrics_text()),
         "/v1/query" => {
             let range = svc.file().range;
@@ -268,7 +270,8 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
                     Some(TimeWindow::new(t0, t1))
                 }
             };
-            match svc.render(backend, window, width) {
+            let overlay = matches!(get("overlay"), Some("1") | Some("critical") | Some("true"));
+            match svc.render(backend, window, width, overlay) {
                 Some((ct, body)) => (200, ct, body),
                 None => (404, "text/plain", format!("unknown backend {backend:?}\n")),
             }
@@ -341,15 +344,18 @@ impl Client {
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{Category, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable};
+    use slog2::{
+        Category, CategoryId, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable,
+        TimelineId,
+    };
 
     fn service() -> Arc<TimelineService> {
         let mut ds = Vec::new();
         for r in 0..2u32 {
             for i in 0..8 {
                 ds.push(Drawable::State(StateDrawable {
-                    category: 0,
-                    timeline: r,
+                    category: CategoryId(0),
+                    timeline: TimelineId(r),
                     start: i as f64,
                     end: i as f64 + 0.5,
                     nest_level: 0,
@@ -361,7 +367,7 @@ mod tests {
         Arc::new(TimelineService::from_file(Slog2File {
             timelines: vec!["PI_MAIN".into(), "P1".into()],
             categories: vec![Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "Compute".into(),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
@@ -414,6 +420,29 @@ mod tests {
         let (_, tile) = client.get("/v1/tile?rank=0&zoom=2&tile=1").unwrap();
         assert_eq!(tile, *svc.tile_json(0, 2, 1).unwrap());
         server.stop();
+    }
+
+    #[test]
+    fn diagnose_route_returns_cached_verdict_json() {
+        let svc = service();
+        let (status, ct, body) = route(&svc, "/v1/diagnose");
+        assert_eq!(status, 200);
+        assert_eq!(ct, "application/json");
+        let v = pilot_vis::json::Json::parse(&body).unwrap();
+        assert!(v.get("verdicts").is_some(), "{body}");
+        // Cached: the second call returns the identical string.
+        let (_, _, again) = route(&svc, "/v1/diagnose");
+        assert_eq!(body, again);
+    }
+
+    #[test]
+    fn render_route_accepts_critical_overlay() {
+        let svc = service();
+        let (status, _, body) = route(&svc, "/v1/render?backend=svg&overlay=critical");
+        assert_eq!(status, 200);
+        assert!(body.contains("class=\"critical-path\""), "{body}");
+        let (_, _, plain) = route(&svc, "/v1/render?backend=svg");
+        assert!(!plain.contains("class=\"critical-path\""));
     }
 
     #[test]

@@ -36,12 +36,12 @@ impl TimelineIndex {
         for d in file.drawables_in(TimeWindow::ALL) {
             match d {
                 Drawable::State(s) => {
-                    if let Some(v) = per_rank.get_mut(s.timeline as usize) {
+                    if let Some(v) = per_rank.get_mut(s.timeline.as_usize()) {
                         v.push(d.clone());
                     }
                 }
                 Drawable::Event(e) => {
-                    if let Some(v) = per_rank.get_mut(e.timeline as usize) {
+                    if let Some(v) = per_rank.get_mut(e.timeline.as_usize()) {
                         v.push(d.clone());
                     }
                 }
@@ -98,7 +98,11 @@ impl TimelineIndex {
             .query(w)
             .into_iter()
             .filter_map(|d| match d {
-                Drawable::Arrow(a) if a.from_timeline == rank || a.to_timeline == rank => Some(a),
+                Drawable::Arrow(a)
+                    if a.from_timeline.as_u32() == rank || a.to_timeline.as_u32() == rank =>
+                {
+                    Some(a)
+                }
                 _ => None,
             })
             .collect()
@@ -134,24 +138,26 @@ impl Query for TimelineIndex {
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{ArrowDrawable, Category, CategoryKind, EventDrawable, StateDrawable};
+    use slog2::{
+        ArrowDrawable, Category, CategoryId, CategoryKind, EventDrawable, StateDrawable, TimelineId,
+    };
 
     fn file() -> Slog2File {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "Compute".into(),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "msg arrival".into(),
                 color: Color::YELLOW,
                 kind: CategoryKind::Event,
             },
             Category {
-                index: 2,
+                index: CategoryId(2),
                 name: "message".into(),
                 color: Color::WHITE,
                 kind: CategoryKind::Arrow,
@@ -161,8 +167,8 @@ mod tests {
         for r in 0..3u32 {
             for i in 0..4 {
                 ds.push(Drawable::State(StateDrawable {
-                    category: 0,
-                    timeline: r,
+                    category: CategoryId(0),
+                    timeline: TimelineId(r),
                     start: i as f64,
                     end: i as f64 + 0.75,
                     nest_level: 0,
@@ -171,15 +177,15 @@ mod tests {
             }
         }
         ds.push(Drawable::Event(EventDrawable {
-            category: 1,
-            timeline: 1,
+            category: CategoryId(1),
+            timeline: TimelineId(1),
             time: 2.5,
             text: String::new(),
         }));
         ds.push(Drawable::Arrow(ArrowDrawable {
-            category: 2,
-            from_timeline: 0,
-            to_timeline: 2,
+            category: CategoryId(2),
+            from_timeline: TimelineId(0),
+            to_timeline: TimelineId(2),
             start: 1.0,
             end: 1.5,
             tag: 7,

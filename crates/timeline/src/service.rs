@@ -9,8 +9,10 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-use jumpshot::{renderer_by_name, RenderOptions};
+use analysis::TraceAnalyzer;
+use jumpshot::{renderer_by_name, PathOverlay, RenderOptions};
 use obs::ObsHandle;
 use pilot_vis::json::Json;
 use slog2::{Drawable, Query, Slog2Error, Slog2File, TimeWindow};
@@ -43,6 +45,7 @@ pub struct TimelineService {
     /// detail; denser windows answer with preview aggregates.
     pub detail_limit: usize,
     queries: AtomicU64,
+    diagnosis: OnceLock<String>,
 }
 
 impl TimelineService {
@@ -73,6 +76,7 @@ impl TimelineService {
             digest,
             detail_limit: 512,
             queries: AtomicU64::new(0),
+            diagnosis: OnceLock::new(),
             file,
         }
     }
@@ -146,7 +150,7 @@ impl TimelineService {
                 .map(|c| {
                     let s = stats.get(&c.index).copied().unwrap_or_default();
                     Json::Obj(vec![
-                        ("index".into(), Json::Num(c.index as f64)),
+                        ("index".into(), Json::Num(f64::from(c.index.as_u32()))),
                         ("name".into(), Json::Str(c.name.clone())),
                         ("color".into(), Json::Str(c.color.to_hex())),
                         ("kind".into(), Json::Str(format!("{:?}", c.kind))),
@@ -170,12 +174,12 @@ impl TimelineService {
                 let name = self
                     .file
                     .categories
-                    .get(s.category as usize)
+                    .get(s.category.as_usize())
                     .map(|c| c.name.as_str())
                     .unwrap_or("");
                 if name == "ABORTED" || name == "DEADLOCKED" {
                     verdicts.push(Json::Obj(vec![
-                        ("rank".into(), Json::Num(s.timeline as f64)),
+                        ("rank".into(), Json::Num(f64::from(s.timeline.as_u32()))),
                         ("kind".into(), Json::Str(name.to_string())),
                         ("start".into(), Json::Num(s.start)),
                         ("end".into(), Json::Num(s.end)),
@@ -243,9 +247,12 @@ impl TimelineService {
             .into_iter()
             .map(|a| {
                 Json::Obj(vec![
-                    ("category".into(), Json::Num(a.category as f64)),
-                    ("from".into(), Json::Num(a.from_timeline as f64)),
-                    ("to".into(), Json::Num(a.to_timeline as f64)),
+                    ("category".into(), Json::Num(f64::from(a.category.as_u32()))),
+                    (
+                        "from".into(),
+                        Json::Num(f64::from(a.from_timeline.as_u32())),
+                    ),
+                    ("to".into(), Json::Num(f64::from(a.to_timeline.as_u32()))),
                     ("start".into(), Json::Num(a.start)),
                     ("end".into(), Json::Num(a.end)),
                     ("tag".into(), Json::Num(a.tag as f64)),
@@ -265,14 +272,14 @@ impl TimelineService {
             for d in self.index.rank_drawables(rank, w) {
                 match d {
                     Drawable::State(s) => states.push(Json::Obj(vec![
-                        ("category".into(), Json::Num(s.category as f64)),
+                        ("category".into(), Json::Num(f64::from(s.category.as_u32()))),
                         ("start".into(), Json::Num(s.start.max(w.t0))),
                         ("end".into(), Json::Num(s.end.min(w.t1))),
                         ("nest".into(), Json::Num(s.nest_level as f64)),
                         ("text".into(), Json::Str(s.text.clone())),
                     ])),
                     Drawable::Event(e) => events.push(Json::Obj(vec![
-                        ("category".into(), Json::Num(e.category as f64)),
+                        ("category".into(), Json::Num(f64::from(e.category.as_u32()))),
                         ("time".into(), Json::Num(e.time)),
                         ("text".into(), Json::Str(e.text.clone())),
                     ])),
@@ -293,7 +300,7 @@ impl TimelineService {
                         .iter()
                         .map(|e| {
                             Json::Obj(vec![
-                                ("category".into(), Json::Num(e.category as f64)),
+                                ("category".into(), Json::Num(f64::from(e.category.as_u32()))),
                                 ("count".into(), Json::Num(e.count as f64)),
                                 ("coverage".into(), Json::Num(e.coverage)),
                             ])
@@ -324,18 +331,52 @@ impl TimelineService {
     }
 
     /// `/v1/render` — dispatch to a [`jumpshot::Renderer`] backend by
-    /// wire name; returns `(content_type, document)`.
+    /// wire name; returns `(content_type, document)`. With `overlay`,
+    /// the critical path is highlighted and off-path drawables dimmed.
     pub fn render(
         &self,
         backend: &str,
         window: Option<TimeWindow>,
         width: u32,
+        overlay: bool,
     ) -> Option<(&'static str, String)> {
         self.count_query();
         let r = renderer_by_name(backend)?;
         let mut opts = RenderOptions::default().with_width(width.max(1));
         opts.window = window;
+        if overlay {
+            opts.overlay = Some(self.critical_overlay());
+        }
         Some((r.content_type(), r.render(&self.file, &opts)))
+    }
+
+    /// `/v1/diagnose` — the automated bottleneck diagnosis. The file is
+    /// immutable for the lifetime of the service, so the verdicts are
+    /// computed once and cached.
+    pub fn diagnose_json(&self) -> &str {
+        self.count_query();
+        self.diagnosis.get_or_init(|| {
+            TraceAnalyzer::new(&self.file)
+                .diagnose("serve")
+                .to_json(&self.file)
+        })
+    }
+
+    fn critical_overlay(&self) -> PathOverlay {
+        let cp = analysis::critical_path(&self.file);
+        PathOverlay {
+            segments: cp
+                .segments
+                .iter()
+                .map(|s| (s.timeline, s.start, s.end))
+                .collect(),
+            hops: cp
+                .hops
+                .iter()
+                .map(|h| (h.from, h.to, h.send, h.recv))
+                .collect(),
+            dim_others: true,
+        }
     }
 
     /// `/v1/stats` — query and cache counters.
@@ -372,18 +413,18 @@ fn window_json(w: TimeWindow) -> Json {
 mod tests {
     use super::*;
     use mpelog::Color;
-    use slog2::{Category, CategoryKind, FrameTree, StateDrawable};
+    use slog2::{Category, CategoryId, CategoryKind, FrameTree, StateDrawable, TimelineId};
 
     fn service(states_per_rank: usize) -> TimelineService {
         let categories = vec![
             Category {
-                index: 0,
+                index: CategoryId(0),
                 name: "Compute".into(),
                 color: Color::GRAY,
                 kind: CategoryKind::State,
             },
             Category {
-                index: 1,
+                index: CategoryId(1),
                 name: "ABORTED".into(),
                 color: Color::DARK_RED,
                 kind: CategoryKind::State,
@@ -393,8 +434,8 @@ mod tests {
         for r in 0..2u32 {
             for i in 0..states_per_rank {
                 ds.push(Drawable::State(StateDrawable {
-                    category: 0,
-                    timeline: r,
+                    category: CategoryId(0),
+                    timeline: TimelineId(r),
                     start: i as f64,
                     end: i as f64 + 0.5,
                     nest_level: 0,
@@ -403,8 +444,8 @@ mod tests {
             }
         }
         ds.push(Drawable::State(StateDrawable {
-            category: 1,
-            timeline: 1,
+            category: CategoryId(1),
+            timeline: TimelineId(1),
             start: states_per_rank as f64,
             end: states_per_rank as f64 + 1.0,
             nest_level: 0,
@@ -503,11 +544,11 @@ mod tests {
             ("html", "text/html"),
             ("hist", "image/svg"),
         ] {
-            let (ct, body) = svc.render(name, None, 640).unwrap();
+            let (ct, body) = svc.render(name, None, 640, false).unwrap();
             assert!(ct.starts_with(ct_prefix), "{name}");
             assert!(!body.is_empty(), "{name}");
         }
-        assert!(svc.render("nope", None, 640).is_none());
+        assert!(svc.render("nope", None, 640, false).is_none());
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use mpelog::Color;
 use proptest::prelude::*;
 use slog2::{
-    ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, FrameTree, Query, Slog2File,
-    StateDrawable, TimeWindow,
+    ArrowDrawable, Category, CategoryId, CategoryKind, Drawable, EventDrawable, FrameTree, Query,
+    Slog2File, StateDrawable, TimeWindow, TimelineId,
 };
 use timeline::{TimelineIndex, TimelineService};
 
@@ -17,8 +17,8 @@ fn arb_drawable() -> impl Strategy<Value = Drawable> {
     prop_oneof![
         (0u32..3, 0u32..NRANKS, 0f64..90.0, 0f64..8.0).prop_map(|(cat, tl, start, dur)| {
             Drawable::State(StateDrawable {
-                category: cat,
-                timeline: tl,
+                category: CategoryId(cat),
+                timeline: TimelineId(tl),
                 start,
                 end: start + dur,
                 nest_level: 0,
@@ -27,8 +27,8 @@ fn arb_drawable() -> impl Strategy<Value = Drawable> {
         }),
         (0u32..NRANKS, 0f64..T_MAX).prop_map(|(tl, t)| {
             Drawable::Event(EventDrawable {
-                category: 3,
-                timeline: tl,
+                category: CategoryId(3),
+                timeline: TimelineId(tl),
                 time: t,
                 text: String::new(),
             })
@@ -43,9 +43,9 @@ fn arb_drawable() -> impl Strategy<Value = Drawable> {
         )
             .prop_map(|(from, to, start, dur, tag, size)| {
                 Drawable::Arrow(ArrowDrawable {
-                    category: 4,
-                    from_timeline: from,
-                    to_timeline: to,
+                    category: CategoryId(4),
+                    from_timeline: TimelineId(from),
+                    to_timeline: TimelineId(to),
                     start,
                     end: start + dur,
                     tag,
@@ -69,7 +69,7 @@ fn file(ds: Vec<Drawable>) -> Slog2File {
             .iter()
             .enumerate()
             .map(|(i, (name, kind, color))| Category {
-                index: i as u32,
+                index: CategoryId(i as u32),
                 name: (*name).into(),
                 color: *color,
                 kind: *kind,
@@ -121,8 +121,8 @@ proptest! {
             .iter()
             .filter(|d| w.overlaps(d))
             .filter(|d| match d {
-                Drawable::State(s) => s.timeline == rank,
-                Drawable::Event(e) => e.timeline == rank,
+                Drawable::State(s) => s.timeline.as_u32() == rank,
+                Drawable::Event(e) => e.timeline.as_u32() == rank,
                 Drawable::Arrow(_) => false,
             })
             .collect();
@@ -132,7 +132,7 @@ proptest! {
             .iter()
             .filter(|d| w.overlaps(d))
             .filter(|d| matches!(d, Drawable::Arrow(x)
-                if x.from_timeline == rank || x.to_timeline == rank))
+                if x.from_timeline.as_u32() == rank || x.to_timeline.as_u32() == rank))
             .count();
         prop_assert_eq!(idx.rank_arrows(rank, w).len(), want_arrows);
     }

@@ -13,7 +13,7 @@
 //! message per worker.
 
 use pilot::{PilotConfig, Services};
-use slog2::{convert, ConvertOptions};
+use slog2::{convert, ConvertOptions, TimelineId};
 use workloads::collision::{expected_answers, run_collision, CollisionParams, CollisionVariant};
 
 const WORKERS: usize = 4;
@@ -57,7 +57,7 @@ fn main() {
             .render(&slog, &jumpshot::RenderOptions::default().with_width(1400));
         std::fs::write(outfile, svg).unwrap();
 
-        let workers: Vec<u32> = (1..=WORKERS as u32).collect();
+        let workers: Vec<TimelineId> = (1..=WORKERS as u32).map(TimelineId).collect();
         let overlap = pilot_vis::parallel_overlap(&slog, &workers, None);
         let idle = pilot_vis::idle_until_first_arrival(&slog);
         let max_idle = idle.values().cloned().fold(0.0f64, f64::max);

@@ -4,7 +4,7 @@
 
 use pilot::{BundleUsage, PilotConfig, RSlot, Services, WSlot, PI_MAIN};
 use pilot_vis::{run_report, visualize, VisOptions};
-use slog2::Drawable;
+use slog2::{Drawable, TimelineId};
 
 fn logged(ranks: usize) -> PilotConfig {
     PilotConfig::new(ranks).with_services(Services::parse("j").unwrap())
@@ -63,9 +63,9 @@ fn full_pipeline_from_program_to_svg() {
         })
         .collect();
     assert_eq!(arrows.len(), 3, "{arrows:?}");
-    assert!(arrows.contains(&(0, 1)));
-    assert!(arrows.contains(&(1, 2)));
-    assert!(arrows.contains(&(2, 0)));
+    assert!(arrows.contains(&(TimelineId(0), TimelineId(1))));
+    assert!(arrows.contains(&(TimelineId(1), TimelineId(2))));
+    assert!(arrows.contains(&(TimelineId(2), TimelineId(0))));
 
     // The SVG names the processes and draws all object kinds.
     let svg = run.render_full(900).unwrap();
@@ -81,7 +81,7 @@ fn full_pipeline_from_program_to_svg() {
 
     // Search-and-scan finds the producer's write by its popup text.
     let q = jumpshot::SearchQuery {
-        timeline: Some(1),
+        timeline: Some(TimelineId(1)),
         text_contains: Some("Line:".into()),
         ..Default::default()
     };
@@ -147,7 +147,7 @@ fn collectives_show_bundle_fanout_arrows() {
             _ => None,
         })
         .collect();
-    send_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    send_times.sort_by(f64::total_cmp);
     for w in send_times.windows(2) {
         assert!(w[1] - w[0] > 5e-4, "arrows superimposed: {send_times:?}");
     }

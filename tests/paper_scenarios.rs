@@ -3,6 +3,7 @@
 
 use pilot::{PilotConfig, RSlot, Services, WSlot, PI_MAIN};
 use pilot_vis::{visualize, VisOptions};
+use slog2::TimelineId;
 use workloads::collision::{run_collision, CollisionParams, CollisionVariant};
 use workloads::lab2::{expected_total, run_lab2};
 use workloads::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
@@ -97,7 +98,7 @@ fn sec4b_instance_a_serializes_queries() {
         assert!(outcome.is_clean(), "{outcome:?}");
         let result = result.unwrap();
         let (slog, _) = slog2::convert(outcome.clog().unwrap(), &Default::default());
-        let workers: Vec<u32> = (1..=3).collect();
+        let workers: Vec<TimelineId> = (1..=3).map(TimelineId).collect();
         let qwin = slog2::TimeWindow::new(slog.range.t1 - result.query_seconds, slog.range.t1);
         pilot_vis::parallel_overlap(&slog, &workers, Some(qwin))
     };
