@@ -158,6 +158,59 @@ pub fn instance_a() -> Slog2File {
     file_with(ds)
 }
 
+/// Paper-scale corrected run: the fix a student would submit after
+/// reading instance A's diagnosis. Chunks ship back-to-back right at
+/// startup, the workers parse concurrently, and every query round is
+/// broadcast so all four workers answer simultaneously (staggered by
+/// 10 ms so no two drawables coincide exactly). Used as the "after"
+/// trace by `repro diff --workload instance-a-vs-fixed` /
+/// `instance-b-vs-fixed`; must convict on **no** verdict.
+pub fn instance_fixed() -> Slog2File {
+    let workers = 4u32;
+    let queries = 6u32;
+    let mut ds = Vec::new();
+
+    // PI_MAIN reads the file once and ships all chunks back-to-back.
+    ds.push(state(0, 0, 0.0, 6.0));
+    for i in 0..workers {
+        let ship = 0.3 + 0.1 * f64::from(i);
+        let recv = ship + 0.05;
+        let w = i + 1;
+        ds.push(arrow(0, w, ship, recv, 100 + i));
+        ds.push(arrival(w, recv));
+        ds.push(state(0, w, 0.1, 5.8));
+        ds.push(state(1, w, 0.2, recv)); // blocked until the chunk lands
+                                         // (parse runs [recv, recv + 1.5] — busy, concurrently)
+        ds.push(state(1, w, recv + 1.5, 2.4 + 0.01 * f64::from(i)));
+    }
+
+    // Broadcast query loop: every round goes to all workers at once.
+    let qs = 2.4;
+    let slot = 0.5;
+    for q in 0..queries {
+        let st = qs + slot * f64::from(q);
+        for i in 0..workers {
+            let w = i + 1;
+            let stw = st + 0.01 * f64::from(i);
+            ds.push(arrow(0, w, st - 0.05, stw, 200 + q * workers + i));
+            ds.push(arrival(w, stw));
+            // Busy answering [stw, stw + 0.4], then reply.
+            ds.push(arrow(w, 0, stw + 0.4, stw + 0.45, 300 + q * workers + i));
+            ds.push(arrival(0, stw + 0.45));
+            // Blocked from this answer until the next round (or the end).
+            let next = if q + 1 < queries {
+                qs + slot * f64::from(q + 1) + 0.01 * f64::from(i)
+            } else {
+                5.8
+            };
+            ds.push(state(1, w, stw + 0.4, next));
+        }
+        // Main blocked while the round computes.
+        ds.push(state(1, 0, st, st + 0.48));
+    }
+    file_with(ds)
+}
+
 /// Paper-scale instance B (Fig. 5): PI_MAIN reads *and parses* the
 /// whole file itself for 11.5 s while every worker sits blocked in
 /// `PI_Read`; the queries afterwards are quick.
@@ -195,11 +248,20 @@ mod tests {
 
     #[test]
     fn fixtures_are_well_formed() {
-        for f in [instance_a(), instance_b()] {
+        for f in [instance_a(), instance_b(), instance_fixed()] {
             assert_eq!(f.timelines.len(), 5);
             let defects = slog2::validate(&f);
             assert!(defects.is_empty(), "{defects:?}");
         }
+    }
+
+    #[test]
+    fn fixed_instance_is_acquitted_on_all_counts() {
+        let f = instance_fixed();
+        let d = crate::verdict::diagnose(&f, "instance-fixed");
+        assert!(d.verdicts.is_empty(), "{:?}", d.verdicts);
+        // The fix more than halves the makespan relative to instance A.
+        assert!(d.makespan < 0.5 * crate::verdict::diagnose(&instance_a(), "a").makespan);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! cargo run -p bench --bin repro --release -- metrics [--workload thumbnail|lab2] [--parallel N]
 //! cargo run -p bench --bin repro --release -- faults [--seed S] [--runs R]
 //! cargo run -p bench --bin repro --release -- diagnose [--workload thumbnail|lab2|instance-a|instance-b]
+//! cargo run -p bench --bin repro --release -- diff [<before.pslog2> <after.pslog2>] [--workload instance-a-vs-fixed|instance-b-vs-fixed]
+//! cargo run -p bench --bin repro --release -- bench-diff [--baseline DIR] [--current DIR] [--max-regress-pct N] [--warn-only]
 //! ```
 //!
 //! `--parallel N` sets the CLOG2→SLOG2 converter's worker-thread count
@@ -30,7 +32,16 @@
 //! plus a critical-path overlay SVG; the `instance-a`/`instance-b`
 //! workloads are the paper's two student submissions at paper scale
 //! (deterministic fixtures — byte-identical output across runs), and
-//! it exits 1 if the expected verdict is missing.
+//! it exits 1 if the expected verdict is missing. `diff` compares two
+//! traces — either explicit `.pslog2` paths or a built-in
+//! before/after workload pair — and writes `out/DIFF.json` plus a
+//! stacked side-by-side SVG; the `instance-a-vs-fixed` workload is the
+//! acceptance check (exit 1 unless SerializedPhase is pronounced Fixed
+//! with recovered seconds). `bench-diff` gates `BENCH_*.json` reports
+//! in `--current` against committed baselines in `--baseline`, exiting
+//! 1 when any gated metric worsens by more than `--max-regress-pct`
+//! (pass `--warn-only` to report without failing, as pushes to main
+//! do).
 //!
 //! Every subcommand prints a one-line `[time] <phase>: <seconds>`
 //! summary when it finishes, metrics or not.
@@ -1201,6 +1212,249 @@ fn diagnose(workload: &str) -> bool {
     }
 }
 
+/// `diff` — compare two traces and pronounce per-issue verdicts.
+///
+/// With two positional `.pslog2` paths, diffs those files. Otherwise
+/// diffs a built-in before/after workload pair (`instance-a-vs-fixed`
+/// or `instance-b-vs-fixed`) at paper scale. Writes `out/DIFF.json`
+/// (plus a per-slug copy) and `out/diff_<slug>.svg`, prints the ascii
+/// side-by-side view and the issue table, and — for the built-in
+/// workloads — returns whether the expected verdict came back.
+fn diff_cmd(before_path: Option<&str>, after_path: Option<&str>, workload: &str) -> bool {
+    use analysis::VerdictKind;
+    use diff::DeltaVerdict;
+
+    let stem = |p: &str| {
+        Path::new(p)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("trace")
+            .to_string()
+    };
+    let load = |p: &str| match slog2::Slog2File::read_validated(Path::new(p)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot load {p}: {e:?}");
+            std::process::exit(2);
+        }
+    };
+    let (before, after, labels, slug, expect) = match (before_path, after_path) {
+        (Some(b), Some(a)) => {
+            println!("# diff — {b} vs {a}");
+            let slug = format!("{}_vs_{}", stem(b), stem(a));
+            (load(b), load(a), (b.to_string(), a.to_string()), slug, None)
+        }
+        _ => {
+            println!("# diff — built-in workload {workload}");
+            let (before, after, labels, expect) = match workload {
+                "instance-a-vs-fixed" => (
+                    analysis::fixtures::instance_a(),
+                    analysis::fixtures::instance_fixed(),
+                    ("instance-a".to_string(), "fixed".to_string()),
+                    Some(VerdictKind::SerializedPhase),
+                ),
+                "instance-b-vs-fixed" => (
+                    analysis::fixtures::instance_b(),
+                    analysis::fixtures::instance_fixed(),
+                    ("instance-b".to_string(), "fixed".to_string()),
+                    Some(VerdictKind::LateProducer),
+                ),
+                other => {
+                    eprintln!(
+                        "unknown diff workload '{other}'; try: instance-a-vs-fixed instance-b-vs-fixed (or pass two .pslog2 paths)"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            (before, after, labels, workload.to_string(), expect)
+        }
+    };
+
+    let d = diff::diff_traces(&before, &after, (&labels.0, &labels.1));
+    let json = d.to_json();
+    let json_path = out_dir().join("DIFF.json");
+    std::fs::write(&json_path, &json).expect("write DIFF.json");
+    let slug_path = out_dir().join(format!("DIFF_{slug}.json"));
+    std::fs::write(&slug_path, &json).expect("write per-slug diff");
+    let (_, svg) = diff::render_side_by_side(&before, &after, &d.delta, "svg", 1400)
+        .expect("svg backend exists");
+    let svg_path = out_dir().join(format!("diff_{slug}.svg"));
+    std::fs::write(&svg_path, svg).expect("write side-by-side svg");
+
+    let (_, ascii) = diff::render_side_by_side(&before, &after, &d.delta, "ascii", 100)
+        .expect("ascii backend exists");
+    println!("{ascii}");
+    println!(
+        "  makespan {:.3}s -> {:.3}s ({:+.3}s)",
+        d.delta.makespan.0,
+        d.delta.makespan.1,
+        d.makespan_delta()
+    );
+    if d.issues.is_empty() {
+        println!("  no issues detected on either side");
+    }
+    for i in &d.issues {
+        println!(
+            "  {:<20} {:<10} recovered {:+.3}s — {}",
+            i.kind.name(),
+            i.verdict.name(),
+            i.recovered_seconds,
+            i.detail
+        );
+    }
+    println!(
+        "  summary: {} fixed, {} regressed, {} unchanged",
+        d.count(DeltaVerdict::Fixed),
+        d.count(DeltaVerdict::Regressed),
+        d.count(DeltaVerdict::Unchanged)
+    );
+    println!(
+        "  wrote {}, {}, {}",
+        json_path.display(),
+        slug_path.display(),
+        svg_path.display()
+    );
+
+    match expect {
+        None => true,
+        Some(kind) => match d.issue(kind) {
+            Some(i) if i.verdict == DeltaVerdict::Fixed && i.recovered_seconds > 0.0 => true,
+            other => {
+                eprintln!(
+                    "  FAIL: expected {} to be Fixed with recovered seconds > 0, got {other:?}",
+                    kind.name()
+                );
+                false
+            }
+        },
+    }
+}
+
+/// `bench-diff` — gate current `BENCH_*.json` reports against
+/// committed baselines. Missing baseline dir, unparsable reports, and
+/// absent current counterparts all fail loudly; `warn_only` reports
+/// the same table but never fails (the mode pushes to main use, so a
+/// regressed baseline can land and be refreshed).
+fn bench_diff_cmd(
+    baseline_dir: &str,
+    current_dir: &str,
+    max_regress_pct: f64,
+    warn_only: bool,
+) -> bool {
+    use pilot_vis::json::Json;
+
+    println!(
+        "# bench-diff — {current_dir} vs baselines in {baseline_dir} (gate: {max_regress_pct}%{})",
+        if warn_only { ", warn-only" } else { "" }
+    );
+    let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("bench-diff FAILED: cannot read baseline dir {baseline_dir}: {e}");
+            return warn_only;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("bench-diff FAILED: no BENCH_*.json baselines in {baseline_dir}");
+        return warn_only;
+    }
+
+    let mut reports = Vec::new();
+    let mut missing_current = Vec::new();
+    let mut regressed_total = 0usize;
+    for name in &names {
+        let base_path = Path::new(baseline_dir).join(name);
+        let cur_path = Path::new(current_dir).join(name);
+        let parse = |p: &Path| -> Option<Json> {
+            let text = std::fs::read_to_string(p).ok()?;
+            Json::parse(&text).ok()
+        };
+        let Some(base) = parse(&base_path) else {
+            eprintln!("  {name}: baseline unreadable or invalid JSON — counts as failure");
+            missing_current.push(name.clone());
+            continue;
+        };
+        let Some(cur) = parse(&cur_path) else {
+            eprintln!(
+                "  {name}: no current report at {} — counts as failure",
+                cur_path.display()
+            );
+            missing_current.push(name.clone());
+            continue;
+        };
+        let d = diff::diff_bench(name, &base, &cur, max_regress_pct);
+        println!("== {name} ==");
+        for m in &d.metrics {
+            let flag = match m.verdict {
+                diff::DeltaVerdict::Regressed => "  <-- REGRESSED",
+                diff::DeltaVerdict::Fixed => "  (improved)",
+                diff::DeltaVerdict::Unchanged => "",
+            };
+            println!(
+                "  {:<24} {:>12.4} -> {:>12.4}  {:+8.2}%  [{}]{}",
+                m.name,
+                m.before,
+                m.after,
+                m.change_pct,
+                m.direction.name(),
+                flag
+            );
+        }
+        for k in &d.missing_in_current {
+            println!("  {k:<24} missing from current report");
+        }
+        regressed_total += d.regressed().len();
+        reports.push(d);
+    }
+
+    let ok = regressed_total == 0 && missing_current.is_empty();
+    let report = Json::Obj(vec![
+        ("max_regress_pct".into(), Json::Num(max_regress_pct)),
+        ("warn_only".into(), Json::Bool(warn_only)),
+        (
+            "reports".into(),
+            Json::Arr(reports.iter().map(diff::BenchDiff::to_json_value).collect()),
+        ),
+        (
+            "missing_current".into(),
+            Json::Arr(
+                missing_current
+                    .iter()
+                    .map(|s| Json::Str(s.clone()))
+                    .collect(),
+            ),
+        ),
+        ("regressed".into(), Json::Num(regressed_total as f64)),
+        ("passed".into(), Json::Bool(ok)),
+    ]);
+    let path = out_dir().join("BENCH_DIFF.json");
+    std::fs::write(&path, report.pretty()).expect("write BENCH_DIFF.json");
+    println!("  wrote {}", path.display());
+
+    if ok {
+        println!(
+            "  perf gate PASSED ({} report(s), 0 regressions)",
+            reports.len()
+        );
+    } else if warn_only {
+        println!(
+            "  perf gate: {regressed_total} regression(s), {} missing — WARN ONLY, not failing",
+            missing_current.len()
+        );
+    } else {
+        eprintln!(
+            "bench-diff FAILED: {regressed_total} regression(s), {} missing report(s) (gate {max_regress_pct}%)",
+            missing_current.len()
+        );
+    }
+    ok || warn_only
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -1268,6 +1522,59 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "diff" => {
+            // Positional paths come right after the subcommand; flags
+            // start with `--`.
+            let positional: Vec<&str> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .collect();
+            // Unlike `diagnose`, the default workload here is the
+            // acceptance pair, not `thumbnail`.
+            let diff_workload = args
+                .iter()
+                .position(|a| a == "--workload")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("instance-a-vs-fixed")
+                .to_string();
+            let ok = timed("diff", || {
+                diff_cmd(
+                    positional.first().copied(),
+                    positional.get(1).copied(),
+                    &diff_workload,
+                )
+            });
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "bench-diff" => {
+            let get_str = |name: &str, default: &str| -> String {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str)
+                    .unwrap_or(default)
+                    .to_string()
+            };
+            let baseline = get_str("--baseline", "out/baselines");
+            let current = get_str("--current", "out");
+            let max_regress_pct = args
+                .iter()
+                .position(|a| a == "--max-regress-pct")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(15.0);
+            let warn_only = args.iter().any(|a| a == "--warn-only");
+            let ok = timed("bench-diff", || {
+                bench_diff_cmd(&baseline, &current, max_regress_pct, warn_only)
+            });
+            if !ok {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             timed("table1", || table1(files, reps));
             println!();
@@ -1288,7 +1595,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults diagnose serve-bench all"
+                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults diagnose diff bench-diff serve-bench all"
             );
             std::process::exit(2);
         }

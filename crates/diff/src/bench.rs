@@ -1,0 +1,323 @@
+//! Perf-regression gating over `BENCH_*.json` reports.
+//!
+//! CI has always uploaded `BENCH_convert.json` / `BENCH_serve.json`
+//! as artifacts without comparing them to anything, so a perf
+//! regression merges silently. This module applies the same
+//! delta/verdict shape as the trace diff to a pair of bench reports:
+//! each numeric metric is classified by *direction* (lower-is-better
+//! timings, higher-is-better ratios, informational configuration
+//! counts), its worsening percentage is computed, and anything beyond
+//! the gate threshold is pronounced `Regressed` — which `repro
+//! bench-diff` turns into exit 1.
+
+use pilot_vis::json::Json;
+
+use crate::issue::DeltaVerdict;
+
+/// Baseline values with magnitude below this are treated as zero when
+/// computing percentages.
+const ZERO_EPS: f64 = 1e-12;
+
+/// Which way a metric should move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Timings, overheads, error counts: growth is a regression.
+    LowerIsBetter,
+    /// Speedups, hit rates: shrinkage is a regression.
+    HigherIsBetter,
+    /// Configuration echoes (ranks, reps, request counts): never
+    /// gated, reported for context only.
+    Informational,
+}
+
+impl Direction {
+    /// Stable wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower-is-better",
+            Direction::HigherIsBetter => "higher-is-better",
+            Direction::Informational => "informational",
+        }
+    }
+}
+
+/// Classify a metric key from the `BENCH_*.json` vocabulary: `*_s` /
+/// `*_ms` / `*_pct` suffixes and failure counters gate downward,
+/// known ratios gate upward, everything else is informational.
+pub fn direction(key: &str) -> Direction {
+    match key {
+        "speedup" | "hit_rate" => Direction::HigherIsBetter,
+        "errors" | "parity_mismatches" | "cache_evictions" => Direction::LowerIsBetter,
+        k if k.ends_with("_s") || k.ends_with("_ms") || k.ends_with("_pct") => {
+            Direction::LowerIsBetter
+        }
+        _ => Direction::Informational,
+    }
+}
+
+/// One metric's fate between baseline and current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// The JSON key.
+    pub name: String,
+    /// Baseline value.
+    pub before: f64,
+    /// Current value.
+    pub after: f64,
+    /// Raw percent change `(after-before)/|before|·100` (±100 when
+    /// the baseline is zero and the value moved).
+    pub change_pct: f64,
+    /// Percent change in the *worsening* direction (negative =
+    /// improvement; always 0 for informational metrics).
+    pub regress_pct: f64,
+    /// Metric direction class.
+    pub direction: Direction,
+    /// The pronouncement, against the gate threshold.
+    pub verdict: DeltaVerdict,
+}
+
+/// One bench report's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Report name (e.g. `BENCH_serve.json`).
+    pub name: String,
+    /// The gate threshold this diff was judged against (percent).
+    pub max_regress_pct: f64,
+    /// All shared numeric metrics, in baseline key order.
+    pub metrics: Vec<MetricDiff>,
+    /// Baseline keys absent from the current report.
+    pub missing_in_current: Vec<String>,
+    /// Current keys absent from the baseline.
+    pub missing_in_baseline: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Metrics that breached the gate.
+    pub fn regressed(&self) -> Vec<&MetricDiff> {
+        self.metrics
+            .iter()
+            .filter(|m| m.verdict == DeltaVerdict::Regressed)
+            .collect()
+    }
+
+    /// Deterministic JSON for `BENCH_DIFF.json`.
+    pub fn to_json_value(&self) -> Json {
+        let metrics: Vec<Json> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(m.name.clone())),
+                    ("before".into(), Json::Num(m.before)),
+                    ("after".into(), Json::Num(m.after)),
+                    ("change_pct".into(), Json::Num(m.change_pct)),
+                    ("regress_pct".into(), Json::Num(m.regress_pct)),
+                    (
+                        "direction".into(),
+                        Json::Str(m.direction.name().to_string()),
+                    ),
+                    ("verdict".into(), Json::Str(m.verdict.name().to_string())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("max_regress_pct".into(), Json::Num(self.max_regress_pct)),
+            ("metrics".into(), Json::Arr(metrics)),
+            (
+                "missing_in_current".into(),
+                Json::Arr(
+                    self.missing_in_current
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "missing_in_baseline".into(),
+                Json::Arr(
+                    self.missing_in_baseline
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            ("regressed".into(), Json::Num(self.regressed().len() as f64)),
+        ])
+    }
+}
+
+fn numeric_fields(v: &Json) -> Vec<(String, f64)> {
+    match v {
+        Json::Obj(fields) => fields
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compare two parsed bench reports against a gate threshold.
+pub fn diff_bench(name: &str, baseline: &Json, current: &Json, max_regress_pct: f64) -> BenchDiff {
+    let base = numeric_fields(baseline);
+    let cur = numeric_fields(current);
+    let cur_get = |k: &str| cur.iter().find(|(ck, _)| ck == k).map(|(_, v)| *v);
+
+    let mut metrics = Vec::new();
+    let mut missing_in_current = Vec::new();
+    for (key, before) in &base {
+        let Some(after) = cur_get(key) else {
+            missing_in_current.push(key.clone());
+            continue;
+        };
+        let change_pct = if before.abs() < ZERO_EPS {
+            if (after - before).abs() < ZERO_EPS {
+                0.0
+            } else {
+                100.0 * (after - before).signum()
+            }
+        } else {
+            (after - before) / before.abs() * 100.0
+        };
+        let dir = direction(key);
+        let regress_pct = match dir {
+            Direction::LowerIsBetter => change_pct,
+            Direction::HigherIsBetter => -change_pct,
+            Direction::Informational => 0.0,
+        };
+        let verdict = if dir == Direction::Informational {
+            DeltaVerdict::Unchanged
+        } else if regress_pct > max_regress_pct {
+            DeltaVerdict::Regressed
+        } else if regress_pct < -max_regress_pct {
+            DeltaVerdict::Fixed
+        } else {
+            DeltaVerdict::Unchanged
+        };
+        metrics.push(MetricDiff {
+            name: key.clone(),
+            before: *before,
+            after,
+            change_pct,
+            regress_pct,
+            direction: dir,
+            verdict,
+        });
+    }
+    let missing_in_baseline = cur
+        .iter()
+        .filter(|(k, _)| !base.iter().any(|(bk, _)| bk == k))
+        .map(|(k, _)| k.clone())
+        .collect();
+    BenchDiff {
+        name: name.to_string(),
+        max_regress_pct,
+        metrics,
+        missing_in_current,
+        missing_in_baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p99: f64, speedup: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"clients": 8, "p50_ms": 1.5, "p99_ms": {p99}, "speedup": {speedup}, "errors": 0}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn directions_classify_the_bench_vocabulary() {
+        for k in [
+            "serial_s",
+            "wall_s",
+            "p99_ms",
+            "metrics_overhead_pct",
+            "errors",
+            "parity_mismatches",
+        ] {
+            assert_eq!(direction(k), Direction::LowerIsBetter, "{k}");
+        }
+        assert_eq!(direction("speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction("hit_rate"), Direction::HigherIsBetter);
+        for k in ["ranks", "clients", "requests", "drawables", "threads"] {
+            assert_eq!(direction(k), Direction::Informational, "{k}");
+        }
+    }
+
+    #[test]
+    fn doctored_two_x_p99_regresses() {
+        let base = report(4.0, 3.0);
+        let doctored = report(8.0, 3.0);
+        let d = diff_bench("BENCH_serve.json", &base, &doctored, 15.0);
+        let p99 = d.metrics.iter().find(|m| m.name == "p99_ms").unwrap();
+        assert_eq!(p99.verdict, DeltaVerdict::Regressed);
+        assert!((p99.regress_pct - 100.0).abs() < 1e-9, "{p99:?}");
+        assert_eq!(d.regressed().len(), 1);
+    }
+
+    #[test]
+    fn identical_reports_are_unchanged() {
+        let base = report(4.0, 3.0);
+        let d = diff_bench("x", &base, &base, 15.0);
+        assert!(d.regressed().is_empty());
+        assert!(d
+            .metrics
+            .iter()
+            .all(|m| m.verdict == DeltaVerdict::Unchanged));
+    }
+
+    #[test]
+    fn speedup_gates_upward() {
+        let base = report(4.0, 3.0);
+        let slower = report(4.0, 1.5); // speedup halved
+        let d = diff_bench("x", &base, &slower, 15.0);
+        let s = d.metrics.iter().find(|m| m.name == "speedup").unwrap();
+        assert_eq!(s.verdict, DeltaVerdict::Regressed);
+        // And a big improvement reads as Fixed.
+        let faster = report(4.0, 6.0);
+        let d = diff_bench("x", &base, &faster, 15.0);
+        let s = d.metrics.iter().find(|m| m.name == "speedup").unwrap();
+        assert_eq!(s.verdict, DeltaVerdict::Fixed);
+    }
+
+    #[test]
+    fn zero_baseline_errors_growing_regresses() {
+        let base = Json::parse(r#"{"errors": 0}"#).unwrap();
+        let bad = Json::parse(r#"{"errors": 3}"#).unwrap();
+        let d = diff_bench("x", &base, &bad, 15.0);
+        assert_eq!(d.metrics[0].verdict, DeltaVerdict::Regressed);
+        let same = diff_bench("x", &base, &base, 15.0);
+        assert_eq!(same.metrics[0].verdict, DeltaVerdict::Unchanged);
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let base = Json::parse(r#"{"clients": 8}"#).unwrap();
+        let cur = Json::parse(r#"{"clients": 64}"#).unwrap();
+        let d = diff_bench("x", &base, &cur, 15.0);
+        assert_eq!(d.metrics[0].verdict, DeltaVerdict::Unchanged);
+        assert_eq!(d.metrics[0].regress_pct, 0.0);
+    }
+
+    #[test]
+    fn missing_keys_are_surfaced() {
+        let base = Json::parse(r#"{"p99_ms": 4.0, "old_s": 1.0}"#).unwrap();
+        let cur = Json::parse(r#"{"p99_ms": 4.0, "new_s": 1.0}"#).unwrap();
+        let d = diff_bench("x", &base, &cur, 15.0);
+        assert_eq!(d.missing_in_current, vec!["old_s".to_string()]);
+        assert_eq!(d.missing_in_baseline, vec!["new_s".to_string()]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let base = report(4.0, 3.0);
+        let d = diff_bench("BENCH_serve.json", &base, &report(8.0, 3.0), 15.0);
+        let v = d.to_json_value();
+        assert_eq!(v.get("regressed").and_then(Json::as_u64), Some(1));
+        assert!(Json::parse(&v.pretty()).is_ok());
+    }
+}

@@ -1,0 +1,180 @@
+//! Side-by-side rendering of two traces.
+//!
+//! Rather than teaching every `jumpshot` backend about pairs of
+//! files, the two traces are *stacked* into one synthetic
+//! [`Slog2File`]: the before trace's rows on top (names prefixed
+//! `A:`), the after trace's rows below (`B:`), categories merged by
+//! name, and the lane boundary passed to the renderer via
+//! `RenderOptions::lane_split` — so every existing backend (svg,
+//! html, ascii, histogram) renders the comparison for free, overlay
+//! and all.
+
+use std::collections::BTreeMap;
+
+use jumpshot::{renderer_by_name, RenderOptions};
+use slog2::{CategoryId, Drawable, FrameTree, Slog2File, TimeWindow, TimelineId};
+
+use crate::delta::TraceDelta;
+
+/// Stack `before` over `after` into one renderable file. Returns the
+/// merged file and the lane-split row (= `before.timelines.len()`).
+pub fn stacked(before: &Slog2File, after: &Slog2File) -> (Slog2File, u32) {
+    // Merge legends by name; the before trace's colours win ties.
+    let mut categories = before.categories.clone();
+    let mut by_name: BTreeMap<&str, CategoryId> = BTreeMap::new();
+    for c in &categories {
+        by_name.entry(c.name.as_str()).or_insert(c.index);
+    }
+    let mut remap: BTreeMap<CategoryId, CategoryId> = BTreeMap::new();
+    let mut fresh: Vec<slog2::Category> = Vec::new();
+    for c in &after.categories {
+        match by_name.get(c.name.as_str()) {
+            Some(&id) => {
+                remap.insert(c.index, id);
+            }
+            None => {
+                let id = CategoryId((categories.len() + fresh.len()) as u32);
+                remap.insert(c.index, id);
+                let mut nc = c.clone();
+                nc.index = id;
+                fresh.push(nc);
+            }
+        }
+    }
+    categories.extend(fresh);
+
+    let split = before.timelines.len() as u32;
+    let mut timelines: Vec<String> = before.timelines.iter().map(|n| format!("A:{n}")).collect();
+    timelines.extend(after.timelines.iter().map(|n| format!("B:{n}")));
+
+    let shift = |tl: TimelineId| TimelineId(tl.as_u32() + split);
+    let recat = |cat: CategoryId| remap.get(&cat).copied().unwrap_or(cat);
+    let mut ds: Vec<Drawable> = before
+        .tree
+        .query(TimeWindow::ALL)
+        .into_iter()
+        .cloned()
+        .collect();
+    for d in after.tree.query(TimeWindow::ALL) {
+        let mut d = d.clone();
+        match &mut d {
+            Drawable::State(s) => {
+                s.timeline = shift(s.timeline);
+                s.category = recat(s.category);
+            }
+            Drawable::Event(e) => {
+                e.timeline = shift(e.timeline);
+                e.category = recat(e.category);
+            }
+            Drawable::Arrow(a) => {
+                a.from_timeline = shift(a.from_timeline);
+                a.to_timeline = shift(a.to_timeline);
+                a.category = recat(a.category);
+            }
+        }
+        ds.push(d);
+    }
+
+    let t0 = before.range.t0.min(after.range.t0);
+    let t1 = before.range.t1.max(after.range.t1);
+    let mut warnings: Vec<String> = before.warnings.iter().map(|w| format!("A: {w}")).collect();
+    warnings.extend(after.warnings.iter().map(|w| format!("B: {w}")));
+    let file = Slog2File {
+        timelines,
+        categories,
+        range: TimeWindow::new(t0, t1),
+        warnings,
+        tree: FrameTree::build(ds, t0, t1, 64, 8),
+    };
+    (file, split)
+}
+
+/// Render the two traces side by side through any `Renderer` backend
+/// (`svg`, `html`, `ascii`, `hist`), annotating the after-lane rows
+/// with busy/blocked deltas. `None` for an unknown backend name.
+pub fn render_side_by_side(
+    before: &Slog2File,
+    after: &Slog2File,
+    delta: &TraceDelta,
+    backend: &str,
+    width: u32,
+) -> Option<(&'static str, String)> {
+    let renderer = renderer_by_name(backend)?;
+    let (merged, split) = stacked(before, after);
+    let notes: Vec<(TimelineId, String)> = delta
+        .timelines
+        .iter()
+        .filter_map(|td| {
+            td.after.map(|a| {
+                (
+                    TimelineId(split + a.as_u32()),
+                    format!(
+                        "Δbusy {:+.3}s Δblocked {:+.3}s",
+                        td.busy_s.1 - td.busy_s.0,
+                        td.blocked_s.1 - td.blocked_s.0
+                    ),
+                )
+            })
+        })
+        .collect();
+    let opts = RenderOptions::default()
+        .with_width(width)
+        .with_lane_split(split)
+        .with_row_notes(notes);
+    Some((renderer.content_type(), renderer.render(&merged, &opts)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::align;
+    use crate::delta::trace_delta;
+    use analysis::fixtures::{instance_a, instance_fixed};
+
+    #[test]
+    fn stacked_file_holds_both_lanes() {
+        let a = instance_a();
+        let f = instance_fixed();
+        let (m, split) = stacked(&a, &f);
+        assert_eq!(split, 5);
+        assert_eq!(m.timelines.len(), 10);
+        assert_eq!(m.timelines[0], "A:PI_MAIN");
+        assert_eq!(m.timelines[5], "B:PI_MAIN");
+        // Same legend names on both sides: merged, not duplicated.
+        assert_eq!(m.categories.len(), a.categories.len());
+        assert_eq!(
+            m.total_drawables(),
+            a.total_drawables() + f.total_drawables()
+        );
+        assert!(slog2::validate(&m).is_empty());
+    }
+
+    #[test]
+    fn every_backend_renders_the_comparison() {
+        let a = instance_a();
+        let f = instance_fixed();
+        let al = align(&a, &f);
+        let d = trace_delta(&a, &f, &al, (15.0, 6.0));
+        for backend in ["svg", "html", "ascii", "hist"] {
+            let (ct, body) = render_side_by_side(&a, &f, &d, backend, 800).expect("known backend");
+            assert!(!ct.is_empty());
+            assert!(
+                body.contains("A:PI_MAIN") || body.contains("A:PI_MAI"),
+                "{backend}"
+            );
+            assert!(body.contains("B:W0") || body.contains("B:W"), "{backend}");
+        }
+        assert!(render_side_by_side(&a, &f, &d, "nope", 800).is_none());
+    }
+
+    #[test]
+    fn ascii_comparison_carries_delta_columns() {
+        let a = instance_a();
+        let f = instance_fixed();
+        let al = align(&a, &f);
+        let d = trace_delta(&a, &f, &al, (15.0, 6.0));
+        let (_, txt) = render_side_by_side(&a, &f, &d, "ascii", 64).unwrap();
+        assert!(txt.contains("Δbusy"), "{txt}");
+        assert!(txt.contains("Δblocked"), "{txt}");
+    }
+}

@@ -87,6 +87,10 @@ pub(crate) fn ascii_string(file: &Slog2File, w: TimeWindow, opts: &RenderOptions
     let col_span = (t1 - t0) / width as f64;
     let mut out = String::new();
     for (tl, name) in file.timelines.iter().enumerate() {
+        // Two-lane layouts get a ruled separator above the "after" lane.
+        if opts.lane_split == Some(tl as u32) && tl > 0 {
+            let _ = writeln!(out, "{:=<rule$}", "", rule = label_w + 2 + width + 1);
+        }
         let short: String = name.chars().take(label_w).collect();
         let _ = write!(out, "{short:<label_w$} |");
         for (col, &(_, ch)) in cells[tl].iter().enumerate() {
@@ -101,7 +105,11 @@ pub(crate) fn ascii_string(file: &Slog2File, w: TimeWindow, opts: &RenderOptions
             }
             out.push(ch);
         }
-        out.push_str("|\n");
+        out.push('|');
+        if let Some(note) = opts.row_note(TimelineId(tl as u32)) {
+            let _ = write!(out, " {note}");
+        }
+        out.push('\n');
     }
     if let Some(ov) = overlay {
         let _ = writeln!(
@@ -286,6 +294,20 @@ mod tests {
         let a = ascii_string(&f, TimeWindow::new(0.0, 8.0), &opts);
         let b = ascii_string(&f, TimeWindow::new(0.0, 8.0), &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lane_split_and_row_notes_annotate_rows() {
+        let opts = RenderOptions::default()
+            .with_width(16)
+            .with_lane_split(1)
+            .with_row_notes(vec![(TimelineId(1), "Δbusy -1.2s".to_string())]);
+        let txt = ascii_string(&file(), TimeWindow::new(0.0, 8.0), &opts);
+        let lines: Vec<&str> = txt.lines().collect();
+        // Separator ruled between row 0 and row 1, note appended to row 1.
+        assert!(lines[1].starts_with("=="), "{txt}");
+        assert!(lines[2].ends_with("| Δbusy -1.2s"), "{txt}");
+        assert!(!lines[0].contains('Δ'), "{txt}");
     }
 
     #[test]

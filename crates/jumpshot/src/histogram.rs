@@ -110,6 +110,16 @@ pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, opts: &RenderOpt
     );
     for (i, (tl, hist)) in stats.iter().enumerate() {
         let y = 22.0 + i as f64 * row_h;
+        // Two-lane layouts get a divider above the "after" lane.
+        if opts.lane_split == Some(i as u32) && i > 0 {
+            let _ = writeln!(
+                svg,
+                "<line x1=\"0\" y1=\"{ly:.2}\" x2=\"{w}\" y2=\"{ly:.2}\" stroke=\"#ff9800\" \
+                 stroke-width=\"1.5\" stroke-dasharray=\"8 4\" class=\"lane-split\"/>",
+                ly = y - 2.0,
+                w = width_px
+            );
+        }
         let name = file.timeline_name(*tl).unwrap_or("?");
         let _ = writeln!(
             svg,
@@ -133,11 +143,15 @@ pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, opts: &RenderOpt
             x += wpx;
         }
         let crit = overlay.map(|ov| ov.seconds_on(*tl, t0, t1)).unwrap_or(0.0);
+        let note = opts
+            .row_note(*tl)
+            .map(|n| format!(" {}", crate::render::esc(n)))
+            .unwrap_or_default();
         if crit > 0.0 {
             let _ = writeln!(
                 svg,
                 "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#ff4081\" class=\"critical-path\">\
-                 {total:.4}s (crit {crit:.4}s)</text>",
+                 {total:.4}s (crit {crit:.4}s){note}</text>",
                 tx = x + 6.0,
                 ty = y + row_h / 2.0 + 4.0,
                 total = hist.total()
@@ -145,7 +159,7 @@ pub(crate) fn histogram_string(file: &Slog2File, w: TimeWindow, opts: &RenderOpt
         } else {
             let _ = writeln!(
                 svg,
-                "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#aaa\">{total:.4}s</text>",
+                "<text x=\"{tx:.2}\" y=\"{ty}\" fill=\"#aaa\">{total:.4}s{note}</text>",
                 tx = x + 6.0,
                 ty = y + row_h / 2.0 + 4.0,
                 total = hist.total()
@@ -263,6 +277,17 @@ mod tests {
         let opts = RenderOptions::default().with_width(800);
         let svg = histogram_string(&file(), TimeWindow::new(20.0, 30.0), &opts);
         assert!(!svg.contains("class=\"histbar\""));
+    }
+
+    #[test]
+    fn lane_split_and_row_notes_annotate_histogram() {
+        let opts = RenderOptions::default()
+            .with_width(800)
+            .with_lane_split(1)
+            .with_row_notes(vec![(TimelineId(1), "Δ +2.0s".to_string())]);
+        let svg = histogram_string(&file(), TimeWindow::new(0.0, 10.0), &opts);
+        assert_eq!(svg.matches("class=\"lane-split\"").count(), 1, "{svg}");
+        assert!(svg.contains("Δ +2.0s"), "{svg}");
     }
 
     #[test]

@@ -90,6 +90,15 @@ pub struct RenderOptions {
     /// Critical-path overlay: highlight these segments and hops, and
     /// (optionally) dim everything off the path.
     pub overlay: Option<PathOverlay>,
+    /// Two-lane comparison layout: draw a bright divider above this
+    /// timeline row, splitting the canvas into a "before" lane (rows
+    /// `0..split`) and an "after" lane (rows `split..`). Used by the
+    /// trace-diff side-by-side render; `None` = single-lane as usual.
+    pub lane_split: Option<u32>,
+    /// Per-row annotations appended after the row content (ascii) or
+    /// the per-row totals (histogram) — the diff backends use these for
+    /// delta columns. SVG/HTML ignore them.
+    pub row_notes: Vec<(TimelineId, String)>,
 }
 
 impl Default for RenderOptions {
@@ -108,6 +117,8 @@ impl Default for RenderOptions {
             label_gutter: 80,
             axis_height: 26,
             overlay: None,
+            lane_split: None,
+            row_notes: Vec::new(),
         }
     }
 }
@@ -154,9 +165,29 @@ impl RenderOptions {
         self.overlay = Some(overlay);
         self
     }
+
+    /// Split the canvas into before/after lanes at this timeline row.
+    pub fn with_lane_split(mut self, split: u32) -> Self {
+        self.lane_split = Some(split);
+        self
+    }
+
+    /// Attach per-row annotations (delta columns).
+    pub fn with_row_notes(mut self, notes: Vec<(TimelineId, String)>) -> Self {
+        self.row_notes = notes;
+        self
+    }
+
+    /// The note attached to `tl`, if any.
+    pub(crate) fn row_note(&self, tl: TimelineId) -> Option<&str> {
+        self.row_notes
+            .iter()
+            .find(|(n_tl, _)| *n_tl == tl)
+            .map(|(_, s)| s.as_str())
+    }
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
@@ -236,6 +267,19 @@ pub(crate) fn svg_string(file: &Slog2File, vp: &Viewport, opts: &RenderOptions) 
             lay.row_mid(TimelineId(r as u32)) + 4.0,
             esc(name)
         );
+    }
+
+    // Lane divider for two-lane (before/after) comparison layouts.
+    if let Some(split) = opts.lane_split {
+        if (1..lay.rows as u32).contains(&split) {
+            let y = lay.row_top(TimelineId(split));
+            let _ = writeln!(
+                svg,
+                "<line x1=\"0\" y1=\"{y}\" x2=\"{x2}\" y2=\"{y}\" stroke=\"#ff9800\" \
+                 stroke-width=\"1.5\" stroke-dasharray=\"8 4\" class=\"lane-split\"/>",
+                x2 = lay.total_width()
+            );
+        }
     }
 
     // Partition drawables of the window.
@@ -704,6 +748,20 @@ mod tests {
         let svg = svg_string(&f, &Viewport::new(2.0, 5.0, 400), &opts);
         assert!(!svg.contains("class=\"critical-path\""));
         assert!(!svg.contains("class=\"dim\""));
+    }
+
+    #[test]
+    fn lane_split_draws_divider() {
+        let f = test_file(vec![state(0, 0.0, 1.0), state(1, 0.2, 0.8)]);
+        let opts = RenderOptions::default().with_lane_split(1);
+        let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &opts);
+        assert_eq!(svg.matches("class=\"lane-split\"").count(), 1, "{svg}");
+        // A split at row 0 or past the last row is meaningless: no line.
+        for bad in [0, 2, 9] {
+            let opts = RenderOptions::default().with_lane_split(bad);
+            let svg = svg_string(&f, &Viewport::new(0.0, 1.0, 400), &opts);
+            assert!(!svg.contains("lane-split"), "split {bad}: {svg}");
+        }
     }
 
     #[test]

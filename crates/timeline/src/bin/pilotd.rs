@@ -1,16 +1,20 @@
 //! `pilotd` — the timeline query daemon.
 //!
 //! ```text
-//! pilotd serve trace.pslog2 [--addr 127.0.0.1:7007] [--workers 8]
+//! pilotd serve trace.pslog2 [--addr 127.0.0.1:7007] [--workers 8] [--baseline before.pslog2]
 //! pilotd info  trace.pslog2
 //! ```
+//!
+//! With `--baseline`, `/v1/diff` serves the baseline-vs-served trace
+//! comparison (verdict deltas, alignment, per-timeline deltas) as
+//! cached JSON; without it the route answers 404.
 
 use std::sync::Arc;
 
 use timeline::TimelineService;
 
 fn usage() -> ! {
-    eprintln!("usage: pilotd <serve|info> <trace.pslog2> [--addr HOST:PORT] [--workers N]");
+    eprintln!("usage: pilotd <serve|info> <trace.pslog2> [--addr HOST:PORT] [--workers N] [--baseline before.pslog2]");
     std::process::exit(2);
 }
 
@@ -28,13 +32,27 @@ fn main() {
             .unwrap_or_else(|| default.to_string())
     };
 
-    let svc = match TimelineService::load(std::path::Path::new(path)) {
-        Ok(svc) => Arc::new(svc),
+    let mut svc = match TimelineService::load(std::path::Path::new(path)) {
+        Ok(svc) => svc,
         Err(e) => {
             eprintln!("pilotd: cannot load {path}: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(bp) = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+    {
+        match slog2::Slog2File::read_validated(std::path::Path::new(bp)) {
+            Ok(file) => svc.set_baseline(file, bp.as_str()),
+            Err(e) => {
+                eprintln!("pilotd: cannot load baseline {bp}: {e:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let svc = Arc::new(svc);
 
     match cmd {
         "info" => {

@@ -18,6 +18,7 @@
 //! | `/v1/tile`     | cached tile (`rank`,`zoom`,`tile`)                |
 //! | `/v1/render`   | full document (`backend`,`t0`,`t1`,`width`,`overlay`) |
 //! | `/v1/diagnose` | automated bottleneck verdicts (cached)            |
+//! | `/v1/diff`     | baseline-vs-served trace diff (cached; 404 until a baseline is registered) |
 //! | `/v1/stats`    | query + cache counters                            |
 //! | `/metrics`     | Prometheus text of the obs registry               |
 
@@ -221,6 +222,14 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
         "/v1/warnings" => (200, "application/json", svc.warnings_json()),
         "/v1/stats" => (200, "application/json", svc.stats_json()),
         "/v1/diagnose" => (200, "application/json", svc.diagnose_json().to_string()),
+        "/v1/diff" => match svc.diff_json() {
+            Some(body) => (200, "application/json", body.to_string()),
+            None => (
+                404,
+                "text/plain",
+                "no baseline registered (start pilotd with --baseline)\n".to_string(),
+            ),
+        },
         "/metrics" => (200, "text/plain; version=0.0.4", svc.metrics_text()),
         "/v1/query" => {
             let range = svc.file().range;
@@ -432,6 +441,39 @@ mod tests {
         assert!(v.get("verdicts").is_some(), "{body}");
         // Cached: the second call returns the identical string.
         let (_, _, again) = route(&svc, "/v1/diagnose");
+        assert_eq!(body, again);
+    }
+
+    #[test]
+    fn diff_route_is_404_until_a_baseline_is_registered() {
+        let svc = service();
+        let (status, _, body) = route(&svc, "/v1/diff");
+        assert_eq!(status, 404);
+        assert!(body.contains("no baseline"), "{body}");
+    }
+
+    #[test]
+    fn diff_route_serves_cached_verdict_json_with_baseline() {
+        let mut inner = Arc::try_unwrap(service()).ok().expect("sole owner");
+        let baseline = service();
+        inner.set_baseline(baseline.file().clone(), "baseline.pslog2");
+        let svc = Arc::new(inner);
+        let (status, ct, body) = route(&svc, "/v1/diff");
+        assert_eq!(status, 200);
+        assert_eq!(ct, "application/json");
+        let v = pilot_vis::json::Json::parse(&body).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(pilot_vis::json::Json::as_str),
+            Some("pilot-vis-diff-v1")
+        );
+        assert_eq!(
+            v.get("before")
+                .and_then(|b| b.get("label"))
+                .and_then(pilot_vis::json::Json::as_str),
+            Some("baseline.pslog2")
+        );
+        // Cached: byte-identical on repeat.
+        let (_, _, again) = route(&svc, "/v1/diff");
         assert_eq!(body, again);
     }
 

@@ -46,6 +46,16 @@ pub struct TimelineService {
     pub detail_limit: usize,
     queries: AtomicU64,
     diagnosis: OnceLock<String>,
+    baseline: Option<Baseline>,
+}
+
+/// A registered before-trace for `/v1/diff`: the comparison is a pure
+/// function of the two immutable files, so its JSON is computed once
+/// and cached like the diagnosis.
+struct Baseline {
+    file: Slog2File,
+    label: String,
+    diff: OnceLock<String>,
 }
 
 impl TimelineService {
@@ -77,8 +87,38 @@ impl TimelineService {
             detail_limit: 512,
             queries: AtomicU64::new(0),
             diagnosis: OnceLock::new(),
+            baseline: None,
             file,
         }
+    }
+
+    /// Register a baseline trace for `/v1/diff` (call before wrapping
+    /// the service in an `Arc`). `label` names the before side in the
+    /// report — typically the baseline's file path.
+    pub fn set_baseline(&mut self, file: Slog2File, label: impl Into<String>) {
+        self.baseline = Some(Baseline {
+            file,
+            label: label.into(),
+            diff: OnceLock::new(),
+        });
+    }
+
+    /// Whether a baseline is registered.
+    pub fn has_baseline(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// `/v1/diff` — the baseline-vs-served comparison in `DIFF.json`
+    /// form. `None` when no baseline is registered; otherwise computed
+    /// once and served from cache.
+    pub fn diff_json(&self) -> Option<&str> {
+        self.count_query();
+        let b = self.baseline.as_ref()?;
+        Some(
+            b.diff.get_or_init(|| {
+                diff::diff_traces(&b.file, &self.file, (&b.label, "served")).to_json()
+            }),
+        )
     }
 
     /// The loaded file.
