@@ -42,18 +42,47 @@ impl Direction {
 }
 
 /// Classify a metric key from the `BENCH_*.json` vocabulary: `*_s` /
-/// `*_ms` / `*_pct` suffixes and failure counters gate downward,
-/// known ratios gate upward, everything else is informational.
+/// `*_ms` / `*_us` / `*_pct` suffixes and failure counters gate
+/// downward, known ratios gate upward, everything else is
+/// informational.
+///
+/// Two serve-obs exceptions stay informational despite their suffixes:
+/// the tracing-overhead percentages are already gated *inside*
+/// `serve-bench --obs` with paired-pass medians (re-gating one noisy
+/// reading against a baseline double-counts), and queue-phase waits
+/// measure client concurrency against pool size — a workload shape,
+/// not code speed. Cache-phase microseconds get the same treatment:
+/// the cache phase's tail is the single-flight wait distribution
+/// (how long losers of a cold-tile race block on the winner's render),
+/// which swings with thread interleaving run to run — the
+/// `singleflight_waits` count is informational for the same reason.
+/// A real cache slowdown still gates through `tile_p99_us` / `p99_ms`.
 pub fn direction(key: &str) -> Direction {
     match key {
         "speedup" | "hit_rate" => Direction::HigherIsBetter,
         "errors" | "parity_mismatches" | "cache_evictions" => Direction::LowerIsBetter,
-        k if k.ends_with("_s") || k.ends_with("_ms") || k.ends_with("_pct") => {
+        k if k.ends_with("_overhead_pct") && k != "metrics_overhead_pct" => {
+            Direction::Informational
+        }
+        k if k.contains("_queue_") => Direction::Informational,
+        k if k.contains("_cache_") && k.ends_with("_us") => Direction::Informational,
+        k if k.ends_with("_s")
+            || k.ends_with("_ms")
+            || k.ends_with("_us")
+            || k.ends_with("_pct") =>
+        {
             Direction::LowerIsBetter
         }
         _ => Direction::Informational,
     }
 }
+
+/// Microsecond metrics need an absolute effect on top of the relative
+/// gate: a 3µs → 5µs parse-phase blip is +66%, and even a sub-ms shift
+/// in a phase p99 is inside the run-to-run scheduler noise of a loaded
+/// worker pool. Regressions that matter at request scale (cold-render
+/// p99, total tile p99) move by multiple milliseconds.
+const US_EFFECT_FLOOR: f64 = 1_000.0;
 
 /// One metric's fate between baseline and current.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,7 +214,8 @@ pub fn diff_bench(name: &str, baseline: &Json, current: &Json, max_regress_pct: 
             Direction::HigherIsBetter => -change_pct,
             Direction::Informational => 0.0,
         };
-        let verdict = if dir == Direction::Informational {
+        let meaningful = !key.ends_with("_us") || (after - before).abs() >= US_EFFECT_FLOOR;
+        let verdict = if dir == Direction::Informational || !meaningful {
             DeltaVerdict::Unchanged
         } else if regress_pct > max_regress_pct {
             DeltaVerdict::Regressed
@@ -235,6 +265,8 @@ mod tests {
             "serial_s",
             "wall_s",
             "p99_ms",
+            "tile_p99_us",
+            "tile_render_p50_us",
             "metrics_overhead_pct",
             "errors",
             "parity_mismatches",
@@ -246,6 +278,29 @@ mod tests {
         for k in ["ranks", "clients", "requests", "drawables", "threads"] {
             assert_eq!(direction(k), Direction::Informational, "{k}");
         }
+        // Self-gated / workload-shape metrics are never re-gated here.
+        for k in [
+            "obs_overhead_pct",
+            "p50_overhead_pct",
+            "tile_queue_p99_us",
+            "tile_cache_p99_us",
+        ] {
+            assert_eq!(direction(k), Direction::Informational, "{k}");
+        }
+    }
+
+    #[test]
+    fn microsecond_metrics_need_an_absolute_effect() {
+        let base =
+            Json::parse(r#"{"tile_parse_p99_us": 3.0, "tile_render_p99_us": 6000.0}"#).unwrap();
+        let cur =
+            Json::parse(r#"{"tile_parse_p99_us": 5.5, "tile_render_p99_us": 9000.0}"#).unwrap();
+        let d = diff_bench("BENCH_serve.json", &base, &cur, 15.0);
+        let get = |k: &str| d.metrics.iter().find(|m| m.name == k).unwrap();
+        // +83% but only 2.5µs: scheduler noise, not a regression.
+        assert_eq!(get("tile_parse_p99_us").verdict, DeltaVerdict::Unchanged);
+        // +50% and 3ms: a real regression.
+        assert_eq!(get("tile_render_p99_us").verdict, DeltaVerdict::Regressed);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   `WorldBuilder::observe`, `PilotConfig::with_observability`, and
 //!   `ConvertOptions::obs`, so parallel `cargo test` runs never share
 //!   state.
+//! * **Bounded sinks.** The span tracer writes into one fixed-capacity
+//!   ring per worker ([`ring::RingBuffer`], oldest-drop on overflow),
+//!   and the request-level [`request::FlightRecorder`] keeps only the
+//!   N slowest + N most recent completed request traces — a
+//!   long-running server can never grow observability state without
+//!   bound.
 //! * **No serde.** The Chrome trace-event JSON (`out/trace.json`, loads
 //!   in `chrome://tracing` / Perfetto), the JSON exposition
 //!   (`out/METRICS.json`), and the Prometheus-style text are emitted by
@@ -30,13 +36,17 @@
 //!   `pilot_vis::json::Json` parser.
 
 pub mod registry;
+pub mod request;
+pub mod ring;
 pub mod trace;
 
 pub use registry::{
     Counter, Gauge, GaugeSnap, HistSnap, Histogram, Registry, Shard, ShardHandle, Snapshot,
     HIST_BUCKETS,
 };
-pub use trace::{SpanGuard, TraceEvent, Tracer};
+pub use request::{next_trace_id, FlightRecorder, Phase, PhaseSpan, RequestTrace, FLIGHT_CAPACITY};
+pub use ring::RingBuffer;
+pub use trace::{SpanGuard, TraceEvent, Tracer, SPAN_RING_CAPACITY};
 
 use std::sync::Arc;
 

@@ -229,6 +229,41 @@ pub struct HistSnap {
     pub sum: u64,
 }
 
+impl HistSnap {
+    /// Estimated `q`-quantile (`0.0..=1.0`): the inclusive upper bound
+    /// of the first bucket whose cumulative count reaches `q · count`.
+    /// Log2 buckets make this an over-estimate by at most 2×, which is
+    /// the right bias for latency reporting. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Bucket b >= 1 covers [2^(b-1), 2^b); bucket 0 is zero.
+                return if b == 0 {
+                    0
+                } else {
+                    ((1u128 << b) - 1).min(u64::MAX as u128) as u64
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
 /// A merged, immutable view of the registry. Maps are BTree-ordered so
 /// two snapshots of the same state compare and print identically.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -463,6 +498,30 @@ mod tests {
         assert_eq!(hs.buckets[2], 1); // 3 lands in [2,4)
         assert_eq!(hs.count, 2);
         assert_eq!(hs.sum, 3);
+    }
+
+    #[test]
+    fn quantile_estimates_from_log2_buckets() {
+        let shard = Shard::default();
+        let h = shard.histogram("lat");
+        for _ in 0..90 {
+            h.record(100); // bucket 7, upper bound 127
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14, upper bound 16383
+        }
+        let hs = &shard.snapshot().hists["lat"];
+        assert_eq!(hs.quantile(0.5), 127);
+        assert_eq!(hs.quantile(0.99), 16383);
+        assert_eq!(hs.quantile(0.0), 127); // first non-empty bucket
+        assert!((hs.mean() - (90.0 * 100.0 + 10.0 * 10_000.0) / 100.0).abs() < 1e-9);
+        let empty = HistSnap {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Request-scoped tracing: phase taxonomy, completed request traces,
+//! and the tail-latency flight recorder.
+//!
+//! A serving layer (pilotd) records one [`RequestTrace`] per completed
+//! HTTP request: the trace ID (client-supplied `X-Trace-Id` or
+//! generated), the endpoint class, and a flat list of timed phases —
+//! the request-span tree with one level of children, which is exactly
+//! what "where did the time go" needs. The [`FlightRecorder`] keeps two
+//! bounded rings of completed traces — the N *slowest* and the N *most
+//! recent* — so a tail-latency spike is diagnosable after the fact with
+//! zero reconfiguration: the offending request is still in the slowest
+//! ring, phases attached, dumpable as Chrome trace-event JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::registry::json_str;
+use crate::ring::RingBuffer;
+
+/// Default capacity of each flight-recorder ring (slowest / recent).
+pub const FLIGHT_CAPACITY: usize = 32;
+
+/// One timed phase of a request's lifecycle, in serving order. The
+/// taxonomy is fixed so downstream consumers (bench reports, the
+/// flight dump, DESIGN.md §12) agree on names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Reading and parsing the request line + headers off the socket.
+    Parse,
+    /// Waiting in the worker-pool queue between accept and dispatch.
+    Queue,
+    /// Tile-cache lookup: hit, miss bookkeeping, or single-flight wait.
+    Cache,
+    /// Interval-index scan (drawables, arrows, counts, previews).
+    Index,
+    /// Building the response body (JSON assembly or document render).
+    Render,
+    /// Writing the response back to the socket.
+    Write,
+}
+
+impl Phase {
+    /// Every phase, in serving order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Parse,
+        Phase::Queue,
+        Phase::Cache,
+        Phase::Index,
+        Phase::Render,
+        Phase::Write,
+    ];
+
+    /// Stable wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Queue => "queue",
+            Phase::Cache => "cache",
+            Phase::Index => "index",
+            Phase::Render => "render",
+            Phase::Write => "write",
+        }
+    }
+}
+
+/// One recorded phase: where in the request it started and how long it
+/// took, both in microseconds. A request may record the same phase more
+/// than once (e.g. several index scans); consumers sum by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Which phase.
+    pub phase: Phase,
+    /// Start offset from the request's own start, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// One completed request, as the flight recorder keeps it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// Trace ID: the client's `X-Trace-Id` header or a generated one.
+    pub trace_id: String,
+    /// Endpoint class (`tile`, `query`, `render`, ...).
+    pub endpoint: &'static str,
+    /// The full request target (path + query string).
+    pub target: String,
+    /// HTTP status of the response.
+    pub status: u16,
+    /// Worker index that served the request.
+    pub worker: u32,
+    /// Request start, microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// Total wall-clock duration, microseconds.
+    pub total_us: u64,
+    /// Response body length in bytes.
+    pub bytes: u64,
+    /// Timed phases, in recording order.
+    pub phases: Vec<PhaseSpan>,
+}
+
+impl RequestTrace {
+    /// Sum of recorded durations for `phase`, microseconds.
+    pub fn phase_us(&self, phase: Phase) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.phase == phase)
+            .map(|p| p.dur_us)
+            .sum()
+    }
+
+    /// Sum of all recorded phase durations, microseconds. Should be
+    /// ≈ `total_us` minus routing overhead when instrumentation covers
+    /// the serving path.
+    pub fn phases_total_us(&self) -> u64 {
+        self.phases.iter().map(|p| p.dur_us).sum()
+    }
+}
+
+struct FlightInner {
+    /// Most recent completed traces, oldest-drop.
+    recent: RingBuffer<RequestTrace>,
+    /// Slowest completed traces; when full the fastest member is
+    /// evicted for a newcomer that out-slows it.
+    slowest: Vec<RequestTrace>,
+}
+
+/// Fixed-capacity recorder of completed request traces.
+///
+/// Recording takes one short mutex per *completed* request (never on
+/// the hot path mid-request) and allocates nothing beyond the trace
+/// being stored: both rings are capacity-bounded with oldest/fastest
+/// eviction.
+pub struct FlightRecorder {
+    inner: Mutex<FlightInner>,
+    capacity: usize,
+    recorded: AtomicU64,
+    /// `total_us` of the fastest member of the full slowest ring — the
+    /// bar a newcomer must clear. Stays 0 until the ring fills, so
+    /// every early trace qualifies. Read before taking the lock: the
+    /// common case (not slow enough) then skips both the clone and the
+    /// ring scan entirely.
+    min_slow_us: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the `capacity` slowest and `capacity` most
+    /// recent traces.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Mutex::new(FlightInner {
+                recent: RingBuffer::new(capacity),
+                slowest: Vec::with_capacity(capacity),
+            }),
+            capacity,
+            recorded: AtomicU64::new(0),
+            min_slow_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity of each ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total requests ever recorded (including ones since aged out).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Record one completed request.
+    pub fn record(&self, trace: RequestTrace) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        // Clone for the slowest ring BEFORE taking the lock, and only
+        // when the trace clears the (racily read) slowness bar — after
+        // warmup the common case does neither an allocation nor a ring
+        // scan, just the recent-ring push (a move) under the lock.
+        // The bar is 0 until the ring fills (and `total_us` is always
+        // ≥ 1), so every early trace qualifies.
+        let maybe_slow = trace.total_us > self.min_slow_us.load(Ordering::Relaxed);
+        let mut for_slowest = maybe_slow.then(|| trace.clone());
+        let mut inner = self.inner.lock().expect("flight recorder poisoned");
+        let mut displaced = None;
+        if let Some(clone) = for_slowest.take() {
+            if inner.slowest.len() < self.capacity {
+                inner.slowest.push(clone);
+            } else if let Some(fastest) = inner
+                .slowest
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.total_us)
+                .map(|(i, _)| i)
+            {
+                if inner.slowest[fastest].total_us < clone.total_us {
+                    displaced = Some(std::mem::replace(&mut inner.slowest[fastest], clone));
+                } else {
+                    // Lost a race with a slower trace since the bar was
+                    // read; the clone is surplus. Dropped outside.
+                    displaced = Some(clone);
+                }
+            }
+            if inner.slowest.len() == self.capacity {
+                let bar = inner.slowest.iter().map(|t| t.total_us).min().unwrap_or(0);
+                self.min_slow_us.store(bar, Ordering::Relaxed);
+            }
+        }
+        let evicted = inner.recent.push(trace);
+        // Free displaced traces (heap-owning, often allocated by another
+        // worker thread) outside the lock, so a contended allocator
+        // arena can't extend the critical section.
+        drop(inner);
+        drop(evicted);
+        drop(displaced);
+    }
+
+    /// The slowest recorded traces, slowest first.
+    pub fn slowest(&self) -> Vec<RequestTrace> {
+        let inner = self.inner.lock().expect("flight recorder poisoned");
+        let mut out = inner.slowest.clone();
+        out.sort_by(|a, b| {
+            b.total_us
+                .cmp(&a.total_us)
+                .then(a.start_us.cmp(&b.start_us))
+        });
+        out
+    }
+
+    /// The most recent recorded traces, oldest first.
+    pub fn recent(&self) -> Vec<RequestTrace> {
+        self.inner
+            .lock()
+            .expect("flight recorder poisoned")
+            .recent
+            .to_vec()
+    }
+
+    /// The flight dump as Chrome trace-event JSON (array form): one
+    /// `"X"` event per request plus one per phase, `args` carrying the
+    /// trace ID, endpoint, and status so slices group in the viewer.
+    /// Traces appearing in both rings are emitted once. Loads directly
+    /// in `chrome://tracing` and Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let slowest = self.slowest();
+        let recent = self.recent();
+        let mut traces: Vec<(&RequestTrace, &'static str)> =
+            slowest.iter().map(|t| (t, "slowest")).collect();
+        for t in &recent {
+            if !slowest.iter().any(|s| {
+                s.trace_id == t.trace_id && s.start_us == t.start_us && s.total_us == t.total_us
+            }) {
+                traces.push((t, "recent"));
+            }
+        }
+        traces.sort_by_key(|(t, _)| (t.start_us, t.total_us));
+
+        let mut out = String::from("[");
+        let mut first = true;
+        let mut push_event = |ev: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        for (t, ring) in traces {
+            push_event(format!(
+                "{{\"name\": {}, \"cat\": \"request\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"trace_id\": {}, \"endpoint\": {}, \"status\": {}, \"bytes\": {}, \"ring\": \"{ring}\"}}}}",
+                json_str(&t.target),
+                t.start_us,
+                t.total_us.max(1),
+                t.worker,
+                json_str(&t.trace_id),
+                json_str(t.endpoint),
+                t.status,
+                t.bytes,
+            ));
+            for p in &t.phases {
+                push_event(format!(
+                    "{{\"name\": \"{}\", \"cat\": \"phase\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}, \"args\": {{\"trace_id\": {}}}}}",
+                    p.phase.name(),
+                    t.start_us + p.start_us,
+                    p.dur_us.max(1),
+                    t.worker,
+                    json_str(&t.trace_id),
+                ));
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// Generate a process-unique trace ID (`req-<hex>`), used when the
+/// client does not supply `X-Trace-Id`. Monotonic counter, no wall
+/// clock — trace IDs never feed any byte-deterministic artifact.
+pub fn next_trace_id() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    format!("req-{:08x}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: &str, start_us: u64, total_us: u64) -> RequestTrace {
+        RequestTrace {
+            trace_id: id.to_string(),
+            endpoint: "tile",
+            target: format!("/v1/tile?x={id}"),
+            status: 200,
+            worker: 0,
+            start_us,
+            total_us,
+            bytes: 10,
+            phases: vec![
+                PhaseSpan {
+                    phase: Phase::Cache,
+                    start_us: 0,
+                    dur_us: total_us / 2,
+                },
+                PhaseSpan {
+                    phase: Phase::Render,
+                    start_us: total_us / 2,
+                    dur_us: total_us / 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn slowest_ring_keeps_the_slowest() {
+        let fr = FlightRecorder::new(2);
+        fr.record(trace("a", 0, 10));
+        fr.record(trace("b", 1, 50));
+        fr.record(trace("c", 2, 30));
+        fr.record(trace("d", 3, 5));
+        let slow = fr.slowest();
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].trace_id, "b");
+        assert_eq!(slow[1].trace_id, "c");
+        assert_eq!(fr.recorded(), 4);
+    }
+
+    #[test]
+    fn recent_ring_drops_oldest() {
+        let fr = FlightRecorder::new(2);
+        for (i, id) in ["a", "b", "c"].iter().enumerate() {
+            fr.record(trace(id, i as u64, 10));
+        }
+        let recent = fr.recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].trace_id, "b");
+        assert_eq!(recent[1].trace_id, "c");
+    }
+
+    #[test]
+    fn chrome_json_carries_request_and_phase_events() {
+        let fr = FlightRecorder::new(4);
+        fr.record(trace("slow-one", 0, 1000));
+        let json = fr.to_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"cat\": \"request\""));
+        assert!(json.contains("\"cat\": \"phase\""));
+        assert!(json.contains("\"trace_id\": \"slow-one\""));
+        assert!(json.contains("\"name\": \"cache\""));
+        assert!(json.contains("\"name\": \"render\""));
+        // A trace in both rings is emitted once.
+        assert_eq!(json.matches("\"cat\": \"request\"").count(), 1);
+    }
+
+    #[test]
+    fn phase_sums_aggregate_by_name() {
+        let mut t = trace("x", 0, 100);
+        t.phases.push(PhaseSpan {
+            phase: Phase::Cache,
+            start_us: 90,
+            dur_us: 7,
+        });
+        assert_eq!(t.phase_us(Phase::Cache), 50 + 7);
+        assert_eq!(t.phase_us(Phase::Queue), 0);
+        assert_eq!(t.phases_total_us(), 107);
+    }
+
+    #[test]
+    fn generated_trace_ids_are_unique() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("req-"));
+    }
+}

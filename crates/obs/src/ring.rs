@@ -1,0 +1,128 @@
+//! A bounded ring buffer with oldest-drop overflow semantics.
+//!
+//! The span sink and the flight recorder both need a sink that an
+//! arbitrarily long run can write into without blocking and without
+//! unbounded allocation: when full, pushing drops the *oldest* element
+//! and reports it to the caller. Backing storage is allocated once at
+//! construction and never grows — the capacity invariant the property
+//! tests pin down.
+
+/// Fixed-capacity FIFO ring. `push` is O(1), never blocks, and never
+/// allocates after construction; overflow evicts the oldest element.
+#[derive(Debug)]
+pub struct RingBuffer<T> {
+    slots: Vec<Option<T>>,
+    /// Index of the oldest element.
+    head: usize,
+    /// Number of live elements (`<= slots.len()`).
+    len: usize,
+    /// Total elements ever dropped to make room.
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// A ring holding at most `capacity` elements (min 1).
+    pub fn new(capacity: usize) -> RingBuffer<T> {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been pushed (or everything aged out).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total elements evicted by overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Append `value`; when full, the oldest element is evicted and
+    /// returned.
+    pub fn push(&mut self, value: T) -> Option<T> {
+        let cap = self.slots.len();
+        if self.len < cap {
+            let tail = (self.head + self.len) % cap;
+            self.slots[tail] = Some(value);
+            self.len += 1;
+            None
+        } else {
+            let evicted = self.slots[self.head].replace(value);
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+            evicted
+        }
+    }
+
+    /// Iterate oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let cap = self.slots.len();
+        (0..self.len).map(move |i| {
+            self.slots[(self.head + i) % cap]
+                .as_ref()
+                .expect("live slot")
+        })
+    }
+
+    /// Clone the contents oldest-to-newest.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_drops_oldest() {
+        let mut r = RingBuffer::new(3);
+        assert_eq!(r.push(1), None);
+        assert_eq!(r.push(2), None);
+        assert_eq!(r.push(3), None);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.push(4), Some(1));
+        assert_eq!(r.push(5), Some(2));
+        assert_eq!(r.to_vec(), vec![3, 4, 5]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = RingBuffer::new(0);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.push("a"), None);
+        assert_eq!(r.push("b"), Some("a"));
+        assert_eq!(r.to_vec(), vec!["b"]);
+    }
+
+    #[test]
+    fn iter_is_oldest_to_newest_across_wrap() {
+        let mut r = RingBuffer::new(4);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![6, 7, 8, 9]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+    }
+}

@@ -6,11 +6,27 @@
 //! [`Tracer::to_chrome_json`] is the JSON-array flavour of the Chrome
 //! trace-event format and loads directly in `chrome://tracing` and
 //! [Perfetto](https://ui.perfetto.dev).
+//!
+//! The sink is *lock-light and bounded*: each `tid` (rank, pipeline
+//! worker, or serving worker) writes into its own fixed-capacity
+//! [`RingBuffer`] behind its own mutex, so concurrent workers never
+//! contend with each other, recording never blocks on a slow reader,
+//! and a long-running server cannot grow the trace without bound —
+//! overflow drops the *oldest* span on that worker's ring and counts it
+//! in [`Tracer::dropped`]. (The previous design was a single global
+//! `Mutex<Vec>`: every rank serialized on one lock and an unattended
+//! run grew it forever.)
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::registry::json_str;
+use crate::ring::RingBuffer;
+
+/// Default per-worker span capacity. Generous for workload runs (a
+/// convert pipeline records hundreds of spans), bounded for servers.
+pub const SPAN_RING_CAPACITY: usize = 1 << 16;
 
 /// One complete ("X"-phase) trace event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,19 +45,23 @@ pub struct TraceEvent {
     pub tid: u32,
 }
 
-/// Collector of scoped spans.
+/// One worker's bounded span sink.
+type WorkerRing = Arc<Mutex<RingBuffer<TraceEvent>>>;
+
+/// Collector of scoped spans: one bounded ring per `tid`.
 #[derive(Debug)]
 pub struct Tracer {
     epoch: Instant,
-    events: Mutex<Vec<TraceEvent>>,
+    /// Ring lookup is a short outer lock (like `Registry::shard`);
+    /// recording takes only the per-worker ring lock.
+    rings: Mutex<Vec<WorkerRing>>,
+    per_worker_capacity: usize,
+    dropped: AtomicU64,
 }
 
 impl Default for Tracer {
     fn default() -> Self {
-        Self {
-            epoch: Instant::now(),
-            events: Mutex::new(Vec::new()),
-        }
+        Self::with_capacity(SPAN_RING_CAPACITY)
     }
 }
 
@@ -51,11 +71,41 @@ impl Tracer {
         Self::default()
     }
 
+    /// Fresh tracer whose per-worker rings hold at most `capacity`
+    /// spans each (oldest-drop on overflow).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            rings: Mutex::new(Vec::new()),
+            per_worker_capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Per-worker ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.per_worker_capacity
+    }
+
+    /// The ring for worker `tid`, creating it on first use.
+    fn ring(&self, tid: u32) -> WorkerRing {
+        let mut rings = self.rings.lock().expect("tracer rings poisoned");
+        let idx = tid as usize;
+        while rings.len() <= idx {
+            let cap = self.per_worker_capacity;
+            rings.push(Arc::new(Mutex::new(RingBuffer::new(cap))));
+        }
+        Arc::clone(&rings[idx])
+    }
+
     /// Open a span. The event is recorded when the guard drops; `tid`
-    /// keys the viewer row (use the rank or worker index).
+    /// keys the viewer row (use the rank or worker index). The guard
+    /// resolves its worker ring up front, so the drop path takes only
+    /// that ring's lock.
     pub fn span(&self, name: impl Into<String>, cat: &str, tid: u32) -> SpanGuard<'_> {
         SpanGuard {
             tracer: self,
+            ring: self.ring(tid),
             name: name.into(),
             cat: cat.to_string(),
             tid,
@@ -65,28 +115,50 @@ impl Tracer {
 
     /// Record a pre-built event (used by the span guard).
     pub fn record(&self, ev: TraceEvent) {
-        self.events.lock().unwrap().push(ev);
+        let ring = self.ring(ev.tid);
+        self.record_on(&ring, ev);
     }
 
-    /// Number of recorded events.
+    fn record_on(&self, ring: &WorkerRing, ev: TraceEvent) {
+        if ring.lock().expect("span ring poisoned").push(ev).is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded events currently held (dropped spans have
+    /// aged out).
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        let rings: Vec<WorkerRing> = self.rings.lock().expect("tracer rings poisoned").clone();
+        rings
+            .iter()
+            .map(|r| r.lock().expect("span ring poisoned").len())
+            .sum()
     }
 
-    /// True when no events have been recorded.
+    /// True when no events are held.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Copy of the recorded events.
+    /// Spans evicted by ring overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the held events: per worker oldest-to-newest, workers in
+    /// `tid` order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().unwrap().clone()
+        let rings: Vec<WorkerRing> = self.rings.lock().expect("tracer rings poisoned").clone();
+        rings
+            .iter()
+            .flat_map(|r| r.lock().expect("span ring poisoned").to_vec())
+            .collect()
     }
 
     /// The trace as Chrome trace-event JSON (array form), one event per
     /// line. Loadable in `chrome://tracing` and Perfetto.
     pub fn to_chrome_json(&self) -> String {
-        let events = self.events.lock().unwrap();
+        let events = self.events();
         let mut out = String::from("[");
         for (i, ev) in events.iter().enumerate() {
             if i > 0 {
@@ -111,6 +183,7 @@ impl Tracer {
 #[derive(Debug)]
 pub struct SpanGuard<'a> {
     tracer: &'a Tracer,
+    ring: WorkerRing,
     name: String,
     cat: String,
     tid: u32,
@@ -125,14 +198,15 @@ impl Drop for SpanGuard<'_> {
             .as_micros()
             .min(u64::MAX as u128) as u64;
         let dur_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        self.tracer.record(TraceEvent {
+        let ev = TraceEvent {
             name: std::mem::take(&mut self.name),
             cat: std::mem::take(&mut self.cat),
             ts_us,
             dur_us,
             pid: 1,
             tid: self.tid,
-        });
+        };
+        self.tracer.record_on(&self.ring, ev);
     }
 }
 
@@ -193,5 +267,22 @@ mod tests {
             }
         });
         assert_eq!(tracer.len(), 4);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_per_worker() {
+        let tracer = Tracer::with_capacity(2);
+        for i in 0..5 {
+            let _s = tracer.span(format!("s{i}"), "test", 0);
+        }
+        // Worker 1 is unaffected by worker 0's overflow.
+        {
+            let _s = tracer.span("other", "test", 1);
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.dropped(), 3);
+        let events = tracer.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["s3", "s4", "other"]);
     }
 }

@@ -79,3 +79,74 @@ proptest! {
         prop_assert_eq!(&merged.gauges, &a.gauges);
     }
 }
+
+/// The span ring buffer's contract: capacity never exceeded, overflow
+/// drops oldest-first, dropped + held always accounts for every push,
+/// and backing storage is allocated once (capacity() is constant).
+mod ring_props {
+    use super::*;
+    use obs::RingBuffer;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ring_holds_exactly_the_newest_suffix(
+            capacity in 1usize..32,
+            values in proptest::collection::vec(0u64..1_000_000, 0..200),
+        ) {
+            let mut ring = RingBuffer::new(capacity);
+            for &v in &values {
+                ring.push(v);
+                prop_assert!(ring.len() <= capacity, "capacity invariant violated");
+                prop_assert_eq!(ring.capacity(), capacity);
+            }
+            // Contents are exactly the last min(len, capacity) pushes,
+            // oldest to newest — oldest-drop semantics.
+            let expect: Vec<u64> = values
+                .iter()
+                .skip(values.len().saturating_sub(capacity))
+                .cloned()
+                .collect();
+            prop_assert_eq!(ring.to_vec(), expect);
+            // Every push is accounted for: held + dropped = pushed.
+            prop_assert_eq!(ring.len() as u64 + ring.dropped(), values.len() as u64);
+        }
+
+        #[test]
+        fn ring_evicts_in_push_order(
+            capacity in 1usize..16,
+            n in 0usize..100,
+        ) {
+            let mut ring = RingBuffer::new(capacity);
+            let mut evicted = Vec::new();
+            for i in 0..n as u64 {
+                if let Some(old) = ring.push(i) {
+                    evicted.push(old);
+                }
+            }
+            // Evictions come out in exactly the order they went in.
+            let expect: Vec<u64> = (0..n.saturating_sub(capacity) as u64).collect();
+            prop_assert_eq!(evicted, expect);
+        }
+    }
+
+    /// The tracer built on the ring never blocks and never exceeds the
+    /// per-worker bound, even with many concurrent writers.
+    #[test]
+    fn tracer_stays_bounded_under_concurrent_overflow() {
+        let tracer = obs::Tracer::with_capacity(8);
+        std::thread::scope(|scope| {
+            for tid in 0..4u32 {
+                let t = &tracer;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let _s = t.span(format!("w{tid}-{i}"), "test", tid);
+                    }
+                });
+            }
+        });
+        assert_eq!(tracer.len(), 4 * 8);
+        assert_eq!(tracer.dropped(), 4 * (100 - 8));
+    }
+}

@@ -1,20 +1,34 @@
 //! `pilotd` — the timeline query daemon.
 //!
 //! ```text
-//! pilotd serve trace.pslog2 [--addr 127.0.0.1:7007] [--workers 8] [--baseline before.pslog2]
+//! pilotd serve trace.pslog2 [--addr 127.0.0.1:7007] [--workers 8]
+//!        [--baseline before.pslog2] [--no-trace] [--flight-dump flight.json]
 //! pilotd info  trace.pslog2
 //! ```
 //!
 //! With `--baseline`, `/v1/diff` serves the baseline-vs-served trace
 //! comparison (verdict deltas, alignment, per-timeline deltas) as
 //! cached JSON; without it the route answers 404.
+//!
+//! `serve` enables request tracing by default: every request gets a
+//! trace ID (echoed as `X-Trace-Id`), per-endpoint phase timings feed
+//! `/metrics` and `/v1/obs/endpoints`, and the flight recorder keeps
+//! the slowest and most recent requests for `/v1/obs/flight`. Pass
+//! `--no-trace` to serve with the plane disabled. With `--flight-dump
+//! PATH`, a graceful shutdown (EOF or `quit` on stdin) writes the
+//! flight recorder as Chrome trace-event JSON to PATH — load it at
+//! `chrome://tracing` or Perfetto.
 
+use std::io::BufRead;
 use std::sync::Arc;
 
 use timeline::TimelineService;
 
 fn usage() -> ! {
-    eprintln!("usage: pilotd <serve|info> <trace.pslog2> [--addr HOST:PORT] [--workers N] [--baseline before.pslog2]");
+    eprintln!(
+        "usage: pilotd <serve|info> <trace.pslog2> [--addr HOST:PORT] [--workers N] \
+         [--baseline before.pslog2] [--no-trace] [--flight-dump PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -63,7 +77,19 @@ fn main() {
             let workers: usize = flag("--workers", &timeline::DEFAULT_WORKERS.to_string())
                 .parse()
                 .unwrap_or_else(|_| usage());
-            let server = match timeline::serve(Arc::clone(&svc), &addr, workers) {
+            let trace = !args.iter().any(|a| a == "--no-trace");
+            let flight_dump = args
+                .iter()
+                .position(|a| a == "--flight-dump")
+                .and_then(|i| args.get(i + 1))
+                .cloned();
+            if trace {
+                svc.enable_tracing();
+            } else if flight_dump.is_some() {
+                eprintln!("pilotd: --flight-dump needs tracing; drop --no-trace");
+                std::process::exit(2);
+            }
+            let mut server = match timeline::serve(Arc::clone(&svc), &addr, workers) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("pilotd: cannot bind {addr}: {e}");
@@ -71,17 +97,45 @@ fn main() {
                 }
             };
             eprintln!(
-                "pilotd: serving {path} ({} ranks) on port {} with {workers} workers",
+                "pilotd: serving {path} ({} ranks) on port {} with {workers} workers (tracing {})",
                 svc.file().timelines.len(),
-                server.port()
+                server.port(),
+                if trace { "on" } else { "off" }
             );
             eprintln!(
                 "pilotd: try  curl http://127.0.0.1:{}/v1/info",
                 server.port()
             );
-            // Serve until killed.
-            loop {
-                std::thread::park();
+            if trace {
+                eprintln!(
+                    "pilotd: obs  curl http://127.0.0.1:{}/v1/obs/endpoints",
+                    server.port()
+                );
+            }
+            // Serve until stdin closes (or `quit`), then shut down in
+            // order: stop accepting, drain workers, dump the flight
+            // recorder if asked.
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if l.trim() == "quit" => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            server.stop();
+            if let Some(dump_path) = flight_dump {
+                let json = svc.plane().flight_json();
+                match std::fs::write(&dump_path, &json) {
+                    Ok(()) => eprintln!(
+                        "pilotd: wrote flight recorder to {dump_path} ({} requests observed)",
+                        svc.plane().flight().recorded()
+                    ),
+                    Err(e) => {
+                        eprintln!("pilotd: cannot write {dump_path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
         }
         _ => usage(),

@@ -21,6 +21,14 @@
 //! | `/v1/diff`     | baseline-vs-served trace diff (cached; 404 until a baseline is registered) |
 //! | `/v1/stats`    | query + cache counters                            |
 //! | `/metrics`     | Prometheus text of the obs registry               |
+//! | `/v1/obs/endpoints` | per-endpoint per-phase p50/p99 summary       |
+//! | `/v1/obs/flight` | flight-recorder dump (Chrome trace-event JSON)  |
+//!
+//! When the service's [`ObsPlane`](crate::obsplane::ObsPlane) is
+//! enabled, every request is traced: the `X-Trace-Id` header (or a
+//! generated ID, echoed back in the response) names the request, and
+//! the worker records queue/parse/cache/index/render/write phases into
+//! the flight recorder. Tracing never touches response bodies.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -28,10 +36,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use obs::Phase;
 use slog2::TimeWindow;
 
+use crate::obsplane::{note_phase, PhaseTimer};
 use crate::service::TimelineService;
 
 /// Default worker-pool size for `pilotd serve`.
@@ -52,24 +62,30 @@ pub fn serve(svc: Arc<TimelineService>, addr: &str, workers: usize) -> std::io::
     let listener = TcpListener::bind(addr)?;
     let port = listener.local_addr()?.port();
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = channel::<TcpStream>();
+    // Each queued connection carries its enqueue instant so the worker
+    // can attribute the wait to the first request's `queue` phase.
+    let (tx, rx) = channel::<(TcpStream, Instant)>();
     let rx = Arc::new(Mutex::new(rx));
 
     let mut pool = Vec::with_capacity(workers.max(1));
-    for _ in 0..workers.max(1) {
+    for worker_idx in 0..workers.max(1) {
         let svc = Arc::clone(&svc);
-        let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&rx);
+        let rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>> = Arc::clone(&rx);
         let shutdown = Arc::clone(&shutdown);
         pool.push(std::thread::spawn(move || loop {
             let conn = rx.lock().expect("worker queue poisoned").recv();
             match conn {
-                Ok(stream) => handle_connection(&svc, stream, &shutdown),
+                Ok((stream, enqueued)) => {
+                    svc.plane().note_dequeued();
+                    handle_connection(&svc, stream, &shutdown, worker_idx as u32, enqueued);
+                }
                 Err(_) => break, // sender gone: server stopped
             }
         }));
     }
 
     let accept_shutdown = Arc::clone(&shutdown);
+    let accept_svc = Arc::clone(&svc);
     let accept = std::thread::spawn(move || {
         for stream in listener.incoming() {
             if accept_shutdown.load(Ordering::SeqCst) {
@@ -78,7 +94,8 @@ pub fn serve(svc: Arc<TimelineService>, addr: &str, workers: usize) -> std::io::
             if let Ok(stream) = stream {
                 // A full queue just delays the connection; drop errors
                 // only happen after stop().
-                let _ = tx.send(stream);
+                accept_svc.plane().note_enqueued();
+                let _ = tx.send((stream, Instant::now()));
             }
         }
     });
@@ -117,7 +134,13 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(svc: &TimelineService, stream: TcpStream, shutdown: &AtomicBool) {
+fn handle_connection(
+    svc: &TimelineService,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    worker: u32,
+    enqueued: Instant,
+) {
     let _ = stream.set_nodelay(true);
     // A short read timeout lets idle keep-alive workers notice stop().
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
@@ -126,8 +149,16 @@ fn handle_connection(svc: &TimelineService, stream: TcpStream, shutdown: &Atomic
     };
     let mut reader = BufReader::new(stream);
     let mut writer = write_half;
+    // The pool-queue wait belongs to the connection's first request;
+    // keep-alive successors never waited in the accept queue.
+    let mut queue_wait = Some(Instant::now().saturating_duration_since(enqueued));
+    // Line buffers live across requests: keep-alive connections serve
+    // hundreds of requests, and per-line String churn is measurable in
+    // the serve bench.
+    let mut request_line = String::new();
+    let mut header_line = String::new();
     loop {
-        let mut request_line = String::new();
+        request_line.clear();
         match reader.read_line(&mut request_line) {
             Ok(0) => return, // client closed
             Ok(_) => {}
@@ -144,25 +175,62 @@ fn handle_connection(svc: &TimelineService, stream: TcpStream, shutdown: &Atomic
             }
             Err(_) => return,
         }
+        // The request clock: for the first request it started back at
+        // the accept queue (so queue wait is inside the total); for
+        // later keep-alive requests it starts once the request line is
+        // in (client think time must not count).
+        let parse_start = Instant::now();
+        let req_start = if queue_wait.is_some() {
+            enqueued
+        } else {
+            parse_start
+        };
         let mut close = false;
-        // Drain headers; we only care about Connection.
+        let mut trace_header: Option<String> = None;
+        // Drain headers; we care about Connection and X-Trace-Id.
+        // Matching is allocation-free (no lowercased copies).
         loop {
-            let mut line = String::new();
-            match reader.read_line(&mut line) {
+            header_line.clear();
+            match reader.read_line(&mut header_line) {
                 Ok(0) => return,
-                Ok(_) if line.trim_end().is_empty() => break,
+                Ok(_) if header_line.trim_end().is_empty() => break,
                 Ok(_) => {
-                    let lower = line.to_ascii_lowercase();
-                    if lower.starts_with("connection:") && lower.contains("close") {
-                        close = true;
+                    if let Some((name, value)) = header_line.trim_end().split_once(':') {
+                        if name.eq_ignore_ascii_case("connection")
+                            && value
+                                .split(',')
+                                .any(|v| v.trim().eq_ignore_ascii_case("close"))
+                        {
+                            close = true;
+                        } else if name.eq_ignore_ascii_case("x-trace-id") {
+                            let v = value.trim();
+                            if !v.is_empty() {
+                                trace_header = Some(v.to_string());
+                            }
+                        }
                     }
                 }
                 Err(_) => return,
             }
         }
+        let parse_dur = parse_start.elapsed();
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("");
         let target = parts.next().unwrap_or("/");
+
+        let trace_id = svc.plane().begin(target, trace_header, worker, req_start);
+        if trace_id.is_some() {
+            if let Some(wait) = queue_wait {
+                note_phase(Phase::Queue, Duration::ZERO, wait);
+            }
+            note_phase(
+                Phase::Parse,
+                parse_start.saturating_duration_since(req_start),
+                parse_dur,
+            );
+        }
+        queue_wait = None;
+
         let (status, content_type, body) = if method == "GET" {
             route(svc, target)
         } else {
@@ -175,16 +243,23 @@ fn handle_connection(svc: &TimelineService, stream: TcpStream, shutdown: &Atomic
             405 => "Method Not Allowed",
             _ => "Error",
         };
-        let head = format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            body.len(),
-            if close { "close" } else { "keep-alive" },
-        );
-        if writer.write_all(head.as_bytes()).is_err() || writer.write_all(body.as_bytes()).is_err()
-        {
-            return;
-        }
-        if close || shutdown.load(Ordering::SeqCst) {
+        let connection = if close { "close" } else { "keep-alive" };
+        let head = match trace_id.as_deref() {
+            Some(id) => format!(
+                "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nX-Trace-Id: {id}\r\nConnection: {connection}\r\n\r\n",
+                body.len(),
+            ),
+            None => format!(
+                "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+                body.len(),
+            ),
+        };
+        let write_phase = PhaseTimer::start(Phase::Write);
+        let wrote =
+            writer.write_all(head.as_bytes()).is_ok() && writer.write_all(body.as_bytes()).is_ok();
+        drop(write_phase);
+        svc.plane().finish(status, body.len() as u64);
+        if !wrote || close || shutdown.load(Ordering::SeqCst) {
             return;
         }
     }
@@ -231,6 +306,8 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
             ),
         },
         "/metrics" => (200, "text/plain; version=0.0.4", svc.metrics_text()),
+        "/v1/obs/endpoints" => (200, "application/json", svc.plane().endpoints_json()),
+        "/v1/obs/flight" => (200, "application/json", svc.plane().flight_json()),
         "/v1/query" => {
             let range = svc.file().range;
             let t0 = param!("t0" as f64, default range.t0);
@@ -308,8 +385,21 @@ impl Client {
     /// Issue `GET path` on the persistent connection; returns
     /// `(status, body)`.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
+        self.request(path, None)
+    }
+
+    /// Like [`get`](Self::get) but with an `X-Trace-Id` header, so the
+    /// request is findable in `/v1/obs/flight` by name.
+    pub fn get_traced(&mut self, path: &str, trace_id: &str) -> std::io::Result<(u16, String)> {
+        self.request(path, Some(trace_id))
+    }
+
+    fn request(&mut self, path: &str, trace_id: Option<&str>) -> std::io::Result<(u16, String)> {
+        let trace = trace_id
+            .map(|id| format!("X-Trace-Id: {id}\r\n"))
+            .unwrap_or_default();
         let request =
-            format!("GET {path} HTTP/1.1\r\nHost: pilotd\r\nConnection: keep-alive\r\n\r\n");
+            format!("GET {path} HTTP/1.1\r\nHost: pilotd\r\n{trace}Connection: keep-alive\r\n\r\n");
         self.reader.get_mut().write_all(request.as_bytes())?;
 
         let mut status_line = String::new();
@@ -326,19 +416,22 @@ impl Client {
             })?;
 
         let mut content_length = 0usize;
+        let mut line = String::new();
         loop {
-            let mut line = String::new();
+            line.clear();
             if self.reader.read_line(&mut line)? == 0 {
                 return Err(std::io::ErrorKind::UnexpectedEof.into());
             }
-            let line = line.trim_end();
-            if line.is_empty() {
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
                 break;
             }
-            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-                content_length = v.trim().parse().map_err(|_| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
-                })?;
+            if let Some((name, v)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().map_err(|_| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
             }
         }
         let mut body = vec![0u8; content_length];

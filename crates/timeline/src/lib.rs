@@ -11,18 +11,25 @@
 //! - [`index`] — immutable per-rank interval index ([`TimelineIndex`]),
 //!   one frame tree per rank plus a shared arrow tree.
 //! - [`cache`] — sharded LRU tile cache ([`TileCache`]) keyed by
-//!   (file digest, rank, zoom, tile), single-flight on misses.
+//!   (file digest, rank, zoom, tile), two-phase single-flight on
+//!   misses (compute happens outside the shard lock).
 //! - [`service`] — [`TimelineService`], the unified query/render API;
 //!   every HTTP endpoint is a deterministic method here.
 //! - [`http`] — the `pilotd` HTTP front end ([`serve`], [`Server`])
 //!   and a keep-alive [`Client`] used by tests and `repro serve-bench`.
+//! - [`obsplane`] — the request-level observability plane
+//!   ([`ObsPlane`]): per-request trace IDs and phase timings, endpoint
+//!   latency histograms, and the tail-latency flight recorder behind
+//!   `/v1/obs/endpoints` and `/v1/obs/flight`.
 
 pub mod cache;
 pub mod http;
 pub mod index;
+pub mod obsplane;
 pub mod service;
 
 pub use cache::{TileCache, TileKey, CACHE_SHARDS};
 pub use http::{route, serve, Client, Server, DEFAULT_WORKERS};
 pub use index::TimelineIndex;
+pub use obsplane::{endpoint_class, note_phase, ObsPlane, PhaseTimer, ENDPOINTS, WINDOW_CAPACITY};
 pub use service::{fnv1a, TimelineService, MAX_ZOOM};

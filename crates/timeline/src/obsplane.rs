@@ -1,0 +1,644 @@
+//! The request-level observability plane.
+//!
+//! One [`ObsPlane`] rides inside a [`TimelineService`]: when enabled,
+//! every HTTP request carries a trace ID (the client's `X-Trace-Id` or
+//! a generated `req-<hex>`), and the serving path records timed phases
+//! — queue wait, parse, cache lookup, index scan, render, response
+//! write — into a thread-local active-request slot. On completion the
+//! request becomes a [`RequestTrace`]: its total and per-phase times go
+//! to per-endpoint log2 histograms in the shared [`obs`] registry (for
+//! `/metrics`), to a bounded exact-latency window (for the stable
+//! p50/p99 of `/v1/obs/endpoints`), and to the [`FlightRecorder`] (the
+//! N slowest + N most recent traces, dumpable as Chrome trace-event
+//! JSON at `/v1/obs/flight`).
+//!
+//! Everything here is bounded and off the response path: phases are
+//! timed with [`Instant`]s, never wall clocks, and no trace ID or
+//! timestamp ever reaches a response body — `/v1/tile` and `/v1/render`
+//! bytes are identical with tracing on or off (pinned by a test).
+//!
+//! [`TimelineService`]: crate::service::TimelineService
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use obs::{
+    next_trace_id, FlightRecorder, Gauge, Histogram, ObsHandle, Phase, PhaseSpan, RequestTrace,
+    RingBuffer,
+};
+use pilot_vis::json::Json;
+
+/// Endpoint classes, in reporting order. Every request target maps to
+/// exactly one (unknown paths land in `other`).
+pub const ENDPOINTS: [&str; 12] = [
+    "tile", "query", "render", "info", "legend", "warnings", "stats", "diagnose", "diff",
+    "metrics", "obs", "other",
+];
+
+/// How many completed requests each endpoint's exact-latency window
+/// holds. Percentiles over the window are exact (unlike the log2
+/// histograms), which keeps the bench-gated p50/p99 stable.
+pub const WINDOW_CAPACITY: usize = 4096;
+
+/// Index into [`ENDPOINTS`] for a request target (path before `?`).
+pub fn endpoint_class(target: &str) -> usize {
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/v1/tile" => 0,
+        "/v1/query" => 1,
+        "/v1/render" => 2,
+        "/v1/info" => 3,
+        "/v1/legend" => 4,
+        "/v1/warnings" => 5,
+        "/v1/stats" => 6,
+        "/v1/diagnose" => 7,
+        "/v1/diff" => 8,
+        "/metrics" => 9,
+        "/v1/obs/endpoints" | "/v1/obs/flight" => 10,
+        _ => 11,
+    }
+}
+
+/// The in-progress request on this worker thread.
+struct ActiveRequest {
+    trace_id: String,
+    endpoint_idx: usize,
+    target: String,
+    worker: u32,
+    start: Instant,
+    /// (phase, offset from start, duration) — nanoseconds internally,
+    /// converted to µs only at the flight-recorder boundary.
+    phases: Vec<(Phase, u64, u64)>,
+    /// This worker's pre-registered registry handles, resolved in
+    /// `begin` so `finish` touches no registry locks.
+    handles: Arc<WorkerHandles>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveRequest>> = const { RefCell::new(None) };
+}
+
+/// RAII timer for one phase of the active request. A no-op (not even a
+/// clock read) when no traced request is active on this thread, so
+/// instrumented code paths cost nothing for in-process callers and for
+/// servers with tracing disabled.
+#[must_use = "the phase is recorded when the timer drops"]
+pub struct PhaseTimer {
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl PhaseTimer {
+    /// Start timing `phase`; armed only when a request is active.
+    pub fn start(phase: Phase) -> PhaseTimer {
+        let armed = ACTIVE.with(|a| a.borrow().is_some());
+        PhaseTimer {
+            phase,
+            start: armed.then(Instant::now),
+        }
+    }
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        let Some(started) = self.start else {
+            return;
+        };
+        let dur = started.elapsed();
+        ACTIVE.with(|a| {
+            if let Some(req) = a.borrow_mut().as_mut() {
+                let off = started.saturating_duration_since(req.start);
+                req.phases.push((self.phase, as_ns(off), as_ns(dur).max(1)));
+            }
+        });
+    }
+}
+
+/// Record a phase with externally measured times (the HTTP layer times
+/// queue wait and header parsing before the request officially begins).
+pub fn note_phase(phase: Phase, offset: Duration, dur: Duration) {
+    ACTIVE.with(|a| {
+        if let Some(req) = a.borrow_mut().as_mut() {
+            req.phases.push((phase, as_ns(offset), as_ns(dur).max(1)));
+        }
+    });
+}
+
+fn as_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// One completed request's contribution to an endpoint window.
+#[derive(Clone, Copy)]
+struct ReqSample {
+    total_ns: u64,
+    phase_ns: [u64; Phase::ALL.len()],
+}
+
+struct EndpointWindow {
+    ring: RingBuffer<ReqSample>,
+    /// All-time completed requests for this endpoint (window + aged out).
+    total: u64,
+}
+
+/// Pre-formatted metric names for one endpoint, built once so the
+/// per-request finish path does no string formatting.
+struct EndpointNames {
+    total: String,
+    phases: [String; Phase::ALL.len()],
+}
+
+/// Pre-registered registry handles for one worker's shard. Looked up by
+/// name exactly once (registration takes the shard's map lock); after
+/// that every per-request update is a plain relaxed atomic, so the
+/// finish path takes no registry locks at all.
+struct WorkerHandles {
+    in_flight: Gauge,
+    /// Per-endpoint total-latency histograms.
+    totals: Vec<Histogram>,
+    /// Per-endpoint, per-phase latency histograms.
+    phases: Vec<[Histogram; Phase::ALL.len()]>,
+}
+
+/// The per-service observability plane. Created disabled: phase timers
+/// and begin/finish are no-ops until [`set_enabled`](Self::set_enabled),
+/// so embedded services (tests, the serve-bench oracle) pay nothing.
+pub struct ObsPlane {
+    enabled: AtomicBool,
+    obs: ObsHandle,
+    flight: FlightRecorder,
+    epoch: Instant,
+    windows: Vec<Mutex<EndpointWindow>>,
+    names: Vec<EndpointNames>,
+    /// Registry handles per worker index, built on each worker's first
+    /// request and read-locked (uncontended) afterwards.
+    handles: RwLock<Vec<Option<Arc<WorkerHandles>>>>,
+    queue_depth: Gauge,
+}
+
+impl ObsPlane {
+    /// A disabled plane reporting into `obs` (the service's registry,
+    /// so request histograms appear in `/metrics`).
+    pub fn new(obs: ObsHandle) -> ObsPlane {
+        let queue_depth = obs.shard(0).gauge("serve.http.queue_depth");
+        ObsPlane {
+            enabled: AtomicBool::new(false),
+            obs,
+            flight: FlightRecorder::default(),
+            epoch: Instant::now(),
+            windows: ENDPOINTS
+                .iter()
+                .map(|_| {
+                    Mutex::new(EndpointWindow {
+                        ring: RingBuffer::new(WINDOW_CAPACITY),
+                        total: 0,
+                    })
+                })
+                .collect(),
+            names: ENDPOINTS
+                .iter()
+                .map(|ep| EndpointNames {
+                    total: format!("serve.req.{ep}.total_ns"),
+                    phases: std::array::from_fn(|i| {
+                        format!("serve.req.{ep}.{}_ns", Phase::ALL[i].name())
+                    }),
+                })
+                .collect(),
+            handles: RwLock::new(Vec::new()),
+            queue_depth,
+        }
+    }
+
+    /// The registry handles for `worker`, registering them on first use.
+    fn worker_handles(&self, worker: u32) -> Arc<WorkerHandles> {
+        let worker = worker as usize;
+        if let Some(Some(h)) = self.handles.read().expect("handles").get(worker) {
+            return Arc::clone(h);
+        }
+        let shard = self.obs.shard(worker);
+        let built = Arc::new(WorkerHandles {
+            in_flight: shard.gauge("serve.http.in_flight"),
+            totals: self
+                .names
+                .iter()
+                .map(|n| shard.histogram(&n.total))
+                .collect(),
+            phases: self
+                .names
+                .iter()
+                .map(|n| std::array::from_fn(|i| shard.histogram(&n.phases[i])))
+                .collect(),
+        });
+        let mut w = self.handles.write().expect("handles");
+        if w.len() <= worker {
+            w.resize(worker + 1, None);
+        }
+        // Another thread may have built this worker's handles while we
+        // weren't holding the lock; same names, either copy is fine.
+        w[worker].get_or_insert(built).clone()
+    }
+
+    /// Whether request tracing is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn request tracing on or off. Requests already in flight
+    /// complete under the setting they began with.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The flight recorder (the slowest + most recent request traces).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// A connection was queued for the worker pool.
+    pub fn note_enqueued(&self) {
+        if self.enabled() {
+            self.queue_depth.add(1);
+        }
+    }
+
+    /// A worker picked a queued connection up.
+    pub fn note_dequeued(&self) {
+        if self.enabled() {
+            self.queue_depth.add(-1);
+        }
+    }
+
+    /// Begin a traced request on this thread. Returns the trace ID in
+    /// use (the client's `X-Trace-Id` if supplied) or `None` when
+    /// tracing is disabled. `start` is when the request's clock began:
+    /// the accept-queue enqueue instant for a connection's first
+    /// request (so queue wait is inside the total), the request-line
+    /// read for subsequent keep-alive requests.
+    pub fn begin(
+        &self,
+        target: &str,
+        trace_id: Option<String>,
+        worker: u32,
+        start: Instant,
+    ) -> Option<String> {
+        if !self.enabled() {
+            return None;
+        }
+        let trace_id = trace_id.unwrap_or_else(next_trace_id);
+        let handles = self.worker_handles(worker);
+        handles.in_flight.add(1);
+        ACTIVE.with(|a| {
+            *a.borrow_mut() = Some(ActiveRequest {
+                trace_id: trace_id.clone(),
+                endpoint_idx: endpoint_class(target),
+                target: target.to_string(),
+                worker,
+                start,
+                phases: Vec::with_capacity(8),
+                handles,
+            });
+        });
+        Some(trace_id)
+    }
+
+    /// Complete the active request (no-op when none): fold it into the
+    /// endpoint window, the registry histograms, and the flight
+    /// recorder.
+    pub fn finish(&self, status: u16, bytes: u64) {
+        let Some(req) = ACTIVE.with(|a| a.borrow_mut().take()) else {
+            return;
+        };
+        let total_ns = as_ns(req.start.elapsed()).max(1);
+        let mut sample = ReqSample {
+            total_ns,
+            phase_ns: [0; Phase::ALL.len()],
+        };
+        for &(phase, _, dur_ns) in &req.phases {
+            sample.phase_ns[phase_idx(phase)] += dur_ns;
+        }
+        {
+            let mut w = self.windows[req.endpoint_idx]
+                .lock()
+                .expect("endpoint window poisoned");
+            w.total += 1;
+            w.ring.push(sample);
+        }
+        req.handles.totals[req.endpoint_idx].record(total_ns);
+        for (i, ns) in sample.phase_ns.iter().enumerate() {
+            if *ns > 0 {
+                req.handles.phases[req.endpoint_idx][i].record(*ns);
+            }
+        }
+        req.handles.in_flight.add(-1);
+
+        let start_us = as_ns(req.start.saturating_duration_since(self.epoch)) / 1_000;
+        self.flight.record(RequestTrace {
+            trace_id: req.trace_id,
+            endpoint: ENDPOINTS[req.endpoint_idx],
+            target: req.target,
+            status,
+            worker: req.worker,
+            start_us,
+            total_us: (total_ns / 1_000).max(1),
+            bytes,
+            // into_iter + collect reuses the phases Vec's allocation
+            // (same element size/alignment), so this converts in place.
+            phases: req
+                .phases
+                .into_iter()
+                .map(|(phase, off_ns, dur_ns)| PhaseSpan {
+                    phase,
+                    start_us: off_ns / 1_000,
+                    dur_us: (dur_ns / 1_000).max(1),
+                })
+                .collect(),
+        });
+    }
+
+    /// `/v1/obs/endpoints` — per-endpoint counts and exact p50/p99 for
+    /// totals and every phase, computed over each endpoint's latency
+    /// window. Endpoints with no traffic are omitted; values are µs.
+    pub fn endpoints_json(&self) -> String {
+        let mut endpoints = Vec::new();
+        let mut requests = 0u64;
+        for (idx, ep) in ENDPOINTS.iter().enumerate() {
+            let (samples, total) = {
+                let w = self.windows[idx].lock().expect("endpoint window poisoned");
+                (w.ring.to_vec(), w.total)
+            };
+            requests += total;
+            if samples.is_empty() {
+                continue;
+            }
+            let mut fields = vec![
+                ("endpoint".into(), Json::Str((*ep).to_string())),
+                ("count".into(), Json::Num(total as f64)),
+                ("window".into(), Json::Num(samples.len() as f64)),
+            ];
+            fields.extend(dist_fields("", samples.iter().map(|s| s.total_ns)));
+
+            // Which phase owns the p99: among the samples whose totals
+            // sit just at the 99th percentile (ranks p98–p99). The
+            // top 1% is deliberately excluded — those are the beyond-
+            // p99 outliers (e.g. connection-accept queue waits), whose
+            // totals are so large they would hijack the verdict about
+            // what a *p99* request spends its time on; the flight
+            // recorder's slowest ring is where they show up instead.
+            let mut by_total: Vec<&ReqSample> = samples.iter().collect();
+            by_total.sort_unstable_by_key(|s| s.total_ns);
+            let n = by_total.len();
+            let hi = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
+            let lo = ((0.98 * n as f64) as usize).min(hi - 1);
+            let band = &by_total[lo..hi];
+            let mut phase_sums = [0u64; Phase::ALL.len()];
+            for s in band {
+                for (i, ns) in s.phase_ns.iter().enumerate() {
+                    phase_sums[i] += ns;
+                }
+            }
+            let band_total: u64 = band.iter().map(|s| s.total_ns).sum();
+            let (owner_idx, owner_ns) = phase_sums
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, ns)| **ns)
+                .expect("Phase::ALL is non-empty");
+            let owner = if *owner_ns == 0 {
+                "untracked"
+            } else {
+                Phase::ALL[owner_idx].name()
+            };
+            fields.push(("p99_owner".into(), Json::Str(owner.to_string())));
+            fields.push((
+                "p99_owner_share".into(),
+                Json::Num(*owner_ns as f64 / band_total.max(1) as f64),
+            ));
+
+            let mut phases = Vec::new();
+            for (pi, phase) in Phase::ALL.iter().enumerate() {
+                let observed: Vec<u64> = samples
+                    .iter()
+                    .map(|s| s.phase_ns[pi])
+                    .filter(|&ns| ns > 0)
+                    .collect();
+                if observed.is_empty() {
+                    continue;
+                }
+                let mut pf = vec![("observed".into(), Json::Num(observed.len() as f64))];
+                pf.extend(dist_fields("", observed.iter().copied()));
+                phases.push((phase.name().to_string(), Json::Obj(pf)));
+            }
+            fields.push(("phases".into(), Json::Obj(phases)));
+            endpoints.push(Json::Obj(fields));
+        }
+        Json::Obj(vec![
+            ("enabled".into(), Json::Bool(self.enabled())),
+            ("requests".into(), Json::Num(requests as f64)),
+            (
+                "flight".into(),
+                Json::Obj(vec![
+                    ("recorded".into(), Json::Num(self.flight.recorded() as f64)),
+                    ("capacity".into(), Json::Num(self.flight.capacity() as f64)),
+                ]),
+            ),
+            ("endpoints".into(), Json::Arr(endpoints)),
+        ])
+        .compact()
+    }
+
+    /// `/v1/obs/flight` — the flight dump as Chrome trace-event JSON.
+    pub fn flight_json(&self) -> String {
+        self.flight.to_chrome_json()
+    }
+}
+
+fn phase_idx(phase: Phase) -> usize {
+    Phase::ALL
+        .iter()
+        .position(|p| *p == phase)
+        .expect("phase in ALL")
+}
+
+/// `{prefix}p50_us` / `p99_us` / `max_us` / `mean_us` fields over a set
+/// of nanosecond observations.
+fn dist_fields(prefix: &str, obs_ns: impl Iterator<Item = u64>) -> Vec<(String, Json)> {
+    let mut sorted: Vec<u64> = obs_ns.collect();
+    sorted.sort_unstable();
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let pct = |q: f64| -> f64 {
+        // Nearest-rank on the sorted window; exact, no bucketing.
+        let n = sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        us(sorted[idx])
+    };
+    let mean_ns = sorted.iter().sum::<u64>() as f64 / sorted.len().max(1) as f64;
+    vec![
+        (format!("{prefix}p50_us"), Json::Num(pct(0.50))),
+        (format!("{prefix}p99_us"), Json::Num(pct(0.99))),
+        (
+            format!("{prefix}max_us"),
+            Json::Num(us(*sorted.last().expect("non-empty"))),
+        ),
+        (format!("{prefix}mean_us"), Json::Num(mean_ns / 1_000.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane() -> ObsPlane {
+        let p = ObsPlane::new(obs::Obs::handle());
+        p.set_enabled(true);
+        p
+    }
+
+    /// Not a regression gate (wall-clock on shared runners is noisy) —
+    /// run with `--ignored` to re-measure the per-request budget. The
+    /// full begin + 6-phase + finish sequence costs ~0.8µs on the dev
+    /// box, the figure the <5% serve-bench overhead gate is sized from.
+    #[test]
+    #[ignore]
+    fn hotpath_cost() {
+        let p = plane();
+        let n = 100_000u32;
+        let t0 = Instant::now();
+        for i in 0..n {
+            p.begin("/v1/tile?rank=0&zoom=3&tile=1", None, i % 8, Instant::now());
+            for phase in [Phase::Cache, Phase::Index, Phase::Render, Phase::Write] {
+                let _t = PhaseTimer::start(phase);
+            }
+            note_phase(Phase::Queue, Duration::ZERO, Duration::from_nanos(100));
+            note_phase(Phase::Parse, Duration::ZERO, Duration::from_nanos(100));
+            p.finish(200, 4096);
+        }
+        println!(
+            "plane hot path: {:.0} ns/request",
+            t0.elapsed().as_nanos() as f64 / n as f64
+        );
+    }
+
+    /// Companion to `hotpath_cost`: the same sequence under worker-pool
+    /// concurrency (8 threads sharing one plane), the shape the
+    /// serve-bench overhead gate actually measures.
+    #[test]
+    #[ignore]
+    fn hotpath_cost_concurrent() {
+        let p = std::sync::Arc::new(plane());
+        let threads = 8;
+        let n = 20_000u32;
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let p = std::sync::Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for _ in 0..n {
+                        p.begin("/v1/tile?rank=0&zoom=3&tile=1", None, w, Instant::now());
+                        for phase in [Phase::Cache, Phase::Index, Phase::Render, Phase::Write] {
+                            let _t = PhaseTimer::start(phase);
+                        }
+                        note_phase(Phase::Queue, Duration::ZERO, Duration::from_nanos(100));
+                        note_phase(Phase::Parse, Duration::ZERO, Duration::from_nanos(100));
+                        p.finish(200, 4096);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = u64::from(threads) * u64::from(n);
+        println!(
+            "plane hot path (8 threads): {:.0} ns/request wall",
+            t0.elapsed().as_nanos() as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn endpoint_classes_cover_all_routes() {
+        assert_eq!(ENDPOINTS[endpoint_class("/v1/tile?rank=0&zoom=1")], "tile");
+        assert_eq!(ENDPOINTS[endpoint_class("/v1/query")], "query");
+        assert_eq!(ENDPOINTS[endpoint_class("/metrics")], "metrics");
+        assert_eq!(ENDPOINTS[endpoint_class("/v1/obs/flight")], "obs");
+        assert_eq!(ENDPOINTS[endpoint_class("/nowhere")], "other");
+    }
+
+    #[test]
+    fn disabled_plane_records_nothing() {
+        let p = ObsPlane::new(obs::Obs::handle());
+        assert!(p.begin("/v1/info", None, 0, Instant::now()).is_none());
+        {
+            let _t = PhaseTimer::start(Phase::Render);
+        }
+        p.finish(200, 10);
+        assert_eq!(p.flight().recorded(), 0);
+        let v = Json::parse(&p.endpoints_json()).unwrap();
+        assert_eq!(v.get("requests").unwrap().as_u64().unwrap(), 0);
+    }
+
+    #[test]
+    fn begin_phase_finish_lands_in_window_and_flight() {
+        let p = plane();
+        let id = p
+            .begin("/v1/tile?rank=0", Some("my-id".into()), 3, Instant::now())
+            .unwrap();
+        assert_eq!(id, "my-id");
+        {
+            let _t = PhaseTimer::start(Phase::Cache);
+        }
+        {
+            let _t = PhaseTimer::start(Phase::Render);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        p.finish(200, 99);
+
+        assert_eq!(p.flight().recorded(), 1);
+        let t = &p.flight().slowest()[0];
+        assert_eq!(t.trace_id, "my-id");
+        assert_eq!(t.endpoint, "tile");
+        assert_eq!(t.worker, 3);
+        assert_eq!(t.bytes, 99);
+        assert!(t.phase_us(Phase::Render) >= 1_000, "{t:?}");
+
+        let v = Json::parse(&p.endpoints_json()).unwrap();
+        let eps = v.get("endpoints").unwrap().as_arr().unwrap();
+        assert_eq!(eps.len(), 1);
+        let tile = &eps[0];
+        assert_eq!(tile.get("endpoint").unwrap().as_str().unwrap(), "tile");
+        assert_eq!(tile.get("count").unwrap().as_u64().unwrap(), 1);
+        let render = tile.get("phases").unwrap().get("render").unwrap();
+        assert!(render.get("p50_us").unwrap().as_f64().unwrap() >= 1_000.0);
+    }
+
+    #[test]
+    fn generated_ids_fill_in_when_client_sends_none() {
+        let p = plane();
+        let id = p.begin("/v1/info", None, 0, Instant::now()).unwrap();
+        assert!(id.starts_with("req-"), "{id}");
+        p.finish(200, 0);
+    }
+
+    #[test]
+    fn phase_timer_is_inert_without_active_request() {
+        // No request on this thread: timers must not panic or record.
+        let _t = PhaseTimer::start(Phase::Index);
+        drop(_t);
+        note_phase(Phase::Queue, Duration::ZERO, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn histograms_reach_the_shared_registry() {
+        let obs = obs::Obs::handle();
+        let p = ObsPlane::new(obs.clone());
+        p.set_enabled(true);
+        p.begin("/v1/query", None, 1, Instant::now());
+        p.finish(200, 5);
+        let snap = obs.snapshot();
+        let h = snap.hists.get("serve.req.query.total_ns").unwrap();
+        assert_eq!(h.count, 1);
+        let g = snap.gauges.get("serve.http.in_flight").unwrap();
+        assert_eq!(g.value, 0);
+        assert_eq!(g.high, 1);
+    }
+}

@@ -13,12 +13,13 @@ use std::sync::OnceLock;
 
 use analysis::TraceAnalyzer;
 use jumpshot::{renderer_by_name, PathOverlay, RenderOptions};
-use obs::ObsHandle;
+use obs::{ObsHandle, Phase};
 use pilot_vis::json::Json;
 use slog2::{Drawable, Query, Slog2Error, Slog2File, TimeWindow};
 
 use crate::cache::{TileCache, TileKey};
 use crate::index::TimelineIndex;
+use crate::obsplane::{ObsPlane, PhaseTimer};
 
 /// Deepest zoom level the tile endpoint accepts (`2^24` tiles is far
 /// below a second per tile on any real trace).
@@ -40,6 +41,7 @@ pub struct TimelineService {
     index: TimelineIndex,
     cache: TileCache,
     obs: ObsHandle,
+    plane: ObsPlane,
     digest: u64,
     /// Windows with at most this many per-rank drawables answer in
     /// detail; denser windows answer with preview aggregates.
@@ -47,6 +49,10 @@ pub struct TimelineService {
     queries: AtomicU64,
     diagnosis: OnceLock<String>,
     baseline: Option<Baseline>,
+    /// Test-only: stretch every tile compute by this much (under the
+    /// `render` phase) so integration tests can force a slow request
+    /// into the flight recorder.
+    test_tile_delay: Option<std::time::Duration>,
 }
 
 /// A registered before-trace for `/v1/diff`: the comparison is a pure
@@ -82,14 +88,37 @@ impl TimelineService {
         TimelineService {
             index: TimelineIndex::build(&file),
             cache: TileCache::new(4096, obs.clone()),
+            plane: ObsPlane::new(obs.clone()),
             obs,
             digest,
             detail_limit: 512,
             queries: AtomicU64::new(0),
             diagnosis: OnceLock::new(),
             baseline: None,
+            test_tile_delay: None,
             file,
         }
+    }
+
+    /// The request-level observability plane (disabled until
+    /// [`enable_tracing`](Self::enable_tracing)).
+    pub fn plane(&self) -> &ObsPlane {
+        &self.plane
+    }
+
+    /// Turn on request tracing: trace IDs, phase timings, per-endpoint
+    /// histograms, and the flight recorder. Response bodies are
+    /// unaffected — tiles stay byte-identical with tracing on.
+    pub fn enable_tracing(&self) {
+        self.plane.set_enabled(true);
+    }
+
+    /// Test-only hook: make every tile compute sleep for `delay` so a
+    /// request is guaranteed to be slow enough to land in the flight
+    /// recorder's slowest ring.
+    #[doc(hidden)]
+    pub fn set_test_tile_delay(&mut self, delay: std::time::Duration) {
+        self.test_tile_delay = Some(delay);
     }
 
     /// Register a baseline trace for `/v1/diff` (call before wrapping
@@ -267,6 +296,8 @@ impl TimelineService {
         let all: Vec<u32> = (0..self.index.nranks() as u32).collect();
         let ranks = ranks.unwrap_or(&all);
         let rows: Vec<Json> = ranks.iter().map(|&r| self.rank_json(r, w)).collect();
+        // Serializing the assembled tree is response-building work.
+        let _render = PhaseTimer::start(Phase::Render);
         Json::Obj(vec![
             ("window".into(), window_json(echo)),
             ("ranks".into(), Json::Arr(rows)),
@@ -275,15 +306,27 @@ impl TimelineService {
     }
 
     fn rank_json(&self, rank: u32, w: TimeWindow) -> Json {
+        // Index phase: every interval-index scan for this rank.
+        let index_phase = PhaseTimer::start(Phase::Index);
+        let arrows = self.index.rank_arrows(rank, w);
+        let count = self.index.rank_count(rank, w);
+        let detail = (count <= self.detail_limit).then(|| self.index.rank_drawables(rank, w));
+        let preview = if detail.is_none() {
+            Some(self.index.rank_preview(rank, w))
+        } else {
+            None
+        };
+        drop(index_phase);
+
+        // Render phase: assembling the JSON tree from the gathered data.
+        let _render = PhaseTimer::start(Phase::Render);
         let name = self
             .file
             .timelines
             .get(rank as usize)
             .cloned()
             .unwrap_or_default();
-        let arrows: Vec<Json> = self
-            .index
-            .rank_arrows(rank, w)
+        let arrows: Vec<Json> = arrows
             .into_iter()
             .map(|a| {
                 Json::Obj(vec![
@@ -300,16 +343,15 @@ impl TimelineService {
                 ])
             })
             .collect();
-        let count = self.index.rank_count(rank, w);
         let mut fields = vec![
             ("rank".into(), Json::Num(rank as f64)),
             ("name".into(), Json::Str(name)),
             ("count".into(), Json::Num(count as f64)),
         ];
-        if count <= self.detail_limit {
+        if let Some(drawables) = detail {
             let mut states = Vec::new();
             let mut events = Vec::new();
-            for d in self.index.rank_drawables(rank, w) {
+            for d in drawables {
                 match d {
                     Drawable::State(s) => states.push(Json::Obj(vec![
                         ("category".into(), Json::Num(f64::from(s.category.as_u32()))),
@@ -330,7 +372,7 @@ impl TimelineService {
             fields.push(("states".into(), Json::Arr(states)));
             fields.push(("events".into(), Json::Arr(events)));
         } else {
-            let preview = self.index.rank_preview(rank, w);
+            let preview = preview.expect("preview gathered when not detail");
             fields.push(("mode".into(), Json::Str("preview".into())));
             fields.push((
                 "preview".into(),
@@ -364,10 +406,13 @@ impl TimelineService {
             zoom,
             tile,
         };
-        Some(
-            self.cache
-                .get_or_compute(key, || self.query_json(w, Some(&[rank]))),
-        )
+        Some(self.cache.get_or_compute(key, || {
+            if let Some(delay) = self.test_tile_delay {
+                let _render = PhaseTimer::start(Phase::Render);
+                std::thread::sleep(delay);
+            }
+            self.query_json(w, Some(&[rank]))
+        }))
     }
 
     /// `/v1/render` — dispatch to a [`jumpshot::Renderer`] backend by
@@ -385,8 +430,10 @@ impl TimelineService {
         let mut opts = RenderOptions::default().with_width(width.max(1));
         opts.window = window;
         if overlay {
+            let _index = PhaseTimer::start(Phase::Index);
             opts.overlay = Some(self.critical_overlay());
         }
+        let _render = PhaseTimer::start(Phase::Render);
         Some((r.content_type(), r.render(&self.file, &opts)))
     }
 
@@ -419,9 +466,11 @@ impl TimelineService {
         }
     }
 
-    /// `/v1/stats` — query and cache counters.
+    /// `/v1/stats` — query and cache counters, including single-flight
+    /// waits and per-shard occupancy (current + busiest shard's peak).
     pub fn stats_json(&self) -> String {
         let (hit, miss, eviction) = self.cache.counters();
+        let occupancy = self.cache.shard_occupancy();
         Json::Obj(vec![
             (
                 "queries".into(),
@@ -430,7 +479,22 @@ impl TimelineService {
             ("cache_hits".into(), Json::Num(hit as f64)),
             ("cache_misses".into(), Json::Num(miss as f64)),
             ("cache_evictions".into(), Json::Num(eviction as f64)),
-            ("cache_entries".into(), Json::Num(self.cache.len() as f64)),
+            (
+                "cache_entries".into(),
+                Json::Num(occupancy.iter().sum::<usize>() as f64),
+            ),
+            (
+                "cache_singleflight_waits".into(),
+                Json::Num(self.cache.singleflight_waits() as f64),
+            ),
+            (
+                "cache_shard_occupancy".into(),
+                Json::Arr(occupancy.iter().map(|&n| Json::Num(n as f64)).collect()),
+            ),
+            (
+                "cache_shard_occupancy_high".into(),
+                Json::Num(self.cache.shard_occupancy_high() as f64),
+            ),
         ])
         .compact()
     }
