@@ -11,6 +11,7 @@
 //! cargo run -p bench --bin repro --release -- diagnose [--workload thumbnail|lab2|instance-a|instance-b]
 //! cargo run -p bench --bin repro --release -- diff [<before.pslog2> <after.pslog2>] [--workload instance-a-vs-fixed|instance-b-vs-fixed]
 //! cargo run -p bench --bin repro --release -- bench-diff [--baseline DIR] [--current DIR] [--max-regress-pct N] [--warn-only]
+//! cargo run -p bench --bin repro --release -- serve-chaos [--seed S] [--runs R] [--ops N]
 //! ```
 //!
 //! `--parallel N` sets the CLOG2→SLOG2 converter's worker-thread count
@@ -496,6 +497,10 @@ struct ServePass {
     cpu_ticks: Option<u64>,
     errors: usize,
     mismatches: usize,
+    /// 429/503 load-shed rejects the clients retried through.
+    rejects: usize,
+    /// Rejects missing the `Retry-After` header (always a failure).
+    bad_rejects: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -569,14 +574,16 @@ fn run_serve_pass(
     use std::time::Instant;
 
     let svc = timeline::TimelineService::load(workload).expect("load serve workload");
+    let app = timeline::App::single(svc);
     if traced {
-        svc.enable_tracing();
+        app.enable_tracing();
     }
-    let svc = Arc::new(svc);
-    let server = timeline::serve(Arc::clone(&svc), "127.0.0.1:0", 8).expect("bind server");
+    let server = timeline::serve(Arc::clone(&app), "127.0.0.1:0", 8).expect("bind server");
     let addr = format!("127.0.0.1:{}", server.port());
     let errors = Arc::new(AtomicUsize::new(0));
     let mismatches = Arc::new(AtomicUsize::new(0));
+    let rejects = Arc::new(AtomicUsize::new(0));
+    let bad_rejects = Arc::new(AtomicUsize::new(0));
     let cpu_before = process_cpu_ticks();
     let wall = Instant::now();
     let handles: Vec<_> = (0..clients.max(1))
@@ -585,6 +592,8 @@ fn run_serve_pass(
             let requests = Arc::clone(requests);
             let errors = Arc::clone(&errors);
             let mismatches = Arc::clone(&mismatches);
+            let rejects = Arc::clone(&rejects);
+            let bad_rejects = Arc::clone(&bad_rejects);
             std::thread::spawn(move || -> Vec<f64> {
                 let mut latencies_ms = Vec::with_capacity(rounds * requests.len());
                 let mut client = match timeline::Client::connect(&addr) {
@@ -596,17 +605,51 @@ fn run_serve_pass(
                 };
                 for _ in 0..rounds.max(1) {
                     for (path, want) in requests.iter() {
-                        let start = Instant::now();
-                        match client.get(path) {
-                            Ok((200, body)) => {
-                                latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
-                                if &body != want {
-                                    mismatches.fetch_add(1, Ordering::SeqCst);
+                        // A loaded server may shed the request (429 from
+                        // the accept queue, 503 past the deadline); a
+                        // well-behaved client backs off and retries, and
+                        // only admitted (200) requests count as latency
+                        // samples. A reject without Retry-After is a
+                        // server bug, counted separately.
+                        let mut admitted = false;
+                        for _attempt in 0..25 {
+                            let start = Instant::now();
+                            match client.send("GET", path, &[], None) {
+                                Ok(resp) if resp.status == 200 => {
+                                    latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                                    if resp.body != *want {
+                                        mismatches.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    admitted = true;
+                                    break;
+                                }
+                                Ok(resp) if matches!(resp.status, 429 | 503) => {
+                                    rejects.fetch_add(1, Ordering::SeqCst);
+                                    if resp.header("retry-after").is_none() {
+                                        bad_rejects.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    if resp.closed {
+                                        match timeline::Client::connect(&addr) {
+                                            Ok(c) => client = c,
+                                            Err(_) => break,
+                                        }
+                                    }
+                                    std::thread::sleep(std::time::Duration::from_millis(5));
+                                }
+                                Ok(_) => break,
+                                Err(_) => {
+                                    // Connection died (e.g. shed + close
+                                    // mid-parse); reconnect and retry.
+                                    match timeline::Client::connect(&addr) {
+                                        Ok(c) => client = c,
+                                        Err(_) => break,
+                                    }
+                                    std::thread::sleep(std::time::Duration::from_millis(5));
                                 }
                             }
-                            Ok(_) | Err(_) => {
-                                errors.fetch_add(1, Ordering::SeqCst);
-                            }
+                        }
+                        if !admitted {
+                            errors.fetch_add(1, Ordering::SeqCst);
                         }
                     }
                 }
@@ -627,7 +670,7 @@ fn run_serve_pass(
         let eps = loop {
             let (_, body) = probe.get("/v1/obs/endpoints").expect("obs endpoints");
             let v = Json::parse(&body).expect("endpoints json");
-            let settled = expect_tiles.is_none_or(|e| server_tile_count(&v) == e);
+            let settled = expect_tiles.is_none_or(|e| server_tile_count(&v) >= e);
             if settled || Instant::now() >= deadline {
                 break v;
             }
@@ -650,6 +693,8 @@ fn run_serve_pass(
         cpu_ticks,
         errors: errors.load(Ordering::SeqCst),
         mismatches: mismatches.load(Ordering::SeqCst),
+        rejects: rejects.load(Ordering::SeqCst),
+        bad_rejects: bad_rejects.load(Ordering::SeqCst),
         hits: count("cache_hits"),
         misses: count("cache_misses"),
         evictions: count("cache_evictions"),
@@ -747,8 +792,8 @@ fn serve_bench(clients: usize, obs_mode: bool, max_overhead_pct: f64) -> bool {
         pass.hits, pass.misses, pass.evictions, pass.singleflight_waits
     );
     println!(
-        "  errors {}, parity mismatches {}",
-        pass.errors, pass.mismatches
+        "  errors {}, parity mismatches {}, shed rejects retried {} (missing Retry-After: {})",
+        pass.errors, pass.mismatches, pass.rejects, pass.bad_rejects
     );
 
     let mut fields: Vec<(String, Json)> = vec![
@@ -771,10 +816,13 @@ fn serve_bench(clients: usize, obs_mode: bool, max_overhead_pct: f64) -> bool {
             "parity_mismatches".into(),
             Json::Num(pass.mismatches as f64),
         ),
+        ("shed_rejects".into(), Json::Num(pass.rejects as f64)),
+        ("bad_rejects".into(), Json::Num(pass.bad_rejects as f64)),
     ];
 
     let mut ok = pass.errors == 0
         && pass.mismatches == 0
+        && pass.bad_rejects == 0
         && hit_rate >= 0.9
         && !pass.latencies_ms.is_empty();
 
@@ -859,13 +907,15 @@ fn serve_bench(clients: usize, obs_mode: bool, max_overhead_pct: f64) -> bool {
             .expect("tile endpoint in /v1/obs/endpoints");
 
         // The count oracle: the server must have finished exactly the
-        // requests the clients measured (probes hit other endpoints).
+        // requests the clients measured, plus any shed attempts it
+        // rejected on the tile endpoint (probes hit other endpoints).
         let server_requests = tile.get("count").and_then(Json::as_u64).unwrap_or(0);
         fields.push(("server_requests".into(), Json::Num(server_requests as f64)));
-        if server_requests != pass.latencies_ms.len() as u64 {
+        let admitted = pass.latencies_ms.len() as u64;
+        if server_requests < admitted || server_requests > admitted + pass.rejects as u64 {
             eprintln!(
-                "serve-bench FAILED: server finished {server_requests} tile requests, clients measured {}",
-                pass.latencies_ms.len()
+                "serve-bench FAILED: server finished {server_requests} tile requests, clients measured {admitted} admitted + {} rejects",
+                pass.rejects
             );
             ok = false;
         }
@@ -924,6 +974,549 @@ fn serve_bench(clients: usize, obs_mode: bool, max_overhead_pct: f64) -> bool {
         );
     }
     ok
+}
+
+/// splitmix64 — the chaos harness's only randomness source, so the
+/// whole adversarial schedule is a pure function of the seed.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Everything one chaos run observes. The `transcript` is the
+/// deterministic core — a pure function of the seed — and its FNV-1a
+/// digest is what must match across `--runs`. Everything else is
+/// timing-dependent and reported outside the digest.
+#[derive(Default)]
+struct ChaosObserved {
+    parity_checks: usize,
+    malformed: usize,
+    status_2xx: usize,
+    status_4xx: usize,
+    rejects_429: usize,
+    rejects_503: usize,
+    bad_rejects: usize,
+    unexpected_status: usize,
+    loris_total: usize,
+    loris_408: usize,
+    garbage_total: usize,
+    garbage_clean: usize,
+    reconnects: usize,
+}
+
+/// One seeded chaos run against a fresh in-process server. Returns the
+/// transcript digest and the observation report, or `None` when an
+/// invariant failed (details on stderr).
+fn chaos_run(seed: u64, ops: usize) -> Option<(u64, Vec<(String, pilot_vis::json::Json)>)> {
+    use pilot_vis::json::Json;
+    use std::io::{Read as _, Write as _};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use timeline::{App, Limits};
+
+    // Deterministic workload + upload bodies, all derived in-memory.
+    let clog = workloads::synthetic_clog(4, 800);
+    let (slog, _) = convert(&clog, &ConvertOptions::default());
+    let oracle = timeline::TimelineService::from_file(slog.clone());
+    let workload_digest = timeline::fnv1a(&slog.to_bytes());
+
+    let good_bodies: Vec<Vec<u8>> = (0..3)
+        .map(|k| {
+            let c = workloads::synthetic_clog(2, 120 + 60 * k);
+            convert(&c, &ConvertOptions::default()).0.to_bytes()
+        })
+        .collect();
+    let torn_bodies: Vec<Vec<u8>> = (0..2)
+        .map(|k| {
+            let whole = workloads::synthetic_clog(2, 150 + 50 * k).to_bytes();
+            whole[..whole.len() - whole.len() / 3].to_vec()
+        })
+        .collect();
+    let max_body = good_bodies.iter().map(Vec::len).max().unwrap_or(0);
+
+    // Budget fits the pinned default plus ~2 uploads: replacement and
+    // LRU eviction both happen under the op mix.
+    let default_bytes = slog.to_bytes().len();
+    let limits = Limits {
+        deadline: Duration::from_millis(300),
+        queue_shed: Duration::from_millis(100),
+        queue_cap: 8,
+        max_request_line: 1024,
+        max_header_bytes: 2048,
+        max_body_bytes: max_body + (64 << 10),
+        header_deadline: Duration::from_millis(150),
+        drain_deadline: Duration::from_secs(5),
+        budget_bytes: default_bytes + max_body * 5 / 2,
+    };
+
+    let app = Arc::new(App::new(timeline::TimelineService::from_file(slog), limits));
+    app.enable_tracing();
+    let mut server = timeline::serve(Arc::clone(&app), "127.0.0.1:0", 4).expect("bind chaos");
+    let addr = format!("127.0.0.1:{}", server.port());
+
+    // The deterministic transcript: one line per op, seeded choices
+    // only — no timing, no statuses.
+    let mut transcript = format!("chaos seed={seed} ops={ops} workload={workload_digest:016x}\n");
+    for (i, b) in good_bodies.iter().enumerate() {
+        transcript.push_str(&format!("body good{i}={:016x}\n", timeline::fnv1a(b)));
+    }
+    for (i, b) in torn_bodies.iter().enumerate() {
+        transcript.push_str(&format!("body torn{i}={:016x}\n", timeline::fnv1a(b)));
+    }
+
+    let mut rng = SplitMix64(seed);
+    let mut obs = ChaosObserved::default();
+    let mut client = timeline::Client::connect(&addr).expect("chaos client");
+    let query_paths = [
+        "/v1/info",
+        "/v1/legend",
+        "/v1/stats",
+        "/v1/traces",
+        "/v1/query?t0=0&t1=50",
+        "/v1/query?t0=10&t1=20&ranks=0,2",
+        "/v1/tile?rank=0&zoom=2&tile=1",
+        "/v1/tile?rank=1&zoom=3&tile=4",
+        "/v1/tile?rank=3&zoom=1&tile=0",
+        "/v1/tile?rank=2&zoom=4&tile=9",
+    ];
+    // Uploaded-trace id pool: small, so replace / delete / evict / race
+    // all collide on the same ids.
+    let id_pool = ["u0", "u1", "u2", "u3"];
+
+    // Classify a response on the persistent client; reconnects on
+    // transport errors (the server closes after caps/shed rejects).
+    let roundtrip = |client: &mut timeline::Client,
+                     obs: &mut ChaosObserved,
+                     method: &str,
+                     path: &str,
+                     body: Option<&[u8]>|
+     -> Option<timeline::HttpResponse> {
+        match client.send(method, path, &[], body) {
+            Ok(resp) => {
+                match resp.status {
+                    200 | 201 => obs.status_2xx += 1,
+                    429 => obs.rejects_429 += 1,
+                    503 => obs.rejects_503 += 1,
+                    400..=499 => obs.status_4xx += 1,
+                    _ => obs.unexpected_status += 1,
+                }
+                if matches!(resp.status, 429 | 503) && resp.header("retry-after").is_none() {
+                    obs.bad_rejects += 1;
+                }
+                let closed = resp.closed;
+                if closed {
+                    obs.reconnects += 1;
+                    *client = timeline::Client::connect(&addr).ok()?;
+                }
+                Some(resp)
+            }
+            Err(_) => {
+                obs.malformed += 1;
+                obs.reconnects += 1;
+                *client = timeline::Client::connect(&addr).ok()?;
+                None
+            }
+        }
+    };
+
+    for op in 0..ops {
+        let dice = rng.below(100);
+        if dice < 45 {
+            // Query: sometimes against an uploaded trace id.
+            let path_idx = rng.below(query_paths.len() as u64) as usize;
+            let base = query_paths[path_idx];
+            let on_upload = rng.below(3) == 0;
+            let sel = rng.below(id_pool.len() as u64) as usize;
+            let path = if on_upload {
+                let sep = if base.contains('?') { '&' } else { '?' };
+                format!("{base}{sep}trace={}", id_pool[sel])
+            } else {
+                base.to_string()
+            };
+            transcript.push_str(&format!("op{op} query {path}\n"));
+            if let Some(resp) = roundtrip(&mut client, &mut obs, "GET", &path, None) {
+                // Byte parity against the oracle for default-trace
+                // tiles (cache + index + HTTP must all be invisible).
+                if !on_upload && base.starts_with("/v1/tile") && resp.status == 200 {
+                    let q: Vec<u64> = base
+                        .split(['=', '&'])
+                        .filter_map(|s| s.parse().ok())
+                        .collect();
+                    let want = oracle.tile_json(q[0] as u32, q[1] as u8, q[2] as u32);
+                    if want.as_deref().map(String::as_str) != Some(resp.body.as_str()) {
+                        eprintln!("chaos op{op}: tile parity mismatch on {base}");
+                        return None;
+                    }
+                    obs.parity_checks += 1;
+                }
+            }
+        } else if dice < 58 {
+            let b = rng.below(good_bodies.len() as u64) as usize;
+            let id = id_pool[rng.below(id_pool.len() as u64) as usize];
+            transcript.push_str(&format!("op{op} upload id={id} body=good{b}\n"));
+            roundtrip(
+                &mut client,
+                &mut obs,
+                "POST",
+                &format!("/v1/traces?id={id}"),
+                Some(&good_bodies[b]),
+            );
+        } else if dice < 68 {
+            // Torn upload: must register as salvaged (201) or be a
+            // clean client error — never a 500.
+            let b = rng.below(torn_bodies.len() as u64) as usize;
+            let id = id_pool[rng.below(id_pool.len() as u64) as usize];
+            transcript.push_str(&format!("op{op} torn-upload id={id} body=torn{b}\n"));
+            if let Some(resp) = roundtrip(
+                &mut client,
+                &mut obs,
+                "POST",
+                &format!("/v1/traces?id={id}"),
+                Some(&torn_bodies[b]),
+            ) {
+                if resp.status >= 500 {
+                    eprintln!("chaos op{op}: torn upload answered {}", resp.status);
+                    return None;
+                }
+            }
+        } else if dice < 76 {
+            let ghost = rng.below(4) == 0;
+            let id = if ghost {
+                "ghost".to_string()
+            } else {
+                id_pool[rng.below(id_pool.len() as u64) as usize].to_string()
+            };
+            transcript.push_str(&format!("op{op} delete id={id}\n"));
+            roundtrip(
+                &mut client,
+                &mut obs,
+                "DELETE",
+                &format!("/v1/traces/{id}"),
+                None,
+            );
+        } else if dice < 84 {
+            // Raw byte garbage at the socket: the worker must answer a
+            // well-formed 4xx or close cleanly, and survive.
+            let len = 1 + rng.below(600) as usize;
+            let garbage: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+            transcript.push_str(&format!(
+                "op{op} garbage bytes={len} digest={:016x}\n",
+                timeline::fnv1a(&garbage)
+            ));
+            obs.garbage_total += 1;
+            if let Ok(mut s) = std::net::TcpStream::connect(&addr) {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(3)));
+                let _ = s.write_all(&garbage);
+                let _ = s.shutdown(std::net::Shutdown::Write);
+                let mut resp = Vec::new();
+                let _ = s.read_to_end(&mut resp);
+                if resp.is_empty() {
+                    obs.garbage_clean += 1;
+                } else if resp.starts_with(b"HTTP/1.1 4") || resp.starts_with(b"HTTP/1.1 5") {
+                    obs.status_4xx += 1;
+                } else {
+                    eprintln!(
+                        "chaos op{op}: garbage got a non-error response: {:?}",
+                        String::from_utf8_lossy(&resp[..resp.len().min(60)])
+                    );
+                    return None;
+                }
+            }
+        } else if dice < 91 {
+            // Slow-loris: a partial request line then silence. The
+            // server must cut the connection off promptly — 408 (or a
+            // 429 if the connection was shed before reading) — instead
+            // of pinning a worker until the client gives up.
+            transcript.push_str(&format!("op{op} slow-loris\n"));
+            obs.loris_total += 1;
+            if let Ok(mut s) = std::net::TcpStream::connect(&addr) {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(6)));
+                let _ = s.write_all(b"GET /v1/quer");
+                let started = Instant::now();
+                let mut resp = Vec::new();
+                let _ = s.read_to_end(&mut resp);
+                let cut = started.elapsed() < Duration::from_secs(4);
+                if resp.starts_with(b"HTTP/1.1 408") {
+                    obs.loris_408 += 1;
+                } else if resp.starts_with(b"HTTP/1.1 4") {
+                    obs.status_4xx += 1;
+                } else if !resp.is_empty() {
+                    eprintln!(
+                        "chaos op{op}: slow-loris got {:?}",
+                        String::from_utf8_lossy(&resp[..resp.len().min(60)])
+                    );
+                    return None;
+                }
+                if !cut {
+                    eprintln!("chaos op{op}: slow-loris pinned a worker past the stall deadline");
+                    return None;
+                }
+            }
+        } else if dice < 96 {
+            // Burst overload: 16 one-shot clients at once against a
+            // queue of 8. Every response must be 200, 429, or 503 —
+            // rejects with Retry-After — and none may hang.
+            let path_idx = rng.below(query_paths.len() as u64) as usize;
+            let path = query_paths[path_idx].to_string();
+            transcript.push_str(&format!("op{op} burst {path}\n"));
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let path = path.clone();
+                    std::thread::spawn(move || -> Result<(u16, bool), String> {
+                        let mut c = timeline::Client::connect(&addr)
+                            .map_err(|e| format!("connect: {e}"))?;
+                        match c.send("GET", &path, &[], None) {
+                            Ok(r) => Ok((r.status, r.header("retry-after").is_some())),
+                            Err(e) => Err(format!("send: {e}")),
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join().expect("burst thread") {
+                    Ok((200, _)) => obs.status_2xx += 1,
+                    Ok((429, retry)) => {
+                        obs.rejects_429 += 1;
+                        if !retry {
+                            obs.bad_rejects += 1;
+                        }
+                    }
+                    Ok((503, retry)) => {
+                        obs.rejects_503 += 1;
+                        if !retry {
+                            obs.bad_rejects += 1;
+                        }
+                    }
+                    Ok((other, _)) if (400..500).contains(&other) => obs.status_4xx += 1,
+                    Ok((other, _)) => {
+                        eprintln!("chaos op{op}: burst got status {other}");
+                        return None;
+                    }
+                    // A reject can land while the request is still being
+                    // written; the resulting broken pipe is a clean shed.
+                    Err(_) => obs.reconnects += 1,
+                }
+            }
+        } else {
+            // Evict-while-querying race: hammer one uploaded id from a
+            // side thread while re-uploading over the budget so it gets
+            // evicted mid-flight. In-flight queries must finish from
+            // their own Arc — 200, 404, or a shed, never a tear.
+            let victim = id_pool[rng.below(id_pool.len() as u64) as usize];
+            let b = rng.below(good_bodies.len() as u64) as usize;
+            transcript.push_str(&format!("op{op} evict-race victim={victim} body=good{b}\n"));
+            let _ = roundtrip(
+                &mut client,
+                &mut obs,
+                "POST",
+                &format!("/v1/traces?id={victim}"),
+                Some(&good_bodies[b]),
+            );
+            let racer = {
+                let addr = addr.clone();
+                let victim = victim.to_string();
+                std::thread::spawn(move || -> Result<Vec<u16>, String> {
+                    let mut c = timeline::Client::connect(&addr).map_err(|e| e.to_string())?;
+                    let mut statuses = Vec::new();
+                    for _ in 0..10 {
+                        match c.send(
+                            "GET",
+                            &format!("/v1/query?t0=0&t1=30&trace={victim}"),
+                            &[],
+                            None,
+                        ) {
+                            Ok(r) => {
+                                let closed = r.closed;
+                                statuses.push(r.status);
+                                if closed {
+                                    c = timeline::Client::connect(&addr)
+                                        .map_err(|e| e.to_string())?;
+                                }
+                            }
+                            Err(e) => return Err(e.to_string()),
+                        }
+                    }
+                    Ok(statuses)
+                })
+            };
+            // Evict the victim by uploading fresh traces under other
+            // ids until the budget pushes it out (LRU), then racing on.
+            for k in 0..2u64 {
+                let other =
+                    id_pool[((rng.below(id_pool.len() as u64) + k) as usize + 1) % id_pool.len()];
+                let gb = rng.below(good_bodies.len() as u64) as usize;
+                let _ = roundtrip(
+                    &mut client,
+                    &mut obs,
+                    "POST",
+                    &format!("/v1/traces?id={other}"),
+                    Some(&good_bodies[gb]),
+                );
+            }
+            match racer.join().expect("racer thread") {
+                Ok(statuses) => {
+                    for s in statuses {
+                        match s {
+                            200 => obs.status_2xx += 1,
+                            404 => obs.status_4xx += 1,
+                            429 => obs.rejects_429 += 1,
+                            503 => obs.rejects_503 += 1,
+                            other => {
+                                eprintln!("chaos op{op}: evict race got status {other}");
+                                return None;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("chaos op{op}: evict racer transport error: {e}");
+                    return None;
+                }
+            }
+        }
+    }
+
+    // Liveness probe: after the whole mix, a fresh client gets a 200.
+    let mut probe = timeline::Client::connect(&addr).expect("liveness probe");
+    let (alive_status, _) = probe.get("/v1/info").expect("liveness request");
+    drop(probe);
+    drop(client);
+
+    // Graceful drain must converge with nothing abandoned.
+    let report = server.drain(std::time::Duration::from_secs(10));
+
+    // Post-drain ledger: every gauge balanced, no worker ever panicked,
+    // the registry within budget.
+    let snap = app.obs_handle().snapshot();
+    let gauge = |name: &str| snap.gauges.get(name).map(|g| g.value).unwrap_or(0);
+    let occupancy = app.registry().occupancy();
+
+    let invariants: Vec<(&str, bool)> = vec![
+        (
+            "no_worker_panics",
+            snap.counter("serve.http.worker_panic") == 0,
+        ),
+        ("no_malformed_responses", obs.malformed == 0),
+        ("no_unexpected_statuses", obs.unexpected_status == 0),
+        ("rejects_carry_retry_after", obs.bad_rejects == 0),
+        ("parity_held", obs.parity_checks > 0),
+        ("server_alive_after_mix", alive_status == 200),
+        ("drained_cleanly", report.drained),
+        ("no_leaked_in_flight", gauge("serve.http.in_flight") == 0),
+        (
+            "no_leaked_queue_depth",
+            gauge("serve.http.queue_depth") == 0,
+        ),
+        ("no_leaked_connections", gauge("serve.http.open_conns") == 0),
+        (
+            "registry_within_budget",
+            occupancy.bytes <= occupancy.budget,
+        ),
+    ];
+    let mut ok = true;
+    for (name, held) in &invariants {
+        if !held {
+            eprintln!("chaos INVARIANT FAILED: {name}");
+            ok = false;
+        }
+    }
+    if !ok {
+        return None;
+    }
+
+    let digest = timeline::fnv1a(transcript.as_bytes());
+    let fields: Vec<(String, Json)> = vec![
+        ("status_2xx".into(), Json::Num(obs.status_2xx as f64)),
+        ("status_4xx".into(), Json::Num(obs.status_4xx as f64)),
+        ("rejects_429".into(), Json::Num(obs.rejects_429 as f64)),
+        ("rejects_503".into(), Json::Num(obs.rejects_503 as f64)),
+        ("parity_checks".into(), Json::Num(obs.parity_checks as f64)),
+        ("loris_cut_off".into(), Json::Num(obs.loris_408 as f64)),
+        ("garbage_ops".into(), Json::Num(obs.garbage_total as f64)),
+        ("reconnects".into(), Json::Num(obs.reconnects as f64)),
+        (
+            "registry_evictions".into(),
+            Json::Num(occupancy.evictions as f64),
+        ),
+        ("registry_bytes".into(), Json::Num(occupancy.bytes as f64)),
+        (
+            "invariants".into(),
+            Json::Obj(
+                invariants
+                    .iter()
+                    .map(|(n, h)| ((*n).to_string(), Json::Bool(*h)))
+                    .collect(),
+            ),
+        ),
+    ];
+    Some((digest, fields))
+}
+
+/// `repro serve-chaos`: drive a seeded adversarial client mix —
+/// queries with oracle byte-parity, whole and torn uploads, deletes,
+/// raw byte garbage, slow-loris stalls, burst overload past the accept
+/// queue, and evict-while-querying races — against an in-process
+/// `pilotd` with tight limits. Asserts the robustness invariants (no
+/// panics, no leaked connections or gauges, every response well-formed,
+/// rejects carry `Retry-After`, graceful drain converges) and that the
+/// seeded schedule digest is identical across `--runs` repetitions.
+/// Writes `out/CHAOS.json`.
+fn serve_chaos(seed: u64, runs: usize, ops: usize) -> bool {
+    use pilot_vis::json::Json;
+    println!("# serve-chaos — seeded adversarial mix, seed {seed}, {ops} ops x {runs} run(s)");
+    let mut digests: Vec<u64> = Vec::new();
+    let mut last_fields = None;
+    for run in 0..runs.max(1) {
+        let started = std::time::Instant::now();
+        match chaos_run(seed, ops) {
+            Some((digest, fields)) => {
+                println!(
+                    "  run {run}: digest {digest:016x} in {:.2}s",
+                    started.elapsed().as_secs_f64()
+                );
+                digests.push(digest);
+                last_fields = Some(fields);
+            }
+            None => {
+                eprintln!("serve-chaos FAILED: invariant violated in run {run} (seed {seed})");
+                return false;
+            }
+        }
+    }
+    let deterministic = digests.windows(2).all(|w| w[0] == w[1]);
+    if !deterministic {
+        eprintln!("serve-chaos FAILED: digests differ across runs: {digests:x?}");
+    }
+
+    let mut fields: Vec<(String, Json)> = vec![
+        ("seed".into(), Json::Num(seed as f64)),
+        ("runs".into(), Json::Num(digests.len() as f64)),
+        ("ops".into(), Json::Num(ops as f64)),
+        (
+            "digest".into(),
+            Json::Str(format!("{:016x}", digests.first().copied().unwrap_or(0))),
+        ),
+        ("deterministic".into(), Json::Bool(deterministic)),
+    ];
+    if let Some(observed) = last_fields {
+        fields.push(("observed".into(), Json::Obj(observed)));
+    }
+    let path = out_dir().join("CHAOS.json");
+    std::fs::write(&path, Json::Obj(fields).pretty()).expect("write CHAOS.json");
+    println!("  wrote {}", path.display());
+    deterministic
 }
 
 /// `repro metrics`: run a workload with the observability stack wired
@@ -1799,6 +2392,13 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "serve-chaos" => {
+            let ops = get_flag("--ops", 120);
+            let ok = timed("serve-chaos", || serve_chaos(seed, runs, ops));
+            if !ok {
+                std::process::exit(1);
+            }
+        }
         "serve-bench" => {
             let clients = get_flag("--clients", 32);
             let obs_mode = args.iter().any(|a| a == "--obs");
@@ -1888,7 +2488,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults diagnose diff bench-diff serve-bench all"
+                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults diagnose diff bench-diff serve-bench serve-chaos all"
             );
             std::process::exit(2);
         }

@@ -60,7 +60,16 @@ impl Direction {
 pub fn direction(key: &str) -> Direction {
     match key {
         "speedup" | "hit_rate" => Direction::HigherIsBetter,
-        "errors" | "parity_mismatches" | "cache_evictions" => Direction::LowerIsBetter,
+        "errors" | "parity_mismatches" | "cache_evictions" | "bad_rejects" => {
+            Direction::LowerIsBetter
+        }
+        // Admission-control outcomes are workload shape, not code speed:
+        // how many requests a burst sheds (429/503) and how many cold
+        // traces the registry evicts depend on client concurrency and
+        // upload mix, so they never gate. Malformed rejects
+        // (`bad_rejects`, a 429/503 missing Retry-After) stay a failure
+        // counter above.
+        "shed_rejects" | "registry_evictions" => Direction::Informational,
         k if k.ends_with("_overhead_pct") && k != "metrics_overhead_pct" => {
             Direction::Informational
         }
@@ -275,7 +284,16 @@ mod tests {
         }
         assert_eq!(direction("speedup"), Direction::HigherIsBetter);
         assert_eq!(direction("hit_rate"), Direction::HigherIsBetter);
-        for k in ["ranks", "clients", "requests", "drawables", "threads"] {
+        assert_eq!(direction("bad_rejects"), Direction::LowerIsBetter);
+        for k in [
+            "ranks",
+            "clients",
+            "requests",
+            "drawables",
+            "threads",
+            "shed_rejects",
+            "registry_evictions",
+        ] {
             assert_eq!(direction(k), Direction::Informational, "{k}");
         }
         // Self-gated / workload-shape metrics are never re-gated here.

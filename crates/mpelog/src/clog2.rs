@@ -69,6 +69,13 @@ impl Clog2File {
         w.into_bytes()
     }
 
+    /// Whether `bytes` begin with the CLOG2 magic — a cheap format
+    /// sniff for upload endpoints that accept several wire formats.
+    /// A `true` here promises nothing about the rest of the bytes.
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC
+    }
+
     /// Parse from bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Clog2File, WireError> {
         let mut r = Reader::new(bytes);

@@ -122,6 +122,13 @@ impl Slog2File {
         w.into_bytes()
     }
 
+    /// Whether `bytes` begin with the SLOG2 magic — a cheap format
+    /// sniff for upload endpoints that accept several wire formats.
+    /// A `true` here promises nothing about the rest of the bytes.
+    pub fn sniff(bytes: &[u8]) -> bool {
+        bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC
+    }
+
     /// Parse from bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<Slog2File, WireError> {
         let mut r = Reader::new(bytes);

@@ -3,8 +3,17 @@
 //! ```text
 //! pilotd serve trace.pslog2 [--addr 127.0.0.1:7007] [--workers 8]
 //!        [--baseline before.pslog2] [--no-trace] [--flight-dump flight.json]
+//!        [--deadline-ms 2000] [--budget-mb 256] [--queue-cap 256]
+//!        [--drain-ms 5000]
 //! pilotd info  trace.pslog2
 //! ```
+//!
+//! The served trace becomes the pinned `default` in a multi-trace
+//! registry: clients upload more traces with `POST /v1/traces?id=NAME`
+//! and select them on any query route with `?trace=NAME`. Resident
+//! traces live under `--budget-mb` of wire bytes; cold ones are evicted
+//! LRU, the default never. See the README's "Operating pilotd" section
+//! for the full limit/status-code table.
 //!
 //! With `--baseline`, `/v1/diff` serves the baseline-vs-served trace
 //! comparison (verdict deltas, alignment, per-timeline deltas) as
@@ -15,22 +24,50 @@
 //! `/metrics` and `/v1/obs/endpoints`, and the flight recorder keeps
 //! the slowest and most recent requests for `/v1/obs/flight`. Pass
 //! `--no-trace` to serve with the plane disabled. With `--flight-dump
-//! PATH`, a graceful shutdown (EOF or `quit` on stdin) writes the
-//! flight recorder as Chrome trace-event JSON to PATH — load it at
-//! `chrome://tracing` or Perfetto.
+//! PATH`, shutdown writes the flight recorder as Chrome trace-event
+//! JSON to PATH — load it at `chrome://tracing` or Perfetto.
+//!
+//! Shutdown is graceful: on stdin EOF, `quit`, or SIGTERM, pilotd stops
+//! accepting, answers in-flight and kept-alive requests with closing
+//! 503s, waits up to `--drain-ms` for workers to finish, and only then
+//! exits (dumping the flight recorder if asked).
 
 use std::io::BufRead;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use timeline::TimelineService;
+use timeline::{App, Limits, TimelineService};
 
 fn usage() -> ! {
     eprintln!(
         "usage: pilotd <serve|info> <trace.pslog2> [--addr HOST:PORT] [--workers N] \
-         [--baseline before.pslog2] [--no-trace] [--flight-dump PATH]"
+         [--baseline before.pslog2] [--no-trace] [--flight-dump PATH] \
+         [--deadline-ms N] [--budget-mb N] [--queue-cap N] [--drain-ms N]"
     );
     std::process::exit(2);
 }
+
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        SIGTERM.store(true, Ordering::SeqCst);
+    }
+    // Raw libc signal(2) binding — enough for a drain flag, and it
+    // keeps the build dependency-free.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM_NO: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NO, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +81,11 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .cloned()
             .unwrap_or_else(|| default.to_string())
+    };
+    let num_flag = |name: &str, default: u64| -> u64 {
+        flag(name, &default.to_string())
+            .parse()
+            .unwrap_or_else(|_| usage())
     };
 
     let mut svc = match TimelineService::load(std::path::Path::new(path)) {
@@ -66,7 +108,6 @@ fn main() {
             }
         }
     }
-    let svc = Arc::new(svc);
 
     match cmd {
         "info" => {
@@ -83,22 +124,38 @@ fn main() {
                 .position(|a| a == "--flight-dump")
                 .and_then(|i| args.get(i + 1))
                 .cloned();
-            if trace {
-                svc.enable_tracing();
-            } else if flight_dump.is_some() {
+            if !trace && flight_dump.is_some() {
                 eprintln!("pilotd: --flight-dump needs tracing; drop --no-trace");
                 std::process::exit(2);
             }
-            let mut server = match timeline::serve(Arc::clone(&svc), &addr, workers) {
+
+            let mut limits = Limits::default();
+            limits.deadline = Duration::from_millis(num_flag("--deadline-ms", 2000));
+            limits.budget_bytes = (num_flag("--budget-mb", 256) as usize) * 1024 * 1024;
+            limits.queue_cap = num_flag("--queue-cap", limits.queue_cap as u64) as usize;
+            limits.drain_deadline = Duration::from_millis(num_flag("--drain-ms", 5000));
+            let drain_deadline = limits.drain_deadline;
+
+            let app = Arc::new(App::new(svc, limits));
+            if trace {
+                app.enable_tracing();
+            }
+            let mut server = match timeline::serve(Arc::clone(&app), &addr, workers) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("pilotd: cannot bind {addr}: {e}");
                     std::process::exit(1);
                 }
             };
+            install_sigterm_handler();
             eprintln!(
                 "pilotd: serving {path} ({} ranks) on port {} with {workers} workers (tracing {})",
-                svc.file().timelines.len(),
+                app.registry()
+                    .default_trace()
+                    .service
+                    .file()
+                    .timelines
+                    .len(),
                 server.port(),
                 if trace { "on" } else { "off" }
             );
@@ -112,24 +169,48 @@ fn main() {
                     server.port()
                 );
             }
-            // Serve until stdin closes (or `quit`), then shut down in
-            // order: stop accepting, drain workers, dump the flight
-            // recorder if asked.
-            let stdin = std::io::stdin();
-            for line in stdin.lock().lines() {
-                match line {
-                    Ok(l) if l.trim() == "quit" => break,
-                    Ok(_) => continue,
-                    Err(_) => break,
-                }
+            // Serve until stdin closes (or `quit`) or SIGTERM arrives,
+            // then drain: stop accepting, let in-flight work finish up
+            // to the drain deadline, dump the flight recorder if asked.
+            let stdin_done = Arc::new(AtomicBool::new(false));
+            {
+                let stdin_done = Arc::clone(&stdin_done);
+                std::thread::spawn(move || {
+                    let stdin = std::io::stdin();
+                    for line in stdin.lock().lines() {
+                        match line {
+                            Ok(l) if l.trim() == "quit" => break,
+                            Ok(_) => continue,
+                            Err(_) => break,
+                        }
+                    }
+                    stdin_done.store(true, Ordering::SeqCst);
+                });
             }
-            server.stop();
+            while !stdin_done.load(Ordering::SeqCst) && !SIGTERM.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            let why = if SIGTERM.load(Ordering::SeqCst) {
+                "SIGTERM"
+            } else {
+                "stdin"
+            };
+            eprintln!("pilotd: draining ({why})...");
+            let report = server.drain(drain_deadline);
+            if report.drained {
+                eprintln!("pilotd: drained cleanly");
+            } else {
+                eprintln!(
+                    "pilotd: drain deadline passed with {} worker(s) still busy; abandoning",
+                    report.abandoned
+                );
+            }
             if let Some(dump_path) = flight_dump {
-                let json = svc.plane().flight_json();
+                let json = app.plane().flight_json();
                 match std::fs::write(&dump_path, &json) {
                     Ok(()) => eprintln!(
                         "pilotd: wrote flight recorder to {dump_path} ({} requests observed)",
-                        svc.plane().flight().recorded()
+                        app.plane().flight().recorded()
                     ),
                     Err(e) => {
                         eprintln!("pilotd: cannot write {dump_path}: {e}");

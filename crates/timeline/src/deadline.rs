@@ -1,0 +1,77 @@
+//! Per-request deadline propagation.
+//!
+//! The HTTP worker arms a thread-local deadline when a request begins
+//! and clears it when the response is written. Service code and the
+//! router consult [`expired`] at phase boundaries — between ranks in a
+//! window query, after parameter parsing, after a handler returns — and
+//! bail out with 503 + `Retry-After` instead of finishing work the
+//! client has already given up on.
+//!
+//! Two rules keep the cache honest:
+//!
+//! * Tile computes under the single-flight cache **ignore** the
+//!   deadline: a cached body must always be complete, and the finished
+//!   compute warms the cache for the client's retry.
+//! * A deadline abort never truncates a body. The request either
+//!   returns a full response or a 503 — there is no partial-JSON state.
+//!
+//! Like the [`PhaseTimer`](crate::obsplane::PhaseTimer) thread-local,
+//! the slot costs nothing to in-process callers: with no deadline armed,
+//! [`expired`] is a single thread-local read.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Arm the calling thread's request deadline.
+pub fn arm(at: Instant) {
+    DEADLINE.with(|d| d.set(Some(at)));
+}
+
+/// Disarm the calling thread's request deadline.
+pub fn clear() {
+    DEADLINE.with(|d| d.set(None));
+}
+
+/// Whether the armed deadline has passed. `false` when none is armed,
+/// so library callers outside the server never see spurious aborts.
+pub fn expired() -> bool {
+    DEADLINE
+        .with(|d| d.get())
+        .is_some_and(|at| Instant::now() >= at)
+}
+
+/// Time left before the armed deadline (`None` when disarmed; zero when
+/// already past).
+pub fn remaining() -> Option<Duration> {
+    DEADLINE
+        .with(|d| d.get())
+        .map(|at| at.saturating_duration_since(Instant::now()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_thread_never_expires() {
+        clear();
+        assert!(!expired());
+        assert!(remaining().is_none());
+    }
+
+    #[test]
+    fn armed_deadline_expires_and_clears() {
+        arm(Instant::now() + Duration::from_secs(60));
+        assert!(!expired());
+        assert!(remaining().unwrap() > Duration::from_secs(50));
+        arm(Instant::now() - Duration::from_millis(1));
+        assert!(expired());
+        assert_eq!(remaining().unwrap(), Duration::ZERO);
+        clear();
+        assert!(!expired());
+    }
+}

@@ -1,13 +1,14 @@
-//! A minimal HTTP/1.1 front end for [`TimelineService`].
+//! A hardened, multi-trace HTTP/1.1 front end for [`App`].
 //!
 //! Standard library only: a `TcpListener` accept thread hands
-//! connections to a fixed pool of worker threads over an `mpsc`
-//! channel. Connections are keep-alive — a viewer replaying a zoom path
-//! issues hundreds of tile requests on one socket — and every response
-//! carries `Content-Length`, so the bundled [`Client`] can pipeline
-//! request/response pairs without chunked-encoding parsing.
+//! connections to a fixed pool of worker threads over a **bounded**
+//! `mpsc` channel. Connections are keep-alive — a viewer replaying a
+//! zoom path issues hundreds of tile requests on one socket — and every
+//! response carries `Content-Length`, so the bundled [`Client`] can
+//! pipeline request/response pairs without chunked-encoding parsing.
 //!
-//! Routes:
+//! Routes (all `/v1/*` query routes accept a `?trace=` selector; the
+//! default is the trace the server was started with):
 //!
 //! | path           | answer                                            |
 //! |----------------|---------------------------------------------------|
@@ -19,30 +20,61 @@
 //! | `/v1/render`   | full document (`backend`,`t0`,`t1`,`width`,`overlay`) |
 //! | `/v1/diagnose` | automated bottleneck verdicts (cached)            |
 //! | `/v1/diff`     | baseline-vs-served trace diff (cached; 404 until a baseline is registered) |
-//! | `/v1/stats`    | query + cache counters                            |
+//! | `/v1/stats`    | query + cache counters + registry occupancy       |
+//! | `/v1/traces`   | GET list / POST upload (`?id=NAME`)               |
+//! | `/v1/traces/{id}` | DELETE evictable trace                         |
 //! | `/metrics`     | Prometheus text of the obs registry               |
 //! | `/v1/obs/endpoints` | per-endpoint per-phase p50/p99 summary       |
 //! | `/v1/obs/flight` | flight-recorder dump (Chrome trace-event JSON)  |
 //!
-//! When the service's [`ObsPlane`](crate::obsplane::ObsPlane) is
-//! enabled, every request is traced: the `X-Trace-Id` header (or a
-//! generated ID, echoed back in the response) names the request, and
-//! the worker records queue/parse/cache/index/render/write phases into
-//! the flight recorder. Tracing never touches response bodies.
+//! # Overload and abuse defenses
+//!
+//! Every limit lives in [`Limits`](crate::registry::Limits):
+//!
+//! * **Bounded accept queue.** Connections beyond `queue_cap` are
+//!   answered `429` straight from the accept thread; a connection that
+//!   waited in the queue longer than `queue_shed` is answered `429` by
+//!   the worker *without reading its request* — its client has likely
+//!   timed out already, so parsing it would be pure waste.
+//! * **Per-request deadline.** Armed at request start, checked at phase
+//!   boundaries (post-parse, between ranks of a window query, and
+//!   before the response write). Expired requests answer `503` +
+//!   `Retry-After`; a finished-but-late tile compute still lands in the
+//!   cache, warming the client's retry. Bodies are never truncated.
+//! * **Size caps.** Request lines and headers past their caps answer
+//!   `431`; `POST` without `Content-Length` answers `411`; bodies past
+//!   `max_body_bytes` answer `413`. All three close the connection.
+//! * **Slow-loris kill.** A client stalled mid-request past
+//!   `header_deadline` answers `408` and is disconnected.
+//! * **Panic isolation.** A worker panic is caught, counted
+//!   (`serve.http.worker_panic`), and the connection dropped; the
+//!   worker lives on to serve the next connection.
+//! * **Graceful drain.** [`Server::drain`] stops accepting, answers
+//!   `503` + `Connection: close` to new requests, waits up to a
+//!   deadline for in-flight work, and reports what it had to abandon.
+//!
+//! When the app's [`ObsPlane`](crate::obsplane::ObsPlane) is enabled,
+//! every request is traced: the `X-Trace-Id` header (or a generated ID,
+//! echoed back in the response) names the request, and the worker
+//! records queue/parse/cache/index/render/write phases into the flight
+//! recorder. Tracing never touches response bodies.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use obs::Phase;
+use pilot_vis::json::Json;
 use slog2::TimeWindow;
 
+use crate::deadline;
 use crate::obsplane::{note_phase, PhaseTimer};
-use crate::service::TimelineService;
+use crate::registry::{App, RemoveError, UploadError};
 
 /// Default worker-pool size for `pilotd serve`.
 pub const DEFAULT_WORKERS: usize = 8;
@@ -51,57 +83,101 @@ pub const DEFAULT_WORKERS: usize = 8;
 /// shuts the listener and workers down.
 pub struct Server {
     port: u16,
+    app: Arc<App>,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
+/// What a graceful [`Server::drain`] managed.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Every worker finished inside the drain deadline.
+    pub drained: bool,
+    /// Workers still busy when the deadline passed (their threads are
+    /// left to die with the process).
+    pub abandoned: usize,
+}
+
 /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
-/// `svc` on `workers` threads.
-pub fn serve(svc: Arc<TimelineService>, addr: &str, workers: usize) -> std::io::Result<Server> {
+/// `app` on `workers` threads.
+pub fn serve(app: Arc<App>, addr: &str, workers: usize) -> std::io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     let port = listener.local_addr()?.port();
     let shutdown = Arc::new(AtomicBool::new(false));
     // Each queued connection carries its enqueue instant so the worker
-    // can attribute the wait to the first request's `queue` phase.
-    let (tx, rx) = channel::<(TcpStream, Instant)>();
+    // can attribute the wait to the first request's `queue` phase, and
+    // shed connections whose wait already exceeds the limit.
+    let (tx, rx) = sync_channel::<(TcpStream, Instant)>(app.limits().queue_cap.max(1));
     let rx = Arc::new(Mutex::new(rx));
 
     let mut pool = Vec::with_capacity(workers.max(1));
     for worker_idx in 0..workers.max(1) {
-        let svc = Arc::clone(&svc);
+        let app = Arc::clone(&app);
         let rx: Arc<Mutex<Receiver<(TcpStream, Instant)>>> = Arc::clone(&rx);
         let shutdown = Arc::clone(&shutdown);
-        pool.push(std::thread::spawn(move || loop {
-            let conn = rx.lock().expect("worker queue poisoned").recv();
-            match conn {
-                Ok((stream, enqueued)) => {
-                    svc.plane().note_dequeued();
-                    handle_connection(&svc, stream, &shutdown, worker_idx as u32, enqueued);
+        pool.push(std::thread::spawn(move || {
+            let shard = app.obs_handle().shard(worker_idx);
+            let open_conns = shard.gauge("serve.http.open_conns");
+            let panics = shard.counter("serve.http.worker_panic");
+            let shed = shard.counter("serve.http.shed_429");
+            loop {
+                let conn = rx.lock().expect("worker queue poisoned").recv();
+                let Ok((stream, enqueued)) = conn else {
+                    break; // sender gone: server stopped
+                };
+                app.plane().note_dequeued();
+                open_conns.add(1);
+                if enqueued.elapsed() > app.limits().queue_shed {
+                    // The client queued too long; its request is stale.
+                    // Shed without reading a byte.
+                    shed.inc();
+                    reject_connection(stream, 429, "server overloaded, request shed\n");
+                } else {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        handle_connection(&app, stream, &shutdown, worker_idx as u32, enqueued);
+                    }));
+                    if result.is_err() {
+                        // The worker survives a handler panic; scrub
+                        // the thread-locals the unwound request leaked.
+                        panics.inc();
+                        deadline::clear();
+                        app.plane().abandon();
+                    }
                 }
-                Err(_) => break, // sender gone: server stopped
+                open_conns.add(-1);
             }
         }));
     }
 
     let accept_shutdown = Arc::clone(&shutdown);
-    let accept_svc = Arc::clone(&svc);
+    let accept_app = Arc::clone(&app);
     let accept = std::thread::spawn(move || {
+        let full_429 = accept_app
+            .obs_handle()
+            .shard(0)
+            .counter("serve.http.queue_full_429");
         for stream in listener.incoming() {
             if accept_shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            if let Ok(stream) = stream {
-                // A full queue just delays the connection; drop errors
-                // only happen after stop().
-                accept_svc.plane().note_enqueued();
-                let _ = tx.send((stream, Instant::now()));
+            let Ok(stream) = stream else { continue };
+            accept_app.plane().note_enqueued();
+            match tx.try_send((stream, Instant::now())) {
+                Ok(()) => {}
+                Err(TrySendError::Full((stream, _))) => {
+                    accept_app.plane().note_dequeued();
+                    full_429.inc();
+                    reject_connection(stream, 429, "accept queue full\n");
+                }
+                Err(TrySendError::Disconnected(_)) => break,
             }
         }
     });
 
     Ok(Server {
         port,
+        app,
         shutdown,
         accept: Some(accept),
         workers: pool,
@@ -114,7 +190,14 @@ impl Server {
         self.port
     }
 
-    /// Signal shutdown and join every thread.
+    /// The served app.
+    pub fn app(&self) -> &Arc<App> {
+        &self.app
+    }
+
+    /// Signal shutdown and join every thread. In-flight requests finish
+    /// (their connections close after the current response); this call
+    /// blocks until every worker exits.
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept loop with a throwaway connection.
@@ -126,6 +209,38 @@ impl Server {
             let _ = h.join();
         }
     }
+
+    /// Graceful drain: stop accepting, answer `503` + `Connection:
+    /// close` to requests that arrive on kept-alive connections, give
+    /// in-flight work up to `deadline` to finish, then abandon whatever
+    /// is still running. Idempotent with [`stop`](Server::stop) — after
+    /// a drain, `stop` has nothing left to join.
+    pub fn drain(&mut self, deadline: Duration) -> DrainReport {
+        self.app.begin_drain();
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let started = Instant::now();
+        while !self.workers.iter().all(JoinHandle::is_finished) && started.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut abandoned = 0usize;
+        for h in self.workers.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                abandoned += 1;
+                // Dropping the handle detaches the thread; it dies with
+                // the process.
+            }
+        }
+        DrainReport {
+            drained: abandoned == 0,
+            abandoned,
+        }
+    }
 }
 
 impl Drop for Server {
@@ -134,16 +249,162 @@ impl Drop for Server {
     }
 }
 
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Whether `status` carries a `Retry-After` header — every reject that
+/// a well-behaved client should simply retry later.
+fn retryable(status: u16) -> bool {
+    matches!(status, 429 | 503)
+}
+
+/// Write a minimal closing response directly to a raw stream (the shed
+/// and reject paths, where no request was parsed).
+fn reject_connection(stream: TcpStream, status: u16, body: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut stream = stream;
+    let _ = stream.write_all(simple_response(status, body).as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn simple_response(status: u16, body: &str) -> String {
+    let retry = if retryable(status) {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )
+}
+
+/// One line-read attempt against a capped buffer.
+enum LineRead {
+    /// A full `\n`-terminated line is in the buffer.
+    Line,
+    /// Clean close: EOF with nothing buffered.
+    Eof,
+    /// The read timeout fired; partial data (if any) stays buffered.
+    Timeout,
+    /// The line exceeds the cap.
+    TooLong,
+    /// Stream error, non-UTF-8 bytes, or EOF mid-line.
+    Err,
+}
+
+/// Read one line into `buf`, never holding more than `cap + 1` bytes.
+/// Partial data survives timeouts, so slow senders accumulate across
+/// calls instead of corrupting the stream.
+fn read_capped_line(reader: &mut BufReader<TcpStream>, buf: &mut String, cap: usize) -> LineRead {
+    loop {
+        if buf.len() > cap {
+            return LineRead::TooLong;
+        }
+        let remaining = (cap + 1 - buf.len()) as u64;
+        let before = buf.len();
+        match reader.by_ref().take(remaining).read_line(buf) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Err // EOF mid-line
+                };
+            }
+            Ok(_) => {
+                if buf.ends_with('\n') {
+                    return LineRead::Line;
+                }
+                if buf.len() > cap {
+                    return LineRead::TooLong;
+                }
+                if buf.len() == before {
+                    return LineRead::Err;
+                }
+                // No newline yet and under the cap: the stream hit EOF
+                // mid-line (next loop sees Ok(0)) or the take limit
+                // (next loop sees TooLong).
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return LineRead::Timeout;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Err,
+        }
+    }
+}
+
+/// Read exactly `len` body bytes, tolerating read-timeout wakeups until
+/// `stall` has elapsed with the body still incomplete.
+fn read_body(
+    reader: &mut BufReader<TcpStream>,
+    out: &mut Vec<u8>,
+    len: usize,
+    stall: Duration,
+) -> bool {
+    out.reserve(len.min(1 << 20));
+    let started = Instant::now();
+    let mut buf = [0u8; 8192];
+    while out.len() < len {
+        let want = (len - out.len()).min(buf.len());
+        match reader.read(&mut buf[..want]) {
+            Ok(0) => return false,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if started.elapsed() >= stall {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
 fn handle_connection(
-    svc: &TimelineService,
+    app: &App,
     stream: TcpStream,
     shutdown: &AtomicBool,
     worker: u32,
     enqueued: Instant,
 ) {
+    let limits = app.limits().clone();
     let _ = stream.set_nodelay(true);
-    // A short read timeout lets idle keep-alive workers notice stop().
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // The read timeout doubles as the shutdown/stall poll interval, so
+    // it must not exceed the stall deadline it enforces.
+    let poll = limits
+        .header_deadline
+        .min(Duration::from_millis(500))
+        .max(Duration::from_millis(10));
+    let _ = stream.set_read_timeout(Some(poll));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -157,23 +418,40 @@ fn handle_connection(
     // the serve bench.
     let mut request_line = String::new();
     let mut header_line = String::new();
+    let mut body: Vec<u8> = Vec::new();
     loop {
         request_line.clear();
-        match reader.read_line(&mut request_line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shutdown.load(Ordering::SeqCst) {
+        // --- request line -------------------------------------------
+        let mut stalled_since: Option<Instant> = None;
+        loop {
+            match read_capped_line(&mut reader, &mut request_line, limits.max_request_line) {
+                LineRead::Line => break,
+                LineRead::Eof => return, // client closed between requests
+                LineRead::TooLong => {
+                    let _ = writer
+                        .write_all(simple_response(431, "request line too long\n").as_bytes());
                     return;
                 }
-                continue;
+                LineRead::Err => return,
+                LineRead::Timeout => {
+                    if request_line.is_empty() {
+                        // Idle keep-alive: only shutdown/drain matter.
+                        if shutdown.load(Ordering::SeqCst) || app.draining() {
+                            return;
+                        }
+                    } else {
+                        // Mid-request-line: a slow (or slow-loris)
+                        // sender gets `header_deadline` of grace.
+                        let since = *stalled_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() >= limits.header_deadline {
+                            let _ = writer.write_all(
+                                simple_response(408, "timed out reading request\n").as_bytes(),
+                            );
+                            return;
+                        }
+                    }
+                }
             }
-            Err(_) => return,
         }
         // The request clock: for the first request it started back at
         // the accept queue (so queue wait is inside the total); for
@@ -187,38 +465,107 @@ fn handle_connection(
         };
         let mut close = false;
         let mut trace_header: Option<String> = None;
-        // Drain headers; we care about Connection and X-Trace-Id.
-        // Matching is allocation-free (no lowercased copies).
+        let mut content_length: Option<usize> = None;
+        let mut header_bytes = 0usize;
+        // Drain headers; we care about Connection, X-Trace-Id, and
+        // Content-Length. Matching is allocation-free (no lowercased
+        // copies). Total header bytes are capped.
+        let mut stalled_since: Option<Instant> = None;
         loop {
             header_line.clear();
-            match reader.read_line(&mut header_line) {
-                Ok(0) => return,
-                Ok(_) if header_line.trim_end().is_empty() => break,
-                Ok(_) => {
-                    if let Some((name, value)) = header_line.trim_end().split_once(':') {
-                        if name.eq_ignore_ascii_case("connection")
-                            && value
-                                .split(',')
-                                .any(|v| v.trim().eq_ignore_ascii_case("close"))
-                        {
-                            close = true;
-                        } else if name.eq_ignore_ascii_case("x-trace-id") {
-                            let v = value.trim();
-                            if !v.is_empty() {
-                                trace_header = Some(v.to_string());
-                            }
+            let line_cap = limits.max_header_bytes.saturating_sub(header_bytes);
+            loop {
+                match read_capped_line(&mut reader, &mut header_line, line_cap) {
+                    LineRead::Line => break,
+                    LineRead::Eof | LineRead::Err => return,
+                    LineRead::TooLong => {
+                        let _ = writer
+                            .write_all(simple_response(431, "headers too large\n").as_bytes());
+                        return;
+                    }
+                    LineRead::Timeout => {
+                        let since = *stalled_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() >= limits.header_deadline {
+                            let _ = writer.write_all(
+                                simple_response(408, "timed out reading headers\n").as_bytes(),
+                            );
+                            return;
                         }
                     }
                 }
-                Err(_) => return,
+            }
+            header_bytes += header_line.len();
+            let trimmed = header_line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = trimmed.split_once(':') {
+                if name.eq_ignore_ascii_case("connection")
+                    && value
+                        .split(',')
+                        .any(|v| v.trim().eq_ignore_ascii_case("close"))
+                {
+                    close = true;
+                } else if name.eq_ignore_ascii_case("x-trace-id") {
+                    let v = value.trim();
+                    if !v.is_empty() {
+                        trace_header = Some(v.to_string());
+                    }
+                } else if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse::<usize>().ok();
+                }
             }
         }
-        let parse_dur = parse_start.elapsed();
         let mut parts = request_line.split_whitespace();
         let method = parts.next().unwrap_or("");
         let target = parts.next().unwrap_or("/");
 
-        let trace_id = svc.plane().begin(target, trace_header, worker, req_start);
+        // --- body ----------------------------------------------------
+        body.clear();
+        if method == "POST" {
+            let Some(len) = content_length else {
+                let _ = writer
+                    .write_all(simple_response(411, "POST requires Content-Length\n").as_bytes());
+                return;
+            };
+            if len > limits.max_body_bytes {
+                let _ = writer.write_all(
+                    simple_response(
+                        413,
+                        &format!("body of {len} bytes exceeds {}\n", limits.max_body_bytes),
+                    )
+                    .as_bytes(),
+                );
+                return;
+            }
+            if !read_body(&mut reader, &mut body, len, limits.header_deadline) {
+                let _ =
+                    writer.write_all(simple_response(408, "timed out reading body\n").as_bytes());
+                return;
+            }
+        } else if let Some(len) = content_length {
+            // Bodies on GET/DELETE are read and discarded to keep the
+            // keep-alive framing intact — but still capped.
+            if len > limits.max_body_bytes {
+                let _ = writer
+                    .write_all(simple_response(413, "unexpected oversized body\n").as_bytes());
+                return;
+            }
+            if !read_body(&mut reader, &mut body, len, limits.header_deadline) {
+                return;
+            }
+            body.clear();
+        }
+        let parse_dur = parse_start.elapsed();
+
+        // A draining server answers every new request with a closing
+        // 503; in-flight requests (already past this point) finish.
+        if app.draining() {
+            let _ = writer.write_all(simple_response(503, "server draining\n").as_bytes());
+            return;
+        }
+
+        let trace_id = app.plane().begin(target, trace_header, worker, req_start);
         if trace_id.is_some() {
             if let Some(wait) = queue_wait {
                 note_phase(Phase::Queue, Duration::ZERO, wait);
@@ -231,43 +578,60 @@ fn handle_connection(
         }
         queue_wait = None;
 
-        let (status, content_type, body) = if method == "GET" {
-            route(svc, target)
-        } else {
-            (405, "text/plain", "method not allowed\n".to_string())
-        };
-        let reason = match status {
-            200 => "OK",
-            400 => "Bad Request",
-            404 => "Not Found",
-            405 => "Method Not Allowed",
-            _ => "Error",
-        };
+        deadline::arm(req_start + limits.deadline);
+        let (status, content_type, resp_body) = route_request(app, method, target, &body);
+        deadline::clear();
+
         let connection = if close { "close" } else { "keep-alive" };
+        let retry = if retryable(status) {
+            "Retry-After: 1\r\n"
+        } else {
+            ""
+        };
         let head = match trace_id.as_deref() {
             Some(id) => format!(
-                "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nX-Trace-Id: {id}\r\nConnection: {connection}\r\n\r\n",
-                body.len(),
+                "HTTP/1.1 {status} {} \r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}X-Trace-Id: {id}\r\nConnection: {connection}\r\n\r\n",
+                reason(status),
+                resp_body.len(),
             ),
             None => format!(
-                "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-                body.len(),
+                "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
+                reason(status),
+                resp_body.len(),
             ),
         };
         let write_phase = PhaseTimer::start(Phase::Write);
-        let wrote =
-            writer.write_all(head.as_bytes()).is_ok() && writer.write_all(body.as_bytes()).is_ok();
+        let wrote = writer.write_all(head.as_bytes()).is_ok()
+            && writer.write_all(resp_body.as_bytes()).is_ok();
         drop(write_phase);
-        svc.plane().finish(status, body.len() as u64);
+        app.plane().finish(status, resp_body.len() as u64);
         if !wrote || close || shutdown.load(Ordering::SeqCst) {
             return;
         }
     }
 }
 
-/// Dispatch one request target to the service. Split out from the
-/// connection loop so tests can exercise routing without sockets.
-pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String) {
+/// Dispatch one GET target against `app` — the old single-trace entry
+/// point, kept so routing tests run without sockets.
+pub fn route(app: &App, target: &str) -> (u16, &'static str, String) {
+    route_request(app, "GET", target, &[])
+}
+
+fn retry_503() -> (u16, &'static str, String) {
+    (503, "text/plain", "deadline exceeded\n".to_string())
+}
+
+/// Dispatch one request to the app: trace registry management under
+/// `/v1/traces`, observability routes, and per-trace query routes
+/// (selected by `?trace=`, defaulting to the boot trace). Split out
+/// from the connection loop so tests can exercise routing without
+/// sockets.
+pub fn route_request(
+    app: &App,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> (u16, &'static str, String) {
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -278,6 +642,83 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
         .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
         .collect();
     let get = |k: &str| params.iter().find(|(key, _)| *key == k).map(|(_, v)| *v);
+
+    // Registry management is the one method-sensitive corner.
+    if path == "/v1/traces" {
+        return match method {
+            "GET" => (200, "application/json", app.registry().list_json()),
+            "POST" => match app.registry().upload(get("id"), body) {
+                Ok(out) => (
+                    201,
+                    "application/json",
+                    Json::Obj(vec![
+                        ("id".into(), Json::Str(out.id)),
+                        ("bytes".into(), Json::Num(out.bytes as f64)),
+                        ("salvaged".into(), Json::Bool(out.salvaged)),
+                        ("warnings".into(), Json::Num(out.warnings as f64)),
+                        ("replaced".into(), Json::Bool(out.replaced)),
+                        (
+                            "evicted".into(),
+                            Json::Arr(out.evicted.into_iter().map(Json::Str).collect()),
+                        ),
+                    ])
+                    .compact(),
+                ),
+                Err(UploadError::OverBudget { bytes, budget }) => (
+                    413,
+                    "text/plain",
+                    format!("upload of {bytes} bytes exceeds registry budget of {budget}\n"),
+                ),
+                Err(UploadError::Invalid(why)) => (400, "text/plain", format!("{why}\n")),
+            },
+            _ => (405, "text/plain", "method not allowed\n".to_string()),
+        };
+    }
+    if let Some(id) = path.strip_prefix("/v1/traces/") {
+        return match method {
+            "DELETE" => match app.registry().remove(id) {
+                Ok(()) => (
+                    200,
+                    "application/json",
+                    Json::Obj(vec![("deleted".into(), Json::Str(id.to_string()))]).compact(),
+                ),
+                Err(RemoveError::NotFound) => (404, "text/plain", format!("no trace {id:?}\n")),
+                Err(RemoveError::Pinned) => (
+                    409,
+                    "text/plain",
+                    format!("trace {id:?} is pinned and cannot be deleted\n"),
+                ),
+            },
+            _ => (405, "text/plain", "method not allowed\n".to_string()),
+        };
+    }
+    if method != "GET" {
+        return (405, "text/plain", "method not allowed\n".to_string());
+    }
+
+    // Phase boundary: don't start work for a request that already blew
+    // its deadline waiting in the queue.
+    if deadline::expired() {
+        return retry_503();
+    }
+
+    // App-level routes need no trace resolution.
+    match path {
+        "/metrics" => return (200, "text/plain; version=0.0.4", app.metrics_text()),
+        "/v1/obs/endpoints" => return (200, "application/json", app.plane().endpoints_json()),
+        "/v1/obs/flight" => return (200, "application/json", app.plane().flight_json()),
+        _ => {}
+    }
+
+    let trace_sel = get("trace");
+    let Some(entry) = app.registry().get(trace_sel) else {
+        return (
+            404,
+            "text/plain",
+            format!("no trace {:?}\n", trace_sel.unwrap_or("default")),
+        );
+    };
+    let svc = &entry.service;
 
     macro_rules! param {
         ($name:literal as $ty:ty, default $default:expr) => {
@@ -291,11 +732,15 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
         };
     }
 
-    match path {
+    let resp = match path {
         "/v1/info" => (200, "application/json", svc.info_json()),
         "/v1/legend" => (200, "application/json", svc.legend_json()),
         "/v1/warnings" => (200, "application/json", svc.warnings_json()),
-        "/v1/stats" => (200, "application/json", svc.stats_json()),
+        "/v1/stats" => {
+            let mut fields = svc.stats_fields();
+            fields.extend(app.registry().stats_fields());
+            (200, "application/json", Json::Obj(fields).compact())
+        }
         "/v1/diagnose" => (200, "application/json", svc.diagnose_json().to_string()),
         "/v1/diff" => match svc.diff_json() {
             Some(body) => (200, "application/json", body.to_string()),
@@ -305,9 +750,6 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
                 "no baseline registered (start pilotd with --baseline)\n".to_string(),
             ),
         },
-        "/metrics" => (200, "text/plain; version=0.0.4", svc.metrics_text()),
-        "/v1/obs/endpoints" => (200, "application/json", svc.plane().endpoints_json()),
-        "/v1/obs/flight" => (200, "application/json", svc.plane().flight_json()),
         "/v1/query" => {
             let range = svc.file().range;
             let t0 = param!("t0" as f64, default range.t0);
@@ -325,11 +767,12 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
                     Some(out)
                 }
             };
-            (
-                200,
-                "application/json",
-                svc.query_json(TimeWindow::new(t0, t1), ranks.as_deref()),
-            )
+            // The bounded variant aborts between ranks once the
+            // deadline passes — no truncated bodies, just a 503.
+            match svc.query_json_bounded(TimeWindow::new(t0, t1), ranks.as_deref()) {
+                Some(body) => (200, "application/json", body),
+                None => return retry_503(),
+            }
         }
         "/v1/tile" => {
             let rank = param!("rank" as u32, default 0);
@@ -363,11 +806,41 @@ pub fn route(svc: &TimelineService, target: &str) -> (u16, &'static str, String)
             }
         }
         _ => (404, "text/plain", format!("no route {path:?}\n")),
+    };
+    // Phase boundary: a response computed past its deadline is thrown
+    // away (the compute still warmed the cache for the retry).
+    if resp.0 == 200 && deadline::expired() {
+        return retry_503();
+    }
+    resp
+}
+
+/// A parsed HTTP response, headers included.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response headers in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The body (responses here are always text).
+    pub body: String,
+    /// Whether the server signalled `Connection: close`.
+    pub closed: bool,
+}
+
+impl HttpResponse {
+    /// First header value under `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
 /// A keep-alive HTTP/1.1 client for one pilotd connection. Used by the
-/// server tests and by `repro serve-bench`.
+/// server tests, `repro serve-bench`, and the chaos harness.
 pub struct Client {
     reader: BufReader<TcpStream>,
 }
@@ -385,22 +858,52 @@ impl Client {
     /// Issue `GET path` on the persistent connection; returns
     /// `(status, body)`.
     pub fn get(&mut self, path: &str) -> std::io::Result<(u16, String)> {
-        self.request(path, None)
+        self.send("GET", path, &[], None)
+            .map(|r| (r.status, r.body))
     }
 
     /// Like [`get`](Self::get) but with an `X-Trace-Id` header, so the
     /// request is findable in `/v1/obs/flight` by name.
     pub fn get_traced(&mut self, path: &str, trace_id: &str) -> std::io::Result<(u16, String)> {
-        self.request(path, Some(trace_id))
+        self.send("GET", path, &[("X-Trace-Id", trace_id)], None)
+            .map(|r| (r.status, r.body))
     }
 
-    fn request(&mut self, path: &str, trace_id: Option<&str>) -> std::io::Result<(u16, String)> {
-        let trace = trace_id
-            .map(|id| format!("X-Trace-Id: {id}\r\n"))
-            .unwrap_or_default();
-        let request =
-            format!("GET {path} HTTP/1.1\r\nHost: pilotd\r\n{trace}Connection: keep-alive\r\n\r\n");
+    /// `GET` returning the full response, headers included.
+    pub fn get_full(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.send("GET", path, &[], None)
+    }
+
+    /// `POST path` with a binary body (`Content-Length` framing).
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<HttpResponse> {
+        self.send("POST", path, &[], Some(body))
+    }
+
+    /// `DELETE path`.
+    pub fn delete(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.send("DELETE", path, &[], None)
+    }
+
+    /// Issue one request and parse the response.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> std::io::Result<HttpResponse> {
+        let mut request = format!("{method} {path} HTTP/1.1\r\nHost: pilotd\r\n");
+        for (name, value) in headers {
+            request.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if let Some(body) = body {
+            request.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        request.push_str("Connection: keep-alive\r\n\r\n");
         self.reader.get_mut().write_all(request.as_bytes())?;
+        if let Some(body) = body {
+            self.reader.get_mut().write_all(body)?;
+        }
 
         let mut status_line = String::new();
         self.reader.read_line(&mut status_line)?;
@@ -416,6 +919,8 @@ impl Client {
             })?;
 
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
+        let mut closed = false;
         let mut line = String::new();
         loop {
             line.clear();
@@ -427,34 +932,46 @@ impl Client {
                 break;
             }
             if let Some((name, v)) = trimmed.split_once(':') {
-                if name.eq_ignore_ascii_case("content-length") {
-                    content_length = v.trim().parse().map_err(|_| {
+                let name = name.to_ascii_lowercase();
+                let v = v.trim().to_string();
+                if name == "content-length" {
+                    content_length = v.parse().map_err(|_| {
                         std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                     })?;
+                } else if name == "connection" && v.eq_ignore_ascii_case("close") {
+                    closed = true;
                 }
+                headers.push((name, v));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        String::from_utf8(body)
-            .map(|b| (status, b))
-            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))
+        let body = String::from_utf8(body)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 body"))?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+            closed,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::Limits;
+    use crate::service::TimelineService;
     use mpelog::Color;
     use slog2::{
         Category, CategoryId, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable,
         TimelineId,
     };
 
-    fn service() -> Arc<TimelineService> {
+    fn demo_file(ranks: u32, states: usize) -> Slog2File {
         let mut ds = Vec::new();
-        for r in 0..2u32 {
-            for i in 0..8 {
+        for r in 0..ranks {
+            for i in 0..states {
                 ds.push(Drawable::State(StateDrawable {
                     category: CategoryId(0),
                     timeline: TimelineId(r),
@@ -465,9 +982,17 @@ mod tests {
                 }));
             }
         }
-        let range = TimeWindow::new(0.0, 8.0);
-        Arc::new(TimelineService::from_file(Slog2File {
-            timelines: vec!["PI_MAIN".into(), "P1".into()],
+        let range = TimeWindow::new(0.0, states as f64);
+        Slog2File {
+            timelines: (0..ranks)
+                .map(|r| {
+                    if r == 0 {
+                        "PI_MAIN".into()
+                    } else {
+                        format!("P{r}")
+                    }
+                })
+                .collect(),
             categories: vec![Category {
                 index: CategoryId(0),
                 name: "Compute".into(),
@@ -477,24 +1002,32 @@ mod tests {
             range,
             warnings: vec![],
             tree: FrameTree::build(ds, range.t0, range.t1, 16, 8),
-        }))
+        }
+    }
+
+    fn service() -> TimelineService {
+        TimelineService::from_file(demo_file(2, 8))
+    }
+
+    fn app() -> Arc<App> {
+        App::single(service())
     }
 
     #[test]
     fn serves_info_over_a_socket() {
-        let svc = service();
-        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 2).unwrap();
+        let app = app();
+        let expected = app.registry().default_trace().service.info_json();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
         let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
         let (status, body) = client.get("/v1/info").unwrap();
         assert_eq!(status, 200);
-        assert_eq!(body, svc.info_json());
+        assert_eq!(body, expected);
         server.stop();
     }
 
     #[test]
     fn keep_alive_serves_many_requests_per_connection() {
-        let svc = service();
-        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 2).unwrap();
+        let mut server = serve(app(), "127.0.0.1:0", 2).unwrap();
         let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
         for path in [
             "/v1/legend",
@@ -511,47 +1044,48 @@ mod tests {
 
     #[test]
     fn socket_bodies_match_in_process_calls() {
-        let svc = service();
-        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 4).unwrap();
+        let app = app();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 4).unwrap();
         let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
+        let svc = app.registry().default_trace();
         let (_, over_wire) = client.get("/v1/query?t0=0.5&t1=3.5&ranks=1").unwrap();
         assert_eq!(
             over_wire,
-            svc.query_json(TimeWindow::new(0.5, 3.5), Some(&[1]))
+            svc.service
+                .query_json(TimeWindow::new(0.5, 3.5), Some(&[1]))
         );
         let (_, tile) = client.get("/v1/tile?rank=0&zoom=2&tile=1").unwrap();
-        assert_eq!(tile, *svc.tile_json(0, 2, 1).unwrap());
+        assert_eq!(tile, *svc.service.tile_json(0, 2, 1).unwrap());
         server.stop();
     }
 
     #[test]
     fn diagnose_route_returns_cached_verdict_json() {
-        let svc = service();
-        let (status, ct, body) = route(&svc, "/v1/diagnose");
+        let app = app();
+        let (status, ct, body) = route(&app, "/v1/diagnose");
         assert_eq!(status, 200);
         assert_eq!(ct, "application/json");
         let v = pilot_vis::json::Json::parse(&body).unwrap();
         assert!(v.get("verdicts").is_some(), "{body}");
         // Cached: the second call returns the identical string.
-        let (_, _, again) = route(&svc, "/v1/diagnose");
+        let (_, _, again) = route(&app, "/v1/diagnose");
         assert_eq!(body, again);
     }
 
     #[test]
     fn diff_route_is_404_until_a_baseline_is_registered() {
-        let svc = service();
-        let (status, _, body) = route(&svc, "/v1/diff");
+        let app = app();
+        let (status, _, body) = route(&app, "/v1/diff");
         assert_eq!(status, 404);
         assert!(body.contains("no baseline"), "{body}");
     }
 
     #[test]
     fn diff_route_serves_cached_verdict_json_with_baseline() {
-        let mut inner = Arc::try_unwrap(service()).ok().expect("sole owner");
-        let baseline = service();
-        inner.set_baseline(baseline.file().clone(), "baseline.pslog2");
-        let svc = Arc::new(inner);
-        let (status, ct, body) = route(&svc, "/v1/diff");
+        let mut inner = service();
+        inner.set_baseline(demo_file(2, 8), "baseline.pslog2");
+        let app = App::single(inner);
+        let (status, ct, body) = route(&app, "/v1/diff");
         assert_eq!(status, 200);
         assert_eq!(ct, "application/json");
         let v = pilot_vis::json::Json::parse(&body).unwrap();
@@ -566,49 +1100,55 @@ mod tests {
             Some("baseline.pslog2")
         );
         // Cached: byte-identical on repeat.
-        let (_, _, again) = route(&svc, "/v1/diff");
+        let (_, _, again) = route(&app, "/v1/diff");
         assert_eq!(body, again);
     }
 
     #[test]
     fn render_route_accepts_critical_overlay() {
-        let svc = service();
-        let (status, _, body) = route(&svc, "/v1/render?backend=svg&overlay=critical");
+        let app = app();
+        let (status, _, body) = route(&app, "/v1/render?backend=svg&overlay=critical");
         assert_eq!(status, 200);
         assert!(body.contains("class=\"critical-path\""), "{body}");
-        let (_, _, plain) = route(&svc, "/v1/render?backend=svg");
+        let (_, _, plain) = route(&app, "/v1/render?backend=svg");
         assert!(!plain.contains("class=\"critical-path\""));
     }
 
     #[test]
     fn routes_reject_bad_input() {
-        let svc = service();
-        assert_eq!(route(&svc, "/v1/query?t0=potato").0, 400);
-        assert_eq!(route(&svc, "/v1/query?ranks=1,x").0, 400);
-        assert_eq!(route(&svc, "/v1/tile?rank=0&zoom=30&tile=0").0, 404);
-        assert_eq!(route(&svc, "/v1/render?backend=nope").0, 404);
-        assert_eq!(route(&svc, "/nowhere").0, 404);
+        let app = app();
+        assert_eq!(route(&app, "/v1/query?t0=potato").0, 400);
+        assert_eq!(route(&app, "/v1/query?ranks=1,x").0, 400);
+        assert_eq!(route(&app, "/v1/tile?rank=0&zoom=30&tile=0").0, 404);
+        assert_eq!(route(&app, "/v1/render?backend=nope").0, 404);
+        assert_eq!(route(&app, "/nowhere").0, 404);
+        assert_eq!(route(&app, "/v1/info?trace=ghost").0, 404);
     }
 
     #[test]
     fn render_route_serves_every_backend() {
-        let svc = service();
+        let app = app();
         for backend in ["svg", "ascii", "html", "hist"] {
-            let (status, _, body) = route(&svc, &format!("/v1/render?backend={backend}&width=320"));
+            let (status, _, body) = route(&app, &format!("/v1/render?backend={backend}&width=320"));
             assert_eq!(status, 200, "{backend}");
             assert!(!body.is_empty(), "{backend}");
         }
-        let (status, _, windowed) = route(&svc, "/v1/render?backend=svg&t0=1&t1=2");
+        let (status, _, windowed) = route(&app, "/v1/render?backend=svg&t0=1&t1=2");
         assert_eq!(status, 200);
         assert!(windowed.contains("<svg"));
     }
 
     #[test]
     fn concurrent_clients_get_consistent_tiles() {
-        let svc = service();
-        let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 4).unwrap();
+        let app = app();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 4).unwrap();
         let addr = format!("127.0.0.1:{}", server.port());
-        let expected = svc.tile_json(0, 3, 5).unwrap();
+        let expected = app
+            .registry()
+            .default_trace()
+            .service
+            .tile_json(0, 3, 5)
+            .unwrap();
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let addr = addr.clone();
@@ -624,5 +1164,144 @@ mod tests {
             assert_eq!(body, *expected);
         }
         server.stop();
+    }
+
+    #[test]
+    fn upload_select_query_delete_roundtrip_over_sockets() {
+        let app = app();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
+
+        let upload = demo_file(3, 5).to_bytes();
+        let resp = client.post("/v1/traces?id=exp1", &upload).unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        let v = pilot_vis::json::Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str().unwrap(), "exp1");
+
+        let (status, listing) = client.get("/v1/traces").unwrap();
+        assert_eq!(status, 200);
+        assert!(listing.contains("\"exp1\""), "{listing}");
+
+        // The ?trace= selector reaches the uploaded trace; the default
+        // answers without it.
+        let (status, info) = client.get("/v1/info?trace=exp1").unwrap();
+        assert_eq!(status, 200);
+        assert!(info.contains("\"P2\""), "{info}");
+        let (status, tile) = client
+            .get("/v1/tile?trace=exp1&rank=2&zoom=1&tile=0")
+            .unwrap();
+        assert_eq!(status, 200);
+        assert!(!tile.is_empty());
+        let (status, _) = client.get("/v1/info").unwrap();
+        assert_eq!(status, 200);
+
+        let resp = client.delete("/v1/traces/exp1").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let (status, _) = client.get("/v1/info?trace=exp1").unwrap();
+        assert_eq!(status, 404);
+        let resp = client.delete("/v1/traces/default").unwrap();
+        assert_eq!(resp.status, 409);
+        let resp = client.delete("/v1/traces/ghost").unwrap();
+        assert_eq!(resp.status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn post_without_content_length_is_411() {
+        let app = app();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
+        let mut stream = TcpStream::connect(format!("127.0.0.1:{}", server.port())).unwrap();
+        stream
+            .write_all(b"POST /v1/traces HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        BufReader::new(&stream).read_line(&mut resp).unwrap();
+        assert!(resp.contains("411"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let app = app();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
+        let mut stream = TcpStream::connect(format!("127.0.0.1:{}", server.port())).unwrap();
+        let long = format!(
+            "GET /{} HTTP/1.1\r\n\r\n",
+            "x".repeat(app.limits().max_request_line + 10)
+        );
+        stream.write_all(long.as_bytes()).unwrap();
+        let mut resp = String::new();
+        BufReader::new(&stream).read_line(&mut resp).unwrap();
+        assert!(resp.contains("431"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn oversized_headers_are_431() {
+        let app = app();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
+        let mut stream = TcpStream::connect(format!("127.0.0.1:{}", server.port())).unwrap();
+        let mut req = String::from("GET /v1/info HTTP/1.1\r\n");
+        for i in 0..40 {
+            req.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(1024)));
+        }
+        req.push_str("\r\n");
+        stream.write_all(req.as_bytes()).unwrap();
+        let mut resp = String::new();
+        BufReader::new(&stream).read_line(&mut resp).unwrap();
+        assert!(resp.contains("431"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn slow_loris_is_cut_off_with_408() {
+        let limits = Limits {
+            header_deadline: Duration::from_millis(80),
+            ..Limits::default()
+        };
+        let app = Arc::new(App::new(service(), limits));
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
+        let mut stream = TcpStream::connect(format!("127.0.0.1:{}", server.port())).unwrap();
+        stream.write_all(b"GET /v1/inf").unwrap(); // ...and never finish
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut resp = String::new();
+        BufReader::new(&stream).read_line(&mut resp).unwrap();
+        assert!(resp.contains("408"), "{resp}");
+        server.stop();
+    }
+
+    #[test]
+    fn expired_deadline_yields_503_with_retry_after() {
+        let limits = Limits {
+            deadline: Duration::ZERO, // every request is already late
+            ..Limits::default()
+        };
+        let app = Arc::new(App::new(service(), limits));
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
+        let resp = client.get_full("/v1/query").unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        server.stop();
+    }
+
+    #[test]
+    fn drain_rejects_new_requests_and_reports() {
+        let app = app();
+        let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
+        let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
+        let (status, _) = client.get("/v1/info").unwrap();
+        assert_eq!(status, 200);
+        let report = server.drain(Duration::from_secs(2));
+        assert!(report.drained, "{report:?}");
+        assert_eq!(report.abandoned, 0);
+        // The kept-alive connection gets a closing 503 on its next
+        // request (or a clean close if the worker exited first).
+        if let Ok(resp) = client.get_full("/v1/info") {
+            assert_eq!(resp.status, 503);
+            assert!(resp.closed);
+        } // Err: worker already gone, clean close — also fine.
     }
 }

@@ -15,21 +15,39 @@
 //!   misses (compute happens outside the shard lock).
 //! - [`service`] — [`TimelineService`], the unified query/render API;
 //!   every HTTP endpoint is a deterministic method here.
-//! - [`http`] — the `pilotd` HTTP front end ([`serve`], [`Server`])
-//!   and a keep-alive [`Client`] used by tests and `repro serve-bench`.
+//! - [`registry`] — the multi-trace server state: a byte-budgeted
+//!   [`TraceRegistry`] (admission, LRU eviction, salvage-tolerant
+//!   uploads) plus [`App`], the bundle of registry + obs plane +
+//!   [`Limits`] + drain flag that one running server shares.
+//! - [`http`] — the `pilotd` HTTP front end ([`serve`], [`Server`]):
+//!   bounded accept queue with load shedding, request deadlines, size
+//!   caps, slow-loris kill, panic isolation, graceful drain — and a
+//!   keep-alive [`Client`] used by tests, `repro serve-bench`, and
+//!   `repro serve-chaos`.
+//! - [`deadline`] — the per-request soft deadline (thread-local),
+//!   checked at phase boundaries; expiry means 503 + `Retry-After`,
+//!   never a truncated body.
 //! - [`obsplane`] — the request-level observability plane
 //!   ([`ObsPlane`]): per-request trace IDs and phase timings, endpoint
 //!   latency histograms, and the tail-latency flight recorder behind
 //!   `/v1/obs/endpoints` and `/v1/obs/flight`.
 
 pub mod cache;
+pub mod deadline;
 pub mod http;
 pub mod index;
 pub mod obsplane;
+pub mod registry;
 pub mod service;
 
 pub use cache::{TileCache, TileKey, CACHE_SHARDS};
-pub use http::{route, serve, Client, Server, DEFAULT_WORKERS};
+pub use http::{
+    route, route_request, serve, Client, DrainReport, HttpResponse, Server, DEFAULT_WORKERS,
+};
 pub use index::TimelineIndex;
 pub use obsplane::{endpoint_class, note_phase, ObsPlane, PhaseTimer, ENDPOINTS, WINDOW_CAPACITY};
+pub use registry::{
+    App, Limits, Occupancy, RemoveError, TraceEntry, TraceRegistry, UploadError, UploadOutcome,
+    DEFAULT_TRACE,
+};
 pub use service::{fnv1a, TimelineService, MAX_ZOOM};

@@ -32,9 +32,9 @@ use pilot_vis::json::Json;
 
 /// Endpoint classes, in reporting order. Every request target maps to
 /// exactly one (unknown paths land in `other`).
-pub const ENDPOINTS: [&str; 12] = [
+pub const ENDPOINTS: [&str; 13] = [
     "tile", "query", "render", "info", "legend", "warnings", "stats", "diagnose", "diff",
-    "metrics", "obs", "other",
+    "metrics", "obs", "traces", "other",
 ];
 
 /// How many completed requests each endpoint's exact-latency window
@@ -57,7 +57,8 @@ pub fn endpoint_class(target: &str) -> usize {
         "/v1/diff" => 8,
         "/metrics" => 9,
         "/v1/obs/endpoints" | "/v1/obs/flight" => 10,
-        _ => 11,
+        p if p == "/v1/traces" || p.starts_with("/v1/traces/") => 11,
+        _ => 12,
     }
 }
 
@@ -357,6 +358,15 @@ impl ObsPlane {
         });
     }
 
+    /// Discard this thread's active request without recording it — the
+    /// worker-panic path, where `finish` will never run. Keeps the
+    /// in-flight gauge honest; the unwound request leaves no trace.
+    pub fn abandon(&self) {
+        if let Some(req) = ACTIVE.with(|a| a.borrow_mut().take()) {
+            req.handles.in_flight.add(-1);
+        }
+    }
+
     /// `/v1/obs/endpoints` — per-endpoint counts and exact p50/p99 for
     /// totals and every phase, computed over each endpoint's latency
     /// window. Endpoints with no traffic are omitted; values are µs.
@@ -561,6 +571,8 @@ mod tests {
         assert_eq!(ENDPOINTS[endpoint_class("/v1/query")], "query");
         assert_eq!(ENDPOINTS[endpoint_class("/metrics")], "metrics");
         assert_eq!(ENDPOINTS[endpoint_class("/v1/obs/flight")], "obs");
+        assert_eq!(ENDPOINTS[endpoint_class("/v1/traces")], "traces");
+        assert_eq!(ENDPOINTS[endpoint_class("/v1/traces/exp1")], "traces");
         assert_eq!(ENDPOINTS[endpoint_class("/nowhere")], "other");
     }
 

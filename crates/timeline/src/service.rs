@@ -19,7 +19,7 @@ use slog2::{Drawable, Query, Slog2Error, Slog2File, TimeWindow};
 
 use crate::cache::{TileCache, TileKey};
 use crate::index::TimelineIndex;
-use crate::obsplane::{ObsPlane, PhaseTimer};
+use crate::obsplane::PhaseTimer;
 
 /// Deepest zoom level the tile endpoint accepts (`2^24` tiles is far
 /// below a second per tile on any real trace).
@@ -41,7 +41,6 @@ pub struct TimelineService {
     index: TimelineIndex,
     cache: TileCache,
     obs: ObsHandle,
-    plane: ObsPlane,
     digest: u64,
     /// Windows with at most this many per-rank drawables answer in
     /// detail; denser windows answer with preview aggregates.
@@ -84,11 +83,17 @@ impl TimelineService {
     }
 
     fn with_digest(file: Slog2File, digest: u64) -> TimelineService {
-        let obs = obs::Obs::handle();
+        Self::with_obs(file, digest, obs::Obs::handle())
+    }
+
+    /// Build a service reporting into an existing obs registry — the
+    /// multi-trace path: every trace in one
+    /// [`App`](crate::registry::App) shares the server's registry, so
+    /// `/metrics` aggregates cache and query counters across tenants.
+    pub fn with_obs(file: Slog2File, digest: u64, obs: ObsHandle) -> TimelineService {
         TimelineService {
             index: TimelineIndex::build(&file),
             cache: TileCache::new(4096, obs.clone()),
-            plane: ObsPlane::new(obs.clone()),
             obs,
             digest,
             detail_limit: 512,
@@ -100,17 +105,9 @@ impl TimelineService {
         }
     }
 
-    /// The request-level observability plane (disabled until
-    /// [`enable_tracing`](Self::enable_tracing)).
-    pub fn plane(&self) -> &ObsPlane {
-        &self.plane
-    }
-
-    /// Turn on request tracing: trace IDs, phase timings, per-endpoint
-    /// histograms, and the flight recorder. Response bodies are
-    /// unaffected — tiles stay byte-identical with tracing on.
-    pub fn enable_tracing(&self) {
-        self.plane.set_enabled(true);
+    /// The obs registry this service reports into.
+    pub fn obs_handle(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Test-only hook: make every tile compute sleep for `delay` so a
@@ -278,6 +275,26 @@ impl TimelineService {
     /// [`detail_limit`](Self::detail_limit), the preview aggregate the
     /// frame tree keeps per node — the zoomed-out colour-stripe data.
     pub fn query_json(&self, w: TimeWindow, ranks: Option<&[u32]>) -> String {
+        self.query_json_impl(w, ranks, false)
+            .expect("unbounded query never aborts")
+    }
+
+    /// [`query_json`](Self::query_json) with the request deadline
+    /// enforced between ranks — the phase boundary of the heaviest
+    /// endpoint. Returns `None` when the armed
+    /// [`deadline`](crate::deadline) passes mid-query, so the router
+    /// can answer 503 without ever emitting a truncated body. Tile
+    /// computes must NOT use this: a cached tile has to be complete.
+    pub fn query_json_bounded(&self, w: TimeWindow, ranks: Option<&[u32]>) -> Option<String> {
+        self.query_json_impl(w, ranks, true)
+    }
+
+    fn query_json_impl(
+        &self,
+        w: TimeWindow,
+        ranks: Option<&[u32]>,
+        bounded: bool,
+    ) -> Option<String> {
         self.count_query();
         // Infinite endpoints (`TimeWindow::ALL`) clamp to the file
         // range in the echo — JSON has no infinity literal.
@@ -295,14 +312,22 @@ impl TimelineService {
         };
         let all: Vec<u32> = (0..self.index.nranks() as u32).collect();
         let ranks = ranks.unwrap_or(&all);
-        let rows: Vec<Json> = ranks.iter().map(|&r| self.rank_json(r, w)).collect();
+        let mut rows: Vec<Json> = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            if bounded && crate::deadline::expired() {
+                return None;
+            }
+            rows.push(self.rank_json(r, w));
+        }
         // Serializing the assembled tree is response-building work.
         let _render = PhaseTimer::start(Phase::Render);
-        Json::Obj(vec![
-            ("window".into(), window_json(echo)),
-            ("ranks".into(), Json::Arr(rows)),
-        ])
-        .compact()
+        Some(
+            Json::Obj(vec![
+                ("window".into(), window_json(echo)),
+                ("ranks".into(), Json::Arr(rows)),
+            ])
+            .compact(),
+        )
     }
 
     fn rank_json(&self, rank: u32, w: TimeWindow) -> Json {
@@ -469,9 +494,15 @@ impl TimelineService {
     /// `/v1/stats` — query and cache counters, including single-flight
     /// waits and per-shard occupancy (current + busiest shard's peak).
     pub fn stats_json(&self) -> String {
+        Json::Obj(self.stats_fields()).compact()
+    }
+
+    /// The fields of [`stats_json`](Self::stats_json), exposed so the
+    /// multi-trace router can append registry occupancy to them.
+    pub fn stats_fields(&self) -> Vec<(String, Json)> {
         let (hit, miss, eviction) = self.cache.counters();
         let occupancy = self.cache.shard_occupancy();
-        Json::Obj(vec![
+        vec![
             (
                 "queries".into(),
                 Json::Num(self.queries.load(Ordering::Relaxed) as f64),
@@ -495,8 +526,7 @@ impl TimelineService {
                 "cache_shard_occupancy_high".into(),
                 Json::Num(self.cache.shard_occupancy_high() as f64),
             ),
-        ])
-        .compact()
+        ]
     }
 
     /// `/metrics` — the Prometheus-style text of the obs registry.

@@ -13,7 +13,7 @@ use slog2::{
     Category, CategoryId, CategoryKind, Drawable, FrameTree, Slog2File, StateDrawable, TimeWindow,
     TimelineId,
 };
-use timeline::{serve, Client, TimelineService};
+use timeline::{serve, App, Client, TimelineService};
 
 fn test_file() -> Slog2File {
     let mut ds = Vec::new();
@@ -55,9 +55,9 @@ fn service() -> TimelineService {
 fn slow_request_lands_in_flight_with_phases_summing_to_total() {
     let mut svc = service();
     svc.set_test_tile_delay(Duration::from_millis(40));
-    svc.enable_tracing();
-    let svc = Arc::new(svc);
-    let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 2).unwrap();
+    let app = App::single(svc);
+    app.enable_tracing();
+    let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
     let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
 
     let (status, _) = client
@@ -138,10 +138,9 @@ fn slow_request_lands_in_flight_with_phases_summing_to_total() {
 /// `/v1/obs/endpoints` aggregates per-endpoint, per-phase percentiles.
 #[test]
 fn endpoint_summary_reports_phase_percentiles() {
-    let svc = service();
-    svc.enable_tracing();
-    let svc = Arc::new(svc);
-    let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 2).unwrap();
+    let app = App::single(service());
+    app.enable_tracing();
+    let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 2).unwrap();
     let mut client = Client::connect(&format!("127.0.0.1:{}", server.port())).unwrap();
     for tile in 0..4 {
         let (status, _) = client
@@ -179,12 +178,12 @@ fn endpoint_summary_reports_phase_percentiles() {
 /// `X-Trace-Id`.
 #[test]
 fn responses_are_byte_identical_with_and_without_tracing() {
-    let svc_off = Arc::new(service());
-    let svc_on = Arc::new(service());
-    svc_on.enable_tracing();
+    let app_off = App::single(service());
+    let app_on = App::single(service());
+    app_on.enable_tracing();
 
-    let mut server_off = serve(Arc::clone(&svc_off), "127.0.0.1:0", 2).unwrap();
-    let mut server_on = serve(Arc::clone(&svc_on), "127.0.0.1:0", 2).unwrap();
+    let mut server_off = serve(Arc::clone(&app_off), "127.0.0.1:0", 2).unwrap();
+    let mut server_on = serve(Arc::clone(&app_on), "127.0.0.1:0", 2).unwrap();
     let mut off = Client::connect(&format!("127.0.0.1:{}", server_off.port())).unwrap();
     let mut on = Client::connect(&format!("127.0.0.1:{}", server_on.port())).unwrap();
 
@@ -207,8 +206,8 @@ fn responses_are_byte_identical_with_and_without_tracing() {
         );
     }
     // The traced side really did trace.
-    assert!(svc_on.plane().flight().recorded() > 0);
-    assert_eq!(svc_off.plane().flight().recorded(), 0);
+    assert!(app_on.plane().flight().recorded() > 0);
+    assert_eq!(app_off.plane().flight().recorded(), 0);
     server_off.stop();
     server_on.stop();
 }
@@ -219,8 +218,8 @@ fn responses_are_byte_identical_with_and_without_tracing() {
 fn stats_expose_singleflight_and_occupancy() {
     let mut svc = service();
     svc.set_test_tile_delay(Duration::from_millis(30));
-    let svc = Arc::new(svc);
-    let mut server = serve(Arc::clone(&svc), "127.0.0.1:0", 4).unwrap();
+    let app = App::single(svc);
+    let mut server = serve(Arc::clone(&app), "127.0.0.1:0", 4).unwrap();
     let addr = format!("127.0.0.1:{}", server.port());
 
     let handles: Vec<_> = (0..4)

@@ -170,14 +170,15 @@ proptest! {
         span in 0f64..60.0,
         rank in 0u32..NRANKS,
     ) {
-        let svc = TimelineService::from_file(file(ds));
+        let app = timeline::App::single(TimelineService::from_file(file(ds)));
+        let svc = app.registry().default_trace();
         let w = TimeWindow::new(a, a + span);
         let (status, _, body) =
-            timeline::route(&svc, &format!("/v1/query?t0={}&t1={}&ranks={rank}", w.t0, w.t1));
+            timeline::route(&app, &format!("/v1/query?t0={}&t1={}&ranks={rank}", w.t0, w.t1));
         prop_assert_eq!(status, 200);
-        prop_assert_eq!(body, svc.query_json(w, Some(&[rank])));
-        let (status, _, tile) = timeline::route(&svc, "/v1/tile?rank=0&zoom=3&tile=2");
+        prop_assert_eq!(body, svc.service.query_json(w, Some(&[rank])));
+        let (status, _, tile) = timeline::route(&app, "/v1/tile?rank=0&zoom=3&tile=2");
         prop_assert_eq!(status, 200);
-        prop_assert_eq!(&tile, &*svc.tile_json(0, 3, 2).unwrap());
+        prop_assert_eq!(&tile, &*svc.service.tile_json(0, 3, 2).unwrap());
     }
 }
