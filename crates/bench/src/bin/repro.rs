@@ -6,12 +6,15 @@
 //! cargo run -p bench --bin repro --release -- fig1|fig2|fig3|fig4|fig5
 //! cargo run -p bench --bin repro --release -- legend|equal-drawables|clocksync
 //! cargo run -p bench --bin repro --release -- convert-bench [--reps R] [--parallel N]
-//! cargo run -p bench --bin repro --release -- metrics [--workload thumbnail|lab2] [--parallel N]
+//! cargo run -p bench --bin repro --release -- metrics [--workload NAME] [--parallel N]
 //! cargo run -p bench --bin repro --release -- faults [--seed S] [--runs R]
-//! cargo run -p bench --bin repro --release -- diagnose [--workload thumbnail|lab2|instance-a|instance-b]
+//! cargo run -p bench --bin repro --release -- diagnose [--workload NAME|instance-a|instance-b]
 //! cargo run -p bench --bin repro --release -- diff [<before.pslog2> <after.pslog2>] [--workload instance-a-vs-fixed|instance-b-vs-fixed]
 //! cargo run -p bench --bin repro --release -- bench-diff [--baseline DIR] [--current DIR] [--max-regress-pct N] [--warn-only]
 //! cargo run -p bench --bin repro --release -- serve-chaos [--seed S] [--runs R] [--ops N]
+//! cargo run -p bench --bin repro --release -- list-workloads
+//! cargo run -p bench --bin repro --release -- explore [--seeds N]
+//! cargo run -p bench --bin repro --release -- sim-bench [--ranks N] [--seed S]
 //! ```
 //!
 //! `--parallel N` sets the CLOG2→SLOG2 converter's worker-thread count
@@ -42,7 +45,14 @@
 //! in `--current` against committed baselines in `--baseline`, exiting
 //! 1 when any gated metric worsens by more than `--max-regress-pct`
 //! (pass `--warn-only` to report without failing, as pushes to main
-//! do).
+//! do). `list-workloads` enumerates the registry behind `--workload`.
+//! `explore` sweeps virtual-engine schedule seeds over the
+//! deadlock-cycle scenario and exits 1 unless every seed reaches the
+//! same terminal verdict, reruns are byte-identical, and at least two
+//! distinct schedules are observed. `sim-bench` runs the thousand-rank
+//! pipeline fixture under `Engine::Virtual`, demands a byte-identical
+//! CLOG2 digest across three runs inside a 10 s wall budget, and
+//! writes `out/BENCH_sim.json` for the perf gate.
 //!
 //! Every subcommand prints a one-line `[time] <phase>: <seconds>`
 //! summary when it finishes, metrics or not.
@@ -55,7 +65,7 @@
 use std::path::Path;
 
 use bench::{measure_overhead_cell, LoggingMode};
-use minimpi::{ClockConfig, FaultPlan, World};
+use minimpi::{ClockConfig, World};
 use pilot::{PilotConfig, Services};
 use slog2::{
     convert, convert_reader, convert_salvaged, ConvertOptions, ConvertWarning, FailureKind,
@@ -382,7 +392,7 @@ fn clocksync() {
     let n = 4;
     let injected = 0.25f64;
     let out = World::builder(n)
-        .clock(ClockConfig::with_linear_drift(n, injected, 0.0))
+        .clock_shape(ClockConfig::with_linear_drift(n, injected, 0.0))
         .run(|rank| {
             let (_, offset) = mpelog::sync_clocks(rank, 8).unwrap();
             let expect = injected * rank.rank() as f64;
@@ -1528,32 +1538,21 @@ fn serve_chaos(seed: u64, runs: usize, ops: usize) -> bool {
 fn metrics(workload: &str, parallel: usize) -> bool {
     println!("# metrics — {workload} workload with the obs stack attached");
     let o = obs::Obs::handle();
-    let outcome = match workload {
-        "thumbnail" => {
-            let params = ThumbnailParams {
-                n_files: 24,
-                ..Default::default()
-            };
-            let cfg = PilotConfig::new(6)
-                .with_services(Services::parse("j").unwrap())
-                .with_observability(o.clone());
-            let (outcome, result) = run_thumbnail(cfg, 5, params);
-            assert_eq!(result.unwrap(), expected_result(&params));
-            outcome
-        }
-        "lab2" => {
-            let cfg = PilotConfig::new(6)
-                .with_services(Services::parse("j").unwrap())
-                .with_observability(o.clone());
-            let (outcome, result) = run_lab2(cfg, 5, 10_000, false);
-            assert_eq!(result.unwrap().grand_total, expected_total(10_000));
-            outcome
-        }
-        other => {
-            eprintln!("unknown workload '{other}'; try: thumbnail lab2");
-            std::process::exit(2);
-        }
+    // Workloads resolve through the registry: every `--workload` name
+    // the rest of the CLI understands works here too, each one
+    // self-checking its oracle inside `run`.
+    let Some(w) = workloads::workload_by_name(workload) else {
+        eprintln!(
+            "unknown workload '{workload}'; try: {}",
+            workloads::workload_names().join(" ")
+        );
+        std::process::exit(2);
     };
+    let ranks = (w.min_capacity() + 1).max(6);
+    let cfg = PilotConfig::new(ranks)
+        .with_services(Services::parse("j").unwrap())
+        .with_observability(o.clone());
+    let outcome = w.run(cfg);
     assert!(outcome.is_clean(), "{outcome:?}");
 
     let clog = outcome.clog().expect("run must have -pisvc=j");
@@ -1711,153 +1710,6 @@ fn forensics(
     })
 }
 
-/// Scenario 1 — a read/read cycle the event-driven detector convicts.
-fn fault_deadlock(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
-    use pilot::RSlot;
-    let dir = std::env::temp_dir().join(format!("pilot-faults-deadlock-{seed}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    // No FaultPlan rules: the bug is in the program itself. The empty
-    // plan still exercises the zero-overhead fast path.
-    let cfg = PilotConfig::new(4)
-        .with_services(Services::parse("dj").unwrap())
-        .with_spill_dir(dir.clone())
-        .with_fault_plan(FaultPlan::new(seed));
-    let out = pilot::run(cfg, |pi| {
-        let a = pi.create_process(0)?;
-        let b = pi.create_process(1)?;
-        let ab = pi.create_channel(a, b)?;
-        let ba = pi.create_channel(b, a)?;
-        pi.assign_work(a, move |pi, _| {
-            let mut x = 0i64;
-            match pi.read(ba, "%d", &mut [RSlot::Int(&mut x)]) {
-                Err(_) => 7,
-                Ok(()) => 0,
-            }
-        })?;
-        pi.assign_work(b, move |pi, _| {
-            let mut x = 0i64;
-            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
-                Err(_) => 7,
-                Ok(()) => 0,
-            }
-        })?;
-        pi.start_all()?;
-        pi.stop_main(0)
-    });
-    (out, dir)
-}
-
-/// Scenario 2 — a seeded panic mid-run: the worker dies entering its
-/// third PI_Read (clock sync happens only at wrap-up, so its channel
-/// reads are its first receives).
-fn fault_panic(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
-    use pilot::{RSlot, WSlot, PI_MAIN};
-    let dir = std::env::temp_dir().join(format!("pilot-faults-panic-{seed}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    let plan = FaultPlan::new(seed).panic_at_recv(
-        1,
-        3,
-        format!("injected panic at read #3 (seed {seed})"),
-    );
-    let cfg = PilotConfig::new(2)
-        .with_services(Services::parse("j").unwrap())
-        .with_spill_dir(dir.clone())
-        .with_fault_plan(plan);
-    let out = pilot::run(cfg, |pi| {
-        let w = pi.create_process(0)?;
-        let c = pi.create_channel(PI_MAIN, w)?;
-        pi.assign_work(w, move |pi, _| {
-            let mut x = 0i64;
-            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
-            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
-            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]); // dies entering this
-            0
-        })?;
-        pi.start_all()?;
-        // Exactly as many messages as the worker survives to read: the
-        // panic fires at recv *entry*, so main's record count cannot
-        // depend on abort timing.
-        pi.write(c, "%d", &[WSlot::Int(1)])?;
-        pi.write(c, "%d", &[WSlot::Int(2)])?;
-        pi.stop_main(0)
-    });
-    (out, dir)
-}
-
-/// Scenario 3 — the same panic while main's spill writer dies after a
-/// byte budget, leaving a torn file the salvage reader must tolerate.
-fn fault_torn_spill(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
-    use pilot::{RSlot, WSlot, PI_MAIN};
-    let dir = std::env::temp_dir().join(format!("pilot-faults-torn-{seed}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    // An odd budget lands mid-record, so rank 0's spill ends in a
-    // partial frame (`torn_tail`) rather than at a clean boundary.
-    let plan = FaultPlan::new(seed)
-        .panic_at_recv(
-            1,
-            5,
-            format!("injected panic after spill loss (seed {seed})"),
-        )
-        .fail_spill_after(0, 389);
-    let cfg = PilotConfig::new(2)
-        .with_services(Services::parse("j").unwrap())
-        .with_spill_dir(dir.clone())
-        .with_fault_plan(plan);
-    let out = pilot::run(cfg, |pi| {
-        let w = pi.create_process(0)?;
-        let c = pi.create_channel(PI_MAIN, w)?;
-        pi.assign_work(w, move |pi, _| {
-            let mut x = 0i64;
-            for _ in 0..4 {
-                pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
-            }
-            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]); // dies entering this
-            0
-        })?;
-        pi.start_all()?;
-        for i in 0..4 {
-            pi.write(c, "%d", &[WSlot::Int(i)])?;
-        }
-        pi.stop_main(0)
-    });
-    (out, dir)
-}
-
-/// Scenario 4 — a held message: worker A's data send (its second send;
-/// the first is the detector's NoteWrite event) never arrives, so B
-/// blocks with credit on the channel and the event-driven detector sees
-/// no cycle. Only the stall watchdog can convict this one.
-fn fault_stall(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
-    use pilot::{RSlot, WSlot};
-    let dir = std::env::temp_dir().join(format!("pilot-faults-stall-{seed}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    let plan = FaultPlan::new(seed).hold_send(1, 2);
-    let cfg = PilotConfig::new(4)
-        .with_services(Services::parse("dj").unwrap())
-        .with_spill_dir(dir.clone())
-        .with_fault_plan(plan)
-        .with_stall_timeout(std::time::Duration::from_millis(300));
-    let out = pilot::run(cfg, |pi| {
-        let a = pi.create_process(0)?;
-        let b = pi.create_process(1)?;
-        let ab = pi.create_channel(a, b)?;
-        pi.assign_work(a, move |pi, _| {
-            let _ = pi.write(ab, "%d", &[WSlot::Int(9)]);
-            0
-        })?;
-        pi.assign_work(b, move |pi, _| {
-            let mut x = 0i64;
-            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
-                Err(_) => 7,
-                Ok(()) => 0,
-            }
-        })?;
-        pi.start_all()?;
-        pi.stop_main(0)
-    });
-    (out, dir)
-}
-
 /// `repro faults`: the seeded crash-forensics matrix. Each scenario
 /// injects a deterministic fault, then proves the wreckage is usable:
 /// the spill salvages, the salvaged SLOG2 validates and reloads, the
@@ -1866,24 +1718,34 @@ fn fault_stall(seed: u64) -> (pilot::PilotOutcome, std::path::PathBuf) {
 fn faults(seed: u64, runs: usize) -> bool {
     let runs = runs.max(1);
     println!("# faults — crash-forensics matrix (seed {seed}, {runs} run(s) per scenario)");
-    type Scenario = (
-        &'static str,
-        fn(u64) -> (pilot::PilotOutcome, std::path::PathBuf),
-        FailureKind,
-        bool,
-    );
-    let scenarios: [Scenario; 4] = [
-        ("deadlock", fault_deadlock, FailureKind::Deadlocked, false),
-        ("panic", fault_panic, FailureKind::Aborted, false),
-        ("torn-spill", fault_torn_spill, FailureKind::Aborted, true),
-        ("stall", fault_stall, FailureKind::Deadlocked, false),
+    use bench::scenarios::{self, ScenarioCfg, ScenarioFn};
+    let scenarios: [(&'static str, ScenarioFn, FailureKind, bool); 4] = [
+        (
+            "deadlock",
+            scenarios::fault_deadlock,
+            FailureKind::Deadlocked,
+            false,
+        ),
+        ("panic", scenarios::fault_panic, FailureKind::Aborted, false),
+        (
+            "torn-spill",
+            scenarios::fault_torn_spill,
+            FailureKind::Aborted,
+            true,
+        ),
+        (
+            "stall",
+            scenarios::fault_stall,
+            FailureKind::Deadlocked,
+            false,
+        ),
     ];
     let mut ok = true;
     for (name, run_fn, kind, want_torn) in scenarios {
         println!("== {name} ==");
         let mut first: Option<Forensics> = None;
         for i in 0..runs {
-            let (outcome, dir) = run_fn(seed);
+            let (outcome, dir) = run_fn(&ScenarioCfg::wall(seed));
             let f = forensics(name, seed, &outcome, &dir);
             let _ = std::fs::remove_dir_all(&dir);
             let f = match f {
@@ -1983,26 +1845,24 @@ fn diagnose(workload: &str) -> bool {
     let slog = match workload {
         "instance-a" => analysis::fixtures::instance_a(),
         "instance-b" => analysis::fixtures::instance_b(),
-        "thumbnail" => {
-            let params = ThumbnailParams {
-                n_files: 24,
-                ..Default::default()
-            };
-            let cfg = PilotConfig::new(6).with_services(Services::parse("j").unwrap());
-            let (outcome, result) = run_thumbnail(cfg, 5, params);
-            assert_eq!(result.unwrap(), expected_result(&params));
-            live(&outcome)
-        }
-        "lab2" => {
-            let cfg = PilotConfig::new(6).with_services(Services::parse("j").unwrap());
-            let (outcome, result) = run_lab2(cfg, 5, 10_000, false);
-            assert_eq!(result.unwrap().grand_total, expected_total(10_000));
-            live(&outcome)
-        }
-        other => {
-            eprintln!("unknown workload '{other}'; try: thumbnail lab2 instance-a instance-b");
-            std::process::exit(2);
-        }
+        // Anything else resolves through the workload registry and
+        // diagnoses a live run.
+        other => match workloads::workload_by_name(other) {
+            Some(w) => {
+                let ranks = (w.min_capacity() + 1).max(6);
+                let cfg = PilotConfig::new(ranks).with_services(Services::parse("j").unwrap());
+                let outcome = w.run(cfg);
+                assert!(outcome.is_clean(), "{outcome:?}");
+                live(&outcome)
+            }
+            None => {
+                eprintln!(
+                    "unknown workload '{other}'; try: instance-a instance-b {}",
+                    workloads::workload_names().join(" ")
+                );
+                std::process::exit(2);
+            }
+        },
     };
 
     let az = analysis::TraceAnalyzer::new(&slog);
@@ -2332,6 +2192,185 @@ fn bench_diff_cmd(
     ok || warn_only
 }
 
+/// `list-workloads` — enumerate the workload registry, one line per
+/// entry, so shell users and CI scripts discover what `--workload`
+/// accepts without reading source.
+fn list_workloads() {
+    println!("# workloads — names accepted by --workload");
+    for w in workloads::workloads() {
+        println!(
+            "  {:<16} min-capacity {:>2}   {}",
+            w.name(),
+            w.min_capacity(),
+            w.summary()
+        );
+    }
+    println!("  (diagnose additionally accepts the fixture traces: instance-a instance-b)");
+}
+
+/// `explore` — seeded schedule exploration of the deadlock-cycle
+/// scenario under the virtual engine.
+///
+/// Per-rank virtual timestamps are schedule-invariant by design (each
+/// is a pure function of that rank's own op sequence and message wait
+/// times), so the observable that distinguishes legal schedules is
+/// *arrival order*. We therefore run the scenario with the native call
+/// log enabled: the service rank records lines in the exact order the
+/// scheduler delivered them, and — unlike MPE buffers — that log
+/// survives the abort. Each seed runs twice (the rerun must be
+/// byte-identical); the digest covers the native log and the salvaged
+/// CLOG2. Passing means: one terminal verdict class across all seeds,
+/// every rerun identical, and at least two distinct schedules found.
+fn explore(seeds: usize) -> bool {
+    use bench::scenarios::{fault_deadlock, ScenarioCfg};
+    let seeds = seeds.max(2);
+    println!("# explore — deadlock-cycle schedules across {seeds} virtual seed(s)");
+
+    let run_one = |seed: u64, attempt: usize| -> (String, u64) {
+        let mut cfg = ScenarioCfg::virtual_(seed);
+        cfg.call_log = true;
+        cfg.dir_tag = format!("explore-{seed}-{attempt}");
+        let (out, dir) = fault_deadlock(&cfg);
+        let verdict = match &out.artifacts.deadlock {
+            Some(r) => format!("deadlock ({} stuck)", r.stuck.len()),
+            None => format!("no conviction (exit codes {:?})", out.world.exit_codes),
+        };
+        let mut bytes: Vec<u8> = Vec::new();
+        for line in &out.artifacts.native_log {
+            bytes.extend_from_slice(line.as_bytes());
+            bytes.push(b'\n');
+        }
+        if let Ok(Some(clog)) = mpelog::salvage(&dir) {
+            bytes.extend_from_slice(&clog.to_bytes());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (verdict, timeline::fnv1a(&bytes))
+    };
+
+    let mut ok = true;
+    let mut verdicts: Vec<String> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    for seed in 0..seeds as u64 {
+        let (verdict, digest) = run_one(seed, 0);
+        let (v2, d2) = run_one(seed, 1);
+        if (&verdict, digest) != (&v2, d2) {
+            println!("  seed {seed}: FAIL — rerun diverged ({digest:016x} vs {d2:016x})");
+            ok = false;
+        }
+        if !verdict.starts_with("deadlock") {
+            println!("  seed {seed}: FAIL — expected a deadlock conviction, got: {verdict}");
+            ok = false;
+        }
+        println!("  seed {seed}: schedule {digest:016x}  verdict: {verdict}");
+        verdicts.push(verdict);
+        digests.push(digest);
+    }
+    let distinct = |mut xs: Vec<u64>| {
+        xs.sort_unstable();
+        xs.dedup();
+        xs.len()
+    };
+    let schedules = distinct(digests);
+    let verdict_classes = distinct(
+        verdicts
+            .iter()
+            .map(|v| timeline::fnv1a(v.as_bytes()))
+            .collect(),
+    );
+    println!("  {seeds} seed(s) -> {schedules} distinct schedule(s), {verdict_classes} distinct verdict(s)");
+    if schedules < 2 {
+        println!("  FAIL: seeds did not explore distinct schedules");
+        ok = false;
+    }
+    if verdict_classes != 1 {
+        println!("  FAIL: terminal verdict must not depend on the schedule");
+        ok = false;
+    }
+    if ok {
+        println!("  exploration PASSED: same verdict on every schedule, reruns byte-identical");
+    }
+    ok
+}
+
+/// `sim-bench` — the thousand-rank virtual-engine fixture. Runs the
+/// registry's `pipeline` workload at `ranks` ranks under
+/// `Engine::Virtual`, three times, and demands a byte-identical CLOG2
+/// digest each time; writes `out/BENCH_sim.json` (gated by bench-diff
+/// via `wall_s`) and the converted `out/SIM_pipeline.pslog2`.
+fn sim_bench(ranks: usize, seed: u64) -> bool {
+    use pilot_vis::json::Json;
+    let ranks = ranks.max(4);
+    println!("# sim-bench — {ranks}-rank pipeline under the virtual engine (seed {seed})");
+
+    let w = workloads::workload_by_name("pipeline").expect("pipeline is registered");
+    let runs = 3;
+    let mut walls: Vec<f64> = Vec::new();
+    let mut digests: Vec<u64> = Vec::new();
+    let mut events = 0usize;
+    let mut first: Option<pilot::PilotOutcome> = None;
+    for i in 0..runs {
+        let cfg = PilotConfig::new(ranks)
+            .with_services(Services::parse("j").unwrap())
+            .with_engine(minimpi::Engine::Virtual { seed });
+        let t0 = std::time::Instant::now();
+        let outcome = w.run(cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(outcome.is_clean(), "{outcome:?}");
+        let clog = outcome.clog().expect("run has -pisvc=j");
+        events = clog.total_records();
+        digests.push(timeline::fnv1a(&clog.to_bytes()));
+        walls.push(wall);
+        println!("  run {i}: {wall:.3}s wall, digest {:016x}", digests[i]);
+        if first.is_none() {
+            first = Some(outcome);
+        }
+    }
+
+    let mut ok = true;
+    if digests.windows(2).any(|w| w[0] != w[1]) {
+        println!("  FAIL: CLOG2 digest differs across runs: {digests:x?}");
+        ok = false;
+    }
+    let wall_s = bench::median(walls.clone());
+    if wall_s >= 10.0 {
+        println!("  FAIL: median wall {wall_s:.3}s breaches the 10s budget");
+        ok = false;
+    }
+
+    let outcome = first.expect("at least one run");
+    let opts = ConvertOptions {
+        timeline_names: Some(outcome.artifacts.process_names.clone()),
+        parallelism: parallelism(),
+        ..Default::default()
+    };
+    let (slog, _) = convert(outcome.clog().unwrap(), &opts);
+    let slog_path = out_dir().join("SIM_pipeline.pslog2");
+    slog.write_to(&slog_path)
+        .expect("write SIM_pipeline.pslog2");
+
+    let report = Json::Obj(vec![
+        ("ranks".into(), Json::Num(ranks as f64)),
+        ("seed".into(), Json::Num(seed as f64)),
+        ("wall_s".into(), Json::Num(wall_s)),
+        ("ranks_per_sec".into(), Json::Num(ranks as f64 / wall_s)),
+        ("events_per_sec".into(), Json::Num(events as f64 / wall_s)),
+        ("events".into(), Json::Num(events as f64)),
+        ("digest".into(), Json::Str(format!("{:016x}", digests[0]))),
+    ]);
+    let path = out_dir().join("BENCH_sim.json");
+    std::fs::write(&path, report.pretty()).expect("write BENCH_sim.json");
+    println!(
+        "  {ranks} ranks in {wall_s:.3}s median ({:.0} ranks/s, {:.0} events/s, {events} events)",
+        ranks as f64 / wall_s,
+        events as f64 / wall_s
+    );
+    println!("  wrote {} + {}", path.display(), slog_path.display());
+    if ok {
+        println!("  sim-bench PASSED: digest stable across {runs} runs, wall within budget");
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
@@ -2382,6 +2421,21 @@ fn main() {
         }
         "faults" => {
             let ok = timed("faults", || faults(seed, runs));
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "list-workloads" => list_workloads(),
+        "explore" => {
+            let seeds_n = get_flag("--seeds", 8);
+            let ok = timed("explore", || explore(seeds_n));
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        "sim-bench" => {
+            let ranks = get_flag("--ranks", 1024);
+            let ok = timed("sim-bench", || sim_bench(ranks, seed));
             if !ok {
                 std::process::exit(1);
             }
@@ -2488,7 +2542,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults diagnose diff bench-diff serve-bench serve-chaos all"
+                "unknown experiment '{other}'; try: table1 fig1 fig2 fig3 fig4 fig5 legend equal-drawables clocksync convert-bench metrics faults diagnose diff bench-diff serve-bench serve-chaos list-workloads explore sim-bench all"
             );
             std::process::exit(2);
         }

@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark harness and the `repro` binary.
 
+pub mod scenarios;
+
 use pilot::{PilotConfig, Services};
 use workloads::thumbnail::{prepare_inputs, run_thumbnail_with_inputs, ThumbnailParams};
 

@@ -1,0 +1,268 @@
+//! The seeded crash-forensics scenarios, shared by the `repro` CLI
+//! (`faults`, `explore`) and the determinism test-suite.
+//!
+//! Each scenario is a small Pilot program with a deliberate failure
+//! mode. [`ScenarioCfg`] parameterizes everything that may legally
+//! vary between invocations — fault seed, execution engine, thread
+//! spawn order, extra services, spill-directory tag — so the same
+//! program can be driven as a wallclock fault-matrix entry, a
+//! virtual-engine schedule-exploration subject, or a proptest fixture,
+//! without duplicating the program text.
+
+use std::path::{Path, PathBuf};
+
+use minimpi::{Engine, FaultPlan};
+use pilot::{PilotConfig, PilotOutcome, RSlot, Services, WSlot, PI_MAIN};
+
+/// How to drive one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioCfg {
+    /// Fault-plan seed (and, under [`Engine::Virtual`], typically the
+    /// schedule seed too — callers choose).
+    pub seed: u64,
+    /// Execution engine for the underlying world.
+    pub engine: Engine,
+    /// Rank-thread spawn order override (determinism testing).
+    pub spawn_order: Option<Vec<usize>>,
+    /// Also enable the native call log (`c`). Its lines are recorded in
+    /// *arrival order* at the service rank, making it the
+    /// order-sensitive observable that distinguishes schedules under
+    /// `repro explore`.
+    pub call_log: bool,
+    /// Tag folded into the spill directory name so concurrent runs
+    /// (tests, exploration sweeps) do not trample each other.
+    pub dir_tag: String,
+}
+
+impl ScenarioCfg {
+    /// Wallclock scenario with fault seed `seed` — the fault-matrix
+    /// configuration.
+    pub fn wall(seed: u64) -> Self {
+        ScenarioCfg {
+            seed,
+            engine: Engine::Wall,
+            spawn_order: None,
+            call_log: false,
+            dir_tag: format!("{seed}"),
+        }
+    }
+
+    /// Virtual-engine scenario: `seed` drives both the fault plan and
+    /// the schedule tie-break.
+    pub fn virtual_(seed: u64) -> Self {
+        ScenarioCfg {
+            seed,
+            engine: Engine::Virtual { seed },
+            spawn_order: None,
+            call_log: false,
+            dir_tag: format!("v{seed}"),
+        }
+    }
+
+    fn services(&self, base: &str) -> Services {
+        let letters = if self.call_log {
+            format!("c{base}")
+        } else {
+            base.to_string()
+        };
+        Services::parse(&letters).expect("valid service letters")
+    }
+
+    fn config(&self, ranks: usize, base_services: &str, dir: &Path) -> PilotConfig {
+        let mut cfg = PilotConfig::new(ranks)
+            .with_services(self.services(base_services))
+            .with_engine(self.engine)
+            .with_spill_dir(dir.to_path_buf());
+        if let Some(order) = &self.spawn_order {
+            cfg = cfg.with_spawn_order(order.clone());
+        }
+        cfg
+    }
+
+    fn dir(&self, name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pilot-faults-{name}-{}", self.dir_tag));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+}
+
+/// Scenario 1 — a read/read cycle the event-driven detector convicts.
+pub fn fault_deadlock(cfg: &ScenarioCfg) -> (PilotOutcome, PathBuf) {
+    let dir = cfg.dir("deadlock");
+    // No FaultPlan rules: the bug is in the program itself. The empty
+    // plan still exercises the zero-overhead fast path.
+    let pc = cfg
+        .config(4 + usize::from(cfg.call_log), "dj", &dir)
+        .with_fault_plan(FaultPlan::new(cfg.seed));
+    let out = pilot::run(pc, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ab = pi.create_channel(a, b)?;
+        let ba = pi.create_channel(b, a)?;
+        pi.assign_work(a, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ba, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.start_all()?;
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// Scenario 2 — a seeded panic mid-run: the worker dies entering its
+/// third PI_Read (clock sync happens only at wrap-up, so its channel
+/// reads are its first receives).
+pub fn fault_panic(cfg: &ScenarioCfg) -> (PilotOutcome, PathBuf) {
+    let dir = cfg.dir("panic");
+    let plan = FaultPlan::new(cfg.seed).panic_at_recv(
+        1,
+        3,
+        format!("injected panic at read #3 (seed {})", cfg.seed),
+    );
+    let pc = cfg
+        .config(2 + usize::from(cfg.call_log), "j", &dir)
+        .with_fault_plan(plan);
+    let out = pilot::run(pc, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]); // dies entering this
+            0
+        })?;
+        pi.start_all()?;
+        // Exactly as many messages as the worker survives to read: the
+        // panic fires at recv *entry*, so main's record count cannot
+        // depend on abort timing.
+        pi.write(c, "%d", &[WSlot::Int(1)])?;
+        pi.write(c, "%d", &[WSlot::Int(2)])?;
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// Scenario 3 — the same panic while main's spill writer dies after a
+/// byte budget, leaving a torn file the salvage reader must tolerate.
+pub fn fault_torn_spill(cfg: &ScenarioCfg) -> (PilotOutcome, PathBuf) {
+    let dir = cfg.dir("torn");
+    // An odd budget lands mid-record, so rank 0's spill ends in a
+    // partial frame (`torn_tail`) rather than at a clean boundary.
+    let plan = FaultPlan::new(cfg.seed)
+        .panic_at_recv(
+            1,
+            5,
+            format!("injected panic after spill loss (seed {})", cfg.seed),
+        )
+        .fail_spill_after(0, 389);
+    let pc = cfg
+        .config(2 + usize::from(cfg.call_log), "j", &dir)
+        .with_fault_plan(plan);
+    let out = pilot::run(pc, |pi| {
+        let w = pi.create_process(0)?;
+        let c = pi.create_channel(PI_MAIN, w)?;
+        pi.assign_work(w, move |pi, _| {
+            let mut x = 0i64;
+            for _ in 0..4 {
+                pi.read(c, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            }
+            let _ = pi.read(c, "%d", &mut [RSlot::Int(&mut x)]); // dies entering this
+            0
+        })?;
+        pi.start_all()?;
+        for i in 0..4 {
+            pi.write(c, "%d", &[WSlot::Int(i)])?;
+        }
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// Scenario 4 — a held message: worker A's data send (its second send;
+/// the first is the detector's NoteWrite event) never arrives, so B
+/// blocks with credit on the channel and the event-driven detector sees
+/// no cycle. Only the stall watchdog can convict this one.
+pub fn fault_stall(cfg: &ScenarioCfg) -> (PilotOutcome, PathBuf) {
+    let dir = cfg.dir("stall");
+    let plan = FaultPlan::new(cfg.seed).hold_send(1, 2);
+    let pc = cfg
+        .config(4 + usize::from(cfg.call_log), "dj", &dir)
+        .with_fault_plan(plan)
+        .with_stall_timeout(std::time::Duration::from_millis(300));
+    let out = pilot::run(pc, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ab = pi.create_channel(a, b)?;
+        pi.assign_work(a, move |pi, _| {
+            let _ = pi.write(ab, "%d", &[WSlot::Int(9)]);
+            0
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.start_all()?;
+        pi.stop_main(0)
+    });
+    (out, dir)
+}
+
+/// Every scenario with its name, in fault-matrix order.
+pub type ScenarioFn = fn(&ScenarioCfg) -> (PilotOutcome, PathBuf);
+
+/// The full matrix: `(name, base_ranks, runner)` triples. `base_ranks`
+/// is the world size without the call log (`call_log` adds one rank) —
+/// what a spawn-order permutation must cover.
+pub fn all() -> [(&'static str, usize, ScenarioFn); 4] {
+    [
+        ("deadlock", 4, fault_deadlock),
+        ("panic", 2, fault_panic),
+        ("torn-spill", 2, fault_torn_spill),
+        ("stall", 4, fault_stall),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_and_virtual_configs_differ_only_in_engine() {
+        let w = ScenarioCfg::wall(9);
+        let v = ScenarioCfg::virtual_(9);
+        assert_eq!(w.engine, Engine::Wall);
+        assert_eq!(v.engine, Engine::Virtual { seed: 9 });
+        assert_ne!(w.dir_tag, v.dir_tag);
+    }
+
+    #[test]
+    fn virtual_deadlock_scenario_convicts_without_wall_delay() {
+        let t0 = std::time::Instant::now();
+        let (out, dir) = fault_deadlock(&ScenarioCfg::virtual_(1));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(out.artifacts.deadlock.is_some(), "{out:?}");
+        assert!(t0.elapsed() < std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn virtual_stall_scenario_is_convicted_by_the_watchdog() {
+        let (out, dir) = fault_stall(&ScenarioCfg::virtual_(2));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = out.artifacts.deadlock.expect("watchdog must fire");
+        assert!(report.to_string().contains("stall"), "{report}");
+    }
+}

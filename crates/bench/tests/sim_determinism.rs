@@ -1,0 +1,120 @@
+//! The virtual engine's determinism contract over the fault matrix.
+//!
+//! Under `Engine::Virtual` every scenario run is a pure function of
+//! `(program, seed)`: the salvaged CLOG2 must be byte-identical across
+//! repeated runs *and* across rank-thread spawn-order permutations
+//! (the scheduler's t=0 start events erase spawn timing). The
+//! wallclock configurations keep their structural outputs — the same
+//! verdict class per scenario — so virtualizing the clock never
+//! changed what the wall engine reports.
+
+use bench::scenarios::{all, ScenarioCfg, ScenarioFn};
+use minimpi::Engine;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Spill directories must be unique per run even when the proptest
+/// runner retries or shrinks, so tag each with a process-wide counter.
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn virtual_cfg(seed: u64, name: &str) -> ScenarioCfg {
+    ScenarioCfg {
+        seed,
+        engine: Engine::Virtual { seed },
+        spawn_order: None,
+        call_log: false,
+        dir_tag: format!("prop-{name}-{}", CASE.fetch_add(1, Ordering::Relaxed)),
+    }
+}
+
+/// Run one scenario and return the salvaged CLOG2 bytes — the
+/// determinism observable (the run aborts, so the spill is the only
+/// log that survives).
+fn salvaged_bytes(cfg: &ScenarioCfg, run: ScenarioFn) -> Vec<u8> {
+    let (_out, dir) = run(cfg);
+    let clog = mpelog::salvage(&dir)
+        .expect("salvage I/O")
+        .expect("scenario leaves spill files");
+    let _ = std::fs::remove_dir_all(&dir);
+    clog.to_bytes()
+}
+
+/// Seeded Fisher–Yates permutation of `0..n` (proptest drives the
+/// seed; deriving the permutation here keeps one strategy valid for
+/// scenarios of different world sizes).
+fn permutation(n: usize, mut state: u64) -> Vec<usize> {
+    let mut next = move || {
+        // splitmix64
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut v: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    // Each case runs the whole matrix several times; a handful of
+    // seeds is plenty to catch a nondeterministic scheduler.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn virtual_fault_runs_are_byte_identical_across_five_runs(seed in 0u64..1_000) {
+        for (name, _ranks, run) in all() {
+            let reference = salvaged_bytes(&virtual_cfg(seed, name), run);
+            for rep in 1..5 {
+                let bytes = salvaged_bytes(&virtual_cfg(seed, name), run);
+                prop_assert_eq!(
+                    &reference, &bytes,
+                    "{} diverged on rep {} (seed {})", name, rep, seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_fault_runs_survive_spawn_order_shuffles(
+        seed in 0u64..1_000,
+        shuffle in 1u64..10_000,
+    ) {
+        for (name, ranks, run) in all() {
+            let reference = salvaged_bytes(&virtual_cfg(seed, name), run);
+            let mut shuffled = virtual_cfg(seed, name);
+            shuffled.spawn_order = Some(permutation(ranks, shuffle));
+            let bytes = salvaged_bytes(&shuffled, run);
+            prop_assert_eq!(
+                &reference, &bytes,
+                "{} changed under spawn order {:?} (seed {})",
+                name, permutation(ranks, shuffle), seed
+            );
+        }
+    }
+}
+
+/// The wallclock matrix still produces its pre-virtual-engine outputs:
+/// each scenario's verdict class is unchanged by the TimeSource
+/// refactor (`repro faults` additionally checks digest determinism).
+#[test]
+fn wallclock_fault_matrix_keeps_its_verdict_classes() {
+    for (name, _ranks, run) in all() {
+        let mut cfg = ScenarioCfg::wall(42);
+        cfg.dir_tag = format!("wallcheck-{}", CASE.fetch_add(1, Ordering::Relaxed));
+        let (out, dir) = run(&cfg);
+        let _ = std::fs::remove_dir_all(&dir);
+        match name {
+            "deadlock" | "stall" => {
+                assert!(out.artifacts.deadlock.is_some(), "{name}: no conviction")
+            }
+            "panic" | "torn-spill" => {
+                assert!(!out.world.failures.is_empty(), "{name}: no panic recorded")
+            }
+            other => unreachable!("unknown scenario {other}"),
+        }
+    }
+}

@@ -12,7 +12,54 @@
 //! world *inject* both: quantize timestamps to a tick size, and give each
 //! rank an affine drift (offset + skew) relative to true host time.
 
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Where "true" time comes from — the seam between the clock *shape*
+/// (quantization + drift, [`ClockConfig`]) and the clock *source*.
+///
+/// The wallclock engine reads a host [`Instant`] ([`WallSource`]); the
+/// discrete-event engine reads a per-rank virtual clock advanced by the
+/// scheduler. Everything above this trait (drift distortion, tick
+/// quantization, MPE clock sync) composes identically over either
+/// source, which is what makes virtual-time runs produce byte-identical
+/// logs while wallclock runs keep today's behavior bit-for-bit.
+pub trait TimeSource: Send + Sync + std::fmt::Debug {
+    /// True (undistorted, unquantized) seconds since world start *as
+    /// observed by `rank`*. A wallclock source ignores the rank — all
+    /// threads share the host clock; a virtual source returns the
+    /// rank's simulation-local time.
+    fn now(&self, rank: usize) -> f64;
+}
+
+/// The host wallclock: seconds since an [`Instant`] epoch, same for
+/// every rank.
+#[derive(Debug)]
+pub struct WallSource {
+    epoch: Instant,
+}
+
+impl WallSource {
+    /// A wall source whose time zero is "now".
+    pub fn new() -> Self {
+        WallSource {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeSource for WallSource {
+    #[inline]
+    fn now(&self, _rank: usize) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
 
 /// Per-rank affine clock distortion: `observed = true * (1 + skew) + offset`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,31 +133,42 @@ impl ClockConfig {
 /// are produced by [`WorldClock::view`].
 #[derive(Debug)]
 pub struct WorldClock {
-    epoch: Instant,
+    source: Arc<dyn TimeSource>,
     resolution_s: f64,
     drift: Vec<DriftSpec>,
 }
 
 impl WorldClock {
-    /// Create a clock whose time zero is "now".
+    /// Create a wallclock whose time zero is "now".
     pub fn new(config: &ClockConfig) -> Self {
+        WorldClock::over(Arc::new(WallSource::new()), config)
+    }
+
+    /// Compose the clock shape (resolution + drift) over an arbitrary
+    /// time source.
+    pub fn over(source: Arc<dyn TimeSource>, config: &ClockConfig) -> Self {
         WorldClock {
-            epoch: Instant::now(),
+            source,
             resolution_s: config.resolution_s,
             drift: config.drift.clone(),
         }
     }
 
-    /// True (undistorted, unquantized) seconds since world start.
+    /// True (undistorted, unquantized) seconds since world start as
+    /// observed by `rank` — wallclock sources ignore the rank.
     #[inline]
-    pub fn true_now(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
+    pub fn true_now(&self, rank: usize) -> f64 {
+        self.source.now(rank)
     }
 
     /// The clock view of a given rank.
     pub fn view(&self, rank: usize) -> RankClock<'_> {
         let drift = self.drift.get(rank).copied().unwrap_or(DriftSpec::NONE);
-        RankClock { world: self, drift }
+        RankClock {
+            world: self,
+            rank,
+            drift,
+        }
     }
 
     #[inline]
@@ -128,6 +186,7 @@ impl WorldClock {
 #[derive(Debug, Clone, Copy)]
 pub struct RankClock<'a> {
     world: &'a WorldClock,
+    rank: usize,
     drift: DriftSpec,
 }
 
@@ -136,7 +195,7 @@ impl RankClock<'_> {
     #[inline]
     pub fn now(&self) -> f64 {
         self.world
-            .quantize(self.drift.distort(self.world.true_now()))
+            .quantize(self.drift.distort(self.world.true_now(self.rank)))
     }
 
     /// The drift this rank suffers (exposed for tests and experiments).
@@ -213,6 +272,33 @@ mod tests {
             assert!(t >= prev);
             prev = t;
         }
+    }
+
+    #[test]
+    fn shape_composes_over_any_source() {
+        // Resolution + drift are source-agnostic: the same ClockConfig
+        // over a fixed (virtual-style) source quantizes and distorts
+        // exactly as it would over the wallclock.
+        #[derive(Debug)]
+        struct FixedSource(Vec<f64>);
+        impl TimeSource for FixedSource {
+            fn now(&self, rank: usize) -> f64 {
+                self.0.get(rank).copied().unwrap_or(0.0)
+            }
+        }
+        let cfg = ClockConfig {
+            resolution_s: 0.5,
+            drift: vec![
+                DriftSpec::NONE,
+                DriftSpec {
+                    offset_s: 1.0,
+                    skew: 0.0,
+                },
+            ],
+        };
+        let clock = WorldClock::over(Arc::new(FixedSource(vec![0.74, 0.74])), &cfg);
+        assert_eq!(clock.view(0).now(), 0.5); // 0.74 floored to tick
+        assert_eq!(clock.view(1).now(), 1.5); // (0.74 + 1.0) floored
     }
 
     #[test]

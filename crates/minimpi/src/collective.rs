@@ -111,17 +111,18 @@ impl Rank {
             // Arrival skew: the spread between the first and last rank
             // reporting in, as observed at the root — the runtime
             // counterpart of the paper's load-imbalance diagnosis.
-            let mut first_arrival: Option<std::time::Instant> = None;
+            // Measured on the engine clock so virtual runs report
+            // virtual skew.
+            let mut first_arrival: Option<f64> = None;
             let mut last_arrival = None;
             for _ in 1..n {
                 self.recv(Src::Any, Tag::Of(coll_tag(OP_BARRIER_IN, seq)))?;
-                let now = std::time::Instant::now();
+                let now = self.true_time();
                 first_arrival.get_or_insert(now);
                 last_arrival = Some(now);
             }
             if let (Some(o), Some(f), Some(l)) = (self.obs(), first_arrival, last_arrival) {
-                o.barrier_skew_ns
-                    .record(l.duration_since(f).as_nanos() as u64);
+                o.barrier_skew_ns.record(((l - f) * 1e9) as u64);
             }
             for r in 1..n {
                 self.send_internal(r, coll_tag(OP_BARRIER_OUT, seq), Bytes::new())?;

@@ -42,18 +42,22 @@
 pub mod clock;
 pub mod collective;
 pub mod datatype;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod mailbox;
 pub mod message;
+pub(crate) mod sim;
 pub mod world;
 
-pub use clock::{ClockConfig, DriftSpec};
+pub use clock::{ClockConfig, DriftSpec, TimeSource, WallSource};
 pub use collective::ReduceOp;
 pub use datatype::{Datum, TypedSlice};
+pub use engine::Engine;
 pub use error::{MpiError, Result};
 pub use fault::{FaultPlan, SendFault};
 pub use message::{Envelope, Message, Src, Tag};
+pub use sim::SIM_DEADLOCK_CODE;
 pub use world::{Rank, RankFailure, World, WorldBuilder, WorldOutcome};
 
 /// Highest tag value available to user code. Tags above this bound are

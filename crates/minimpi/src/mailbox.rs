@@ -9,11 +9,12 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use crate::engine::WaitCx;
 use crate::error::{MpiError, Result};
 use crate::message::{Delivery, Envelope, Message, Src, Tag};
 
@@ -110,26 +111,69 @@ impl Mailbox {
             .position(|d| src.matches(d.message().env.src) && tag.matches(d.message().env.tag))
     }
 
-    fn take_pending(&mut self, idx: usize) -> Message {
+    fn take_pending(&mut self, idx: usize, cx: &WaitCx) -> Message {
         let taken = self.pending.remove(idx).expect("index valid");
         self.note_depth();
         match taken {
             Delivery::Msg(m) => m,
             Delivery::SyncMsg(m, ack) => {
                 // Release the rendezvous sender; if it already gave up
-                // (abort), the error is irrelevant.
+                // (abort), the error is irrelevant. Under sim the
+                // sender is parked on the ack — hand it a wake event.
                 let _ = ack.send(());
+                cx.engine.wake(cx.rank, m.env.src);
                 m
             }
         }
     }
 
-    /// Blocking receive with matching.
-    pub(crate) fn recv(&mut self, src: Src, tag: Tag, abort: &AbortToken) -> Result<Message> {
+    /// Drain everything that has already arrived onto the unexpected
+    /// queue (non-blocking).
+    fn drain_arrived(&mut self) {
+        while let Ok(d) = self.rx.try_recv() {
+            self.park(d);
+        }
+    }
+
+    /// Sim-engine wait loop shared by `recv` and `recv_timeout`: drain,
+    /// match, otherwise yield the execution token to the event queue —
+    /// with a virtual-time deadline when one is given. No heartbeat is
+    /// needed: an abort schedules an explicit wake event.
+    fn recv_sim(
+        &mut self,
+        src: Src,
+        tag: Tag,
+        deadline_ns: Option<u64>,
+        cx: &WaitCx,
+    ) -> Result<Message> {
         loop {
-            abort.check()?;
+            cx.abort.check()?;
+            self.drain_arrived();
             if let Some(i) = self.find_pending(src, tag) {
-                return Ok(self.take_pending(i));
+                return Ok(self.take_pending(i, cx));
+            }
+            if let Some(d) = deadline_ns {
+                if cx.local_ns() >= d {
+                    return Err(MpiError::Timeout {
+                        op: "recv_timeout",
+                        src,
+                        tag,
+                    });
+                }
+            }
+            cx.block(deadline_ns);
+        }
+    }
+
+    /// Blocking receive with matching.
+    pub(crate) fn recv(&mut self, src: Src, tag: Tag, cx: &WaitCx) -> Result<Message> {
+        if cx.engine.sim().is_some() {
+            return self.recv_sim(src, tag, None, cx);
+        }
+        loop {
+            cx.abort.check()?;
+            if let Some(i) = self.find_pending(src, tag) {
+                return Ok(self.take_pending(i, cx));
             }
             // Block with a coarse heartbeat so an abort tripped between
             // our check and the blocking call still wakes us.
@@ -142,20 +186,31 @@ impl Mailbox {
     }
 
     /// Receive with a deadline (used by the deadlock detector and tests).
+    /// The deadline is measured against [`TimeSource::now`] — host
+    /// seconds under wall, virtual seconds under sim — so a stall is
+    /// convicted identically under either engine.
+    ///
+    /// [`TimeSource::now`]: crate::TimeSource::now
     pub(crate) fn recv_timeout(
         &mut self,
         src: Src,
         tag: Tag,
         timeout: Duration,
-        abort: &AbortToken,
+        cx: &WaitCx,
     ) -> Result<Message> {
-        let deadline = Instant::now() + timeout;
+        if cx.engine.sim().is_some() {
+            let deadline = cx
+                .local_ns()
+                .saturating_add(u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX));
+            return self.recv_sim(src, tag, Some(deadline), cx);
+        }
+        let deadline = cx.now_s() + timeout.as_secs_f64();
         loop {
-            abort.check()?;
+            cx.abort.check()?;
             if let Some(i) = self.find_pending(src, tag) {
-                return Ok(self.take_pending(i));
+                return Ok(self.take_pending(i, cx));
             }
-            let now = Instant::now();
+            let now = cx.now_s();
             if now >= deadline {
                 return Err(MpiError::Timeout {
                     op: "recv_timeout",
@@ -163,7 +218,7 @@ impl Mailbox {
                     tag,
                 });
             }
-            let step = (deadline - now).min(Duration::from_millis(20));
+            let step = Duration::from_secs_f64(deadline - now).min(Duration::from_millis(20));
             match self.rx.recv_timeout(step) {
                 Ok(d) => self.park(d),
                 Err(RecvTimeoutError::Timeout) => {}
@@ -174,9 +229,17 @@ impl Mailbox {
 
     /// Blocking probe: wait until a matching envelope is present, without
     /// consuming the message.
-    pub(crate) fn probe(&mut self, src: Src, tag: Tag, abort: &AbortToken) -> Result<Envelope> {
+    pub(crate) fn probe(&mut self, src: Src, tag: Tag, cx: &WaitCx) -> Result<Envelope> {
         loop {
-            abort.check()?;
+            cx.abort.check()?;
+            if cx.engine.sim().is_some() {
+                self.drain_arrived();
+                if let Some(i) = self.find_pending(src, tag) {
+                    return Ok(self.pending[i].message().env);
+                }
+                cx.block(None);
+                continue;
+            }
             if let Some(i) = self.find_pending(src, tag) {
                 return Ok(self.pending[i].message().env);
             }
@@ -190,23 +253,20 @@ impl Mailbox {
 
     /// Non-blocking probe: drain whatever has arrived, then report a
     /// matching envelope if any.
-    pub(crate) fn iprobe(
-        &mut self,
-        src: Src,
-        tag: Tag,
-        abort: &AbortToken,
-    ) -> Result<Option<Envelope>> {
-        abort.check()?;
-        loop {
-            match self.rx.try_recv() {
-                Ok(d) => self.park(d),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => break,
-            }
-        }
+    pub(crate) fn iprobe(&mut self, src: Src, tag: Tag, cx: &WaitCx) -> Result<Option<Envelope>> {
+        cx.abort.check()?;
+        self.drain_arrived();
         Ok(self
             .find_pending(src, tag)
             .map(|i| self.pending[i].message().env))
+    }
+
+    /// A clone of the delivery channel's receive side. The sim engine
+    /// holds one per rank for the world's lifetime so that sends to a
+    /// rank that already finished succeed deterministically instead of
+    /// racing the OS-level teardown of that rank's thread.
+    pub(crate) fn keepalive(&self) -> Receiver<Delivery> {
+        self.rx.clone()
     }
 
     /// Number of parked (arrived, unmatched) deliveries — the depth of
@@ -221,7 +281,36 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::{ClockConfig, WorldClock};
+    use crate::engine::EngineCore;
     use bytes::Bytes;
+
+    /// Owns the pieces a `WaitCx` borrows — a wall-engine context for
+    /// exercising the mailbox without a full world.
+    struct TestCx {
+        abort: AbortToken,
+        engine: EngineCore,
+        clock: WorldClock,
+    }
+
+    impl TestCx {
+        fn new() -> Self {
+            TestCx {
+                abort: AbortToken::default(),
+                engine: EngineCore::Wall,
+                clock: WorldClock::new(&ClockConfig::default()),
+            }
+        }
+
+        fn cx(&self) -> WaitCx<'_> {
+            WaitCx {
+                abort: &self.abort,
+                engine: &self.engine,
+                clock: &self.clock,
+                rank: 0,
+            }
+        }
+    }
 
     fn msg(src: usize, tag: u32, seq: u64) -> Delivery {
         Delivery::Msg(Message::new(src, 0, tag, seq, Bytes::from_static(b"x")))
@@ -230,44 +319,44 @@ mod tests {
     #[test]
     fn matches_in_arrival_order_per_source_tag() {
         let (tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
+        let t = TestCx::new();
         tx.send(msg(1, 5, 0)).unwrap();
         tx.send(msg(1, 5, 1)).unwrap();
         tx.send(msg(2, 5, 2)).unwrap();
-        let a = mb.recv(Src::Of(1), Tag::Of(5), &abort).unwrap();
-        let b = mb.recv(Src::Of(1), Tag::Of(5), &abort).unwrap();
+        let a = mb.recv(Src::Of(1), Tag::Of(5), &t.cx()).unwrap();
+        let b = mb.recv(Src::Of(1), Tag::Of(5), &t.cx()).unwrap();
         assert_eq!((a.env.seq, b.env.seq), (0, 1));
     }
 
     #[test]
     fn wildcard_takes_earliest_arrival() {
         let (tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
+        let t = TestCx::new();
         tx.send(msg(3, 9, 10)).unwrap();
         tx.send(msg(1, 2, 11)).unwrap();
-        let m = mb.recv(Src::Any, Tag::Any, &abort).unwrap();
+        let m = mb.recv(Src::Any, Tag::Any, &t.cx()).unwrap();
         assert_eq!(m.env.seq, 10);
     }
 
     #[test]
     fn unmatched_messages_are_parked_not_lost() {
         let (tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
+        let t = TestCx::new();
         tx.send(msg(1, 1, 0)).unwrap();
         tx.send(msg(1, 2, 1)).unwrap();
         // Ask for tag 2 first: tag-1 message must be parked.
-        let m = mb.recv(Src::Of(1), Tag::Of(2), &abort).unwrap();
+        let m = mb.recv(Src::Of(1), Tag::Of(2), &t.cx()).unwrap();
         assert_eq!(m.env.seq, 1);
         assert_eq!(mb.pending_len(), 1);
-        let m = mb.recv(Src::Of(1), Tag::Of(1), &abort).unwrap();
+        let m = mb.recv(Src::Of(1), Tag::Of(1), &t.cx()).unwrap();
         assert_eq!(m.env.seq, 0);
     }
 
     #[test]
     fn recv_timeout_expires() {
         let (_tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
-        let r = mb.recv_timeout(Src::Any, Tag::Any, Duration::from_millis(30), &abort);
+        let t = TestCx::new();
+        let r = mb.recv_timeout(Src::Any, Tag::Any, Duration::from_millis(30), &t.cx());
         assert_eq!(
             r.unwrap_err(),
             MpiError::Timeout {
@@ -281,31 +370,31 @@ mod tests {
     #[test]
     fn probe_does_not_consume() {
         let (tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
+        let t = TestCx::new();
         tx.send(msg(4, 8, 3)).unwrap();
-        let env = mb.probe(Src::Of(4), Tag::Of(8), &abort).unwrap();
+        let env = mb.probe(Src::Of(4), Tag::Of(8), &t.cx()).unwrap();
         assert_eq!(env.seq, 3);
-        let m = mb.recv(Src::Of(4), Tag::Of(8), &abort).unwrap();
+        let m = mb.recv(Src::Of(4), Tag::Of(8), &t.cx()).unwrap();
         assert_eq!(m.env.seq, 3);
     }
 
     #[test]
     fn iprobe_reports_absence_without_blocking() {
         let (tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
-        assert!(mb.iprobe(Src::Any, Tag::Any, &abort).unwrap().is_none());
+        let t = TestCx::new();
+        assert!(mb.iprobe(Src::Any, Tag::Any, &t.cx()).unwrap().is_none());
         tx.send(msg(0, 0, 0)).unwrap();
-        assert!(mb.iprobe(Src::Any, Tag::Any, &abort).unwrap().is_some());
+        assert!(mb.iprobe(Src::Any, Tag::Any, &t.cx()).unwrap().is_some());
         // still present: iprobe never consumes
-        assert!(mb.iprobe(Src::Any, Tag::Any, &abort).unwrap().is_some());
+        assert!(mb.iprobe(Src::Any, Tag::Any, &t.cx()).unwrap().is_some());
     }
 
     #[test]
     fn abort_wakes_blocked_recv() {
         let (_tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
-        abort.trip(2, 42);
-        let e = mb.recv(Src::Any, Tag::Any, &abort).unwrap_err();
+        let t = TestCx::new();
+        t.abort.trip(2, 42);
+        let e = mb.recv(Src::Any, Tag::Any, &t.cx()).unwrap_err();
         assert_eq!(
             e,
             MpiError::Aborted {
@@ -326,7 +415,7 @@ mod tests {
     #[test]
     fn sync_delivery_releases_ack_on_match() {
         let (tx, mut mb) = Mailbox::new();
-        let abort = AbortToken::default();
+        let t = TestCx::new();
         let (ack_tx, ack_rx) = crossbeam::channel::bounded(1);
         tx.send(Delivery::SyncMsg(
             Message::new(1, 0, 3, 0, Bytes::new()),
@@ -334,7 +423,7 @@ mod tests {
         ))
         .unwrap();
         assert!(ack_rx.try_recv().is_err());
-        mb.recv(Src::Of(1), Tag::Of(3), &abort).unwrap();
+        mb.recv(Src::Of(1), Tag::Of(3), &t.cx()).unwrap();
         assert!(ack_rx.try_recv().is_ok());
     }
 }

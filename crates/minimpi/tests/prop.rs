@@ -127,7 +127,7 @@ proptest! {
 #[test]
 fn quantized_clock_is_monotonic_and_grid_aligned() {
     let out = World::builder(1)
-        .clock(ClockConfig {
+        .clock_shape(ClockConfig {
             resolution_s: 1e-4,
             drift: vec![],
         })

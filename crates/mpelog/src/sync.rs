@@ -197,7 +197,7 @@ mod tests {
         // (shared-memory ping RTTs are tiny).
         let n = 4;
         let out = World::builder(n)
-            .clock(ClockConfig::with_linear_drift(n, 0.25, 0.0))
+            .clock_shape(ClockConfig::with_linear_drift(n, 0.25, 0.0))
             .run(|rank| {
                 let (_, offset) = sync_clocks(rank, 8).unwrap();
                 let expect = 0.25 * rank.rank() as f64;
@@ -231,7 +231,7 @@ mod tests {
         let readings: Mutex<Vec<f64>> = Mutex::new(Vec::new());
         let n = 3;
         let out = World::builder(n)
-            .clock(ClockConfig::with_linear_drift(n, 0.5, 0.0))
+            .clock_shape(ClockConfig::with_linear_drift(n, 0.5, 0.0))
             .run(|rank| {
                 let (t, offset) = sync_clocks(rank, 8).unwrap();
                 let corr = ClockCorrection::from_points(vec![(t, offset)]);

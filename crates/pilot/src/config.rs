@@ -9,7 +9,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use minimpi::{ClockConfig, FaultPlan};
+use minimpi::{ClockConfig, Engine, FaultPlan};
 
 /// Which optional run-time services are enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,6 +59,11 @@ pub struct PilotConfig {
     /// 0 = minimal, 1 = API-misuse checks (default), 2 = + reader/writer
     /// format verification, 3 = + argument validity checks.
     pub check_level: u8,
+    /// Execution engine of the underlying world: wallclock OS threads
+    /// (default) or the seeded discrete-event simulation, under which
+    /// thousand-rank runs take milliseconds and every timestamp is
+    /// exactly reproducible.
+    pub engine: Engine,
     /// Clock behaviour of the underlying world (resolution quantization
     /// and drift injection for the clock experiments).
     pub clock: ClockConfig,
@@ -89,6 +94,11 @@ pub struct PilotConfig {
     /// after a byte budget. `None` (the default) adds zero overhead —
     /// the plan is threaded into the world only when present.
     pub fault_plan: Option<FaultPlan>,
+    /// Override the order the underlying world spawns its rank threads
+    /// in. Determinism-testing hook: under [`Engine::Virtual`] every
+    /// spawn order must produce identical results. `None` spawns in
+    /// rank order.
+    pub spawn_order: Option<Vec<usize>>,
     /// Stall watchdog window for the deadlock-detector service rank:
     /// when no service event arrives for this long AND some process is
     /// known to be blocked, the detector declares a stall (e.g. a held
@@ -104,6 +114,7 @@ impl PilotConfig {
             ranks,
             services: Services::default(),
             check_level: 1,
+            engine: Engine::Wall,
             clock: ClockConfig::default(),
             arrow_spread: Duration::from_millis(1),
             sync_rounds: 4,
@@ -112,6 +123,7 @@ impl PilotConfig {
             mpe_spill_dir: None,
             observe: None,
             fault_plan: None,
+            spawn_order: None,
             stall_timeout: None,
         }
     }
@@ -156,6 +168,13 @@ impl PilotConfig {
         self
     }
 
+    /// Builder: select the execution engine ([`Engine::Wall`] or
+    /// [`Engine::Virtual`]).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Builder: set the collective arrow spread.
     pub fn with_arrow_spread(mut self, d: Duration) -> Self {
         self.arrow_spread = d;
@@ -178,6 +197,12 @@ impl PilotConfig {
     /// have no effect — the world builder drops them).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder: force a rank-thread spawn order (determinism testing).
+    pub fn with_spawn_order(mut self, order: Vec<usize>) -> Self {
+        self.spawn_order = Some(order);
         self
     }
 

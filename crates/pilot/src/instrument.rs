@@ -259,12 +259,13 @@ impl Instrument {
     }
 
     /// The paper's `usleep` workaround: space out a collective's fanout
-    /// arrows so they are not superimposed ("Equal Drawables"). No-op
-    /// when logging is off or the spread is zero.
-    pub fn spread_arrows(&self) {
-        if self.enabled() && !self.arrow_spread.is_zero() {
-            std::thread::sleep(self.arrow_spread);
-        }
+    /// arrows so they are not superimposed ("Equal Drawables"). Returns
+    /// the pause the caller must sleep on its *engine* clock (so
+    /// virtual runs spread arrows in virtual time), or `None` when
+    /// logging is off or the spread is zero.
+    #[must_use]
+    pub fn spread_arrows(&self) -> Option<Duration> {
+        (self.enabled() && !self.arrow_spread.is_zero()).then_some(self.arrow_spread)
     }
 
     /// Record time spent blocked inside a read-side call: a per-channel
@@ -390,9 +391,7 @@ mod tests {
     #[test]
     fn spread_arrows_is_noop_when_disabled() {
         let ins = Instrument::new(0, false, Duration::from_millis(50), None, None);
-        let t0 = std::time::Instant::now();
-        ins.spread_arrows();
-        assert!(t0.elapsed() < Duration::from_millis(20));
+        assert_eq!(ins.spread_arrows(), None);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   permits).
 
 use std::cell::RefCell;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use minimpi::{Rank, Src, Tag, World, WorldOutcome};
 use mpelog::{finish_log, sync_clocks, ClockCorrection, Clog2File};
@@ -159,7 +159,12 @@ where
     let config_ref = &config;
     let program_ref = &program;
 
-    let mut builder = World::builder(config.ranks).clock(config.clock.clone());
+    let mut builder = World::builder(config.ranks)
+        .engine(config.engine)
+        .clock_shape(config.clock.clone());
+    if let Some(order) = &config.spawn_order {
+        builder = builder.spawn_order(order.clone());
+    }
     if let Some(obs) = &config.observe {
         builder = builder.observe(obs.clone());
     }
@@ -305,6 +310,15 @@ impl<'r, 'env> Pilot<'r, 'env> {
     /// Wallclock seconds since the world started (this rank's clock).
     pub fn wtime(&self) -> f64 {
         self.rank.wtime()
+    }
+
+    /// Sleep for `d` of *engine* time: a real `thread::sleep` under
+    /// [`Engine::Wall`](minimpi::Engine::Wall), a virtual-clock timer
+    /// under [`Engine::Virtual`](minimpi::Engine::Virtual). Workloads
+    /// that model compute with sleeps must use this so virtual runs
+    /// simulate the think time instead of actually waiting it out.
+    pub fn sleep(&self, d: Duration) {
+        self.rank.sleep(d);
     }
 
     fn checks(&self) -> u8 {
@@ -807,7 +821,7 @@ impl<'r, 'env> Pilot<'r, 'env> {
             // disk before the abort tears the world down (a real
             // MPI_Abort is likewise not instantaneous). The buffered MPE
             // log is still lost — that asymmetry is the paper's point.
-            std::thread::sleep(Duration::from_millis(50));
+            self.rank.sleep(Duration::from_millis(50));
         }
         self.rank.abort(code).into()
     }
@@ -1005,7 +1019,7 @@ impl<'r, 'env> Pilot<'r, 'env> {
             res: format!("C{}", chan.0),
         });
 
-        let blocked_from = Instant::now();
+        let blocked_from = self.rank.true_time();
         let recv_result = (|| -> PilotResult<Vec<Vec<u8>>> {
             let mut msgs = Vec::with_capacity(n_data);
             if self.checks() >= 2 {
@@ -1056,7 +1070,7 @@ impl<'r, 'env> Pilot<'r, 'env> {
         self.instr.borrow().note_blocked(
             StateKind::Read,
             &chan_name,
-            blocked_from.elapsed().as_nanos() as u64,
+            ((self.rank.true_time() - blocked_from) * 1e9) as u64,
         );
         let msgs = match recv_result {
             Ok(m) => {
@@ -1223,7 +1237,9 @@ impl<'r, 'env> Pilot<'r, 'env> {
         ));
         for &c in &channels {
             // One delay per arrow, as in the paper's usleep workaround.
-            self.instr.borrow().spread_arrows();
+            if let Some(d) = self.instr.borrow().spread_arrows() {
+                self.rank.sleep(d);
+            }
             self.write_inner(Channel(c), fmt, &specs, slots, &at, None)?;
         }
         self.instr
@@ -1291,7 +1307,9 @@ impl<'r, 'env> Pilot<'r, 'env> {
                     });
                 }
                 for (i, &c) in channels.iter().enumerate() {
-                    self.instr.borrow().spread_arrows();
+                    if let Some(d) = self.instr.borrow().spread_arrows() {
+                        self.rank.sleep(d);
+                    }
                     let part = WSlot::$variant(&arr[i * per..(i + 1) * per]);
                     self.write_inner(Channel(c), fmt, &specs, &[part], &at, None)?;
                 }
@@ -1569,12 +1587,12 @@ impl<'r, 'env> Pilot<'r, 'env> {
             loc: Self::short_loc(&at),
             res: format!("B{}", bundle.0),
         });
-        let blocked_from = Instant::now();
+        let blocked_from = self.rank.true_time();
         let ready = loop {
             if let Some(i) = self.poll_bundle(&channels)? {
                 break i;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            self.rank.sleep(Duration::from_micros(200));
         };
         self.ddt_event(SvcEvent::PostBlock {
             proc: self.my_proc_index() as u32,
@@ -1583,7 +1601,7 @@ impl<'r, 'env> Pilot<'r, 'env> {
         self.instr.borrow().note_blocked(
             StateKind::Select,
             &name,
-            blocked_from.elapsed().as_nanos() as u64,
+            ((self.rank.true_time() - blocked_from) * 1e9) as u64,
         );
         self.instr.borrow_mut().state_end(
             StateKind::Select,

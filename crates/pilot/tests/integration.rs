@@ -993,3 +993,117 @@ fn spill_and_buffer_agree_on_clean_runs() {
     }
     assert_eq!(salvaged.state_defs, merged.state_defs);
 }
+
+// ---- virtual engine (discrete-event simulation) ----
+
+#[test]
+fn virtual_engine_jumpshot_log_is_byte_identical_across_runs() {
+    let run = || {
+        let cfg = PilotConfig::new(3)
+            .with_services(svc("j"))
+            .with_engine(minimpi::Engine::Virtual { seed: 42 });
+        let out = pilot::run(cfg, |pi| {
+            let w1 = pi.create_process(0)?;
+            let w2 = pi.create_process(1)?;
+            let c1 = pi.create_channel(PI_MAIN, w1)?;
+            let c2 = pi.create_channel(w1, w2)?;
+            let c3 = pi.create_channel(w2, PI_MAIN)?;
+            pi.assign_work(w1, move |pi, _| {
+                let mut x = 0i64;
+                pi.read(c1, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                pi.write(c2, "%d", &[WSlot::Int(x + 1)]).unwrap();
+                0
+            })?;
+            pi.assign_work(w2, move |pi, _| {
+                let mut x = 0i64;
+                pi.read(c2, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+                pi.write(c3, "%d", &[WSlot::Int(x + 1)]).unwrap();
+                0
+            })?;
+            pi.start_all()?;
+            pi.write(c1, "%d", &[WSlot::Int(1)])?;
+            let mut y = 0i64;
+            pi.read(c3, "%d", &mut [RSlot::Int(&mut y)])?;
+            assert_eq!(y, 3);
+            pi.stop_main(0)
+        });
+        assert!(out.is_clean(), "{out:?}");
+        out.clog().expect("merged CLOG must exist").to_bytes()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "virtual-engine CLOG2 bytes must be identical");
+}
+
+#[test]
+fn virtual_engine_detects_deadlock_cycle() {
+    let cfg = PilotConfig::new(4)
+        .with_services(svc("d"))
+        .with_engine(minimpi::Engine::Virtual { seed: 7 });
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let b = pi.create_process(1)?;
+        let ab = pi.create_channel(a, b)?;
+        let ba = pi.create_channel(b, a)?;
+        pi.assign_work(a, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ba, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.assign_work(b, move |pi, _| {
+            let mut x = 0i64;
+            match pi.read(ab, "%d", &mut [RSlot::Int(&mut x)]) {
+                Err(_) => 7,
+                Ok(()) => 0,
+            }
+        })?;
+        pi.start_all()?;
+        pi.stop_main(0)
+    });
+    let report = out.artifacts.deadlock.expect("deadlock must be detected");
+    assert_eq!(report.stuck.len(), 2);
+    assert!(out.world.aborted.is_some());
+}
+
+#[test]
+fn virtual_engine_stall_watchdog_fires_in_virtual_time() {
+    // A worker disappears into an hour-long compute while PI_MAIN
+    // blocks on its result; the watchdog window is 60 virtual seconds,
+    // which must elapse in negligible wall time.
+    let t0 = std::time::Instant::now();
+    let cfg = PilotConfig::new(4)
+        .with_services(svc("d"))
+        .with_engine(minimpi::Engine::Virtual { seed: 3 })
+        .with_stall_timeout(Duration::from_secs(60));
+    let out = pilot::run(cfg, |pi| {
+        let a = pi.create_process(0)?;
+        let ma = pi.create_channel(PI_MAIN, a)?;
+        let am = pi.create_channel(a, PI_MAIN)?;
+        pi.assign_work(a, move |pi, _| {
+            let mut x = 0i64;
+            pi.read(ma, "%d", &mut [RSlot::Int(&mut x)]).unwrap();
+            // An hour of virtual compute: progress stops with no
+            // wait-for cycle, which only the watchdog can convict.
+            pi.sleep(Duration::from_secs(3600));
+            let _ = pi.write(am, "%d", &[WSlot::Int(x)]);
+            0
+        })?;
+        pi.start_all()?;
+        pi.write(ma, "%d", &[WSlot::Int(5)])?;
+        let mut y = 0i64;
+        match pi.read(am, "%d", &mut [RSlot::Int(&mut y)]) {
+            Err(_) => {} // watchdog aborted the world
+            Ok(()) => panic!("result should not arrive before the watchdog"),
+        }
+        pi.stop_main(0)
+    });
+    let report = out.artifacts.deadlock.expect("stall must be convicted");
+    assert!(report.to_string().contains("stall"), "{report}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "virtual watchdog burned {:?} of wall time",
+        t0.elapsed()
+    );
+}

@@ -184,9 +184,9 @@ fn parse_with_work(text: &str, parse_work: u32) -> Vec<Record> {
     records
 }
 
-fn think(ms: f64) {
+fn think(pi: &pilot::Pilot<'_, '_>, ms: f64) {
     if ms > 0.0 {
-        std::thread::sleep(std::time::Duration::from_secs_f64(ms / 1e3));
+        pi.sleep(std::time::Duration::from_secs_f64(ms / 1e3));
     }
 }
 
@@ -247,14 +247,14 @@ pub fn run_collision(
                         let text = String::from_utf8(text).unwrap();
                         let records = parse_with_work(&text, parse_work);
                         if worker_parses {
-                            think(pt);
+                            think(pi, pt);
                         }
                         // Query phase: one parcel per query, as directed.
                         for _ in 0..nq {
                             let mut q = 0i64;
                             pi.read(rx, "%d", &mut [RSlot::Int(&mut q)]).unwrap();
                             let count = run_query(q as usize, &records);
-                            think(qt);
+                            think(pi, qt);
                             pi.write(tx, "%u", &[WSlot::Uint(count)]).unwrap();
                         }
                         0
@@ -271,16 +271,16 @@ pub fn run_collision(
                         // parse our chunk locally, in parallel with the
                         // other workers.
                         let text = generate_csv(first, nrows, seed);
-                        think(rt);
+                        think(pi, rt);
                         let records = parse_with_work(&text, parse_work);
-                        think(pt);
+                        think(pi, pt);
                         // Signal readiness, then answer queries.
                         pi.write(tx, "%d", &[WSlot::Int(nrows as i64)]).unwrap();
                         for _ in 0..nq {
                             let mut q = 0i64;
                             pi.read(rx, "%d", &mut [RSlot::Int(&mut q)]).unwrap();
                             let count = run_query(q as usize, &records);
-                            think(qt);
+                            think(pi, qt);
                             pi.write(tx, "%u", &[WSlot::Uint(count)]).unwrap();
                         }
                         0
@@ -301,7 +301,7 @@ pub fn run_collision(
                 // overlapping gray bars of Fig. 4.
                 for i in 0..workers {
                     let text = generate_csv(first_of(i), rows_of(i), params.seed);
-                    think(params.read_think_ms);
+                    think(pi, params.read_think_ms);
                     pi.write(to_w[i], "%^b", &[WSlot::ByteArr(text.as_bytes())])?;
                 }
             }
@@ -310,7 +310,10 @@ pub fn run_collision(
                 // 11 s of Fig. 5), workers blocked in PI_Read all along.
                 let all = generate_csv(0, params.rows, params.seed);
                 let _parsed = parse_with_work(&all, params.parse_work);
-                think(workers as f64 * (params.read_think_ms + params.parse_think_ms));
+                think(
+                    pi,
+                    workers as f64 * (params.read_think_ms + params.parse_think_ms),
+                );
                 for i in 0..workers {
                     let text = generate_csv(first_of(i), rows_of(i), params.seed);
                     pi.write(to_w[i], "%^b", &[WSlot::ByteArr(text.as_bytes())])?;

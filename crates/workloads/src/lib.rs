@@ -24,10 +24,14 @@
 pub mod codec;
 pub mod collision;
 pub mod lab2;
+pub mod pipeline;
+pub mod registry;
 pub mod thumbnail;
 pub mod trace;
 
 pub use collision::{run_collision, CollisionParams, CollisionResult, CollisionVariant};
 pub use lab2::{run_lab2, Lab2Result};
+pub use pipeline::{run_pipeline, PipelineResult};
+pub use registry::{workload_by_name, workload_names, workloads, Workload};
 pub use thumbnail::{run_thumbnail, ThumbnailParams, ThumbnailResult};
 pub use trace::synthetic_clog;

@@ -1,0 +1,211 @@
+//! Name → workload registry.
+//!
+//! Every demonstration program registers here under a stable name, so
+//! tools (the `repro` CLI, CI jobs, benches) can resolve `--workload
+//! <name>` through one table instead of each growing its own `match`
+//! arm per workload. `repro list-workloads` enumerates this registry.
+//!
+//! A [`Workload`] runs under any [`PilotConfig`]: worker pools scale
+//! with `config.process_capacity()`, so the same entry drives a 6-rank
+//! wallclock smoke test and a 1024-rank virtual-engine determinism
+//! fixture. Each runner self-checks its result against the workload's
+//! oracle and panics on a wrong answer — callers only need
+//! [`PilotOutcome::is_clean`].
+
+use pilot::{PilotConfig, PilotOutcome};
+
+use crate::collision::{expected_answers, run_collision, CollisionParams, CollisionVariant};
+use crate::lab2::{expected_total, run_lab2};
+use crate::pipeline::{expected_token_sum, run_pipeline};
+use crate::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
+
+/// A named, rank-scalable Pilot workload.
+pub trait Workload: Sync {
+    /// Stable registry name (what `--workload` matches).
+    fn name(&self) -> &'static str;
+    /// One-line description for `repro list-workloads`.
+    fn summary(&self) -> &'static str;
+    /// Smallest `process_capacity` the workload runs with.
+    fn min_capacity(&self) -> usize;
+    /// Run under `config`, scaling workers to the available capacity.
+    /// Panics if the self-check oracle fails on a clean run.
+    fn run(&self, config: PilotConfig) -> PilotOutcome;
+}
+
+struct Thumbnail;
+impl Workload for Thumbnail {
+    fn name(&self) -> &'static str {
+        "thumbnail"
+    }
+    fn summary(&self) -> &'static str {
+        "JPEG-thumbnail pipeline of §III.D: MAIN -> decompressors -> compressor -> MAIN"
+    }
+    fn min_capacity(&self) -> usize {
+        3
+    }
+    fn run(&self, config: PilotConfig) -> PilotOutcome {
+        let workers = config.process_capacity() - 1;
+        let params = ThumbnailParams {
+            n_files: 4 * (workers - 1).max(1),
+            ..Default::default()
+        };
+        let (outcome, result) = run_thumbnail(config, workers, params);
+        if let Some(r) = result {
+            assert_eq!(r, expected_result(&params), "thumbnail oracle");
+        }
+        outcome
+    }
+}
+
+struct Lab2;
+impl Workload for Lab2 {
+    fn name(&self) -> &'static str {
+        "lab2"
+    }
+    fn summary(&self) -> &'static str {
+        "Fig. 3 teaching exercise: scatter an array, workers sum shares, gather totals"
+    }
+    fn min_capacity(&self) -> usize {
+        2
+    }
+    fn run(&self, config: PilotConfig) -> PilotOutcome {
+        let workers = config.process_capacity() - 1;
+        let num = 10_000;
+        let (outcome, result) = run_lab2(config, workers, num, false);
+        if let Some(r) = result {
+            assert_eq!(r.grand_total, expected_total(num), "lab2 oracle");
+        }
+        outcome
+    }
+}
+
+struct Collision(CollisionVariant);
+impl Workload for Collision {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            CollisionVariant::InstanceA => "collision-a",
+            CollisionVariant::InstanceB => "collision-b",
+            CollisionVariant::Fixed => "collision-fixed",
+        }
+    }
+    fn summary(&self) -> &'static str {
+        match self.0 {
+            CollisionVariant::InstanceA => {
+                "§IV.B student instance A: master ships chunks serially (staggered parses)"
+            }
+            CollisionVariant::InstanceB => {
+                "§IV.B student instance B: master reads and parses everything first"
+            }
+            CollisionVariant::Fixed => {
+                "§IV.B corrected collision query: workers read their own offsets in parallel"
+            }
+        }
+    }
+    fn min_capacity(&self) -> usize {
+        2
+    }
+    fn run(&self, config: PilotConfig) -> PilotOutcome {
+        let workers = config.process_capacity() - 1;
+        let params = CollisionParams::default();
+        let (outcome, result) = run_collision(config, workers, self.0, params);
+        if let Some(r) = result {
+            assert_eq!(r.answers, expected_answers(&params), "collision oracle");
+        }
+        outcome
+    }
+}
+
+struct Pipeline;
+impl Workload for Pipeline {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+    fn summary(&self) -> &'static str {
+        "rank-scalable token chain (the thousand-rank virtual-engine fixture)"
+    }
+    fn min_capacity(&self) -> usize {
+        2
+    }
+    fn run(&self, config: PilotConfig) -> PilotOutcome {
+        let workers = config.process_capacity() - 1;
+        let rounds = 4;
+        let (outcome, result) = run_pipeline(config, rounds);
+        if let Some(r) = result {
+            assert_eq!(
+                r.token_sum,
+                expected_token_sum(workers, rounds),
+                "pipeline oracle"
+            );
+        }
+        outcome
+    }
+}
+
+/// Every registered workload, in display order.
+pub fn workloads() -> &'static [&'static dyn Workload] {
+    static REGISTRY: [&dyn Workload; 6] = [
+        &Thumbnail,
+        &Lab2,
+        &Collision(CollisionVariant::InstanceA),
+        &Collision(CollisionVariant::InstanceB),
+        &Collision(CollisionVariant::Fixed),
+        &Pipeline,
+    ];
+    &REGISTRY
+}
+
+/// Look a workload up by registry name.
+pub fn workload_by_name(name: &str) -> Option<&'static dyn Workload> {
+    workloads().iter().copied().find(|w| w.name() == name)
+}
+
+/// All registry names, for error messages and shell completion.
+pub fn workload_names() -> Vec<&'static str> {
+    workloads().iter().map(|w| w.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names = workload_names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate names: {names:?}");
+        for n in names {
+            assert_eq!(workload_by_name(n).unwrap().name(), n);
+        }
+        assert!(workload_by_name("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn every_workload_runs_clean_at_its_minimum_size() {
+        for w in workloads() {
+            // +1 for PI_MAIN is already inside min_capacity; no services,
+            // so ranks == capacity.
+            let cfg = PilotConfig::new(w.min_capacity() + 1);
+            let out = w.run(cfg);
+            assert!(out.is_clean(), "{}: {out:?}", w.name());
+        }
+    }
+
+    #[test]
+    fn registry_runs_are_deterministic_under_the_virtual_engine() {
+        // lab2 exercises collectives; pipeline exercises long chains.
+        for name in ["lab2", "pipeline"] {
+            let w = workload_by_name(name).unwrap();
+            let run = || {
+                let cfg = PilotConfig::new(6)
+                    .with_services(pilot::Services::parse("j").unwrap())
+                    .with_engine(minimpi::Engine::Virtual { seed: 5 });
+                let out = w.run(cfg);
+                assert!(out.is_clean(), "{name}: {out:?}");
+                out.clog().unwrap().to_bytes()
+            };
+            assert_eq!(run(), run(), "{name} CLOG2 bytes differ across runs");
+        }
+    }
+}

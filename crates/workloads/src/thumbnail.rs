@@ -206,7 +206,7 @@ pub fn run_thumbnail_with_inputs(
                 pi.read(jb, "%^b", &mut [RSlot::ByteVec(&mut buf)]).unwrap();
                 let img = codec::decode(&buf, wf).expect("valid jpeg data");
                 if think_ms > 0.0 {
-                    std::thread::sleep(std::time::Duration::from_secs_f64(think_ms / 1e3));
+                    pi.sleep(std::time::Duration::from_secs_f64(think_ms / 1e3));
                 }
                 let thumb = img.crop_center(0.32).downsample(3);
                 pi.write(px, "%d", &[WSlot::Int(id)]).unwrap();
