@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mpelog::Clog2File;
-use slog2::{convert, convert_reader, ConvertOptions};
+use slog2::{Converter, TraceSource};
 use workloads::synthetic_clog;
 
 fn bench_convert_scaling(c: &mut Criterion) {
@@ -13,7 +13,11 @@ fn bench_convert_scaling(c: &mut Criterion) {
     for calls in [200usize, 2000, 10_000] {
         let clog = synthetic_clog(6, calls);
         group.bench_with_input(BenchmarkId::from_parameter(calls), &clog, |b, clog| {
-            b.iter(|| convert(clog, &ConvertOptions::default()))
+            b.iter(|| {
+                Converter::new()
+                    .convert(TraceSource::InMemory(clog))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -29,13 +33,10 @@ fn bench_frame_capacity(c: &mut Criterion) {
             &capacity,
             |b, &capacity| {
                 b.iter(|| {
-                    convert(
-                        &clog,
-                        &ConvertOptions {
-                            frame_capacity: capacity,
-                            ..Default::default()
-                        },
-                    )
+                    Converter::new()
+                        .frame_capacity(capacity)
+                        .convert(TraceSource::InMemory(&clog))
+                        .unwrap()
                 })
             },
         );
@@ -45,7 +46,10 @@ fn bench_frame_capacity(c: &mut Criterion) {
 
 fn bench_file_roundtrip(c: &mut Criterion) {
     let clog = synthetic_clog(6, 2000);
-    let (slog, _) = convert(&clog, &ConvertOptions::default());
+    let slog = Converter::new()
+        .convert(TraceSource::InMemory(&clog))
+        .unwrap()
+        .file;
     c.bench_function("slog2_to_bytes", |b| b.iter(|| slog.to_bytes()));
     let bytes = slog.to_bytes();
     c.bench_function("slog2_from_bytes", |b| {
@@ -56,7 +60,10 @@ fn bench_file_roundtrip(c: &mut Criterion) {
 
 fn bench_tree_query(c: &mut Criterion) {
     let clog = synthetic_clog(6, 10_000);
-    let (slog, _) = convert(&clog, &ConvertOptions::default());
+    let slog = Converter::new()
+        .convert(TraceSource::InMemory(&clog))
+        .unwrap()
+        .file;
     let w = slog.range;
     let span = w.span();
     c.bench_function("tree_query_full", |b| b.iter(|| slog.tree.query(w).len()));
@@ -78,7 +85,12 @@ fn bench_parallel_convert(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| convert(&clog, &ConvertOptions::default().with_parallelism(t)))
+            b.iter(|| {
+                Converter::new()
+                    .parallelism(t)
+                    .convert(TraceSource::InMemory(&clog))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -94,12 +106,18 @@ fn bench_streaming_convert(c: &mut Criterion) {
     group.bench_function("whole_file", |b| {
         b.iter(|| {
             let parsed = Clog2File::from_bytes(&bytes).unwrap();
-            convert(&parsed, &ConvertOptions::default().with_parallelism(1))
+            Converter::new()
+                .parallelism(1)
+                .convert(TraceSource::InMemory(&parsed))
+                .unwrap()
         })
     });
     group.bench_function("streamed", |b| {
         b.iter(|| {
-            convert_reader(&bytes[..], &ConvertOptions::default().with_parallelism(1)).unwrap()
+            Converter::new()
+                .parallelism(1)
+                .convert(TraceSource::reader(&bytes[..]))
+                .unwrap()
         })
     });
     group.finish();

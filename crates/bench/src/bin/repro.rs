@@ -6,6 +6,7 @@
 //! cargo run -p bench --bin repro --release -- fig1|fig2|fig3|fig4|fig5
 //! cargo run -p bench --bin repro --release -- legend|equal-drawables|clocksync
 //! cargo run -p bench --bin repro --release -- convert-bench [--reps R] [--parallel N]
+//!     [--drawables N --ranks R --budget-mb M]   # out-of-core scale mode
 //! cargo run -p bench --bin repro --release -- metrics [--workload NAME] [--parallel N]
 //! cargo run -p bench --bin repro --release -- faults [--seed S] [--runs R]
 //! cargo run -p bench --bin repro --release -- diagnose [--workload NAME|instance-a|instance-b]
@@ -68,12 +69,24 @@ use bench::{measure_overhead_cell, LoggingMode};
 use minimpi::{ClockConfig, World};
 use pilot::{PilotConfig, Services};
 use slog2::{
-    convert, convert_reader, convert_salvaged, ConvertOptions, ConvertWarning, FailureKind,
-    RankVerdict, SalvageReport, TimelineId,
+    ConvertOptions, ConvertWarning, Converter, FailureKind, RankVerdict, SalvageReport, TimelineId,
+    TornPolicy, TraceSource,
 };
 use workloads::collision::{expected_answers, run_collision, CollisionParams, CollisionVariant};
 use workloads::lab2::{expected_total, run_lab2};
 use workloads::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
+
+/// One-shot in-memory conversion through the [`Converter`] builder —
+/// the shape most experiments here want.
+fn convert(
+    clog: &mpelog::Clog2File,
+    opts: &ConvertOptions,
+) -> (slog2::Slog2File, Vec<ConvertWarning>) {
+    let c = Converter::from_options(opts)
+        .convert(TraceSource::InMemory(clog))
+        .expect("in-memory source cannot fail");
+    (c.file, c.warnings)
+}
 
 fn out_dir() -> &'static Path {
     let p = Path::new("out");
@@ -421,15 +434,17 @@ fn clocksync() {
     println!("  lab2 with 0.2s/rank injected drift after sync: {backward} backward arrows");
 }
 
-/// Time serial vs parallel vs streaming conversion over a synthetic
-/// trace (≈144k drawables) and write `out/BENCH_convert.json` — the
-/// artifact CI uploads so the sharded pipeline's speedup is tracked
-/// per-commit.
+/// Time serial vs parallel vs streaming vs mmap conversion over a
+/// synthetic trace (≈144k drawables) and write
+/// `out/BENCH_convert.json` — the artifact CI uploads so the sharded
+/// pipeline's speedup is tracked per-commit. The headline rate is
+/// `drawables_per_sec_per_core`, which stays comparable across CI boxes
+/// with different core counts.
 fn convert_bench(reps: usize, parallel: usize) {
     use pilot_vis::json::Json;
 
-    let threads = ConvertOptions::default()
-        .with_parallelism(parallel)
+    let threads = Converter::new()
+        .parallelism(parallel)
         .effective_parallelism();
     let (ranks, calls) = (6usize, 12_000usize);
     println!(
@@ -437,6 +452,8 @@ fn convert_bench(reps: usize, parallel: usize) {
     );
     let clog = workloads::synthetic_clog(ranks, calls);
     let bytes = clog.to_bytes();
+    let mmap_path = out_dir().join("convert_bench_input.pclog2");
+    std::fs::write(&mmap_path, &bytes).expect("write mmap input");
 
     let median_secs = |f: &dyn Fn() -> usize| -> (f64, usize) {
         let mut samples = Vec::with_capacity(reps.max(1));
@@ -449,31 +466,68 @@ fn convert_bench(reps: usize, parallel: usize) {
         (bench::median(samples), drawables)
     };
 
-    let serial_opts = ConvertOptions::default().with_parallelism(1);
-    let parallel_opts = ConvertOptions::default().with_parallelism(threads);
-    let (serial_s, drawables) = median_secs(&|| convert(&clog, &serial_opts).0.total_drawables());
-    let (parallel_s, _) = median_secs(&|| convert(&clog, &parallel_opts).0.total_drawables());
-    let (stream_s, _) = median_secs(&|| {
-        convert_reader(&bytes[..], &serial_opts)
-            .expect("valid stream")
-            .0
+    let count = |conv: &Converter, src: TraceSource<'_>| -> usize {
+        conv.convert(src)
+            .expect("valid input")
+            .file
             .total_drawables()
+    };
+    let serial = Converter::new().parallelism(1);
+    let sharded = Converter::new().parallelism(threads);
+    let (serial_s, drawables) = median_secs(&|| count(&serial, TraceSource::InMemory(&clog)));
+    let (parallel_s, _) = median_secs(&|| count(&sharded, TraceSource::InMemory(&clog)));
+    let (stream_s, _) = median_secs(&|| count(&serial, TraceSource::reader(&bytes[..])));
+    // The zero-copy read path: map the encoded file and scan records in
+    // place (parse + convert, where the in-memory rows above pre-paid
+    // the parse).
+    let (mmap_s, _) = median_secs(&|| {
+        count(
+            &sharded,
+            TraceSource::mmap(&mmap_path).expect("map bench input"),
+        )
     });
     // Same parallel conversion with the obs registry + tracer attached:
-    // the instrumentation must stay in the noise (< 5% — asserted by
-    // CI's smoke run against this report).
-    let (metrics_s, _) = median_secs(&|| {
-        let opts = ConvertOptions::default()
-            .with_parallelism(threads)
-            .with_observability(obs::Obs::handle());
-        convert(&clog, &opts).0.total_drawables()
-    });
+    // the instrumentation must stay in the noise — asserted by CI's
+    // perf gate against this report. Measured as the median of *paired*
+    // plain/instrumented ratios in alternating order (the serve-bench
+    // trick): a load spike hits both halves of a pair, so the ratio
+    // stays honest where two medians taken minutes apart would not.
+    // Extra pairs (they are cheap) because this ratio is the one gated
+    // metric a noisy container can flip: more samples, tighter median.
+    let pairs = reps.max(1) * 3;
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut metrics_s = 0.0;
+    for rep in 0..pairs {
+        let timed = |conv: &Converter| {
+            let t = std::time::Instant::now();
+            count(conv, TraceSource::InMemory(&clog));
+            t.elapsed().as_secs_f64()
+        };
+        let instrumented_conv = Converter::new()
+            .parallelism(threads)
+            .observability(obs::Obs::handle());
+        // Alternate which half of the pair goes first so a warmup or
+        // cache effect inside a pair cannot masquerade as overhead.
+        let (plain, instrumented) = if rep % 2 == 0 {
+            let p = timed(&sharded);
+            (p, timed(&instrumented_conv))
+        } else {
+            let i = timed(&instrumented_conv);
+            (timed(&sharded), i)
+        };
+        ratios.push(instrumented / plain);
+        metrics_s = instrumented;
+    }
     let speedup = serial_s / parallel_s;
-    let metrics_overhead_pct = (metrics_s / parallel_s - 1.0) * 100.0;
+    let metrics_overhead_pct = (bench::median(ratios) - 1.0) * 100.0;
+    let per_core = drawables as f64 / (parallel_s * threads as f64);
     println!("  {drawables} drawables");
     println!("  serial    {serial_s:.4}s");
-    println!("  parallel  {parallel_s:.4}s  ({speedup:.2}x, {threads} threads)");
+    println!(
+        "  parallel  {parallel_s:.4}s  ({speedup:.2}x, {threads} threads, {per_core:.0} drawables/s/core)"
+    );
     println!("  streaming {stream_s:.4}s  (serial, incremental decode)");
+    println!("  mmap      {mmap_s:.4}s  (zero-copy scan, {threads} threads)");
     println!("  metrics   {metrics_s:.4}s  (parallel + obs attached, {metrics_overhead_pct:+.2}% overhead)");
 
     let report = Json::Obj(vec![
@@ -485,7 +539,9 @@ fn convert_bench(reps: usize, parallel: usize) {
         ("serial_s".into(), Json::Num(serial_s)),
         ("parallel_s".into(), Json::Num(parallel_s)),
         ("streaming_s".into(), Json::Num(stream_s)),
+        ("mmap_s".into(), Json::Num(mmap_s)),
         ("speedup".into(), Json::Num(speedup)),
+        ("drawables_per_sec_per_core".into(), Json::Num(per_core)),
         ("metrics_s".into(), Json::Num(metrics_s)),
         (
             "metrics_overhead_pct".into(),
@@ -494,7 +550,86 @@ fn convert_bench(reps: usize, parallel: usize) {
     ]);
     let path = out_dir().join("BENCH_convert.json");
     std::fs::write(&path, report.pretty()).expect("write BENCH_convert.json");
+    let _ = std::fs::remove_file(&mmap_path);
     println!("  wrote {}", path.display());
+}
+
+/// Out-of-core scale bench: synthesize a trace with ≈`target` drawables
+/// (streamed — never materialized), convert it under `budget_mb` with
+/// `convert_to_path`, and pin determinism by digest-comparing a second
+/// run and a differently-threaded run. Writes
+/// `out/BENCH_convert_scale.json`.
+fn convert_bench_scale(target: usize, ranks: usize, budget_mb: usize) -> bool {
+    use pilot_vis::json::Json;
+    use workloads::SyntheticClogReader;
+
+    // ≈ 2 drawables per rank-call (state + bubble-or-arrow).
+    let calls = (target / (2 * ranks.max(1))).max(1);
+    println!(
+        "== convert-bench --drawables {target}: {ranks} ranks x {calls} calls, {budget_mb} MiB budget =="
+    );
+    let out = out_dir().join("convert_scale.pslog2");
+    let run = |threads: usize| {
+        let src = TraceSource::reader(SyntheticClogReader::new(ranks, calls));
+        let conv = Converter::new()
+            .parallelism(threads)
+            .memory_budget(budget_mb << 20);
+        let start = std::time::Instant::now();
+        let summary = conv.convert_to_path(src, &out).expect("scale conversion");
+        (start.elapsed().as_secs_f64(), summary)
+    };
+    let (wall_s, summary) = run(1);
+    let (_, second) = run(1);
+    let threads = Converter::new().parallelism(0).effective_parallelism();
+    let (_, threaded) = run(threads.max(2));
+    let ok = summary.digest == second.digest && summary.digest == threaded.digest;
+    let per_sec = summary.drawables as f64 / wall_s;
+    println!(
+        "  {} drawables -> {} nodes, {} bytes in {wall_s:.3}s ({per_sec:.0} drawables/s/core serial)",
+        summary.drawables, summary.nodes, summary.bytes_written
+    );
+    println!(
+        "  digest {:016x}: repeat {} threaded({}) {}",
+        summary.digest,
+        if summary.digest == second.digest {
+            "match"
+        } else {
+            "MISMATCH"
+        },
+        threads.max(2),
+        if summary.digest == threaded.digest {
+            "match"
+        } else {
+            "MISMATCH"
+        },
+    );
+    let report = Json::Obj(vec![
+        ("target_drawables".into(), Json::Num(target as f64)),
+        ("ranks".into(), Json::Num(ranks as f64)),
+        ("calls_per_rank".into(), Json::Num(calls as f64)),
+        ("budget_mb".into(), Json::Num(budget_mb as f64)),
+        ("drawables".into(), Json::Num(summary.drawables as f64)),
+        ("nodes".into(), Json::Num(summary.nodes as f64)),
+        (
+            "bytes_written".into(),
+            Json::Num(summary.bytes_written as f64),
+        ),
+        ("wall_s".into(), Json::Num(wall_s)),
+        ("drawables_per_sec_per_core".into(), Json::Num(per_sec)),
+        (
+            "digest".into(),
+            Json::Str(format!("{:016x}", summary.digest)),
+        ),
+        ("deterministic".into(), Json::Bool(ok)),
+    ]);
+    let path = out_dir().join("BENCH_convert_scale.json");
+    std::fs::write(&path, report.pretty()).expect("write BENCH_convert_scale.json");
+    let _ = std::fs::remove_file(&out);
+    println!("  wrote {}", path.display());
+    if ok {
+        println!("  convert-bench scale PASSED: digests identical across runs and thread counts");
+    }
+    ok
 }
 
 /// One measured serve-bench run: client latencies plus whatever the
@@ -1673,7 +1808,12 @@ fn forensics(
         parallelism: parallelism(),
         ..Default::default()
     };
-    let (slog, warnings) = convert_salvaged(&clog, &report, &opts);
+    let truncated = report.truncated;
+    let c = Converter::from_options(&opts)
+        .on_torn(TornPolicy::Salvage(report))
+        .convert(TraceSource::InMemory(&clog))
+        .expect("in-memory source cannot fail");
+    let (slog, warnings) = (c.file, c.warnings);
     let defects = slog2::validate(&slog);
     if !defects.is_empty() {
         return Err(format!(
@@ -1705,7 +1845,7 @@ fn forensics(
     Ok(Forensics {
         digest,
         report_text,
-        truncated: report.truncated,
+        truncated,
         slog,
     })
 }
@@ -2384,6 +2524,9 @@ fn main() {
     let files = get_flag("--files", 48);
     let reps = get_flag("--reps", 5);
     let parallel = get_flag("--parallel", 0);
+    let drawables = get_flag("--drawables", 0);
+    let bench_ranks = get_flag("--ranks", 8);
+    let budget_mb = get_flag("--budget-mb", 256);
     let seed = get_flag("--seed", 42) as u64;
     let runs = get_flag("--runs", 2);
     let workload = args
@@ -2397,7 +2540,18 @@ fn main() {
 
     match cmd {
         "table1" => timed("table1", || table1(files, reps)),
-        "convert-bench" => timed("convert-bench", || convert_bench(reps, parallel)),
+        "convert-bench" => {
+            if drawables > 0 {
+                let ok = timed("convert-bench", || {
+                    convert_bench_scale(drawables, bench_ranks, budget_mb)
+                });
+                if !ok {
+                    std::process::exit(1);
+                }
+            } else {
+                timed("convert-bench", || convert_bench(reps, parallel));
+            }
+        }
         "fig1" => {
             timed("fig1", || {
                 fig1();

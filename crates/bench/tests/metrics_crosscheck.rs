@@ -4,16 +4,18 @@
 //! parallelism level.
 
 use pilot::{PilotConfig, Services};
-use slog2::{convert, ConvertOptions};
+use slog2::{Converter, TraceSource};
 use workloads::lab2::{expected_total, run_lab2};
 use workloads::thumbnail::{expected_result, run_thumbnail, ThumbnailParams};
 
 fn check(outcome: &pilot::PilotOutcome, o: &obs::ObsHandle, parallel: usize, label: &str) {
     let clog = outcome.clog().expect("run must have -pisvc=j");
-    let opts = ConvertOptions::default()
-        .with_parallelism(parallel)
-        .with_observability(o.clone());
-    let (slog, _warnings) = convert(clog, &opts);
+    let slog = Converter::new()
+        .parallelism(parallel)
+        .observability(o.clone())
+        .convert(TraceSource::InMemory(clog))
+        .expect("in-memory source cannot fail")
+        .file;
     let snap = o.snapshot();
     let cc = pilot_vis::counters_vs_trace(&slog, &snap);
     assert!(cc.sends_counted > 0, "{label}: no sends counted");

@@ -4,7 +4,7 @@ use std::path::Path;
 
 use jumpshot::{HistogramRenderer, Legend, LegendSort, RenderOptions, Renderer, SvgRenderer};
 use pilot::{Pilot, PilotConfig, PilotOutcome, PilotResult};
-use slog2::{convert, ConvertOptions, ConvertWarning, Slog2File, TimeWindow};
+use slog2::{ConvertOptions, ConvertWarning, Converter, Slog2File, TimeWindow, TraceSource};
 
 /// Pipeline options.
 #[derive(Debug, Clone, Default)]
@@ -54,8 +54,10 @@ where
             if copts.timeline_names.is_none() && !outcome.artifacts.process_names.is_empty() {
                 copts.timeline_names = Some(outcome.artifacts.process_names.clone());
             }
-            let (file, warnings) = convert(clog, &copts);
-            (Some(file), warnings)
+            let conv = Converter::from_options(&copts)
+                .convert(TraceSource::InMemory(clog))
+                .expect("in-memory source cannot fail");
+            (Some(conv.file), conv.warnings)
         }
         None => (None, Vec::new()),
     };
@@ -246,7 +248,10 @@ mod tests {
             ..Default::default()
         }
         .with_parallelism(1);
-        let (serial, _) = convert(run.outcome.clog().unwrap(), &copts);
+        let serial = Converter::from_options(&copts)
+            .convert(TraceSource::InMemory(run.outcome.clog().unwrap()))
+            .unwrap()
+            .file;
         assert_eq!(serial.to_bytes(), slog.to_bytes());
     }
 

@@ -60,6 +60,9 @@ impl Direction {
 pub fn direction(key: &str) -> Direction {
     match key {
         "speedup" | "hit_rate" => Direction::HigherIsBetter,
+        k if k.ends_with("_per_sec") || k.ends_with("_per_sec_per_core") => {
+            Direction::HigherIsBetter
+        }
         "errors" | "parity_mismatches" | "cache_evictions" | "bad_rejects" => {
             Direction::LowerIsBetter
         }
@@ -92,6 +95,15 @@ pub fn direction(key: &str) -> Direction {
 /// worker pool. Regressions that matter at request scale (cold-render
 /// p99, total tile p99) move by multiple milliseconds.
 const US_EFFECT_FLOOR: f64 = 1_000.0;
+
+/// Percentage-point metrics get the same treatment: an overhead
+/// reading like `metrics_overhead_pct` is the ratio of two noisy
+/// medians, so its run-to-run jitter is a couple of points even when
+/// nothing changed. Gate only moves of at least three absolute
+/// percentage points; a real instrumentation regression (a counter in
+/// a hot loop) shifts the overhead by far more — the bug this gate
+/// exists for moved it from ≈3 % to 12.8 %.
+const PCT_EFFECT_FLOOR: f64 = 3.0;
 
 /// One metric's fate between baseline and current.
 #[derive(Debug, Clone, PartialEq)]
@@ -223,7 +235,13 @@ pub fn diff_bench(name: &str, baseline: &Json, current: &Json, max_regress_pct: 
             Direction::HigherIsBetter => -change_pct,
             Direction::Informational => 0.0,
         };
-        let meaningful = !key.ends_with("_us") || (after - before).abs() >= US_EFFECT_FLOOR;
+        let meaningful = if key.ends_with("_us") {
+            (after - before).abs() >= US_EFFECT_FLOOR
+        } else if key.ends_with("_pct") {
+            (after - before).abs() >= PCT_EFFECT_FLOOR
+        } else {
+            true
+        };
         let verdict = if dir == Direction::Informational || !meaningful {
             DeltaVerdict::Unchanged
         } else if regress_pct > max_regress_pct {
@@ -284,6 +302,11 @@ mod tests {
         }
         assert_eq!(direction("speedup"), Direction::HigherIsBetter);
         assert_eq!(direction("hit_rate"), Direction::HigherIsBetter);
+        assert_eq!(
+            direction("drawables_per_sec_per_core"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction("events_per_sec"), Direction::HigherIsBetter);
         assert_eq!(direction("bad_rejects"), Direction::LowerIsBetter);
         for k in [
             "ranks",
@@ -319,6 +342,31 @@ mod tests {
         assert_eq!(get("tile_parse_p99_us").verdict, DeltaVerdict::Unchanged);
         // +50% and 3ms: a real regression.
         assert_eq!(get("tile_render_p99_us").verdict, DeltaVerdict::Regressed);
+    }
+
+    #[test]
+    fn pct_metrics_need_an_absolute_effect() {
+        // +9% relative but only 1.2 points (< the 3-point floor): jitter.
+        let base = Json::parse(r#"{"metrics_overhead_pct": 12.8}"#).unwrap();
+        let cur = Json::parse(r#"{"metrics_overhead_pct": 14.0}"#).unwrap();
+        let d = diff_bench("BENCH_convert.json", &base, &cur, 5.0);
+        assert_eq!(d.metrics[0].verdict, DeltaVerdict::Unchanged);
+        // 12.8 -> 16.0 is 3.2 points and +25%: a real regression.
+        let bad = Json::parse(r#"{"metrics_overhead_pct": 16.0}"#).unwrap();
+        let d = diff_bench("BENCH_convert.json", &base, &bad, 5.0);
+        assert_eq!(d.metrics[0].verdict, DeltaVerdict::Regressed);
+        // A big drop reads as Fixed once it clears the same floor.
+        let good = Json::parse(r#"{"metrics_overhead_pct": 1.0}"#).unwrap();
+        let d = diff_bench("BENCH_convert.json", &base, &good, 5.0);
+        assert_eq!(d.metrics[0].verdict, DeltaVerdict::Fixed);
+    }
+
+    #[test]
+    fn per_core_rate_gates_upward() {
+        let base = Json::parse(r#"{"drawables_per_sec_per_core": 2000000.0}"#).unwrap();
+        let slower = Json::parse(r#"{"drawables_per_sec_per_core": 1200000.0}"#).unwrap();
+        let d = diff_bench("BENCH_convert.json", &base, &slower, 15.0);
+        assert_eq!(d.metrics[0].verdict, DeltaVerdict::Regressed);
     }
 
     #[test]

@@ -26,6 +26,42 @@ use crate::wire::{Reader, WireError, Writer};
 
 const MAGIC: &[u8; 8] = b"PCLOG2\x00\x01";
 
+/// A CLOG2 container parsed as a *byte image*: the header is owned,
+/// record payloads stay borrowed from the input buffer. Produced by
+/// [`Clog2File::parse_image`]; blocks are sorted by rank.
+#[derive(Debug)]
+pub struct Clog2Image<'a> {
+    /// World size recorded in the header.
+    pub nranks: u32,
+    /// State definitions from the header.
+    pub state_defs: Vec<StateDef>,
+    /// Solo-event definitions from the header.
+    pub event_defs: Vec<EventDef>,
+    /// Per-rank blocks, ascending by rank.
+    pub blocks: Vec<ImageBlock<'a>>,
+}
+
+/// One rank's record block inside a [`Clog2Image`].
+#[derive(Debug)]
+pub struct ImageBlock<'a> {
+    /// The rank that logged this block.
+    pub rank: u32,
+    /// Total records in the block.
+    pub n_records: u32,
+    /// Record-aligned, pre-validated sub-slices of the block payload.
+    pub chunks: Vec<ImageChunk<'a>>,
+}
+
+/// A record-aligned slice of a block: `n_records` consecutive encoded
+/// records, already validated by [`Clog2File::parse_image`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImageChunk<'a> {
+    /// The encoded record bytes.
+    pub data: &'a [u8],
+    /// How many records `data` holds.
+    pub n_records: u32,
+}
+
 /// A parsed (or freshly merged) CLOG2 container.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Clog2File {
@@ -122,6 +158,88 @@ impl Clog2File {
             }
         }
         Ok(Clog2File {
+            nranks,
+            state_defs,
+            event_defs,
+            blocks,
+        })
+    }
+
+    /// Parse a CLOG2 byte image without materializing records: the
+    /// header is decoded, each block's record payload is located (and
+    /// structurally validated, including text UTF-8) but left in place
+    /// as borrowed sub-slices, pre-split into record-aligned chunks of
+    /// at most `chunk_records` records.
+    ///
+    /// This is the zero-copy scan path for memory-mapped inputs: the
+    /// converter decodes [`crate::record::RecordView`]s straight out of
+    /// the chunks, in parallel, with no intermediate `Vec<Record>`.
+    /// Accepts and rejects exactly the inputs [`Clog2File::from_bytes`]
+    /// does (same checks, same error kinds).
+    pub fn parse_image(bytes: &[u8], chunk_records: usize) -> Result<Clog2Image<'_>, WireError> {
+        let chunk_records = chunk_records.max(1);
+        let mut r = Reader::new(bytes);
+        let magic = r.get_bytes(8)?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(format!("{magic:02x?}")));
+        }
+        let nranks = r.get_u32()?;
+        let nstates = r.get_u32()? as usize;
+        if nstates > bytes.len() {
+            return Err(WireError::Corrupt("state def count".into()));
+        }
+        let mut state_defs = Vec::with_capacity(nstates);
+        for _ in 0..nstates {
+            state_defs.push(StateDef::decode(&mut r)?);
+        }
+        let nevents = r.get_u32()? as usize;
+        if nevents > bytes.len() {
+            return Err(WireError::Corrupt("event def count".into()));
+        }
+        let mut event_defs = Vec::with_capacity(nevents);
+        for _ in 0..nevents {
+            event_defs.push(EventDef::decode(&mut r)?);
+        }
+        let nblocks = r.get_u32()? as usize;
+        if nblocks > bytes.len() {
+            return Err(WireError::Corrupt("block count".into()));
+        }
+        let mut blocks: Vec<ImageBlock<'_>> = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            let rank = r.get_u32()?;
+            let nrec = r.get_u32()? as usize;
+            if nrec > bytes.len() {
+                return Err(WireError::Corrupt("record count".into()));
+            }
+            if blocks.iter().any(|b| b.rank == rank) {
+                return Err(WireError::Corrupt(format!(
+                    "duplicate block for rank {rank}"
+                )));
+            }
+            let mut chunks = Vec::with_capacity(nrec.div_ceil(chunk_records));
+            let mut left = nrec;
+            while left > 0 {
+                let n = left.min(chunk_records);
+                let start = r.position();
+                for _ in 0..n {
+                    // Full validation (structure + text UTF-8) so the
+                    // parallel scan can decode infallibly.
+                    Record::decode_view(&mut r)?;
+                }
+                chunks.push(ImageChunk {
+                    data: &bytes[start..r.position()],
+                    n_records: n as u32,
+                });
+                left -= n;
+            }
+            blocks.push(ImageBlock {
+                rank,
+                n_records: nrec as u32,
+                chunks,
+            });
+        }
+        blocks.sort_by_key(|b| b.rank);
+        Ok(Clog2Image {
             nranks,
             state_defs,
             event_defs,
@@ -566,6 +684,56 @@ mod tests {
         let f = sample_file();
         let bytes = f.to_bytes();
         assert_eq!(Clog2File::from_bytes(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn image_parse_matches_from_bytes() {
+        let f = sample_file();
+        let bytes = f.to_bytes();
+        for chunk_records in [1usize, 2, 1024] {
+            let img = Clog2File::parse_image(&bytes, chunk_records).unwrap();
+            assert_eq!(img.nranks, f.nranks);
+            assert_eq!(img.state_defs, f.state_defs);
+            assert_eq!(img.event_defs, f.event_defs);
+            assert_eq!(img.blocks.len(), f.blocks.len());
+            for (block, (&rank, records)) in img.blocks.iter().zip(f.blocks.iter()) {
+                assert_eq!(block.rank, rank);
+                assert_eq!(block.n_records as usize, records.len());
+                // Decoding the chunk views back reproduces the records.
+                let mut decoded = Vec::new();
+                for chunk in &block.chunks {
+                    assert!(chunk.n_records as usize <= chunk_records);
+                    let mut r = Reader::new(chunk.data);
+                    for _ in 0..chunk.n_records {
+                        decoded.push(Record::decode_view(&mut r).unwrap());
+                    }
+                    assert_eq!(r.remaining(), 0);
+                }
+                let want: Vec<crate::record::RecordView<'_>> =
+                    records.iter().map(Into::into).collect();
+                assert_eq!(decoded, want);
+            }
+        }
+    }
+
+    #[test]
+    fn image_parse_rejects_what_from_bytes_rejects() {
+        let f = sample_file();
+        let good = f.to_bytes();
+        // truncations
+        for cut in [0, 4, good.len() / 2, good.len() - 1] {
+            assert!(
+                Clog2File::parse_image(&good[..cut], 64).is_err(),
+                "cut at {cut}"
+            );
+        }
+        // bad magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Clog2File::parse_image(&bad, 64),
+            Err(WireError::BadMagic(_))
+        ));
     }
 
     #[test]

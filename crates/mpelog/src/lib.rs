@@ -32,10 +32,13 @@ pub mod spill;
 pub mod sync;
 pub mod wire;
 
-pub use clog2::{finish_log, Clog2Blocks, Clog2File, SalvagedClog, StreamError};
+pub use clog2::{
+    finish_log, Clog2Blocks, Clog2File, Clog2Image, ImageBlock, ImageChunk, SalvagedClog,
+    StreamError,
+};
 pub use color::Color;
 pub use ids::{EventId, IdAllocator};
 pub use logger::Logger;
-pub use record::{EventDef, Record, StateDef, MAX_INFO_BYTES};
+pub use record::{EventDef, Record, RecordView, StateDef, MAX_INFO_BYTES};
 pub use spill::{salvage, SpillWriter};
 pub use sync::{sync_clocks, ClockCorrection};

@@ -163,6 +163,123 @@ impl Record {
     }
 }
 
+/// A borrowed view of one decoded record: the info text references the
+/// underlying byte buffer instead of being copied into a `String`.
+///
+/// This is the zero-copy scan path: when the CLOG2 bytes are memory
+/// mapped, record text flows straight from the page cache into the
+/// converter's text arena without an intermediate heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecordView<'a> {
+    /// An event instance (state endpoint or solo event).
+    Event {
+        /// Local timestamp.
+        ts: f64,
+        /// Which event.
+        id: EventId,
+        /// Info text, borrowed from the wire buffer.
+        text: &'a str,
+    },
+    /// A message-send record.
+    Send {
+        /// Local timestamp.
+        ts: f64,
+        /// Destination rank.
+        dst: u32,
+        /// Message tag.
+        tag: u32,
+        /// Message size in bytes.
+        size: u32,
+    },
+    /// A message-receive record.
+    Recv {
+        /// Local timestamp.
+        ts: f64,
+        /// Source rank.
+        src: u32,
+        /// Message tag.
+        tag: u32,
+        /// Message size in bytes.
+        size: u32,
+    },
+}
+
+impl RecordView<'_> {
+    /// The record's timestamp.
+    pub fn ts(&self) -> f64 {
+        match self {
+            RecordView::Event { ts, .. }
+            | RecordView::Send { ts, .. }
+            | RecordView::Recv { ts, .. } => *ts,
+        }
+    }
+}
+
+impl<'a> From<&'a Record> for RecordView<'a> {
+    fn from(r: &'a Record) -> RecordView<'a> {
+        match r {
+            Record::Event { ts, id, text } => RecordView::Event {
+                ts: *ts,
+                id: *id,
+                text,
+            },
+            Record::Send { ts, dst, tag, size } => RecordView::Send {
+                ts: *ts,
+                dst: *dst,
+                tag: *tag,
+                size: *size,
+            },
+            Record::Recv { ts, src, tag, size } => RecordView::Recv {
+                ts: *ts,
+                src: *src,
+                tag: *tag,
+                size: *size,
+            },
+        }
+    }
+}
+
+impl Record {
+    /// Deserialize one record without copying its text (see
+    /// [`RecordView`]).
+    pub fn decode_view<'a>(r: &mut Reader<'a>) -> Result<RecordView<'a>, WireError> {
+        match r.get_u8()? {
+            KIND_EVENT => Ok(RecordView::Event {
+                ts: r.get_f64()?,
+                id: EventId(r.get_u32()?),
+                text: r.get_str_slice()?,
+            }),
+            KIND_SEND => Ok(RecordView::Send {
+                ts: r.get_f64()?,
+                dst: r.get_u32()?,
+                tag: r.get_u32()?,
+                size: r.get_u32()?,
+            }),
+            KIND_RECV => Ok(RecordView::Recv {
+                ts: r.get_f64()?,
+                src: r.get_u32()?,
+                tag: r.get_u32()?,
+                size: r.get_u32()?,
+            }),
+            k => Err(WireError::Corrupt(format!("unknown record kind {k}"))),
+        }
+    }
+
+    /// Advance `r` past one encoded record without materializing it —
+    /// the boundary pre-pass that lets byte-image scans split a block
+    /// into record-aligned chunks.
+    pub fn skip(r: &mut Reader<'_>) -> Result<(), WireError> {
+        match r.get_u8()? {
+            KIND_EVENT => {
+                r.skip(12)?; // ts + id
+                r.skip_str()
+            }
+            KIND_SEND | KIND_RECV => r.skip(20), // ts + 3×u32
+            k => Err(WireError::Corrupt(format!("unknown record kind {k}"))),
+        }
+    }
+}
+
 impl StateDef {
     /// Serialize into `w`.
     pub fn encode(&self, w: &mut Writer) {
@@ -289,6 +406,65 @@ mod tests {
             Record::decode(&mut Reader::new(&bytes)),
             Err(WireError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn skip_and_decode_view_agree_with_decode() {
+        let recs = [
+            Record::Event {
+                ts: 1.5,
+                id: EventId(3),
+                text: "Line: 42".into(),
+            },
+            Record::Send {
+                ts: 2.0,
+                dst: 7,
+                tag: 1000,
+                size: 4096,
+            },
+            Record::Recv {
+                ts: 2.5,
+                src: 7,
+                tag: 1000,
+                size: 4096,
+            },
+        ];
+        let mut w = Writer::new();
+        for rec in &recs {
+            rec.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        // skip lands on the same boundaries decode does
+        let mut skipper = Reader::new(&bytes);
+        let mut decoder = Reader::new(&bytes);
+        for rec in &recs {
+            Record::skip(&mut skipper).unwrap();
+            assert_eq!(&Record::decode(&mut decoder).unwrap(), rec);
+            assert_eq!(skipper.position(), decoder.position());
+        }
+        assert_eq!(skipper.remaining(), 0);
+        // decode_view sees the same fields, borrowing the text
+        let mut viewer = Reader::new(&bytes);
+        for rec in &recs {
+            assert_eq!(Record::decode_view(&mut viewer).unwrap(), rec.into());
+        }
+    }
+
+    #[test]
+    fn decode_view_rejects_bad_utf8() {
+        let mut w = Writer::new();
+        w.put_u8(1); // KIND_EVENT
+        w.put_f64(0.0);
+        w.put_u32(0);
+        w.put_u32(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Record::decode_view(&mut Reader::new(&bytes)),
+            Err(WireError::BadUtf8)
+        );
+        // ...but skip doesn't care about text contents.
+        assert!(Record::skip(&mut Reader::new(&bytes)).is_ok());
     }
 
     #[test]

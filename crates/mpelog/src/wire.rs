@@ -208,6 +208,48 @@ impl<'a> Reader<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
     }
+
+    /// Read a length-prefixed string without copying: the returned
+    /// slice borrows the underlying buffer. This is the zero-copy
+    /// decode path used when scanning records straight out of an
+    /// `mmap`ed file.
+    pub fn get_str_slice(&mut self) -> Result<&'a str, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Truncated {
+                wanted: len,
+                have: self.remaining(),
+            });
+        }
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Advance past a length-prefixed string without validating UTF-8
+    /// (used to find record boundaries cheaply).
+    pub fn skip_str(&mut self) -> Result<(), WireError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::Truncated {
+                wanted: len,
+                have: self.remaining(),
+            });
+        }
+        self.pos += len;
+        Ok(())
+    }
+
+    /// Advance past `n` raw bytes.
+    pub fn skip(&mut self, n: usize) -> Result<(), WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                wanted: n,
+                have: self.remaining(),
+            });
+        }
+        self.pos += n;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -547,7 +547,7 @@ fn jumpshot_logging_produces_merged_clog() {
 
 #[test]
 fn converted_log_has_states_arrows_and_nesting() {
-    use slog2::{convert, ConvertOptions, Drawable};
+    use slog2::{Converter, Drawable, TraceSource};
     let cfg = PilotConfig::new(2).with_services(svc("j"));
     let out = pilot::run(cfg, |pi| {
         let w = pi.create_process(0)?;
@@ -569,7 +569,10 @@ fn converted_log_has_states_arrows_and_nesting() {
         pi.stop_main(0)
     });
     assert!(out.is_clean(), "{out:?}");
-    let (file, warnings) = convert(out.clog().unwrap(), &ConvertOptions::default());
+    let conv = Converter::new()
+        .convert(TraceSource::InMemory(out.clog().unwrap()))
+        .unwrap();
+    let (file, warnings) = (conv.file, conv.warnings);
     assert!(warnings.is_empty(), "{warnings:?}");
     let ds = file.tree.query(slog2::TimeWindow::ALL);
 
@@ -847,7 +850,10 @@ fn spill_files_salvage_the_log_after_abort() {
         "the PI_Write send must have been spilled"
     );
     // The salvaged log converts; the PI_Write state is visible.
-    let (slog, _warnings) = slog2::convert(&clog, &slog2::ConvertOptions::default());
+    let slog = slog2::Converter::new()
+        .convert(slog2::TraceSource::InMemory(&clog))
+        .unwrap()
+        .file;
     let stats = slog2::legend_stats(&slog);
     let cat = slog.category_by_name("PI_Write").unwrap().index;
     assert_eq!(stats[&cat].count, 1);
@@ -855,7 +861,7 @@ fn spill_files_salvage_the_log_after_abort() {
 
 #[test]
 fn injected_fault_yields_forensics_and_salvaged_timeline() {
-    use slog2::{convert_salvaged, ConvertOptions, FailureKind, RankVerdict, SalvageReport};
+    use slog2::{Converter, FailureKind, RankVerdict, SalvageReport, TornPolicy, TraceSource};
 
     let dir = std::env::temp_dir().join("pilot-fault-forensics");
     let _ = std::fs::remove_dir_all(&dir);
@@ -906,7 +912,11 @@ fn injected_fault_yields_forensics_and_salvaged_timeline() {
         diagnosis: Some("fault-injection run".into()),
         ..Default::default()
     };
-    let (slog, warnings) = convert_salvaged(&clog, &report, &ConvertOptions::default());
+    let conv = Converter::new()
+        .on_torn(TornPolicy::Salvage(report))
+        .convert(TraceSource::InMemory(&clog))
+        .unwrap();
+    let (slog, warnings) = (conv.file, conv.warnings);
     assert!(slog2::validate(&slog).is_empty());
     let aborted = slog.category_by_name("ABORTED").expect("terminal category");
     let ds = slog.tree.query(slog2::TimeWindow::ALL);

@@ -5,20 +5,26 @@
 //!
 //! ```text
 //! clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D]
-//!            [--parallel N] [--stream] [--metrics] [-q]
+//!            [--parallel N] [--stream] [--mmap] [--budget-mb N]
+//!            [--salvage] [--metrics] [-q]
 //! ```
 //!
-//! `--parallel N` shards the conversion over N worker threads (0 = one
-//! per core, 1 = serial); the output file is byte-identical at every
-//! setting. `--stream` decodes the CLOG2 input incrementally instead of
-//! loading it whole — same bytes out, bounded input memory. `--metrics`
-//! attaches the `obs` registry and prints the merged `convert.*`
-//! counters (Prometheus-style text) after the conversion. `--salvage`
-//! accepts a *torn* CLOG2 file (e.g. from an aborted run): the tolerant
-//! reader recovers the record-aligned prefix, the rank whose block was
-//! cut mid-frame gets an `ABORTED` terminal state, and the recovery
-//! counts are embedded in the output's warning list. The salvaged file
-//! always validates.
+//! The binary is a thin shell over [`slog2::Converter`]: each flag maps
+//! to one builder knob, and every combination produces byte-identical
+//! output for the same input log. `--parallel N` shards the conversion
+//! over N worker threads (0 = one per core, 1 = serial). `--stream`
+//! decodes the CLOG2 input incrementally instead of loading it whole;
+//! `--mmap` memory-maps it and scans records zero-copy. `--budget-mb N`
+//! converts *out-of-core*: drawables spill to temporary files and the
+//! output is written under a ~N MiB drawable working set, which is how
+//! a log bigger than RAM gets converted at all. `--metrics` attaches
+//! the `obs` registry and prints the merged `convert.*` counters
+//! (Prometheus-style text) after the conversion. `--salvage` accepts a
+//! *torn* CLOG2 file (e.g. from an aborted run): the tolerant reader
+//! recovers the record-aligned prefix, the rank whose block was cut
+//! mid-frame gets an `ABORTED` terminal state, and the recovery counts
+//! are embedded in the output's warning list. The salvaged file always
+//! validates.
 //!
 //! Exit code 0 on a clean conversion, 1 on warnings (the "non
 //! well-behaved program" case), 2 on usage or I/O errors.
@@ -28,8 +34,7 @@ use std::process::ExitCode;
 
 use mpelog::Clog2File;
 use slog2::{
-    convert, convert_reader, convert_salvaged, ConvertOptions, FailureKind, RankVerdict,
-    SalvageReport,
+    Conversion, Converter, FailureKind, RankVerdict, SalvageReport, TornPolicy, TraceSource,
 };
 
 struct Args {
@@ -39,12 +44,14 @@ struct Args {
     max_depth: u32,
     parallel: usize,
     stream: bool,
+    mmap: bool,
+    budget_mb: Option<usize>,
     metrics: bool,
     salvage: bool,
     quiet: bool,
 }
 
-const USAGE: &str = "usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [--parallel N] [--stream] [--metrics] [--salvage] [-q]";
+const USAGE: &str = "usage: clog2slog2 <input.pclog2> [-o out.pslog2] [--frame-size N] [--max-depth D] [--parallel N] [--stream] [--mmap] [--budget-mb N] [--salvage] [--metrics] [-q]";
 
 fn parse_args() -> Result<Args, String> {
     let mut input = None;
@@ -53,6 +60,8 @@ fn parse_args() -> Result<Args, String> {
     let mut max_depth = 16u32;
     let mut parallel = 0usize;
     let mut stream = false;
+    let mut mmap = false;
+    let mut budget_mb = None;
     let mut metrics = false;
     let mut salvage = false;
     let mut quiet = false;
@@ -83,7 +92,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --parallel value")?
             }
+            "--budget-mb" => {
+                budget_mb = Some(
+                    it.next()
+                        .ok_or("missing value for --budget-mb")?
+                        .parse()
+                        .map_err(|_| "bad --budget-mb value")?,
+                )
+            }
             "--stream" => stream = true,
+            "--mmap" => mmap = true,
             "--metrics" => metrics = true,
             "--salvage" => salvage = true,
             "-q" | "--quiet" => quiet = true,
@@ -97,6 +115,9 @@ fn parse_args() -> Result<Args, String> {
     if salvage && stream {
         return Err("--salvage needs the whole file; drop --stream".into());
     }
+    if stream && mmap {
+        return Err("--stream and --mmap are exclusive input modes".into());
+    }
     let output = output.unwrap_or_else(|| input.with_extension("pslog2"));
     Ok(Args {
         input,
@@ -105,6 +126,8 @@ fn parse_args() -> Result<Args, String> {
         max_depth,
         parallel,
         stream,
+        mmap,
+        budget_mb,
         metrics,
         salvage,
         quiet,
@@ -120,37 +143,21 @@ fn main() -> ExitCode {
         }
     };
     let obs = args.metrics.then(obs::Obs::handle);
-    let opts = ConvertOptions {
-        frame_capacity: args.frame_size,
-        max_depth: args.max_depth,
-        timeline_names: None,
-        parallelism: args.parallel,
-        obs: obs.clone(),
-    };
-    // (records, ranks) for the report; unknown record count in stream
-    // mode, where the input is never held whole.
-    let (slog, warnings, provenance) = if args.stream {
-        let file = match std::fs::File::open(&args.input) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
-                return ExitCode::from(2);
-            }
-        };
-        match convert_reader(std::io::BufReader::new(file), &opts) {
-            Ok((slog, warnings)) => {
-                let ranks = slog.timelines.len();
-                (slog, warnings, format!("streamed, {ranks} ranks"))
-            }
-            Err(e) => {
-                eprintln!(
-                    "clog2slog2: {} is not a valid CLOG2 stream: {e}",
-                    args.input.display()
-                );
-                return ExitCode::from(2);
-            }
-        }
-    } else if args.salvage {
+    let mut conv = Converter::new()
+        .frame_capacity(args.frame_size)
+        .max_depth(args.max_depth)
+        .parallelism(args.parallel);
+    if let Some(o) = &obs {
+        conv = conv.observability(o.clone());
+    }
+    if let Some(mb) = args.budget_mb {
+        conv = conv.memory_budget(mb << 20);
+    }
+
+    // Pick the trace source; owned carriers outlive the borrow.
+    let salvaged_clog;
+    let whole_clog;
+    let (source, provenance) = if args.salvage {
         let bytes = match std::fs::read(&args.input) {
             Ok(b) => b,
             Err(e) => {
@@ -179,8 +186,31 @@ fn main() -> ExitCode {
             bytes.len(),
             s.file.nranks
         );
-        let (slog, warnings) = convert_salvaged(&s.file, &report, &opts);
-        (slog, warnings, provenance)
+        conv = conv.on_torn(TornPolicy::Salvage(report));
+        salvaged_clog = s.file;
+        (TraceSource::InMemory(&salvaged_clog), provenance)
+    } else if args.stream {
+        let file = match std::fs::File::open(&args.input) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("clog2slog2: cannot read {}: {e}", args.input.display());
+                return ExitCode::from(2);
+            }
+        };
+        (
+            TraceSource::reader(std::io::BufReader::new(file)),
+            "streamed".to_string(),
+        )
+    } else if args.mmap {
+        let src = match TraceSource::mmap(&args.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("clog2slog2: cannot map {}: {e}", args.input.display());
+                return ExitCode::from(2);
+            }
+        };
+        let provenance = format!("{src:?}");
+        (src, provenance)
     } else {
         let clog = match Clog2File::read_from(&args.input) {
             Ok(c) => c,
@@ -194,8 +224,57 @@ fn main() -> ExitCode {
             clog.total_records(),
             clog.nranks
         );
-        let (slog, warnings) = convert(&clog, &opts);
-        (slog, warnings, provenance)
+        whole_clog = clog;
+        (TraceSource::InMemory(&whole_clog), provenance)
+    };
+
+    // Out-of-core: the converter writes the file itself under the
+    // memory budget; no Slog2File is ever resident.
+    if args.budget_mb.is_some() {
+        let summary = match conv.convert_to_path(source, &args.output) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("clog2slog2: {}: {e}", args.input.display());
+                return ExitCode::from(2);
+            }
+        };
+        if let Some(o) = &obs {
+            print!("{}", o.snapshot().to_prometheus_text());
+        }
+        if !args.quiet {
+            println!(
+                "{}: {} -> {} drawables, {} tree nodes, {} bytes (digest {:016x}) -> {}",
+                args.input.display(),
+                provenance,
+                summary.drawables,
+                summary.nodes,
+                summary.bytes_written,
+                summary.digest,
+                args.output.display(),
+            );
+            for w in &summary.warnings {
+                eprintln!("warning: {w}");
+            }
+        }
+        return if summary.warnings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    let Conversion {
+        file: slog,
+        warnings,
+    } = match conv.convert(source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "clog2slog2: {} is not a valid CLOG2 input: {e}",
+                args.input.display()
+            );
+            return ExitCode::from(2);
+        }
     };
     let write_result = {
         let _span = obs.as_deref().map(|o| o.span("write", "convert", 0));

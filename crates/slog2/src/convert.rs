@@ -8,45 +8,75 @@
 //! times, a consequence of `MPI_Wtime`'s limited resolution. We report
 //! all of those as typed [`ConvertWarning`]s.
 //!
+//! ## The `Converter` API
+//!
+//! All conversion goes through one builder, [`Converter`], driving a
+//! [`TraceSource`] — an already-decoded log, a raw byte image, a
+//! memory-mapped file, or a streaming reader:
+//!
+//! ```no_run
+//! # use slog2::{Converter, TraceSource};
+//! let conv = Converter::new()
+//!     .frame_capacity(64)
+//!     .parallelism(4)
+//!     .convert(TraceSource::mmap("run.clog2".as_ref())?)?;
+//! # Ok::<(), mpelog::StreamError>(())
+//! ```
+//!
+//! Salvage (converting the torn log of a failed run) is a *mode* of the
+//! same builder — [`Converter::on_torn`] with
+//! [`TornPolicy::Salvage`] — not a separate entry point. The historical
+//! free functions ([`convert`], [`convert_salvaged`], [`convert_reader`])
+//! remain as deprecated wrappers.
+//!
 //! ## Sharded pipeline
 //!
-//! Conversion runs as a sequence of phases, each of which can be
-//! sharded across worker threads ([`ConvertOptions::parallelism`])
-//! while producing output **byte-identical** to the serial converter
-//! (see DESIGN.md §5 for the determinism argument):
+//! Conversion runs as a sequence of phases, each sharded across worker
+//! threads ([`Converter::parallelism`]) while producing output
+//! **byte-identical** to the serial converter (see DESIGN.md §5 and §15
+//! for the determinism argument):
 //!
-//! 1. **Scan** — each rank's block pairs its own state events and
-//!    collects its own send/recv queues (a rank is a shard; blocks are
-//!    independent by construction).
-//! 2. **Merge** — shard outputs concatenate in rank order; per-rank
-//!    send/recv maps are key-disjoint, so their union preserves every
-//!    FIFO queue exactly.
-//! 3. **Arrows** — send keys are matched to receive queues in key
-//!    order, sharded by contiguous key chunks.
+//! 1. **Scan** — blocks are split into fixed-size record chunks that
+//!    workers *steal* from a shared queue (so parallelism is not capped
+//!    by the rank count), then stitched back per rank
+//!    ([`crate::scan`]).
+//! 2. **Merge** — shard outputs concatenate in rank order into columnar
+//!    storage ([`crate::columnar`]); per-rank send/recv lists are
+//!    key-disjoint.
+//! 3. **Arrows** — per-shard key-sorted send/recv runs merge (sends by
+//!    concatenation, recvs by k-way merge) and match in key order,
+//!    sharded by contiguous key chunks.
 //! 4. **Diagnostics** — Equal-Drawables counting shards over the
-//!    drawable list (integer counts merge associatively; output is
+//!    drawable rows (integer counts merge associatively; output is
 //!    sorted).
-//! 5. **Tree** — the frame-tree recursion forks independent subtrees
-//!    onto workers.
-//!
-//! [`convert_reader`] runs the same pipeline over a streaming CLOG2
-//! source, holding one block in memory at a time.
+//! 5. **Tree** — the frame-tree recursion partitions row *indices* and
+//!    forks independent subtrees onto workers.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
+use std::io::Read;
+use std::ops::Range;
+use std::sync::Arc;
 
 use mpelog::clog2::{Clog2Blocks, StreamError};
 use mpelog::ids::EventId;
-use mpelog::record::{EventDef, Record, StateDef};
-use mpelog::{Clog2File, Color};
+use mpelog::Clog2File;
 
-use crate::drawable::{
-    ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable,
-};
+use crate::columnar::DrawableColumns;
+use crate::drawable::{Category, CategoryKind};
 use crate::file::Slog2File;
+use crate::fnv::FnvBuild;
 use crate::id::{CategoryId, TimelineId};
-use crate::tree::FrameTreeBuilder;
+use crate::scan::{
+    build_categories, scan_sources, BlockInput, CategoryTable, MsgKey, RankScan, CHUNK_RECORDS,
+};
+use crate::source::TraceSource;
+use crate::tree::FrameTree;
+use crate::window::TimeWindow;
+use mpelog::Color;
 
-/// Conversion parameters.
+/// Conversion parameters for the deprecated free-function entry points.
+///
+/// New code should use the [`Converter`] builder instead.
 #[derive(Debug, Clone)]
 pub struct ConvertOptions {
     /// Frame-tree split threshold ("frame size"). Smaller values make a
@@ -379,592 +409,352 @@ fn clamp_terminal_text(s: &str) -> String {
     format!("{}…", &s[..cut])
 }
 
-enum IdRole {
-    StateStart(CategoryId),
-    StateEnd(CategoryId),
-    Solo(CategoryId),
+/// What to do when the input log is torn or comes from a failed run.
+#[derive(Debug, Clone, Default)]
+pub enum TornPolicy {
+    /// Fail on malformed input (the default). Sources parse strictly;
+    /// a truncated stream is an error, not a best-effort file.
+    #[default]
+    Strict,
+    /// Salvage mode: recover what decodes cleanly, draw terminal states
+    /// for the failed ranks, and embed the report's forensics as
+    /// warnings. An empty report converts byte-identically to strict
+    /// mode on a whole log.
+    Salvage(SalvageReport),
 }
 
-/// Message-queue key: `(src, dst, tag, size)`, mirroring MPE's matching
-/// on communicating pair + tag + data length.
-type MsgKey = (u32, u32, u32, u32);
-
-/// The category list plus the event-id → role index shared by every
-/// scan worker (read-only during the scan phase).
-struct CategoryTable {
-    categories: Vec<Category>,
-    roles: HashMap<u32, IdRole>,
-    arrow_cat: CategoryId,
+/// A completed conversion: the SLOG2 file plus its typed diagnostics.
+#[derive(Debug)]
+pub struct Conversion {
+    /// The converted file.
+    pub file: Slog2File,
+    /// Typed diagnostics (also embedded in `file.warnings` as text).
+    pub warnings: Vec<ConvertWarning>,
 }
 
-/// Categories from the definitions, plus the synthetic arrow category
-/// ("message") the converter introduces.
-fn build_categories(state_defs: &[StateDef], event_defs: &[EventDef]) -> CategoryTable {
-    let mut categories = Vec::new();
-    let mut roles: HashMap<u32, IdRole> = HashMap::new();
-    for d in state_defs {
-        let idx = CategoryId(categories.len() as u32);
-        categories.push(Category {
-            index: idx,
-            name: d.name.clone(),
-            color: d.color,
-            kind: CategoryKind::State,
-        });
-        roles.insert(d.start.0, IdRole::StateStart(idx));
-        roles.insert(d.end.0, IdRole::StateEnd(idx));
+/// The unified conversion entry point: a builder over every tuning knob,
+/// driving any [`TraceSource`].
+///
+/// The same builder converts in memory ([`convert`](Self::convert)) or
+/// out-of-core to a file under a memory budget
+/// ([`convert_to_path`](Self::convert_to_path)); output bytes are
+/// identical across source kinds, parallelism settings, and memory
+/// budgets.
+#[derive(Debug, Clone)]
+pub struct Converter {
+    pub(crate) frame_capacity: usize,
+    pub(crate) max_depth: u32,
+    pub(crate) timeline_names: Option<Vec<String>>,
+    pub(crate) parallelism: usize,
+    pub(crate) obs: Option<Arc<obs::Obs>>,
+    pub(crate) torn: TornPolicy,
+    pub(crate) memory_budget: Option<usize>,
+    pub(crate) spill_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for Converter {
+    fn default() -> Self {
+        Converter {
+            frame_capacity: 64,
+            max_depth: 16,
+            timeline_names: None,
+            parallelism: 0,
+            obs: None,
+            torn: TornPolicy::Strict,
+            memory_budget: None,
+            spill_dir: None,
+        }
     }
-    for d in event_defs {
-        let idx = CategoryId(categories.len() as u32);
-        categories.push(Category {
-            index: idx,
-            name: d.name.clone(),
-            color: d.color,
-            kind: CategoryKind::Event,
-        });
-        roles.insert(d.id.0, IdRole::Solo(idx));
-    }
-    let arrow_cat = CategoryId(categories.len() as u32);
-    categories.push(Category {
-        index: arrow_cat,
-        name: "message".into(),
-        color: Color::WHITE,
-        kind: CategoryKind::Arrow,
-    });
-    CategoryTable {
-        categories,
-        roles,
-        arrow_cat,
-    }
 }
 
-/// Everything one rank's block contributes: its drawables and warnings
-/// in scan order, and its send/recv queues. Send keys carry the shard's
-/// own rank as `src` and recv keys carry it as `dst`, so the maps of
-/// two different shards are key-disjoint by construction and merge into
-/// exactly the queues the serial scan would have built.
-#[derive(Debug, Default)]
-struct RankShard {
-    drawables: Vec<Drawable>,
-    warnings: Vec<ConvertWarning>,
-    sends: BTreeMap<MsgKey, VecDeque<f64>>,
-    recvs: BTreeMap<MsgKey, VecDeque<f64>>,
-}
+impl Converter {
+    /// A converter with default settings (frame capacity 64, depth 16,
+    /// auto parallelism, strict torn-input policy).
+    pub fn new() -> Converter {
+        Converter::default()
+    }
 
-/// Walk one rank's block: pair state events, emit drawables, collect
-/// send/recv records for arrow matching. Pure per-rank — this is the
-/// unit of work a scan shard runs.
-fn scan_rank_block(rank: u32, records: &[Record], table: &CategoryTable) -> RankShard {
-    let mut shard = RankShard::default();
-    let mut stack: Vec<(CategoryId, f64, String)> = Vec::new(); // (cat, start, text)
-    let mut last_ts = f64::NEG_INFINITY;
-    for rec in records {
-        last_ts = last_ts.max(rec.ts());
-        match rec {
-            Record::Event { ts, id, text } => match table.roles.get(&id.0) {
-                Some(IdRole::StateStart(cat)) => {
-                    stack.push((*cat, *ts, text.clone()));
-                }
-                Some(IdRole::StateEnd(cat)) => {
-                    // Normally the innermost open state matches; be
-                    // tolerant of interleaving by searching downward.
-                    match stack.iter().rposition(|(c, _, _)| c == cat) {
-                        Some(pos) => {
-                            let (c, start, mut start_text) = stack.remove(pos);
-                            let nest = pos as u32;
-                            if !text.is_empty() {
-                                if !start_text.is_empty() {
-                                    start_text.push_str(" | ");
-                                }
-                                start_text.push_str(text);
-                            }
-                            let mut end = *ts;
-                            let mut start = start;
-                            if end < start {
-                                shard.warnings.push(ConvertWarning::BackwardState {
-                                    rank,
-                                    name: table.categories[c.as_usize()].name.clone(),
-                                    end,
-                                    start,
-                                });
-                                std::mem::swap(&mut start, &mut end);
-                            }
-                            shard.drawables.push(Drawable::State(StateDrawable {
-                                category: c,
-                                timeline: TimelineId(rank),
-                                start,
-                                end,
-                                nest_level: nest,
-                                text: start_text,
-                            }));
-                        }
-                        None => shard.warnings.push(ConvertWarning::UnmatchedEnd {
-                            rank,
-                            id: *id,
-                            ts: *ts,
-                        }),
-                    }
-                }
-                Some(IdRole::Solo(cat)) => {
-                    shard.drawables.push(Drawable::Event(EventDrawable {
-                        category: *cat,
-                        timeline: TimelineId(rank),
-                        time: *ts,
-                        text: text.clone(),
-                    }));
-                }
-                None => shard
-                    .warnings
-                    .push(ConvertWarning::UnknownEventId { rank, id: *id }),
+    /// Bridge from the legacy [`ConvertOptions`].
+    pub fn from_options(opts: &ConvertOptions) -> Converter {
+        Converter {
+            frame_capacity: opts.frame_capacity,
+            max_depth: opts.max_depth,
+            timeline_names: opts.timeline_names.clone(),
+            parallelism: opts.parallelism,
+            obs: opts.obs.clone(),
+            ..Converter::default()
+        }
+    }
+
+    /// Frame-tree split threshold ("frame size").
+    pub fn frame_capacity(mut self, capacity: usize) -> Converter {
+        self.frame_capacity = capacity;
+        self
+    }
+
+    /// Frame-tree depth limit.
+    pub fn max_depth(mut self, depth: u32) -> Converter {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Timeline display names (defaults to `PI_MAIN`, `P1`, …).
+    pub fn timeline_names(mut self, names: Vec<String>) -> Converter {
+        self.timeline_names = Some(names);
+        self
+    }
+
+    /// Worker threads: `0` = auto, `1` = serial, `n` = cap. Output is
+    /// byte-identical at every setting.
+    pub fn parallelism(mut self, workers: usize) -> Converter {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Attach a metrics registry + tracer.
+    pub fn observability(mut self, obs: Arc<obs::Obs>) -> Converter {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Torn-input policy; see [`TornPolicy`].
+    pub fn on_torn(mut self, policy: TornPolicy) -> Converter {
+        self.torn = policy;
+        self
+    }
+
+    /// Bound the drawable working set of
+    /// [`convert_to_path`](Self::convert_to_path) to roughly `bytes`
+    /// (sorted runs spill to disk past the budget). Ignored by the
+    /// in-memory [`convert`](Self::convert).
+    pub fn memory_budget(mut self, bytes: usize) -> Converter {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Directory for out-of-core spill files (defaults to the system
+    /// temp directory).
+    pub fn spill_dir(mut self, dir: std::path::PathBuf) -> Converter {
+        self.spill_dir = Some(dir);
+        self
+    }
+
+    /// The concrete worker count [`convert`](Self::convert) will use:
+    /// `0` resolves to the machine's available parallelism.
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+
+    /// Convert `src` in memory.
+    ///
+    /// Output bytes are identical for every source kind describing the
+    /// same log, at every parallelism setting.
+    pub fn convert(&self, src: TraceSource<'_>) -> Result<Conversion, StreamError> {
+        match &self.torn {
+            TornPolicy::Strict => match src {
+                TraceSource::InMemory(clog) => Ok(self.convert_clog(clog, None)),
+                TraceSource::Bytes(bytes) => self.convert_image(bytes),
+                TraceSource::Mmap(map) => self.convert_image(&map),
+                TraceSource::Reader(r) => self.convert_stream(r),
             },
-            Record::Send { ts, dst, tag, size } => {
-                shard
-                    .sends
-                    .entry((rank, *dst, *tag, *size))
-                    .or_default()
-                    .push_back(*ts);
-            }
-            Record::Recv { ts, src, tag, size } => {
-                shard
-                    .recvs
-                    .entry((*src, rank, *tag, *size))
-                    .or_default()
-                    .push_back(*ts);
-            }
-        }
-    }
-    // Non well-behaved: states still open at end of log. Close them
-    // at the block's last timestamp so the file is still displayable.
-    for (cat, start, text) in stack.into_iter().rev() {
-        let name = table.categories[cat.as_usize()].name.clone();
-        shard
-            .warnings
-            .push(ConvertWarning::UnclosedState { rank, name, start });
-        shard.drawables.push(Drawable::State(StateDrawable {
-            category: cat,
-            timeline: TimelineId(rank),
-            start,
-            end: last_ts.max(start),
-            nest_level: 0,
-            text,
-        }));
-    }
-    shard
-}
-
-/// Attribute one scanned block's metrics to its rank's shard. Every
-/// block is scanned exactly once at any parallelism setting, so the
-/// merged `convert.*` totals are thread-count independent (the
-/// determinism test pins this down).
-fn note_scanned_block(obs: &obs::Obs, rank: u32, records: &[Record], shard: &RankShard) {
-    let s = obs.shard(rank as usize);
-    s.counter("convert.records_scanned")
-        .add(records.len() as u64);
-    let (mut states, mut events) = (0u64, 0u64);
-    for d in &shard.drawables {
-        match d {
-            Drawable::State(_) => states += 1,
-            Drawable::Event(_) => events += 1,
-            Drawable::Arrow(_) => {}
-        }
-    }
-    s.counter("convert.drawables.state").add(states);
-    s.counter("convert.drawables.event").add(events);
-    s.counter("convert.warnings")
-        .add(shard.warnings.len() as u64);
-    s.histogram("convert.block_records")
-        .record(records.len() as u64);
-}
-
-/// Scan every block, striping blocks round-robin over up to `workers`
-/// scoped threads (serial when `workers <= 1`). Shards come back in
-/// block order regardless of which thread ran them.
-fn scan_blocks(
-    blocks: &[(u32, &[Record])],
-    table: &CategoryTable,
-    workers: usize,
-    obs: Option<&obs::Obs>,
-) -> Vec<RankShard> {
-    let workers = workers.min(blocks.len());
-    if workers <= 1 {
-        return blocks
-            .iter()
-            .map(|&(rank, records)| {
-                let shard = scan_rank_block(rank, records, table);
-                if let Some(o) = obs {
-                    note_scanned_block(o, rank, records, &shard);
-                }
-                shard
-            })
-            .collect();
-    }
-    let mut out: Vec<Option<RankShard>> = blocks.iter().map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                s.spawn(move || {
-                    let _span = obs.map(|o| o.span("scan.shard", "convert", w as u32));
-                    blocks
-                        .iter()
-                        .enumerate()
-                        .skip(w)
-                        .step_by(workers)
-                        .map(|(i, &(rank, records))| {
-                            let shard = scan_rank_block(rank, records, table);
-                            if let Some(o) = obs {
-                                note_scanned_block(o, rank, records, &shard);
-                            }
-                            (i, shard)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, shard) in h.join().expect("scan worker panicked") {
-                out[i] = Some(shard);
-            }
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("every block scanned"))
-        .collect()
-}
-
-/// FIFO-match one key's send queue against its receive queue.
-///
-/// Pairing by index is exactly the serial `pop_front` loop: arrow `i`
-/// joins `sends[i]` to `recvs[i]`, then surplus sends and surplus
-/// receives each warn once, in that order.
-fn match_arrows_for_key(
-    key: MsgKey,
-    send_ts: &VecDeque<f64>,
-    recv_ts: &VecDeque<f64>,
-    arrow_cat: CategoryId,
-    drawables: &mut Vec<Drawable>,
-    warnings: &mut Vec<ConvertWarning>,
-) {
-    let (src, dst, tag, size) = key;
-    let matched = send_ts.len().min(recv_ts.len());
-    for (&s, &r) in send_ts.iter().zip(recv_ts.iter()) {
-        if r < s {
-            warnings.push(ConvertWarning::BackwardArrow {
-                src,
-                dst,
-                tag,
-                start: s,
-                end: r,
-            });
-        }
-        drawables.push(Drawable::Arrow(ArrowDrawable {
-            category: arrow_cat,
-            from_timeline: TimelineId(src),
-            to_timeline: TimelineId(dst),
-            start: s,
-            end: r,
-            tag,
-            size,
-        }));
-    }
-    for _ in matched..send_ts.len() {
-        warnings.push(ConvertWarning::UnmatchedSend { src, dst, tag });
-    }
-    for _ in matched..recv_ts.len() {
-        warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
-    }
-}
-
-/// Match sends with receives, sharding the (key-ordered) send keys into
-/// contiguous chunks across up to `workers` threads. Chunk outputs
-/// concatenate in chunk order, so the drawable and warning sequences
-/// equal the serial key-order walk. Receive queues whose key was
-/// matched are removed from `recvs`; the caller drains the leftovers.
-fn match_all_arrows(
-    sends: BTreeMap<MsgKey, VecDeque<f64>>,
-    recvs: &mut BTreeMap<MsgKey, VecDeque<f64>>,
-    arrow_cat: CategoryId,
-    workers: usize,
-    obs: Option<&obs::Obs>,
-    drawables: &mut Vec<Drawable>,
-    warnings: &mut Vec<ConvertWarning>,
-) {
-    let pairs: Vec<(MsgKey, VecDeque<f64>, VecDeque<f64>)> = sends
-        .into_iter()
-        .map(|(key, send_ts)| {
-            let recv_ts = recvs.remove(&key).unwrap_or_default();
-            (key, send_ts, recv_ts)
-        })
-        .collect();
-    let workers = workers.min(pairs.len());
-    if workers <= 1 {
-        for (key, send_ts, recv_ts) in &pairs {
-            match_arrows_for_key(*key, send_ts, recv_ts, arrow_cat, drawables, warnings);
-        }
-        return;
-    }
-    let chunk = pairs.len().div_ceil(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = pairs
-            .chunks(chunk)
-            .enumerate()
-            .map(|(w, chunk)| {
-                s.spawn(move || {
-                    let _span = obs.map(|o| o.span("arrow-match.shard", "convert", w as u32));
-                    let mut ds = Vec::new();
-                    let mut ws = Vec::new();
-                    for (key, send_ts, recv_ts) in chunk {
-                        match_arrows_for_key(*key, send_ts, recv_ts, arrow_cat, &mut ds, &mut ws);
+            TornPolicy::Salvage(report) => {
+                let report = report.clone();
+                match src {
+                    TraceSource::InMemory(clog) => Ok(self.convert_clog(clog, Some(&report))),
+                    TraceSource::Bytes(bytes) => Ok(self.convert_salvaged_bytes(bytes, &report)),
+                    TraceSource::Mmap(map) => Ok(self.convert_salvaged_bytes(&map, &report)),
+                    TraceSource::Reader(mut r) => {
+                        let mut bytes = Vec::new();
+                        r.read_to_end(&mut bytes)?;
+                        Ok(self.convert_salvaged_bytes(&bytes, &report))
                     }
-                    (ds, ws)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (ds, ws) = h.join().expect("arrow worker panicked");
-            drawables.extend(ds);
-            warnings.extend(ws);
-        }
-    });
-}
-
-/// Equal-Drawables group key: (category, placement, bit-exact interval).
-type EqualKey = (u32, u32, u32, u64, u64);
-
-fn equal_drawable_key(d: &Drawable) -> EqualKey {
-    match d {
-        Drawable::State(s) => (
-            s.category.0,
-            s.timeline.0,
-            0,
-            s.start.to_bits(),
-            s.end.to_bits(),
-        ),
-        Drawable::Event(e) => (
-            e.category.0,
-            e.timeline.0,
-            0,
-            e.time.to_bits(),
-            e.time.to_bits(),
-        ),
-        Drawable::Arrow(a) => (
-            a.category.0,
-            a.from_timeline.0,
-            a.to_timeline.0,
-            a.start.to_bits(),
-            a.end.to_bits(),
-        ),
-    }
-}
-
-fn detect_equal_drawables(
-    drawables: &[Drawable],
-    categories: &[Category],
-    workers: usize,
-    warnings: &mut Vec<ConvertWarning>,
-) {
-    // Count occurrences per key. With multiple workers, each counts a
-    // contiguous chunk and the integer counts merge associatively —
-    // chunk order cannot affect a sum, and the report below is sorted.
-    const PAR_THRESHOLD: usize = 4096;
-    let mut groups: HashMap<EqualKey, usize> = HashMap::new();
-    if workers <= 1 || drawables.len() < PAR_THRESHOLD {
-        for d in drawables {
-            *groups.entry(equal_drawable_key(d)).or_insert(0) += 1;
-        }
-    } else {
-        let chunk = drawables.len().div_ceil(workers);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = drawables
-                .chunks(chunk)
-                .map(|chunk| {
-                    s.spawn(move || {
-                        let mut local: HashMap<EqualKey, usize> = HashMap::new();
-                        for d in chunk {
-                            *local.entry(equal_drawable_key(d)).or_insert(0) += 1;
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (key, n) in h.join().expect("count worker panicked") {
-                    *groups.entry(key).or_insert(0) += n;
                 }
             }
-        });
-    }
-    let mut dups: Vec<_> = groups.into_iter().filter(|(_, n)| *n > 1).collect();
-    dups.sort_by_key(|((cat, tl, tl2, s, e), _)| (*cat, *tl, *tl2, *s, *e));
-    for ((cat, _, _, s, e), n) in dups {
-        warnings.push(ConvertWarning::EqualDrawables {
-            category: categories
-                .get(cat as usize)
-                .map(|c| c.name.clone())
-                .unwrap_or_else(|| format!("cat{cat}")),
-            count: n,
-            t0: f64::from_bits(s),
-            t1: f64::from_bits(e),
-        });
-    }
-}
-
-/// Run the post-scan phases — shard merge, arrow matching, diagnostics,
-/// tree build, file assembly — over shards given in ascending rank
-/// order. Shared by [`convert`] and [`convert_reader`].
-fn finish_convert(
-    shards: Vec<RankShard>,
-    table: CategoryTable,
-    opts: &ConvertOptions,
-    nranks: u32,
-    workers: usize,
-) -> (Slog2File, Vec<ConvertWarning>) {
-    let CategoryTable {
-        categories,
-        arrow_cat,
-        ..
-    } = table;
-    let obs = opts.obs.as_deref();
-
-    // Merge: concatenation in rank order reproduces the serial scan's
-    // drawable and warning sequences; the per-shard send/recv maps are
-    // key-disjoint (each key names its own rank), so the union carries
-    // every FIFO queue over intact.
-    let mut builder = FrameTreeBuilder::new();
-    let mut warnings = Vec::new();
-    let mut sends: BTreeMap<MsgKey, VecDeque<f64>> = BTreeMap::new();
-    let mut recvs: BTreeMap<MsgKey, VecDeque<f64>> = BTreeMap::new();
-    let mut drawables: Vec<Drawable> = Vec::new();
-    {
-        let _span = obs.map(|o| o.span("merge", "convert", 0));
-        for shard in shards {
-            drawables.extend(shard.drawables);
-            warnings.extend(shard.warnings);
-            for (key, q) in shard.sends {
-                sends.entry(key).or_default().extend(q);
-            }
-            for (key, q) in shard.recvs {
-                recvs.entry(key).or_default().extend(q);
-            }
-        }
-    }
-    let scan_warnings = warnings.len();
-
-    // Match sends with receives (FIFO per (src, dst, tag, size) key).
-    {
-        let _span = obs.map(|o| o.span("arrow-match", "convert", 0));
-        match_all_arrows(
-            sends,
-            &mut recvs,
-            arrow_cat,
-            workers,
-            obs,
-            &mut drawables,
-            &mut warnings,
-        );
-        for ((src, dst, tag, _), leftover) in recvs {
-            for _ in leftover {
-                warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
-            }
         }
     }
 
-    // Equal-Drawables detection: same category, bit-identical
-    // endpoints (and same placement).
-    {
-        let _span = obs.map(|o| o.span("diagnose", "convert", 0));
-        detect_equal_drawables(&drawables, &categories, workers, &mut warnings);
-    }
-
-    // Post-scan totals. The arrow count and the warning sequence are
-    // deterministic at any parallelism, so attributing them to shard 0
-    // keeps the merged snapshot thread-count independent.
-    if let Some(o) = obs {
-        let s = o.shard(0);
-        let arrows = drawables
+    /// Convert an already-decoded log, optionally in salvage mode.
+    pub(crate) fn convert_clog(
+        &self,
+        clog: &Clog2File,
+        report: Option<&SalvageReport>,
+    ) -> Conversion {
+        let workers = self.effective_parallelism();
+        let mut table = build_categories(&clog.state_defs, &clog.event_defs);
+        let terminal_cats = report.map(|r| register_terminal_categories(&mut table, r));
+        let blocks: Vec<BlockInput<'_>> = clog
+            .blocks
             .iter()
-            .filter(|d| matches!(d, Drawable::Arrow(_)))
-            .count() as u64;
-        s.counter("convert.drawables.arrow").add(arrows);
-        s.counter("convert.warnings")
-            .add((warnings.len() - scan_warnings) as u64);
+            .map(|(&rank, records)| BlockInput::Records(rank, records.as_slice()))
+            .collect();
+        let mut shards = {
+            let _span = self.obs.as_deref().map(|o| o.span("scan", "convert", 0));
+            scan_sources(&blocks, &table, workers, self.obs.as_deref())
+        };
+        if let (Some(report), Some(cats)) = (report, terminal_cats) {
+            shards.push(terminal_shard(clog, report, &cats));
+        }
+        self.finish(shards, table, clog.nranks, workers)
     }
 
-    // Global range and tree. The builder folds min/max in push order —
-    // the same left-to-right fold the serial converter used.
-    let _tree_span = obs.map(|o| o.span("tree-build", "convert", 0));
-    builder.extend(drawables);
-    let range = builder.range();
+    /// Convert a raw CLOG2 byte image, scanning records in place.
+    fn convert_image(&self, bytes: &[u8]) -> Result<Conversion, StreamError> {
+        let workers = self.effective_parallelism();
+        let image = Clog2File::parse_image(bytes, CHUNK_RECORDS)?;
+        let table = build_categories(&image.state_defs, &image.event_defs);
+        let blocks: Vec<BlockInput<'_>> = image.blocks.iter().map(BlockInput::Image).collect();
+        let shards = {
+            let _span = self.obs.as_deref().map(|o| o.span("scan", "convert", 0));
+            scan_sources(&blocks, &table, workers, self.obs.as_deref())
+        };
+        Ok(self.finish(shards, table, image.nranks, workers))
+    }
 
-    let timelines = opts.timeline_names.clone().unwrap_or_else(|| {
-        (0..nranks)
-            .map(|r| {
-                if r == 0 {
-                    "PI_MAIN".to_string()
-                } else {
-                    format!("P{r}")
-                }
-            })
-            .collect()
-    });
+    /// Convert a byte stream, holding one block in memory at a time.
+    pub(crate) fn convert_stream<R: Read>(&self, src: R) -> Result<Conversion, StreamError> {
+        let workers = self.effective_parallelism();
+        let mut blocks = Clog2Blocks::open(src)?;
+        let table = build_categories(&blocks.state_defs, &blocks.event_defs);
+        let nranks = blocks.nranks;
+        let mut shards: BTreeMap<u32, RankScan> = BTreeMap::new();
+        {
+            let _span = self.obs.as_deref().map(|o| o.span("scan", "convert", 0));
+            for item in &mut blocks {
+                let (rank, records) = item?;
+                let input = [BlockInput::Records(rank, records.as_slice())];
+                let scan = scan_sources(&input, &table, workers, self.obs.as_deref())
+                    .pop()
+                    .expect("one block scanned");
+                shards.insert(rank, scan);
+            }
+        }
+        blocks.finish()?;
+        Ok(self.finish(shards.into_values().collect(), table, nranks, workers))
+    }
 
-    let tree = builder.build(opts.frame_capacity, opts.max_depth, workers);
-    let file = Slog2File {
-        timelines,
-        categories,
-        range,
-        warnings: warnings.iter().map(|w| w.to_string()).collect(),
-        tree,
-    };
-    (file, warnings)
+    /// Salvage a (possibly torn) byte image: recover the clean prefix,
+    /// then convert it with the report's forensics.
+    fn convert_salvaged_bytes(&self, bytes: &[u8], report: &SalvageReport) -> Conversion {
+        let salvaged = Clog2File::salvage_bytes(bytes);
+        self.convert_clog(&salvaged.file, Some(report))
+    }
+
+    /// Run the post-scan phases — shard merge, arrow matching,
+    /// diagnostics, tree build, file assembly — over shards given in
+    /// ascending rank order.
+    fn finish(
+        &self,
+        mut shards: Vec<RankScan>,
+        table: CategoryTable,
+        nranks: u32,
+        workers: usize,
+    ) -> Conversion {
+        let CategoryTable {
+            categories,
+            arrow_cat,
+            ..
+        } = table;
+        let obs = self.obs.as_deref();
+
+        // Merge: concatenation in rank order reproduces the serial
+        // scan's drawable and warning sequences; the per-shard send/recv
+        // lists are key-disjoint (each key names its own rank), so
+        // rank-ordered merging carries every FIFO queue over intact.
+        let mut cols = DrawableColumns::new();
+        let mut warnings: Vec<ConvertWarning> = Vec::new();
+        {
+            let _span = obs.map(|o| o.span("merge", "convert", 0));
+            for s in &mut shards {
+                cols.append(&s.cols);
+                s.cols = DrawableColumns::new();
+                warnings.append(&mut s.warnings);
+            }
+        }
+        let scan_warnings = warnings.len();
+
+        // Match sends with receives (FIFO per (src, dst, tag, size) key).
+        {
+            let _span = obs.map(|o| o.span("arrow-match", "convert", 0));
+            match_all_arrows(&shards, arrow_cat, workers, obs, &mut cols, &mut warnings);
+        }
+
+        // Equal-Drawables detection: same category, bit-identical
+        // endpoints (and same placement).
+        {
+            let _span = obs.map(|o| o.span("diagnose", "convert", 0));
+            detect_equal_drawables(&cols, &categories, workers, &mut warnings);
+        }
+
+        // Post-scan totals. The arrow count and the warning sequence are
+        // deterministic at any parallelism, so attributing them to shard
+        // 0 keeps the merged snapshot thread-count independent.
+        if let Some(o) = obs {
+            let s = o.shard(0);
+            s.counter("convert.drawables.arrow").add(cols.n_arrows());
+            s.counter("convert.warnings")
+                .add((warnings.len() - scan_warnings) as u64);
+        }
+
+        // Global range and tree. The range folds min/max in row order —
+        // the same left-to-right fold the serial converter used.
+        let _tree_span = obs.map(|o| o.span("tree-build", "convert", 0));
+        let range = fold_range(&cols);
+        let timelines = self.timeline_names.clone().unwrap_or_else(|| {
+            (0..nranks)
+                .map(|r| {
+                    if r == 0 {
+                        "PI_MAIN".to_string()
+                    } else {
+                        format!("P{r}")
+                    }
+                })
+                .collect()
+        });
+        let tree = FrameTree::build_columnar(
+            &cols,
+            range.t0,
+            range.t1,
+            self.frame_capacity,
+            self.max_depth,
+            workers,
+        );
+        let file = Slog2File {
+            timelines,
+            categories,
+            range,
+            warnings: warnings.iter().map(|w| w.to_string()).collect(),
+            tree,
+        };
+        Conversion { file, warnings }
+    }
 }
 
-/// Convert a merged CLOG2 log into an SLOG2 file, reporting diagnostics.
-///
-/// With [`ConvertOptions::parallelism`] above 1 the scan, arrow,
-/// diagnostic, and tree phases shard across scoped worker threads; the
-/// resulting file is byte-identical to the serial conversion.
-pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<ConvertWarning>) {
-    let workers = opts.effective_parallelism();
-    let table = build_categories(&clog.state_defs, &clog.event_defs);
-    let blocks: Vec<(u32, &[Record])> = clog
-        .blocks
-        .iter()
-        .map(|(&rank, records)| (rank, records.as_slice()))
-        .collect();
-    let shards = {
-        let _span = opts.obs.as_deref().map(|o| o.span("scan", "convert", 0));
-        scan_blocks(&blocks, &table, workers, opts.obs.as_deref())
-    };
-    finish_convert(shards, table, opts, clog.nranks, workers)
+/// The drawables' global `[min start, max end]` range, `[0, 0]` when
+/// empty — the fold `FrameTreeBuilder` performs, over columnar rows.
+fn fold_range(cols: &DrawableColumns) -> TimeWindow {
+    let mut t0 = f64::INFINITY;
+    let mut t1 = f64::NEG_INFINITY;
+    for i in 0..cols.len() {
+        t0 = t0.min(cols.start(i));
+        t1 = t1.max(cols.end(i));
+    }
+    if t0.is_finite() {
+        TimeWindow::new(t0, t1)
+    } else {
+        TimeWindow::new(0.0, 0.0)
+    }
 }
 
-/// Convert a (possibly torn) CLOG2 log from a failed run into a valid,
-/// viewable SLOG2 file.
-///
-/// Beyond the normal pipeline this:
-///
-/// * appends synthetic `ABORTED` / `DEADLOCKED` state categories
-///   **after** the arrow category, so every index the plain converter
-///   assigns is unchanged (an empty [`SalvageReport`] converts
-///   byte-identically to [`convert`]);
-/// * draws one terminal state per failed rank, from that rank's last
-///   recovered timestamp to the log's global end, carrying the (clamped)
-///   failure detail as info text;
-/// * embeds the rank verdicts, the detector's diagnosis, and the torn
-///   input's recovery counts as [`ConvertWarning`]s, which land in the
-///   file's warning list.
-///
-/// The output always passes [`crate::validate`]: the point of salvage is
-/// a file the viewer can actually open.
-pub fn convert_salvaged(
-    clog: &Clog2File,
+/// Append the synthetic terminal categories, in fixed ABORTED-then-
+/// DEADLOCKED order and only when some verdict needs them: index
+/// assignment stays deterministic and the no-failure file is unchanged.
+pub(crate) fn register_terminal_categories(
+    table: &mut CategoryTable,
     report: &SalvageReport,
-    opts: &ConvertOptions,
-) -> (Slog2File, Vec<ConvertWarning>) {
-    let workers = opts.effective_parallelism();
-    let mut table = build_categories(&clog.state_defs, &clog.event_defs);
-    // Terminal categories, in fixed ABORTED-then-DEADLOCKED order and
-    // only when some verdict needs them: index assignment stays
-    // deterministic and the no-failure file is unchanged.
+) -> [Option<CategoryId>; 2] {
     let mut terminal_cats: [Option<CategoryId>; 2] = [None, None];
     for kind in [FailureKind::Aborted, FailureKind::Deadlocked] {
         if report.verdicts.iter().any(|v| v.kind == kind) {
@@ -978,24 +768,24 @@ pub fn convert_salvaged(
             terminal_cats[kind.slot()] = Some(idx);
         }
     }
+    terminal_cats
+}
 
-    let blocks: Vec<(u32, &[Record])> = clog
-        .blocks
-        .iter()
-        .map(|(&rank, records)| (rank, records.as_slice()))
-        .collect();
-    let shards = {
-        let _span = opts.obs.as_deref().map(|o| o.span("scan", "convert", 0));
-        scan_blocks(&blocks, &table, workers, opts.obs.as_deref())
-    };
-
+/// Build the synthetic final shard carrying the terminal drawables and
+/// the forensic warnings; concatenating it last keeps everything the
+/// plain pipeline emits in its usual order.
+pub(crate) fn terminal_shard(
+    clog: &Clog2File,
+    report: &SalvageReport,
+    terminal_cats: &[Option<CategoryId>; 2],
+) -> RankScan {
     // The log's time extent and each rank's last recovered timestamp,
     // straight from the raw records (drawable endpoints never exceed
     // these, so terminal states keep the file's range intact).
     let mut t_min = f64::INFINITY;
     let mut t_max = f64::NEG_INFINITY;
     let mut rank_last: HashMap<u32, f64> = HashMap::new();
-    for &(rank, records) in &blocks {
+    for (&rank, records) in &clog.blocks {
         for rec in records {
             let ts = rec.ts();
             t_min = t_min.min(ts);
@@ -1005,10 +795,7 @@ pub fn convert_salvaged(
         }
     }
 
-    // A synthetic final shard carries the terminal drawables and the
-    // forensic warnings; concatenating it last keeps everything the
-    // plain pipeline emits in its usual order.
-    let mut terminal = RankShard::default();
+    let mut terminal = RankScan::empty(u32::MAX);
     if report.truncated {
         terminal.warnings.push(ConvertWarning::SalvagedLog {
             bytes_recovered: report.bytes_recovered,
@@ -1035,66 +822,290 @@ pub fn convert_salvaged(
         } else {
             start
         };
-        terminal.drawables.push(Drawable::State(StateDrawable {
-            category: cat,
-            timeline: TimelineId(v.rank),
+        terminal.cols.push_state(
+            cat,
+            TimelineId(v.rank),
             start,
             end,
-            nest_level: 0,
-            text: clamp_terminal_text(&v.detail),
-        }));
+            0,
+            &clamp_terminal_text(&v.detail),
+        );
     }
     if let Some(diag) = &report.diagnosis {
         terminal
             .warnings
             .push(ConvertWarning::FailureDiagnosis { text: diag.clone() });
     }
-
-    let mut shards = shards;
-    shards.push(terminal);
-    finish_convert(shards, table, opts, clog.nranks, workers)
+    terminal
 }
 
-/// Convert a CLOG2 byte stream without materializing the whole file:
-/// blocks are decoded incrementally (one in memory at a time) and
-/// reduced to their per-rank shard as they arrive, then the shared
-/// pipeline finishes exactly as [`convert`] does. The output is
-/// byte-identical to `convert(&Clog2File::from_bytes(..))` for every
-/// valid stream — shards are keyed by rank, so even a file whose blocks
-/// are not in ascending rank order converts identically.
-pub fn convert_reader<R: std::io::Read>(
+/// Group a key-sorted `(key, ts)` list into contiguous per-key ranges.
+fn key_groups(list: &[(MsgKey, f64)]) -> Vec<(MsgKey, Range<usize>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < list.len() {
+        let k = list[i].0;
+        let mut j = i + 1;
+        while j < list.len() && list[j].0 == k {
+            j += 1;
+        }
+        out.push((k, i..j));
+        i = j;
+    }
+    out
+}
+
+/// K-way merge the per-shard key-sorted recv lists into one global
+/// key-sorted list. Shard keys are disjoint (each key's `dst` is the
+/// owning rank), so within a key the timestamps keep one shard's record
+/// order — the FIFO queue the matcher expects. Sends need no heap: each
+/// send key leads with the owning rank, so rank-ordered concatenation is
+/// already key-sorted.
+fn kway_merge_recvs(shards: &[RankScan]) -> Vec<(MsgKey, f64)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total: usize = shards.iter().map(|s| s.recvs.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; shards.len()];
+    let mut heap: BinaryHeap<Reverse<(MsgKey, usize)>> = BinaryHeap::new();
+    for (si, s) in shards.iter().enumerate() {
+        if let Some(&(k, _)) = s.recvs.first() {
+            heap.push(Reverse((k, si)));
+        }
+    }
+    while let Some(Reverse((_, si))) = heap.pop() {
+        let i = cursors[si];
+        out.push(shards[si].recvs[i]);
+        cursors[si] += 1;
+        if let Some(&(k, _)) = shards[si].recvs.get(cursors[si]) {
+            heap.push(Reverse((k, si)));
+        }
+    }
+    out
+}
+
+/// FIFO-match one key's send timestamps against its receive timestamps.
+///
+/// Pairing by index is exactly the serial `pop_front` loop: arrow `i`
+/// joins `sends[i]` to `recvs[i]`, then surplus sends and surplus
+/// receives each warn once, in that order.
+fn match_arrows_for_key(
+    key: MsgKey,
+    send_ts: &[f64],
+    recv_ts: &[f64],
+    arrow_cat: CategoryId,
+    cols: &mut DrawableColumns,
+    warnings: &mut Vec<ConvertWarning>,
+) {
+    let (src, dst, tag, size) = key;
+    let matched = send_ts.len().min(recv_ts.len());
+    for (&s, &r) in send_ts.iter().zip(recv_ts.iter()) {
+        if r < s {
+            warnings.push(ConvertWarning::BackwardArrow {
+                src,
+                dst,
+                tag,
+                start: s,
+                end: r,
+            });
+        }
+        cols.push_arrow(arrow_cat, TimelineId(src), TimelineId(dst), s, r, tag, size);
+    }
+    for _ in matched..send_ts.len() {
+        warnings.push(ConvertWarning::UnmatchedSend { src, dst, tag });
+    }
+    for _ in matched..recv_ts.len() {
+        warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+    }
+}
+
+/// Match sends with receives, sharding the (key-ordered) send key
+/// groups into contiguous chunks across up to `workers` threads. Chunk
+/// outputs concatenate in chunk order, so the drawable and warning
+/// sequences equal the serial key-order walk. Receive keys no send key
+/// ever touches warn at the end, in key order — exactly the serial
+/// leftover drain.
+pub(crate) fn match_all_arrows(
+    shards: &[RankScan],
+    arrow_cat: CategoryId,
+    workers: usize,
+    obs: Option<&obs::Obs>,
+    cols: &mut DrawableColumns,
+    warnings: &mut Vec<ConvertWarning>,
+) {
+    let sends: Vec<(MsgKey, f64)> = shards
+        .iter()
+        .flat_map(|s| s.sends.iter().copied())
+        .collect();
+    let recvs = kway_merge_recvs(shards);
+    let send_groups = key_groups(&sends);
+    let recv_groups = key_groups(&recvs);
+
+    // Pair each send key group with its recv group (if any), walking
+    // both key-sorted group lists with two pointers.
+    let mut consumed = vec![false; recv_groups.len()];
+    let mut pairs: Vec<(MsgKey, Range<usize>, Option<Range<usize>>)> =
+        Vec::with_capacity(send_groups.len());
+    let mut rp = 0usize;
+    for (key, srange) in &send_groups {
+        while rp < recv_groups.len() && recv_groups[rp].0 < *key {
+            rp += 1;
+        }
+        let rrange = if rp < recv_groups.len() && recv_groups[rp].0 == *key {
+            consumed[rp] = true;
+            let r = recv_groups[rp].1.clone();
+            rp += 1;
+            Some(r)
+        } else {
+            None
+        };
+        pairs.push((*key, srange.clone(), rrange));
+    }
+
+    let match_one = |(key, srange, rrange): &(MsgKey, Range<usize>, Option<Range<usize>>),
+                     cols: &mut DrawableColumns,
+                     warnings: &mut Vec<ConvertWarning>| {
+        let send_ts: Vec<f64> = sends[srange.clone()].iter().map(|&(_, t)| t).collect();
+        let recv_ts: Vec<f64> = rrange
+            .clone()
+            .map(|r| recvs[r].iter().map(|&(_, t)| t).collect())
+            .unwrap_or_default();
+        match_arrows_for_key(*key, &send_ts, &recv_ts, arrow_cat, cols, warnings);
+    };
+
+    let workers = workers.min(pairs.len().max(1));
+    if workers <= 1 {
+        for pair in &pairs {
+            match_one(pair, cols, warnings);
+        }
+    } else {
+        let chunk = pairs.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(w, chunk)| {
+                    let match_one = &match_one;
+                    s.spawn(move || {
+                        let _span = obs.map(|o| o.span("arrow-match.shard", "convert", w as u32));
+                        let mut local_cols = DrawableColumns::new();
+                        let mut local_warns = Vec::new();
+                        for pair in chunk {
+                            match_one(pair, &mut local_cols, &mut local_warns);
+                        }
+                        (local_cols, local_warns)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (local_cols, local_warns) = h.join().expect("arrow worker panicked");
+                cols.append(&local_cols);
+                warnings.extend(local_warns);
+            }
+        });
+    }
+
+    // Receives whose key no send ever matched, in key order.
+    for (gi, (key, range)) in recv_groups.iter().enumerate() {
+        if !consumed[gi] {
+            let (src, dst, tag, _) = *key;
+            for _ in range.clone() {
+                warnings.push(ConvertWarning::UnmatchedRecv { src, dst, tag });
+            }
+        }
+    }
+}
+
+/// Equal-Drawables group key: (category, placement, bit-exact interval).
+type EqualKey = (u32, u32, u32, u64, u64);
+
+fn detect_equal_drawables(
+    cols: &DrawableColumns,
+    categories: &[Category],
+    workers: usize,
+    warnings: &mut Vec<ConvertWarning>,
+) {
+    // Count occurrences per key. With multiple workers, each counts a
+    // contiguous row chunk and the integer counts merge associatively —
+    // chunk order cannot affect a sum, and the report below is sorted.
+    const PAR_THRESHOLD: usize = 4096;
+    let n = cols.len();
+    let mut groups: HashMap<EqualKey, usize, FnvBuild> = HashMap::default();
+    if workers <= 1 || n < PAR_THRESHOLD {
+        for i in 0..n {
+            *groups.entry(cols.equal_key(i)).or_insert(0) += 1;
+        }
+    } else {
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|lo| {
+                    let hi = (lo + chunk).min(n);
+                    s.spawn(move || {
+                        let mut local: HashMap<EqualKey, usize, FnvBuild> = HashMap::default();
+                        for i in lo..hi {
+                            *local.entry(cols.equal_key(i)).or_insert(0) += 1;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (key, count) in h.join().expect("count worker panicked") {
+                    *groups.entry(key).or_insert(0) += count;
+                }
+            }
+        });
+    }
+    let mut dups: Vec<_> = groups.into_iter().filter(|(_, n)| *n > 1).collect();
+    dups.sort_by_key(|((cat, tl, tl2, s, e), _)| (*cat, *tl, *tl2, *s, *e));
+    for ((cat, _, _, s, e), n) in dups {
+        warnings.push(ConvertWarning::EqualDrawables {
+            category: categories
+                .get(cat as usize)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|| format!("cat{cat}")),
+            count: n,
+            t0: f64::from_bits(s),
+            t1: f64::from_bits(e),
+        });
+    }
+}
+
+/// Convert a merged CLOG2 log into an SLOG2 file, reporting diagnostics.
+#[deprecated(note = "use `Converter::new().convert(TraceSource::InMemory(clog))`")]
+pub fn convert(clog: &Clog2File, opts: &ConvertOptions) -> (Slog2File, Vec<ConvertWarning>) {
+    let conv = Converter::from_options(opts).convert_clog(clog, None);
+    (conv.file, conv.warnings)
+}
+
+/// Convert a (possibly torn) CLOG2 log from a failed run into a valid,
+/// viewable SLOG2 file.
+#[deprecated(note = "use `Converter::new().on_torn(TornPolicy::Salvage(report)).convert(..)`")]
+pub fn convert_salvaged(
+    clog: &Clog2File,
+    report: &SalvageReport,
+    opts: &ConvertOptions,
+) -> (Slog2File, Vec<ConvertWarning>) {
+    let conv = Converter::from_options(opts).convert_clog(clog, Some(report));
+    (conv.file, conv.warnings)
+}
+
+/// Convert a CLOG2 byte stream without materializing the whole file.
+#[deprecated(note = "use `Converter::new().convert(TraceSource::reader(src))`")]
+pub fn convert_reader<R: Read>(
     src: R,
     opts: &ConvertOptions,
 ) -> Result<(Slog2File, Vec<ConvertWarning>), StreamError> {
-    let workers = opts.effective_parallelism();
-    let mut blocks = Clog2Blocks::open(src)?;
-    let table = build_categories(&blocks.state_defs, &blocks.event_defs);
-    let nranks = blocks.nranks;
-    let mut shards: BTreeMap<u32, RankShard> = BTreeMap::new();
-    {
-        let _span = opts.obs.as_deref().map(|o| o.span("scan", "convert", 0));
-        for item in &mut blocks {
-            let (rank, records) = item?;
-            let shard = scan_rank_block(rank, &records, &table);
-            if let Some(o) = opts.obs.as_deref() {
-                note_scanned_block(o, rank, &records, &shard);
-            }
-            shards.insert(rank, shard);
-        }
-    }
-    blocks.finish()?;
-    Ok(finish_convert(
-        shards.into_values().collect(),
-        table,
-        opts,
-        nranks,
-        workers,
-    ))
+    let conv = Converter::from_options(opts).convert_stream(src)?;
+    Ok((conv.file, conv.warnings))
 }
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::drawable::Drawable;
     use mpelog::{Color, Logger};
 
     /// Build a two-rank CLOG file through the real Logger API.

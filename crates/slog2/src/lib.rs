@@ -24,24 +24,33 @@
 //!   instance count, *inclusive* duration, and *exclusive* duration
 //!   (inclusive minus nested states).
 
+pub(crate) mod columnar;
 pub mod convert;
 pub mod drawable;
 pub mod error;
 pub mod file;
+pub(crate) mod fnv;
 pub mod id;
+pub mod oocore;
+pub(crate) mod scan;
+pub mod source;
 pub mod stats;
 pub mod tree;
 pub mod validate;
 pub mod window;
 
+#[allow(deprecated)]
+pub use convert::{convert, convert_reader, convert_salvaged};
 pub use convert::{
-    convert, convert_reader, convert_salvaged, ConvertOptions, ConvertWarning, FailureKind,
-    RankVerdict, SalvageReport,
+    Conversion, ConvertOptions, ConvertWarning, Converter, FailureKind, RankVerdict, SalvageReport,
+    TornPolicy,
 };
 pub use drawable::{ArrowDrawable, Category, CategoryKind, Drawable, EventDrawable, StateDrawable};
 pub use error::Slog2Error;
 pub use file::Slog2File;
 pub use id::{CategoryId, CategoryMap, TimelineId, WellKnownCategory};
+pub use oocore::ConvertSummary;
+pub use source::{Mmap, TraceSource};
 pub use stats::{legend_stats, CategoryStats};
 pub use tree::{FrameNode, FrameTree, FrameTreeBuilder, Preview};
 pub use validate::{validate, Defect};

@@ -1,0 +1,1196 @@
+//! Out-of-core conversion: write an SLOG2 file under a memory budget.
+//!
+//! [`Converter::convert_to_path`] converts a trace whose drawables do
+//! not fit in RAM. The frame tree never materializes: drawable rows
+//! spill to a temporary file as ranks are scanned, the tree *shape* is
+//! computed from streaming passes over that file, and the final SLOG2
+//! image is written node by node from an externally-sorted row stream.
+//! Output bytes are identical to `Converter::convert(..).file.to_bytes()`
+//! at every parallelism setting and memory budget — the determinism
+//! proptests pin this.
+//!
+//! ## The three passes
+//!
+//! 1. **Scan + spill.** Each rank block is scanned (with the same
+//!    chunk-stealing scan as the in-memory path) and its rows appended
+//!    to the row file as one *segment*: `[start, end, cat, duration,
+//!    payload]` per row, where the payload is the row's exact
+//!    `Drawable::encode` bytes. Per-rank send/recv lists, warnings, and
+//!    per-segment time extrema stay resident (they are tiny next to the
+//!    drawables). Arrow rows append as the final segment after
+//!    matching. Equal-Drawables keys stream into an external sorter.
+//! 2. **Shape.** A streaming pass counts, for every potential tree node
+//!    (addressed by its heap-style path id), how many rows would reach
+//!    it if every ancestor split. Since a row's descent path depends
+//!    only on the fixed `[t0, t1]` range, reach counts determine the
+//!    realized tree exactly: a node splits iff its reach exceeds the
+//!    capacity (and the depth/zero-width/empty-children guards pass) —
+//!    the same predicate the in-memory recursion evaluates on its item
+//!    list.
+//! 3. **Place + write.** A second streaming pass walks each row down
+//!    the realized tree, accumulating node previews *in row order*
+//!    (float summation order is what makes previews bit-identical) and
+//!    tagging the row with its owning node's preorder index. Rows
+//!    externally sort by `(preorder, sequence)` and stream into the
+//!    file behind the header; the node directory is patched in place.
+//!
+//! The reach map and per-node previews are the only tree state held in
+//! memory — `O(nodes)`, not `O(drawables)`. Path ids cap the tree depth
+//! at 32 (a 10^9-node shape bound no real file approaches); a converter
+//! configured deeper falls back to the in-memory build.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mpelog::clog2::{Clog2Blocks, StreamError};
+use mpelog::wire::Writer;
+use mpelog::Clog2File;
+
+use crate::columnar::DrawableColumns;
+use crate::convert::{
+    match_all_arrows, register_terminal_categories, terminal_shard, Conversion, ConvertWarning,
+    Converter, TornPolicy,
+};
+use crate::fnv::{fnv1a, FnvBuild, FNV_SEED};
+use crate::scan::{build_categories, scan_sources, BlockInput, CategoryTable, RankScan};
+use crate::source::TraceSource;
+
+/// What [`Converter::convert_to_path`] reports: enough to check two
+/// runs produced the same file without re-reading either.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertSummary {
+    /// Total drawables written.
+    pub drawables: u64,
+    /// Frame-tree nodes written.
+    pub nodes: u64,
+    /// Converter diagnostics (also embedded in the file).
+    pub warnings: Vec<ConvertWarning>,
+    /// Final file size in bytes.
+    pub bytes_written: u64,
+    /// FNV-1a digest of the file bytes.
+    pub digest: u64,
+}
+
+impl Converter {
+    /// Convert `src` straight to an SLOG2 file at `dst`, holding only
+    /// `memory_budget` bytes (plus scan working set) of drawable data
+    /// in RAM. Bytes at `dst` are identical to what
+    /// [`convert`](Converter::convert) + `to_bytes` would produce.
+    pub fn convert_to_path(
+        &self,
+        src: TraceSource<'_>,
+        dst: &Path,
+    ) -> Result<ConvertSummary, StreamError> {
+        if self.max_depth > 32 {
+            // Path ids don't reach below depth 32; fall back to the
+            // in-memory build (identical bytes by construction).
+            let Conversion { file, warnings } = self.convert(src)?;
+            let bytes = file.to_bytes();
+            std::fs::write(dst, &bytes)?;
+            return Ok(ConvertSummary {
+                drawables: file.total_drawables() as u64,
+                nodes: file.tree.node_count() as u64,
+                warnings,
+                bytes_written: bytes.len() as u64,
+                digest: fnv1a(FNV_SEED, &bytes),
+            });
+        }
+        run_out_of_core(self, src, dst)
+    }
+}
+
+/// Sequence number for temp-file names (several conversions may run in
+/// one process).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A temp file deleted on drop.
+struct TempFile {
+    path: PathBuf,
+}
+
+impl TempFile {
+    fn create(dir: Option<&Path>, tag: &str) -> io::Result<TempFile> {
+        let dir = match dir {
+            Some(d) => d.to_path_buf(),
+            None => std::env::temp_dir(),
+        };
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!(
+            "slog2-oocore-{}-{}-{tag}.tmp",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        Ok(TempFile { path })
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// An external sorter over byte records: buffers up to `budget` bytes,
+/// spills sorted runs to one temp file, and k-way merges the runs on
+/// drain. Records compare as byte slices, so callers encode sort keys
+/// big-endian.
+struct ExtSorter {
+    recs: Vec<Vec<u8>>,
+    buffered: usize,
+    budget: usize,
+    spill: Option<(BufWriter<File>, TempFile)>,
+    spill_dir: Option<PathBuf>,
+    tag: &'static str,
+    runs: Vec<(u64, u64)>,
+    pos: u64,
+}
+
+impl ExtSorter {
+    fn new(budget: usize, spill_dir: Option<&Path>, tag: &'static str) -> ExtSorter {
+        ExtSorter {
+            recs: Vec::new(),
+            buffered: 0,
+            // Below ~64 KiB the run bookkeeping dominates; clamp.
+            budget: budget.max(64 << 10),
+            spill: None,
+            spill_dir: spill_dir.map(Path::to_path_buf),
+            tag,
+            runs: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn push(&mut self, rec: Vec<u8>) -> io::Result<()> {
+        // ~32 bytes of Vec overhead per record.
+        self.buffered += rec.len() + 32;
+        self.recs.push(rec);
+        if self.buffered > self.budget {
+            self.spill_run()?;
+        }
+        Ok(())
+    }
+
+    fn spill_run(&mut self) -> io::Result<()> {
+        if self.recs.is_empty() {
+            return Ok(());
+        }
+        self.recs.sort_unstable();
+        if self.spill.is_none() {
+            let tf = TempFile::create(self.spill_dir.as_deref(), self.tag)?;
+            let f = File::create(&tf.path)?;
+            self.spill = Some((BufWriter::new(f), tf));
+        }
+        let w = &mut self.spill.as_mut().expect("spill open").0;
+        let start = self.pos;
+        for rec in self.recs.drain(..) {
+            w.write_all(&(rec.len() as u32).to_le_bytes())?;
+            w.write_all(&rec)?;
+            self.pos += 4 + rec.len() as u64;
+        }
+        self.runs.push((start, self.pos));
+        self.buffered = 0;
+        Ok(())
+    }
+
+    /// Drain everything in sorted order.
+    fn into_sorted(mut self) -> io::Result<SortedIter> {
+        if self.runs.is_empty() {
+            self.recs.sort_unstable();
+            return Ok(SortedIter::Mem(self.recs.into_iter()));
+        }
+        self.spill_run()?;
+        let (w, tf) = self.spill.take().expect("spill open");
+        w.into_inner().map_err(io::Error::other)?.sync_data().ok();
+        let mut readers = Vec::with_capacity(self.runs.len());
+        let mut heap = BinaryHeap::new();
+        for (i, &(start, end)) in self.runs.iter().enumerate() {
+            let mut f = File::open(&tf.path)?;
+            f.seek(SeekFrom::Start(start))?;
+            let mut r = RunReader {
+                r: BufReader::new(f.take(end - start)),
+            };
+            if let Some(rec) = r.next_rec()? {
+                heap.push(std::cmp::Reverse((rec, i)));
+            }
+            readers.push(r);
+        }
+        Ok(SortedIter::Merge {
+            heap,
+            readers,
+            _guard: tf,
+        })
+    }
+}
+
+struct RunReader {
+    r: BufReader<io::Take<File>>,
+}
+
+impl RunReader {
+    fn next_rec(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let mut len = [0u8; 4];
+        match self.r.read_exact(&mut len) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let mut rec = vec![0u8; u32::from_le_bytes(len) as usize];
+        self.r.read_exact(&mut rec)?;
+        Ok(Some(rec))
+    }
+}
+
+enum SortedIter {
+    Mem(std::vec::IntoIter<Vec<u8>>),
+    Merge {
+        heap: BinaryHeap<std::cmp::Reverse<(Vec<u8>, usize)>>,
+        readers: Vec<RunReader>,
+        _guard: TempFile,
+    },
+}
+
+impl SortedIter {
+    fn next_rec(&mut self) -> io::Result<Option<Vec<u8>>> {
+        match self {
+            SortedIter::Mem(it) => Ok(it.next()),
+            SortedIter::Merge { heap, readers, .. } => {
+                let Some(std::cmp::Reverse((rec, i))) = heap.pop() else {
+                    return Ok(None);
+                };
+                if let Some(next) = readers[i].next_rec()? {
+                    heap.push(std::cmp::Reverse((next, i)));
+                }
+                Ok(Some(rec))
+            }
+        }
+    }
+}
+
+/// One contiguous run of rows in the row file. `order` ranks segments
+/// into the global row sequence: `(0, rank)` for scan output (the
+/// salvage terminal shard is rank `u32::MAX`), `(1, 0)` for arrows —
+/// the same rank-ascending-then-arrows order the in-memory merge uses.
+struct Segment {
+    order: (u8, u32),
+    start: u64,
+    rows: u64,
+    /// Min row start / max row end, folded in row order.
+    t0: f64,
+    t1: f64,
+}
+
+/// The pass-A row file: sequential segments of
+/// `[start f64][end f64][cat u32][dur f64][len u32][payload]` rows.
+struct RowFile {
+    w: BufWriter<File>,
+    guard: TempFile,
+    pos: u64,
+    segments: Vec<Segment>,
+    total_rows: u64,
+}
+
+impl RowFile {
+    fn create(dir: Option<&Path>) -> io::Result<RowFile> {
+        let guard = TempFile::create(dir, "rows")?;
+        let f = File::create(&guard.path)?;
+        Ok(RowFile {
+            w: BufWriter::new(f),
+            guard,
+            pos: 0,
+            segments: Vec::new(),
+            total_rows: 0,
+        })
+    }
+
+    /// Spill one shard's rows as a segment, feeding Equal-Drawables keys
+    /// to `eq` along the way.
+    fn spill_shard(
+        &mut self,
+        order: (u8, u32),
+        cols: &DrawableColumns,
+        eq: &mut ExtSorter,
+    ) -> io::Result<()> {
+        let start = self.pos;
+        let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+        // Encode the whole segment's payloads in one buffer; per-row
+        // lengths delimit it. The segment is already resident as `cols`,
+        // so this doubles nothing out of proportion.
+        let mut payloads = Writer::with_capacity(cols.len() * 32);
+        let mut offsets = Vec::with_capacity(cols.len() + 1);
+        for i in 0..cols.len() {
+            offsets.push(payloads.len());
+            cols.encode(i, &mut payloads);
+        }
+        offsets.push(payloads.len());
+        let payloads = payloads.into_bytes();
+        for i in 0..cols.len() {
+            let (s, e) = (cols.start(i), cols.end(i));
+            t0 = t0.min(s);
+            t1 = t1.max(e);
+            eq.push(pack_equal_key(cols.equal_key(i)).to_vec())?;
+            let bytes = &payloads[offsets[i]..offsets[i + 1]];
+            self.w.write_all(&s.to_le_bytes())?;
+            self.w.write_all(&e.to_le_bytes())?;
+            self.w.write_all(&cols.category(i).0.to_le_bytes())?;
+            self.w.write_all(&cols.duration(i).to_le_bytes())?;
+            self.w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            self.w.write_all(bytes)?;
+            self.pos += 8 + 8 + 4 + 8 + 4 + bytes.len() as u64;
+        }
+        self.total_rows += cols.len() as u64;
+        self.segments.push(Segment {
+            order,
+            start,
+            rows: cols.len() as u64,
+            t0,
+            t1,
+        });
+        Ok(())
+    }
+
+    /// Finish writing; returns a re-reader that yields rows in global
+    /// sequence order (segments sorted by `order`).
+    fn finish(mut self) -> io::Result<RowCursor> {
+        self.w.flush()?;
+        drop(self.w);
+        self.segments.sort_by_key(|s| s.order);
+        Ok(RowCursor {
+            guard: self.guard,
+            segments: self.segments,
+            total_rows: self.total_rows,
+        })
+    }
+}
+
+struct RowCursor {
+    guard: TempFile,
+    segments: Vec<Segment>,
+    total_rows: u64,
+}
+
+/// One decoded spill row.
+struct Row {
+    start: f64,
+    end: f64,
+    cat: u32,
+    dur: f64,
+    payload: Vec<u8>,
+}
+
+impl RowCursor {
+    /// The global time range: per-segment extrema folded in segment
+    /// order (min/max folds are order-insensitive for non-NaN inputs,
+    /// so this equals the in-memory row-order fold).
+    fn range(&self) -> (f64, f64) {
+        let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.segments {
+            t0 = t0.min(s.t0);
+            t1 = t1.max(s.t1);
+        }
+        if t0.is_finite() {
+            (t0, t1)
+        } else {
+            (0.0, 0.0)
+        }
+    }
+
+    /// Stream every row in global sequence order.
+    fn for_each(&self, mut f: impl FnMut(u64, Row) -> io::Result<()>) -> io::Result<()> {
+        let mut seq = 0u64;
+        let mut file = BufReader::new(File::open(&self.guard.path)?);
+        for seg in &self.segments {
+            file.seek(SeekFrom::Start(seg.start))?;
+            for _ in 0..seg.rows {
+                let start = read_f64(&mut file)?;
+                let end = read_f64(&mut file)?;
+                let cat = read_u32(&mut file)?;
+                let dur = read_f64(&mut file)?;
+                let len = read_u32(&mut file)? as usize;
+                let mut payload = vec![0u8; len];
+                file.read_exact(&mut payload)?;
+                f(
+                    seq,
+                    Row {
+                        start,
+                        end,
+                        cat,
+                        dur,
+                        payload,
+                    },
+                )?;
+                seq += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Pack an Equal-Drawables key big-endian so byte order equals tuple
+/// order.
+fn pack_equal_key(k: (u32, u32, u32, u64, u64)) -> [u8; 28] {
+    let mut out = [0u8; 28];
+    out[0..4].copy_from_slice(&k.0.to_be_bytes());
+    out[4..8].copy_from_slice(&k.1.to_be_bytes());
+    out[8..12].copy_from_slice(&k.2.to_be_bytes());
+    out[12..20].copy_from_slice(&k.3.to_be_bytes());
+    out[20..28].copy_from_slice(&k.4.to_be_bytes());
+    out
+}
+
+/// One realized tree node, preorder.
+struct NodeMeta {
+    t0: f64,
+    t1: f64,
+    depth: u32,
+    split: bool,
+    items: u64,
+}
+
+/// Per-category preview accumulator mirroring `Preview::add` (sorted
+/// insert, `count += 1`, `coverage += duration` in arrival order).
+#[derive(Default)]
+struct PreviewAcc {
+    entries: Vec<(u32, u64, f64)>,
+}
+
+impl PreviewAcc {
+    fn add(&mut self, cat: u32, dur: f64) {
+        match self.entries.binary_search_by_key(&cat, |e| e.0) {
+            Ok(i) => {
+                self.entries[i].1 += 1;
+                self.entries[i].2 += dur;
+            }
+            Err(i) => self.entries.insert(i, (cat, 1, dur)),
+        }
+    }
+}
+
+/// Walk one row down the potential tree, calling `visit(path_id)` at
+/// every node it reaches; returns when the row stops descending.
+fn walk_potential(
+    row_start: f64,
+    row_end: f64,
+    t0: f64,
+    t1: f64,
+    max_depth: u32,
+    mut visit: impl FnMut(u64),
+) {
+    let (mut id, mut a, mut b) = (1u64, t0, t1);
+    let mut depth = 0u32;
+    loop {
+        visit(id);
+        if depth >= max_depth || b <= a {
+            return;
+        }
+        let mid = a + (b - a) / 2.0;
+        if row_end <= mid {
+            id <<= 1;
+            b = mid;
+        } else if row_start >= mid {
+            id = id << 1 | 1;
+            a = mid;
+        } else {
+            return;
+        }
+        depth += 1;
+    }
+}
+
+/// Realize the tree shape from reach counts: preorder node list plus a
+/// path-id → preorder map.
+fn realize_tree(
+    reach: &HashMap<u64, u64, FnvBuild>,
+    t0: f64,
+    t1: f64,
+    capacity: u64,
+    max_depth: u32,
+) -> (Vec<NodeMeta>, HashMap<u64, u32, FnvBuild>) {
+    let mut nodes = Vec::new();
+    let mut map: HashMap<u64, u32, FnvBuild> = HashMap::default();
+    // Explicit stack, preorder: push right before left so left pops
+    // first (matching the recursion's self → left → right order).
+    let mut stack = vec![(1u64, t0, t1, 0u32)];
+    while let Some((id, a, b, depth)) = stack.pop() {
+        let n = reach.get(&id).copied().unwrap_or(0);
+        let l = reach.get(&(id << 1)).copied().unwrap_or(0);
+        let r = reach.get(&(id << 1 | 1)).copied().unwrap_or(0);
+        // The same predicate the in-memory recursion evaluates: items
+        // over capacity, depth available, splittable interval, and the
+        // split actually moves something down.
+        let split = n > capacity && depth < max_depth && b > a && (l + r) > 0;
+        map.insert(id, nodes.len() as u32);
+        nodes.push(NodeMeta {
+            t0: a,
+            t1: b,
+            depth,
+            split,
+            items: if split { n - l - r } else { n },
+        });
+        if split {
+            let mid = a + (b - a) / 2.0;
+            stack.push((id << 1 | 1, mid, b, depth + 1));
+            stack.push((id << 1, a, mid, depth + 1));
+        }
+    }
+    // `stack.pop()` visits self, then the whole left subtree, then the
+    // right — but interleaved pushes would break preorder numbering if
+    // the left subtree pushed before the right sibling popped. It
+    // can't: right was pushed below left, and left's entire subtree is
+    // pushed (and popped) above it. So `map` holds true preorder.
+    (nodes, map)
+}
+
+/// Everything the driver hands to the writer.
+struct Prepared {
+    table: CategoryTable,
+    shards: Vec<RankScan>,
+    warnings: Vec<ConvertWarning>,
+    rows: RowFile,
+    eq: ExtSorter,
+    nranks: u32,
+}
+
+fn run_out_of_core(
+    conv: &Converter,
+    src: TraceSource<'_>,
+    dst: &Path,
+) -> Result<ConvertSummary, StreamError> {
+    let workers = conv.effective_parallelism();
+    let obs = conv.obs.as_deref();
+    let budget = conv.memory_budget.unwrap_or(usize::MAX);
+    let spill_dir = conv.spill_dir.as_deref();
+
+    // ---- Pass A: scan ranks, spill drawable rows per segment. ----
+    let mut prep = {
+        let _span = obs.map(|o| o.span("scan", "convert", 0));
+        prepare(conv, src, workers, budget, spill_dir)?
+    };
+
+    // Arrow matching runs on the resident send/recv lists; its rows
+    // spill as the final segment.
+    {
+        let _span = obs.map(|o| o.span("arrow-match", "convert", 0));
+        let mut acols = DrawableColumns::new();
+        match_all_arrows(
+            &prep.shards,
+            prep.table.arrow_cat,
+            workers,
+            obs,
+            &mut acols,
+            &mut prep.warnings,
+        );
+        prep.rows.spill_shard((1, 0), &acols, &mut prep.eq)?;
+    }
+
+    // Equal-Drawables: drain the key sorter, report runs longer than 1
+    // in key order (identical to the in-memory sorted-dups report).
+    {
+        let _span = obs.map(|o| o.span("diagnose", "convert", 0));
+        let mut sorted = prep.eq.into_sorted()?;
+        let mut current: Option<(Vec<u8>, usize)> = None;
+        let flush = |cur: &mut Option<(Vec<u8>, usize)>, warnings: &mut Vec<ConvertWarning>| {
+            if let Some((key, n)) = cur.take() {
+                if n > 1 {
+                    let cat = u32::from_be_bytes(key[0..4].try_into().expect("key width"));
+                    let t0 = f64::from_bits(u64::from_be_bytes(
+                        key[12..20].try_into().expect("key width"),
+                    ));
+                    let t1 = f64::from_bits(u64::from_be_bytes(
+                        key[20..28].try_into().expect("key width"),
+                    ));
+                    warnings.push(ConvertWarning::EqualDrawables {
+                        category: prep
+                            .table
+                            .categories
+                            .get(cat as usize)
+                            .map(|c| c.name.clone())
+                            .unwrap_or_else(|| format!("cat{cat}")),
+                        count: n,
+                        t0,
+                        t1,
+                    });
+                }
+            }
+        };
+        while let Some(key) = sorted.next_rec()? {
+            match &mut current {
+                Some((k, n)) if *k == key => *n += 1,
+                _ => {
+                    flush(&mut current, &mut prep.warnings);
+                    current = Some((key, 1));
+                }
+            }
+        }
+        flush(&mut current, &mut prep.warnings);
+    }
+
+    // ---- Pass B: range + reach counts → realized tree shape. ----
+    let _tree_span = obs.map(|o| o.span("tree-build", "convert", 0));
+    let cursor = prep.rows.finish()?;
+    let (t0, t1) = cursor.range();
+    let capacity = conv.frame_capacity.max(1);
+    let mut reach: HashMap<u64, u64, FnvBuild> = HashMap::default();
+    cursor.for_each(|_, row| {
+        walk_potential(row.start, row.end, t0, t1, conv.max_depth, |id| {
+            *reach.entry(id).or_insert(0) += 1;
+        });
+        Ok(())
+    })?;
+    let (nodes, node_of) = realize_tree(&reach, t0, t1, capacity as u64, conv.max_depth);
+    drop(reach);
+
+    // ---- Pass C: previews in row order + external sort by placement. ----
+    // A row contributes to the preview of every *realized* node on its
+    // path (root down to the node that keeps it) — never to the
+    // potential nodes below a leaf, which the in-memory recursion never
+    // creates. Rows stream in global sequence order, so each node's
+    // preview accumulates its items in exactly the order the in-memory
+    // build adds them (per-node f64 sums are bit-identical).
+    let mut previews: Vec<PreviewAcc> = nodes.iter().map(|_| PreviewAcc::default()).collect();
+    let mut placed = ExtSorter::new(budget / 2, spill_dir, "placed");
+    cursor.for_each(|seq, row| {
+        let (mut id, mut a, mut b) = (1u64, t0, t1);
+        let keep = loop {
+            let pre = node_of[&id];
+            previews[pre as usize].add(row.cat, row.dur);
+            if !nodes[pre as usize].split {
+                break pre;
+            }
+            let mid = a + (b - a) / 2.0;
+            if row.end <= mid {
+                id <<= 1;
+                b = mid;
+            } else if row.start >= mid {
+                id = id << 1 | 1;
+                a = mid;
+            } else {
+                break pre;
+            }
+        };
+        let mut rec = Vec::with_capacity(12 + row.payload.len());
+        rec.extend_from_slice(&keep.to_be_bytes());
+        rec.extend_from_slice(&seq.to_be_bytes());
+        rec.extend_from_slice(&row.payload);
+        placed.push(rec)
+    })?;
+
+    // ---- Write the file. ----
+    let timelines = conv.timeline_names.clone().unwrap_or_else(|| {
+        (0..prep.nranks)
+            .map(|r| {
+                if r == 0 {
+                    "PI_MAIN".to_string()
+                } else {
+                    format!("P{r}")
+                }
+            })
+            .collect()
+    });
+    let mut header = Writer::with_capacity(4096);
+    header.put_bytes(b"PSLOG2\x00\x01");
+    header.put_u32(capacity as u32);
+    header.put_u32(conv.max_depth);
+    header.put_f64(t0);
+    header.put_f64(t1);
+    header.put_u32(timelines.len() as u32);
+    for t in &timelines {
+        header.put_str(t);
+    }
+    header.put_u32(prep.table.categories.len() as u32);
+    for c in &prep.table.categories {
+        c.encode(&mut header);
+    }
+    header.put_u32(prep.warnings.len() as u32);
+    for w in &prep.warnings {
+        header.put_str(&w.to_string());
+    }
+    header.put_u32(nodes.len() as u32);
+    let header = header.into_bytes();
+
+    let mut out = BufWriter::new(File::create(dst)?);
+    out.write_all(&header)?;
+    let dir_start = header.len() as u64;
+    out.write_all(&vec![0u8; nodes.len() * 8])?;
+    let mut pos = dir_start + nodes.len() as u64 * 8;
+    let mut directory = Vec::with_capacity(nodes.len());
+    let mut sorted = placed.into_sorted()?;
+    for (pre, node) in nodes.iter().enumerate() {
+        directory.push(pos);
+        let mut w = Writer::with_capacity(64);
+        w.put_f64(node.t0);
+        w.put_f64(node.t1);
+        w.put_u32(node.depth);
+        w.put_u8(node.split as u8);
+        w.put_u32(node.items as u32);
+        let head = w.into_bytes();
+        out.write_all(&head)?;
+        pos += head.len() as u64;
+        // The sorted stream is grouped by preorder index, and the reach
+        // arithmetic guarantees each group's length equals the node's
+        // item count — assert rather than trust.
+        for _ in 0..node.items {
+            let rec = sorted
+                .next_rec()?
+                .ok_or_else(|| io::Error::other("row stream ended before its node count"))?;
+            let rec_pre = u32::from_be_bytes(rec[0..4].try_into().expect("rec key"));
+            if rec_pre != pre as u32 {
+                return Err(StreamError::Io(io::Error::other(
+                    "row placed outside its node",
+                )));
+            }
+            out.write_all(&rec[12..])?;
+            pos += rec.len() as u64 - 12;
+        }
+        let pv = &previews[pre].entries;
+        let mut w = Writer::with_capacity(16 * pv.len() + 4);
+        w.put_u32(pv.len() as u32);
+        for &(cat, count, coverage) in pv {
+            w.put_u32(cat);
+            w.put_u64(count);
+            w.put_f64(coverage);
+        }
+        let tail = w.into_bytes();
+        out.write_all(&tail)?;
+        pos += tail.len() as u64;
+    }
+    let mut f = out.into_inner().map_err(io::Error::other)?;
+    f.seek(SeekFrom::Start(dir_start))?;
+    let mut dir_bytes = Vec::with_capacity(directory.len() * 8);
+    for off in &directory {
+        dir_bytes.extend_from_slice(&off.to_le_bytes());
+    }
+    f.write_all(&dir_bytes)?;
+    f.flush()?;
+    drop(f);
+
+    // Digest the finished file.
+    let mut digest = FNV_SEED;
+    let mut bytes_written = 0u64;
+    let mut r = BufReader::new(File::open(dst)?);
+    let mut buf = vec![0u8; 1 << 16];
+    loop {
+        let n = r.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        digest = fnv1a(digest, &buf[..n]);
+        bytes_written += n as u64;
+    }
+
+    Ok(ConvertSummary {
+        drawables: cursor.total_rows,
+        nodes: nodes.len() as u64,
+        warnings: prep.warnings,
+        bytes_written,
+        digest,
+    })
+}
+
+/// Pass A over every source kind: scan rank blocks (one at a time, so
+/// only one rank's drawables are ever resident), spill row segments,
+/// and keep the small residents (sends/recvs/warnings) for matching.
+fn prepare(
+    conv: &Converter,
+    src: TraceSource<'_>,
+    workers: usize,
+    budget: usize,
+    spill_dir: Option<&Path>,
+) -> Result<Prepared, StreamError> {
+    let mut rows = RowFile::create(spill_dir)?;
+    let mut eq = ExtSorter::new(budget / 4, spill_dir, "eqkeys");
+    let obs = conv.obs.as_deref();
+
+    fn spill_scan(scan: &mut RankScan, rows: &mut RowFile, eq: &mut ExtSorter) -> io::Result<()> {
+        rows.spill_shard((0, scan.rank), &scan.cols, eq)?;
+        scan.cols = DrawableColumns::new();
+        Ok(())
+    }
+
+    // Salvage mode recovers the clean byte prefix first, then runs the
+    // same per-rank pipeline plus the terminal shard.
+    if let TornPolicy::Salvage(report) = &conv.torn {
+        let clog: Clog2File = match src {
+            TraceSource::InMemory(c) => c.clone(),
+            TraceSource::Bytes(b) => Clog2File::salvage_bytes(b).file,
+            TraceSource::Mmap(ref m) => Clog2File::salvage_bytes(m).file,
+            TraceSource::Reader(mut r) => {
+                let mut bytes = Vec::new();
+                r.read_to_end(&mut bytes)?;
+                Clog2File::salvage_bytes(&bytes).file
+            }
+        };
+        let mut table = build_categories(&clog.state_defs, &clog.event_defs);
+        let terminal_cats = register_terminal_categories(&mut table, report);
+        let mut shards = Vec::with_capacity(clog.blocks.len() + 1);
+        for (&rank, records) in &clog.blocks {
+            let input = [BlockInput::Records(rank, records.as_slice())];
+            let mut scan = scan_sources(&input, &table, workers, obs)
+                .pop()
+                .expect("one block scanned");
+            spill_scan(&mut scan, &mut rows, &mut eq)?;
+            shards.push(scan);
+        }
+        let mut terminal = terminal_shard(&clog, report, &terminal_cats);
+        spill_scan(&mut terminal, &mut rows, &mut eq)?;
+        shards.push(terminal);
+        let mut warnings = Vec::new();
+        for s in &mut shards {
+            warnings.append(&mut s.warnings);
+        }
+        return Ok(Prepared {
+            table,
+            shards,
+            warnings,
+            rows,
+            eq,
+            nranks: clog.nranks,
+        });
+    }
+
+    let (table, mut shards, nranks) = match src {
+        TraceSource::InMemory(clog) => {
+            let table = build_categories(&clog.state_defs, &clog.event_defs);
+            let mut shards = Vec::with_capacity(clog.blocks.len());
+            for (&rank, records) in &clog.blocks {
+                let input = [BlockInput::Records(rank, records.as_slice())];
+                let mut scan = scan_sources(&input, &table, workers, obs)
+                    .pop()
+                    .expect("one block scanned");
+                spill_scan(&mut scan, &mut rows, &mut eq)?;
+                shards.push(scan);
+            }
+            (table, shards, clog.nranks)
+        }
+        TraceSource::Bytes(bytes) => scan_image(bytes, workers, obs, &mut rows, &mut eq)?,
+        TraceSource::Mmap(ref map) => scan_image(map, workers, obs, &mut rows, &mut eq)?,
+        TraceSource::Reader(r) => {
+            let mut blocks = Clog2Blocks::open(r)?;
+            let table = build_categories(&blocks.state_defs, &blocks.event_defs);
+            let nranks = blocks.nranks;
+            let mut by_rank: std::collections::BTreeMap<u32, RankScan> =
+                std::collections::BTreeMap::new();
+            for item in &mut blocks {
+                let (rank, records) = item?;
+                let input = [BlockInput::Records(rank, records.as_slice())];
+                let mut scan = scan_sources(&input, &table, workers, obs)
+                    .pop()
+                    .expect("one block scanned");
+                spill_scan(&mut scan, &mut rows, &mut eq)?;
+                by_rank.insert(rank, scan);
+            }
+            blocks.finish()?;
+            (table, by_rank.into_values().collect(), nranks)
+        }
+    };
+
+    // Shard warnings flow into the global list in rank order — exactly
+    // the in-memory merge.
+    let mut warnings = Vec::new();
+    for s in &mut shards {
+        warnings.append(&mut s.warnings);
+    }
+    Ok(Prepared {
+        table,
+        shards,
+        warnings,
+        rows,
+        eq,
+        nranks,
+    })
+}
+
+/// Pass A over a raw byte image (`Bytes` or `Mmap`): zero-copy scan,
+/// one rank resident at a time.
+fn scan_image(
+    bytes: &[u8],
+    workers: usize,
+    obs: Option<&obs::Obs>,
+    rows: &mut RowFile,
+    eq: &mut ExtSorter,
+) -> Result<(CategoryTable, Vec<RankScan>, u32), StreamError> {
+    let image = Clog2File::parse_image(bytes, crate::scan::CHUNK_RECORDS)?;
+    let table = build_categories(&image.state_defs, &image.event_defs);
+    let mut shards = Vec::with_capacity(image.blocks.len());
+    for b in &image.blocks {
+        let input = [BlockInput::Image(b)];
+        let mut scan = scan_sources(&input, &table, workers, obs)
+            .pop()
+            .expect("one block scanned");
+        rows.spill_shard((0, scan.rank), &scan.cols, eq)?;
+        scan.cols = DrawableColumns::new();
+        shards.push(scan);
+    }
+    Ok((table, shards, image.nranks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::ConvertOptions;
+    use crate::SalvageReport;
+    use mpelog::{Color, Logger};
+
+    fn tmp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!("slog2-oocore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A messy multi-rank log exercising every drawable and warning
+    /// path (mirrors the converter tests' generator).
+    fn messy_clog(nranks: u32) -> Clog2File {
+        let mut loggers: Vec<Logger> = (0..nranks as usize).map(Logger::new).collect();
+        let mut ids = Vec::new();
+        for lg in &mut loggers {
+            let s = lg.define_state("compute", Color::GREEN);
+            let t = lg.define_state("io", Color::RED);
+            let _ = lg.define_event("mark", Color::YELLOW);
+            if ids.is_empty() {
+                ids = vec![s.0, s.1, t.0, t.1];
+            }
+        }
+        let n = nranks as usize;
+        for (r, lg) in loggers.iter_mut().enumerate() {
+            let base = r as f64;
+            // Nested states, one backward.
+            lg.log_event(base + 0.1, ids[0], "outer");
+            lg.log_event(base + 0.2, ids[2], "inner");
+            lg.log_event(base + 0.15, ids[3], ""); // backward io
+            lg.log_event(base + 0.9, ids[1], "");
+            // Ring messages; rank 0 also sends one nobody receives.
+            let dst = (r + 1) % n;
+            lg.log_send(base + 0.3, dst, 7, 64);
+            lg.log_receive(base + 0.35, (r + n - 1) % n, 7, 64);
+            if r == 0 {
+                lg.log_send(base + 0.4, dst, 9, 8); // unmatched send
+                lg.log_receive(base + 0.5, dst, 11, 8); // unmatched recv
+                lg.log_event(base + 0.6, ids[0], "never closed"); // unclosed
+            }
+            // Equal drawables: identical start/end pairs.
+            lg.log_event(base + 0.7, ids[2], "");
+            lg.log_event(base + 0.72, ids[3], "");
+            lg.log_event(base + 0.7, ids[2], "");
+            lg.log_event(base + 0.72, ids[3], "");
+        }
+        let mut blocks = std::collections::BTreeMap::new();
+        for (r, lg) in loggers.iter().enumerate() {
+            blocks.insert(r as u32, lg.records().to_vec());
+        }
+        Clog2File {
+            nranks,
+            state_defs: loggers[0].state_defs().to_vec(),
+            event_defs: loggers[0].event_defs().to_vec(),
+            blocks,
+        }
+    }
+
+    fn in_memory_bytes(clog: &Clog2File, threads: usize) -> Vec<u8> {
+        Converter::from_options(&ConvertOptions::default().with_parallelism(threads))
+            .convert(TraceSource::InMemory(clog))
+            .unwrap()
+            .file
+            .to_bytes()
+    }
+
+    #[test]
+    fn out_of_core_matches_in_memory_bytes() {
+        let clog = messy_clog(3);
+        let want = in_memory_bytes(&clog, 1);
+        for (threads, budget) in [(1, None), (2, Some(1)), (4, Some(64 << 10))] {
+            let mut conv = Converter::new().parallelism(threads).spill_dir(tmp_dir());
+            if let Some(b) = budget {
+                conv = conv.memory_budget(b);
+            }
+            let dst = tmp_dir().join(format!("ooc-{threads}-{budget:?}.pslog2"));
+            let summary = conv
+                .convert_to_path(TraceSource::InMemory(&clog), &dst)
+                .unwrap();
+            let got = std::fs::read(&dst).unwrap();
+            assert_eq!(got, want, "threads={threads} budget={budget:?}");
+            assert_eq!(summary.bytes_written, want.len() as u64);
+            assert_eq!(summary.digest, fnv1a(FNV_SEED, &want));
+            assert!(summary.drawables > 0 && summary.nodes > 0);
+        }
+    }
+
+    #[test]
+    fn out_of_core_source_kinds_agree() {
+        let clog = messy_clog(2);
+        let bytes = clog.to_bytes();
+        let want = in_memory_bytes(&clog, 1);
+        let dir = tmp_dir();
+
+        let conv = Converter::new()
+            .parallelism(2)
+            .memory_budget(1)
+            .spill_dir(dir.clone());
+
+        let d1 = dir.join("src-bytes.pslog2");
+        conv.convert_to_path(TraceSource::Bytes(&bytes), &d1)
+            .unwrap();
+        assert_eq!(std::fs::read(&d1).unwrap(), want, "Bytes");
+
+        let clog_path = dir.join("src.clog2");
+        std::fs::write(&clog_path, &bytes).unwrap();
+        let d2 = dir.join("src-mmap.pslog2");
+        conv.convert_to_path(TraceSource::mmap(&clog_path).unwrap(), &d2)
+            .unwrap();
+        assert_eq!(std::fs::read(&d2).unwrap(), want, "Mmap");
+
+        let d3 = dir.join("src-reader.pslog2");
+        conv.convert_to_path(TraceSource::reader(&bytes[..]), &d3)
+            .unwrap();
+        assert_eq!(std::fs::read(&d3).unwrap(), want, "Reader");
+    }
+
+    #[test]
+    fn out_of_core_salvage_matches_in_memory() {
+        use crate::convert::{FailureKind, RankVerdict};
+        let clog = messy_clog(2);
+        let report = SalvageReport {
+            verdicts: vec![RankVerdict {
+                rank: 1,
+                kind: FailureKind::Aborted,
+                detail: "panicked at 'boom'".into(),
+            }],
+            diagnosis: Some("rank 1 aborted".into()),
+            ..Default::default()
+        };
+        let want = Converter::new()
+            .parallelism(1)
+            .on_torn(TornPolicy::Salvage(report.clone()))
+            .convert(TraceSource::InMemory(&clog))
+            .unwrap()
+            .file
+            .to_bytes();
+        let dst = tmp_dir().join("ooc-salvage.pslog2");
+        Converter::new()
+            .parallelism(2)
+            .memory_budget(1)
+            .spill_dir(tmp_dir())
+            .on_torn(TornPolicy::Salvage(report))
+            .convert_to_path(TraceSource::InMemory(&clog), &dst)
+            .unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), want);
+    }
+
+    /// A large two-rank log (~`per_rank` drawables each) that overflows
+    /// a 64 KiB sorter budget, forcing real spill runs.
+    fn bulk_clog(per_rank: usize) -> Clog2File {
+        let mut loggers: Vec<Logger> = (0..2).map(Logger::new).collect();
+        let mut ids = Vec::new();
+        for lg in &mut loggers {
+            let s = lg.define_state("work", Color::GREEN);
+            if ids.is_empty() {
+                ids = vec![s.0, s.1];
+            }
+        }
+        for (r, lg) in loggers.iter_mut().enumerate() {
+            for k in 0..per_rank {
+                let t = r as f64 * 0.0001 + k as f64 * 0.001;
+                lg.log_event(t, ids[0], "");
+                lg.log_event(t + 0.0005, ids[1], "");
+            }
+        }
+        let mut blocks = std::collections::BTreeMap::new();
+        for (r, lg) in loggers.iter().enumerate() {
+            blocks.insert(r as u32, lg.records().to_vec());
+        }
+        Clog2File {
+            nranks: 2,
+            state_defs: loggers[0].state_defs().to_vec(),
+            event_defs: loggers[0].event_defs().to_vec(),
+            blocks,
+        }
+    }
+
+    #[test]
+    fn out_of_core_bulk_spill_matches_in_memory() {
+        let clog = bulk_clog(2_000);
+        let want = in_memory_bytes(&clog, 1);
+        let dst = tmp_dir().join("ooc-bulk.pslog2");
+        // Budget 1 clamps to 64 KiB per sorter: 4k rows of ~45 bytes
+        // overflow it, so both sorters take the spill-and-merge path.
+        let summary = Converter::new()
+            .parallelism(4)
+            .memory_budget(1)
+            .spill_dir(tmp_dir())
+            .convert_to_path(TraceSource::InMemory(&clog), &dst)
+            .unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), want);
+        assert_eq!(summary.drawables, 4_000);
+    }
+
+    #[test]
+    fn out_of_core_empty_log_matches() {
+        let clog = Clog2File {
+            nranks: 2,
+            state_defs: Vec::new(),
+            event_defs: Vec::new(),
+            blocks: std::collections::BTreeMap::new(),
+        };
+        let want = in_memory_bytes(&clog, 1);
+        let dst = tmp_dir().join("ooc-empty.pslog2");
+        let summary = Converter::new()
+            .spill_dir(tmp_dir())
+            .convert_to_path(TraceSource::InMemory(&clog), &dst)
+            .unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), want);
+        assert_eq!(summary.drawables, 0);
+    }
+
+    #[test]
+    fn deep_tree_falls_back_to_in_memory() {
+        let clog = messy_clog(2);
+        let want = Converter::new()
+            .max_depth(40)
+            .parallelism(1)
+            .convert(TraceSource::InMemory(&clog))
+            .unwrap()
+            .file
+            .to_bytes();
+        let dst = tmp_dir().join("ooc-deep.pslog2");
+        let summary = Converter::new()
+            .max_depth(40)
+            .parallelism(1)
+            .convert_to_path(TraceSource::InMemory(&clog), &dst)
+            .unwrap();
+        assert_eq!(std::fs::read(&dst).unwrap(), want);
+        assert_eq!(summary.digest, fnv1a(FNV_SEED, &want));
+    }
+
+    #[test]
+    fn ext_sorter_spills_and_merges_sorted() {
+        let mut s = ExtSorter::new(1, Some(&tmp_dir()), "unit");
+        // Budget is clamped to 64 KiB; push enough to force several runs.
+        let mut want = Vec::new();
+        for i in 0..20_000u32 {
+            let key = (i.wrapping_mul(2_654_435_761)) ^ 0x5a5a;
+            let rec = key.to_be_bytes().to_vec();
+            want.push(rec.clone());
+            s.push(rec).unwrap();
+        }
+        want.sort_unstable();
+        let mut it = s.into_sorted().unwrap();
+        let mut got = Vec::new();
+        while let Some(r) = it.next_rec().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, want);
+    }
+}

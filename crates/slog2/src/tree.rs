@@ -12,6 +12,7 @@
 //! Jumpshot draw the striped "too dense to show individually" rectangles
 //! of the paper's Fig. 1 without touching leaf data.
 
+use crate::columnar::DrawableColumns;
 use crate::drawable::Drawable;
 use crate::id::CategoryId;
 use crate::window::{Query, TimeWindow};
@@ -223,6 +224,32 @@ impl FrameTree {
         }
     }
 
+    /// Build a tree directly from columnar drawable storage.
+    ///
+    /// The recursion partitions `u32` index vectors instead of moving
+    /// 80-byte `Drawable` values, and only materializes enum rows once,
+    /// at the node that finally owns them. The resulting tree is
+    /// bit-identical to [`build_with_parallelism`] over
+    /// `cols.to_drawable(0..len)` — pinned by a unit test below.
+    pub(crate) fn build_columnar(
+        cols: &DrawableColumns,
+        t0: f64,
+        t1: f64,
+        capacity: usize,
+        max_depth: u32,
+        parallelism: usize,
+    ) -> FrameTree {
+        let capacity = capacity.max(1);
+        let forks = parallelism.max(1).next_power_of_two().trailing_zeros();
+        let idx: Vec<u32> = (0..cols.len() as u32).collect();
+        let root = build_node_cols(cols, idx, t0, t1, 0, capacity, max_depth, forks);
+        FrameTree {
+            root,
+            capacity,
+            max_depth,
+        }
+    }
+
     /// All drawables overlapping the closed window `w`.
     pub fn query(&self, w: TimeWindow) -> Vec<&Drawable> {
         self.drawables_in(w)
@@ -344,6 +371,107 @@ fn build_node(
         preview,
         children: Some(Box::new((lchild, rchild))),
     }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors build_node, plus the column store
+fn build_node_cols(
+    cols: &DrawableColumns,
+    items: Vec<u32>,
+    t0: f64,
+    t1: f64,
+    depth: u32,
+    capacity: usize,
+    max_depth: u32,
+    forks: u32,
+) -> FrameNode {
+    // Same top-down, in-order preview accumulation as `build_node`; see
+    // the comment there for why this ordering is load-bearing.
+    let mut preview = Preview::default();
+    for &i in &items {
+        preview.add(cols.category(i as usize), cols.duration(i as usize));
+    }
+
+    let splittable = items.len() > capacity && depth < max_depth && t1 > t0;
+    if !splittable {
+        return FrameNode {
+            t0,
+            t1,
+            depth,
+            drawables: materialize(cols, &items),
+            preview,
+            children: None,
+        };
+    }
+
+    let mid = t0 + (t1 - t0) / 2.0;
+    let mut here = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for i in items {
+        let (s, e) = (cols.start(i as usize), cols.end(i as usize));
+        if e <= mid {
+            left.push(i);
+        } else if s >= mid {
+            right.push(i);
+        } else {
+            here.push(i);
+        }
+    }
+    if left.is_empty() && right.is_empty() {
+        return FrameNode {
+            t0,
+            t1,
+            depth,
+            drawables: materialize(cols, &here),
+            preview,
+            children: None,
+        };
+    }
+    const FORK_THRESHOLD: usize = 4096;
+    let (lchild, rchild) = if forks > 0 && left.len().min(right.len()) >= FORK_THRESHOLD {
+        std::thread::scope(|s| {
+            let rh = s.spawn(|| {
+                build_node_cols(
+                    cols,
+                    right,
+                    mid,
+                    t1,
+                    depth + 1,
+                    capacity,
+                    max_depth,
+                    forks - 1,
+                )
+            });
+            let l = build_node_cols(
+                cols,
+                left,
+                t0,
+                mid,
+                depth + 1,
+                capacity,
+                max_depth,
+                forks - 1,
+            );
+            (l, rh.join().expect("tree build worker panicked"))
+        })
+    } else {
+        (
+            build_node_cols(cols, left, t0, mid, depth + 1, capacity, max_depth, forks),
+            build_node_cols(cols, right, mid, t1, depth + 1, capacity, max_depth, forks),
+        )
+    };
+    FrameNode {
+        t0,
+        t1,
+        depth,
+        drawables: materialize(cols, &here),
+        preview,
+        children: Some(Box::new((lchild, rchild))),
+    }
+}
+
+fn materialize(cols: &DrawableColumns, idx: &[u32]) -> Vec<Drawable> {
+    idx.iter().map(|&i| cols.to_drawable(i as usize)).collect()
 }
 
 impl Query for FrameTree {
@@ -581,6 +709,51 @@ mod tests {
         for threads in [2, 3, 4, 8] {
             let par = FrameTree::build_with_parallelism(ds.clone(), 0.0, 20.1, 64, 16, threads);
             assert_eq!(par, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn columnar_build_is_identical_to_enum_build() {
+        use crate::drawable::ArrowDrawable;
+        let mut ds = forking_input();
+        // Mix in events, arrows (including a backward one), and texts so
+        // every column participates.
+        ds.push(event(7, 3.3));
+        ds.push(Drawable::Arrow(ArrowDrawable {
+            category: CategoryId(9),
+            from_timeline: TimelineId(1),
+            to_timeline: TimelineId(2),
+            start: 2.0,
+            end: 2.5,
+            tag: 4,
+            size: 16,
+        }));
+        ds.push(Drawable::Arrow(ArrowDrawable {
+            category: CategoryId(9),
+            from_timeline: TimelineId(2),
+            to_timeline: TimelineId(0),
+            start: 6.0,
+            end: 5.0, // backward: raw start > raw end
+            tag: 5,
+            size: 8,
+        }));
+        ds.push(Drawable::State(StateDrawable {
+            category: CategoryId(1),
+            timeline: TimelineId(3),
+            start: 0.5,
+            end: 9.5,
+            nest_level: 2,
+            text: "Line: 42 | Line: 43".into(),
+        }));
+        let mut cols = DrawableColumns::new();
+        for d in &ds {
+            cols.push(d);
+        }
+        for threads in [1, 4] {
+            let reference =
+                FrameTree::build_with_parallelism(ds.clone(), 0.0, 20.1, 64, 16, threads);
+            let columnar = FrameTree::build_columnar(&cols, 0.0, 20.1, 64, 16, threads);
+            assert_eq!(columnar, reference, "{threads} threads");
         }
     }
 

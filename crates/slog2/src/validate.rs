@@ -292,7 +292,10 @@ mod tests {
             event_defs: vec![],
             blocks,
         };
-        let (file, _) = crate::convert(&clog, &Default::default());
+        let file = crate::Converter::new()
+            .convert(crate::TraceSource::InMemory(&clog))
+            .unwrap()
+            .file;
         assert!(validate(&file).is_empty(), "{:?}", validate(&file));
     }
 

@@ -5,10 +5,18 @@ use mpelog::record::Record;
 use mpelog::{Clog2File, Color, Logger};
 use proptest::prelude::*;
 use slog2::{
-    convert, convert_reader, legend_stats, ConvertOptions, Drawable, FrameTree, Query, Slog2File,
-    TimeWindow,
+    legend_stats, ConvertWarning, Converter, Drawable, FailureKind, FrameTree, Query, RankVerdict,
+    SalvageReport, Slog2File, TimeWindow, TornPolicy, TraceSource,
 };
 use slog2::{Category, CategoryId, CategoryKind, EventDrawable, StateDrawable, TimelineId};
+
+/// One-shot in-memory conversion with default settings.
+fn convert_mem(clog: &Clog2File) -> (Slog2File, Vec<ConvertWarning>) {
+    let c = Converter::new()
+        .convert(TraceSource::InMemory(clog))
+        .expect("in-memory source cannot fail");
+    (c.file, c.warnings)
+}
 
 fn arb_drawable() -> impl Strategy<Value = Drawable> {
     prop_oneof![
@@ -254,7 +262,7 @@ proptest! {
         }
         let (state_defs, event_defs) = defs.unwrap();
         let clog = Clog2File { nranks: nranks as u32, state_defs, event_defs, blocks };
-        let (file, warnings) = convert(&clog, &ConvertOptions::default());
+        let (file, warnings) = convert_mem(&clog);
         prop_assert!(warnings.is_empty(), "{warnings:?}");
         let want_states: usize = calls_per_rank.iter().sum();
         let stats = legend_stats(&file);
@@ -295,7 +303,7 @@ proptest! {
             event_defs: lg.event_defs().to_vec(),
             blocks,
         };
-        let (file, _warnings) = convert(&clog, &ConvertOptions::default());
+        let (file, _warnings) = convert_mem(&clog);
         let back = Slog2File::from_bytes(&file.to_bytes()).unwrap();
         prop_assert_eq!(back.total_drawables(), file.total_drawables());
     }
@@ -337,78 +345,188 @@ proptest! {
             event_defs: lg.event_defs().to_vec(),
             blocks,
         };
-        let (file, _warnings) = convert(&clog, &ConvertOptions::default());
+        let (file, _warnings) = convert_mem(&clog);
         let defects = slog2::validate(&file);
         prop_assert!(defects.is_empty(), "{defects:?}");
     }
 }
 
-// Sharded-conversion determinism: for any generated log — varying rank
-// counts, nesting depth, unmatched sends/recvs, quantized clocks that
-// force Equal Drawables — the parallel converter and the streaming
-// converter must produce files byte-identical to the serial one.
+// Conversion determinism: for any generated log — varying rank counts,
+// nesting depth, unmatched sends/recvs, quantized clocks that force
+// Equal Drawables — every way of driving the converter must produce a
+// file byte-identical to the serial in-memory one: every thread count,
+// every `TraceSource` kind, and the out-of-core writer at every memory
+// budget. This is the tentpole invariant of the `Converter` API.
+
+/// Unique temp-file suffix per proptest case (cases run concurrently).
+fn case_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+fn prop_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("slog2-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn arb_rank_records() -> impl Strategy<Value = Vec<Vec<Record>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![
+                // Quantized clock (1 ms grid): repeats collide into
+                // bit-identical intervals. Ids 0..8 cover state
+                // start/end pairs, the solo event, and undefined ids.
+                (0u64..500, 0u32..8).prop_map(|(q, id)| Record::Event {
+                    ts: q as f64 * 1e-3,
+                    id: mpelog::ids::EventId(id),
+                    text: String::new(),
+                }),
+                (0u64..500, 0u32..6, 0u32..4, 0u32..32).prop_map(|(q, dst, tag, size)| {
+                    Record::Send {
+                        ts: q as f64 * 1e-3,
+                        dst,
+                        tag,
+                        size,
+                    }
+                }),
+                (0u64..500, 0u32..6, 0u32..4, 0u32..32).prop_map(|(q, src, tag, size)| {
+                    Record::Recv {
+                        ts: q as f64 * 1e-3,
+                        src,
+                        tag,
+                        size,
+                    }
+                }),
+            ],
+            0..80,
+        ),
+        1..6,
+    )
+}
+
+fn clog_from(per_rank: Vec<Vec<Record>>) -> Clog2File {
+    let mut lg = Logger::new(0);
+    let _ = lg.define_state("outer", Color::RED);
+    let _ = lg.define_state("inner", Color::GREEN);
+    let _ = lg.define_event("tick", Color::YELLOW);
+    let nranks = per_rank.len() as u32;
+    let mut blocks = std::collections::BTreeMap::new();
+    for (r, records) in per_rank.into_iter().enumerate() {
+        blocks.insert(r as u32, records);
+    }
+    Clog2File {
+        nranks,
+        state_defs: lg.state_defs().to_vec(),
+        event_defs: lg.event_defs().to_vec(),
+        blocks,
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
-    fn parallel_and_streaming_convert_are_byte_identical(
-        per_rank in proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![
-                    // Quantized clock (1 ms grid): repeats collide into
-                    // bit-identical intervals. Ids 0..8 cover state
-                    // start/end pairs, the solo event, and undefined ids.
-                    (0u64..500, 0u32..8).prop_map(|(q, id)| Record::Event {
-                        ts: q as f64 * 1e-3,
-                        id: mpelog::ids::EventId(id),
-                        text: String::new(),
-                    }),
-                    (0u64..500, 0u32..6, 0u32..4, 0u32..32).prop_map(|(q, dst, tag, size)| {
-                        Record::Send { ts: q as f64 * 1e-3, dst, tag, size }
-                    }),
-                    (0u64..500, 0u32..6, 0u32..4, 0u32..32).prop_map(|(q, src, tag, size)| {
-                        Record::Recv { ts: q as f64 * 1e-3, src, tag, size }
-                    }),
-                ],
-                0..80,
-            ),
-            1..6,
-        ),
+    fn every_source_thread_count_and_budget_is_byte_identical(
+        per_rank in arb_rank_records(),
     ) {
-        let mut lg = Logger::new(0);
-        let _ = lg.define_state("outer", Color::RED);
-        let _ = lg.define_state("inner", Color::GREEN);
-        let _ = lg.define_event("tick", Color::YELLOW);
-        let nranks = per_rank.len() as u32;
-        let mut blocks = std::collections::BTreeMap::new();
-        for (r, records) in per_rank.into_iter().enumerate() {
-            blocks.insert(r as u32, records);
-        }
-        let clog = Clog2File {
-            nranks,
-            state_defs: lg.state_defs().to_vec(),
-            event_defs: lg.event_defs().to_vec(),
-            blocks,
-        };
-
-        let serial_opts = ConvertOptions::default().with_parallelism(1);
-        let (serial, serial_warn) = convert(&clog, &serial_opts);
-        let serial_bytes = serial.to_bytes();
-
-        for threads in [2usize, 3, 8] {
-            let opts = ConvertOptions::default().with_parallelism(threads);
-            let (par, par_warn) = convert(&clog, &opts);
-            prop_assert_eq!(&par_warn, &serial_warn, "{} threads", threads);
-            prop_assert_eq!(par.to_bytes(), serial_bytes.clone(), "{} threads", threads);
-        }
-
-        // Streaming over the encoded file must land on the same bytes.
+        let clog = clog_from(per_rank);
+        let baseline = Converter::new()
+            .parallelism(1)
+            .convert(TraceSource::InMemory(&clog))
+            .unwrap();
+        let want = baseline.file.to_bytes();
         let clog_bytes = clog.to_bytes();
-        for threads in [1usize, 4] {
-            let opts = ConvertOptions::default().with_parallelism(threads);
-            let (streamed, stream_warn) = convert_reader(&clog_bytes[..], &opts).unwrap();
-            prop_assert_eq!(&stream_warn, &serial_warn, "streamed, {} threads", threads);
-            prop_assert_eq!(streamed.to_bytes(), serial_bytes.clone(), "streamed, {} threads", threads);
+        let dir = prop_dir();
+        let case = case_id();
+        let clog_path = dir.join(format!("case-{case}.pclog2"));
+        std::fs::write(&clog_path, &clog_bytes).unwrap();
+
+        for threads in [1usize, 2, 8] {
+            let conv = Converter::new().parallelism(threads);
+            let m = conv.convert(TraceSource::InMemory(&clog)).unwrap();
+            prop_assert_eq!(&m.warnings, &baseline.warnings, "warnings, {} threads", threads);
+            prop_assert_eq!(m.file.to_bytes(), want.clone(), "InMemory, {} threads", threads);
+            let b = conv.convert(TraceSource::Bytes(&clog_bytes)).unwrap();
+            prop_assert_eq!(b.file.to_bytes(), want.clone(), "Bytes, {} threads", threads);
+            let r = conv.convert(TraceSource::reader(&clog_bytes[..])).unwrap();
+            prop_assert_eq!(r.file.to_bytes(), want.clone(), "Reader, {} threads", threads);
+            let mm = conv
+                .convert(TraceSource::mmap(&clog_path).unwrap())
+                .unwrap();
+            prop_assert_eq!(mm.file.to_bytes(), want.clone(), "Mmap, {} threads", threads);
+
+            // Out-of-core: unbounded, and a 1-byte budget that forces
+            // every sorter to spill runs to disk.
+            for budget in [None, Some(1usize)] {
+                let mut oc = Converter::new().parallelism(threads).spill_dir(dir.clone());
+                if let Some(bytes) = budget {
+                    oc = oc.memory_budget(bytes);
+                }
+                let out = dir.join(format!("case-{case}-t{threads}-b{:?}.pslog2", budget));
+                let summary = oc
+                    .convert_to_path(TraceSource::Bytes(&clog_bytes), &out)
+                    .unwrap();
+                prop_assert_eq!(&summary.warnings, &baseline.warnings,
+                    "oocore warnings, {} threads budget {:?}", threads, budget);
+                let got = std::fs::read(&out).unwrap();
+                let _ = std::fs::remove_file(&out);
+                prop_assert_eq!(got, want.clone(), "oocore, {} threads budget {:?}", threads, budget);
+            }
+        }
+        let _ = std::fs::remove_file(&clog_path);
+    }
+
+    /// Salvage is a mode of the same builder, and the invariant holds
+    /// there too: a torn byte image converts identically through every
+    /// source kind, thread count, and the out-of-core writer.
+    #[test]
+    fn salvage_mode_is_source_and_budget_independent(
+        per_rank in arb_rank_records(),
+        keep in 0.2f64..1.0,
+    ) {
+        let clog = clog_from(per_rank);
+        let whole = clog.to_bytes();
+        let torn = &whole[..((whole.len() as f64 * keep) as usize).max(16).min(whole.len())];
+        let report = SalvageReport {
+            verdicts: vec![RankVerdict {
+                rank: 0,
+                kind: FailureKind::Aborted,
+                detail: "proptest tear".into(),
+            }],
+            truncated: torn.len() < whole.len(),
+            ..Default::default()
+        };
+        let policy = TornPolicy::Salvage(report);
+        let baseline = Converter::new()
+            .parallelism(1)
+            .on_torn(policy.clone())
+            .convert(TraceSource::Bytes(torn))
+            .unwrap();
+        let want = baseline.file.to_bytes();
+        let dir = prop_dir();
+        let case = case_id();
+
+        for threads in [2usize, 8] {
+            let conv = Converter::new().parallelism(threads).on_torn(policy.clone());
+            let b = conv.convert(TraceSource::Bytes(torn)).unwrap();
+            prop_assert_eq!(&b.warnings, &baseline.warnings, "salvage warnings, {} threads", threads);
+            prop_assert_eq!(b.file.to_bytes(), want.clone(), "salvage Bytes, {} threads", threads);
+            let r = conv.convert(TraceSource::reader(torn)).unwrap();
+            prop_assert_eq!(r.file.to_bytes(), want.clone(), "salvage Reader, {} threads", threads);
+            let out = dir.join(format!("salvage-{case}-t{threads}.pslog2"));
+            let oc = Converter::new()
+                .parallelism(threads)
+                .on_torn(policy.clone())
+                .memory_budget(1)
+                .spill_dir(dir.clone());
+            let summary = oc.convert_to_path(TraceSource::Bytes(torn), &out).unwrap();
+            prop_assert_eq!(&summary.warnings, &baseline.warnings,
+                "salvage oocore warnings, {} threads", threads);
+            let got = std::fs::read(&out).unwrap();
+            let _ = std::fs::remove_file(&out);
+            prop_assert_eq!(got, want.clone(), "salvage oocore, {} threads", threads);
         }
     }
 }

@@ -40,7 +40,9 @@ use std::time::Duration;
 use mpelog::Clog2File;
 use obs::{Counter, Gauge, ObsHandle};
 use pilot_vis::json::Json;
-use slog2::{convert_salvaged, ConvertOptions, FailureKind, RankVerdict, SalvageReport, Slog2File};
+use slog2::{
+    Converter, FailureKind, RankVerdict, SalvageReport, Slog2File, TornPolicy, TraceSource,
+};
 
 use crate::obsplane::ObsPlane;
 use crate::service::{fnv1a, TimelineService};
@@ -443,8 +445,11 @@ fn load_upload(bytes: &[u8]) -> Result<(Slog2File, bool), UploadError> {
             });
         }
         let truncated = s.truncated;
-        let (file, _convert_warnings) =
-            convert_salvaged(&s.file, &report, &ConvertOptions::default());
+        let file = Converter::new()
+            .on_torn(TornPolicy::Salvage(report))
+            .convert(TraceSource::InMemory(&s.file))
+            .expect("in-memory source cannot fail")
+            .file;
         return Ok((file, truncated));
     }
     Err(UploadError::Invalid(

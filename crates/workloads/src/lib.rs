@@ -34,4 +34,4 @@ pub use lab2::{run_lab2, Lab2Result};
 pub use pipeline::{run_pipeline, PipelineResult};
 pub use registry::{workload_by_name, workload_names, workloads, Workload};
 pub use thumbnail::{run_thumbnail, ThumbnailParams, ThumbnailResult};
-pub use trace::synthetic_clog;
+pub use trace::{synthetic_clog, SyntheticClogReader};

@@ -13,7 +13,7 @@
 //! message per worker.
 
 use pilot::{PilotConfig, Services};
-use slog2::{convert, ConvertOptions, TimelineId};
+use slog2::{Converter, TimelineId, TraceSource};
 use workloads::collision::{expected_answers, run_collision, CollisionParams, CollisionVariant};
 
 const WORKERS: usize = 4;
@@ -45,13 +45,11 @@ fn main() {
         assert_eq!(result.answers, expected, "all variants must agree");
 
         let clog = outcome.clog().expect("log present");
-        let (slog, _warnings) = convert(
-            clog,
-            &ConvertOptions {
-                timeline_names: Some(outcome.artifacts.process_names.clone()),
-                ..Default::default()
-            },
-        );
+        let slog = Converter::new()
+            .timeline_names(outcome.artifacts.process_names.clone())
+            .convert(TraceSource::InMemory(clog))
+            .expect("in-memory source cannot fail")
+            .file;
         use jumpshot::Renderer as _;
         let svg = jumpshot::SvgRenderer
             .render(&slog, &jumpshot::RenderOptions::default().with_width(1400));

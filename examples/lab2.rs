@@ -40,13 +40,11 @@ fn main() {
 
     if let Some(clog) = outcome.clog() {
         // Convert + render by hand (run_lab2 returns the raw outcome).
-        let (slog, warnings) = slog2::convert(
-            clog,
-            &slog2::ConvertOptions {
-                timeline_names: Some(outcome.artifacts.process_names.clone()),
-                ..Default::default()
-            },
-        );
+        let c = slog2::Converter::new()
+            .timeline_names(outcome.artifacts.process_names.clone())
+            .convert(slog2::TraceSource::InMemory(clog))
+            .expect("in-memory source cannot fail");
+        let (slog, warnings) = (c.file, c.warnings);
         if !warnings.is_empty() {
             println!("converter warnings:");
             for w in &warnings {

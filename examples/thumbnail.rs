@@ -46,13 +46,11 @@ fn main() {
     );
 
     let clog = outcome.clog().expect("-pisvc=j log");
-    let (slog, warnings) = slog2::convert(
-        clog,
-        &slog2::ConvertOptions {
-            timeline_names: Some(outcome.artifacts.process_names.clone()),
-            ..Default::default()
-        },
-    );
+    let c = slog2::Converter::new()
+        .timeline_names(outcome.artifacts.process_names.clone())
+        .convert(slog2::TraceSource::InMemory(clog))
+        .expect("in-memory source cannot fail");
+    let (slog, warnings) = (c.file, c.warnings);
     for w in &warnings {
         println!("converter warning: {w}");
     }

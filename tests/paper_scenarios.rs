@@ -12,6 +12,13 @@ fn svc(letters: &str) -> Services {
     Services::parse(letters).unwrap()
 }
 
+fn convert_mem(clog: &mpelog::Clog2File) -> (slog2::Slog2File, Vec<slog2::ConvertWarning>) {
+    let c = slog2::Converter::new()
+        .convert(slog2::TraceSource::InMemory(clog))
+        .expect("in-memory source cannot fail");
+    (c.file, c.warnings)
+}
+
 /// §III.D: the thumbnail pipeline produces correct output under full
 /// instrumentation — "the MPE logging calls are robust in a reasonably
 /// large and complex Pilot application".
@@ -31,7 +38,7 @@ fn sec3d_thumbnail_log_is_robust_and_convertible() {
     assert_eq!(result.unwrap(), expected_result(&params));
     // "the resulting SLOG-2 file can be successfully read ... after
     // calling thousands of Pilot functions without any conversion errors"
-    let (slog, warnings) = slog2::convert(outcome.clog().unwrap(), &Default::default());
+    let (slog, warnings) = convert_mem(outcome.clog().unwrap());
     assert!(warnings.is_empty(), "{warnings:?}");
     assert!(slog.total_drawables() > 200);
     // And a defect-free SLOG-2 roundtrip.
@@ -59,13 +66,11 @@ fn sec4a_lab2_visual_census() {
     let (outcome, result) = run_lab2(cfg, 5, 2_000, false);
     assert!(outcome.is_clean(), "{outcome:?}");
     assert_eq!(result.unwrap().grand_total, expected_total(2_000));
-    let (slog, warnings) = slog2::convert(
-        outcome.clog().unwrap(),
-        &slog2::ConvertOptions {
-            timeline_names: Some(outcome.artifacts.process_names.clone()),
-            ..Default::default()
-        },
-    );
+    let c = slog2::Converter::new()
+        .timeline_names(outcome.artifacts.process_names.clone())
+        .convert(slog2::TraceSource::InMemory(outcome.clog().unwrap()))
+        .expect("in-memory source cannot fail");
+    let (slog, warnings) = (c.file, c.warnings);
     assert!(warnings.is_empty(), "{warnings:?}");
     let stats = slog2::legend_stats(&slog);
     let cat = |n: &str| slog.category_by_name(n).unwrap().index;
@@ -97,7 +102,7 @@ fn sec4b_instance_a_serializes_queries() {
         let (outcome, result) = run_collision(cfg, 3, variant, params);
         assert!(outcome.is_clean(), "{outcome:?}");
         let result = result.unwrap();
-        let (slog, _) = slog2::convert(outcome.clog().unwrap(), &Default::default());
+        let (slog, _) = convert_mem(outcome.clog().unwrap());
         let workers: Vec<TimelineId> = (1..=3).map(TimelineId).collect();
         let qwin = slog2::TimeWindow::new(slog.range.t1 - result.query_seconds, slog.range.t1);
         pilot_vis::parallel_overlap(&slog, &workers, Some(qwin))
@@ -127,7 +132,7 @@ fn sec4b_instance_b_workers_idle_during_init() {
         let cfg = PilotConfig::new(4).with_services(svc("j"));
         let (outcome, _) = run_collision(cfg, 3, variant, params);
         assert!(outcome.is_clean(), "{outcome:?}");
-        let (slog, _) = slog2::convert(outcome.clog().unwrap(), &Default::default());
+        let (slog, _) = convert_mem(outcome.clog().unwrap());
         pilot_vis::idle_until_first_arrival(&slog)
             .values()
             .cloned()
@@ -211,7 +216,7 @@ fn sec3_equal_drawables_and_the_usleep_fix() {
             pi.stop_main(0)
         });
         assert!(outcome.is_clean(), "{outcome:?}");
-        let (_, warnings) = slog2::convert(outcome.clog().unwrap(), &Default::default());
+        let (_, warnings) = convert_mem(outcome.clog().unwrap());
         warnings
             .iter()
             .filter(|w| matches!(w, slog2::ConvertWarning::EqualDrawables { .. }))
@@ -233,7 +238,7 @@ fn sec3_clock_sync_keeps_arrows_causal() {
     let (outcome, result) = run_lab2(cfg, 2, 500, false);
     assert!(outcome.is_clean(), "{outcome:?}");
     assert_eq!(result.unwrap().grand_total, expected_total(500));
-    let (_, warnings) = slog2::convert(outcome.clog().unwrap(), &Default::default());
+    let (_, warnings) = convert_mem(outcome.clog().unwrap());
     let backward = warnings
         .iter()
         .filter(|w| matches!(w, slog2::ConvertWarning::BackwardArrow { .. }))
